@@ -1,0 +1,983 @@
+//! A cluster managed by a local batch scheduler.
+//!
+//! The cluster is the paper's "server + LRMS" pair: the deployed server
+//! interacts with the batch system only through **submit**, **cancel**,
+//! **completion-time estimation** and **waiting-list** queries (§2.1), and
+//! those are exactly the mutating/inspecting methods exposed here.
+//!
+//! ## Scheduling semantics
+//!
+//! Reservations are (re)computed in queue order from an availability
+//! [`Profile`] built from the *walltimes* of running jobs:
+//!
+//! * **FCFS** — each job is reserved at the earliest fitting instant that is
+//!   not before the previous queued job's start (start times are
+//!   non-decreasing in queue order; no back-filling).
+//! * **CBF** — each job is reserved at the earliest fitting hole given all
+//!   earlier-queued reservations (conservative back-filling: later jobs may
+//!   jump ahead in *time* but can never delay an earlier job).
+//!
+//! Early completions (the walltime over-estimation the paper exploits)
+//! invalidate the cached schedule; the next query or wake-up recomputes it,
+//! moving reservations earlier — never later.
+
+use grid_des::{Duration, SimTime};
+
+use crate::gantt::GanttEntry;
+use crate::job::{JobId, JobSpec, ScaledJob};
+use crate::platform::ClusterSpec;
+use crate::profile::Profile;
+
+/// Local batch scheduling policy (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum BatchPolicy {
+    /// First-come-first-served: "the earliest slot at the end of the job
+    /// queue" (Schwiegelshohn & Yahyapour). Default policy of PBS, SGE,
+    /// Maui.
+    Fcfs,
+    /// Conservative back-filling (Lifka): earliest slot anywhere that does
+    /// not delay any earlier-queued job. Available in Maui, LoadLeveler,
+    /// OAR.
+    Cbf,
+    /// EASY (aggressive) back-filling (Lifka's ANL/IBM SP scheduler): only
+    /// the queue *head* holds a protected reservation; any other job may
+    /// start immediately if it does not delay the head — even if that
+    /// pushes other queued jobs back. The paper's evaluation uses FCFS and
+    /// CBF; EASY is provided for the related-work ablation (Sabin et al.
+    /// found conservative back-filling superior to aggressive, §5).
+    Easy,
+}
+
+impl std::fmt::Display for BatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchPolicy::Fcfs => write!(f, "FCFS"),
+            BatchPolicy::Cbf => write!(f, "CBF"),
+            BatchPolicy::Easy => write!(f, "EASY"),
+        }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The job needs more processors than the cluster owns.
+    TooLarge {
+        /// Processors requested by the job.
+        procs: u32,
+        /// Processors the cluster owns.
+        total: u32,
+    },
+    /// A job with the same id is already queued or running here.
+    Duplicate(JobId),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::TooLarge { procs, total } => {
+                write!(f, "job needs {procs} processors, cluster has {total}")
+            }
+            SubmitError::Duplicate(id) => write!(f, "job {id} already present"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A job currently executing.
+#[derive(Debug, Clone)]
+pub struct Running {
+    /// The job.
+    pub job: JobSpec,
+    /// Durations on this cluster.
+    pub scaled: ScaledJob,
+    /// Start instant.
+    pub start: SimTime,
+    /// Actual completion instant (`start + min(runtime, walltime)`);
+    /// unknown to the scheduler until it happens.
+    pub end: SimTime,
+    /// Instant the reservation releases (`start + walltime`); what the
+    /// scheduler plans around.
+    pub reserved_end: SimTime,
+}
+
+/// A job waiting in the queue with its current reservation.
+#[derive(Debug, Clone)]
+pub struct Queued {
+    /// The job.
+    pub job: JobSpec,
+    /// Durations on this cluster.
+    pub scaled: ScaledJob,
+    /// Currently planned start (recomputed after every schedule change).
+    pub reserved_start: SimTime,
+    /// Instant this job entered this cluster's queue (queue order is
+    /// submission order to *this* cluster).
+    pub enqueued_at: SimTime,
+}
+
+/// Counters accumulated over a run (used by tests, ablations and reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Jobs accepted by `submit`.
+    pub submitted: u64,
+    /// Jobs that began executing.
+    pub started: u64,
+    /// Jobs that completed (including killed ones).
+    pub completed: u64,
+    /// Jobs that hit their walltime and were killed.
+    pub killed: u64,
+    /// Waiting jobs removed by `cancel`.
+    pub canceled: u64,
+    /// Largest queue length observed.
+    pub max_queue_len: usize,
+    /// Sum over completed jobs of `procs * (end - start)` in core-seconds.
+    pub busy_core_secs: u64,
+    /// Number of full schedule recomputations performed.
+    pub recomputes: u64,
+}
+
+/// A cluster of processors under a batch scheduler.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    policy: BatchPolicy,
+    running: Vec<Running>,
+    queue: Vec<Queued>,
+    /// Availability profile including every queued reservation; `None` when
+    /// stale (a cancel or early completion occurred).
+    profile: Option<Profile>,
+    stats: ClusterStats,
+    /// Execution history for Gantt rendering and post-run analysis.
+    history: Vec<GanttEntry>,
+    /// Scale walltimes to this cluster's speed (paper §1: "the automatic
+    /// adjustment of the walltime to the speed of the cluster"). On by
+    /// default; the A5 ablation turns it off, leaving reservations sized
+    /// for the reference machine.
+    adjust_walltime: bool,
+}
+
+impl Cluster {
+    /// Create an empty cluster.
+    pub fn new(spec: ClusterSpec, policy: BatchPolicy) -> Self {
+        Cluster {
+            spec,
+            policy,
+            running: Vec::new(),
+            queue: Vec::new(),
+            profile: None,
+            stats: ClusterStats::default(),
+            history: Vec::new(),
+            adjust_walltime: true,
+        }
+    }
+
+    /// Enable/disable walltime speed-adjustment (see the field docs).
+    ///
+    /// # Panics
+    /// Panics if jobs are already queued or running — the flag is a
+    /// configuration choice, not a runtime switch.
+    pub fn set_walltime_adjustment(&mut self, adjust: bool) {
+        assert!(
+            self.is_idle(),
+            "walltime adjustment must be configured before use"
+        );
+        self.adjust_walltime = adjust;
+    }
+
+    /// Static description (name, processors, speed).
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The local scheduling policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Number of waiting jobs.
+    pub fn waiting_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of running jobs.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// `true` when nothing is queued or running.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.running.is_empty()
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    /// Waiting jobs in queue order (paper query: "return the list of jobs
+    /// in the waiting state").
+    pub fn waiting_jobs(&self) -> impl Iterator<Item = &Queued> {
+        self.queue.iter()
+    }
+
+    /// Running jobs (no particular order guarantees beyond determinism).
+    pub fn running_jobs(&self) -> impl Iterator<Item = &Running> {
+        self.running.iter()
+    }
+
+    /// Completed-job history (start/end records) for Gantt rendering.
+    pub fn history(&self) -> &[GanttEntry] {
+        &self.history
+    }
+
+    /// The job's durations on this cluster.
+    pub fn scale_job(&self, job: &JobSpec) -> ScaledJob {
+        let mut scaled = job.scaled(self.spec.speed);
+        if !self.adjust_walltime {
+            // Reservation (and kill deadline) stay sized for the reference
+            // machine; only the physical runtime scales with speed.
+            scaled.walltime = grid_des::Duration(job.walltime_ref.as_secs().max(1));
+        }
+        scaled
+    }
+
+    // ------------------------------------------------------------------
+    // Middleware queries (paper §2.1)
+    // ------------------------------------------------------------------
+
+    /// Submit `job` at `now`; it joins the end of the queue and receives a
+    /// reservation per the local policy. Returns the reserved start.
+    pub fn submit(&mut self, job: JobSpec, now: SimTime) -> Result<SimTime, SubmitError> {
+        if job.procs > self.spec.procs {
+            return Err(SubmitError::TooLarge {
+                procs: job.procs,
+                total: self.spec.procs,
+            });
+        }
+        if job.procs == 0 {
+            return Err(SubmitError::TooLarge {
+                procs: 0,
+                total: self.spec.procs,
+            });
+        }
+        if self.find_queued(job.id).is_some() || self.find_running(job.id).is_some() {
+            return Err(SubmitError::Duplicate(job.id));
+        }
+        let scaled = self.scale_job(&job);
+        let start = match self.policy {
+            BatchPolicy::Fcfs | BatchPolicy::Cbf => {
+                // Incremental: a tail job never disturbs existing
+                // reservations under these policies.
+                self.ensure_schedule(now);
+                let start = self.place_at_tail(scaled.procs, scaled.walltime, now);
+                self.profile
+                    .as_mut()
+                    .expect("schedule just ensured")
+                    .reserve(start, scaled.walltime, scaled.procs);
+                self.queue.push(Queued {
+                    job,
+                    scaled,
+                    reserved_start: start,
+                    enqueued_at: now,
+                });
+                start
+            }
+            BatchPolicy::Easy => {
+                // Aggressive back-filling re-examines the whole queue: the
+                // new job may start immediately even when the tentative
+                // schedule says otherwise.
+                self.queue.push(Queued {
+                    job,
+                    scaled,
+                    reserved_start: SimTime::MAX,
+                    enqueued_at: now,
+                });
+                self.profile = None;
+                self.ensure_schedule(now);
+                self.queue
+                    .last()
+                    .expect("just pushed")
+                    .reserved_start
+            }
+        };
+        self.stats.submitted += 1;
+        self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len());
+        Ok(start)
+    }
+
+    /// Cancel a *waiting* job (running jobs cannot be canceled — the paper
+    /// only ever reallocates jobs "in waiting state"). Returns the job if
+    /// it was queued here.
+    pub fn cancel(&mut self, id: JobId, _now: SimTime) -> Option<JobSpec> {
+        let idx = self.find_queued(id)?;
+        let q = self.queue.remove(idx);
+        self.stats.canceled += 1;
+        // A hole opened: later reservations may move earlier.
+        self.profile = None;
+        Some(q.job)
+    }
+
+    /// Estimated completion time of a *hypothetical* submission of `job`
+    /// at `now` (dry run — nothing is mutated besides the schedule cache).
+    /// `None` when the job cannot run here at all.
+    pub fn estimate_new(&mut self, job: &JobSpec, now: SimTime) -> Option<SimTime> {
+        if job.procs > self.spec.procs || job.procs == 0 {
+            return None;
+        }
+        let scaled = self.scale_job(job);
+        self.ensure_schedule(now);
+        let start = self.place_at_tail(scaled.procs, scaled.walltime, now);
+        Some(start + scaled.walltime)
+    }
+
+    /// Estimated completion time of a job already waiting here: its current
+    /// reservation end. `None` if the job is not waiting here.
+    pub fn current_ect(&mut self, id: JobId, now: SimTime) -> Option<SimTime> {
+        self.ensure_schedule(now);
+        let idx = self.find_queued(id)?;
+        let q = &self.queue[idx];
+        Some(q.reserved_start + q.scaled.walltime)
+    }
+
+    // ------------------------------------------------------------------
+    // Simulation driving (called by the grid driver, not the middleware)
+    // ------------------------------------------------------------------
+
+    /// Earliest reserved start among waiting jobs (the instant the driver
+    /// must wake this cluster), recomputing the schedule if stale.
+    pub fn next_reservation(&mut self, now: SimTime) -> Option<SimTime> {
+        self.ensure_schedule(now);
+        self.queue.iter().map(|q| q.reserved_start).min()
+    }
+
+    /// Start every waiting job whose reservation is due at `now`; returns
+    /// `(job id, actual completion instant)` for each started job so the
+    /// driver can schedule completion events.
+    pub fn start_due(&mut self, now: SimTime) -> Vec<(JobId, SimTime)> {
+        self.ensure_schedule(now);
+        let mut started = Vec::new();
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].reserved_start == now {
+                let q = self.queue.remove(i);
+                let end = now + q.scaled.effective_runtime();
+                let reserved_end = now + q.scaled.walltime;
+                debug_assert!(end <= reserved_end);
+                self.running.push(Running {
+                    job: q.job,
+                    scaled: q.scaled,
+                    start: now,
+                    end,
+                    reserved_end,
+                });
+                self.stats.started += 1;
+                started.push((q.job.id, end));
+            } else {
+                debug_assert!(
+                    self.queue[i].reserved_start > now,
+                    "missed reservation: job {} reserved at {} < now {now}",
+                    self.queue[i].job.id,
+                    self.queue[i].reserved_start
+                );
+                i += 1;
+            }
+        }
+        // Started jobs occupy exactly the slots their reservations held, so
+        // the cached profile remains valid.
+        started
+    }
+
+    /// Record the completion of a running job at `now` (its actual end).
+    /// Returns the execution record.
+    ///
+    /// # Panics
+    /// Panics if the job is not running here or `now` differs from its
+    /// actual end.
+    pub fn complete(&mut self, id: JobId, now: SimTime) -> Running {
+        let idx = self
+            .find_running(id)
+            .unwrap_or_else(|| panic!("job {id} not running on {}", self.spec.name));
+        let r = self.running.remove(idx);
+        assert_eq!(r.end, now, "completion event fired at the wrong time");
+        self.stats.completed += 1;
+        if r.scaled.runtime >= r.scaled.walltime {
+            self.stats.killed += 1;
+        }
+        self.stats.busy_core_secs +=
+            u64::from(r.scaled.procs) * now.since(r.start).as_secs();
+        self.history.push(GanttEntry {
+            job: r.job.id,
+            procs: r.scaled.procs,
+            start: r.start,
+            end: r.end,
+        });
+        if now < r.reserved_end {
+            // Finished before its walltime: the schedule can improve.
+            self.profile = None;
+        }
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn find_queued(&self, id: JobId) -> Option<usize> {
+        self.queue.iter().position(|q| q.job.id == id)
+    }
+
+    fn find_running(&self, id: JobId) -> Option<usize> {
+        self.running.iter().position(|r| r.job.id == id)
+    }
+
+    /// Where a new tail job of `(procs, walltime)` would start, per policy,
+    /// against the *current* cached profile.
+    ///
+    /// Under EASY this is the conservative estimate (the aggressive "may
+    /// start right now" case is handled by the full recompute in `submit`).
+    fn place_at_tail(&self, procs: u32, walltime: Duration, now: SimTime) -> SimTime {
+        let profile = self.profile.as_ref().expect("ensure_schedule first");
+        let floor = match self.policy {
+            BatchPolicy::Fcfs => self
+                .queue
+                .iter()
+                .map(|q| q.reserved_start)
+                .max()
+                .map_or(now, |last| last.max(now)),
+            BatchPolicy::Cbf | BatchPolicy::Easy => now,
+        };
+        profile.earliest_fit(floor, procs, walltime)
+    }
+
+    /// Rebuild the availability profile and every queued reservation if the
+    /// cache is stale.
+    fn ensure_schedule(&mut self, now: SimTime) {
+        if let Some(p) = &self.profile {
+            if p.origin() <= now {
+                return;
+            }
+        }
+        self.stats.recomputes += 1;
+        let mut profile = Profile::flat(self.spec.procs, now);
+        for r in &self.running {
+            debug_assert!(r.reserved_end > now, "zombie running job {}", r.job.id);
+            profile.reserve(now, r.reserved_end.since(now), r.scaled.procs);
+        }
+        match self.policy {
+            BatchPolicy::Fcfs | BatchPolicy::Cbf => {
+                let mut prev_start = now;
+                for q in &mut self.queue {
+                    let floor = match self.policy {
+                        BatchPolicy::Fcfs => prev_start,
+                        _ => now,
+                    };
+                    let start = profile.earliest_fit(floor, q.scaled.procs, q.scaled.walltime);
+                    profile.reserve(start, q.scaled.walltime, q.scaled.procs);
+                    q.reserved_start = start;
+                    if self.policy == BatchPolicy::Fcfs {
+                        prev_start = start;
+                    }
+                }
+            }
+            BatchPolicy::Easy => {
+                // Head holds the only protected reservation.
+                let mut pending: Vec<usize> = Vec::new();
+                for (i, q) in self.queue.iter_mut().enumerate() {
+                    if i == 0 {
+                        let start =
+                            profile.earliest_fit(now, q.scaled.procs, q.scaled.walltime);
+                        profile.reserve(start, q.scaled.walltime, q.scaled.procs);
+                        q.reserved_start = start;
+                        continue;
+                    }
+                    // Aggressive phase: start immediately if that does not
+                    // delay the head (whose reservation is already carved
+                    // into the profile) or any already-admitted backfill.
+                    if profile.min_free(now, q.scaled.walltime) >= q.scaled.procs {
+                        profile.reserve(now, q.scaled.walltime, q.scaled.procs);
+                        q.reserved_start = now;
+                    } else {
+                        pending.push(i);
+                    }
+                }
+                // Estimation phase: tentative (unprotected) slots for the
+                // rest, so ECT queries and wake-ups have something to read.
+                for i in pending {
+                    let q = &mut self.queue[i];
+                    let start = profile.earliest_fit(now, q.scaled.procs, q.scaled.walltime);
+                    profile.reserve(start, q.scaled.walltime, q.scaled.procs);
+                    q.reserved_start = start;
+                }
+            }
+        }
+        self.profile = Some(profile);
+    }
+
+    /// Validate internal invariants (test helper): capacity is never
+    /// exceeded and FCFS starts are monotone in queue order.
+    #[doc(hidden)]
+    pub fn assert_invariants(&mut self, now: SimTime) {
+        self.ensure_schedule(now);
+        if let Some(p) = &self.profile {
+            p.assert_invariants();
+        }
+        if self.policy == BatchPolicy::Fcfs {
+            let mut prev = SimTime::ZERO;
+            for q in &self.queue {
+                assert!(
+                    q.reserved_start >= prev,
+                    "FCFS start order violated for {}",
+                    q.job.id
+                );
+                prev = q.reserved_start;
+            }
+        }
+        for q in &self.queue {
+            assert!(q.reserved_start >= now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(procs: u32, speed: f64) -> ClusterSpec {
+        ClusterSpec::new("test", procs, speed)
+    }
+
+    fn cluster(procs: u32, policy: BatchPolicy) -> Cluster {
+        Cluster::new(spec(procs, 1.0), policy)
+    }
+
+    #[test]
+    fn empty_cluster_starts_job_immediately() {
+        let mut c = cluster(8, BatchPolicy::Fcfs);
+        let start = c.submit(JobSpec::new(1, 0, 4, 50, 100), SimTime(0)).unwrap();
+        assert_eq!(start, SimTime(0));
+        let started = c.start_due(SimTime(0));
+        assert_eq!(started, vec![(JobId(1), SimTime(50))]);
+        assert_eq!(c.running_count(), 1);
+        assert_eq!(c.waiting_count(), 0);
+    }
+
+    #[test]
+    fn submit_rejects_oversized_job() {
+        let mut c = cluster(8, BatchPolicy::Fcfs);
+        let err = c.submit(JobSpec::new(1, 0, 9, 50, 100), SimTime(0)).unwrap_err();
+        assert_eq!(err, SubmitError::TooLarge { procs: 9, total: 8 });
+    }
+
+    #[test]
+    fn submit_rejects_zero_proc_job() {
+        let mut c = cluster(8, BatchPolicy::Fcfs);
+        assert!(c.submit(JobSpec::new(1, 0, 0, 50, 100), SimTime(0)).is_err());
+    }
+
+    #[test]
+    fn submit_rejects_duplicate() {
+        let mut c = cluster(8, BatchPolicy::Fcfs);
+        c.submit(JobSpec::new(1, 0, 1, 50, 100), SimTime(0)).unwrap();
+        assert_eq!(
+            c.submit(JobSpec::new(1, 0, 1, 50, 100), SimTime(0)).unwrap_err(),
+            SubmitError::Duplicate(JobId(1))
+        );
+    }
+
+    #[test]
+    fn fcfs_queues_behind_blocking_job() {
+        let mut c = cluster(8, BatchPolicy::Fcfs);
+        // Job 1 takes the whole machine for 100 s (walltime).
+        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0)).unwrap();
+        c.start_due(SimTime(0));
+        // Job 2 (large) must wait for the release.
+        let s2 = c.submit(JobSpec::new(2, 0, 6, 10, 10), SimTime(0)).unwrap();
+        assert_eq!(s2, SimTime(100));
+        // Job 3 (small, would fit *beside* job 2 but FCFS has no
+        // back-filling and also cannot start before job 2).
+        let s3 = c.submit(JobSpec::new(3, 0, 1, 5, 5), SimTime(0)).unwrap();
+        assert_eq!(s3, SimTime(100));
+    }
+
+    #[test]
+    fn fcfs_small_job_never_overtakes() {
+        let mut c = cluster(8, BatchPolicy::Fcfs);
+        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0)).unwrap();
+        c.start_due(SimTime(0));
+        // Queue a 6-proc job, then a 1-proc job: under FCFS the 1-proc job
+        // starts no earlier than the 6-proc one even though 2 procs are
+        // free... (there are 0 free here, but the invariant is the order).
+        c.submit(JobSpec::new(2, 0, 6, 50, 50), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(3, 0, 1, 5, 5), SimTime(0)).unwrap();
+        let starts: Vec<SimTime> = c.waiting_jobs().map(|q| q.reserved_start).collect();
+        assert!(starts[1] >= starts[0], "FCFS must not reorder starts");
+    }
+
+    #[test]
+    fn cbf_backfills_small_job() {
+        let mut c = cluster(8, BatchPolicy::Cbf);
+        // Running: 6 procs for 100 s.
+        c.submit(JobSpec::new(1, 0, 6, 100, 100), SimTime(0)).unwrap();
+        c.start_due(SimTime(0));
+        // Queued: needs 8 procs -> starts at 100.
+        let s2 = c.submit(JobSpec::new(2, 0, 8, 50, 50), SimTime(0)).unwrap();
+        assert_eq!(s2, SimTime(100));
+        // Small short job fits in the 2 free procs *now* without delaying
+        // job 2: back-filled at t=0.
+        let s3 = c.submit(JobSpec::new(3, 0, 2, 100, 100), SimTime(0)).unwrap();
+        assert_eq!(s3, SimTime(0));
+    }
+
+    #[test]
+    fn cbf_backfill_never_delays_earlier_jobs() {
+        let mut c = cluster(8, BatchPolicy::Cbf);
+        c.submit(JobSpec::new(1, 0, 6, 100, 100), SimTime(0)).unwrap();
+        c.start_due(SimTime(0));
+        let s2 = c.submit(JobSpec::new(2, 0, 8, 50, 50), SimTime(0)).unwrap();
+        // A 2-proc job of 150 s would overlap job 2's window if it started
+        // now (2 free procs until t=100, but job 2 needs all 8 from 100):
+        // it must NOT delay job 2, so it starts after job 2.
+        let s3 = c.submit(JobSpec::new(3, 0, 2, 150, 150), SimTime(0)).unwrap();
+        assert_eq!(s2, SimTime(100));
+        assert!(s3 >= SimTime(150), "back-fill may not delay job 2, got {s3}");
+        // Job 2's reservation is unchanged.
+        let ect2 = c.current_ect(JobId(2), SimTime(0)).unwrap();
+        assert_eq!(ect2, SimTime(150));
+    }
+
+    #[test]
+    fn early_completion_pulls_reservations_forward() {
+        let mut c = cluster(8, BatchPolicy::Fcfs);
+        // Walltime 100 but actually runs 30.
+        c.submit(JobSpec::new(1, 0, 8, 30, 100), SimTime(0)).unwrap();
+        c.start_due(SimTime(0));
+        let s2 = c.submit(JobSpec::new(2, 0, 8, 10, 10), SimTime(0)).unwrap();
+        assert_eq!(s2, SimTime(100));
+        // Job 1 completes early at t=30.
+        c.complete(JobId(1), SimTime(30));
+        let next = c.next_reservation(SimTime(30)).unwrap();
+        assert_eq!(next, SimTime(30), "queue must be pulled forward");
+        let started = c.start_due(SimTime(30));
+        assert_eq!(started, vec![(JobId(2), SimTime(40))]);
+    }
+
+    #[test]
+    fn killed_job_completes_at_walltime() {
+        let mut c = cluster(4, BatchPolicy::Fcfs);
+        // Bad job: runtime 500 > walltime 100 -> killed at 100.
+        c.submit(JobSpec::new(1, 0, 4, 500, 100), SimTime(0)).unwrap();
+        let started = c.start_due(SimTime(0));
+        assert_eq!(started, vec![(JobId(1), SimTime(100))]);
+        c.complete(JobId(1), SimTime(100));
+        assert_eq!(c.stats().killed, 1);
+        assert_eq!(c.stats().completed, 1);
+    }
+
+    #[test]
+    fn cancel_removes_waiting_job_and_frees_slot() {
+        let mut c = cluster(8, BatchPolicy::Fcfs);
+        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0)).unwrap();
+        c.start_due(SimTime(0));
+        c.submit(JobSpec::new(2, 0, 8, 50, 50), SimTime(0)).unwrap();
+        let s3 = c.submit(JobSpec::new(3, 0, 8, 50, 50), SimTime(0)).unwrap();
+        assert_eq!(s3, SimTime(150));
+        let canceled = c.cancel(JobId(2), SimTime(0)).unwrap();
+        assert_eq!(canceled.id, JobId(2));
+        // Job 3 moves up to t=100.
+        assert_eq!(c.current_ect(JobId(3), SimTime(0)), Some(SimTime(150)));
+        assert_eq!(
+            c.waiting_jobs().next().unwrap().reserved_start,
+            SimTime(100)
+        );
+        assert_eq!(c.stats().canceled, 1);
+    }
+
+    #[test]
+    fn cancel_running_or_unknown_job_returns_none() {
+        let mut c = cluster(8, BatchPolicy::Fcfs);
+        c.submit(JobSpec::new(1, 0, 4, 100, 100), SimTime(0)).unwrap();
+        c.start_due(SimTime(0));
+        assert!(c.cancel(JobId(1), SimTime(0)).is_none(), "running");
+        assert!(c.cancel(JobId(99), SimTime(0)).is_none(), "unknown");
+    }
+
+    #[test]
+    fn estimate_new_is_a_pure_dry_run() {
+        let mut c = cluster(8, BatchPolicy::Fcfs);
+        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0)).unwrap();
+        c.start_due(SimTime(0));
+        let probe = JobSpec::new(99, 0, 4, 50, 50);
+        let e1 = c.estimate_new(&probe, SimTime(0)).unwrap();
+        let e2 = c.estimate_new(&probe, SimTime(0)).unwrap();
+        assert_eq!(e1, e2, "estimation must not consume the slot");
+        assert_eq!(e1, SimTime(150));
+        assert_eq!(c.waiting_count(), 0);
+    }
+
+    #[test]
+    fn estimate_new_respects_policy() {
+        // CBF estimate can use a hole; FCFS estimate cannot.
+        let mk = |policy| {
+            let mut c = cluster(8, policy);
+            c.submit(JobSpec::new(1, 0, 6, 100, 100), SimTime(0)).unwrap();
+            c.start_due(SimTime(0));
+            c.submit(JobSpec::new(2, 0, 8, 50, 50), SimTime(0)).unwrap();
+            c
+        };
+        let probe = JobSpec::new(99, 0, 2, 100, 100);
+        let mut fcfs = mk(BatchPolicy::Fcfs);
+        let mut cbf = mk(BatchPolicy::Cbf);
+        // CBF: 2 procs free now for 100 s -> ECT 100.
+        assert_eq!(cbf.estimate_new(&probe, SimTime(0)), Some(SimTime(100)));
+        // FCFS: must queue behind job 2 (starts at 100): start 150, ECT 250.
+        assert_eq!(fcfs.estimate_new(&probe, SimTime(0)), Some(SimTime(250)));
+    }
+
+    #[test]
+    fn estimate_new_none_for_oversized() {
+        let mut c = cluster(8, BatchPolicy::Fcfs);
+        assert_eq!(c.estimate_new(&JobSpec::new(1, 0, 9, 1, 1), SimTime(0)), None);
+    }
+
+    #[test]
+    fn heterogeneous_speed_scales_walltime() {
+        let mut c = Cluster::new(spec(8, 1.2), BatchPolicy::Fcfs);
+        // walltime 3600 -> 3000 on this cluster.
+        let probe = JobSpec::new(1, 0, 4, 1200, 3600);
+        let ect = c.estimate_new(&probe, SimTime(0)).unwrap();
+        assert_eq!(ect, SimTime(3000));
+        c.submit(probe, SimTime(0)).unwrap();
+        let started = c.start_due(SimTime(0));
+        // runtime 1200 -> 1000 on this cluster.
+        assert_eq!(started, vec![(JobId(1), SimTime(1000))]);
+    }
+
+    #[test]
+    fn current_ect_tracks_schedule_changes() {
+        let mut c = cluster(8, BatchPolicy::Fcfs);
+        c.submit(JobSpec::new(1, 0, 8, 30, 100), SimTime(0)).unwrap();
+        c.start_due(SimTime(0));
+        c.submit(JobSpec::new(2, 0, 4, 20, 40), SimTime(0)).unwrap();
+        assert_eq!(c.current_ect(JobId(2), SimTime(0)), Some(SimTime(140)));
+        c.complete(JobId(1), SimTime(30));
+        assert_eq!(c.current_ect(JobId(2), SimTime(30)), Some(SimTime(70)));
+        assert_eq!(c.current_ect(JobId(99), SimTime(30)), None);
+    }
+
+    #[test]
+    fn start_due_starts_multiple_jobs_same_instant() {
+        let mut c = cluster(8, BatchPolicy::Fcfs);
+        c.submit(JobSpec::new(1, 0, 4, 10, 10), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(2, 0, 4, 20, 20), SimTime(0)).unwrap();
+        let started = c.start_due(SimTime(0));
+        assert_eq!(started.len(), 2);
+        assert_eq!(c.running_count(), 2);
+    }
+
+    #[test]
+    fn zero_runtime_job_completes_instantly() {
+        let mut c = cluster(8, BatchPolicy::Fcfs);
+        c.submit(JobSpec::new(1, 0, 1, 0, 10), SimTime(0)).unwrap();
+        let started = c.start_due(SimTime(0));
+        assert_eq!(started, vec![(JobId(1), SimTime(0))]);
+        let r = c.complete(JobId(1), SimTime(0));
+        assert_eq!(r.start, r.end);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = cluster(8, BatchPolicy::Fcfs);
+        c.submit(JobSpec::new(1, 0, 2, 10, 20), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(2, 0, 2, 10, 20), SimTime(0)).unwrap();
+        c.start_due(SimTime(0));
+        c.complete(JobId(1), SimTime(10));
+        c.complete(JobId(2), SimTime(10));
+        let s = c.stats();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.started, 2);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.busy_core_secs, 2 * 2 * 10);
+        assert_eq!(s.max_queue_len, 2);
+    }
+
+    #[test]
+    fn history_records_completed_jobs() {
+        let mut c = cluster(4, BatchPolicy::Cbf);
+        c.submit(JobSpec::new(7, 0, 2, 10, 20), SimTime(0)).unwrap();
+        c.start_due(SimTime(0));
+        c.complete(JobId(7), SimTime(10));
+        let h = c.history();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].job, JobId(7));
+        assert_eq!(h[0].start, SimTime(0));
+        assert_eq!(h[0].end, SimTime(10));
+    }
+
+    /// Drive a single cluster through a full workload with a minimal but
+    /// *correct* event loop: at every instant of interest (completion,
+    /// reservation, arrival) completions fire first, then due jobs start,
+    /// then arrivals are submitted. Returns the per-job completion times.
+    pub(crate) fn drive(c: &mut Cluster, mut arrivals: Vec<JobSpec>) -> Vec<(JobId, SimTime)> {
+        arrivals.sort_by_key(|j| (j.submit, j.id));
+        let mut arrivals = std::collections::VecDeque::from(arrivals);
+        let mut completions: Vec<(JobId, SimTime)> = Vec::new();
+        let mut done = Vec::new();
+        let mut now = SimTime::ZERO;
+        loop {
+            let next_completion = completions.iter().map(|p| p.1).min();
+            let next_arrival = arrivals.front().map(|j| j.submit);
+            let next_res = c.next_reservation(now);
+            let t = [next_completion, next_arrival, next_res]
+                .into_iter()
+                .flatten()
+                .min();
+            let Some(t) = t else { break };
+            assert!(t >= now, "time went backwards");
+            now = t;
+            let due: Vec<(JobId, SimTime)> = completions
+                .iter()
+                .filter(|p| p.1 == now)
+                .copied()
+                .collect();
+            for (id, end) in due {
+                c.complete(id, end);
+                completions.retain(|p| p.0 != id);
+                done.push((id, end));
+            }
+            while arrivals.front().is_some_and(|j| j.submit == now) {
+                let j = arrivals.pop_front().unwrap();
+                c.submit(j, now).unwrap();
+            }
+            // Start-due fixpoint: starting may (via zero-runtime jobs)
+            // complete instantly, which is handled next round since the
+            // completion is at `now` too.
+            completions.extend(c.start_due(now));
+            c.assert_invariants(now);
+        }
+        done
+    }
+
+    #[test]
+    fn invariants_hold_under_mixed_workload() {
+        for policy in [BatchPolicy::Fcfs, BatchPolicy::Cbf] {
+            let mut c = cluster(16, policy);
+            let mut x: u64 = 12345;
+            let mut submit = 0u64;
+            let mut jobs = Vec::new();
+            for i in 0..300u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let procs = ((x >> 33) % 8 + 1) as u32;
+                let rt = (x >> 13) % 300;
+                let wt = rt + (x >> 7) % 100 + 1;
+                submit += (x >> 3) % 40;
+                jobs.push(JobSpec::new(i, submit, procs, rt, wt));
+            }
+            let done = drive(&mut c, jobs);
+            assert_eq!(done.len(), 300, "all jobs must complete ({policy})");
+            assert_eq!(c.stats().completed, 300);
+            assert!(c.is_idle());
+        }
+    }
+
+    /// The canonical CBF-vs-EASY divergence: a back-fill candidate that
+    /// would delay the *second* queued job (protected under CBF, fair game
+    /// under EASY) but not the head.
+    ///
+    /// 8-proc cluster. Running: R1 (2 procs, until 1000), R2 (2 procs,
+    /// until 200). Queue: H (8 procs, reserved at 1000), A (5 procs, wt
+    /// 300 — tentatively [200, 500)), B (4 procs, wt 450).
+    fn easy_divergence_cluster(policy: BatchPolicy) -> Cluster {
+        let mut c = cluster(8, policy);
+        c.submit(JobSpec::new(100, 0, 2, 1000, 1000), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(101, 0, 2, 200, 200), SimTime(0)).unwrap();
+        c.start_due(SimTime(0));
+        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0)).unwrap(); // H
+        c.submit(JobSpec::new(2, 0, 5, 300, 300), SimTime(0)).unwrap(); // A
+        c.submit(JobSpec::new(3, 0, 4, 450, 450), SimTime(0)).unwrap(); // B
+        c
+    }
+
+    #[test]
+    fn easy_backfills_past_unprotected_reservations() {
+        let mut cbf = easy_divergence_cluster(BatchPolicy::Cbf);
+        let mut easy = easy_divergence_cluster(BatchPolicy::Easy);
+        let res = |c: &mut Cluster, id: u64| {
+            c.waiting_jobs()
+                .find(|q| q.job.id == JobId(id))
+                .map(|q| q.reserved_start)
+        };
+        // CBF: B must respect A's [200, 500) reservation -> starts at 500.
+        assert_eq!(res(&mut cbf, 2), Some(SimTime(200)), "A under CBF");
+        assert_eq!(res(&mut cbf, 3), Some(SimTime(500)), "B under CBF");
+        // EASY: B starts immediately (only the head is protected), pushing
+        // A back to 450.
+        let started = easy.start_due(SimTime(0));
+        assert!(
+            started.iter().any(|(id, _)| *id == JobId(3)),
+            "B must start right away under EASY, got {started:?}"
+        );
+        assert_eq!(res(&mut easy, 2), Some(SimTime(450)), "A delayed under EASY");
+        // The head's reservation is identical under both policies.
+        assert_eq!(res(&mut cbf, 1), Some(SimTime(1000)));
+        assert_eq!(res(&mut easy, 1), Some(SimTime(1000)));
+    }
+
+    #[test]
+    fn easy_head_is_never_delayed_by_backfills() {
+        let mut c = easy_divergence_cluster(BatchPolicy::Easy);
+        c.start_due(SimTime(0));
+        // Submit a stream of small jobs; the head's reservation must not
+        // move later.
+        for i in 0..10 {
+            c.submit(JobSpec::new(50 + i, 1, 2, 400, 400), SimTime(1)).unwrap();
+            let head = c
+                .waiting_jobs()
+                .find(|q| q.job.id == JobId(1))
+                .expect("head still queued")
+                .reserved_start;
+            assert!(head <= SimTime(1000), "head delayed to {head}");
+        }
+        c.assert_invariants(SimTime(1));
+    }
+
+    #[test]
+    fn easy_workload_conserves_jobs() {
+        let mut c = cluster(16, BatchPolicy::Easy);
+        let mut x: u64 = 777;
+        let mut submit = 0u64;
+        let mut jobs = Vec::new();
+        for i in 0..200u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let procs = ((x >> 33) % 8 + 1) as u32;
+            let rt = (x >> 13) % 300;
+            let wt = rt + (x >> 7) % 100 + 1;
+            submit += (x >> 3) % 40;
+            jobs.push(JobSpec::new(i, submit, procs, rt, wt));
+        }
+        let done = drive(&mut c, jobs);
+        assert_eq!(done.len(), 200);
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn cbf_completes_no_later_than_fcfs_on_makespan() {
+        // CBF dominates FCFS for overall throughput on this workload shape
+        // (many small jobs behind a large one).
+        let jobs = |()| {
+            vec![
+                JobSpec::new(1, 0, 16, 1000, 1000),
+                JobSpec::new(2, 1, 12, 500, 600),
+                JobSpec::new(3, 2, 2, 50, 80),
+                JobSpec::new(4, 3, 2, 50, 80),
+                JobSpec::new(5, 4, 4, 100, 150),
+            ]
+        };
+        let mut fcfs = cluster(16, BatchPolicy::Fcfs);
+        let mut cbf = cluster(16, BatchPolicy::Cbf);
+        let d_fcfs = drive(&mut fcfs, jobs(()));
+        let d_cbf = drive(&mut cbf, jobs(()));
+        let mk = |d: &[(JobId, SimTime)]| d.iter().map(|p| p.1).max().unwrap();
+        assert!(mk(&d_cbf) <= mk(&d_fcfs));
+    }
+}

@@ -1,0 +1,181 @@
+//! Rigid parallel jobs.
+//!
+//! A [`JobSpec`] is platform-independent: its runtime and walltime are
+//! expressed at the speed of the reference (slowest) cluster. A
+//! [`ScaledJob`] is the view of that job on a particular cluster, with
+//! durations divided by the cluster's speed factor.
+
+use grid_des::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Globally unique job identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// A rigid parallel job as submitted by a client (paper §3.1: "Jobs sent by
+/// the client are parallel rigid jobs with a number of processors fixed in
+/// advance").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique id.
+    pub id: JobId,
+    /// Submission instant (arrival at the meta-scheduler).
+    pub submit: SimTime,
+    /// Number of processors required for the whole execution.
+    pub procs: u32,
+    /// Actual execution time at reference speed. Unknown to the scheduler;
+    /// only used when simulating the execution itself. May exceed the
+    /// walltime ("bad" jobs of unclean PWA logs), in which case the job is
+    /// killed at its walltime.
+    pub runtime_ref: Duration,
+    /// User-supplied walltime at reference speed. The scheduler reserves
+    /// processors for exactly this long and kills the job when it elapses.
+    pub walltime_ref: Duration,
+    /// Index of the site whose trace this job came from (bookkeeping only;
+    /// the meta-scheduler decides the placement).
+    pub origin_site: u32,
+}
+
+impl JobSpec {
+    /// Convenience constructor used pervasively in tests and examples.
+    pub fn new(id: u64, submit: u64, procs: u32, runtime: u64, walltime: u64) -> Self {
+        JobSpec {
+            id: JobId(id),
+            submit: SimTime(submit),
+            procs,
+            runtime_ref: Duration(runtime),
+            walltime_ref: Duration(walltime),
+            origin_site: 0,
+        }
+    }
+
+    /// The same job with a different origin site.
+    pub fn with_origin(mut self, site: u32) -> Self {
+        self.origin_site = site;
+        self
+    }
+
+    /// View of this job on a cluster with relative speed `speed`.
+    ///
+    /// Both durations are divided by `speed` and rounded up; the walltime is
+    /// clamped to at least one second so a reservation always has positive
+    /// length.
+    pub fn scaled(&self, speed: f64) -> ScaledJob {
+        let walltime = self.walltime_ref.scale_by_speed(speed);
+        ScaledJob {
+            id: self.id,
+            procs: self.procs,
+            runtime: self.runtime_ref.scale_by_speed(speed),
+            walltime: Duration(walltime.as_secs().max(1)),
+        }
+    }
+
+    /// `true` when the job will be killed by the batch system (its real
+    /// execution time reaches its walltime). Speed scaling preserves this
+    /// property because both durations are scaled identically.
+    pub fn is_killed(&self) -> bool {
+        self.runtime_ref >= self.walltime_ref
+    }
+}
+
+/// A job's durations as seen by one particular cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaledJob {
+    /// Unique id (same as the [`JobSpec`]).
+    pub id: JobId,
+    /// Processors required.
+    pub procs: u32,
+    /// Actual execution time on this cluster.
+    pub runtime: Duration,
+    /// Reserved time on this cluster (>= 1 s).
+    pub walltime: Duration,
+}
+
+impl ScaledJob {
+    /// Time the job effectively occupies processors once started: its
+    /// runtime, cut short at the walltime (kill rule).
+    #[inline]
+    pub fn effective_runtime(&self) -> Duration {
+        Duration(self.runtime.as_secs().min(self.walltime.as_secs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_at_reference_speed_is_identity() {
+        let j = JobSpec::new(1, 0, 4, 100, 200);
+        let s = j.scaled(1.0);
+        assert_eq!(s.runtime, Duration(100));
+        assert_eq!(s.walltime, Duration(200));
+        assert_eq!(s.procs, 4);
+    }
+
+    #[test]
+    fn scaled_divides_and_rounds_up() {
+        let j = JobSpec::new(1, 0, 4, 100, 3600);
+        let s = j.scaled(1.2);
+        assert_eq!(s.runtime, Duration(84)); // ceil(100/1.2) = 84
+        assert_eq!(s.walltime, Duration(3000));
+    }
+
+    #[test]
+    fn scaled_walltime_clamped_to_one() {
+        let j = JobSpec::new(1, 0, 1, 0, 1);
+        let s = j.scaled(1.4);
+        assert_eq!(s.walltime, Duration(1));
+        assert_eq!(s.runtime, Duration(0));
+    }
+
+    #[test]
+    fn effective_runtime_capped_by_walltime() {
+        // "Bad" job: runs longer than its walltime -> killed.
+        let j = JobSpec::new(1, 0, 1, 500, 300);
+        assert!(j.is_killed());
+        assert_eq!(j.scaled(1.0).effective_runtime(), Duration(300));
+        // Normal job.
+        let j2 = JobSpec::new(2, 0, 1, 100, 300);
+        assert!(!j2.is_killed());
+        assert_eq!(j2.scaled(1.0).effective_runtime(), Duration(100));
+    }
+
+    #[test]
+    fn kill_property_preserved_by_scaling() {
+        let bad = JobSpec::new(1, 0, 1, 301, 300);
+        for speed in [1.0, 1.2, 1.4, 2.0] {
+            let s = bad.scaled(speed);
+            assert!(
+                s.runtime >= s.walltime,
+                "bad job must stay killed at speed {speed}"
+            );
+        }
+        let good = JobSpec::new(2, 0, 1, 299, 300);
+        // A strictly-shorter runtime can tie after ceil-rounding but the
+        // effective runtime still never exceeds the walltime.
+        for speed in [1.0, 1.2, 1.4, 2.0] {
+            let s = good.scaled(speed);
+            assert!(s.effective_runtime() <= s.walltime);
+        }
+    }
+
+    #[test]
+    fn with_origin_sets_site() {
+        let j = JobSpec::new(1, 0, 1, 1, 1).with_origin(2);
+        assert_eq!(j.origin_site, 2);
+    }
+
+    #[test]
+    fn job_id_displays() {
+        assert_eq!(JobId(42).to_string(), "j42");
+    }
+}

@@ -1,0 +1,184 @@
+//! Multi-cluster platforms.
+//!
+//! The paper evaluates two three-site platforms (§3.2), each in a
+//! homogeneous variant (equal processor speeds) and a heterogeneous variant
+//! (speed-ups of 20% and 40% over the slowest site):
+//!
+//! | Platform | Site 0 | Site 1 | Site 2 |
+//! |---|---|---|---|
+//! | 1 (Grid'5000) | Bordeaux, 640 cores, ×1.0 | Lyon, 270 cores, ×1.2 | Toulouse, 434 cores, ×1.4 |
+//! | 2 (G5K + PWA) | Bordeaux, 640 cores, ×1.0 | CTC, 430 cores, ×1.2 | SDSC, 128 cores, ×1.4 |
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of one cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Human-readable site name.
+    pub name: String,
+    /// Number of processors (cores).
+    pub procs: u32,
+    /// Relative speed: 1.0 is the reference (slowest) site; 1.2 runs every
+    /// job 20% faster.
+    pub speed: f64,
+}
+
+impl ClusterSpec {
+    /// Build a spec; `speed` must be finite and >= some positive value.
+    ///
+    /// # Panics
+    /// Panics on a non-positive processor count or invalid speed.
+    pub fn new(name: impl Into<String>, procs: u32, speed: f64) -> Self {
+        assert!(procs > 0, "a cluster needs at least one processor");
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "speed must be finite and positive"
+        );
+        ClusterSpec {
+            name: name.into(),
+            procs,
+            speed,
+        }
+    }
+}
+
+/// An ordered set of clusters forming the grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Descriptive name (used in reports).
+    pub name: String,
+    /// The member clusters, in site-index order.
+    pub clusters: Vec<ClusterSpec>,
+}
+
+impl Platform {
+    /// Build a platform from cluster specs.
+    ///
+    /// # Panics
+    /// Panics if `clusters` is empty.
+    pub fn new(name: impl Into<String>, clusters: Vec<ClusterSpec>) -> Self {
+        assert!(!clusters.is_empty(), "a platform needs at least one cluster");
+        Platform {
+            name: name.into(),
+            clusters,
+        }
+    }
+
+    /// Total processors across all clusters.
+    pub fn total_procs(&self) -> u32 {
+        self.clusters.iter().map(|c| c.procs).sum()
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// `true` when the platform has no clusters (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// `true` when every cluster runs at the same speed.
+    pub fn is_homogeneous(&self) -> bool {
+        self.clusters
+            .windows(2)
+            .all(|w| (w[0].speed - w[1].speed).abs() < f64::EPSILON)
+    }
+
+    /// Paper platform 1: the three Grid'5000 sites (§3.2).
+    ///
+    /// `heterogeneous = false` sets all speeds to 1.0 ("clusters are similar
+    /// in processor speed, but not in number of processors").
+    pub fn grid5000(heterogeneous: bool) -> Platform {
+        let (s1, s2) = if heterogeneous { (1.2, 1.4) } else { (1.0, 1.0) };
+        Platform::new(
+            if heterogeneous {
+                "grid5000-het"
+            } else {
+                "grid5000-hom"
+            },
+            vec![
+                ClusterSpec::new("Bordeaux", 640, 1.0),
+                ClusterSpec::new("Lyon", 270, s1),
+                ClusterSpec::new("Toulouse", 434, s2),
+            ],
+        )
+    }
+
+    /// Paper platform 2: Bordeaux (Grid'5000) + CTC and SDSC (Parallel
+    /// Workload Archive) (§3.2).
+    pub fn pwa_g5k(heterogeneous: bool) -> Platform {
+        let (s1, s2) = if heterogeneous { (1.2, 1.4) } else { (1.0, 1.0) };
+        Platform::new(
+            if heterogeneous {
+                "pwa-g5k-het"
+            } else {
+                "pwa-g5k-hom"
+            },
+            vec![
+                ClusterSpec::new("Bordeaux", 640, 1.0),
+                ClusterSpec::new("CTC", 430, s1),
+                ClusterSpec::new("SDSC", 128, s2),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid5000_matches_paper_core_counts() {
+        let p = Platform::grid5000(true);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.clusters[0].name, "Bordeaux");
+        assert_eq!(p.clusters[0].procs, 640);
+        assert_eq!(p.clusters[1].name, "Lyon");
+        assert_eq!(p.clusters[1].procs, 270);
+        assert_eq!(p.clusters[2].name, "Toulouse");
+        assert_eq!(p.clusters[2].procs, 434);
+        assert_eq!(p.total_procs(), 640 + 270 + 434);
+    }
+
+    #[test]
+    fn grid5000_heterogeneous_speeds() {
+        let p = Platform::grid5000(true);
+        assert_eq!(p.clusters[0].speed, 1.0);
+        assert_eq!(p.clusters[1].speed, 1.2);
+        assert_eq!(p.clusters[2].speed, 1.4);
+        assert!(!p.is_homogeneous());
+    }
+
+    #[test]
+    fn grid5000_homogeneous_speeds() {
+        let p = Platform::grid5000(false);
+        assert!(p.is_homogeneous());
+        assert!(p.clusters.iter().all(|c| c.speed == 1.0));
+    }
+
+    #[test]
+    fn pwa_g5k_matches_paper() {
+        let p = Platform::pwa_g5k(true);
+        assert_eq!(p.clusters[0].procs, 640);
+        assert_eq!(p.clusters[1].name, "CTC");
+        assert_eq!(p.clusters[1].procs, 430);
+        assert_eq!(p.clusters[1].speed, 1.2);
+        assert_eq!(p.clusters[2].name, "SDSC");
+        assert_eq!(p.clusters[2].procs, 128);
+        assert_eq!(p.clusters[2].speed, 1.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_proc_cluster_rejected() {
+        let _ = ClusterSpec::new("bad", 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn empty_platform_rejected() {
+        let _ = Platform::new("bad", vec![]);
+    }
+}

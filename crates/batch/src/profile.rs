@@ -1,0 +1,360 @@
+//! Processor availability profiles.
+//!
+//! A [`Profile`] is a step function mapping simulated time to the number of
+//! free processors, starting at some horizon (usually "now") and extending
+//! to infinity. It is the data structure both batch policies are built on:
+//! FCFS and CBF differ only in *where* they look for a hole, not in how
+//! holes are found.
+//!
+//! The representation is a sorted vector of breakpoints `(t, free)`: `free`
+//! processors are available from `t` (inclusive) until the next breakpoint
+//! (exclusive); the last breakpoint extends to infinity.
+
+use grid_des::{Duration, SimTime};
+
+/// Step function of free processors over time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Breakpoints, strictly increasing in time. Invariant: non-empty.
+    points: Vec<(SimTime, u32)>,
+    /// Total processors of the underlying cluster (upper bound of `free`).
+    total: u32,
+}
+
+impl Profile {
+    /// A profile with all `total` processors free from `origin` onwards.
+    pub fn flat(total: u32, origin: SimTime) -> Self {
+        Profile {
+            points: vec![(origin, total)],
+            total,
+        }
+    }
+
+    /// Total processors of the underlying cluster.
+    #[inline]
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Time of the first breakpoint (the horizon the profile starts at).
+    pub fn origin(&self) -> SimTime {
+        self.points[0].0
+    }
+
+    /// Number of breakpoints (size of the representation).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `false` — a profile always has at least one breakpoint.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Free processors at instant `t` (clamped to the profile origin).
+    pub fn free_at(&self, t: SimTime) -> u32 {
+        match self.points.binary_search_by_key(&t, |p| p.0) {
+            Ok(i) => self.points[i].1,
+            Err(0) => self.points[0].1,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Minimum number of free processors over `[start, start + dur)`.
+    /// A zero-length window reads the instant `start`.
+    pub fn min_free(&self, start: SimTime, dur: Duration) -> u32 {
+        if dur == Duration::ZERO {
+            return self.free_at(start);
+        }
+        let end = start + dur;
+        let mut i = match self.points.binary_search_by_key(&start, |p| p.0) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let mut m = u32::MAX;
+        while i < self.points.len() && self.points[i].0 < end {
+            m = m.min(self.points[i].1);
+            i += 1;
+        }
+        m
+    }
+
+    /// Remove `procs` processors from the free pool over
+    /// `[start, start + dur)`.
+    ///
+    /// # Panics
+    /// Panics if the reservation would make the free count negative
+    /// anywhere in the window, or if `start` precedes the profile origin.
+    pub fn reserve(&mut self, start: SimTime, dur: Duration, procs: u32) {
+        if dur == Duration::ZERO || procs == 0 {
+            return;
+        }
+        assert!(
+            start >= self.origin(),
+            "reservation at {start} before profile origin {}",
+            self.origin()
+        );
+        let end = start + dur;
+        let si = self.ensure_breakpoint(start);
+        let ei = self.ensure_breakpoint(end);
+        for p in &mut self.points[si..ei] {
+            assert!(
+                p.1 >= procs,
+                "over-reservation: {} procs free at {}, need {procs}",
+                p.1,
+                p.0
+            );
+            p.1 -= procs;
+        }
+        self.coalesce();
+    }
+
+    /// Earliest `t >= after` such that at least `procs` processors are free
+    /// for the whole window `[t, t + dur)`. Always succeeds provided
+    /// `procs <= total` (the tail of the profile is eventually free).
+    ///
+    /// # Panics
+    /// Panics if `procs > total` or `dur == 0`.
+    pub fn earliest_fit(&self, after: SimTime, procs: u32, dur: Duration) -> SimTime {
+        assert!(
+            procs <= self.total,
+            "job needs {procs} procs, cluster has {}",
+            self.total
+        );
+        assert!(dur > Duration::ZERO, "placement window must be non-empty");
+        let after = after.max(self.origin());
+        let n = self.points.len();
+        // Index of the segment containing `after`.
+        let mut i = match self.points.binary_search_by_key(&after, |p| p.0) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let mut cand = after;
+        'outer: loop {
+            // Advance to the first segment at or after `cand` with room.
+            while i < n && self.points[i].1 < procs {
+                i += 1;
+            }
+            if i >= n {
+                // Unreachable in practice (the tail is fully free), but be
+                // safe: the last breakpoint always has `free == total`.
+                unreachable!("profile tail must have free >= procs");
+            }
+            cand = cand.max(self.points[i].0);
+            // Verify the whole window [cand, cand + dur).
+            let end = cand + dur;
+            let mut j = i;
+            while j < n && self.points[j].0 < end {
+                if self.points[j].1 < procs {
+                    // Blocked: restart just after the blocking segment.
+                    i = j;
+                    cand = if j + 1 < n { self.points[j + 1].0 } else { end };
+                    continue 'outer;
+                }
+                j += 1;
+            }
+            return cand;
+        }
+    }
+
+    /// The breakpoints as a slice (for rendering and tests).
+    pub fn points(&self) -> &[(SimTime, u32)] {
+        &self.points
+    }
+
+    /// Insert a breakpoint at `t` (if absent) and return its index.
+    fn ensure_breakpoint(&mut self, t: SimTime) -> usize {
+        match self.points.binary_search_by_key(&t, |p| p.0) {
+            Ok(i) => i,
+            Err(0) => {
+                // `t` before origin: callers guard against this.
+                unreachable!("breakpoint before profile origin");
+            }
+            Err(i) => {
+                let free = self.points[i - 1].1;
+                self.points.insert(i, (t, free));
+                i
+            }
+        }
+    }
+
+    /// Merge adjacent breakpoints with equal free counts.
+    fn coalesce(&mut self) {
+        self.points.dedup_by(|next, prev| next.1 == prev.1);
+    }
+
+    /// Check internal invariants (test helper).
+    #[doc(hidden)]
+    pub fn assert_invariants(&self) {
+        assert!(!self.points.is_empty(), "profile must be non-empty");
+        for w in self.points.windows(2) {
+            assert!(w[0].0 < w[1].0, "breakpoints must strictly increase");
+        }
+        for p in &self.points {
+            assert!(p.1 <= self.total, "free exceeds total at {}", p.0);
+        }
+        assert_eq!(
+            self.points.last().unwrap().1,
+            self.total,
+            "profile tail must be fully free"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime(s)
+    }
+    fn d(s: u64) -> Duration {
+        Duration(s)
+    }
+
+    #[test]
+    fn flat_profile_is_all_free() {
+        let p = Profile::flat(8, t(100));
+        assert_eq!(p.free_at(t(100)), 8);
+        assert_eq!(p.free_at(t(1_000_000)), 8);
+        assert_eq!(p.total(), 8);
+        assert_eq!(p.origin(), t(100));
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn free_at_before_origin_clamps() {
+        let p = Profile::flat(8, t(100));
+        assert_eq!(p.free_at(t(0)), 8);
+    }
+
+    #[test]
+    fn reserve_carves_a_window() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(10), d(5), 3);
+        assert_eq!(p.free_at(t(9)), 8);
+        assert_eq!(p.free_at(t(10)), 5);
+        assert_eq!(p.free_at(t(14)), 5);
+        assert_eq!(p.free_at(t(15)), 8);
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn overlapping_reservations_stack() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(0), d(10), 4);
+        p.reserve(t(5), d(10), 4);
+        assert_eq!(p.free_at(t(0)), 4);
+        assert_eq!(p.free_at(t(5)), 0);
+        assert_eq!(p.free_at(t(9)), 0);
+        assert_eq!(p.free_at(t(10)), 4);
+        assert_eq!(p.free_at(t(15)), 8);
+        p.assert_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "over-reservation")]
+    fn reserve_rejects_overflow() {
+        let mut p = Profile::flat(4, t(0));
+        p.reserve(t(0), d(10), 3);
+        p.reserve(t(5), d(2), 3);
+    }
+
+    #[test]
+    fn reserve_zero_len_or_zero_procs_is_noop() {
+        let mut p = Profile::flat(4, t(0));
+        p.reserve(t(5), Duration::ZERO, 3);
+        p.reserve(t(5), d(10), 0);
+        assert_eq!(p, Profile::flat(4, t(0)));
+    }
+
+    #[test]
+    fn earliest_fit_on_empty_cluster_is_immediate() {
+        let p = Profile::flat(8, t(50));
+        assert_eq!(p.earliest_fit(t(60), 8, d(100)), t(60));
+        // `after` before origin clamps to origin.
+        assert_eq!(p.earliest_fit(t(0), 1, d(1)), t(50));
+    }
+
+    #[test]
+    fn earliest_fit_waits_for_release() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(0), d(100), 6);
+        // 3 procs don't fit until t=100.
+        assert_eq!(p.earliest_fit(t(0), 3, d(10)), t(100));
+        // 2 procs fit right away.
+        assert_eq!(p.earliest_fit(t(0), 2, d(10)), t(0));
+    }
+
+    #[test]
+    fn earliest_fit_finds_hole_between_reservations() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(0), d(10), 8); // busy [0,10)
+        p.reserve(t(20), d(10), 8); // busy [20,30)
+        // A 10s window fits exactly in the hole [10,20).
+        assert_eq!(p.earliest_fit(t(0), 4, d(10)), t(10));
+        // An 11s window must wait until t=30.
+        assert_eq!(p.earliest_fit(t(0), 4, d(11)), t(30));
+    }
+
+    #[test]
+    fn earliest_fit_respects_after() {
+        let p = Profile::flat(8, t(0));
+        assert_eq!(p.earliest_fit(t(500), 1, d(1)), t(500));
+    }
+
+    #[test]
+    fn earliest_fit_window_straddles_segments() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(10), d(10), 5); // [10,20): 3 free
+        // 3-proc job of 15s starting at 5 covers [5,20): min free = 3 -> ok.
+        assert_eq!(p.earliest_fit(t(5), 3, d(15)), t(5));
+        // 4-proc job of 15s can't overlap [10,20); must start at 20.
+        assert_eq!(p.earliest_fit(t(5), 4, d(15)), t(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster has")]
+    fn earliest_fit_rejects_oversized_job() {
+        let p = Profile::flat(4, t(0));
+        let _ = p.earliest_fit(t(0), 5, d(1));
+    }
+
+    #[test]
+    fn min_free_over_window() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(10), d(10), 5);
+        assert_eq!(p.min_free(t(0), d(10)), 8); // [0,10) untouched
+        assert_eq!(p.min_free(t(0), d(11)), 3); // touches the dip
+        assert_eq!(p.min_free(t(10), d(5)), 3);
+        assert_eq!(p.min_free(t(20), d(100)), 8);
+        assert_eq!(p.min_free(t(15), Duration::ZERO), 3);
+    }
+
+    #[test]
+    fn coalesce_merges_back_to_back_equal_segments() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(0), d(10), 4);
+        p.reserve(t(10), d(10), 4);
+        // [0,20) at 4 free should be a single segment.
+        assert_eq!(p.points().len(), 2);
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn dense_random_reservations_keep_invariants() {
+        // Deterministic pseudo-random stress: pack many small reservations.
+        let mut p = Profile::flat(16, t(0));
+        let mut x: u64 = 0x243F_6A88_85A3_08D3;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let procs = (x >> 33) as u32 % 4 + 1;
+            let dur = d((x >> 17) % 50 + 1);
+            let start = p.earliest_fit(t(x % 1000), procs, dur);
+            p.reserve(start, dur, procs);
+            p.assert_invariants();
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! End-to-end simulation throughput and the figure pipelines.
+//!
+//! Benchmarks whole-scenario simulations (5% of the January/April traces)
+//! with and without reallocation, plus the Figure 1/2 generation — the
+//! macro paths a user of the library exercises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grid_batch::BatchPolicy;
+use grid_realloc::experiments::{run_one, SuiteConfig};
+use grid_realloc::figures::{figure1, figure2};
+use grid_realloc::{Heuristic, ReallocAlgorithm, ReallocConfig};
+use grid_workload::Scenario;
+use std::hint::black_box;
+
+fn end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.sample_size(10);
+    let suite = SuiteConfig {
+        fraction: 0.05,
+        ..SuiteConfig::default()
+    };
+    for scenario in [Scenario::Jan, Scenario::Apr] {
+        g.bench_function(BenchmarkId::new("baseline", scenario.label()), |b| {
+            b.iter(|| {
+                black_box(run_one(
+                    black_box(scenario),
+                    true,
+                    BatchPolicy::Cbf,
+                    None,
+                    &suite,
+                ))
+            })
+        });
+        for (label, algo) in [
+            ("no-cancel", ReallocAlgorithm::NoCancel),
+            ("cancel-all", ReallocAlgorithm::CancelAll),
+        ] {
+            g.bench_function(BenchmarkId::new(label, scenario.label()), |b| {
+                b.iter(|| {
+                    black_box(run_one(
+                        black_box(scenario),
+                        true,
+                        BatchPolicy::Cbf,
+                        Some(ReallocConfig::new(algo, Heuristic::MinMin)),
+                        &suite,
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn figure_pipelines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.bench_function("figure1", |b| b.iter(|| black_box(figure1())));
+    g.bench_function("figure2", |b| b.iter(|| black_box(figure2())));
+    g.finish();
+}
+
+criterion_group!(benches, end_to_end, figure_pipelines);
+criterion_main!(benches);

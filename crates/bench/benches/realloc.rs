@@ -1,0 +1,63 @@
+//! Cost of one reallocation event (§2.2 complexity claims).
+//!
+//! MCT examines each waiting job once (O(n) estimates); the offline
+//! heuristics re-rank the remaining set after every decision (O(n²)
+//! semantics, memoised per cluster by the `EctView`). These benches measure
+//! one tick over a three-cluster grid with an imbalanced queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grid_batch::{BatchPolicy, Cluster, ClusterSpec, JobSpec};
+use grid_des::SimTime;
+use grid_realloc::realloc::{run_tick, ReallocConfig};
+use grid_realloc::{Heuristic, ReallocAlgorithm};
+use std::hint::black_box;
+
+/// Three clusters: cluster 0 heavily queued, clusters 1-2 lightly loaded —
+/// the state that makes a reallocation event do real work.
+fn imbalanced_grid(queue_depth: usize) -> Vec<Cluster> {
+    let mut c0 = Cluster::new(ClusterSpec::new("c0", 640, 1.0), BatchPolicy::Fcfs);
+    let mut c1 = Cluster::new(ClusterSpec::new("c1", 270, 1.2), BatchPolicy::Fcfs);
+    let mut c2 = Cluster::new(ClusterSpec::new("c2", 434, 1.4), BatchPolicy::Fcfs);
+    c0.submit(JobSpec::new(1_000_000, 0, 640, 40_000, 40_000), SimTime(0)).unwrap();
+    c0.start_due(SimTime(0));
+    c1.submit(JobSpec::new(1_000_001, 0, 270, 2_000, 4_000), SimTime(0)).unwrap();
+    c1.start_due(SimTime(0));
+    c2.submit(JobSpec::new(1_000_002, 0, 434, 3_000, 6_000), SimTime(0)).unwrap();
+    c2.start_due(SimTime(0));
+    for i in 0..queue_depth {
+        let p = (i as u32 % 64) + 1;
+        let wt = 600 + (i as u64 % 11) * 300;
+        c0.submit(JobSpec::new(i as u64, i as u64, p, wt - 30, wt), SimTime(i as u64))
+            .unwrap();
+    }
+    vec![c0, c1, c2]
+}
+
+fn tick_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("realloc_tick");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.sample_size(10);
+    for algorithm in ReallocAlgorithm::ALL {
+        for heuristic in [Heuristic::Mct, Heuristic::MinMin, Heuristic::Sufferage] {
+            for &depth in &[50usize, 200] {
+                let grid = imbalanced_grid(depth);
+                let cfg = ReallocConfig::new(algorithm, heuristic);
+                g.bench_function(
+                    BenchmarkId::new(format!("{algorithm}/{heuristic}"), depth),
+                    |b| {
+                        b.iter_batched(
+                            || grid.clone(),
+                            |mut grid| black_box(run_tick(&mut grid, &cfg, SimTime(10_000))),
+                            criterion::BatchSize::SmallInput,
+                        )
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, tick_cost);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the batch substrate: availability-profile
+//! operations and cluster queries under FCFS and CBF.
+//!
+//! These are the operations every simulated second is made of; the paper's
+//! §2.2.2 complexity discussion (O(n) online vs O(n²) offline) rests on the
+//! per-query cost measured here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grid_batch::{BatchPolicy, JobSpec, Profile};
+use grid_bench::loaded_cluster;
+use grid_des::{Duration, SimTime};
+use std::hint::black_box;
+
+fn profile_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profile");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for &segments in &[10usize, 100, 1_000] {
+        // Build a profile with ~`segments` breakpoints.
+        let mut p = Profile::flat(1_024, SimTime(0));
+        for i in 0..segments as u64 {
+            p.reserve(SimTime(i * 100), Duration(50), 4);
+        }
+        g.bench_with_input(
+            BenchmarkId::new("earliest_fit", segments),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    black_box(p.earliest_fit(black_box(SimTime(0)), 512, Duration(1_000)))
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("min_free", segments), &p, |b, p| {
+            b.iter(|| black_box(p.min_free(black_box(SimTime(0)), Duration(100_000))))
+        });
+    }
+    g.finish();
+}
+
+fn cluster_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for policy in [BatchPolicy::Fcfs, BatchPolicy::Cbf] {
+        for &depth in &[10usize, 100, 500] {
+            let cluster = loaded_cluster(640, policy, depth);
+            let probe = JobSpec::new(9_999_999, 0, 16, 3_000, 3_600);
+            g.bench_function(BenchmarkId::new(format!("estimate_new/{policy}"), depth), |b| {
+                let mut cl = cluster.clone();
+                b.iter(|| black_box(cl.estimate_new(&probe, SimTime(1_000))))
+            });
+            g.bench_function(
+                BenchmarkId::new(format!("submit_cancel/{policy}"), depth),
+                |b| {
+                    let mut cl = cluster.clone();
+                    b.iter(|| {
+                        cl.submit(probe, SimTime(1_000)).expect("fits");
+                        cl.cancel(probe.id, SimTime(1_000)).expect("queued");
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn schedule_recompute(c: &mut Criterion) {
+    // Cost of the full requeue recomputation after an early completion.
+    let mut g = c.benchmark_group("recompute");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.sample_size(20);
+    for policy in [BatchPolicy::Fcfs, BatchPolicy::Cbf] {
+        for &depth in &[100usize, 500] {
+            g.bench_function(BenchmarkId::new(policy.to_string(), depth), |b| {
+                b.iter_batched(
+                    || {
+                        let mut cl = loaded_cluster(640, policy, depth);
+                        // A second running job that will complete early.
+                        cl.cancel(grid_batch::JobId(0), SimTime(10));
+                        cl
+                    },
+                    |mut cl| {
+                        // The cancel above invalidated the schedule; this
+                        // query triggers the O(Q*S) recompute.
+                        black_box(cl.next_reservation(SimTime(10)));
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, profile_ops, cluster_queries, schedule_recompute);
+criterion_main!(benches);

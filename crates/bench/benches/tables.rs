@@ -1,0 +1,50 @@
+//! One benchmark per paper table (Tables 2–17), each timing the exact
+//! experiment set that regenerates that table at smoke scale (1% of the
+//! Table 1 job counts, June column).
+//!
+//! The full-scale tables are produced by the `tables` binary
+//! (`cargo run --release -p grid-bench --bin tables`); these benches keep
+//! every table's pipeline exercised and timed under `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grid_realloc::experiments::{run_suite, table1, table_number, Metric, SuiteConfig};
+use grid_realloc::ReallocAlgorithm;
+use grid_workload::Scenario;
+use std::hint::black_box;
+
+fn all_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.sample_size(10);
+    g.bench_function("table01", |b| b.iter(|| black_box(table1())));
+    let scenarios = [Scenario::Jun];
+    let suite = SuiteConfig::smoke();
+    for heterogeneous in [false, true] {
+        // The suite run is shared by 8 tables; benchmark it once per
+        // heterogeneity level, then each table's extraction on top.
+        let results = run_suite(heterogeneous, &scenarios, &suite);
+        for algorithm in ReallocAlgorithm::ALL {
+            for metric in Metric::ALL {
+                let n = table_number(algorithm, metric, heterogeneous);
+                g.bench_function(format!("table{n:02}"), |b| {
+                    b.iter(|| black_box(results.table(algorithm, metric, &scenarios)))
+                });
+            }
+        }
+    }
+    // The underlying simulation cost, per heterogeneity level.
+    for heterogeneous in [false, true] {
+        g.bench_function(
+            format!(
+                "suite_smoke_{}",
+                if heterogeneous { "het" } else { "hom" }
+            ),
+            |b| b.iter(|| black_box(run_suite(heterogeneous, &scenarios, &suite))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, all_tables);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerate the paper's Figures 1 and 2 as ASCII Gantt charts.
+//!
+//! ```text
+//! cargo run --release -p grid-bench --bin figures -- [--figure 1|2]
+//! ```
+//!
+//! Without options, both figures are printed. Each figure is produced by an
+//! actual pair of simulations (without / with reallocation), not drawn by
+//! hand — see `grid_realloc::figures` for the workloads.
+
+use grid_realloc::figures::{figure1, figure2};
+
+fn main() {
+    let mut which: Option<u32> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--figure" => {
+                let v = args.next().expect("--figure needs 1 or 2");
+                which = Some(v.parse().expect("invalid figure number"));
+            }
+            "--help" | "-h" => {
+                println!("usage: figures [--figure 1|2]");
+                return;
+            }
+            other => panic!("unknown option {other:?}"),
+        }
+    }
+    match which {
+        Some(1) => print!("{}", figure1()),
+        Some(2) => print!("{}", figure2()),
+        Some(n) => panic!("no figure {n}; the paper has figures 1 and 2"),
+        None => {
+            print!("{}", figure1());
+            println!();
+            print!("{}", figure2());
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Shared helpers for the grid-bench benchmarks and binaries.
+
+use grid_batch::{BatchPolicy, Cluster, ClusterSpec, JobSpec};
+use grid_des::SimTime;
+
+/// Build a cluster pre-loaded with `queue_depth` waiting jobs behind a
+/// long-running full-width job — the canonical state a reallocation event
+/// observes.
+pub fn loaded_cluster(procs: u32, policy: BatchPolicy, queue_depth: usize) -> Cluster {
+    let mut c = Cluster::new(ClusterSpec::new("bench", procs, 1.0), policy);
+    c.submit(JobSpec::new(1_000_000, 0, procs, 50_000, 50_000), SimTime(0))
+        .expect("blocker fits");
+    c.start_due(SimTime(0));
+    for i in 0..queue_depth {
+        // Mixed shapes: sizes 1..procs/4, walltimes 10-70 min.
+        let p = (i as u32 % (procs / 4).max(1)) + 1;
+        let wt = 600 + (i as u64 % 7) * 600;
+        c.submit(
+            JobSpec::new(i as u64, i as u64, p, wt - 60, wt),
+            SimTime(i as u64),
+        )
+        .expect("bench job fits");
+    }
+    c
+}
+
+/// A deterministic mixed job list for micro benches.
+pub fn bench_jobs(n: usize, max_procs: u32) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| {
+            let p = (i as u32 * 7 % max_procs.max(1)) + 1;
+            let rt = 300 + (i as u64 * 131) % 7_000;
+            JobSpec::new(i as u64, (i as u64) * 13, p.min(max_procs), rt, rt + 600)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loaded_cluster_has_requested_depth() {
+        let c = loaded_cluster(64, BatchPolicy::Fcfs, 50);
+        assert_eq!(c.waiting_count(), 50);
+        assert_eq!(c.running_count(), 1);
+    }
+
+    #[test]
+    fn bench_jobs_fit() {
+        for j in bench_jobs(100, 16) {
+            assert!(j.procs >= 1 && j.procs <= 16);
+            assert!(j.walltime_ref > j.runtime_ref);
+        }
+    }
+}

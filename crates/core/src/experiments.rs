@@ -1,0 +1,519 @@
+//! The paper's experiment grid (§4) and table builders.
+//!
+//! 364 experiments: 7 traces × {homogeneous, heterogeneous} × {FCFS, CBF}
+//! gives 28 *reference* runs without reallocation; each is then re-run
+//! under 2 reallocation algorithms × 6 heuristics (336 runs). Tables 2–17
+//! are four metrics × two algorithms × two heterogeneity levels.
+//!
+//! Runs are independent, so the suite executes them on a rayon thread
+//! pool; everything stays deterministic per `(scenario, seed)`.
+
+use std::collections::HashMap;
+
+use grid_batch::{BatchPolicy, Platform};
+use grid_des::Duration;
+use grid_metrics::{Comparison, PaperTable, RunOutcome};
+use grid_workload::Scenario;
+use rayon::prelude::*;
+
+use crate::grid::{GridConfig, GridSim};
+use crate::heuristics::Heuristic;
+use crate::realloc::{ReallocAlgorithm, ReallocConfig};
+
+/// Which §3.4 metric a table reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// % of jobs whose completion time changed (Tables 2, 3, 10, 11).
+    PctImpacted,
+    /// Number of reallocations (Tables 4, 5, 12, 13).
+    Reallocations,
+    /// % of impacted jobs finishing earlier (Tables 6, 7, 14, 15).
+    PctEarlier,
+    /// Relative average response time (Tables 8, 9, 16, 17).
+    RelAvgResponse,
+}
+
+impl Metric {
+    /// All metrics, in the paper's table order.
+    pub const ALL: [Metric; 4] = [
+        Metric::PctImpacted,
+        Metric::Reallocations,
+        Metric::PctEarlier,
+        Metric::RelAvgResponse,
+    ];
+
+    /// Extract the metric value from a comparison.
+    pub fn of(self, c: &Comparison) -> f64 {
+        match self {
+            Metric::PctImpacted => c.pct_impacted,
+            Metric::Reallocations => c.reallocations as f64,
+            Metric::PctEarlier => c.pct_earlier,
+            Metric::RelAvgResponse => c.rel_avg_response,
+        }
+    }
+
+    /// Does the paper's table carry an AVG column for this metric?
+    /// (The reallocation-count tables 4/5/12/13 do not.)
+    pub fn has_avg(self) -> bool {
+        !matches!(self, Metric::Reallocations)
+    }
+
+    /// Decimal places used in the paper.
+    pub fn decimals(self) -> usize {
+        match self {
+            Metric::Reallocations => 0,
+            _ => 2,
+        }
+    }
+
+    /// Human description used in table titles.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Metric::PctImpacted => {
+                "Percentage of jobs that have their completion time changed"
+            }
+            Metric::Reallocations => "Number of reallocations",
+            Metric::PctEarlier => "Percentage of jobs finishing earlier",
+            Metric::RelAvgResponse => "Relative average response time",
+        }
+    }
+}
+
+/// Global knobs for a suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// Workload seed.
+    pub seed: u64,
+    /// Per-site job-count fraction (1.0 = the paper's Table 1 counts; small
+    /// values give quick smoke suites).
+    pub fraction: f64,
+    /// Reallocation period.
+    pub period: Duration,
+    /// Algorithm 1 improvement threshold.
+    pub threshold: Duration,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            seed: 42,
+            fraction: 1.0,
+            period: Duration::hours(1),
+            threshold: Duration::secs(60),
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// A fast configuration for tests and smoke benches.
+    pub fn smoke() -> Self {
+        SuiteConfig {
+            fraction: 0.01,
+            ..SuiteConfig::default()
+        }
+    }
+}
+
+/// The platform a scenario runs on (§3.2).
+pub fn platform_for(scenario: Scenario, heterogeneous: bool) -> Platform {
+    match scenario {
+        Scenario::PwaG5k => Platform::pwa_g5k(heterogeneous),
+        _ => Platform::grid5000(heterogeneous),
+    }
+}
+
+/// Identifier of one reallocation experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExperimentKey {
+    /// Workload scenario (table column).
+    pub scenario: Scenario,
+    /// Local batch policy (table row group).
+    pub policy: BatchPolicy,
+    /// Reallocation algorithm (table family).
+    pub algorithm: ReallocAlgorithm,
+    /// Selection heuristic (table row).
+    pub heuristic: Heuristic,
+}
+
+/// All comparisons for one heterogeneity level.
+#[derive(Debug, Clone)]
+pub struct SuiteResults {
+    /// `true` for the heterogeneous platforms.
+    pub heterogeneous: bool,
+    /// Comparison against the reference run, per experiment.
+    pub comparisons: HashMap<ExperimentKey, Comparison>,
+}
+
+/// Run one simulation (reference when `realloc` is `None`).
+pub fn run_one(
+    scenario: Scenario,
+    heterogeneous: bool,
+    policy: BatchPolicy,
+    realloc: Option<ReallocConfig>,
+    suite: &SuiteConfig,
+) -> RunOutcome {
+    let jobs = scenario.generate_fraction(suite.seed, suite.fraction);
+    let mut config = GridConfig::new(platform_for(scenario, heterogeneous), policy);
+    if let Some(r) = realloc {
+        config = config.with_realloc(r);
+    }
+    GridSim::new(config, jobs)
+        .run()
+        .expect("paper scenarios are schedulable")
+}
+
+/// Run the full suite (or a scaled-down version) for one heterogeneity
+/// level: 14 reference runs + 168 reallocation runs when all scenarios are
+/// included.
+pub fn run_suite(
+    heterogeneous: bool,
+    scenarios: &[Scenario],
+    suite: &SuiteConfig,
+) -> SuiteResults {
+    // One work item per (scenario, policy): the reference run is shared by
+    // the 12 reallocation runs of that pair.
+    let pairs: Vec<(Scenario, BatchPolicy)> = scenarios
+        .iter()
+        .flat_map(|&s| [(s, BatchPolicy::Fcfs), (s, BatchPolicy::Cbf)])
+        .collect();
+    let comparisons: HashMap<ExperimentKey, Comparison> = pairs
+        .par_iter()
+        .flat_map_iter(|&(scenario, policy)| {
+            let t0 = std::time::Instant::now();
+            let baseline = run_one(scenario, heterogeneous, policy, None, suite);
+            let mut out = Vec::with_capacity(12);
+            for algorithm in ReallocAlgorithm::ALL {
+                for heuristic in Heuristic::ALL {
+                    let cfg = ReallocConfig::new(algorithm, heuristic)
+                        .with_period(suite.period)
+                        .with_threshold(suite.threshold);
+                    let run = run_one(scenario, heterogeneous, policy, Some(cfg), suite);
+                    let cmp = Comparison::against_baseline(&baseline, &run);
+                    out.push((
+                        ExperimentKey {
+                            scenario,
+                            policy,
+                            algorithm,
+                            heuristic,
+                        },
+                        cmp,
+                    ));
+                }
+            }
+            eprintln!(
+                "[{}/{}/{} done in {:.1?}]",
+                scenario.label(),
+                if heterogeneous { "het" } else { "hom" },
+                policy,
+                t0.elapsed()
+            );
+            out
+        })
+        .collect();
+    SuiteResults {
+        heterogeneous,
+        comparisons,
+    }
+}
+
+impl SuiteResults {
+    /// Build the paper table for `(algorithm, metric)` from these results.
+    pub fn table(&self, algorithm: ReallocAlgorithm, metric: Metric, scenarios: &[Scenario]) -> PaperTable {
+        let columns: Vec<String> = scenarios.iter().map(|s| s.label().to_string()).collect();
+        let number = table_number(algorithm, metric, self.heterogeneous);
+        let title = format!(
+            "Table {number}: {} when reallocation is performed on {} platforms{}",
+            metric.describe(),
+            if self.heterogeneous { "heterogeneous" } else { "homogeneous" },
+            match algorithm {
+                ReallocAlgorithm::NoCancel => "",
+                ReallocAlgorithm::CancelAll => " (with cancellation)",
+            },
+        );
+        let mut table = PaperTable::new(title, columns, metric.has_avg()).decimals(metric.decimals());
+        for policy in [BatchPolicy::Fcfs, BatchPolicy::Cbf] {
+            for heuristic in Heuristic::ALL {
+                let values: Vec<f64> = scenarios
+                    .iter()
+                    .map(|&scenario| {
+                        let key = ExperimentKey {
+                            scenario,
+                            policy,
+                            algorithm,
+                            heuristic,
+                        };
+                        self.comparisons
+                            .get(&key)
+                            .map(|c| metric.of(c))
+                            .unwrap_or(f64::NAN)
+                    })
+                    .collect();
+                let label = format!("{}{}", heuristic.label(), algorithm.suffix());
+                table.push_row(&policy.to_string(), label, values);
+            }
+        }
+        table
+    }
+}
+
+/// The paper's table number for `(algorithm, metric, heterogeneity)`.
+pub fn table_number(algorithm: ReallocAlgorithm, metric: Metric, heterogeneous: bool) -> usize {
+    let base = match algorithm {
+        ReallocAlgorithm::NoCancel => 2,
+        ReallocAlgorithm::CancelAll => 10,
+    };
+    let metric_off = match metric {
+        Metric::PctImpacted => 0,
+        Metric::Reallocations => 2,
+        Metric::PctEarlier => 4,
+        Metric::RelAvgResponse => 6,
+    };
+    base + metric_off + usize::from(heterogeneous)
+}
+
+/// Table 1 of the paper: job counts per month and site.
+pub fn table1() -> PaperTable {
+    let months = [
+        Scenario::Jan,
+        Scenario::Feb,
+        Scenario::Mar,
+        Scenario::Apr,
+        Scenario::May,
+        Scenario::Jun,
+    ];
+    let mut t = PaperTable::new(
+        "Table 1: Number of jobs per month and in total for each site trace",
+        vec![
+            "Bordeaux".into(),
+            "Lyon".into(),
+            "Toulouse".into(),
+            "Total".into(),
+        ],
+        false,
+    )
+    .decimals(0);
+    for m in months {
+        let c = m.site_counts();
+        t.push_row(
+            "2008",
+            m.label(),
+            vec![c[0] as f64, c[1] as f64, c[2] as f64, m.total_jobs() as f64],
+        );
+    }
+    t
+}
+
+/// One qualitative "shape" expectation from the paper, evaluated against
+/// measured results (EXPERIMENTS.md records these).
+#[derive(Debug, Clone)]
+pub struct ShapeCheck {
+    /// Short name.
+    pub name: &'static str,
+    /// What the paper reports.
+    pub paper: &'static str,
+    /// What we measured (human-readable).
+    pub measured: String,
+    /// Whether the expectation holds.
+    pub pass: bool,
+}
+
+/// Mean of a metric over every cell matching the filter.
+fn mean_metric(
+    results: &SuiteResults,
+    metric: Metric,
+    filter: impl Fn(&ExperimentKey) -> bool,
+) -> f64 {
+    let vals: Vec<f64> = results
+        .comparisons
+        .iter()
+        .filter(|(k, _)| filter(k))
+        .map(|(_, c)| metric.of(c))
+        .collect();
+    if vals.is_empty() {
+        f64::NAN
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+/// Evaluate the paper's headline qualitative claims against two suites
+/// (homogeneous and heterogeneous).
+pub fn shape_checks(hom: &SuiteResults, het: &SuiteResults) -> Vec<ShapeCheck> {
+    assert!(!hom.heterogeneous && het.heterogeneous);
+    let mut out = Vec::new();
+
+    // 1. Reallocation is beneficial on average (rel. response < 1).
+    for (label, res) in [("homogeneous", hom), ("heterogeneous", het)] {
+        let v = mean_metric(res, Metric::RelAvgResponse, |_| true);
+        out.push(ShapeCheck {
+            name: "reallocation helps on average",
+            paper: "§6: 'on average reallocation is beneficial on the considered metrics'",
+            measured: format!("mean relative response ({label}) = {v:.3}"),
+            pass: v < 1.0,
+        });
+    }
+
+    // 2. Cancel-all beats no-cancel on relative response time.
+    for (label, res) in [("homogeneous", hom), ("heterogeneous", het)] {
+        let nc = mean_metric(res, Metric::RelAvgResponse, |k| {
+            k.algorithm == ReallocAlgorithm::NoCancel
+        });
+        let ca = mean_metric(res, Metric::RelAvgResponse, |k| {
+            k.algorithm == ReallocAlgorithm::CancelAll
+        });
+        out.push(ShapeCheck {
+            name: "cancellation improves response gains",
+            paper: "§4.3: 'cancellation usually brings improvement over the first version'",
+            measured: format!("{label}: no-cancel {nc:.3} vs cancel-all {ca:.3}"),
+            pass: ca < nc,
+        });
+    }
+
+    // 3. More reallocations with cancellation.
+    for (label, res) in [("homogeneous", hom), ("heterogeneous", het)] {
+        let nc = mean_metric(res, Metric::Reallocations, |k| {
+            k.algorithm == ReallocAlgorithm::NoCancel
+        });
+        let ca = mean_metric(res, Metric::Reallocations, |k| {
+            k.algorithm == ReallocAlgorithm::CancelAll
+        });
+        out.push(ShapeCheck {
+            name: "cancellation migrates more",
+            paper: "§4.3: 'the number of reallocations is higher when cancellations are involved'",
+            measured: format!("{label}: no-cancel {nc:.0} vs cancel-all {ca:.0} mean migrations"),
+            pass: ca > nc,
+        });
+    }
+
+    // 4. FCFS yields more impacted jobs than CBF on homogeneous platforms.
+    let fcfs = mean_metric(hom, Metric::PctImpacted, |k| k.policy == BatchPolicy::Fcfs);
+    let cbf = mean_metric(hom, Metric::PctImpacted, |k| k.policy == BatchPolicy::Cbf);
+    out.push(ShapeCheck {
+        name: "FCFS exposes more jobs to reallocation than CBF",
+        paper: "§4.1: 'this percentage is higher on platforms using FCFS'",
+        measured: format!("homogeneous: FCFS {fcfs:.1}% vs CBF {cbf:.1}%"),
+        pass: fcfs > cbf,
+    });
+
+    // 5. More reallocations under FCFS than CBF.
+    for (label, res) in [("homogeneous", hom), ("heterogeneous", het)] {
+        let f = mean_metric(res, Metric::Reallocations, |k| k.policy == BatchPolicy::Fcfs);
+        let c = mean_metric(res, Metric::Reallocations, |k| k.policy == BatchPolicy::Cbf);
+        out.push(ShapeCheck {
+            name: "more reallocations under FCFS",
+            paper: "§4.2: 'there are more reallocations on FCFS platforms'",
+            measured: format!("{label}: FCFS {f:.0} vs CBF {c:.0}"),
+            pass: f > c,
+        });
+    }
+
+    // 6. April (heavily loaded) is impacted more than January (lightly).
+    if hom.comparisons.keys().any(|k| k.scenario == Scenario::Apr)
+        && hom.comparisons.keys().any(|k| k.scenario == Scenario::Jan)
+    {
+        let apr = mean_metric(hom, Metric::PctImpacted, |k| k.scenario == Scenario::Apr);
+        let jan = mean_metric(hom, Metric::PctImpacted, |k| k.scenario == Scenario::Jan);
+        out.push(ShapeCheck {
+            name: "load drives impact (April >> January)",
+            paper: "Table 2: April ~36% impacted vs January ~3.8%",
+            measured: format!("homogeneous: April {apr:.1}% vs January {jan:.1}%"),
+            pass: apr > jan,
+        });
+    }
+
+    // 7. Most impacted jobs finish earlier under cancellation.
+    let earlier = mean_metric(hom, Metric::PctEarlier, |k| {
+        k.algorithm == ReallocAlgorithm::CancelAll
+    });
+    out.push(ShapeCheck {
+        name: "majority of impacted jobs finish earlier (cancel-all)",
+        paper: "§4.2: 'most of the time higher than 60%'",
+        measured: format!("homogeneous cancel-all mean: {earlier:.1}% earlier"),
+        pass: earlier > 50.0,
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_numbers_match_paper() {
+        use Metric::*;
+        use ReallocAlgorithm::*;
+        assert_eq!(table_number(NoCancel, PctImpacted, false), 2);
+        assert_eq!(table_number(NoCancel, PctImpacted, true), 3);
+        assert_eq!(table_number(NoCancel, Reallocations, false), 4);
+        assert_eq!(table_number(NoCancel, Reallocations, true), 5);
+        assert_eq!(table_number(NoCancel, PctEarlier, false), 6);
+        assert_eq!(table_number(NoCancel, PctEarlier, true), 7);
+        assert_eq!(table_number(NoCancel, RelAvgResponse, false), 8);
+        assert_eq!(table_number(NoCancel, RelAvgResponse, true), 9);
+        assert_eq!(table_number(CancelAll, PctImpacted, false), 10);
+        assert_eq!(table_number(CancelAll, PctImpacted, true), 11);
+        assert_eq!(table_number(CancelAll, Reallocations, false), 12);
+        assert_eq!(table_number(CancelAll, Reallocations, true), 13);
+        assert_eq!(table_number(CancelAll, PctEarlier, false), 14);
+        assert_eq!(table_number(CancelAll, PctEarlier, true), 15);
+        assert_eq!(table_number(CancelAll, RelAvgResponse, false), 16);
+        assert_eq!(table_number(CancelAll, RelAvgResponse, true), 17);
+    }
+
+    #[test]
+    fn table1_matches_paper_counts() {
+        let t = table1();
+        assert_eq!(t.get("2008", "jan", "Bordeaux"), Some(13_084.0));
+        assert_eq!(t.get("2008", "apr", "Total"), Some(36_041.0));
+        assert_eq!(t.get("2008", "jun", "Lyon"), Some(3_540.0));
+    }
+
+    #[test]
+    fn smoke_suite_produces_all_cells() {
+        let scenarios = [Scenario::Jun];
+        let results = run_suite(false, &scenarios, &SuiteConfig::smoke());
+        assert_eq!(results.comparisons.len(), 2 * 2 * 6);
+        for metric in Metric::ALL {
+            for algo in ReallocAlgorithm::ALL {
+                let t = results.table(algo, metric, &scenarios);
+                for policy in ["FCFS", "CBF"] {
+                    for h in Heuristic::ALL {
+                        let label = format!("{}{}", h.label(), algo.suffix());
+                        let v = t.get(policy, &label, "jun").unwrap();
+                        assert!(v.is_finite(), "{policy}/{label}/{metric:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_suite_reallocation_is_meaningful() {
+        // At least one configuration must actually migrate jobs, otherwise
+        // the mechanism is dead code.
+        let results = run_suite(true, &[Scenario::Apr], &SuiteConfig::smoke());
+        let total: u64 = results.comparisons.values().map(|c| c.reallocations).sum();
+        assert!(total > 0, "no migrations in the whole smoke suite");
+    }
+
+    #[test]
+    fn metric_extraction() {
+        let c = Comparison {
+            n_jobs: 100,
+            impacted: 10,
+            earlier: 7,
+            later: 3,
+            reallocations: 5,
+            pct_impacted: 10.0,
+            pct_earlier: 70.0,
+            rel_avg_response: 0.9,
+        };
+        assert_eq!(Metric::PctImpacted.of(&c), 10.0);
+        assert_eq!(Metric::Reallocations.of(&c), 5.0);
+        assert_eq!(Metric::PctEarlier.of(&c), 70.0);
+        assert_eq!(Metric::RelAvgResponse.of(&c), 0.9);
+        assert!(!Metric::Reallocations.has_avg());
+        assert!(Metric::PctImpacted.has_avg());
+    }
+}

@@ -1,0 +1,505 @@
+//! The grid simulation driver.
+//!
+//! Mirrors the three-component architecture of the paper's simulator
+//! (§3.1): the *client* replays a trace of submissions, the
+//! *meta-scheduler* maps each incoming job to a cluster (MCT by default)
+//! and periodically triggers reallocation, and each *server* (a
+//! `grid-batch` [`Cluster`]) runs its local batch policy.
+//!
+//! The event loop is deterministic: events sharing a timestamp are
+//! processed completions-first, then arrivals, then the reallocation tick,
+//! then a fixpoint that starts every job whose reservation is due. The
+//! whole run is a pure function of `(GridConfig, jobs)`.
+
+use std::collections::HashMap;
+
+use grid_batch::{BatchPolicy, Cluster, JobId, JobSpec, Platform};
+use grid_des::{EventQueue, SimTime};
+use grid_metrics::{JobRecord, RunOutcome};
+
+use crate::mapping::{Mapper, MappingPolicy};
+use crate::realloc::{self, ReallocConfig};
+
+/// Everything that defines a run besides the workload.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// The clusters.
+    pub platform: Platform,
+    /// Local batch policy, identical on every cluster ("for a single
+    /// experiment, each cluster uses the same batch algorithm", §4).
+    pub batch_policy: BatchPolicy,
+    /// Initial mapping policy of the agent (paper: MCT).
+    pub mapping: MappingPolicy,
+    /// Reallocation mechanism; `None` reproduces the reference runs.
+    pub realloc: Option<ReallocConfig>,
+    /// Seed for the stochastic pieces (Random mapping only).
+    pub seed: u64,
+    /// Scale walltimes to cluster speeds (§1; off only for ablation A5).
+    pub walltime_adjustment: bool,
+}
+
+impl GridConfig {
+    /// MCT mapping, no reallocation.
+    pub fn new(platform: Platform, batch_policy: BatchPolicy) -> Self {
+        GridConfig {
+            platform,
+            batch_policy,
+            mapping: MappingPolicy::Mct,
+            realloc: None,
+            seed: 0,
+            walltime_adjustment: true,
+        }
+    }
+
+    /// Builder: enable reallocation.
+    pub fn with_realloc(mut self, realloc: ReallocConfig) -> Self {
+        self.realloc = Some(realloc);
+        self
+    }
+
+    /// Builder: change the initial mapping policy.
+    pub fn with_mapping(mut self, mapping: MappingPolicy) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Builder: change the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: disable walltime speed-adjustment (ablation A5).
+    pub fn with_walltime_adjustment(mut self, adjust: bool) -> Self {
+        self.walltime_adjustment = adjust;
+        self
+    }
+}
+
+/// A failed simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A job requires more processors than any cluster owns; the scenario
+    /// is malformed.
+    UnschedulableJob {
+        /// The job.
+        id: JobId,
+        /// Its processor requirement.
+        procs: u32,
+    },
+    /// Two jobs share an id.
+    DuplicateJobId(JobId),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnschedulableJob { id, procs } => {
+                write!(f, "job {id} needs {procs} processors but no cluster is that large")
+            }
+            SimError::DuplicateJobId(id) => write!(f, "duplicate job id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A running job reaches its actual end on a cluster.
+    Completion { cluster: usize, job: JobId },
+    /// A trace job reaches its submission time (index into the job vec).
+    Arrival { idx: usize },
+    /// A cluster may have a reservation due.
+    Wake { cluster: usize },
+    /// Periodic reallocation event.
+    ReallocTick,
+}
+
+/// In-flight bookkeeping for one job.
+#[derive(Debug, Clone, Copy)]
+struct Tracking {
+    submit: SimTime,
+    start: Option<SimTime>,
+    cluster: usize,
+    reallocations: u32,
+}
+
+/// The simulator. Construct with [`GridSim::new`], consume with
+/// [`GridSim::run`].
+pub struct GridSim {
+    config: GridConfig,
+    jobs: Vec<JobSpec>,
+    clusters: Vec<Cluster>,
+    events: EventQueue<Event>,
+    mapper: Mapper,
+    tracking: HashMap<JobId, Tracking>,
+    outcome: RunOutcome,
+    completed: usize,
+    /// Earliest pending wake per cluster, to avoid flooding the queue.
+    wake_armed: Vec<Option<SimTime>>,
+}
+
+impl GridSim {
+    /// Set up a simulation of `jobs` over `config`.
+    pub fn new(config: GridConfig, jobs: Vec<JobSpec>) -> Self {
+        let clusters: Vec<Cluster> = config
+            .platform
+            .clusters
+            .iter()
+            .map(|spec| {
+                let mut c = Cluster::new(spec.clone(), config.batch_policy);
+                c.set_walltime_adjustment(config.walltime_adjustment);
+                c
+            })
+            .collect();
+        let mapper = Mapper::new(config.mapping, config.seed);
+        let n = clusters.len();
+        GridSim {
+            config,
+            jobs,
+            clusters,
+            events: EventQueue::new(),
+            mapper,
+            tracking: HashMap::new(),
+            outcome: RunOutcome::default(),
+            completed: 0,
+            wake_armed: vec![None; n],
+        }
+    }
+
+    /// Run to completion and return the outcome.
+    pub fn run(mut self) -> Result<RunOutcome, SimError> {
+        // Sanity: unique ids (comparisons key on them).
+        {
+            let mut seen = std::collections::HashSet::with_capacity(self.jobs.len());
+            for j in &self.jobs {
+                if !seen.insert(j.id) {
+                    return Err(SimError::DuplicateJobId(j.id));
+                }
+            }
+        }
+        for (idx, job) in self.jobs.iter().enumerate() {
+            self.events.schedule(job.submit, Event::Arrival { idx });
+        }
+        if let (Some(cfg), Some(first)) = (
+            self.config.realloc,
+            self.jobs.iter().map(|j| j.submit).min(),
+        ) {
+            self.events.schedule(first + cfg.period, Event::ReallocTick);
+        }
+        let total = self.jobs.len();
+        while let Some((now, batch)) = self.events.pop_batch() {
+            let mut tick_due = false;
+            // Completions strictly first: they free processors the same
+            // instant's arrivals and reallocations may use.
+            for s in &batch {
+                if let Event::Completion { cluster, job } = s.event {
+                    self.handle_completion(cluster, job, now);
+                }
+            }
+            for s in &batch {
+                match s.event {
+                    Event::Arrival { idx } => self.handle_arrival(idx, now)?,
+                    Event::Wake { cluster } => self.wake_armed[cluster] = None,
+                    Event::ReallocTick => tick_due = true,
+                    Event::Completion { .. } => {}
+                }
+            }
+            if tick_due {
+                self.handle_realloc_tick(now);
+            }
+            // Start every job whose reservation is due now. Starting never
+            // frees resources, so one pass over the clusters suffices;
+            // zero-runtime jobs complete via a same-instant Completion
+            // event handled by the next batch.
+            for c in 0..self.clusters.len() {
+                if self.clusters[c].next_reservation(now) == Some(now) {
+                    for (job, end) in self.clusters[c].start_due(now) {
+                        let t = self
+                            .tracking
+                            .get_mut(&job)
+                            .expect("started job must be tracked");
+                        t.start = Some(now);
+                        t.cluster = c;
+                        self.events.schedule(end, Event::Completion { cluster: c, job });
+                    }
+                }
+            }
+            // Re-arm wakes.
+            for c in 0..self.clusters.len() {
+                if let Some(next) = self.clusters[c].next_reservation(now) {
+                    if next > now && self.wake_armed[c].is_none_or(|w| w > next || w <= now) {
+                        self.events.schedule(next, Event::Wake { cluster: c });
+                        self.wake_armed[c] = Some(next);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(self.completed, total, "all jobs must complete");
+        debug_assert!(self.clusters.iter().all(Cluster::is_idle));
+        Ok(self.outcome)
+    }
+
+    fn handle_arrival(&mut self, idx: usize, now: SimTime) -> Result<(), SimError> {
+        let job = self.jobs[idx];
+        debug_assert_eq!(job.submit, now);
+        let Some(c) = self.mapper.assign(&mut self.clusters, &job, now) else {
+            return Err(SimError::UnschedulableJob {
+                id: job.id,
+                procs: job.procs,
+            });
+        };
+        self.clusters[c]
+            .submit(job, now)
+            .expect("mapper only assigns fitting clusters");
+        self.tracking.insert(
+            job.id,
+            Tracking {
+                submit: now,
+                start: None,
+                cluster: c,
+                reallocations: 0,
+            },
+        );
+        Ok(())
+    }
+
+    fn handle_completion(&mut self, cluster: usize, job: JobId, now: SimTime) {
+        self.clusters[cluster].complete(job, now);
+        let t = self.tracking.remove(&job).expect("completed job tracked");
+        self.outcome.push(JobRecord {
+            id: job,
+            submit: t.submit,
+            start: t.start.expect("completed job must have started"),
+            completion: now,
+            cluster,
+            reallocations: t.reallocations,
+        });
+        self.completed += 1;
+    }
+
+    fn handle_realloc_tick(&mut self, now: SimTime) {
+        let cfg = self.config.realloc.expect("tick only scheduled with config");
+        let report = realloc::run_tick(&mut self.clusters, &cfg, now);
+        self.outcome.total_ticks += 1;
+        if !report.migrations.is_empty() {
+            self.outcome.active_ticks += 1;
+        }
+        self.outcome.total_reallocations += report.migrations.len() as u64;
+        self.outcome.contract_violations += report.contract_violations as u64;
+        for m in &report.migrations {
+            let t = self
+                .tracking
+                .get_mut(&m.job)
+                .expect("migrated job must be tracked");
+            t.cluster = m.to;
+            t.reallocations += 1;
+        }
+        // Keep ticking while work remains anywhere in the system.
+        if self.completed < self.jobs.len() {
+            self.events.schedule(now + cfg.period, Event::ReallocTick);
+        }
+    }
+}
+
+/// Convenience: run a workload under a config (used by examples/tests).
+pub fn simulate(config: GridConfig, jobs: Vec<JobSpec>) -> Result<RunOutcome, SimError> {
+    GridSim::new(config, jobs).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::Heuristic;
+    use crate::realloc::ReallocAlgorithm;
+    use grid_batch::ClusterSpec;
+
+    fn tiny_platform() -> Platform {
+        Platform::new(
+            "tiny",
+            vec![
+                ClusterSpec::new("c0", 4, 1.0),
+                ClusterSpec::new("c1", 4, 1.0),
+            ],
+        )
+    }
+
+    fn cfg(policy: BatchPolicy) -> GridConfig {
+        GridConfig::new(tiny_platform(), policy)
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let out = simulate(cfg(BatchPolicy::Fcfs), vec![JobSpec::new(0, 10, 2, 100, 200)]).unwrap();
+        assert_eq!(out.records.len(), 1);
+        let r = out.records[&JobId(0)];
+        assert_eq!(r.submit, SimTime(10));
+        assert_eq!(r.start, SimTime(10));
+        assert_eq!(r.completion, SimTime(110));
+        assert_eq!(out.makespan, SimTime(110));
+    }
+
+    #[test]
+    fn mct_spreads_load_across_clusters() {
+        // Two big jobs at t=0: the second must go to the other cluster.
+        let jobs = vec![
+            JobSpec::new(0, 0, 4, 100, 100),
+            JobSpec::new(1, 0, 4, 100, 100),
+        ];
+        let out = simulate(cfg(BatchPolicy::Fcfs), jobs).unwrap();
+        assert_eq!(out.records[&JobId(0)].cluster, 0);
+        assert_eq!(out.records[&JobId(1)].cluster, 1);
+        assert_eq!(out.records[&JobId(1)].completion, SimTime(100));
+    }
+
+    #[test]
+    fn unschedulable_job_errors() {
+        let err = simulate(cfg(BatchPolicy::Fcfs), vec![JobSpec::new(0, 0, 9, 1, 1)]).unwrap_err();
+        assert_eq!(err, SimError::UnschedulableJob { id: JobId(0), procs: 9 });
+    }
+
+    #[test]
+    fn duplicate_ids_error() {
+        let jobs = vec![JobSpec::new(7, 0, 1, 1, 1), JobSpec::new(7, 5, 1, 1, 1)];
+        assert_eq!(
+            simulate(cfg(BatchPolicy::Fcfs), jobs).unwrap_err(),
+            SimError::DuplicateJobId(JobId(7))
+        );
+    }
+
+    #[test]
+    fn killed_job_ends_at_walltime() {
+        let out = simulate(cfg(BatchPolicy::Fcfs), vec![JobSpec::new(0, 0, 1, 500, 100)]).unwrap();
+        assert_eq!(out.records[&JobId(0)].completion, SimTime(100));
+    }
+
+    #[test]
+    fn zero_runtime_job_completes() {
+        let out = simulate(cfg(BatchPolicy::Cbf), vec![JobSpec::new(0, 5, 1, 0, 10)]).unwrap();
+        let r = out.records[&JobId(0)];
+        assert_eq!(r.start, SimTime(5));
+        assert_eq!(r.completion, SimTime(5));
+    }
+
+    #[test]
+    fn early_completion_cascades_queue() {
+        // One cluster platform: job 0 over-estimates (walltime 1000, runs
+        // 100); job 1 queued behind starts at 100, not 1000.
+        let platform = Platform::new("one", vec![ClusterSpec::new("c0", 4, 1.0)]);
+        let jobs = vec![
+            JobSpec::new(0, 0, 4, 100, 1000),
+            JobSpec::new(1, 0, 4, 50, 60),
+        ];
+        let out = simulate(GridConfig::new(platform, BatchPolicy::Fcfs), jobs).unwrap();
+        assert_eq!(out.records[&JobId(1)].start, SimTime(100));
+        assert_eq!(out.records[&JobId(1)].completion, SimTime(150));
+    }
+
+    #[test]
+    fn realloc_moves_waiting_job_to_freed_cluster() {
+        // Cluster 0 gets two long jobs (second waits ~2h); cluster 1 is
+        // blocked at mapping time but its job finishes quickly, so the
+        // hourly reallocation migrates the waiting job there.
+        let jobs = vec![
+            // Occupies cluster 0 fully for 3 h (runtime == walltime).
+            JobSpec::new(0, 0, 4, 10_800, 10_800),
+            // Occupies cluster 1 fully; walltime says 3 h, actually runs 30 min.
+            JobSpec::new(1, 0, 4, 1_800, 10_800),
+            // Arrives just after: both clusters look busy for 3 h; MCT picks
+            // cluster 0 (tie, lowest index). Cluster 1 frees at t=1800.
+            JobSpec::new(2, 10, 4, 600, 700),
+        ];
+        let base = simulate(cfg(BatchPolicy::Fcfs), jobs.clone()).unwrap();
+        // Without reallocation job 2 waits for cluster 0: starts at 10800.
+        assert_eq!(base.records[&JobId(2)].start, SimTime(10_800));
+        let with = simulate(
+            cfg(BatchPolicy::Fcfs).with_realloc(ReallocConfig::new(
+                ReallocAlgorithm::NoCancel,
+                Heuristic::Mct,
+            )),
+            jobs,
+        )
+        .unwrap();
+        let r2 = with.records[&JobId(2)];
+        // First tick at t = 0 + 3600 (an hour after the *first* submission):
+        // cluster 1 is empty (freed at 1800), so job 2 migrates and starts
+        // immediately.
+        assert_eq!(r2.cluster, 1);
+        assert_eq!(r2.start, SimTime(3_600));
+        assert_eq!(r2.reallocations, 1);
+        assert_eq!(with.total_reallocations, 1);
+        assert!(with.active_ticks >= 1);
+    }
+
+    #[test]
+    fn realloc_ticks_stop_after_last_completion() {
+        let jobs = vec![JobSpec::new(0, 0, 1, 100, 200)];
+        let out = simulate(
+            cfg(BatchPolicy::Fcfs).with_realloc(ReallocConfig::new(
+                ReallocAlgorithm::CancelAll,
+                Heuristic::MinMin,
+            )),
+            jobs,
+        )
+        .unwrap();
+        // Job completes at t=100; the first tick would be at 3600 — but the
+        // job has already completed, so exactly one tick fires (scheduled at
+        // t=3600 before completion was known) and no more after it.
+        assert!(out.total_ticks <= 1, "ticks: {}", out.total_ticks);
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let jobs = grid_workload::Scenario::Jun.generate_fraction(3, 0.01);
+        let run = || {
+            simulate(
+                GridConfig::new(Platform::grid5000(true), BatchPolicy::Cbf).with_realloc(
+                    ReallocConfig::new(ReallocAlgorithm::CancelAll, Heuristic::Sufferage),
+                ),
+                jobs.clone(),
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.total_reallocations, b.total_reallocations);
+    }
+
+    #[test]
+    fn all_jobs_complete_under_every_policy_combo() {
+        let jobs = grid_workload::Scenario::Feb.generate_fraction(1, 0.005);
+        let n = jobs.len();
+        for policy in [BatchPolicy::Fcfs, BatchPolicy::Cbf] {
+            for realloc in [
+                None,
+                Some(ReallocConfig::new(ReallocAlgorithm::NoCancel, Heuristic::MinMin)),
+                Some(ReallocConfig::new(ReallocAlgorithm::CancelAll, Heuristic::MaxGain)),
+            ] {
+                let mut c = GridConfig::new(Platform::grid5000(false), policy);
+                if let Some(r) = realloc {
+                    c = c.with_realloc(r);
+                }
+                let out = simulate(c, jobs.clone()).unwrap();
+                assert_eq!(out.records.len(), n, "{policy} {realloc:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_and_round_robin_mappings_complete() {
+        let jobs = grid_workload::Scenario::Jun.generate_fraction(5, 0.005);
+        let n = jobs.len();
+        for mapping in [MappingPolicy::Random, MappingPolicy::RoundRobin] {
+            let out = simulate(
+                GridConfig::new(Platform::grid5000(true), BatchPolicy::Cbf)
+                    .with_mapping(mapping)
+                    .with_seed(9),
+                jobs.clone(),
+            )
+            .unwrap();
+            assert_eq!(out.records.len(), n, "{mapping}");
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The six (re)scheduling heuristics of §2.2.2.
+//!
+//! One *online* heuristic (MCT) processes jobs in their submission order;
+//! five *offline* heuristics re-rank the whole remaining set after every
+//! decision (the paper notes their O(n²) cost):
+//!
+//! * **MCT** — take jobs sequentially in submission order.
+//! * **MinMin / MaxMin** — rank by each task's best achievable ECT; pick
+//!   the minimum (favours small tasks) / maximum (favours large tasks).
+//! * **MaxGain** — pick the task with the largest absolute gain
+//!   `CurrentECT − NewECT`.
+//! * **MaxRelGain** — same, gain divided by the task's processor count
+//!   ("preferring small tasks, except if a large task has a very large
+//!   gain").
+//! * **Sufferage** — pick the task with the largest difference between its
+//!   two best ECTs (the task that would "suffer" most from not getting its
+//!   best placement).
+
+use crate::ect::EctView;
+
+/// Job-selection heuristic for a reallocation round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Heuristic {
+    /// Online: submission order.
+    Mct,
+    /// Offline: smallest best-ECT first.
+    MinMin,
+    /// Offline: largest best-ECT first.
+    MaxMin,
+    /// Offline: largest absolute reallocation gain first.
+    MaxGain,
+    /// Offline: largest per-processor gain first.
+    MaxRelGain,
+    /// Offline: largest sufferage (2nd-best − best ECT) first.
+    Sufferage,
+}
+
+impl Heuristic {
+    /// All heuristics in the paper's table order.
+    pub const ALL: [Heuristic; 6] = [
+        Heuristic::Mct,
+        Heuristic::MinMin,
+        Heuristic::MaxMin,
+        Heuristic::MaxGain,
+        Heuristic::MaxRelGain,
+        Heuristic::Sufferage,
+    ];
+
+    /// Row label used in the paper's tables (without the `-C` suffix).
+    pub fn label(self) -> &'static str {
+        match self {
+            Heuristic::Mct => "Mct",
+            Heuristic::MinMin => "MinMin",
+            Heuristic::MaxMin => "MaxMin",
+            Heuristic::MaxGain => "MaxGain",
+            Heuristic::MaxRelGain => "MaxRelGain",
+            Heuristic::Sufferage => "Sufferage",
+        }
+    }
+
+    /// `true` for the heuristics that must re-rank all remaining jobs at
+    /// every step (everything but MCT).
+    pub fn is_offline(self) -> bool {
+        self != Heuristic::Mct
+    }
+
+    /// Select the next job (index into the round's job list) from the
+    /// remaining ones, or `None` when the list is exhausted.
+    ///
+    /// Ties are broken towards the earliest-submitted remaining job (the
+    /// job list is sorted by submission, and comparisons are strict).
+    pub fn select(self, view: &mut EctView<'_>) -> Option<usize> {
+        let alive: Vec<usize> = view.alive_indices().collect();
+        if alive.is_empty() {
+            return None;
+        }
+        match self {
+            Heuristic::Mct => alive.first().copied(),
+            Heuristic::MinMin => {
+                Self::arg_best(&alive, |i| view.best_ect(i).as_secs() as i128, false)
+            }
+            Heuristic::MaxMin => {
+                Self::arg_best(&alive, |i| view.best_ect(i).as_secs() as i128, true)
+            }
+            Heuristic::MaxGain => Self::arg_best(&alive, |i| Self::gain(view, i), true),
+            Heuristic::MaxRelGain => Self::arg_best(
+                &alive,
+                |i| {
+                    let g = Self::gain(view, i);
+                    if g == i128::MIN {
+                        return i128::MIN; // no target at all
+                    }
+                    // Scale by 2^20 before the integer division so small
+                    // per-processor differences survive.
+                    let procs = i128::from(view.jobs()[i].spec.procs.max(1));
+                    (g << 20) / procs
+                },
+                true,
+            ),
+            Heuristic::Sufferage => Self::arg_best(
+                &alive,
+                |i| {
+                    let (best, second) = view.two_best_ects(i);
+                    match second {
+                        Some(s) => (s.as_secs() - best.as_secs()) as i128,
+                        // A single option cannot suffer.
+                        None => i128::MIN,
+                    }
+                },
+                true,
+            ),
+        }
+    }
+
+    /// Reallocation gain of job `i`: current ECT minus best target ECT
+    /// (negative when every move would hurt; `i128::MIN` with no target).
+    fn gain(view: &mut EctView<'_>, i: usize) -> i128 {
+        let cur = view.cur_ect(i).as_secs() as i128;
+        match view.best_target(i) {
+            Some((_, e)) => cur - e.as_secs() as i128,
+            None => i128::MIN,
+        }
+    }
+
+    /// Index minimising (or maximising) `key`, first index on ties.
+    fn arg_best(
+        alive: &[usize],
+        mut key: impl FnMut(usize) -> i128,
+        maximise: bool,
+    ) -> Option<usize> {
+        let mut best: Option<(i128, usize)> = None;
+        for &i in alive {
+            let v = key(i);
+            let better = match best {
+                None => true,
+                Some((bv, _)) => {
+                    if maximise {
+                        v > bv
+                    } else {
+                        v < bv
+                    }
+                }
+            };
+            if better {
+                best = Some((v, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+}
+
+impl std::fmt::Display for Heuristic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ect::WaitingJob;
+    use grid_batch::{BatchPolicy, Cluster, ClusterSpec, JobSpec};
+    use grid_des::SimTime;
+
+    /// Cluster 0 busy for 1000 s holds three waiting jobs with distinct
+    /// shapes; clusters 1 and 2 are differently loaded targets.
+    ///
+    /// Waiting jobs (all on cluster 0, submitted in id order):
+    ///   j1: 1 proc,  walltime 100
+    ///   j2: 2 procs, walltime 400
+    ///   j3: 8 procs, walltime 200   (only fits clusters 0 and 2)
+    fn setup() -> (Vec<Cluster>, Vec<WaitingJob>) {
+        let mut c0 = Cluster::new(ClusterSpec::new("c0", 8, 1.0), BatchPolicy::Fcfs);
+        let mut c1 = Cluster::new(ClusterSpec::new("c1", 4, 1.0), BatchPolicy::Fcfs);
+        let c2 = Cluster::new(ClusterSpec::new("c2", 8, 1.0), BatchPolicy::Fcfs);
+        c0.submit(JobSpec::new(100, 0, 8, 1000, 1000), SimTime(0)).unwrap();
+        c0.start_due(SimTime(0));
+        // Cluster 1 busy for 50 s on all procs.
+        c1.submit(JobSpec::new(101, 0, 4, 50, 50), SimTime(0)).unwrap();
+        c1.start_due(SimTime(0));
+        let j1 = JobSpec::new(1, 0, 1, 80, 100);
+        let j2 = JobSpec::new(2, 1, 2, 300, 400);
+        let j3 = JobSpec::new(3, 2, 8, 150, 200);
+        c0.submit(j1, SimTime(2)).unwrap();
+        c0.submit(j2, SimTime(2)).unwrap();
+        c0.submit(j3, SimTime(2)).unwrap();
+        let jobs = vec![
+            WaitingJob { spec: j1, cluster: 0 },
+            WaitingJob { spec: j2, cluster: 0 },
+            WaitingJob { spec: j3, cluster: 0 },
+        ];
+        (vec![c0, c1, c2], jobs)
+    }
+
+    /// ECT table for `setup` at t=2 (FCFS):
+    ///   cur(j1)=1100, cur(j2)=1400 (starts when j1 does: procs allow both
+    ///   at 1000.. j1 1 proc + j2 2 procs fit together), cur(j3)=1600.
+    ///   new(j1): c1 -> 50+100=150, c2 -> 2+100=102.
+    ///   new(j2): c1 -> 50+400=450, c2 -> 2+400=402.
+    ///   new(j3): c1 -> none,       c2 -> 2+200=202.
+    fn view<'a>(clusters: &'a mut [Cluster], jobs: &'a [WaitingJob]) -> EctView<'a> {
+        EctView::queued(clusters, jobs, SimTime(2))
+    }
+
+    #[test]
+    fn setup_ects_are_as_documented() {
+        let (mut clusters, jobs) = setup();
+        let mut v = view(&mut clusters, &jobs);
+        assert_eq!(v.cur_ect(0), SimTime(1100));
+        assert_eq!(v.cur_ect(1), SimTime(1400));
+        assert_eq!(v.cur_ect(2), SimTime(1600));
+        assert_eq!(v.new_ect(0, 1), Some(SimTime(150)));
+        assert_eq!(v.new_ect(0, 2), Some(SimTime(102)));
+        assert_eq!(v.new_ect(1, 1), Some(SimTime(450)));
+        assert_eq!(v.new_ect(1, 2), Some(SimTime(402)));
+        assert_eq!(v.new_ect(2, 1), None);
+        assert_eq!(v.new_ect(2, 2), Some(SimTime(202)));
+    }
+
+    #[test]
+    fn mct_takes_submission_order() {
+        let (mut clusters, jobs) = setup();
+        let mut v = view(&mut clusters, &jobs);
+        assert_eq!(Heuristic::Mct.select(&mut v), Some(0));
+        v.remove(0);
+        assert_eq!(Heuristic::Mct.select(&mut v), Some(1));
+        v.remove(1);
+        assert_eq!(Heuristic::Mct.select(&mut v), Some(2));
+        v.remove(2);
+        assert_eq!(Heuristic::Mct.select(&mut v), None);
+    }
+
+    #[test]
+    fn minmin_picks_smallest_best_ect() {
+        let (mut clusters, jobs) = setup();
+        let mut v = view(&mut clusters, &jobs);
+        // best ECTs: j1 -> 102, j2 -> 402, j3 -> 202.
+        assert_eq!(Heuristic::MinMin.select(&mut v), Some(0));
+        v.remove(0);
+        assert_eq!(Heuristic::MinMin.select(&mut v), Some(2));
+    }
+
+    #[test]
+    fn maxmin_picks_largest_best_ect() {
+        let (mut clusters, jobs) = setup();
+        let mut v = view(&mut clusters, &jobs);
+        assert_eq!(Heuristic::MaxMin.select(&mut v), Some(1)); // 402
+    }
+
+    #[test]
+    fn maxgain_picks_largest_gain() {
+        let (mut clusters, jobs) = setup();
+        let mut v = view(&mut clusters, &jobs);
+        // gains: j1: 1100-102=998, j2: 1400-402=998, j3: 1600-202=1398.
+        assert_eq!(Heuristic::MaxGain.select(&mut v), Some(2));
+        v.remove(2);
+        // Tie (998, 998) -> earliest submitted (j1).
+        assert_eq!(Heuristic::MaxGain.select(&mut v), Some(0));
+    }
+
+    #[test]
+    fn maxrelgain_divides_by_procs() {
+        let (mut clusters, jobs) = setup();
+        let mut v = view(&mut clusters, &jobs);
+        // per-proc gains: j1: 998/1, j2: 998/2=499, j3: 1398/8=174.75.
+        assert_eq!(Heuristic::MaxRelGain.select(&mut v), Some(0));
+        v.remove(0);
+        assert_eq!(Heuristic::MaxRelGain.select(&mut v), Some(1));
+    }
+
+    #[test]
+    fn sufferage_picks_widest_spread_of_two_best() {
+        let (mut clusters, jobs) = setup();
+        let mut v = view(&mut clusters, &jobs);
+        // options j1: {1100, 150, 102} -> suff 48
+        //         j2: {1400, 450, 402} -> suff 48
+        //         j3: {1600, 202}      -> suff 1398
+        assert_eq!(Heuristic::Sufferage.select(&mut v), Some(2));
+        v.remove(2);
+        // Tie (48, 48) -> earliest submitted.
+        assert_eq!(Heuristic::Sufferage.select(&mut v), Some(0));
+    }
+
+    #[test]
+    fn empty_view_selects_none() {
+        let (mut clusters, jobs) = setup();
+        let mut v = view(&mut clusters, &jobs);
+        v.remove(0);
+        v.remove(1);
+        v.remove(2);
+        for h in Heuristic::ALL {
+            assert_eq!(h.select(&mut v), None, "{h}");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<&str> = Heuristic::ALL.iter().map(|h| h.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Mct", "MinMin", "MaxMin", "MaxGain", "MaxRelGain", "Sufferage"]
+        );
+    }
+
+    #[test]
+    fn only_mct_is_online() {
+        assert!(!Heuristic::Mct.is_offline());
+        for h in &Heuristic::ALL[1..] {
+            assert!(h.is_offline(), "{h}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Initial mapping policies of the meta-scheduler (paper §2.1).
+//!
+//! "The two simplest are Random […] and Round Robin […]. A Grid middleware
+//! may also use other online algorithms such as Minimum Completion Time
+//! (MCT) if some monitoring and performance prediction are available. In
+//! this study, we consider that the meta-scheduler uses a MCT policy."
+//!
+//! MCT is the paper's choice; Random and Round-Robin are provided for the
+//! mapping ablation (A3 in `DESIGN.md`).
+
+use grid_batch::{Cluster, JobSpec};
+use grid_des::{SimRng, SimTime};
+
+/// How the agent assigns an incoming job to a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingPolicy {
+    /// Minimum completion time: ask every (fitting) cluster for an ECT and
+    /// pick the smallest; ties go to the lowest cluster index.
+    Mct,
+    /// Uniformly random fitting cluster.
+    Random,
+    /// Cycle through the clusters, skipping those the job does not fit.
+    RoundRobin,
+}
+
+impl std::fmt::Display for MappingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingPolicy::Mct => write!(f, "MCT"),
+            MappingPolicy::Random => write!(f, "Random"),
+            MappingPolicy::RoundRobin => write!(f, "RoundRobin"),
+        }
+    }
+}
+
+/// Stateful mapper (Round-Robin cursor, Random stream).
+#[derive(Debug)]
+pub struct Mapper {
+    policy: MappingPolicy,
+    rr_cursor: usize,
+    rng: SimRng,
+}
+
+impl Mapper {
+    /// Create a mapper; `seed` feeds the Random policy only.
+    pub fn new(policy: MappingPolicy, seed: u64) -> Self {
+        Mapper {
+            policy,
+            rr_cursor: 0,
+            rng: SimRng::derive(seed, 0x4D41_5050), // "MAPP" stream tag
+        }
+    }
+
+    /// Pick a cluster index for `job`, or `None` when no cluster can ever
+    /// run it.
+    pub fn assign(&mut self, clusters: &mut [Cluster], job: &JobSpec, now: SimTime) -> Option<usize> {
+        let fits: Vec<usize> = (0..clusters.len())
+            .filter(|&c| job.procs <= clusters[c].spec().procs && job.procs > 0)
+            .collect();
+        if fits.is_empty() {
+            return None;
+        }
+        match self.policy {
+            MappingPolicy::Mct => {
+                let mut best: Option<(SimTime, usize)> = None;
+                for &c in &fits {
+                    let ect = clusters[c]
+                        .estimate_new(job, now)
+                        .expect("fitting cluster must produce an estimate");
+                    // Strict `<` keeps the lowest index on ties.
+                    if best.is_none_or(|(b, _)| ect < b) {
+                        best = Some((ect, c));
+                    }
+                }
+                best.map(|(_, c)| c)
+            }
+            MappingPolicy::Random => {
+                let k = self.rng.gen_range(0..fits.len());
+                Some(fits[k])
+            }
+            MappingPolicy::RoundRobin => {
+                // Advance the cursor once per assignment, then walk until a
+                // fitting cluster is found.
+                for step in 0..clusters.len() {
+                    let c = (self.rr_cursor + step) % clusters.len();
+                    if fits.contains(&c) {
+                        self.rr_cursor = (c + 1) % clusters.len();
+                        return Some(c);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_batch::{BatchPolicy, ClusterSpec};
+
+    fn clusters() -> Vec<Cluster> {
+        vec![
+            Cluster::new(ClusterSpec::new("a", 8, 1.0), BatchPolicy::Fcfs),
+            Cluster::new(ClusterSpec::new("b", 4, 1.0), BatchPolicy::Fcfs),
+            Cluster::new(ClusterSpec::new("c", 16, 1.0), BatchPolicy::Fcfs),
+        ]
+    }
+
+    #[test]
+    fn mct_picks_min_ect() {
+        let mut cs = clusters();
+        // Load cluster 0 so cluster 1 wins for a small job.
+        cs[0].submit(JobSpec::new(100, 0, 8, 1000, 1000), SimTime(0)).unwrap();
+        cs[0].start_due(SimTime(0));
+        let mut m = Mapper::new(MappingPolicy::Mct, 0);
+        let job = JobSpec::new(1, 0, 2, 10, 10);
+        // Clusters 1 and 2 are both free: ECT ties at 10 -> lowest index 1.
+        assert_eq!(m.assign(&mut cs, &job, SimTime(0)), Some(1));
+    }
+
+    #[test]
+    fn mct_tie_break_is_lowest_index() {
+        let mut cs = clusters();
+        let mut m = Mapper::new(MappingPolicy::Mct, 0);
+        let job = JobSpec::new(1, 0, 2, 10, 10);
+        assert_eq!(m.assign(&mut cs, &job, SimTime(0)), Some(0));
+    }
+
+    #[test]
+    fn oversized_job_maps_nowhere() {
+        let mut cs = clusters();
+        let mut m = Mapper::new(MappingPolicy::Mct, 0);
+        let job = JobSpec::new(1, 0, 64, 10, 10);
+        assert_eq!(m.assign(&mut cs, &job, SimTime(0)), None);
+    }
+
+    #[test]
+    fn large_job_only_fits_big_cluster() {
+        let mut cs = clusters();
+        for policy in [MappingPolicy::Mct, MappingPolicy::Random, MappingPolicy::RoundRobin] {
+            let mut m = Mapper::new(policy, 1);
+            let job = JobSpec::new(1, 0, 12, 10, 10);
+            assert_eq!(m.assign(&mut cs, &job, SimTime(0)), Some(2), "{policy}");
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut cs = clusters();
+        let mut m = Mapper::new(MappingPolicy::RoundRobin, 0);
+        let job = JobSpec::new(1, 0, 2, 10, 10);
+        let seq: Vec<usize> = (0..6).map(|_| m.assign(&mut cs, &job, SimTime(0)).unwrap()).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_small_clusters() {
+        let mut cs = clusters();
+        let mut m = Mapper::new(MappingPolicy::RoundRobin, 0);
+        let big = JobSpec::new(1, 0, 8, 10, 10); // fits a (8) and c (16), not b (4)
+        let seq: Vec<usize> = (0..4).map(|_| m.assign(&mut cs, &big, SimTime(0)).unwrap()).collect();
+        assert_eq!(seq, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_covers_clusters() {
+        let mut cs = clusters();
+        let job = JobSpec::new(1, 0, 2, 10, 10);
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut m = Mapper::new(MappingPolicy::Random, seed);
+            let mut cs = clusters();
+            (0..30).map(|_| m.assign(&mut cs, &job, SimTime(0)).unwrap()).collect()
+        };
+        assert_eq!(draw(5), draw(5));
+        let picks = draw(5);
+        for c in 0..3 {
+            assert!(picks.contains(&c), "cluster {c} never picked");
+        }
+        let mut m = Mapper::new(MappingPolicy::Random, 5);
+        assert!(m.assign(&mut cs, &job, SimTime(0)).is_some());
+    }
+}

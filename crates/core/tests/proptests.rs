@@ -1,0 +1,167 @@
+//! Property-based tests for the meta-scheduler and reallocation layer.
+
+use grid_batch::{BatchPolicy, ClusterSpec, JobSpec, Platform};
+use grid_des::Duration;
+use grid_metrics::Comparison;
+use grid_realloc::{GridConfig, GridSim, Heuristic, ReallocAlgorithm, ReallocConfig};
+use proptest::prelude::*;
+
+/// Arbitrary grid workload over a two-cluster platform.
+fn jobs_strategy() -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec(
+        (0u64..3_000, 1u32..=12, 0u64..2_000, 1u64..1_500),
+        1..80,
+    )
+    .prop_map(|raw| {
+        let mut t = 0;
+        raw.iter()
+            .enumerate()
+            .map(|(i, &(gap, procs, rt, margin))| {
+                t += gap;
+                let wt = if i % 6 == 5 { (rt / 2).max(1) } else { rt + margin };
+                JobSpec::new(i as u64, t, procs, rt, wt)
+            })
+            .collect()
+    })
+}
+
+fn platform() -> Platform {
+    Platform::new(
+        "prop",
+        vec![
+            ClusterSpec::new("c0", 12, 1.0),
+            ClusterSpec::new("c1", 8, 1.2),
+        ],
+    )
+}
+
+fn heuristic_strategy() -> impl Strategy<Value = Heuristic> {
+    prop::sample::select(Heuristic::ALL.to_vec())
+}
+
+fn algorithm_strategy() -> impl Strategy<Value = ReallocAlgorithm> {
+    prop::sample::select(ReallocAlgorithm::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation: every submitted job completes exactly once, under
+    /// every algorithm/heuristic pair, and record timestamps are ordered.
+    #[test]
+    fn all_jobs_complete(
+        jobs in jobs_strategy(),
+        h in heuristic_strategy(),
+        algo in algorithm_strategy(),
+        policy in prop::sample::select(vec![BatchPolicy::Fcfs, BatchPolicy::Cbf]),
+    ) {
+        let n = jobs.len();
+        let out = GridSim::new(
+            GridConfig::new(platform(), policy)
+                .with_realloc(ReallocConfig::new(algo, h).with_period(Duration::minutes(30))),
+            jobs.clone(),
+        )
+        .run()
+        .unwrap();
+        prop_assert_eq!(out.records.len(), n);
+        for j in &jobs {
+            let r = &out.records[&j.id];
+            prop_assert_eq!(r.submit, j.submit);
+            prop_assert!(r.start >= r.submit);
+            prop_assert!(r.completion >= r.start);
+            // Kill rule holds across migration and speed scaling.
+            let speed = [1.0, 1.2][r.cluster];
+            prop_assert!(
+                r.completion.since(r.start) <= j.walltime_ref.scale_by_speed(speed) + Duration(1)
+            );
+        }
+    }
+
+    /// Determinism: identical inputs give identical outcomes.
+    #[test]
+    fn runs_are_deterministic(
+        jobs in jobs_strategy(),
+        h in heuristic_strategy(),
+        algo in algorithm_strategy(),
+    ) {
+        let mk = || {
+            GridSim::new(
+                GridConfig::new(platform(), BatchPolicy::Cbf)
+                    .with_realloc(ReallocConfig::new(algo, h)),
+                jobs.clone(),
+            )
+            .run()
+            .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(a.records, b.records);
+        prop_assert_eq!(a.total_reallocations, b.total_reallocations);
+    }
+
+    /// The comparison metrics are internally consistent for arbitrary runs.
+    #[test]
+    fn comparison_consistency(
+        jobs in jobs_strategy(),
+        h in heuristic_strategy(),
+        algo in algorithm_strategy(),
+    ) {
+        let base = GridSim::new(GridConfig::new(platform(), BatchPolicy::Fcfs), jobs.clone())
+            .run()
+            .unwrap();
+        let run = GridSim::new(
+            GridConfig::new(platform(), BatchPolicy::Fcfs)
+                .with_realloc(ReallocConfig::new(algo, h)),
+            jobs,
+        )
+        .run()
+        .unwrap();
+        let c = Comparison::against_baseline(&base, &run);
+        prop_assert_eq!(c.earlier + c.later, c.impacted);
+        prop_assert!(c.impacted <= c.n_jobs);
+        prop_assert!(c.pct_impacted >= 0.0 && c.pct_impacted <= 100.0);
+        prop_assert!(c.pct_earlier >= 0.0 && c.pct_earlier <= 100.0);
+        prop_assert!(c.rel_avg_response > 0.0);
+        // Per-job migration counts sum to the run total.
+        let per_job: u64 = run.records.values().map(|r| u64::from(r.reallocations)).sum();
+        prop_assert_eq!(per_job, run.total_reallocations);
+        // Dedicated platform: every migration honours its ECT contract.
+        prop_assert_eq!(run.contract_violations, 0);
+    }
+
+    /// Algorithm 1 with an enormous threshold never migrates anything, and
+    /// the run then matches the baseline exactly.
+    #[test]
+    fn infinite_threshold_is_baseline(jobs in jobs_strategy(), h in heuristic_strategy()) {
+        let base = GridSim::new(GridConfig::new(platform(), BatchPolicy::Cbf), jobs.clone())
+            .run()
+            .unwrap();
+        let run = GridSim::new(
+            GridConfig::new(platform(), BatchPolicy::Cbf).with_realloc(
+                ReallocConfig::new(ReallocAlgorithm::NoCancel, h)
+                    .with_threshold(Duration(u64::MAX / 4)),
+            ),
+            jobs,
+        )
+        .run()
+        .unwrap();
+        prop_assert_eq!(run.total_reallocations, 0);
+        prop_assert_eq!(base.records, run.records);
+    }
+
+    /// A single-cluster platform can never migrate anything under
+    /// Algorithm 1, and cancel-all must reproduce a valid schedule.
+    #[test]
+    fn single_cluster_never_migrates(jobs in jobs_strategy(), algo in algorithm_strategy()) {
+        let single = Platform::new("one", vec![ClusterSpec::new("c0", 12, 1.0)]);
+        let out = GridSim::new(
+            GridConfig::new(single, BatchPolicy::Fcfs)
+                .with_realloc(ReallocConfig::new(algo, Heuristic::MinMin)),
+            jobs.clone(),
+        )
+        .run()
+        .unwrap();
+        prop_assert_eq!(out.total_reallocations, 0);
+        prop_assert_eq!(out.records.len(), jobs.len());
+    }
+}

@@ -1,0 +1,27 @@
+//! # grid-des — deterministic discrete-event simulation kernel
+//!
+//! This crate is the substrate equivalent of the role SimGrid plays in the
+//! paper *"Analysis of Tasks Reallocation in a Dedicated Grid Environment"*
+//! (Caniou, Charrier, Desprez, INRIA RR-7226, 2010): it provides the virtual
+//! clock, the ordered pending-event set and the helpers the higher layers
+//! (batch simulator, meta-scheduler) are built on.
+//!
+//! Design goals:
+//!
+//! * **Determinism** — events with equal timestamps are delivered in
+//!   insertion order (a monotone sequence number breaks ties), so a whole
+//!   simulation is a pure function of its inputs and seeds.
+//! * **Integer time** — simulated time is whole seconds (`SimTime`), the
+//!   resolution of batch-system traces; no floating-point drift.
+//! * **Same-timestamp batching** — callers can drain *all* events that share
+//!   the current timestamp at once ([`EventQueue::pop_batch`]), which the
+//!   batch layer uses to recompute cluster schedules once per instant
+//!   instead of once per event.
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::{EventQueue, Scheduled};
+pub use rng::SimRng;
+pub use time::{Duration, SimTime};

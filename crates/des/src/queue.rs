@@ -1,0 +1,257 @@
+//! The pending-event set: a deterministic priority queue of timestamped
+//! events.
+//!
+//! Events that share a timestamp are delivered in the order they were
+//! scheduled (FIFO within an instant), which makes every simulation replay
+//! bit-identical. The grid layer additionally relies on
+//! [`EventQueue::pop_batch`] to obtain *all* events of the current instant
+//! at once, so that cluster schedules are recomputed once per instant.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event of type `E` scheduled at a given simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotone sequence number; breaks ties deterministically.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+/// Internal heap entry ordered so that the `BinaryHeap` (a max-heap) pops
+/// the earliest `(at, seq)` first.
+#[derive(Debug)]
+struct Entry<E>(Scheduled<E>);
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: smaller (at, seq) is "greater" for the max-heap.
+        (other.0.at, other.0.seq).cmp(&(self.0.at, self.0.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// ```
+/// use grid_des::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime(5), "b");
+/// q.schedule(SimTime(3), "a");
+/// q.schedule(SimTime(5), "c");
+/// assert_eq!(q.pop().unwrap().event, "a");
+/// // Equal timestamps pop in insertion order.
+/// assert_eq!(q.pop().unwrap().event, "b");
+/// assert_eq!(q.pop().unwrap().event, "c");
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Highest timestamp ever popped; used to reject scheduling in the past.
+    watermark: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Create an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at time `at`.
+    ///
+    /// Scheduling *at* the current instant is allowed (the grid layer uses
+    /// it for cascading same-instant work); scheduling strictly in the past
+    /// is a logic error and panics in debug builds.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> u64 {
+        debug_assert!(
+            at >= self.watermark,
+            "scheduling into the past: {at} < watermark {}",
+            self.watermark
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry(Scheduled { at, seq, event }));
+        seq
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.at)
+    }
+
+    /// Pop the earliest pending event.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let entry = self.heap.pop()?;
+        self.watermark = entry.0.at;
+        Some(entry.0)
+    }
+
+    /// Pop *all* events sharing the earliest pending timestamp, in
+    /// scheduling order. Returns the timestamp and the batch.
+    pub fn pop_batch(&mut self) -> Option<(SimTime, Vec<Scheduled<E>>)> {
+        let at = self.peek_time()?;
+        let mut batch = Vec::new();
+        while self.peek_time() == Some(at) {
+            batch.push(self.pop().expect("peeked event must pop"));
+        }
+        Some((at, batch))
+    }
+
+    /// Drop every pending event (the clock watermark is preserved).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), 3);
+        q.schedule(SimTime(10), 1);
+        q.schedule(SimTime(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_batch_groups_equal_timestamps() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(5), "a");
+        q.schedule(SimTime(5), "b");
+        q.schedule(SimTime(9), "c");
+        let (t, batch) = q.pop_batch().unwrap();
+        assert_eq!(t, SimTime(5));
+        assert_eq!(
+            batch.iter().map(|s| s.event).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        let (t2, batch2) = q.pop_batch().unwrap();
+        assert_eq!(t2, SimTime(9));
+        assert_eq!(batch2.len(), 1);
+        assert!(q.pop_batch().is_none());
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn schedule_at_current_instant_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(5), "first");
+        let popped = q.pop().unwrap();
+        assert_eq!(popped.at, SimTime(5));
+        // Same instant: fine.
+        q.schedule(SimTime(5), "again");
+        assert_eq!(q.pop().unwrap().event, "again");
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)]
+    fn schedule_in_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), ());
+        q.pop();
+        q.schedule(SimTime(9), ());
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(1), 1);
+        q.schedule(SimTime(2), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn seq_numbers_are_unique_and_monotone() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime(1), ());
+        let b = q.schedule(SimTime(1), ());
+        let c = q.schedule(SimTime(0), ());
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_deterministic() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(1), "a");
+        q.schedule(SimTime(3), "d");
+        assert_eq!(q.pop().unwrap().event, "a");
+        q.schedule(SimTime(2), "b");
+        q.schedule(SimTime(2), "c");
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert_eq!(q.pop().unwrap().event, "c");
+        assert_eq!(q.pop().unwrap().event, "d");
+    }
+}

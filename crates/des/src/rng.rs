@@ -1,0 +1,217 @@
+//! Seeded randomness helpers.
+//!
+//! Every stochastic element of the reproduction (workload synthesis, the
+//! Random mapping policy of §2.1) draws from a [`SimRng`] seeded from the
+//! scenario definition, so that each experiment — and therefore each table
+//! row — is exactly reproducible.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random-number generator.
+///
+/// Thin wrapper over [`rand::rngs::StdRng`] adding domain helpers
+/// (log-uniform sampling, weighted index, stream derivation).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream.
+    ///
+    /// Mixes `stream` into the parent seed with SplitMix64-style constants,
+    /// so that e.g. each site of a platform gets its own reproducible
+    /// stream regardless of how many draws other sites consumed.
+    pub fn derive(seed: u64, stream: u64) -> Self {
+        let mut z = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::seed_from_u64(z)
+    }
+
+    /// Uniform sample in `range`.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Log-uniform sample in `[lo, hi]` (both > 0): the logarithm of the
+    /// result is uniform. This is the classic shape of batch-job runtime
+    /// distributions (many short jobs, a long tail).
+    ///
+    /// # Panics
+    /// Panics if `lo <= 0`, `hi <= 0` or `lo > hi`.
+    pub fn log_uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo > 0.0 && hi > 0.0 && lo <= hi, "bad log_uniform range [{lo}, {hi}]");
+        if lo == hi {
+            return lo;
+        }
+        let u = self.gen_f64();
+        (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+    }
+
+    /// Sample an index with probability proportional to `weights`.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to a non-positive value.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index on empty weights");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut x = self.gen_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Next raw 64 bits (for callers needing a sub-seed).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams should diverge");
+    }
+
+    #[test]
+    fn derive_streams_are_independent_and_reproducible() {
+        let mut a1 = SimRng::derive(7, 0);
+        let mut a2 = SimRng::derive(7, 0);
+        let mut b = SimRng::derive(7, 1);
+        assert_eq!(a1.next_u64(), a2.next_u64());
+        let mut c1 = SimRng::derive(7, 0);
+        let x = c1.next_u64();
+        assert_ne!(x, b.next_u64());
+    }
+
+    #[test]
+    fn log_uniform_stays_in_range() {
+        let mut r = SimRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.log_uniform(10.0, 10_000.0);
+            assert!((10.0..=10_000.0).contains(&v), "{v} out of range");
+        }
+    }
+
+    #[test]
+    fn log_uniform_degenerate_range() {
+        let mut r = SimRng::seed_from_u64(3);
+        assert_eq!(r.log_uniform(5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn log_uniform_is_log_spread() {
+        // Roughly half the mass of log-uniform [1, 10000] lies below 100.
+        let mut r = SimRng::seed_from_u64(9);
+        let below = (0..4000)
+            .filter(|_| r.log_uniform(1.0, 10_000.0) < 100.0)
+            .count();
+        let frac = below as f64 / 4000.0;
+        assert!((0.42..0.58).contains(&frac), "frac={frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad log_uniform range")]
+    fn log_uniform_rejects_bad_range() {
+        let mut r = SimRng::seed_from_u64(0);
+        let _ = r.log_uniform(10.0, 1.0);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SimRng::seed_from_u64(11);
+        let w = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..8000 {
+            counts[r.weighted_index(&w)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((2.4..3.7).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weights")]
+    fn weighted_index_rejects_empty() {
+        let mut r = SimRng::seed_from_u64(0);
+        let _ = r.weighted_index(&[]);
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let mut r1 = SimRng::seed_from_u64(5);
+        let mut r2 = SimRng::seed_from_u64(5);
+        let mut v1: Vec<u32> = (0..50).collect();
+        let mut v2 = v1.clone();
+        r1.shuffle(&mut v1);
+        r2.shuffle(&mut v2);
+        assert_eq!(v1, v2);
+        let mut sorted = v1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SimRng::seed_from_u64(1);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        // Out-of-range p is clamped rather than panicking.
+        assert!(r.gen_bool(2.0));
+        assert!(!r.gen_bool(-1.0));
+    }
+}

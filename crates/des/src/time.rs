@@ -1,0 +1,276 @@
+//! Simulated time: whole seconds since the start of the scenario.
+//!
+//! Batch-system traces (SWF and the Grid'5000 OAR logs used by the paper)
+//! have one-second resolution, so the whole simulator works in `u64`
+//! seconds. Heterogeneity (a cluster being "20% faster") is applied by
+//! dividing durations by the speed factor and rounding *up*; see
+//! [`Duration::scale_by_speed`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in whole seconds since scenario start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in whole seconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+/// Seconds in one minute.
+pub const MINUTE: u64 = 60;
+/// Seconds in one hour.
+pub const HOUR: u64 = 3_600;
+/// Seconds in one day.
+pub const DAY: u64 = 86_400;
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as "never" / +infinity.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Raw number of seconds since scenario start.
+    #[inline]
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed time since `earlier`, saturating at zero if `earlier` is in
+    /// the future.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// `true` when this instant stands for "never" (`SimTime::MAX`).
+    #[inline]
+    pub fn is_never(self) -> bool {
+        self == SimTime::MAX
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub fn secs(s: u64) -> Duration {
+        Duration(s)
+    }
+
+    /// Construct from whole minutes.
+    #[inline]
+    pub fn minutes(m: u64) -> Duration {
+        Duration(m * MINUTE)
+    }
+
+    /// Construct from whole hours.
+    #[inline]
+    pub fn hours(h: u64) -> Duration {
+        Duration(h * HOUR)
+    }
+
+    /// Construct from whole days.
+    #[inline]
+    pub fn days(d: u64) -> Duration {
+        Duration(d * DAY)
+    }
+
+    /// Raw number of seconds.
+    #[inline]
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Scale a reference-speed duration onto a cluster with relative speed
+    /// `speed` (>= 1.0 means faster than the reference cluster), rounding
+    /// up so that a faster cluster never *under*-reserves.
+    ///
+    /// This implements the paper's "automatic adjustment of the walltime to
+    /// the speed of the cluster" (§1): a 3600 s job on a 1.2× cluster takes
+    /// `ceil(3600 / 1.2) = 3000` s.
+    ///
+    /// # Panics
+    /// Panics if `speed` is not finite and strictly positive.
+    #[inline]
+    pub fn scale_by_speed(self, speed: f64) -> Duration {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "cluster speed must be finite and positive, got {speed}"
+        );
+        if speed == 1.0 || self.0 == 0 {
+            return self;
+        }
+        let scaled = (self.0 as f64 / speed).ceil();
+        debug_assert!(scaled >= 0.0);
+        Duration(scaled as u64)
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_never() {
+            return write!(f, "never");
+        }
+        write!(f, "t={}", format_hms(self.0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_hms(self.0))
+    }
+}
+
+/// Render a number of seconds as `[Dd]HH:MM:SS`.
+pub fn format_hms(total: u64) -> String {
+    let days = total / DAY;
+    let rem = total % DAY;
+    let h = rem / HOUR;
+    let m = (rem % HOUR) / MINUTE;
+    let s = rem % MINUTE;
+    if days > 0 {
+        format!("{days}d{h:02}:{m:02}:{s:02}")
+    } else {
+        format!("{h:02}:{m:02}:{s:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_add_duration() {
+        assert_eq!(SimTime(10) + Duration(5), SimTime(15));
+    }
+
+    #[test]
+    fn simtime_add_saturates_at_max() {
+        assert_eq!(SimTime::MAX + Duration(1), SimTime::MAX);
+    }
+
+    #[test]
+    fn simtime_sub_saturates_at_zero() {
+        assert_eq!(SimTime(3) - Duration(10), SimTime::ZERO);
+    }
+
+    #[test]
+    fn since_measures_elapsed() {
+        assert_eq!(SimTime(100).since(SimTime(40)), Duration(60));
+    }
+
+    #[test]
+    fn since_saturates_when_earlier_is_later() {
+        assert_eq!(SimTime(40).since(SimTime(100)), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(Duration::minutes(2), Duration(120));
+        assert_eq!(Duration::hours(1), Duration(3600));
+        assert_eq!(Duration::days(1), Duration(86_400));
+        assert_eq!(Duration::secs(7), Duration(7));
+    }
+
+    #[test]
+    fn scale_identity_at_unit_speed() {
+        assert_eq!(Duration(3600).scale_by_speed(1.0), Duration(3600));
+    }
+
+    #[test]
+    fn scale_rounds_up() {
+        // 3600 / 1.2 = 3000 exactly.
+        assert_eq!(Duration(3600).scale_by_speed(1.2), Duration(3000));
+        // 100 / 1.4 = 71.43 -> 72.
+        assert_eq!(Duration(100).scale_by_speed(1.4), Duration(72));
+        // 1 / 1.4 -> 1 (never rounds a nonzero duration to zero here).
+        assert_eq!(Duration(1).scale_by_speed(1.4), Duration(1));
+    }
+
+    #[test]
+    fn scale_zero_stays_zero() {
+        assert_eq!(Duration(0).scale_by_speed(1.4), Duration(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster speed")]
+    fn scale_rejects_zero_speed() {
+        let _ = Duration(10).scale_by_speed(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster speed")]
+    fn scale_rejects_nan_speed() {
+        let _ = Duration(10).scale_by_speed(f64::NAN);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime(3_661).to_string(), "t=01:01:01");
+        assert_eq!(Duration(90_061).to_string(), "1d01:01:01");
+        assert_eq!(SimTime::MAX.to_string(), "never");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime(5) < SimTime(6));
+        assert!(Duration(5) < Duration(6));
+        assert!(SimTime::MAX.is_never());
+        assert!(!SimTime(5).is_never());
+    }
+}

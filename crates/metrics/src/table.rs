@@ -1,0 +1,249 @@
+//! Paper-style result tables.
+//!
+//! Tables 2–17 of the paper all share one layout: rows are grouped by batch
+//! algorithm (FCFS, CBF), one row per heuristic, one column per trace
+//! (jan…jun, pwa-g5k) and — for most tables — a final AVG column holding
+//! the row mean. [`PaperTable`] renders that layout as aligned ASCII.
+
+use std::fmt;
+
+/// One row: a heuristic name and one value per scenario column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Heuristic label, e.g. `MinMin` or `MinMin-C`.
+    pub label: String,
+    /// One value per column (same length as `PaperTable::columns`).
+    pub values: Vec<f64>,
+}
+
+/// A group of rows sharing a batch policy label (the paper's FCFS / CBF
+/// blocks).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Group {
+    /// Group label, e.g. `FCFS`.
+    pub label: String,
+    /// The rows of the group.
+    pub rows: Vec<Row>,
+}
+
+/// An entire table in the paper's layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperTable {
+    /// Caption printed above the table.
+    pub title: String,
+    /// Scenario column headers (without the AVG column).
+    pub columns: Vec<String>,
+    /// Row groups (FCFS block, CBF block).
+    pub groups: Vec<Group>,
+    /// Append an AVG column with the mean of each row.
+    pub with_avg: bool,
+    /// Number of decimal places.
+    pub decimals: usize,
+}
+
+impl PaperTable {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<String>, with_avg: bool) -> Self {
+        PaperTable {
+            title: title.into(),
+            columns,
+            groups: Vec::new(),
+            with_avg,
+            decimals: 2,
+        }
+    }
+
+    /// Set the number of decimals (builder style).
+    pub fn decimals(mut self, d: usize) -> Self {
+        self.decimals = d;
+        self
+    }
+
+    /// Append a row to the group named `group` (created on demand).
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the number of columns.
+    pub fn push_row(&mut self, group: &str, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match column count"
+        );
+        let g = match self.groups.iter_mut().find(|g| g.label == group) {
+            Some(g) => g,
+            None => {
+                self.groups.push(Group {
+                    label: group.to_string(),
+                    rows: Vec::new(),
+                });
+                self.groups.last_mut().expect("just pushed")
+            }
+        };
+        g.rows.push(Row {
+            label: label.into(),
+            values,
+        });
+    }
+
+    /// Mean of a row's values (the AVG column).
+    fn row_avg(values: &[f64]) -> f64 {
+        if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+    }
+
+    /// Look up a value by group, row label and column header.
+    pub fn get(&self, group: &str, label: &str, column: &str) -> Option<f64> {
+        let ci = self.columns.iter().position(|c| c == column)?;
+        self.groups
+            .iter()
+            .find(|g| g.label == group)?
+            .rows
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.values[ci])
+    }
+
+    /// The AVG value of a row.
+    pub fn get_avg(&self, group: &str, label: &str) -> Option<f64> {
+        self.groups
+            .iter()
+            .find(|g| g.label == group)?
+            .rows
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| Self::row_avg(&r.values))
+    }
+}
+
+impl fmt::Display for PaperTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut headers: Vec<String> = vec!["Batch".into(), "Heuristic".into()];
+        headers.extend(self.columns.iter().cloned());
+        if self.with_avg {
+            headers.push("AVG".into());
+        }
+        // Gather all body cells to compute column widths.
+        let mut body: Vec<Vec<String>> = Vec::new();
+        for g in &self.groups {
+            for (i, row) in g.rows.iter().enumerate() {
+                let mut cells = Vec::with_capacity(headers.len());
+                cells.push(if i == 0 { g.label.clone() } else { String::new() });
+                cells.push(row.label.clone());
+                for v in &row.values {
+                    cells.push(format!("{:.*}", self.decimals, v));
+                }
+                if self.with_avg {
+                    cells.push(format!("{:.*}", self.decimals, Self::row_avg(&row.values)));
+                }
+                body.push(cells);
+            }
+        }
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &body {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        writeln!(f, "{sep}")?;
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i < 2 {
+                        format!(" {:<w$} ", c, w = widths[i])
+                    } else {
+                        format!(" {:>w$} ", c, w = widths[i])
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        writeln!(f, "{}", fmt_row(&headers))?;
+        writeln!(f, "{sep}")?;
+        let mut prev_group_start = 0;
+        for g in &self.groups {
+            if prev_group_start > 0 {
+                writeln!(f, "{sep}")?;
+            }
+            for row in &body[prev_group_start..prev_group_start + g.rows.len()] {
+                writeln!(f, "{}", fmt_row(row))?;
+            }
+            prev_group_start += g.rows.len();
+        }
+        writeln!(f, "{sep}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PaperTable {
+        let mut t = PaperTable::new(
+            "Table X: demo",
+            vec!["jan".into(), "feb".into()],
+            true,
+        );
+        t.push_row("FCFS", "Mct", vec![1.0, 3.0]);
+        t.push_row("FCFS", "MinMin", vec![2.0, 2.0]);
+        t.push_row("CBF", "Mct", vec![4.0, 4.0]);
+        t
+    }
+
+    #[test]
+    fn get_and_avg() {
+        let t = sample();
+        assert_eq!(t.get("FCFS", "Mct", "jan"), Some(1.0));
+        assert_eq!(t.get("FCFS", "Mct", "feb"), Some(3.0));
+        assert_eq!(t.get_avg("FCFS", "Mct"), Some(2.0));
+        assert_eq!(t.get("CBF", "Mct", "jan"), Some(4.0));
+        assert_eq!(t.get("CBF", "Nope", "jan"), None);
+        assert_eq!(t.get("FCFS", "Mct", "mar"), None);
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let s = sample().to_string();
+        assert!(s.contains("Table X: demo"));
+        for needle in ["FCFS", "CBF", "Mct", "MinMin", "jan", "feb", "AVG", "1.00", "2.00", "4.00"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn group_label_printed_once() {
+        let s = sample().to_string();
+        assert_eq!(s.matches("FCFS").count(), 1, "{s}");
+    }
+
+    #[test]
+    fn decimals_respected() {
+        let mut t = PaperTable::new("t", vec!["c".into()], false).decimals(0);
+        t.push_row("G", "r", vec![3.7]);
+        assert!(t.to_string().contains(" 4 "), "{t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = PaperTable::new("t", vec!["a".into(), "b".into()], false);
+        t.push_row("G", "r", vec![1.0]);
+    }
+
+    #[test]
+    fn without_avg_column() {
+        let mut t = PaperTable::new("t", vec!["a".into()], false);
+        t.push_row("G", "r", vec![1.0]);
+        assert!(!t.to_string().contains("AVG"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Post-hoc time series derived from run outcomes.
+//!
+//! The paper explains its month-to-month differences by load ("if the
+//! platform is quite empty … when the platform is very loaded", §4.1).
+//! These helpers reconstruct the load story from the per-job records of a
+//! finished run: how many jobs were waiting, and how many cores were busy,
+//! at any instant — the two curves that make Tables 2–17 interpretable.
+
+use grid_batch::{JobId, JobSpec};
+use grid_des::SimTime;
+
+use crate::compare::RunOutcome;
+
+/// Evenly spaced sample instants across `[0, end]`.
+fn sample_points(end: SimTime, samples: usize) -> Vec<SimTime> {
+    assert!(samples >= 2, "need at least two samples");
+    let end = end.as_secs().max(1);
+    (0..samples)
+        .map(|i| SimTime(end * i as u64 / (samples as u64 - 1)))
+        .collect()
+}
+
+/// Number of jobs waiting (submitted, not yet started) at each sample
+/// instant.
+pub fn queue_length_series(outcome: &RunOutcome, samples: usize) -> Vec<(SimTime, usize)> {
+    let points = sample_points(outcome.makespan, samples);
+    // Sweep: +1 at submit, -1 at start.
+    let mut deltas: Vec<(SimTime, i64)> = Vec::with_capacity(outcome.records.len() * 2);
+    for r in outcome.records.values() {
+        deltas.push((r.submit, 1));
+        deltas.push((r.start, -1));
+    }
+    deltas.sort_unstable_by_key(|&(t, d)| (t, d));
+    let mut out = Vec::with_capacity(samples);
+    let mut level = 0i64;
+    let mut i = 0;
+    for p in points {
+        while i < deltas.len() && deltas[i].0 <= p {
+            level += deltas[i].1;
+            i += 1;
+        }
+        debug_assert!(level >= 0);
+        out.push((p, level.max(0) as usize));
+    }
+    out
+}
+
+/// Fraction of `total_procs` busy at each sample instant. Processor counts
+/// come from the original job list (`jobs` must cover every record).
+pub fn utilization_series(
+    jobs: &[JobSpec],
+    outcome: &RunOutcome,
+    total_procs: u32,
+    samples: usize,
+) -> Vec<(SimTime, f64)> {
+    assert!(total_procs > 0);
+    let procs_of = |id: JobId| -> i64 {
+        jobs.iter()
+            .find(|j| j.id == id)
+            .map(|j| i64::from(j.procs))
+            .unwrap_or_else(|| panic!("job {id} missing from the job list"))
+    };
+    let points = sample_points(outcome.makespan, samples);
+    let mut deltas: Vec<(SimTime, i64)> = Vec::with_capacity(outcome.records.len() * 2);
+    for r in outcome.records.values() {
+        let p = procs_of(r.id);
+        if r.start < r.completion {
+            deltas.push((r.start, p));
+            deltas.push((r.completion, -p));
+        }
+    }
+    deltas.sort_unstable_by_key(|&(t, d)| (t, d));
+    let mut out = Vec::with_capacity(samples);
+    let mut busy = 0i64;
+    let mut i = 0;
+    for p in points {
+        while i < deltas.len() && deltas[i].0 <= p {
+            busy += deltas[i].1;
+            i += 1;
+        }
+        debug_assert!(busy >= 0);
+        out.push((p, busy.max(0) as f64 / f64::from(total_procs)));
+    }
+    out
+}
+
+/// Render a series as a unicode sparkline (one character per sample).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return BARS[0].to_string().repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|v| {
+            let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+            BARS[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::JobRecord;
+
+    fn rec(id: u64, submit: u64, start: u64, completion: u64) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            submit: SimTime(submit),
+            start: SimTime(start),
+            completion: SimTime(completion),
+            cluster: 0,
+            reallocations: 0,
+        }
+    }
+
+    fn outcome(recs: &[JobRecord]) -> RunOutcome {
+        let mut o = RunOutcome::default();
+        for r in recs {
+            o.push(*r);
+        }
+        o
+    }
+
+    #[test]
+    fn queue_length_tracks_waiting_jobs() {
+        // Job 0 waits [0, 50), job 1 waits [10, 80).
+        let o = outcome(&[rec(0, 0, 50, 100), rec(1, 10, 80, 100)]);
+        let series = queue_length_series(&o, 11); // every 10 s over [0, 100]
+        let at = |t: u64| series.iter().find(|(p, _)| p.as_secs() == t).unwrap().1;
+        assert_eq!(at(0), 1); // job 0 waiting
+        assert_eq!(at(10), 2); // both waiting
+        assert_eq!(at(50), 1); // job 0 started
+        assert_eq!(at(80), 0); // both started
+    }
+
+    #[test]
+    fn utilization_tracks_running_cores() {
+        let jobs = vec![JobSpec::new(0, 0, 4, 100, 100), JobSpec::new(1, 0, 4, 50, 50)];
+        let o = outcome(&[rec(0, 0, 0, 100), rec(1, 0, 50, 100)]);
+        let series = utilization_series(&jobs, &o, 8, 11);
+        let at = |t: u64| series.iter().find(|(p, _)| p.as_secs() == t).unwrap().1;
+        assert!((at(0) - 0.5).abs() < 1e-9); // 4 of 8 busy
+        assert!((at(50) - 1.0).abs() < 1e-9); // both running
+        assert!((at(100) - 0.0).abs() < 1e-9); // all done
+    }
+
+    #[test]
+    fn utilization_never_negative_or_above_input_capacity() {
+        let jobs: Vec<JobSpec> = (0..20).map(|i| JobSpec::new(i, i, 2, 30, 40)).collect();
+        let recs: Vec<JobRecord> = jobs
+            .iter()
+            .map(|j| {
+                rec(
+                    j.id.0,
+                    j.submit.as_secs(),
+                    j.submit.as_secs() + 5,
+                    j.submit.as_secs() + 35,
+                )
+            })
+            .collect();
+        let o = outcome(&recs);
+        for (_, u) in utilization_series(&jobs, &o, 64, 50) {
+            assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+        }
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.ends_with('█'));
+        assert!(s.starts_with('▁'));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from the job list")]
+    fn utilization_requires_matching_jobs() {
+        let o = outcome(&[rec(7, 0, 0, 10)]);
+        let _ = utilization_series(&[], &o, 4, 3);
+    }
+
+    #[test]
+    fn empty_outcome_yields_flat_series() {
+        let o = RunOutcome::default();
+        let q = queue_length_series(&o, 5);
+        assert_eq!(q.len(), 5);
+        assert!(q.iter().all(|&(_, n)| n == 0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for metric computation and table rendering.
+
+use grid_batch::JobId;
+use grid_des::SimTime;
+use grid_metrics::{Comparison, JobRecord, PaperTable, RunOutcome};
+use proptest::prelude::*;
+
+/// An arbitrary pair of runs over the same jobs.
+fn run_pair() -> impl Strategy<Value = (RunOutcome, RunOutcome)> {
+    prop::collection::vec(
+        (0u64..10_000, 0u64..5_000, 0u64..5_000, 0u64..5_000, 0u64..5_000),
+        1..80,
+    )
+    .prop_map(|raw| {
+        let mut a = RunOutcome::default();
+        let mut b = RunOutcome::default();
+        for (i, &(submit, wait_a, run_a, wait_b, run_b)) in raw.iter().enumerate() {
+            let id = JobId(i as u64);
+            a.push(JobRecord {
+                id,
+                submit: SimTime(submit),
+                start: SimTime(submit + wait_a),
+                completion: SimTime(submit + wait_a + run_a),
+                cluster: 0,
+                reallocations: 0,
+            });
+            b.push(JobRecord {
+                id,
+                submit: SimTime(submit),
+                start: SimTime(submit + wait_b),
+                completion: SimTime(submit + wait_b + run_b),
+                cluster: 1,
+                reallocations: (i % 3) as u32,
+            });
+        }
+        (a, b)
+    })
+}
+
+proptest! {
+    /// Internal consistency of the §3.4 metrics for arbitrary run pairs.
+    #[test]
+    fn comparison_invariants((base, run) in run_pair()) {
+        let c = Comparison::against_baseline(&base, &run);
+        prop_assert_eq!(c.n_jobs, base.records.len());
+        prop_assert_eq!(c.earlier + c.later, c.impacted);
+        prop_assert!(c.impacted <= c.n_jobs);
+        prop_assert!((0.0..=100.0).contains(&c.pct_impacted));
+        prop_assert!((0.0..=100.0).contains(&c.pct_earlier));
+        prop_assert!(c.rel_avg_response > 0.0 || c.impacted == 0);
+        // Self-comparison is the identity.
+        let self_cmp = Comparison::against_baseline(&base, &base.clone());
+        prop_assert_eq!(self_cmp.impacted, 0);
+        prop_assert_eq!(self_cmp.rel_avg_response, 1.0);
+    }
+
+    /// Symmetry: swapping the runs swaps earlier/later and inverts the
+    /// response ratio (when defined).
+    #[test]
+    fn comparison_symmetry((base, run) in run_pair()) {
+        let fwd = Comparison::against_baseline(&base, &run);
+        let rev = Comparison::against_baseline(&run, &base);
+        prop_assert_eq!(fwd.impacted, rev.impacted);
+        prop_assert_eq!(fwd.earlier, rev.later);
+        prop_assert_eq!(fwd.later, rev.earlier);
+        if fwd.impacted > 0 && fwd.rel_avg_response > 0.0 {
+            prop_assert!((fwd.rel_avg_response * rev.rel_avg_response - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Makespan and mean response are consistent with the records.
+    #[test]
+    fn outcome_aggregates((base, _) in run_pair()) {
+        let max_completion = base.records.values().map(|r| r.completion).max().unwrap();
+        prop_assert_eq!(base.makespan, max_completion);
+        let mean = base.mean_response();
+        let lo = base.records.values().map(|r| r.response().as_secs()).min().unwrap() as f64;
+        let hi = base.records.values().map(|r| r.response().as_secs()).max().unwrap() as f64;
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+    }
+
+    /// Table rendering never loses cells: every value appears with the
+    /// requested precision and rows stay queryable.
+    #[test]
+    fn table_roundtrip(
+        values in prop::collection::vec(0.0f64..10_000.0, 1..30),
+        cols in 1usize..6,
+    ) {
+        let n_rows = values.len().div_ceil(cols);
+        let mut padded = values.clone();
+        padded.resize(n_rows * cols, 0.0);
+        let columns: Vec<String> = (0..cols).map(|c| format!("c{c}")).collect();
+        let mut t = PaperTable::new("prop", columns, true).decimals(2);
+        for r in 0..n_rows {
+            t.push_row("G", format!("r{r}"), padded[r * cols..(r + 1) * cols].to_vec());
+        }
+        for r in 0..n_rows {
+            for c in 0..cols {
+                let got = t.get("G", &format!("r{r}"), &format!("c{c}")).unwrap();
+                prop_assert_eq!(got, padded[r * cols + c]);
+            }
+            let avg = t.get_avg("G", &format!("r{r}")).unwrap();
+            let expect: f64 =
+                padded[r * cols..(r + 1) * cols].iter().sum::<f64>() / cols as f64;
+            prop_assert!((avg - expect).abs() < 1e-9);
+        }
+        let rendered = t.to_string();
+        prop_assert!(rendered.contains("AVG"));
+        prop_assert_eq!(rendered.lines().filter(|l| l.contains('|')).count(), n_rows + 1);
+    }
+}

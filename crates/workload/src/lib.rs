@@ -1,0 +1,27 @@
+//! # grid-workload — traces for the grid simulator
+//!
+//! The paper replays real submission traces: six months of Grid'5000 logs
+//! (Bordeaux, Lyon, Toulouse — first half of 2008) and two logs from the
+//! Parallel Workload Archive (CTC SP2, SDSC SP2), *unclean* versions
+//! included ("bad" jobs kept, §3.3). Those logs are not redistributable, so
+//! this crate provides both:
+//!
+//! * an [`swf`] module reading and writing the Parallel Workload Archive's
+//!   **Standard Workload Format**, so real logs can be dropped in when
+//!   available, and
+//! * a [`model`] module synthesizing traces with the statistical features
+//!   that matter to the paper's mechanism (bursty arrivals, walltime
+//!   over-estimation, rigid power-of-two-ish sizes, kill-at-walltime
+//!   "bad" jobs), with [`paper`] presets matching Table 1's job counts
+//!   exactly.
+//!
+//! All synthesis is deterministic given a scenario and a seed.
+
+pub mod model;
+pub mod paper;
+pub mod stats;
+pub mod swf;
+
+pub use model::{ArrivalSpec, RuntimeSpec, SiteWorkloadSpec, SizeSpec, WalltimeSpec};
+pub use paper::Scenario;
+pub use stats::WorkloadStats;

@@ -1,0 +1,532 @@
+//! Synthetic workload model.
+//!
+//! Substitutes the paper's (non-redistributable) Grid'5000 and PWA traces
+//! with statistically comparable synthetic traces. The model captures the
+//! features the reallocation mechanism reacts to:
+//!
+//! * **Bursty, rhythmic arrivals.** Arrival intensity follows a daily and
+//!   weekly cycle plus randomly placed high-intensity burst windows — the
+//!   paper explicitly motivates reallocation with "bursts of submissions"
+//!   that batch systems put up with badly (§1, citing Sonmez et al.).
+//! * **Walltime over-estimation.** Users over-evaluate walltimes so their
+//!   jobs are not killed (§1); the model draws a multiplicative
+//!   over-estimation factor and rounds the result up to "round" values
+//!   (10 min, 1 h, 2 h, …) the way users do. Early completions are what
+//!   free the space reallocation exploits.
+//! * **"Bad" jobs.** The paper deliberately keeps the unclean PWA logs
+//!   (§3.3): a small fraction of jobs exceed their walltime (killed), and
+//!   some fail almost instantly.
+//! * **Rigid sizes.** Power-of-two-biased processor counts, bounded by the
+//!   origin site's size.
+//! * **Calibrated load.** Per-site target utilization rescales runtimes so
+//!   that monthly load levels — the main driver of the paper's
+//!   month-to-month differences — are controlled.
+
+use grid_batch::JobSpec;
+use grid_des::{Duration, SimRng, SimTime};
+
+/// Arrival-process parameters.
+#[derive(Debug, Clone)]
+pub struct ArrivalSpec {
+    /// Relative intensity per hour of day (24 entries).
+    pub hourly_weights: [f64; 24],
+    /// Relative intensity per day of week (7 entries, 0 = Monday).
+    pub weekday_weights: [f64; 7],
+    /// Number of burst windows over the whole span.
+    pub n_bursts: usize,
+    /// Burst window length bounds, in seconds.
+    pub burst_len: (u64, u64),
+    /// Intensity multiplier inside a burst window.
+    pub burst_weight: f64,
+}
+
+impl Default for ArrivalSpec {
+    fn default() -> Self {
+        ArrivalSpec {
+            // Night trough, morning ramp, office-hours plateau, evening
+            // decline: the classic shape of supercomputer logs.
+            hourly_weights: [
+                0.25, 0.2, 0.15, 0.15, 0.15, 0.2, 0.3, 0.5, 0.9, 1.3, 1.5, 1.5, 1.3, 1.4, 1.5,
+                1.5, 1.4, 1.2, 1.0, 0.8, 0.6, 0.5, 0.4, 0.3,
+            ],
+            weekday_weights: [1.0, 1.05, 1.05, 1.0, 0.95, 0.45, 0.35],
+            n_bursts: 8,
+            burst_len: (300, 3_600),
+            burst_weight: 40.0,
+        }
+    }
+}
+
+/// Processor-count parameters.
+#[derive(Debug, Clone)]
+pub struct SizeSpec {
+    /// `(weight, lo, hi)` buckets; a bucket is sampled by weight, then a
+    /// size uniformly (power-of-two biased) within `[lo, hi]`.
+    pub buckets: Vec<(f64, u32, u32)>,
+    /// Probability that a non-serial size is rounded down to a power of
+    /// two.
+    pub p_pow2: f64,
+}
+
+impl SizeSpec {
+    /// Default buckets for a site with `max_procs` processors.
+    pub fn for_site(max_procs: u32) -> Self {
+        let mut buckets = vec![(35.0, 1, 1)];
+        if max_procs > 1 {
+            buckets.push((25.0, 2, 8.min(max_procs)));
+        }
+        if max_procs > 8 {
+            buckets.push((20.0, 9, 32.min(max_procs)));
+        }
+        if max_procs > 32 {
+            buckets.push((14.0, 33, 128.min(max_procs)));
+        }
+        if max_procs > 128 {
+            buckets.push((6.0, 129, max_procs));
+        }
+        SizeSpec {
+            buckets,
+            p_pow2: 0.6,
+        }
+    }
+}
+
+/// Runtime parameters (before utilization calibration).
+#[derive(Debug, Clone)]
+pub struct RuntimeSpec {
+    /// `(weight, lo_secs, hi_secs)` classes; log-uniform within a class.
+    pub classes: Vec<(f64, u64, u64)>,
+}
+
+impl Default for RuntimeSpec {
+    fn default() -> Self {
+        RuntimeSpec {
+            classes: vec![
+                (15.0, 10, 300),        // tiny
+                (45.0, 300, 14_400),    // up to 4 h
+                (30.0, 14_400, 86_400), // up to a day
+                (10.0, 86_400, 259_200), // up to 3 days
+            ],
+        }
+    }
+}
+
+/// Walltime (user estimate) parameters.
+#[derive(Debug, Clone)]
+pub struct WalltimeSpec {
+    /// `(weight, lo, hi)` over-estimation factor classes (`walltime =
+    /// runtime × factor`, then rounded up to a round value).
+    pub factor_classes: Vec<(f64, f64, f64)>,
+    /// "Round" walltime values users pick, ascending, in seconds.
+    pub round_values: Vec<u64>,
+    /// Probability a job overruns its walltime and is killed.
+    pub p_killed: f64,
+    /// Probability a job fails almost instantly (runtime <= 30 s) while
+    /// requesting a normal walltime.
+    pub p_instant_failure: f64,
+}
+
+impl Default for WalltimeSpec {
+    fn default() -> Self {
+        WalltimeSpec {
+            factor_classes: vec![
+                (10.0, 1.0, 1.05),
+                (25.0, 1.05, 2.0),
+                (30.0, 2.0, 5.0),
+                (20.0, 5.0, 10.0),
+                (15.0, 10.0, 20.0),
+            ],
+            round_values: vec![
+                600,
+                1_800,
+                3_600,
+                2 * 3_600,
+                4 * 3_600,
+                8 * 3_600,
+                12 * 3_600,
+                24 * 3_600,
+                48 * 3_600,
+                72 * 3_600,
+                120 * 3_600,
+            ],
+            p_killed: 0.03,
+            p_instant_failure: 0.02,
+        }
+    }
+}
+
+/// Complete description of one site's synthetic trace.
+#[derive(Debug, Clone)]
+pub struct SiteWorkloadSpec {
+    /// Number of jobs to generate (Table 1 drives this in the presets).
+    pub n_jobs: usize,
+    /// Site size; generated jobs never exceed it.
+    pub max_procs: u32,
+    /// Trace length.
+    pub span: Duration,
+    /// Arrival process.
+    pub arrival: ArrivalSpec,
+    /// Size distribution.
+    pub size: SizeSpec,
+    /// Runtime distribution.
+    pub runtime: RuntimeSpec,
+    /// Walltime model.
+    pub walltime: WalltimeSpec,
+    /// When set, rescale runtimes so the trace's total work equals
+    /// `target × max_procs × span` core-seconds.
+    pub target_utilization: Option<f64>,
+}
+
+impl SiteWorkloadSpec {
+    /// A reasonable spec for a site of `max_procs` processors.
+    pub fn new(n_jobs: usize, max_procs: u32, span: Duration) -> Self {
+        SiteWorkloadSpec {
+            n_jobs,
+            max_procs,
+            span,
+            arrival: ArrivalSpec::default(),
+            size: SizeSpec::for_site(max_procs),
+            runtime: RuntimeSpec::default(),
+            walltime: WalltimeSpec::default(),
+            target_utilization: None,
+        }
+    }
+
+    /// Builder: set the utilization target.
+    pub fn with_utilization(mut self, u: f64) -> Self {
+        assert!(u > 0.0, "utilization target must be positive");
+        self.target_utilization = Some(u);
+        self
+    }
+
+    /// Generate the trace. Jobs get ids `0..n_jobs` (callers re-identify
+    /// through [`crate::swf::merge_traces`]) and `origin_site = 0`.
+    pub fn generate(&self, rng: &mut SimRng) -> Vec<JobSpec> {
+        let arrivals = self.sample_arrivals(rng);
+        let mut procs = Vec::with_capacity(self.n_jobs);
+        let mut runtimes = Vec::with_capacity(self.n_jobs);
+        for _ in 0..self.n_jobs {
+            procs.push(self.sample_size(rng));
+            runtimes.push(self.sample_runtime(rng));
+        }
+        self.calibrate_runtimes(&procs, &mut runtimes);
+        let mut jobs = Vec::with_capacity(self.n_jobs);
+        for i in 0..self.n_jobs {
+            let (runtime, walltime) = self.sample_walltime(runtimes[i], rng);
+            jobs.push(JobSpec {
+                id: grid_batch::JobId(i as u64),
+                submit: arrivals[i],
+                procs: procs[i],
+                runtime_ref: Duration(runtime),
+                walltime_ref: Duration(walltime),
+                origin_site: 0,
+            });
+        }
+        jobs
+    }
+
+    /// Sample `n_jobs` arrival instants by inverse-CDF over a
+    /// piecewise-constant intensity (hour-of-day × day-of-week × bursts).
+    fn sample_arrivals(&self, rng: &mut SimRng) -> Vec<SimTime> {
+        let span = self.span.as_secs().max(1);
+        let n_hours = span.div_ceil(3_600) as usize;
+        let mut weights: Vec<f64> = (0..n_hours)
+            .map(|h| {
+                let hod = h % 24;
+                let dow = (h / 24) % 7;
+                self.arrival.hourly_weights[hod] * self.arrival.weekday_weights[dow]
+            })
+            .collect();
+        // Burst windows multiply the intensity of the hours they overlap.
+        for _ in 0..self.arrival.n_bursts {
+            let start = rng.gen_range(0..span);
+            let len = rng.gen_range(self.arrival.burst_len.0..=self.arrival.burst_len.1);
+            let h0 = (start / 3_600) as usize;
+            let h1 = (((start + len).min(span - 1)) / 3_600) as usize;
+            for w in weights.iter_mut().take(h1 + 1).skip(h0) {
+                *w *= self.arrival.burst_weight;
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        let cum: Vec<f64> = weights
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w;
+                Some(*acc)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(self.n_jobs);
+        for _ in 0..self.n_jobs {
+            let u = rng.gen_f64() * total;
+            let idx = cum.partition_point(|c| *c < u).min(n_hours - 1);
+            let hour_start = idx as u64 * 3_600;
+            let hour_len = (span - hour_start).clamp(1, 3_600);
+            let offset = rng.gen_range(0..hour_len);
+            out.push(SimTime(hour_start + offset));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn sample_size(&self, rng: &mut SimRng) -> u32 {
+        let weights: Vec<f64> = self.size.buckets.iter().map(|b| b.0).collect();
+        let (_, lo, hi) = self.size.buckets[rng.weighted_index(&weights)];
+        if lo == hi {
+            return lo;
+        }
+        let raw = rng.gen_range(lo..=hi);
+        if raw > 1 && rng.gen_bool(self.size.p_pow2) {
+            // Round down to a power of two, staying inside the bucket.
+            let p2 = 1u32 << (31 - raw.leading_zeros());
+            p2.clamp(lo, hi)
+        } else {
+            raw
+        }
+    }
+
+    fn sample_runtime(&self, rng: &mut SimRng) -> u64 {
+        let weights: Vec<f64> = self.runtime.classes.iter().map(|c| c.0).collect();
+        let (_, lo, hi) = self.runtime.classes[rng.weighted_index(&weights)];
+        rng.log_uniform(lo.max(1) as f64, hi.max(1) as f64).round() as u64
+    }
+
+    /// Rescale runtimes so total work hits the utilization target.
+    fn calibrate_runtimes(&self, procs: &[u32], runtimes: &mut [u64]) {
+        let Some(target) = self.target_utilization else {
+            return;
+        };
+        let work: u128 = procs
+            .iter()
+            .zip(runtimes.iter())
+            .map(|(p, r)| u128::from(*p) * u128::from(*r))
+            .sum();
+        if work == 0 {
+            return;
+        }
+        let capacity = u128::from(self.max_procs) * u128::from(self.span.as_secs());
+        let factor = target * capacity as f64 / work as f64;
+        for r in runtimes.iter_mut() {
+            let scaled = (*r as f64 * factor).round().max(1.0);
+            // Keep runtimes within a sane ceiling (a week) so one job
+            // cannot dwarf the trace span.
+            *r = (scaled as u64).min(7 * 86_400);
+        }
+    }
+
+    /// Derive `(runtime, walltime)` from a calibrated runtime, applying
+    /// over-estimation, kills and instant failures.
+    fn sample_walltime(&self, runtime: u64, rng: &mut SimRng) -> (u64, u64) {
+        let w = &self.walltime;
+        if rng.gen_bool(w.p_instant_failure) {
+            // Crashed right away; user had asked for a normal slot.
+            let runtime = rng.gen_range(0..=30);
+            let walltime = w.round_values[rng.gen_range(0..w.round_values.len().min(4))];
+            return (runtime, walltime.max(runtime.max(1)));
+        }
+        if rng.gen_bool(w.p_killed) {
+            // Overran the estimate: the batch system kills it at the
+            // walltime; the trace's recorded runtime exceeds the request.
+            let walltime = ((runtime as f64) * rng.gen_range(0.5..0.95)).round().max(1.0) as u64;
+            return (runtime.max(walltime + 1), walltime);
+        }
+        let weights: Vec<f64> = w.factor_classes.iter().map(|c| c.0).collect();
+        let (_, lo, hi) = w.factor_classes[rng.weighted_index(&weights)];
+        let raw = (runtime as f64 * rng.gen_range(lo..hi)).ceil() as u64;
+        let rounded = w
+            .round_values
+            .iter()
+            .copied()
+            .find(|v| *v >= raw)
+            .unwrap_or_else(|| raw.div_ceil(3_600).max(1) * 3_600);
+        (runtime, rounded.max(runtime.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(spec: &SiteWorkloadSpec, seed: u64) -> Vec<JobSpec> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        spec.generate(&mut rng)
+    }
+
+    #[test]
+    fn generates_exact_count() {
+        let spec = SiteWorkloadSpec::new(500, 128, Duration::days(7));
+        assert_eq!(gen(&spec, 1).len(), 500);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seed() {
+        let spec = SiteWorkloadSpec::new(200, 64, Duration::days(3));
+        assert_eq!(gen(&spec, 7), gen(&spec, 7));
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let spec = SiteWorkloadSpec::new(200, 64, Duration::days(3));
+        assert_ne!(gen(&spec, 7), gen(&spec, 8));
+    }
+
+    #[test]
+    fn arrivals_sorted_and_within_span() {
+        let spec = SiteWorkloadSpec::new(1_000, 64, Duration::days(7));
+        let jobs = gen(&spec, 3);
+        let span = spec.span.as_secs();
+        let mut prev = SimTime::ZERO;
+        for j in &jobs {
+            assert!(j.submit >= prev, "arrivals must be sorted");
+            assert!(j.submit.as_secs() < span, "arrival beyond span");
+            prev = j.submit;
+        }
+    }
+
+    #[test]
+    fn sizes_bounded_by_site() {
+        let spec = SiteWorkloadSpec::new(2_000, 100, Duration::days(7));
+        for j in gen(&spec, 5) {
+            assert!(j.procs >= 1 && j.procs <= 100, "procs {} out of range", j.procs);
+        }
+    }
+
+    #[test]
+    fn serial_jobs_are_common() {
+        let spec = SiteWorkloadSpec::new(2_000, 128, Duration::days(7));
+        let serial = gen(&spec, 11).iter().filter(|j| j.procs == 1).count();
+        assert!(
+            (400..1200).contains(&serial),
+            "~35% serial expected, got {serial}/2000"
+        );
+    }
+
+    #[test]
+    fn most_walltimes_overestimate() {
+        let spec = SiteWorkloadSpec::new(2_000, 128, Duration::days(7));
+        let jobs = gen(&spec, 13);
+        let over = jobs
+            .iter()
+            .filter(|j| j.walltime_ref > j.runtime_ref)
+            .count();
+        assert!(over > 1_700, "overestimation should dominate, got {over}");
+    }
+
+    #[test]
+    fn some_jobs_are_killed() {
+        let spec = SiteWorkloadSpec::new(4_000, 128, Duration::days(7));
+        let killed = gen(&spec, 17).iter().filter(|j| j.is_killed()).count();
+        // p_killed = 3% plus instant failures that happen to tie; expect
+        // roughly 80-200 out of 4000.
+        assert!((40..400).contains(&killed), "killed={killed}");
+    }
+
+    #[test]
+    fn utilization_calibration_hits_target() {
+        let span = Duration::days(7);
+        let spec = SiteWorkloadSpec::new(3_000, 128, span).with_utilization(0.7);
+        let jobs = gen(&spec, 19);
+        let work: u128 = jobs
+            .iter()
+            .map(|j| u128::from(j.procs) * u128::from(j.runtime_ref.as_secs()))
+            .sum();
+        let cap = 128u128 * u128::from(span.as_secs());
+        let util = work as f64 / cap as f64;
+        // Rounding, the runtime ceiling and kill adjustments blur it a bit.
+        assert!((0.55..0.85).contains(&util), "util={util}");
+    }
+
+    #[test]
+    fn higher_target_means_more_work() {
+        let span = Duration::days(7);
+        let lo = SiteWorkloadSpec::new(1_000, 128, span).with_utilization(0.3);
+        let hi = SiteWorkloadSpec::new(1_000, 128, span).with_utilization(0.9);
+        let work = |jobs: &[JobSpec]| -> u128 {
+            jobs.iter()
+                .map(|j| u128::from(j.procs) * u128::from(j.runtime_ref.as_secs()))
+                .sum()
+        };
+        assert!(work(&gen(&hi, 23)) > 2 * work(&gen(&lo, 23)));
+    }
+
+    #[test]
+    fn walltimes_are_round_or_hourly() {
+        let spec = SiteWorkloadSpec::new(2_000, 128, Duration::days(7));
+        let round = WalltimeSpec::default().round_values;
+        for j in gen(&spec, 29) {
+            if j.is_killed() {
+                continue; // killed jobs keep their (tight) walltime
+            }
+            let w = j.walltime_ref.as_secs();
+            assert!(
+                round.contains(&w) || w % 3_600 == 0,
+                "walltime {w} is not a round value"
+            );
+        }
+    }
+
+    #[test]
+    fn daytime_arrivals_dominate() {
+        let spec = SiteWorkloadSpec {
+            arrival: ArrivalSpec {
+                n_bursts: 0,
+                ..ArrivalSpec::default()
+            },
+            ..SiteWorkloadSpec::new(5_000, 64, Duration::days(7))
+        };
+        let jobs = gen(&spec, 31);
+        let day = jobs
+            .iter()
+            .filter(|j| {
+                let hod = (j.submit.as_secs() % 86_400) / 3_600;
+                (9..19).contains(&hod)
+            })
+            .count();
+        // 10 of 24 hours carry well over half the arrivals.
+        assert!(day as f64 / 5_000.0 > 0.5, "day fraction {}", day as f64 / 5_000.0);
+    }
+
+    #[test]
+    fn bursts_concentrate_arrivals() {
+        let base = SiteWorkloadSpec {
+            arrival: ArrivalSpec {
+                n_bursts: 0,
+                ..ArrivalSpec::default()
+            },
+            ..SiteWorkloadSpec::new(5_000, 64, Duration::days(30))
+        };
+        let bursty = SiteWorkloadSpec {
+            arrival: ArrivalSpec {
+                n_bursts: 12,
+                burst_weight: 60.0,
+                ..ArrivalSpec::default()
+            },
+            ..base.clone()
+        };
+        // Measure the maximum number of arrivals in any single hour.
+        let max_hourly = |jobs: &[JobSpec]| -> usize {
+            let mut counts = std::collections::HashMap::new();
+            for j in jobs {
+                *counts.entry(j.submit.as_secs() / 3_600).or_insert(0usize) += 1;
+            }
+            counts.values().copied().max().unwrap_or(0)
+        };
+        let m_base = max_hourly(&gen(&base, 37));
+        let m_bursty = max_hourly(&gen(&bursty, 37));
+        assert!(
+            m_bursty > 2 * m_base,
+            "bursts must concentrate arrivals: {m_bursty} vs {m_base}"
+        );
+    }
+
+    #[test]
+    fn tiny_site_generates_valid_buckets() {
+        // SizeSpec::for_site must not create inverted buckets on small
+        // sites.
+        for max in [1u32, 2, 8, 9, 32, 33, 128, 129, 640] {
+            let spec = SiteWorkloadSpec::new(200, max, Duration::days(2));
+            for j in gen(&spec, 41) {
+                assert!(j.procs <= max);
+            }
+        }
+    }
+}

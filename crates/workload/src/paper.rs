@@ -1,0 +1,256 @@
+//! Preset scenarios matching the paper's §3.3.
+//!
+//! Seven scenarios: six one-month traces (January–June 2008, Grid'5000
+//! Bordeaux + Lyon + Toulouse) whose per-site job counts reproduce the
+//! paper's **Table 1** exactly, plus the six-month `pwa-g5k` scenario
+//! (Bordeaux 74 647 jobs, CTC 42 873, SDSC 15 615 — 133 135 total).
+//!
+//! Monthly *load levels* are a calibration input (the real logs are not
+//! available): they are chosen so the relative pressure ordering matches
+//! what the paper's results imply — April is by far the most loaded month
+//! (its impacted-jobs percentages dominate Table 2), January the least.
+
+use grid_batch::JobSpec;
+use grid_des::{Duration, SimRng};
+
+use crate::model::SiteWorkloadSpec;
+use crate::swf::merge_traces;
+
+/// One of the paper's seven experiment scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scenario {
+    /// January 2008 (31 days).
+    Jan,
+    /// February 2008 (29 days — leap year).
+    Feb,
+    /// March 2008 (31 days).
+    Mar,
+    /// April 2008 (30 days).
+    Apr,
+    /// May 2008 (31 days).
+    May,
+    /// June 2008 (30 days).
+    Jun,
+    /// Six-month mixed Grid'5000 + Parallel Workload Archive scenario.
+    PwaG5k,
+}
+
+impl Scenario {
+    /// All seven scenarios in paper column order.
+    pub const ALL: [Scenario; 7] = [
+        Scenario::Jan,
+        Scenario::Feb,
+        Scenario::Mar,
+        Scenario::Apr,
+        Scenario::May,
+        Scenario::Jun,
+        Scenario::PwaG5k,
+    ];
+
+    /// Column label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::Jan => "jan",
+            Scenario::Feb => "feb",
+            Scenario::Mar => "mar",
+            Scenario::Apr => "apr",
+            Scenario::May => "may",
+            Scenario::Jun => "jun",
+            Scenario::PwaG5k => "pwa-g5k",
+        }
+    }
+
+    /// Trace length.
+    pub fn span(self) -> Duration {
+        match self {
+            Scenario::Jan | Scenario::Mar | Scenario::May => Duration::days(31),
+            Scenario::Feb => Duration::days(29),
+            Scenario::Apr | Scenario::Jun => Duration::days(30),
+            // Jan..Jun 2008 inclusive: 31+29+31+30+31+30.
+            Scenario::PwaG5k => Duration::days(182),
+        }
+    }
+
+    /// Per-site job counts (paper Table 1 / §3.3).
+    ///
+    /// Months: `[Bordeaux, Lyon, Toulouse]`; `pwa-g5k`:
+    /// `[Bordeaux, CTC, SDSC]`.
+    pub fn site_counts(self) -> [usize; 3] {
+        match self {
+            Scenario::Jan => [13_084, 583, 488],
+            Scenario::Feb => [5_822, 2_695, 1_123],
+            Scenario::Mar => [11_673, 8_315, 949],
+            Scenario::Apr => [33_250, 1_330, 1_461],
+            Scenario::May => [6_765, 2_179, 1_573],
+            Scenario::Jun => [4_094, 3_540, 1_548],
+            Scenario::PwaG5k => [74_647, 42_873, 15_615],
+        }
+    }
+
+    /// Total jobs (Table 1's "Total" column).
+    pub fn total_jobs(self) -> usize {
+        self.site_counts().iter().sum()
+    }
+
+    /// Per-site processor counts of the platform this scenario runs on.
+    pub fn site_procs(self) -> [u32; 3] {
+        match self {
+            Scenario::PwaG5k => [640, 430, 128],
+            _ => [640, 270, 434],
+        }
+    }
+
+    /// Calibrated per-site utilization targets (see module docs).
+    pub fn site_utilization(self) -> [f64; 3] {
+        match self {
+            Scenario::Jan => [0.32, 0.25, 0.25],
+            Scenario::Feb => [0.55, 0.50, 0.45],
+            Scenario::Mar => [0.72, 0.65, 0.55],
+            Scenario::Apr => [0.97, 0.60, 0.60],
+            Scenario::May => [0.68, 0.60, 0.55],
+            Scenario::Jun => [0.62, 0.62, 0.55],
+            Scenario::PwaG5k => [0.72, 0.68, 0.62],
+        }
+    }
+
+    /// Burst count scaled to the span (≈ 2 bursts/week, like the defaults).
+    fn n_bursts(self) -> usize {
+        (self.span().as_secs() / Duration::days(7).as_secs()).max(1) as usize * 2
+    }
+
+    /// Generate the scenario's merged arrival stream.
+    ///
+    /// The result is deterministic in `(self, seed)`: per-site streams are
+    /// derived independently, so the Bordeaux trace of `Jan` does not
+    /// change if Lyon's parameters do.
+    pub fn generate(self, seed: u64) -> Vec<JobSpec> {
+        self.generate_fraction(seed, 1.0)
+    }
+
+    /// Like [`Scenario::generate`], with per-site job counts scaled by
+    /// `frac` (clamped to at least 20 jobs per site). The utilization
+    /// calibration is count-independent, so a scaled trace exercises the
+    /// same load level with fewer jobs — ideal for tests and quick benches.
+    ///
+    /// # Panics
+    /// Panics unless `0 < frac <= 1`.
+    pub fn generate_fraction(self, seed: u64, frac: f64) -> Vec<JobSpec> {
+        assert!(frac > 0.0 && frac <= 1.0, "frac must be in (0, 1]");
+        let counts = self.site_counts();
+        let procs = self.site_procs();
+        let utils = self.site_utilization();
+        let span = self.span();
+        let mut traces = Vec::with_capacity(3);
+        for site in 0..3 {
+            let n = ((counts[site] as f64 * frac) as usize).max(20);
+            let mut spec =
+                SiteWorkloadSpec::new(n, procs[site], span).with_utilization(utils[site]);
+            spec.arrival.n_bursts = self.n_bursts();
+            // Stream id mixes the scenario so e.g. Jan/site0 differs from
+            // Feb/site0 even with the same seed.
+            let stream = (self as u64) * 16 + site as u64;
+            let mut rng = SimRng::derive(seed, stream);
+            traces.push(spec.generate(&mut rng));
+        }
+        merge_traces(traces)
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals_match_paper() {
+        assert_eq!(Scenario::Jan.total_jobs(), 14_155);
+        assert_eq!(Scenario::Feb.total_jobs(), 9_640);
+        assert_eq!(Scenario::Mar.total_jobs(), 20_937);
+        assert_eq!(Scenario::Apr.total_jobs(), 36_041);
+        assert_eq!(Scenario::May.total_jobs(), 10_517);
+        assert_eq!(Scenario::Jun.total_jobs(), 9_182);
+        assert_eq!(Scenario::PwaG5k.total_jobs(), 133_135);
+    }
+
+    #[test]
+    fn generated_counts_match_table1() {
+        for sc in [Scenario::Jan, Scenario::Jun] {
+            let jobs = sc.generate(42);
+            assert_eq!(jobs.len(), sc.total_jobs());
+            for (site, expected) in sc.site_counts().into_iter().enumerate() {
+                let n = jobs.iter().filter(|j| j.origin_site == site as u32).count();
+                assert_eq!(n, expected, "{sc} site {site}");
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_fit_their_origin_site() {
+        let jobs = Scenario::Feb.generate(42);
+        let procs = Scenario::Feb.site_procs();
+        for j in &jobs {
+            assert!(j.procs <= procs[j.origin_site as usize]);
+        }
+    }
+
+    #[test]
+    fn pwa_scenario_uses_platform2_sizes() {
+        let jobs = Scenario::PwaG5k.generate(1);
+        // SDSC jobs are bounded by 128 processors.
+        assert!(jobs
+            .iter()
+            .filter(|j| j.origin_site == 2)
+            .all(|j| j.procs <= 128));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(Scenario::May.generate(7), Scenario::May.generate(7));
+        assert_ne!(Scenario::May.generate(7), Scenario::May.generate(8));
+    }
+
+    #[test]
+    fn scenarios_differ_with_same_seed() {
+        assert_ne!(Scenario::Jan.generate(7), Scenario::Feb.generate(7));
+    }
+
+    #[test]
+    fn ids_are_sequential_in_arrival_order() {
+        let jobs = Scenario::Jun.generate(3);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id.0, i as u64);
+        }
+        for w in jobs.windows(2) {
+            assert!(w[0].submit <= w[1].submit);
+        }
+    }
+
+    #[test]
+    fn april_is_most_loaded_month() {
+        // Calibration sanity: total work in April exceeds January's by a
+        // large factor (the driver of the paper's month differences).
+        let work = |sc: Scenario| -> u128 {
+            sc.generate(42)
+                .iter()
+                .map(|j| u128::from(j.procs) * u128::from(j.runtime_ref.as_secs()))
+                .sum()
+        };
+        let apr = work(Scenario::Apr);
+        let jan = work(Scenario::Jan);
+        assert!(apr > 2 * jan, "apr={apr} jan={jan}");
+    }
+
+    #[test]
+    fn labels_are_paper_columns() {
+        let labels: Vec<&str> = Scenario::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["jan", "feb", "mar", "apr", "may", "jun", "pwa-g5k"]
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Summary statistics over a trace (calibration checks, Table 1).
+
+use grid_batch::JobSpec;
+use grid_des::Duration;
+
+/// Descriptive statistics of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadStats {
+    /// Number of jobs.
+    pub n_jobs: usize,
+    /// Per-origin-site job counts (indices beyond the largest origin are
+    /// absent).
+    pub per_site: Vec<usize>,
+    /// Total work: `Σ procs × runtime` core-seconds (reference speed).
+    pub total_work: u128,
+    /// Mean processors per job.
+    pub mean_procs: f64,
+    /// Mean runtime, seconds.
+    pub mean_runtime: f64,
+    /// Mean walltime-over-runtime factor among non-killed jobs with
+    /// positive runtime.
+    pub mean_overestimation: f64,
+    /// Jobs whose runtime reaches their walltime (killed).
+    pub killed: usize,
+    /// Time between the first and last submission.
+    pub submit_span: Duration,
+}
+
+impl WorkloadStats {
+    /// Compute statistics for `jobs`.
+    pub fn compute(jobs: &[JobSpec]) -> WorkloadStats {
+        let n_jobs = jobs.len();
+        let mut per_site: Vec<usize> = Vec::new();
+        let mut total_work: u128 = 0;
+        let mut sum_procs: u128 = 0;
+        let mut sum_runtime: u128 = 0;
+        let mut killed = 0usize;
+        let mut over_sum = 0.0f64;
+        let mut over_n = 0usize;
+        for j in jobs {
+            let site = j.origin_site as usize;
+            if per_site.len() <= site {
+                per_site.resize(site + 1, 0);
+            }
+            per_site[site] += 1;
+            total_work += u128::from(j.procs) * u128::from(j.runtime_ref.as_secs());
+            sum_procs += u128::from(j.procs);
+            sum_runtime += u128::from(j.runtime_ref.as_secs());
+            if j.is_killed() {
+                killed += 1;
+            } else if j.runtime_ref.as_secs() > 0 {
+                over_sum += j.walltime_ref.as_secs() as f64 / j.runtime_ref.as_secs() as f64;
+                over_n += 1;
+            }
+        }
+        let submit_span = match (jobs.iter().map(|j| j.submit).min(), jobs.iter().map(|j| j.submit).max())
+        {
+            (Some(lo), Some(hi)) => hi.since(lo),
+            _ => Duration::ZERO,
+        };
+        WorkloadStats {
+            n_jobs,
+            per_site,
+            total_work,
+            mean_procs: if n_jobs == 0 {
+                0.0
+            } else {
+                sum_procs as f64 / n_jobs as f64
+            },
+            mean_runtime: if n_jobs == 0 {
+                0.0
+            } else {
+                sum_runtime as f64 / n_jobs as f64
+            },
+            mean_overestimation: if over_n == 0 {
+                0.0
+            } else {
+                over_sum / over_n as f64
+            },
+            killed,
+            submit_span,
+        }
+    }
+
+    /// Offered utilization against a machine of `procs` processors over
+    /// `span`: `total_work / (procs × span)`.
+    pub fn utilization(&self, procs: u32, span: Duration) -> f64 {
+        let cap = u128::from(procs) * u128::from(span.as_secs());
+        if cap == 0 {
+            return 0.0;
+        }
+        self.total_work as f64 / cap as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_basic_aggregates() {
+        let jobs = vec![
+            JobSpec::new(0, 0, 2, 100, 200),
+            JobSpec::new(1, 50, 4, 50, 50).with_origin(1), // killed
+        ];
+        let s = WorkloadStats::compute(&jobs);
+        assert_eq!(s.n_jobs, 2);
+        assert_eq!(s.per_site, vec![1, 1]);
+        assert_eq!(s.total_work, 2 * 100 + 4 * 50);
+        assert_eq!(s.mean_procs, 3.0);
+        assert_eq!(s.mean_runtime, 75.0);
+        assert_eq!(s.killed, 1);
+        assert_eq!(s.mean_overestimation, 2.0);
+        assert_eq!(s.submit_span, Duration(50));
+    }
+
+    #[test]
+    fn utilization_math() {
+        let jobs = vec![JobSpec::new(0, 0, 10, 100, 100)];
+        let s = WorkloadStats::compute(&jobs);
+        // 1000 core-secs over 10 procs × 200 s = 0.5.
+        assert!((s.utilization(10, Duration(200)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = WorkloadStats::compute(&[]);
+        assert_eq!(s.n_jobs, 0);
+        assert_eq!(s.mean_procs, 0.0);
+        assert_eq!(s.utilization(10, Duration(100)), 0.0);
+    }
+}

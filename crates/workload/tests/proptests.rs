@@ -1,0 +1,127 @@
+//! Property-based tests for trace generation and SWF round-tripping.
+
+use grid_batch::{JobId, JobSpec};
+use grid_des::{Duration, SimRng, SimTime};
+use grid_workload::model::SiteWorkloadSpec;
+use grid_workload::swf;
+use proptest::prelude::*;
+
+fn arb_jobs() -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec(
+        (0u64..1 << 40, 1u32..4_096, 0u64..1 << 30, 1u64..1 << 30),
+        0..100,
+    )
+    .prop_map(|raw| {
+        raw.iter()
+            .enumerate()
+            .map(|(i, &(submit, procs, rt, wt))| JobSpec {
+                id: JobId(i as u64),
+                submit: SimTime(submit),
+                procs,
+                runtime_ref: Duration(rt),
+                walltime_ref: Duration(wt),
+                origin_site: 0,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SWF write -> parse preserves every scheduling-relevant field.
+    #[test]
+    fn swf_roundtrip(jobs in arb_jobs()) {
+        let text = swf::write(&jobs, &["prop".into()]);
+        let parsed = swf::parse(&text).unwrap();
+        prop_assert_eq!(parsed.jobs.len(), jobs.len());
+        for (a, b) in jobs.iter().zip(&parsed.jobs) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.submit, b.submit);
+            prop_assert_eq!(a.procs, b.procs);
+            prop_assert_eq!(a.runtime_ref, b.runtime_ref);
+            prop_assert_eq!(a.walltime_ref, b.walltime_ref);
+        }
+    }
+
+    /// merge_traces: output is sorted, ids are 0..n, and multiset of
+    /// (submit, procs, runtime) is preserved.
+    #[test]
+    fn merge_preserves_jobs(
+        a in arb_jobs(),
+        b in arb_jobs(),
+        c in arb_jobs(),
+    ) {
+        let (na, nb, nc) = (a.len(), b.len(), c.len());
+        let merged = swf::merge_traces(vec![a.clone(), b.clone(), c.clone()]);
+        prop_assert_eq!(merged.len(), na + nb + nc);
+        for w in merged.windows(2) {
+            prop_assert!(w[0].submit <= w[1].submit);
+        }
+        for (i, j) in merged.iter().enumerate() {
+            prop_assert_eq!(j.id, JobId(i as u64));
+        }
+        let mut key_in: Vec<(u64, u32, u64)> = a
+            .iter()
+            .chain(&b)
+            .chain(&c)
+            .map(|j| (j.submit.as_secs(), j.procs, j.runtime_ref.as_secs()))
+            .collect();
+        let mut key_out: Vec<(u64, u32, u64)> = merged
+            .iter()
+            .map(|j| (j.submit.as_secs(), j.procs, j.runtime_ref.as_secs()))
+            .collect();
+        key_in.sort_unstable();
+        key_out.sort_unstable();
+        prop_assert_eq!(key_in, key_out);
+    }
+
+    /// The generator always produces jobs that fit their site and have
+    /// positive walltimes within the trace span, for arbitrary parameters.
+    #[test]
+    fn generator_respects_bounds(
+        n in 1usize..400,
+        max_procs in 1u32..512,
+        days in 1u64..20,
+        util in 0.05f64..1.5,
+        seed in any::<u64>(),
+    ) {
+        let spec = SiteWorkloadSpec::new(n, max_procs, Duration::days(days))
+            .with_utilization(util);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let jobs = spec.generate(&mut rng);
+        prop_assert_eq!(jobs.len(), n);
+        for j in &jobs {
+            prop_assert!(j.procs >= 1 && j.procs <= max_procs);
+            prop_assert!(j.walltime_ref >= Duration(1));
+            prop_assert!(j.submit.as_secs() < days * 86_400);
+        }
+        // Sorted by submission.
+        for w in jobs.windows(2) {
+            prop_assert!(w[0].submit <= w[1].submit);
+        }
+    }
+
+    /// Utilization calibration lands within a factor ~2 of the target for
+    /// reasonably sized traces (rounding, caps and kill rewrites blur it).
+    #[test]
+    fn calibration_is_roughly_right(
+        util in 0.2f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let span = Duration::days(10);
+        let spec = SiteWorkloadSpec::new(1_500, 128, span).with_utilization(util);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let jobs = spec.generate(&mut rng);
+        let work: u128 = jobs
+            .iter()
+            .map(|j| u128::from(j.procs) * u128::from(j.runtime_ref.as_secs()))
+            .sum();
+        let cap = 128u128 * u128::from(span.as_secs());
+        let measured = work as f64 / cap as f64;
+        prop_assert!(
+            measured > util * 0.5 && measured < util * 2.0,
+            "target {util}, measured {measured}"
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerate the paper's Figure 1 ("Example of reallocation between two
+//! clusters") from an actual pair of simulations.
+//!
+//! ```text
+//! cargo run --release --example figure1_gantt
+//! ```
+
+fn main() {
+    print!("{}", caniou_realloc::realloc::figures::figure1());
+}

@@ -1,0 +1,12 @@
+//! Regenerate the paper's Figure 2 ("Side effects of a reallocation"):
+//! one job finishes earlier thanks to a migration while another finishes
+//! later because the migrated reservation blocks it after an early
+//! completion.
+//!
+//! ```text
+//! cargo run --release --example figure2_side_effects
+//! ```
+
+fn main() {
+    print!("{}", caniou_realloc::realloc::figures::figure2());
+}

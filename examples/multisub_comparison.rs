@@ -1,0 +1,43 @@
+//! Head-to-head: the paper's reallocation mechanism vs the related-work
+//! multiple-submission scheme (Sonmez et al.) on identical workloads.
+//!
+//! Multiple submission posts a copy of each job to the k best clusters and
+//! cancels the siblings when one starts; reallocation keeps one copy per
+//! job and migrates it at hourly events. The paper argues reallocation
+//! "will keep the local resources management system less loaded because
+//! each job is only in one queue" (§5) — this example puts numbers on the
+//! trade-off.
+//!
+//! ```text
+//! cargo run --release --example multisub_comparison -- [fraction]
+//! ```
+
+use caniou_realloc::prelude::*;
+use caniou_realloc::realloc::ablation::mechanism_comparison;
+use caniou_realloc::realloc::experiments::SuiteConfig;
+
+fn main() {
+    let fraction: f64 = std::env::args()
+        .nth(1)
+        .map_or(0.05, |s| s.parse().expect("bad fraction"));
+    let suite = SuiteConfig {
+        fraction,
+        ..SuiteConfig::default()
+    };
+    println!("April scenario at fraction {fraction}, heterogeneous platform, FCFS everywhere");
+    println!(
+        "{:<32} {:>16} {:>16}",
+        "mechanism", "mean resp (s)", "control actions"
+    );
+    for p in mechanism_comparison(Scenario::Apr, true, BatchPolicy::Fcfs, &suite) {
+        println!(
+            "{:<32} {:>16.0} {:>16}",
+            p.label, p.mean_response, p.control_actions
+        );
+    }
+    println!();
+    println!(
+        "'Control actions' counts migrations (reallocation) or extra queue entries\n\
+         (multiple submission) — the load each mechanism puts on the batch systems."
+    );
+}
