@@ -29,7 +29,7 @@ use crate::platform::ClusterSpec;
 use crate::profile::Profile;
 
 /// Local batch scheduling policy (paper §3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BatchPolicy {
     /// First-come-first-served: "the earliest slot at the end of the job
     /// queue" (Schwiegelshohn & Yahyapour). Default policy of PBS, SGE,
@@ -295,10 +295,7 @@ impl Cluster {
                 });
                 self.profile = None;
                 self.ensure_schedule(now);
-                self.queue
-                    .last()
-                    .expect("just pushed")
-                    .reserved_start
+                self.queue.last().expect("just pushed").reserved_start
             }
         };
         self.stats.submitted += 1;
@@ -404,8 +401,7 @@ impl Cluster {
         if r.scaled.runtime >= r.scaled.walltime {
             self.stats.killed += 1;
         }
-        self.stats.busy_core_secs +=
-            u64::from(r.scaled.procs) * now.since(r.start).as_secs();
+        self.stats.busy_core_secs += u64::from(r.scaled.procs) * now.since(r.start).as_secs();
         self.history.push(GanttEntry {
             job: r.job.id,
             procs: r.scaled.procs,
@@ -485,8 +481,7 @@ impl Cluster {
                 let mut pending: Vec<usize> = Vec::new();
                 for (i, q) in self.queue.iter_mut().enumerate() {
                     if i == 0 {
-                        let start =
-                            profile.earliest_fit(now, q.scaled.procs, q.scaled.walltime);
+                        let start = profile.earliest_fit(now, q.scaled.procs, q.scaled.walltime);
                         profile.reserve(start, q.scaled.walltime, q.scaled.procs);
                         q.reserved_start = start;
                         continue;
@@ -554,7 +549,9 @@ mod tests {
     #[test]
     fn empty_cluster_starts_job_immediately() {
         let mut c = cluster(8, BatchPolicy::Fcfs);
-        let start = c.submit(JobSpec::new(1, 0, 4, 50, 100), SimTime(0)).unwrap();
+        let start = c
+            .submit(JobSpec::new(1, 0, 4, 50, 100), SimTime(0))
+            .unwrap();
         assert_eq!(start, SimTime(0));
         let started = c.start_due(SimTime(0));
         assert_eq!(started, vec![(JobId(1), SimTime(50))]);
@@ -565,22 +562,28 @@ mod tests {
     #[test]
     fn submit_rejects_oversized_job() {
         let mut c = cluster(8, BatchPolicy::Fcfs);
-        let err = c.submit(JobSpec::new(1, 0, 9, 50, 100), SimTime(0)).unwrap_err();
+        let err = c
+            .submit(JobSpec::new(1, 0, 9, 50, 100), SimTime(0))
+            .unwrap_err();
         assert_eq!(err, SubmitError::TooLarge { procs: 9, total: 8 });
     }
 
     #[test]
     fn submit_rejects_zero_proc_job() {
         let mut c = cluster(8, BatchPolicy::Fcfs);
-        assert!(c.submit(JobSpec::new(1, 0, 0, 50, 100), SimTime(0)).is_err());
+        assert!(c
+            .submit(JobSpec::new(1, 0, 0, 50, 100), SimTime(0))
+            .is_err());
     }
 
     #[test]
     fn submit_rejects_duplicate() {
         let mut c = cluster(8, BatchPolicy::Fcfs);
-        c.submit(JobSpec::new(1, 0, 1, 50, 100), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(1, 0, 1, 50, 100), SimTime(0))
+            .unwrap();
         assert_eq!(
-            c.submit(JobSpec::new(1, 0, 1, 50, 100), SimTime(0)).unwrap_err(),
+            c.submit(JobSpec::new(1, 0, 1, 50, 100), SimTime(0))
+                .unwrap_err(),
             SubmitError::Duplicate(JobId(1))
         );
     }
@@ -589,7 +592,8 @@ mod tests {
     fn fcfs_queues_behind_blocking_job() {
         let mut c = cluster(8, BatchPolicy::Fcfs);
         // Job 1 takes the whole machine for 100 s (walltime).
-        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0))
+            .unwrap();
         c.start_due(SimTime(0));
         // Job 2 (large) must wait for the release.
         let s2 = c.submit(JobSpec::new(2, 0, 6, 10, 10), SimTime(0)).unwrap();
@@ -603,7 +607,8 @@ mod tests {
     #[test]
     fn fcfs_small_job_never_overtakes() {
         let mut c = cluster(8, BatchPolicy::Fcfs);
-        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0))
+            .unwrap();
         c.start_due(SimTime(0));
         // Queue a 6-proc job, then a 1-proc job: under FCFS the 1-proc job
         // starts no earlier than the 6-proc one even though 2 procs are
@@ -618,29 +623,38 @@ mod tests {
     fn cbf_backfills_small_job() {
         let mut c = cluster(8, BatchPolicy::Cbf);
         // Running: 6 procs for 100 s.
-        c.submit(JobSpec::new(1, 0, 6, 100, 100), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(1, 0, 6, 100, 100), SimTime(0))
+            .unwrap();
         c.start_due(SimTime(0));
         // Queued: needs 8 procs -> starts at 100.
         let s2 = c.submit(JobSpec::new(2, 0, 8, 50, 50), SimTime(0)).unwrap();
         assert_eq!(s2, SimTime(100));
         // Small short job fits in the 2 free procs *now* without delaying
         // job 2: back-filled at t=0.
-        let s3 = c.submit(JobSpec::new(3, 0, 2, 100, 100), SimTime(0)).unwrap();
+        let s3 = c
+            .submit(JobSpec::new(3, 0, 2, 100, 100), SimTime(0))
+            .unwrap();
         assert_eq!(s3, SimTime(0));
     }
 
     #[test]
     fn cbf_backfill_never_delays_earlier_jobs() {
         let mut c = cluster(8, BatchPolicy::Cbf);
-        c.submit(JobSpec::new(1, 0, 6, 100, 100), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(1, 0, 6, 100, 100), SimTime(0))
+            .unwrap();
         c.start_due(SimTime(0));
         let s2 = c.submit(JobSpec::new(2, 0, 8, 50, 50), SimTime(0)).unwrap();
         // A 2-proc job of 150 s would overlap job 2's window if it started
         // now (2 free procs until t=100, but job 2 needs all 8 from 100):
         // it must NOT delay job 2, so it starts after job 2.
-        let s3 = c.submit(JobSpec::new(3, 0, 2, 150, 150), SimTime(0)).unwrap();
+        let s3 = c
+            .submit(JobSpec::new(3, 0, 2, 150, 150), SimTime(0))
+            .unwrap();
         assert_eq!(s2, SimTime(100));
-        assert!(s3 >= SimTime(150), "back-fill may not delay job 2, got {s3}");
+        assert!(
+            s3 >= SimTime(150),
+            "back-fill may not delay job 2, got {s3}"
+        );
         // Job 2's reservation is unchanged.
         let ect2 = c.current_ect(JobId(2), SimTime(0)).unwrap();
         assert_eq!(ect2, SimTime(150));
@@ -650,7 +664,8 @@ mod tests {
     fn early_completion_pulls_reservations_forward() {
         let mut c = cluster(8, BatchPolicy::Fcfs);
         // Walltime 100 but actually runs 30.
-        c.submit(JobSpec::new(1, 0, 8, 30, 100), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(1, 0, 8, 30, 100), SimTime(0))
+            .unwrap();
         c.start_due(SimTime(0));
         let s2 = c.submit(JobSpec::new(2, 0, 8, 10, 10), SimTime(0)).unwrap();
         assert_eq!(s2, SimTime(100));
@@ -666,7 +681,8 @@ mod tests {
     fn killed_job_completes_at_walltime() {
         let mut c = cluster(4, BatchPolicy::Fcfs);
         // Bad job: runtime 500 > walltime 100 -> killed at 100.
-        c.submit(JobSpec::new(1, 0, 4, 500, 100), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(1, 0, 4, 500, 100), SimTime(0))
+            .unwrap();
         let started = c.start_due(SimTime(0));
         assert_eq!(started, vec![(JobId(1), SimTime(100))]);
         c.complete(JobId(1), SimTime(100));
@@ -677,7 +693,8 @@ mod tests {
     #[test]
     fn cancel_removes_waiting_job_and_frees_slot() {
         let mut c = cluster(8, BatchPolicy::Fcfs);
-        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0))
+            .unwrap();
         c.start_due(SimTime(0));
         c.submit(JobSpec::new(2, 0, 8, 50, 50), SimTime(0)).unwrap();
         let s3 = c.submit(JobSpec::new(3, 0, 8, 50, 50), SimTime(0)).unwrap();
@@ -696,7 +713,8 @@ mod tests {
     #[test]
     fn cancel_running_or_unknown_job_returns_none() {
         let mut c = cluster(8, BatchPolicy::Fcfs);
-        c.submit(JobSpec::new(1, 0, 4, 100, 100), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(1, 0, 4, 100, 100), SimTime(0))
+            .unwrap();
         c.start_due(SimTime(0));
         assert!(c.cancel(JobId(1), SimTime(0)).is_none(), "running");
         assert!(c.cancel(JobId(99), SimTime(0)).is_none(), "unknown");
@@ -705,7 +723,8 @@ mod tests {
     #[test]
     fn estimate_new_is_a_pure_dry_run() {
         let mut c = cluster(8, BatchPolicy::Fcfs);
-        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0))
+            .unwrap();
         c.start_due(SimTime(0));
         let probe = JobSpec::new(99, 0, 4, 50, 50);
         let e1 = c.estimate_new(&probe, SimTime(0)).unwrap();
@@ -720,7 +739,8 @@ mod tests {
         // CBF estimate can use a hole; FCFS estimate cannot.
         let mk = |policy| {
             let mut c = cluster(8, policy);
-            c.submit(JobSpec::new(1, 0, 6, 100, 100), SimTime(0)).unwrap();
+            c.submit(JobSpec::new(1, 0, 6, 100, 100), SimTime(0))
+                .unwrap();
             c.start_due(SimTime(0));
             c.submit(JobSpec::new(2, 0, 8, 50, 50), SimTime(0)).unwrap();
             c
@@ -737,7 +757,10 @@ mod tests {
     #[test]
     fn estimate_new_none_for_oversized() {
         let mut c = cluster(8, BatchPolicy::Fcfs);
-        assert_eq!(c.estimate_new(&JobSpec::new(1, 0, 9, 1, 1), SimTime(0)), None);
+        assert_eq!(
+            c.estimate_new(&JobSpec::new(1, 0, 9, 1, 1), SimTime(0)),
+            None
+        );
     }
 
     #[test]
@@ -756,7 +779,8 @@ mod tests {
     #[test]
     fn current_ect_tracks_schedule_changes() {
         let mut c = cluster(8, BatchPolicy::Fcfs);
-        c.submit(JobSpec::new(1, 0, 8, 30, 100), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(1, 0, 8, 30, 100), SimTime(0))
+            .unwrap();
         c.start_due(SimTime(0));
         c.submit(JobSpec::new(2, 0, 4, 20, 40), SimTime(0)).unwrap();
         assert_eq!(c.current_ect(JobId(2), SimTime(0)), Some(SimTime(140)));
@@ -835,11 +859,8 @@ mod tests {
             let Some(t) = t else { break };
             assert!(t >= now, "time went backwards");
             now = t;
-            let due: Vec<(JobId, SimTime)> = completions
-                .iter()
-                .filter(|p| p.1 == now)
-                .copied()
-                .collect();
+            let due: Vec<(JobId, SimTime)> =
+                completions.iter().filter(|p| p.1 == now).copied().collect();
             for (id, end) in due {
                 c.complete(id, end);
                 completions.retain(|p| p.0 != id);
@@ -889,12 +910,17 @@ mod tests {
     /// 300 — tentatively [200, 500)), B (4 procs, wt 450).
     fn easy_divergence_cluster(policy: BatchPolicy) -> Cluster {
         let mut c = cluster(8, policy);
-        c.submit(JobSpec::new(100, 0, 2, 1000, 1000), SimTime(0)).unwrap();
-        c.submit(JobSpec::new(101, 0, 2, 200, 200), SimTime(0)).unwrap();
+        c.submit(JobSpec::new(100, 0, 2, 1000, 1000), SimTime(0))
+            .unwrap();
+        c.submit(JobSpec::new(101, 0, 2, 200, 200), SimTime(0))
+            .unwrap();
         c.start_due(SimTime(0));
-        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0)).unwrap(); // H
-        c.submit(JobSpec::new(2, 0, 5, 300, 300), SimTime(0)).unwrap(); // A
-        c.submit(JobSpec::new(3, 0, 4, 450, 450), SimTime(0)).unwrap(); // B
+        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0))
+            .unwrap(); // H
+        c.submit(JobSpec::new(2, 0, 5, 300, 300), SimTime(0))
+            .unwrap(); // A
+        c.submit(JobSpec::new(3, 0, 4, 450, 450), SimTime(0))
+            .unwrap(); // B
         c
     }
 
@@ -917,7 +943,11 @@ mod tests {
             started.iter().any(|(id, _)| *id == JobId(3)),
             "B must start right away under EASY, got {started:?}"
         );
-        assert_eq!(res(&mut easy, 2), Some(SimTime(450)), "A delayed under EASY");
+        assert_eq!(
+            res(&mut easy, 2),
+            Some(SimTime(450)),
+            "A delayed under EASY"
+        );
         // The head's reservation is identical under both policies.
         assert_eq!(res(&mut cbf, 1), Some(SimTime(1000)));
         assert_eq!(res(&mut easy, 1), Some(SimTime(1000)));
@@ -930,7 +960,8 @@ mod tests {
         // Submit a stream of small jobs; the head's reservation must not
         // move later.
         for i in 0..10 {
-            c.submit(JobSpec::new(50 + i, 1, 2, 400, 400), SimTime(1)).unwrap();
+            c.submit(JobSpec::new(50 + i, 1, 2, 400, 400), SimTime(1))
+                .unwrap();
             let head = c
                 .waiting_jobs()
                 .find(|q| q.job.id == JobId(1))

@@ -277,6 +277,9 @@ mod tests {
         let g = GanttChart::new();
         assert!(g.is_empty());
         let s = g.render(2, SimTime(0), SimTime(10), 10);
-        assert!(s.lines().take(2).all(|l| l.trim_matches('|').trim().is_empty()));
+        assert!(s
+            .lines()
+            .take(2)
+            .all(|l| l.trim_matches('|').trim().is_empty()));
     }
 }

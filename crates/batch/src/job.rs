@@ -6,12 +6,9 @@
 //! durations divided by the cluster's speed factor.
 
 use grid_des::{Duration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Globally unique job identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct JobId(pub u64);
 
 impl std::fmt::Display for JobId {
@@ -23,7 +20,7 @@ impl std::fmt::Display for JobId {
 /// A rigid parallel job as submitted by a client (paper §3.1: "Jobs sent by
 /// the client are parallel rigid jobs with a number of processors fixed in
 /// advance").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobSpec {
     /// Unique id.
     pub id: JobId,

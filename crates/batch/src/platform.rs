@@ -9,10 +9,8 @@
 //! | 1 (Grid'5000) | Bordeaux, 640 cores, ×1.0 | Lyon, 270 cores, ×1.2 | Toulouse, 434 cores, ×1.4 |
 //! | 2 (G5K + PWA) | Bordeaux, 640 cores, ×1.0 | CTC, 430 cores, ×1.2 | SDSC, 128 cores, ×1.4 |
 
-use serde::{Deserialize, Serialize};
-
 /// Static description of one cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Human-readable site name.
     pub name: String,
@@ -43,7 +41,7 @@ impl ClusterSpec {
 }
 
 /// An ordered set of clusters forming the grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     /// Descriptive name (used in reports).
     pub name: String,
@@ -57,7 +55,10 @@ impl Platform {
     /// # Panics
     /// Panics if `clusters` is empty.
     pub fn new(name: impl Into<String>, clusters: Vec<ClusterSpec>) -> Self {
-        assert!(!clusters.is_empty(), "a platform needs at least one cluster");
+        assert!(
+            !clusters.is_empty(),
+            "a platform needs at least one cluster"
+        );
         Platform {
             name: name.into(),
             clusters,
@@ -91,7 +92,11 @@ impl Platform {
     /// `heterogeneous = false` sets all speeds to 1.0 ("clusters are similar
     /// in processor speed, but not in number of processors").
     pub fn grid5000(heterogeneous: bool) -> Platform {
-        let (s1, s2) = if heterogeneous { (1.2, 1.4) } else { (1.0, 1.0) };
+        let (s1, s2) = if heterogeneous {
+            (1.2, 1.4)
+        } else {
+            (1.0, 1.0)
+        };
         Platform::new(
             if heterogeneous {
                 "grid5000-het"
@@ -109,7 +114,11 @@ impl Platform {
     /// Paper platform 2: Bordeaux (Grid'5000) + CTC and SDSC (Parallel
     /// Workload Archive) (§3.2).
     pub fn pwa_g5k(heterogeneous: bool) -> Platform {
-        let (s1, s2) = if heterogeneous { (1.2, 1.4) } else { (1.0, 1.0) };
+        let (s1, s2) = if heterogeneous {
+            (1.2, 1.4)
+        } else {
+            (1.0, 1.0)
+        };
         Platform::new(
             if heterogeneous {
                 "pwa-g5k-het"

@@ -293,7 +293,7 @@ mod tests {
         let mut p = Profile::flat(8, t(0));
         p.reserve(t(0), d(10), 8); // busy [0,10)
         p.reserve(t(20), d(10), 8); // busy [20,30)
-        // A 10s window fits exactly in the hole [10,20).
+                                    // A 10s window fits exactly in the hole [10,20).
         assert_eq!(p.earliest_fit(t(0), 4, d(10)), t(10));
         // An 11s window must wait until t=30.
         assert_eq!(p.earliest_fit(t(0), 4, d(11)), t(30));
@@ -309,7 +309,7 @@ mod tests {
     fn earliest_fit_window_straddles_segments() {
         let mut p = Profile::flat(8, t(0));
         p.reserve(t(10), d(10), 5); // [10,20): 3 free
-        // 3-proc job of 15s starting at 5 covers [5,20): min free = 3 -> ok.
+                                    // 3-proc job of 15s starting at 5 covers [5,20): min free = 3 -> ok.
         assert_eq!(p.earliest_fit(t(5), 3, d(15)), t(5));
         // 4-proc job of 15s can't overlap [10,20); must start at 20.
         assert_eq!(p.earliest_fit(t(5), 4, d(15)), t(20));
@@ -349,7 +349,9 @@ mod tests {
         let mut p = Profile::flat(16, t(0));
         let mut x: u64 = 0x243F_6A88_85A3_08D3;
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let procs = (x >> 33) as u32 % 4 + 1;
             let dur = d((x >> 17) % 50 + 1);
             let start = p.earliest_fit(t(x % 1000), procs, dur);

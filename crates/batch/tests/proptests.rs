@@ -8,26 +8,24 @@ use std::collections::VecDeque;
 
 /// Arbitrary job batch: (submit gap, procs, runtime, walltime margin).
 fn jobs_strategy(max_procs: u32) -> impl Strategy<Value = Vec<JobSpec>> {
-    prop::collection::vec(
-        (0u64..120, 1u32..=max_procs, 0u64..500, 1u64..300),
-        1..60,
+    prop::collection::vec((0u64..120, 1u32..=max_procs, 0u64..500, 1u64..300), 1..60).prop_map(
+        |raw| {
+            let mut t = 0;
+            raw.iter()
+                .enumerate()
+                .map(|(i, &(gap, procs, rt, margin))| {
+                    t += gap;
+                    // Mix honest, over-estimating and killed jobs.
+                    let wt = match i % 5 {
+                        0 => rt.max(1),       // exact
+                        4 => (rt / 2).max(1), // killed
+                        _ => rt + margin,     // over-estimated
+                    };
+                    JobSpec::new(i as u64, t, procs, rt, wt)
+                })
+                .collect()
+        },
     )
-    .prop_map(|raw| {
-        let mut t = 0;
-        raw.iter()
-            .enumerate()
-            .map(|(i, &(gap, procs, rt, margin))| {
-                t += gap;
-                // Mix honest, over-estimating and killed jobs.
-                let wt = match i % 5 {
-                    0 => rt.max(1),            // exact
-                    4 => (rt / 2).max(1),      // killed
-                    _ => rt + margin,          // over-estimated
-                };
-                JobSpec::new(i as u64, t, procs, rt, wt)
-            })
-            .collect()
-    })
 }
 
 /// Event-accurate single-cluster driver mirroring the grid loop; panics on

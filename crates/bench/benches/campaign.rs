@@ -1,0 +1,51 @@
+//! Campaign-engine throughput: runs/second at 1, N/2 and N worker
+//! threads over a small fixed plan, establishing the scaling trajectory
+//! for future BENCH_*.json entries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grid_batch::BatchPolicy;
+use grid_campaign::{execute, CampaignSpec, ExecOptions};
+use grid_realloc::Heuristic;
+use grid_workload::Scenario;
+use std::hint::black_box;
+
+/// A plan small enough to iterate but wide enough to load-balance:
+/// 2 references + 8 reallocation runs on 1% of June.
+fn bench_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::paper();
+    spec.name = "bench".into();
+    spec.scenarios = vec![Scenario::Jun];
+    spec.heterogeneity = vec![false, true];
+    spec.policies = vec![BatchPolicy::Fcfs];
+    spec.heuristics = vec![Heuristic::Mct, Heuristic::MinMin];
+    spec.fraction = 0.01;
+    spec
+}
+
+fn campaign_throughput(c: &mut Criterion) {
+    let units = bench_spec().expand().units;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut threads: Vec<usize> = vec![1, (cores / 2).max(1), cores];
+    threads.dedup();
+
+    let mut g = c.benchmark_group("campaign_throughput");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for &t in &threads {
+        // One iteration executes the whole plan; runs/sec is the
+        // reported iters/s multiplied by the plan size.
+        g.bench_function(BenchmarkId::new(format!("{}_runs", units.len()), t), |b| {
+            let opts = ExecOptions {
+                threads: Some(t),
+                progress: false,
+            };
+            b.iter(|| black_box(execute(&units, None, &opts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, campaign_throughput);
+criterion_main!(benches);

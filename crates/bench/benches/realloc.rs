@@ -18,17 +18,23 @@ fn imbalanced_grid(queue_depth: usize) -> Vec<Cluster> {
     let mut c0 = Cluster::new(ClusterSpec::new("c0", 640, 1.0), BatchPolicy::Fcfs);
     let mut c1 = Cluster::new(ClusterSpec::new("c1", 270, 1.2), BatchPolicy::Fcfs);
     let mut c2 = Cluster::new(ClusterSpec::new("c2", 434, 1.4), BatchPolicy::Fcfs);
-    c0.submit(JobSpec::new(1_000_000, 0, 640, 40_000, 40_000), SimTime(0)).unwrap();
+    c0.submit(JobSpec::new(1_000_000, 0, 640, 40_000, 40_000), SimTime(0))
+        .unwrap();
     c0.start_due(SimTime(0));
-    c1.submit(JobSpec::new(1_000_001, 0, 270, 2_000, 4_000), SimTime(0)).unwrap();
+    c1.submit(JobSpec::new(1_000_001, 0, 270, 2_000, 4_000), SimTime(0))
+        .unwrap();
     c1.start_due(SimTime(0));
-    c2.submit(JobSpec::new(1_000_002, 0, 434, 3_000, 6_000), SimTime(0)).unwrap();
+    c2.submit(JobSpec::new(1_000_002, 0, 434, 3_000, 6_000), SimTime(0))
+        .unwrap();
     c2.start_due(SimTime(0));
     for i in 0..queue_depth {
         let p = (i as u32 % 64) + 1;
         let wt = 600 + (i as u64 % 11) * 300;
-        c0.submit(JobSpec::new(i as u64, i as u64, p, wt - 30, wt), SimTime(i as u64))
-            .unwrap();
+        c0.submit(
+            JobSpec::new(i as u64, i as u64, p, wt - 30, wt),
+            SimTime(i as u64),
+        )
+        .unwrap();
     }
     vec![c0, c1, c2]
 }

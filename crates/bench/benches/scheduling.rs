@@ -21,15 +21,9 @@ fn profile_ops(c: &mut Criterion) {
         for i in 0..segments as u64 {
             p.reserve(SimTime(i * 100), Duration(50), 4);
         }
-        g.bench_with_input(
-            BenchmarkId::new("earliest_fit", segments),
-            &p,
-            |b, p| {
-                b.iter(|| {
-                    black_box(p.earliest_fit(black_box(SimTime(0)), 512, Duration(1_000)))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("earliest_fit", segments), &p, |b, p| {
+            b.iter(|| black_box(p.earliest_fit(black_box(SimTime(0)), 512, Duration(1_000))))
+        });
         g.bench_with_input(BenchmarkId::new("min_free", segments), &p, |b, p| {
             b.iter(|| black_box(p.min_free(black_box(SimTime(0)), Duration(100_000))))
         });
@@ -45,10 +39,13 @@ fn cluster_queries(c: &mut Criterion) {
         for &depth in &[10usize, 100, 500] {
             let cluster = loaded_cluster(640, policy, depth);
             let probe = JobSpec::new(9_999_999, 0, 16, 3_000, 3_600);
-            g.bench_function(BenchmarkId::new(format!("estimate_new/{policy}"), depth), |b| {
-                let mut cl = cluster.clone();
-                b.iter(|| black_box(cl.estimate_new(&probe, SimTime(1_000))))
-            });
+            g.bench_function(
+                BenchmarkId::new(format!("estimate_new/{policy}"), depth),
+                |b| {
+                    let mut cl = cluster.clone();
+                    b.iter(|| black_box(cl.estimate_new(&probe, SimTime(1_000))))
+                },
+            );
             g.bench_function(
                 BenchmarkId::new(format!("submit_cancel/{policy}"), depth),
                 |b| {

@@ -36,10 +36,7 @@ fn all_tables(c: &mut Criterion) {
     // The underlying simulation cost, per heterogeneity level.
     for heterogeneous in [false, true] {
         g.bench_function(
-            format!(
-                "suite_smoke_{}",
-                if heterogeneous { "het" } else { "hom" }
-            ),
+            format!("suite_smoke_{}", if heterogeneous { "het" } else { "hom" }),
             |b| b.iter(|| black_box(run_suite(heterogeneous, &scenarios, &suite))),
         );
     }

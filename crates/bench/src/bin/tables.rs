@@ -1,5 +1,10 @@
 //! Regenerate the paper's Tables 1–17 (and the DESIGN.md ablations).
 //!
+//! A thin consumer of the `grid-campaign` engine: the option set below is
+//! translated into a [`CampaignSpec`], executed (optionally against a
+//! resumable result cache shared with the `campaign` CLI), and aggregated
+//! back into the paper's tables.
+//!
 //! ```text
 //! cargo run --release -p grid-bench --bin tables -- [OPTIONS]
 //!
@@ -9,21 +14,24 @@
 //!   --seed S           workload seed (default 42)
 //!   --table N          print only table N (repeatable; default: all 17)
 //!   --scenarios a,b    comma-separated subset of jan,feb,mar,apr,may,jun,pwa-g5k
+//!   --cache DIR        reuse/populate a campaign result cache
 //!   --ablations        additionally run the A1-A6 ablation studies
 //!   --no-shape-checks  skip the paper-vs-measured shape summary
 //! ```
 //!
 //! At `--fraction 1.0` this reproduces the paper's full 364-experiment
-//! grid; expect tens of minutes on a single core.
+//! grid; expect tens of minutes on a single core (interruptible and
+//! resumable when `--cache` is given).
 
 use std::collections::BTreeSet;
 use std::time::Instant;
 
 use grid_batch::BatchPolicy;
+use grid_campaign::{aggregate, execute, CampaignSpec, ExecOptions, ResultCache};
 use grid_des::Duration;
 use grid_realloc::ablation;
 use grid_realloc::experiments::{
-    run_suite, shape_checks, table1, table_number, Metric, SuiteConfig, SuiteResults,
+    shape_checks, table1, table_number, Metric, SuiteConfig, SuiteResults,
 };
 use grid_realloc::{Heuristic, ReallocAlgorithm, ReallocConfig};
 use grid_workload::Scenario;
@@ -32,6 +40,7 @@ struct Options {
     suite: SuiteConfig,
     tables: Option<BTreeSet<usize>>,
     scenarios: Vec<Scenario>,
+    cache: Option<std::path::PathBuf>,
     ablations: bool,
     shape_checks: bool,
 }
@@ -41,6 +50,7 @@ fn parse_args() -> Options {
         suite: SuiteConfig::default(),
         tables: None,
         scenarios: Scenario::ALL.to_vec(),
+        cache: None,
         ablations: false,
         shape_checks: true,
     };
@@ -76,6 +86,10 @@ fn parse_args() -> Options {
                     })
                     .collect();
             }
+            "--cache" => {
+                let v = args.next().expect("--cache needs a directory");
+                opts.cache = Some(v.into());
+            }
             "--ablations" => opts.ablations = true,
             "--no-shape-checks" => opts.shape_checks = false,
             "--help" | "-h" => {
@@ -90,6 +104,50 @@ fn parse_args() -> Options {
 
 fn wants(opts: &Options, n: usize) -> bool {
     opts.tables.as_ref().is_none_or(|t| t.contains(&n))
+}
+
+/// Translate the CLI options into a one-flavour campaign spec, run it
+/// through the engine (cached when `--cache` is set) and aggregate back
+/// into the classic `SuiteResults`.
+fn run_suite_via_campaign(heterogeneous: bool, opts: &Options) -> SuiteResults {
+    let mut spec = CampaignSpec::paper();
+    spec.name = format!("tables-{}", if heterogeneous { "het" } else { "hom" });
+    spec.scenarios = opts.scenarios.clone();
+    spec.heterogeneity = vec![heterogeneous];
+    spec.seeds = vec![opts.suite.seed];
+    spec.fraction = opts.suite.fraction;
+    spec.periods_s = vec![opts.suite.period.as_secs()];
+    spec.thresholds_s = vec![opts.suite.threshold.as_secs()];
+    let plan = spec.expand();
+    let cache = opts.cache.as_ref().map(|dir| {
+        ResultCache::open(dir)
+            .unwrap_or_else(|e| panic!("cannot open cache {}: {e}", dir.display()))
+    });
+    let (outcomes, summary) = execute(
+        &plan.units,
+        cache.as_ref(),
+        &ExecOptions {
+            threads: None,
+            progress: true,
+        },
+    );
+    assert!(
+        summary.failures.is_empty(),
+        "{} runs failed; {}",
+        summary.failures.len(),
+        if opts.cache.is_some() {
+            "completed runs are cached — rerun to resume the rest"
+        } else {
+            "completed runs were not persisted (pass --cache DIR to make reruns resumable)"
+        }
+    );
+    let results = aggregate(&spec, &plan, &outcomes).expect("all runs present");
+    let (_, suite) = results
+        .groups
+        .into_iter()
+        .next()
+        .expect("single-flavour campaign yields one group");
+    suite
 }
 
 fn main() {
@@ -114,7 +172,7 @@ fn main() {
     let need_het = (2..=17).any(|n| n % 2 == 1 && n >= 3 && wants(&opts, n));
     let run = |het: bool| -> SuiteResults {
         let t0 = Instant::now();
-        let r = run_suite(het, &opts.scenarios, &opts.suite);
+        let r = run_suite_via_campaign(het, &opts);
         eprintln!(
             "[suite {} done in {:.1?}: {} experiments]",
             if het { "heterogeneous" } else { "homogeneous" },

@@ -8,8 +8,11 @@ use grid_des::SimTime;
 /// observes.
 pub fn loaded_cluster(procs: u32, policy: BatchPolicy, queue_depth: usize) -> Cluster {
     let mut c = Cluster::new(ClusterSpec::new("bench", procs, 1.0), policy);
-    c.submit(JobSpec::new(1_000_000, 0, procs, 50_000, 50_000), SimTime(0))
-        .expect("blocker fits");
+    c.submit(
+        JobSpec::new(1_000_000, 0, procs, 50_000, 50_000),
+        SimTime(0),
+    )
+    .expect("blocker fits");
     c.start_due(SimTime(0));
     for i in 0..queue_depth {
         // Mixed shapes: sizes 1..procs/4, walltimes 10-70 min.

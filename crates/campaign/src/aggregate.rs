@@ -1,0 +1,340 @@
+//! Fold run outcomes back into paper tables and machine-readable exports.
+//!
+//! Reference runs and reallocation runs are paired by
+//! `(scenario, flavour, policy, seed)`; each pairing yields the §3.4
+//! [`Comparison`]. Comparisons are then grouped by
+//! `(flavour, seed, period, threshold)` — for the paper's spec that is
+//! exactly the two groups (homogeneous, heterogeneous) whose tables the
+//! paper prints; sweep specs get one table set per sweep point.
+
+use std::collections::{BTreeMap, HashMap};
+
+use grid_batch::BatchPolicy;
+use grid_metrics::{Comparison, RunOutcome};
+use grid_realloc::experiments::{table_number, ExperimentKey, Metric, SuiteResults};
+use grid_ser::Value;
+use grid_workload::Scenario;
+
+use crate::plan::{CampaignPlan, RunKind};
+use crate::spec::CampaignSpec;
+
+/// Identifies one table-set group of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GroupKey {
+    /// Heterogeneous platform flavour?
+    pub heterogeneous: bool,
+    /// Workload seed.
+    pub seed: u64,
+    /// Reallocation period, seconds.
+    pub period_s: u64,
+    /// Algorithm-1 threshold, seconds.
+    pub threshold_s: u64,
+}
+
+/// Aggregated campaign: suite results per group.
+#[derive(Debug, Clone)]
+pub struct CampaignResults {
+    /// The producing spec.
+    pub spec: CampaignSpec,
+    /// Comparisons per group, in deterministic group order.
+    pub groups: BTreeMap<GroupKey, SuiteResults>,
+}
+
+/// Pair every reallocation outcome with its reference and build the
+/// grouped suite results.
+///
+/// `outcomes[i]` must correspond to `plan.units[i]` (the executor's
+/// output contract); `None` entries (failed or missing runs) are
+/// reported in the error when they break a pairing.
+pub fn aggregate(
+    spec: &CampaignSpec,
+    plan: &CampaignPlan,
+    outcomes: &[Option<RunOutcome>],
+) -> Result<CampaignResults, String> {
+    assert_eq!(
+        plan.units.len(),
+        outcomes.len(),
+        "outcome vector must match the plan"
+    );
+    let mut references: HashMap<(Scenario, bool, BatchPolicy, u64), &RunOutcome> = HashMap::new();
+    for (unit, outcome) in plan.units.iter().zip(outcomes) {
+        if unit.kind == RunKind::Reference {
+            if let Some(outcome) = outcome {
+                references.insert(unit.baseline_key(), outcome);
+            }
+        }
+    }
+    let mut groups: BTreeMap<GroupKey, SuiteResults> = BTreeMap::new();
+    let mut missing = Vec::new();
+    for (unit, outcome) in plan.units.iter().zip(outcomes) {
+        let RunKind::Realloc(setting) = unit.kind else {
+            continue;
+        };
+        let Some(outcome) = outcome else {
+            missing.push(unit.label());
+            continue;
+        };
+        let Some(baseline) = references.get(&unit.baseline_key()) else {
+            missing.push(format!("{} (reference missing)", unit.label()));
+            continue;
+        };
+        let comparison = Comparison::against_baseline(baseline, outcome);
+        let key = GroupKey {
+            heterogeneous: unit.heterogeneous,
+            seed: unit.seed,
+            period_s: setting.period.as_secs(),
+            threshold_s: setting.threshold.as_secs(),
+        };
+        groups
+            .entry(key)
+            .or_insert_with(|| SuiteResults {
+                heterogeneous: unit.heterogeneous,
+                comparisons: HashMap::new(),
+            })
+            .comparisons
+            .insert(
+                ExperimentKey {
+                    scenario: unit.scenario,
+                    policy: unit.policy,
+                    algorithm: setting.algorithm,
+                    heuristic: setting.heuristic,
+                },
+                comparison,
+            );
+    }
+    if !missing.is_empty() {
+        let shown = 8.min(missing.len());
+        let mut list = missing[..shown].join(", ");
+        if missing.len() > shown {
+            list.push_str(&format!(", … and {} more", missing.len() - shown));
+        }
+        return Err(format!(
+            "{} run(s) unavailable (run the campaign first, or check failures): {list}",
+            missing.len(),
+        ));
+    }
+    Ok(CampaignResults {
+        spec: spec.clone(),
+        groups,
+    })
+}
+
+impl CampaignResults {
+    /// Render every paper table of every group, in paper order.
+    pub fn render_tables(&self) -> String {
+        let mut out = String::new();
+        let multi_group = self.groups.len() > 1;
+        for (key, results) in &self.groups {
+            if multi_group {
+                out.push_str(&format!(
+                    "## group: {} / seed {} / period {}s / threshold {}s\n\n",
+                    if key.heterogeneous {
+                        "heterogeneous"
+                    } else {
+                        "homogeneous"
+                    },
+                    key.seed,
+                    key.period_s,
+                    key.threshold_s,
+                ));
+            }
+            for algorithm in &self.spec.algorithms {
+                for metric in Metric::ALL {
+                    out.push_str(&format!(
+                        "{}\n",
+                        results.table(*algorithm, metric, &self.spec.scenarios)
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Flat CSV export: one row per comparison cell.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scenario,platform,policy,algorithm,heuristic,period_s,threshold_s,seed,\
+             n_jobs,impacted,earlier,later,reallocations,pct_impacted,pct_earlier,rel_avg_response\n",
+        );
+        for (group, results) in &self.groups {
+            let mut keys: Vec<&ExperimentKey> = results.comparisons.keys().collect();
+            keys.sort_by_key(|k| {
+                (
+                    k.scenario.label(),
+                    k.policy.to_string(),
+                    k.algorithm.to_string(),
+                    k.heuristic.label(),
+                )
+            });
+            for key in keys {
+                let c = &results.comparisons[key];
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                    key.scenario.label(),
+                    if group.heterogeneous { "het" } else { "hom" },
+                    key.policy,
+                    key.algorithm,
+                    key.heuristic.label(),
+                    group.period_s,
+                    group.threshold_s,
+                    group.seed,
+                    c.n_jobs,
+                    c.impacted,
+                    c.earlier,
+                    c.later,
+                    c.reallocations,
+                    c.pct_impacted,
+                    c.pct_earlier,
+                    c.rel_avg_response,
+                ));
+            }
+        }
+        out
+    }
+
+    /// JSON export mirroring the CSV rows, plus table numbers for the
+    /// cells that correspond to paper tables.
+    pub fn to_json(&self) -> Value {
+        let mut rows = Vec::new();
+        for (group, results) in &self.groups {
+            let mut keys: Vec<&ExperimentKey> = results.comparisons.keys().collect();
+            keys.sort_by_key(|k| {
+                (
+                    k.scenario.label(),
+                    k.policy.to_string(),
+                    k.algorithm.to_string(),
+                    k.heuristic.label(),
+                )
+            });
+            for key in keys {
+                let c = &results.comparisons[key];
+                let mut row = c.to_json();
+                row.insert("scenario", key.scenario.label());
+                row.insert("platform", if group.heterogeneous { "het" } else { "hom" });
+                row.insert("policy", key.policy.to_string());
+                row.insert("algorithm", key.algorithm.to_string());
+                row.insert("heuristic", key.heuristic.label());
+                row.insert("period_s", group.period_s);
+                row.insert("threshold_s", group.threshold_s);
+                row.insert("seed", group.seed);
+                row.insert(
+                    "paper_tables",
+                    Value::Arr(
+                        Metric::ALL
+                            .iter()
+                            .map(|&m| {
+                                Value::UInt(
+                                    table_number(key.algorithm, m, group.heterogeneous) as u64
+                                )
+                            })
+                            .collect(),
+                    ),
+                );
+                rows.push(row);
+            }
+        }
+        let mut root = Value::object();
+        root.insert("campaign", self.spec.name.as_str());
+        root.insert("engine", crate::ENGINE_VERSION);
+        root.insert("cells", Value::Arr(rows));
+        root
+    }
+}
+
+/// Convenience used by tests and the facade: aggregate into the two
+/// classic suite-result objects when the campaign has exactly the
+/// paper's (hom, het) group structure.
+pub fn paper_suites(results: &CampaignResults) -> Option<(SuiteResults, SuiteResults)> {
+    if results.groups.len() != 2 {
+        return None;
+    }
+    let mut hom = None;
+    let mut het = None;
+    for (key, suite) in &results.groups {
+        if key.heterogeneous {
+            het = Some(suite.clone());
+        } else {
+            hom = Some(suite.clone());
+        }
+    }
+    Some((hom?, het?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, ExecOptions};
+    use grid_realloc::{Heuristic, ReallocAlgorithm};
+
+    fn mini_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::paper();
+        spec.name = "mini".into();
+        spec.scenarios = vec![Scenario::Jun];
+        spec.heterogeneity = vec![false, true];
+        spec.policies = vec![BatchPolicy::Fcfs];
+        spec.heuristics = vec![Heuristic::Mct, Heuristic::MinMin];
+        spec.fraction = 0.01;
+        spec
+    }
+
+    #[test]
+    fn aggregation_matches_direct_comparison() {
+        let spec = mini_spec();
+        let plan = spec.expand();
+        let (outcomes, summary) = execute(&plan.units, None, &ExecOptions::default());
+        assert!(summary.failures.is_empty());
+        let results = aggregate(&spec, &plan, &outcomes).unwrap();
+        assert_eq!(results.groups.len(), 2); // hom + het
+
+        // Recompute one cell by hand and compare.
+        let reference_idx = plan
+            .units
+            .iter()
+            .position(|u| u.kind == RunKind::Reference && !u.heterogeneous)
+            .unwrap();
+        let run_idx = plan
+            .units
+            .iter()
+            .position(|u| {
+                !u.heterogeneous
+                    && matches!(u.kind, RunKind::Realloc(s) if s.heuristic == Heuristic::MinMin
+                        && s.algorithm == ReallocAlgorithm::NoCancel)
+            })
+            .unwrap();
+        let expected = Comparison::against_baseline(
+            outcomes[reference_idx].as_ref().unwrap(),
+            outcomes[run_idx].as_ref().unwrap(),
+        );
+        let group = results.groups.values().find(|g| !g.heterogeneous).unwrap();
+        let got = group.comparisons[&ExperimentKey {
+            scenario: Scenario::Jun,
+            policy: BatchPolicy::Fcfs,
+            algorithm: ReallocAlgorithm::NoCancel,
+            heuristic: Heuristic::MinMin,
+        }];
+        assert_eq!(got, expected);
+
+        // Exports include every cell.
+        let csv = results.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 2 * 2 * 2); // header + cells
+        let json = results.to_json();
+        assert_eq!(json.req_arr("cells").unwrap().len(), 8);
+        let tables = results.render_tables();
+        assert!(tables.contains("Table 2"));
+        assert!(tables.contains("## group"));
+    }
+
+    #[test]
+    fn missing_runs_are_reported() {
+        let spec = mini_spec();
+        let plan = spec.expand();
+        let mut outcomes: Vec<Option<RunOutcome>> = plan
+            .units
+            .iter()
+            .map(|_| Some(RunOutcome::default()))
+            .collect();
+        outcomes[3] = None;
+        let err = aggregate(&spec, &plan, &outcomes).unwrap_err();
+        assert!(err.contains("unavailable"), "{err}");
+    }
+}

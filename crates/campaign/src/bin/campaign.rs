@@ -1,0 +1,251 @@
+//! The campaign CLI: plan, execute and report experiment campaigns.
+//!
+//! ```text
+//! campaign plan   --spec FILE [--shards K]
+//! campaign run    --spec FILE [--shards K --shard I] [--cache DIR]
+//!                 [--threads N] [--quiet]
+//! campaign report --spec FILE [--cache DIR] [--format tables|csv|json]
+//!                 [--out FILE]
+//! ```
+//!
+//! `run` executes (its shard of) the spec's expansion, resuming from the
+//! content-addressed cache; invoke it once per shard — from separate
+//! processes or machines sharing the cache directory — then `report`
+//! aggregates the full campaign into the paper's tables or CSV/JSON.
+//!
+//! The spec path defaults to `examples/paper_campaign.toml`; the cache
+//! directory defaults to `campaign-cache/`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use grid_campaign::{aggregate, execute, CampaignSpec, ExecOptions, ResultCache};
+
+struct CommonArgs {
+    spec: PathBuf,
+    cache: PathBuf,
+    shards: usize,
+    shard: usize,
+    threads: Option<usize>,
+    quiet: bool,
+    format: String,
+    out: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: campaign <plan|run|report> [--spec FILE] [--shards K] [--shard I] \
+[--cache DIR] [--threads N] [--format tables|csv|json] [--out FILE] [--quiet]";
+
+fn parse_args(mut args: std::env::Args) -> Result<(String, CommonArgs), String> {
+    let command = args.next().ok_or(USAGE)?;
+    let mut parsed = CommonArgs {
+        spec: PathBuf::from("examples/paper_campaign.toml"),
+        cache: PathBuf::from("campaign-cache"),
+        shards: 1,
+        shard: 0,
+        threads: None,
+        quiet: false,
+        format: "tables".into(),
+        out: None,
+    };
+    let value =
+        |args: &mut std::env::Args, flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spec" => parsed.spec = PathBuf::from(value(&mut args, "--spec")?),
+            "--cache" => parsed.cache = PathBuf::from(value(&mut args, "--cache")?),
+            "--shards" => {
+                parsed.shards = value(&mut args, "--shards")?
+                    .parse()
+                    .map_err(|_| "invalid --shards")?
+            }
+            "--shard" => {
+                parsed.shard = value(&mut args, "--shard")?
+                    .parse()
+                    .map_err(|_| "invalid --shard")?
+            }
+            "--threads" => {
+                parsed.threads = Some(
+                    value(&mut args, "--threads")?
+                        .parse()
+                        .map_err(|_| "invalid --threads")?,
+                )
+            }
+            "--format" => parsed.format = value(&mut args, "--format")?,
+            "--out" => parsed.out = Some(PathBuf::from(value(&mut args, "--out")?)),
+            "--quiet" => parsed.quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other:?}\n{USAGE}")),
+        }
+    }
+    if parsed.shards == 0 || parsed.shard >= parsed.shards {
+        return Err(format!(
+            "--shard {} out of range for --shards {}",
+            parsed.shard, parsed.shards
+        ));
+    }
+    if !["tables", "csv", "json"].contains(&parsed.format.as_str()) {
+        return Err(format!("unknown --format {:?}", parsed.format));
+    }
+    Ok((command, parsed))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _binary = args.next();
+    let (command, opts) = match parse_args(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "plan" => cmd_plan(&opts),
+        "run" => cmd_run(&opts),
+        "report" => cmd_report(&opts),
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("campaign {command}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_spec(opts: &CommonArgs) -> Result<CampaignSpec, String> {
+    CampaignSpec::load(&opts.spec).map_err(|e| e.to_string())
+}
+
+fn cmd_plan(opts: &CommonArgs) -> Result<(), String> {
+    let spec = load_spec(opts)?;
+    let plan = spec.expand();
+    println!("campaign: {}", spec.name);
+    if !spec.description.is_empty() {
+        println!("  {}", spec.description);
+    }
+    println!(
+        "matrix: {} scenarios x {} platforms x {} policies x {} algorithms x {} heuristics \
+         x {} periods x {} thresholds x {} seeds @ fraction {}",
+        spec.scenarios.len(),
+        spec.heterogeneity.len(),
+        spec.policies.len(),
+        spec.algorithms.len(),
+        spec.heuristics.len(),
+        spec.periods_s.len(),
+        spec.thresholds_s.len(),
+        spec.seeds.len(),
+        spec.fraction,
+    );
+    println!(
+        "total runs: {} ({} reference + {} reallocation)",
+        plan.len(),
+        plan.reference_count(),
+        plan.realloc_count()
+    );
+    if opts.shards > 1 {
+        for i in 0..opts.shards {
+            println!(
+                "  shard {i}/{}: {} runs",
+                opts.shards,
+                plan.shard(opts.shards, i).len()
+            );
+        }
+    }
+    // Preview only: never create the cache directory as a side effect.
+    if opts.cache.is_dir() {
+        let cache = ResultCache::open(&opts.cache).map_err(|e| e.to_string())?;
+        let cached = plan.units.iter().filter(|u| cache.contains(u)).count();
+        println!(
+            "cache: {} of {} runs already present in {}",
+            cached,
+            plan.len(),
+            opts.cache.display()
+        );
+    } else {
+        println!(
+            "cache: {} does not exist yet (created on first `run`)",
+            opts.cache.display()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(opts: &CommonArgs) -> Result<(), String> {
+    let spec = load_spec(opts)?;
+    let plan = spec.expand();
+    let units = plan.shard(opts.shards, opts.shard);
+    let cache = ResultCache::open(&opts.cache).map_err(|e| e.to_string())?;
+    if !opts.quiet {
+        eprintln!(
+            "campaign {}: shard {}/{} -> {} of {} runs, cache {}",
+            spec.name,
+            opts.shard,
+            opts.shards,
+            units.len(),
+            plan.len(),
+            opts.cache.display(),
+        );
+    }
+    let (_, summary) = execute(
+        &units,
+        Some(&cache),
+        &ExecOptions {
+            threads: opts.threads,
+            progress: !opts.quiet,
+        },
+    );
+    println!(
+        "shard {}/{}: {} computed, {} cached, {} failed",
+        opts.shard,
+        opts.shards,
+        summary.computed,
+        summary.cached,
+        summary.failures.len()
+    );
+    for f in &summary.failures {
+        eprintln!("  failed: {} — {}", f.unit, f.message);
+    }
+    for f in &summary.store_errors {
+        eprintln!("  not persisted: {} — {}", f.unit, f.message);
+    }
+    match (summary.failures.len(), summary.store_errors.len()) {
+        (0, 0) => Ok(()),
+        (0, stores) => Err(format!(
+            "{stores} result(s) could not be written to the cache — \
+             a later `report` will find them missing"
+        )),
+        (fails, _) => Err(format!("{fails} run(s) failed")),
+    }
+}
+
+fn cmd_report(opts: &CommonArgs) -> Result<(), String> {
+    let spec = load_spec(opts)?;
+    let plan = spec.expand();
+    let cache = ResultCache::open(&opts.cache).map_err(|e| e.to_string())?;
+    let outcomes: Vec<_> = plan
+        .units
+        .iter()
+        .map(|u| cache.load(u).map(|r| r.outcome))
+        .collect();
+    let results = aggregate(&spec, &plan, &outcomes)?;
+    let rendered = match opts.format.as_str() {
+        "tables" => results.render_tables(),
+        "csv" => results.to_csv(),
+        "json" => results.to_json().encode_pretty(),
+        _ => unreachable!("validated in parse_args"),
+    };
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!("report written to {}", path.display());
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}

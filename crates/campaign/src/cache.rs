@@ -1,0 +1,213 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Each run unit is addressed by `stable_hash128` of its canonical JSON
+//! [descriptor](crate::RunUnit::descriptor) (which includes the engine
+//! version). A record file stores the descriptor next to the outcome, so
+//! a hash collision or a stale file is detected by comparing descriptors
+//! on load and treated as a miss — the hash only has to be a good file
+//! name, not a proof of identity.
+//!
+//! Records are canonical JSON (sorted keys, stable number formatting):
+//! re-running an identical spec rewrites byte-identical files, which the
+//! resume-determinism tests pin down.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use grid_metrics::RunOutcome;
+use grid_ser::{stable_hash128, Value};
+
+use crate::plan::RunUnit;
+
+/// One cached run: the descriptor it was computed from plus the outcome.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Canonical descriptor of the producing unit.
+    pub descriptor: Value,
+    /// The simulation outcome.
+    pub outcome: RunOutcome,
+}
+
+impl RunRecord {
+    /// Build a record for `unit`.
+    pub fn new(unit: &RunUnit, outcome: RunOutcome) -> RunRecord {
+        RunRecord {
+            descriptor: unit.descriptor(),
+            outcome,
+        }
+    }
+
+    /// Canonical byte encoding.
+    pub fn encode(&self) -> String {
+        let mut v = Value::object();
+        v.insert("descriptor", self.descriptor.clone());
+        v.insert("outcome", self.outcome.to_json());
+        v.encode()
+    }
+
+    /// Parse [`RunRecord::encode`] output.
+    pub fn decode(text: &str) -> Result<RunRecord, grid_ser::json::SerError> {
+        let v = Value::parse(text)?;
+        Ok(RunRecord {
+            descriptor: v.req("descriptor")?.clone(),
+            outcome: RunOutcome::from_json(v.req("outcome")?)?,
+        })
+    }
+}
+
+/// Directory of content-addressed run records.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (and create) the cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Content hash of a unit's descriptor.
+    pub fn key(unit: &RunUnit) -> String {
+        stable_hash128(unit.descriptor().encode().as_bytes())
+    }
+
+    /// File path a unit's record lives at.
+    pub fn path(&self, unit: &RunUnit) -> PathBuf {
+        self.dir.join(format!("{}.json", Self::key(unit)))
+    }
+
+    /// Cheap hit probe: does a record file exist for this unit?
+    ///
+    /// Existence-only — no parse, no descriptor verification — so it is
+    /// suitable for previews over large caches (`campaign plan`). Use
+    /// [`ResultCache::load`] when the outcome is actually consumed.
+    pub fn contains(&self, unit: &RunUnit) -> bool {
+        self.path(unit).is_file()
+    }
+
+    /// Load a unit's record; `None` on miss, corruption, or a descriptor
+    /// mismatch (collision / stale engine version).
+    pub fn load(&self, unit: &RunUnit) -> Option<RunRecord> {
+        let text = std::fs::read_to_string(self.path(unit)).ok()?;
+        let record = RunRecord::decode(&text).ok()?;
+        if record.descriptor.encode() != unit.descriptor().encode() {
+            return None;
+        }
+        Some(record)
+    }
+
+    /// Atomically persist a record (write-then-rename, so a concurrent
+    /// shard or an interrupt never leaves a torn file).
+    pub fn store(&self, unit: &RunUnit, record: &RunRecord) -> io::Result<()> {
+        let final_path = self.path(unit);
+        let tmp = final_path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, record.encode())?;
+        std::fs::rename(&tmp, &final_path)
+    }
+
+    /// Number of record files currently present (any spec).
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// `true` when no record files are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::RunKind;
+    use grid_batch::BatchPolicy;
+    use grid_workload::Scenario;
+
+    fn unit(seed: u64) -> RunUnit {
+        RunUnit {
+            scenario: Scenario::Jun,
+            heterogeneous: false,
+            policy: BatchPolicy::Cbf,
+            seed,
+            fraction: 0.01,
+            kind: RunKind::Reference,
+        }
+    }
+
+    fn tmp_cache(tag: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!(
+            "grid-campaign-cache-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let cache = tmp_cache("roundtrip");
+        let u = unit(1);
+        assert!(cache.load(&u).is_none());
+        let record = RunRecord::new(&u, RunOutcome::default());
+        cache.store(&u, &record).unwrap();
+        let loaded = cache.load(&u).expect("hit");
+        assert_eq!(loaded.encode(), record.encode());
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn contains_is_a_cheap_existence_probe() {
+        let cache = tmp_cache("contains");
+        let u = unit(9);
+        assert!(!cache.contains(&u));
+        cache
+            .store(&u, &RunRecord::new(&u, RunOutcome::default()))
+            .unwrap();
+        assert!(cache.contains(&u));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn different_units_have_different_keys() {
+        assert_ne!(ResultCache::key(&unit(1)), ResultCache::key(&unit(2)));
+    }
+
+    #[test]
+    fn descriptor_mismatch_is_a_miss() {
+        let cache = tmp_cache("mismatch");
+        let u1 = unit(1);
+        let record = RunRecord::new(&u1, RunOutcome::default());
+        // Write u1's record at u2's path, simulating a collision.
+        let u2 = unit(2);
+        std::fs::write(cache.path(&u2), record.encode()).unwrap();
+        assert!(
+            cache.load(&u2).is_none(),
+            "foreign record must not be trusted"
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_files_are_misses() {
+        let cache = tmp_cache("corrupt");
+        let u = unit(3);
+        std::fs::write(cache.path(&u), "{not json").unwrap();
+        assert!(cache.load(&u).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

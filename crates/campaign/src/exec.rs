@@ -1,0 +1,307 @@
+//! Sharded parallel executor with panic isolation and caching.
+//!
+//! Work units are pulled off a shared atomic cursor by a scoped worker
+//! pool (the same dynamic load-balancing the suite harness got from
+//! rayon, but with an explicit thread count so benchmarks and the CLI
+//! can pin parallelism). Each unit:
+//!
+//! 1. probes the [`ResultCache`] (when configured) — a hit skips the
+//!    simulation entirely;
+//! 2. otherwise runs the simulation inside `catch_unwind`, so one
+//!    poisoned scenario fails that unit, not the campaign;
+//! 3. persists the record back to the cache before reporting progress.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use grid_des::Duration;
+use grid_metrics::RunOutcome;
+use grid_realloc::experiments::{run_one, SuiteConfig};
+
+use crate::cache::{ResultCache, RunRecord};
+use crate::plan::{RunKind, RunUnit};
+
+/// Executor knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Worker threads; `None` = all available cores.
+    pub threads: Option<usize>,
+    /// Emit per-run progress lines on stderr.
+    pub progress: bool,
+}
+
+/// What one unit did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnitDisposition {
+    Cached,
+    Computed,
+    Failed,
+}
+
+/// One failed unit.
+#[derive(Debug, Clone)]
+pub struct RunFailure {
+    /// Label of the failing unit.
+    pub unit: String,
+    /// Panic payload or I/O error, as text.
+    pub message: String,
+}
+
+/// Campaign-level execution summary.
+#[derive(Debug, Clone, Default)]
+pub struct ExecSummary {
+    /// Units simulated this invocation.
+    pub computed: usize,
+    /// Units answered from the cache.
+    pub cached: usize,
+    /// Units that panicked — no outcome exists for these.
+    pub failures: Vec<RunFailure>,
+    /// Units that simulated fine but whose record could not be written
+    /// to the cache. Their outcomes are valid in-process; a later
+    /// `report` run against the cache will find them missing.
+    pub store_errors: Vec<RunFailure>,
+}
+
+/// Simulate one unit (no cache, no isolation) — the pure function the
+/// executor wraps.
+pub fn simulate(unit: &RunUnit) -> RunOutcome {
+    let (realloc, period, threshold) = match unit.kind {
+        RunKind::Reference => (None, Duration::hours(1), Duration::secs(60)),
+        RunKind::Realloc(setting) => (Some(setting.to_config()), setting.period, setting.threshold),
+    };
+    let suite = SuiteConfig {
+        seed: unit.seed,
+        fraction: unit.fraction,
+        period,
+        threshold,
+    };
+    run_one(
+        unit.scenario,
+        unit.heterogeneous,
+        unit.policy,
+        realloc,
+        &suite,
+    )
+}
+
+/// Execute `units`, returning each unit's outcome in input order
+/// (`None` for failed units) plus a summary.
+pub fn execute(
+    units: &[RunUnit],
+    cache: Option<&ResultCache>,
+    opts: &ExecOptions,
+) -> (Vec<Option<RunOutcome>>, ExecSummary) {
+    let n = units.len();
+    let threads = opts
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, n.max(1));
+    let started = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let failures = Mutex::new(Vec::new());
+    let store_errors = Mutex::new(Vec::new());
+
+    let run_unit = |i: usize| -> (UnitDisposition, Option<RunOutcome>) {
+        let unit = &units[i];
+        if let Some(cache) = cache {
+            if let Some(record) = cache.load(unit) {
+                return (UnitDisposition::Cached, Some(record.outcome));
+            }
+        }
+        let t0 = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| simulate(unit))) {
+            Ok(outcome) => {
+                if let Some(cache) = cache {
+                    let record = RunRecord::new(unit, outcome.clone());
+                    if let Err(e) = cache.store(unit, &record) {
+                        eprintln!("[WARN] {}: result not persisted: {e}", unit.label());
+                        store_errors.lock().unwrap().push(RunFailure {
+                            unit: unit.label(),
+                            message: e.to_string(),
+                        });
+                    }
+                }
+                if opts.progress {
+                    let k = done.load(Ordering::Relaxed) + 1;
+                    eprintln!(
+                        "[{k:>4}/{n}] {} ({} jobs, {:.1?})",
+                        unit.label(),
+                        outcome.len(),
+                        t0.elapsed()
+                    );
+                }
+                (UnitDisposition::Computed, Some(outcome))
+            }
+            Err(payload) => {
+                let message = panic_message(&payload);
+                eprintln!("[FAIL] {}: {message}", unit.label());
+                failures.lock().unwrap().push(RunFailure {
+                    unit: unit.label(),
+                    message,
+                });
+                (UnitDisposition::Failed, None)
+            }
+        }
+    };
+
+    let mut merged: Vec<(usize, (UnitDisposition, Option<RunOutcome>))> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let result = run_unit(i);
+                            done.fetch_add(1, Ordering::Relaxed);
+                            local.push((i, result));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("campaign worker never panics"))
+                .collect()
+        });
+    merged.sort_by_key(|&(i, _)| i);
+
+    let mut summary = ExecSummary {
+        failures: failures.into_inner().unwrap(),
+        store_errors: store_errors.into_inner().unwrap(),
+        ..ExecSummary::default()
+    };
+    let outcomes: Vec<Option<RunOutcome>> = merged
+        .into_iter()
+        .map(|(_, (disposition, outcome))| {
+            match disposition {
+                UnitDisposition::Cached => summary.cached += 1,
+                UnitDisposition::Computed => summary.computed += 1,
+                UnitDisposition::Failed => {}
+            }
+            outcome
+        })
+        .collect();
+    if opts.progress {
+        eprintln!(
+            "campaign: {} runs in {:.1?} ({} computed, {} cached, {} failed, {} unpersisted, {threads} threads)",
+            n,
+            started.elapsed(),
+            summary.computed,
+            summary.cached,
+            summary.failures.len(),
+            summary.store_errors.len(),
+        );
+    }
+    (outcomes, summary)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+    use grid_batch::BatchPolicy;
+    use grid_workload::Scenario;
+
+    fn tiny_units() -> Vec<RunUnit> {
+        let mut spec = CampaignSpec::paper();
+        spec.scenarios = vec![Scenario::Jun];
+        spec.heterogeneity = vec![false];
+        spec.policies = vec![BatchPolicy::Fcfs];
+        spec.heuristics = vec![grid_realloc::Heuristic::Mct];
+        spec.fraction = 0.01;
+        spec.expand().units
+    }
+
+    #[test]
+    fn executes_all_units_deterministically() {
+        let units = tiny_units();
+        assert_eq!(units.len(), 3); // 1 reference + 2 algorithms × 1 heuristic.
+        let opts = ExecOptions::default();
+        let (a, sa) = execute(&units, None, &opts);
+        let (b, sb) = execute(&units, None, &opts);
+        assert_eq!(sa.computed, 3);
+        assert_eq!(sb.computed, 3);
+        assert!(sa.failures.is_empty());
+        for (x, y) in a.iter().zip(&b) {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            assert_eq!(x.records, y.records);
+            assert_eq!(x.total_reallocations, y.total_reallocations);
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let units = tiny_units();
+        let (seq, _) = execute(
+            &units,
+            None,
+            &ExecOptions {
+                threads: Some(1),
+                progress: false,
+            },
+        );
+        let (par, _) = execute(
+            &units,
+            None,
+            &ExecOptions {
+                threads: Some(4),
+                progress: false,
+            },
+        );
+        for (x, y) in seq.iter().zip(&par) {
+            assert_eq!(x.as_ref().unwrap().records, y.as_ref().unwrap().records);
+        }
+    }
+
+    #[test]
+    fn store_errors_do_not_count_as_run_failures() {
+        let units = tiny_units();
+        let dir = std::env::temp_dir().join(format!("grid-campaign-exec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = crate::cache::ResultCache::open(&dir).unwrap();
+        // Yank the directory out from under the cache: every store fails,
+        // but the simulations themselves succeed.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let (outcomes, summary) = execute(&units, Some(&cache), &ExecOptions::default());
+        assert_eq!(summary.computed, units.len());
+        assert!(summary.failures.is_empty(), "sim succeeded — not a failure");
+        assert_eq!(summary.store_errors.len(), units.len());
+        assert!(outcomes.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn panics_are_isolated_per_unit() {
+        // fraction is validated at spec load; a hand-built unit can still
+        // carry a poisoned value — the executor must contain the blast.
+        let mut units = tiny_units();
+        units[1].fraction = -1.0; // generate_fraction panics on this
+        let (outcomes, summary) = execute(&units, None, &ExecOptions::default());
+        assert_eq!(summary.failures.len(), 1);
+        assert!(outcomes[1].is_none());
+        assert!(outcomes[0].is_some(), "healthy units must still complete");
+        assert!(outcomes[2].is_some());
+        assert_eq!(summary.computed, 2);
+    }
+}

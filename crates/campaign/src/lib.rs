@@ -1,0 +1,53 @@
+//! # grid-campaign — declarative experiment-campaign engine
+//!
+//! The paper's evaluation is a 364-run campaign (2 algorithms × 6
+//! heuristics × 2 batch policies × 2 platform flavours × 7 traces, plus
+//! the 28 no-reallocation reference runs). The seed reproduction ran it
+//! as hard-coded nested loops in `grid_realloc::experiments::run_suite`;
+//! this crate turns that into a first-class subsystem:
+//!
+//! * [`CampaignSpec`] — a declarative scenario matrix, loadable from TOML
+//!   or JSON (`examples/paper_campaign.toml` is annotated), that
+//!   [expands](CampaignSpec::expand) into concrete run units;
+//! * [`CampaignPlan`] — the deterministic expansion, with
+//!   [sharding](CampaignPlan::shard) for multi-process fan-out
+//!   (`--shards K --shard i`: disjoint, covering, stable);
+//! * [`execute`](exec::execute) — a work-stealing parallel executor with
+//!   per-run panic isolation and progress reporting;
+//! * [`ResultCache`] — a content-addressed on-disk cache (hash of the
+//!   canonical run descriptor + engine version) so interrupted campaigns
+//!   resume and unchanged runs are never recomputed;
+//! * [`aggregate`](aggregate::aggregate) — folds cached outcomes back
+//!   into `grid_realloc::experiments::SuiteResults`, the paper tables,
+//!   and CSV/JSON exports.
+//!
+//! The `campaign` binary wires these into `plan` / `run` / `report`
+//! subcommands:
+//!
+//! ```text
+//! cargo run -p grid-campaign --release -- run    --spec examples/paper_campaign.toml
+//! cargo run -p grid-campaign --release -- report --spec examples/paper_campaign.toml
+//! ```
+//!
+//! ## Determinism contract
+//!
+//! A run unit is a pure function of its descriptor (scenario, platform
+//! flavour, policy, reallocation setting, seed, fraction). Cached records
+//! are canonical JSON, so *the same spec always produces byte-identical
+//! record files*, sharded or not — the integration tests pin this.
+
+pub mod aggregate;
+pub mod cache;
+pub mod exec;
+pub mod plan;
+pub mod spec;
+
+pub use aggregate::{aggregate, CampaignResults};
+pub use cache::{ResultCache, RunRecord};
+pub use exec::{execute, ExecOptions, ExecSummary};
+pub use plan::{CampaignPlan, ReallocSetting, RunKind, RunUnit};
+pub use spec::CampaignSpec;
+
+/// Version stamped into every cache descriptor: records written by a
+/// different engine version are recomputed, not trusted.
+pub const ENGINE_VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,228 @@
+//! Concrete run units and the expanded campaign plan.
+
+use grid_batch::BatchPolicy;
+use grid_des::Duration;
+use grid_realloc::{Heuristic, ReallocAlgorithm, ReallocConfig};
+use grid_ser::Value;
+use grid_workload::Scenario;
+
+use crate::ENGINE_VERSION;
+
+/// The reallocation configuration of a non-reference run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReallocSetting {
+    /// Algorithm 1 (no-cancel) or Algorithm 2 (cancel-all).
+    pub algorithm: ReallocAlgorithm,
+    /// Ordering heuristic inside a reallocation round.
+    pub heuristic: Heuristic,
+    /// Reallocation period.
+    pub period: Duration,
+    /// Algorithm 1 improvement threshold.
+    pub threshold: Duration,
+}
+
+impl ReallocSetting {
+    /// The simulator configuration for this setting.
+    pub fn to_config(self) -> ReallocConfig {
+        ReallocConfig::new(self.algorithm, self.heuristic)
+            .with_period(self.period)
+            .with_threshold(self.threshold)
+    }
+}
+
+/// Reference run (no reallocation) or a reallocation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunKind {
+    /// The no-reallocation baseline shared by every reallocation run of
+    /// the same (scenario, platform flavour, policy, seed, fraction).
+    Reference,
+    /// One reallocation configuration.
+    Realloc(ReallocSetting),
+}
+
+/// One fully-specified simulation run — the unit of execution, caching
+/// and sharding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunUnit {
+    /// Workload scenario.
+    pub scenario: Scenario,
+    /// Heterogeneous platform flavour?
+    pub heterogeneous: bool,
+    /// Local batch policy on every cluster.
+    pub policy: BatchPolicy,
+    /// Workload seed.
+    pub seed: u64,
+    /// Per-site job-count fraction (1.0 = the paper's Table 1 counts).
+    pub fraction: f64,
+    /// Reference or reallocation run.
+    pub kind: RunKind,
+}
+
+impl RunUnit {
+    /// Compact human-readable identifier, e.g.
+    /// `apr/het/FCFS/cancel-all/MinMin/p3600/t60/s42`.
+    pub fn label(&self) -> String {
+        let base = format!(
+            "{}/{}/{}",
+            self.scenario.label(),
+            if self.heterogeneous { "het" } else { "hom" },
+            self.policy,
+        );
+        match self.kind {
+            RunKind::Reference => format!("{base}/reference/s{}", self.seed),
+            RunKind::Realloc(r) => format!(
+                "{base}/{}/{}/p{}/t{}/s{}",
+                r.algorithm,
+                r.heuristic.label(),
+                r.period.as_secs(),
+                r.threshold.as_secs(),
+                self.seed,
+            ),
+        }
+    }
+
+    /// The canonical JSON descriptor this unit is content-addressed by.
+    ///
+    /// Includes the engine version: records from another version are
+    /// treated as misses. Must stay injective over everything that can
+    /// influence the outcome.
+    pub fn descriptor(&self) -> Value {
+        let mut d = Value::object();
+        d.insert("schema", "grid-campaign/run/v1");
+        d.insert("engine", ENGINE_VERSION);
+        d.insert("scenario", self.scenario.label());
+        d.insert("heterogeneous", self.heterogeneous);
+        d.insert("policy", self.policy.to_string());
+        d.insert("seed", self.seed);
+        d.insert("fraction", self.fraction);
+        match self.kind {
+            RunKind::Reference => d.insert("kind", "reference"),
+            RunKind::Realloc(r) => {
+                let mut k = Value::object();
+                k.insert("algorithm", r.algorithm.to_string());
+                k.insert("heuristic", r.heuristic.label());
+                k.insert("period_s", r.period.as_secs());
+                k.insert("threshold_s", r.threshold.as_secs());
+                d.insert("kind", k);
+            }
+        }
+        d
+    }
+
+    /// The key of the reference run this unit compares against (itself
+    /// for reference units).
+    pub fn baseline_key(&self) -> (Scenario, bool, BatchPolicy, u64) {
+        (self.scenario, self.heterogeneous, self.policy, self.seed)
+    }
+}
+
+/// Deterministic expansion of a [`crate::CampaignSpec`].
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    /// All run units, in expansion order (references first, then
+    /// reallocation runs — so early progress unblocks comparisons).
+    pub units: Vec<RunUnit>,
+}
+
+impl CampaignPlan {
+    /// Total number of runs.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// `true` when the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Number of reference runs.
+    pub fn reference_count(&self) -> usize {
+        self.units
+            .iter()
+            .filter(|u| u.kind == RunKind::Reference)
+            .count()
+    }
+
+    /// Number of reallocation runs.
+    pub fn realloc_count(&self) -> usize {
+        self.len() - self.reference_count()
+    }
+
+    /// The subset of units shard `index` of `shards` executes.
+    ///
+    /// Round-robin by position: stable for a fixed spec, shards are
+    /// pairwise disjoint, and the union over `0..shards` is the full
+    /// plan — pinned by the engine tests.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0` or `index >= shards`.
+    pub fn shard(&self, shards: usize, index: usize) -> Vec<RunUnit> {
+        assert!(shards > 0, "need at least one shard");
+        assert!(index < shards, "shard index {index} out of 0..{shards}");
+        self.units
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % shards == index)
+            .map(|(_, u)| u.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(kind: RunKind) -> RunUnit {
+        RunUnit {
+            scenario: Scenario::Jun,
+            heterogeneous: true,
+            policy: BatchPolicy::Fcfs,
+            seed: 42,
+            fraction: 0.01,
+            kind,
+        }
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(
+            unit(RunKind::Reference).label(),
+            "jun/het/FCFS/reference/s42"
+        );
+        let r = RunKind::Realloc(ReallocSetting {
+            algorithm: ReallocAlgorithm::CancelAll,
+            heuristic: Heuristic::MinMin,
+            period: Duration::hours(1),
+            threshold: Duration::secs(60),
+        });
+        assert_eq!(
+            unit(r).label(),
+            "jun/het/FCFS/cancel-all/MinMin/p3600/t60/s42"
+        );
+    }
+
+    #[test]
+    fn descriptor_distinguishes_everything() {
+        let a = unit(RunKind::Reference);
+        let mut b = a.clone();
+        b.seed = 43;
+        let mut c = a.clone();
+        c.heterogeneous = false;
+        let mut d = a.clone();
+        d.fraction = 0.02;
+        let encs: Vec<String> = [&a, &b, &c, &d]
+            .iter()
+            .map(|u| u.descriptor().encode())
+            .collect();
+        for i in 0..encs.len() {
+            for j in i + 1..encs.len() {
+                assert_ne!(encs[i], encs[j]);
+            }
+        }
+        // Same unit, same bytes.
+        assert_eq!(
+            a.descriptor().encode(),
+            unit(RunKind::Reference).descriptor().encode()
+        );
+    }
+}

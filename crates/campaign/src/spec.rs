@@ -1,0 +1,497 @@
+//! Declarative campaign specifications.
+//!
+//! A [`CampaignSpec`] names every axis of the experiment matrix; loading
+//! one from TOML or JSON and [expanding](CampaignSpec::expand) it
+//! replaces the hard-coded nested loops the suite harness used to carry.
+//! Axes omitted from a spec file default to the paper's values, so the
+//! minimal spec `name = "paper"` *is* the paper's 364-run campaign.
+
+use grid_batch::BatchPolicy;
+use grid_des::Duration;
+use grid_realloc::{Heuristic, ReallocAlgorithm};
+use grid_ser::json::SerError;
+use grid_ser::{toml, Value};
+use grid_workload::Scenario;
+
+use crate::plan::{CampaignPlan, ReallocSetting, RunKind, RunUnit};
+
+/// A declarative experiment matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (used in reports and progress output).
+    pub name: String,
+    /// Free-form description.
+    pub description: String,
+    /// Workload scenarios (paper: all seven traces).
+    pub scenarios: Vec<Scenario>,
+    /// Platform flavours: `false` = homogeneous, `true` = heterogeneous.
+    pub heterogeneity: Vec<bool>,
+    /// Local batch policies (paper: FCFS and CBF).
+    pub policies: Vec<BatchPolicy>,
+    /// Reallocation algorithms (paper: both).
+    pub algorithms: Vec<ReallocAlgorithm>,
+    /// Scheduling heuristics (paper: all six).
+    pub heuristics: Vec<Heuristic>,
+    /// Reallocation periods, seconds (paper: one hour).
+    pub periods_s: Vec<u64>,
+    /// Algorithm-1 improvement thresholds, seconds (paper: one minute).
+    pub thresholds_s: Vec<u64>,
+    /// Workload seeds — more than one turns the campaign into
+    /// repetitions.
+    pub seeds: Vec<u64>,
+    /// Per-site job-count fraction, in `(0, 1]`.
+    pub fraction: f64,
+}
+
+impl CampaignSpec {
+    /// The paper's full campaign: expands to exactly 364 runs
+    /// (28 references + 336 reallocation runs).
+    pub fn paper() -> CampaignSpec {
+        CampaignSpec {
+            name: "paper".into(),
+            description: "Tables 2-17 of Caniou, Charrier, Desprez (RR-7226)".into(),
+            scenarios: Scenario::ALL.to_vec(),
+            heterogeneity: vec![false, true],
+            policies: vec![BatchPolicy::Fcfs, BatchPolicy::Cbf],
+            algorithms: ReallocAlgorithm::ALL.to_vec(),
+            heuristics: Heuristic::ALL.to_vec(),
+            periods_s: vec![3_600],
+            thresholds_s: vec![60],
+            seeds: vec![42],
+            fraction: 1.0,
+        }
+    }
+
+    /// Load a spec from a file, dispatching on the `.toml` / `.json`
+    /// extension.
+    pub fn load(path: &std::path::Path) -> Result<CampaignSpec, SerError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SerError::new(format!("cannot read {}: {e}", path.display())))?;
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => Self::from_json_str(&text),
+            _ => Self::from_toml_str(&text),
+        }
+    }
+
+    /// Parse the TOML form.
+    pub fn from_toml_str(text: &str) -> Result<CampaignSpec, SerError> {
+        Self::from_value(&toml::parse(text)?)
+    }
+
+    /// Parse the JSON form.
+    pub fn from_json_str(text: &str) -> Result<CampaignSpec, SerError> {
+        Self::from_value(&Value::parse(text)?)
+    }
+
+    /// Build from a parsed [`Value`] tree (shared by both formats).
+    ///
+    /// Matrix axes live under a `[matrix]` table (or inline at top level
+    /// for JSON convenience); every axis is optional and defaults to the
+    /// paper's value.
+    pub fn from_value(v: &Value) -> Result<CampaignSpec, SerError> {
+        let paper = CampaignSpec::paper();
+        if v.as_obj().is_none() {
+            return Err(SerError::new(
+                "campaign spec must be a table/object at the top level",
+            ));
+        }
+        if let Some(m) = v.get("matrix") {
+            if m.as_obj().is_none() {
+                return Err(SerError::new("`matrix` must be a table of axes"));
+            }
+        }
+        let matrix = v.get("matrix").unwrap_or(v);
+        // A typoed or misplaced key silently falling back to a paper
+        // default would run the wrong matrix under the user's label, so
+        // reject anything unrecognised.
+        reject_unknown_keys(v, matrix)?;
+        let spec = CampaignSpec {
+            name: v
+                .get("name")
+                .and_then(Value::as_str)
+                .unwrap_or("unnamed")
+                .to_string(),
+            description: v
+                .get("description")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            scenarios: parse_axis(matrix, "scenarios", &paper.scenarios, parse_scenario)?,
+            heterogeneity: parse_axis(matrix, "platforms", &paper.heterogeneity, parse_flavour)?,
+            policies: parse_axis(matrix, "policies", &paper.policies, parse_policy)?,
+            algorithms: parse_axis(matrix, "algorithms", &paper.algorithms, parse_algorithm)?,
+            heuristics: parse_axis(matrix, "heuristics", &paper.heuristics, parse_heuristic)?,
+            periods_s: parse_u64_axis(matrix, "periods_s", &paper.periods_s)?,
+            thresholds_s: parse_u64_axis(matrix, "thresholds_s", &paper.thresholds_s)?,
+            seeds: parse_u64_axis(v, "seeds", &paper.seeds)?,
+            fraction: v
+                .get("fraction")
+                .map(|f| {
+                    f.as_f64()
+                        .ok_or_else(|| SerError::new("`fraction` must be a number"))
+                })
+                .transpose()?
+                .unwrap_or(paper.fraction),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Check the matrix is well-formed (non-empty axes, no duplicates,
+    /// fraction in range).
+    pub fn validate(&self) -> Result<(), SerError> {
+        fn check<T: PartialEq + std::fmt::Debug>(axis: &str, items: &[T]) -> Result<(), SerError> {
+            if items.is_empty() {
+                return Err(SerError::new(format!("axis `{axis}` is empty")));
+            }
+            for (i, a) in items.iter().enumerate() {
+                if items[..i].contains(a) {
+                    return Err(SerError::new(format!(
+                        "axis `{axis}` lists {a:?} twice — the expansion would double-count it"
+                    )));
+                }
+            }
+            Ok(())
+        }
+        check("scenarios", &self.scenarios)?;
+        check("platforms", &self.heterogeneity)?;
+        check("policies", &self.policies)?;
+        check("algorithms", &self.algorithms)?;
+        check("heuristics", &self.heuristics)?;
+        check("periods_s", &self.periods_s)?;
+        check("thresholds_s", &self.thresholds_s)?;
+        check("seeds", &self.seeds)?;
+        if !(self.fraction > 0.0 && self.fraction <= 1.0) {
+            return Err(SerError::new(format!(
+                "`fraction` must be in (0, 1], got {}",
+                self.fraction
+            )));
+        }
+        Ok(())
+    }
+
+    /// Expand the matrix into the deterministic run plan: one reference
+    /// run per (seed, scenario, flavour, policy), then the cross product
+    /// of reallocation settings.
+    pub fn expand(&self) -> CampaignPlan {
+        let mut units = Vec::with_capacity(self.total_runs());
+        for &seed in &self.seeds {
+            for &scenario in &self.scenarios {
+                for &heterogeneous in &self.heterogeneity {
+                    for &policy in &self.policies {
+                        units.push(RunUnit {
+                            scenario,
+                            heterogeneous,
+                            policy,
+                            seed,
+                            fraction: self.fraction,
+                            kind: RunKind::Reference,
+                        });
+                    }
+                }
+            }
+        }
+        for &seed in &self.seeds {
+            for &scenario in &self.scenarios {
+                for &heterogeneous in &self.heterogeneity {
+                    for &policy in &self.policies {
+                        for &algorithm in &self.algorithms {
+                            for &heuristic in &self.heuristics {
+                                for &period in &self.periods_s {
+                                    for &threshold in &self.thresholds_s {
+                                        units.push(RunUnit {
+                                            scenario,
+                                            heterogeneous,
+                                            policy,
+                                            seed,
+                                            fraction: self.fraction,
+                                            kind: RunKind::Realloc(ReallocSetting {
+                                                algorithm,
+                                                heuristic,
+                                                period: Duration::secs(period),
+                                                threshold: Duration::secs(threshold),
+                                            }),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        CampaignPlan { units }
+    }
+
+    /// Run count the expansion will produce.
+    pub fn total_runs(&self) -> usize {
+        let base = self.seeds.len()
+            * self.scenarios.len()
+            * self.heterogeneity.len()
+            * self.policies.len();
+        base + base
+            * self.algorithms.len()
+            * self.heuristics.len()
+            * self.periods_s.len()
+            * self.thresholds_s.len()
+    }
+}
+
+/// The matrix-axis keys (valid under `[matrix]`, or at top level in the
+/// JSON convenience form).
+const AXIS_KEYS: [&str; 7] = [
+    "scenarios",
+    "platforms",
+    "policies",
+    "algorithms",
+    "heuristics",
+    "periods_s",
+    "thresholds_s",
+];
+
+/// Campaign-level keys valid at the top level only.
+const TOP_KEYS: [&str; 5] = ["name", "description", "fraction", "seeds", "matrix"];
+
+fn reject_unknown_keys(v: &Value, matrix: &Value) -> Result<(), SerError> {
+    let has_matrix_table = !std::ptr::eq(matrix, v);
+    if let Some(obj) = v.as_obj() {
+        for key in obj.keys() {
+            let known = TOP_KEYS.contains(&key.as_str())
+                // Axes may sit at top level only in the no-[matrix] form;
+                // with a [matrix] table present they would be silently
+                // shadowed by it.
+                || (!has_matrix_table && AXIS_KEYS.contains(&key.as_str()));
+            if !known {
+                return Err(SerError::new(format!(
+                    "unknown or misplaced key `{key}` in campaign spec \
+                     (top level takes: {}; matrix axes are: {})",
+                    TOP_KEYS.join(", "),
+                    AXIS_KEYS.join(", ")
+                )));
+            }
+        }
+    }
+    // The [matrix] table may only hold axis keys — `seeds`/`fraction`
+    // there would otherwise be silently ignored.
+    if has_matrix_table {
+        if let Some(obj) = matrix.as_obj() {
+            for key in obj.keys() {
+                if !AXIS_KEYS.contains(&key.as_str()) {
+                    return Err(SerError::new(format!(
+                        "key `{key}` is not a matrix axis — move it to the top level \
+                         (axes are: {})",
+                        AXIS_KEYS.join(", ")
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_axis<T>(
+    v: &Value,
+    key: &str,
+    default: &[T],
+    parse: fn(&str) -> Result<T, SerError>,
+) -> Result<Vec<T>, SerError>
+where
+    T: Clone,
+{
+    let Some(raw) = v.get(key) else {
+        return Ok(default.to_vec());
+    };
+    // The string "all" (or ["all"]) selects the full axis.
+    if raw.as_str() == Some("all") {
+        return Ok(default.to_vec());
+    }
+    let arr = raw
+        .as_arr()
+        .ok_or_else(|| SerError::new(format!("`{key}` must be an array of strings")))?;
+    if arr.len() == 1 && arr[0].as_str() == Some("all") {
+        return Ok(default.to_vec());
+    }
+    arr.iter()
+        .map(|item| {
+            let s = item
+                .as_str()
+                .ok_or_else(|| SerError::new(format!("`{key}` entries must be strings")))?;
+            parse(s)
+        })
+        .collect()
+}
+
+fn parse_u64_axis(v: &Value, key: &str, default: &[u64]) -> Result<Vec<u64>, SerError> {
+    let Some(raw) = v.get(key) else {
+        return Ok(default.to_vec());
+    };
+    let arr = raw
+        .as_arr()
+        .ok_or_else(|| SerError::new(format!("`{key}` must be an array of integers")))?;
+    arr.iter()
+        .map(|item| {
+            item.as_u64().ok_or_else(|| {
+                SerError::new(format!("`{key}` entries must be non-negative integers"))
+            })
+        })
+        .collect()
+}
+
+fn parse_scenario(s: &str) -> Result<Scenario, SerError> {
+    Scenario::ALL
+        .into_iter()
+        .find(|sc| sc.label().eq_ignore_ascii_case(s))
+        .ok_or_else(|| {
+            SerError::new(format!(
+                "unknown scenario `{s}` (expected one of {})",
+                Scenario::ALL.map(|sc| sc.label()).join(", ")
+            ))
+        })
+}
+
+fn parse_flavour(s: &str) -> Result<bool, SerError> {
+    match s.to_ascii_lowercase().as_str() {
+        "homogeneous" | "hom" => Ok(false),
+        "heterogeneous" | "het" => Ok(true),
+        _ => Err(SerError::new(format!(
+            "unknown platform flavour `{s}` (expected homogeneous/heterogeneous)"
+        ))),
+    }
+}
+
+fn parse_policy(s: &str) -> Result<BatchPolicy, SerError> {
+    [BatchPolicy::Fcfs, BatchPolicy::Cbf, BatchPolicy::Easy]
+        .into_iter()
+        .find(|p| p.to_string().eq_ignore_ascii_case(s))
+        .ok_or_else(|| SerError::new(format!("unknown batch policy `{s}` (FCFS, CBF or EASY)")))
+}
+
+fn parse_algorithm(s: &str) -> Result<ReallocAlgorithm, SerError> {
+    ReallocAlgorithm::ALL
+        .into_iter()
+        .find(|a| a.to_string().eq_ignore_ascii_case(s))
+        .ok_or_else(|| {
+            SerError::new(format!(
+                "unknown algorithm `{s}` (expected no-cancel or cancel-all)"
+            ))
+        })
+}
+
+fn parse_heuristic(s: &str) -> Result<Heuristic, SerError> {
+    Heuristic::ALL
+        .into_iter()
+        .find(|h| h.label().eq_ignore_ascii_case(s))
+        .ok_or_else(|| {
+            SerError::new(format!(
+                "unknown heuristic `{s}` (expected one of {})",
+                Heuristic::ALL.map(|h| h.label()).join(", ")
+            ))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_expands_to_364_runs() {
+        let plan = CampaignSpec::paper().expand();
+        assert_eq!(plan.len(), 364);
+        assert_eq!(plan.reference_count(), 28);
+        assert_eq!(plan.realloc_count(), 336);
+        assert_eq!(CampaignSpec::paper().total_runs(), 364);
+    }
+
+    #[test]
+    fn minimal_toml_defaults_to_the_paper_matrix() {
+        let spec = CampaignSpec::from_toml_str("name = \"paper\"").unwrap();
+        assert_eq!(spec.total_runs(), 364);
+        assert_eq!(spec.fraction, 1.0);
+    }
+
+    #[test]
+    fn axes_can_be_restricted() {
+        let spec = CampaignSpec::from_toml_str(
+            r#"
+name = "quick"
+fraction = 0.01
+seeds = [1, 2]
+
+[matrix]
+scenarios = ["jun"]
+platforms = ["heterogeneous"]
+policies = ["FCFS"]
+algorithms = ["cancel-all"]
+heuristics = ["Mct", "MinMin"]
+periods_s = [1800, 3600]
+"#,
+        )
+        .unwrap();
+        // refs: 2 seeds * 1 * 1 * 1 = 2; realloc: 2 * 1*2*2*1 = 8.
+        assert_eq!(spec.total_runs(), 10);
+        let plan = spec.expand();
+        assert_eq!(plan.len(), 10);
+        assert_eq!(plan.reference_count(), 2);
+    }
+
+    #[test]
+    fn json_form_is_equivalent() {
+        let spec = CampaignSpec::from_json_str(
+            r#"{"name":"q","fraction":0.5,"matrix":{"scenarios":["apr"],"platforms":["hom"]}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.scenarios, vec![Scenario::Apr]);
+        assert_eq!(spec.heterogeneity, vec![false]);
+        assert_eq!(spec.fraction, 0.5);
+        // Unrestricted axes keep the paper defaults.
+        assert_eq!(spec.heuristics.len(), 6);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert!(CampaignSpec::from_toml_str("fraction = 0.0").is_err());
+        assert!(CampaignSpec::from_toml_str("fraction = 1.5").is_err());
+        assert!(
+            CampaignSpec::from_toml_str("[matrix]\nscenarios = [\"jan\", \"jan\"]").is_err(),
+            "duplicate axis entries must be rejected"
+        );
+        assert!(CampaignSpec::from_toml_str("[matrix]\nscenarios = []").is_err());
+        assert!(CampaignSpec::from_toml_str("[matrix]\nscenarios = [\"nope\"]").is_err());
+        assert!(CampaignSpec::from_toml_str("[matrix]\nheuristics = [\"nope\"]").is_err());
+    }
+
+    #[test]
+    fn unknown_and_misplaced_keys_are_rejected() {
+        // Typoed axis name: would otherwise silently run all 7 scenarios.
+        let err = CampaignSpec::from_toml_str("[matrix]\nsenarios = [\"jun\"]").unwrap_err();
+        assert!(err.to_string().contains("senarios"), "{err}");
+        // Campaign-level key misplaced under [matrix]: would otherwise
+        // silently keep seed 42.
+        let err = CampaignSpec::from_toml_str("[matrix]\nseeds = [1, 2]").unwrap_err();
+        assert!(err.to_string().contains("seeds"), "{err}");
+        // Unknown top-level key.
+        assert!(CampaignSpec::from_toml_str("wat = 1").is_err());
+        // Malformed documents must not fall back to the 364-run default.
+        assert!(CampaignSpec::from_json_str("\"oops\"").is_err());
+        assert!(CampaignSpec::from_json_str("[1,2]").is_err());
+        assert!(CampaignSpec::from_toml_str("matrix = 3").is_err());
+        // Axis at top level while a [matrix] table exists: shadowed.
+        let err =
+            CampaignSpec::from_toml_str("scenarios = [\"jun\"]\n[matrix]\npolicies = [\"FCFS\"]")
+                .unwrap_err();
+        assert!(err.to_string().contains("scenarios"), "{err}");
+        // But axes at top level are fine in the matrix-less (JSON) form.
+        let spec = CampaignSpec::from_json_str(r#"{"scenarios":["jun"],"seeds":[7]}"#).unwrap();
+        assert_eq!(spec.scenarios, vec![Scenario::Jun]);
+        assert_eq!(spec.seeds, vec![7]);
+    }
+
+    #[test]
+    fn all_keyword_selects_full_axis() {
+        let spec =
+            CampaignSpec::from_toml_str("[matrix]\nscenarios = [\"all\"]\nheuristics = \"all\"")
+                .unwrap();
+        assert_eq!(spec.scenarios.len(), 7);
+        assert_eq!(spec.heuristics.len(), 6);
+    }
+}

@@ -1,0 +1,213 @@
+//! Integration tests pinning the campaign engine's contracts:
+//!
+//! * the paper spec expands to exactly its 364 runs;
+//! * shards partition the plan (disjoint, covering, stable);
+//! * the cache resumes campaigns and is byte-deterministic (same spec +
+//!   seed ⇒ byte-identical record files);
+//! * sharded execution reproduces the single-process tables exactly.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use grid_batch::BatchPolicy;
+use grid_campaign::{aggregate, execute, CampaignSpec, ExecOptions, ResultCache};
+use grid_realloc::Heuristic;
+use grid_workload::Scenario;
+
+/// Fresh scratch directory under the cargo-provided tmp root.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("engine-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A campaign small enough for tests: 2 refs + 8 realloc runs on 1% of
+/// June.
+fn tiny_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::paper();
+    spec.name = "tiny".into();
+    spec.scenarios = vec![Scenario::Jun];
+    spec.heterogeneity = vec![false, true];
+    spec.policies = vec![BatchPolicy::Fcfs];
+    spec.heuristics = vec![Heuristic::Mct, Heuristic::MinMin];
+    spec.fraction = 0.01;
+    spec
+}
+
+/// Read every record file in a cache directory, keyed by file name.
+fn cache_bytes(dir: &PathBuf) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("cache dir exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "json") {
+            out.insert(
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read(&path).unwrap(),
+            );
+        }
+    }
+    out
+}
+
+#[test]
+fn paper_spec_expands_to_exactly_364_runs() {
+    let plan = CampaignSpec::paper().expand();
+    assert_eq!(plan.len(), 364, "the paper's campaign is 364 runs");
+    assert_eq!(plan.reference_count(), 28);
+    assert_eq!(plan.realloc_count(), 336);
+}
+
+#[test]
+fn example_spec_file_is_the_scaled_paper_campaign() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/paper_campaign.toml");
+    let spec = CampaignSpec::load(&path).expect("example spec parses");
+    assert_eq!(spec.total_runs(), 364, "example spans the full matrix");
+    assert!(spec.fraction < 1.0, "example is scaled down");
+    assert_eq!(spec.expand().len(), 364);
+}
+
+#[test]
+fn shards_partition_the_plan() {
+    let plan = CampaignSpec::paper().expand();
+    for shards in [1usize, 2, 3, 4, 7] {
+        let mut seen = Vec::new();
+        for index in 0..shards {
+            let part = plan.shard(shards, index);
+            // Balanced to within one unit.
+            assert!((part.len() as i64 - (plan.len() / shards) as i64).abs() <= 1);
+            seen.extend(part.into_iter().map(|u| u.label()));
+        }
+        // Union == full plan, no overlap (labels are unique per unit).
+        let full: Vec<String> = plan.units.iter().map(|u| u.label()).collect();
+        let mut seen_sorted = seen.clone();
+        seen_sorted.sort();
+        let mut full_sorted = full.clone();
+        full_sorted.sort();
+        assert_eq!(
+            seen.len(),
+            plan.len(),
+            "{shards} shards must cover every run once"
+        );
+        assert_eq!(seen_sorted, full_sorted, "{shards}-shard union mismatch");
+    }
+    // Stability: the same shard call twice yields the same subset.
+    assert_eq!(
+        plan.shard(4, 2)
+            .iter()
+            .map(|u| u.label())
+            .collect::<Vec<_>>(),
+        plan.shard(4, 2)
+            .iter()
+            .map(|u| u.label())
+            .collect::<Vec<_>>(),
+    );
+}
+
+#[test]
+fn cache_resume_is_deterministic_and_byte_identical() {
+    let spec = tiny_spec();
+    let plan = spec.expand();
+    let opts = ExecOptions::default();
+
+    // First run: everything computed, records persisted.
+    let dir_a = scratch("resume-a");
+    let cache_a = ResultCache::open(&dir_a).unwrap();
+    let (outcomes_a, summary_a) = execute(&plan.units, Some(&cache_a), &opts);
+    assert_eq!(summary_a.computed, plan.len());
+    assert_eq!(summary_a.cached, 0);
+    assert!(summary_a.failures.is_empty());
+    let bytes_a = cache_bytes(&dir_a);
+    assert_eq!(bytes_a.len(), plan.len());
+
+    // Second run over the same cache: pure cache hits, same outcomes,
+    // files untouched byte-for-byte.
+    let (outcomes_b, summary_b) = execute(&plan.units, Some(&cache_a), &opts);
+    assert_eq!(summary_b.computed, 0, "resume must not recompute anything");
+    assert_eq!(summary_b.cached, plan.len());
+    assert_eq!(bytes_a, cache_bytes(&dir_a));
+    for (a, b) in outcomes_a.iter().zip(&outcomes_b) {
+        assert_eq!(a.as_ref().unwrap().records, b.as_ref().unwrap().records);
+    }
+
+    // Fresh cache directory, same spec: byte-identical record files.
+    let dir_c = scratch("resume-c");
+    let cache_c = ResultCache::open(&dir_c).unwrap();
+    let (_, summary_c) = execute(&plan.units, Some(&cache_c), &opts);
+    assert_eq!(summary_c.computed, plan.len());
+    assert_eq!(
+        bytes_a,
+        cache_bytes(&dir_c),
+        "same spec + seed must produce byte-identical result records"
+    );
+
+    // Partial-resume: delete a few records, re-run, only those recompute.
+    let victims: Vec<String> = bytes_a.keys().take(3).cloned().collect();
+    for name in &victims {
+        std::fs::remove_file(dir_a.join(name)).unwrap();
+    }
+    let (_, summary_d) = execute(&plan.units, Some(&cache_a), &opts);
+    assert_eq!(summary_d.computed, victims.len());
+    assert_eq!(summary_d.cached, plan.len() - victims.len());
+    assert_eq!(
+        bytes_a,
+        cache_bytes(&dir_a),
+        "recomputed records match originals"
+    );
+}
+
+#[test]
+fn sharded_execution_reproduces_single_shard_tables() {
+    let spec = tiny_spec();
+    let plan = spec.expand();
+    let opts = ExecOptions::default();
+
+    // Single process, no sharding.
+    let dir_single = scratch("shard-single");
+    let cache_single = ResultCache::open(&dir_single).unwrap();
+    let (outcomes, _) = execute(&plan.units, Some(&cache_single), &opts);
+    let single = aggregate(&spec, &plan, &outcomes).unwrap();
+
+    // Four shards executed independently against a shared cache, then a
+    // report assembled purely from that cache.
+    let dir_sharded = scratch("shard-4way");
+    let cache_sharded = ResultCache::open(&dir_sharded).unwrap();
+    for index in 0..4 {
+        let units = plan.shard(4, index);
+        let (_, summary) = execute(&units, Some(&cache_sharded), &opts);
+        assert!(summary.failures.is_empty());
+    }
+    let from_cache: Vec<_> = plan
+        .units
+        .iter()
+        .map(|u| cache_sharded.load(u).map(|r| r.outcome))
+        .collect();
+    let sharded = aggregate(&spec, &plan, &from_cache).unwrap();
+
+    assert_eq!(single.render_tables(), sharded.render_tables());
+    assert_eq!(single.to_csv(), sharded.to_csv());
+    assert_eq!(
+        single.to_json().encode(),
+        sharded.to_json().encode(),
+        "sharded campaign must reproduce the single-shard report exactly"
+    );
+    // And the two caches hold identical bytes.
+    assert_eq!(cache_bytes(&dir_single), cache_bytes(&dir_sharded));
+}
+
+#[test]
+fn report_fails_cleanly_on_incomplete_cache() {
+    let spec = tiny_spec();
+    let plan = spec.expand();
+    let dir = scratch("incomplete");
+    let cache = ResultCache::open(&dir).unwrap();
+    // Execute only shard 0 of 2.
+    let (_, summary) = execute(&plan.shard(2, 0), Some(&cache), &ExecOptions::default());
+    assert!(summary.failures.is_empty());
+    let outcomes: Vec<_> = plan
+        .units
+        .iter()
+        .map(|u| cache.load(u).map(|r| r.outcome))
+        .collect();
+    let err = aggregate(&spec, &plan, &outcomes).unwrap_err();
+    assert!(err.contains("unavailable"), "{err}");
+}

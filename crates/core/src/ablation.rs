@@ -238,12 +238,19 @@ pub fn mechanism_comparison(
         control_actions: 0,
     });
     for (label, algo, h) in [
-        ("realloc Algorithm 1 / MCT", ReallocAlgorithm::NoCancel, Heuristic::Mct),
-        ("realloc Algorithm 2 / MinMin", ReallocAlgorithm::CancelAll, Heuristic::MinMin),
+        (
+            "realloc Algorithm 1 / MCT",
+            ReallocAlgorithm::NoCancel,
+            Heuristic::Mct,
+        ),
+        (
+            "realloc Algorithm 2 / MinMin",
+            ReallocAlgorithm::CancelAll,
+            Heuristic::MinMin,
+        ),
     ] {
         let run = GridSim::new(
-            GridConfig::new(platform.clone(), policy)
-                .with_realloc(ReallocConfig::new(algo, h)),
+            GridConfig::new(platform.clone(), policy).with_realloc(ReallocConfig::new(algo, h)),
             jobs.clone(),
         )
         .run()

@@ -232,12 +232,19 @@ mod tests {
     fn setup() -> (Vec<Cluster>, Vec<WaitingJob>) {
         let mut c0 = Cluster::new(ClusterSpec::new("c0", 4, 1.0), BatchPolicy::Fcfs);
         let c1 = Cluster::new(ClusterSpec::new("c1", 4, 1.0), BatchPolicy::Fcfs);
-        c0.submit(JobSpec::new(100, 0, 4, 1000, 1000), SimTime(0)).unwrap();
+        c0.submit(JobSpec::new(100, 0, 4, 1000, 1000), SimTime(0))
+            .unwrap();
         c0.start_due(SimTime(0));
         // Waiting job on cluster 0: 2 procs, walltime 100.
         let w = JobSpec::new(1, 0, 2, 60, 100);
         c0.submit(w, SimTime(0)).unwrap();
-        (vec![c0, c1], vec![WaitingJob { spec: w, cluster: 0 }])
+        (
+            vec![c0, c1],
+            vec![WaitingJob {
+                spec: w,
+                cluster: 0,
+            }],
+        )
     }
 
     #[test]
@@ -292,14 +299,22 @@ mod tests {
     fn oversized_target_is_none() {
         let mut c0 = Cluster::new(ClusterSpec::new("c0", 8, 1.0), BatchPolicy::Fcfs);
         let c1 = Cluster::new(ClusterSpec::new("c1", 2, 1.0), BatchPolicy::Fcfs);
-        c0.submit(JobSpec::new(100, 0, 8, 1000, 1000), SimTime(0)).unwrap();
+        c0.submit(JobSpec::new(100, 0, 8, 1000, 1000), SimTime(0))
+            .unwrap();
         c0.start_due(SimTime(0));
         let w = JobSpec::new(1, 0, 4, 60, 100);
         c0.submit(w, SimTime(0)).unwrap();
         let mut clusters = vec![c0, c1];
-        let jobs = vec![WaitingJob { spec: w, cluster: 0 }];
+        let jobs = vec![WaitingJob {
+            spec: w,
+            cluster: 0,
+        }];
         let mut v = EctView::queued(&mut clusters, &jobs, SimTime(0));
-        assert_eq!(v.new_ect(0, 1), None, "4-proc job cannot fit 2-proc cluster");
+        assert_eq!(
+            v.new_ect(0, 1),
+            None,
+            "4-proc job cannot fit 2-proc cluster"
+        );
         assert_eq!(v.best_target(0), None);
         // best_ect falls back to the current position.
         assert_eq!(v.best_ect(0), SimTime(1100));

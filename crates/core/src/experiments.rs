@@ -69,9 +69,7 @@ impl Metric {
     /// Human description used in table titles.
     pub fn describe(self) -> &'static str {
         match self {
-            Metric::PctImpacted => {
-                "Percentage of jobs that have their completion time changed"
-            }
+            Metric::PctImpacted => "Percentage of jobs that have their completion time changed",
             Metric::Reallocations => "Number of reallocations",
             Metric::PctEarlier => "Percentage of jobs finishing earlier",
             Metric::RelAvgResponse => "Relative average response time",
@@ -162,44 +160,77 @@ pub fn run_one(
         .expect("paper scenarios are schedulable")
 }
 
+/// The paper's batch policies, in table order.
+pub const SUITE_POLICIES: [BatchPolicy; 2] = [BatchPolicy::Fcfs, BatchPolicy::Cbf];
+
+/// The declarative experiment matrix for one heterogeneity level:
+/// every `(scenario, policy, algorithm, heuristic)` cell of Tables 2–17,
+/// in deterministic order. With all seven scenarios this is the paper's
+/// 336 reallocation experiments (a 337th dimension — the 28 reference
+/// runs — is implied: one per `(scenario, policy)` pair and flavour).
+pub fn suite_cells(scenarios: &[Scenario]) -> Vec<ExperimentKey> {
+    let mut cells = Vec::with_capacity(scenarios.len() * 2 * 12);
+    for &scenario in scenarios {
+        for policy in SUITE_POLICIES {
+            for algorithm in ReallocAlgorithm::ALL {
+                for heuristic in Heuristic::ALL {
+                    cells.push(ExperimentKey {
+                        scenario,
+                        policy,
+                        algorithm,
+                        heuristic,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Run the reference and the 12 reallocation runs of one
+/// `(scenario, policy)` pair, returning the §3.4 comparisons.
+pub fn compare_pair(
+    scenario: Scenario,
+    heterogeneous: bool,
+    policy: BatchPolicy,
+    suite: &SuiteConfig,
+) -> Vec<(ExperimentKey, Comparison)> {
+    let baseline = run_one(scenario, heterogeneous, policy, None, suite);
+    suite_cells(&[scenario])
+        .into_iter()
+        .filter(|key| key.policy == policy)
+        .map(|key| {
+            let cfg = ReallocConfig::new(key.algorithm, key.heuristic)
+                .with_period(suite.period)
+                .with_threshold(suite.threshold);
+            let run = run_one(scenario, heterogeneous, policy, Some(cfg), suite);
+            (key, Comparison::against_baseline(&baseline, &run))
+        })
+        .collect()
+}
+
 /// Run the full suite (or a scaled-down version) for one heterogeneity
 /// level: 14 reference runs + 168 reallocation runs when all scenarios are
 /// included.
-pub fn run_suite(
-    heterogeneous: bool,
-    scenarios: &[Scenario],
-    suite: &SuiteConfig,
-) -> SuiteResults {
+///
+/// This is the in-process compatibility path kept for tests, examples and
+/// library callers that want a `SuiteResults` in one call. Anything
+/// bigger — sharding across processes, resuming interrupted sweeps,
+/// caching, period/threshold/seed matrices — lives in the `grid-campaign`
+/// crate, which supersedes the nested loops that used to live here and
+/// aggregates back into this same [`SuiteResults`] type.
+pub fn run_suite(heterogeneous: bool, scenarios: &[Scenario], suite: &SuiteConfig) -> SuiteResults {
     // One work item per (scenario, policy): the reference run is shared by
     // the 12 reallocation runs of that pair.
     let pairs: Vec<(Scenario, BatchPolicy)> = scenarios
         .iter()
-        .flat_map(|&s| [(s, BatchPolicy::Fcfs), (s, BatchPolicy::Cbf)])
+        .flat_map(|&s| SUITE_POLICIES.map(|p| (s, p)))
         .collect();
     let comparisons: HashMap<ExperimentKey, Comparison> = pairs
         .par_iter()
         .flat_map_iter(|&(scenario, policy)| {
             let t0 = std::time::Instant::now();
-            let baseline = run_one(scenario, heterogeneous, policy, None, suite);
-            let mut out = Vec::with_capacity(12);
-            for algorithm in ReallocAlgorithm::ALL {
-                for heuristic in Heuristic::ALL {
-                    let cfg = ReallocConfig::new(algorithm, heuristic)
-                        .with_period(suite.period)
-                        .with_threshold(suite.threshold);
-                    let run = run_one(scenario, heterogeneous, policy, Some(cfg), suite);
-                    let cmp = Comparison::against_baseline(&baseline, &run);
-                    out.push((
-                        ExperimentKey {
-                            scenario,
-                            policy,
-                            algorithm,
-                            heuristic,
-                        },
-                        cmp,
-                    ));
-                }
-            }
+            let out = compare_pair(scenario, heterogeneous, policy, suite);
             eprintln!(
                 "[{}/{}/{} done in {:.1?}]",
                 scenario.label(),
@@ -218,21 +249,42 @@ pub fn run_suite(
 
 impl SuiteResults {
     /// Build the paper table for `(algorithm, metric)` from these results.
-    pub fn table(&self, algorithm: ReallocAlgorithm, metric: Metric, scenarios: &[Scenario]) -> PaperTable {
+    pub fn table(
+        &self,
+        algorithm: ReallocAlgorithm,
+        metric: Metric,
+        scenarios: &[Scenario],
+    ) -> PaperTable {
         let columns: Vec<String> = scenarios.iter().map(|s| s.label().to_string()).collect();
         let number = table_number(algorithm, metric, self.heterogeneous);
         let title = format!(
             "Table {number}: {} when reallocation is performed on {} platforms{}",
             metric.describe(),
-            if self.heterogeneous { "heterogeneous" } else { "homogeneous" },
+            if self.heterogeneous {
+                "heterogeneous"
+            } else {
+                "homogeneous"
+            },
             match algorithm {
                 ReallocAlgorithm::NoCancel => "",
                 ReallocAlgorithm::CancelAll => " (with cancellation)",
             },
         );
-        let mut table = PaperTable::new(title, columns, metric.has_avg()).decimals(metric.decimals());
-        for policy in [BatchPolicy::Fcfs, BatchPolicy::Cbf] {
+        let mut table =
+            PaperTable::new(title, columns, metric.has_avg()).decimals(metric.decimals());
+        // Render only the (policy, heuristic) rows the results actually
+        // cover — campaigns may restrict either axis (or use EASY, which
+        // the paper's tables don't list) — in canonical paper order.
+        let has_row = |policy: BatchPolicy, heuristic: Heuristic| {
+            self.comparisons
+                .keys()
+                .any(|k| k.policy == policy && k.heuristic == heuristic && k.algorithm == algorithm)
+        };
+        for policy in [BatchPolicy::Fcfs, BatchPolicy::Cbf, BatchPolicy::Easy] {
             for heuristic in Heuristic::ALL {
+                if !has_row(policy, heuristic) {
+                    continue;
+                }
                 let values: Vec<f64> = scenarios
                     .iter()
                     .map(|&scenario| {
@@ -397,7 +449,9 @@ pub fn shape_checks(hom: &SuiteResults, het: &SuiteResults) -> Vec<ShapeCheck> {
 
     // 5. More reallocations under FCFS than CBF.
     for (label, res) in [("homogeneous", hom), ("heterogeneous", het)] {
-        let f = mean_metric(res, Metric::Reallocations, |k| k.policy == BatchPolicy::Fcfs);
+        let f = mean_metric(res, Metric::Reallocations, |k| {
+            k.policy == BatchPolicy::Fcfs
+        });
         let c = mean_metric(res, Metric::Reallocations, |k| k.policy == BatchPolicy::Cbf);
         out.push(ShapeCheck {
             name: "more reallocations under FCFS",
@@ -459,6 +513,16 @@ mod tests {
         assert_eq!(table_number(CancelAll, PctEarlier, true), 15);
         assert_eq!(table_number(CancelAll, RelAvgResponse, false), 16);
         assert_eq!(table_number(CancelAll, RelAvgResponse, true), 17);
+    }
+
+    #[test]
+    fn suite_cells_cover_the_paper_matrix() {
+        let cells = suite_cells(&Scenario::ALL);
+        assert_eq!(cells.len(), 7 * 2 * 2 * 6);
+        // Deterministic order and no duplicates.
+        assert_eq!(cells, suite_cells(&Scenario::ALL));
+        let unique: std::collections::HashSet<_> = cells.iter().collect();
+        assert_eq!(unique.len(), cells.len());
     }
 
     #[test]

@@ -73,13 +73,13 @@ fn job_procs(id: JobId) -> u32 {
 ///   reallocation event finds better completion times for some of them on
 ///   cluster 2 and migrates them ("h" and "i" in the paper).
 const FIGURE_JOBS: &[(u64, u64, u32, u64, u64)] = &[
-    (0, 0, 4, 600, 600),      // fills cluster 1
-    (1, 0, 4, 2_000, 2_100),  // fills cluster 2 (long)
-    (2, 10, 4, 300, 1_200),   // "f": big over-estimation, ends at 910
-    (3, 20, 2, 600, 700),     // "g": waits on cluster 1
-    (4, 30, 2, 600, 700),     // "h": waits, will migrate
-    (5, 40, 4, 500, 600),     // "i": waits, will migrate
-    (6, 50, 2, 300, 400),     // "j": tail job
+    (0, 0, 4, 600, 600),     // fills cluster 1
+    (1, 0, 4, 2_000, 2_100), // fills cluster 2 (long)
+    (2, 10, 4, 300, 1_200),  // "f": big over-estimation, ends at 910
+    (3, 20, 2, 600, 700),    // "g": waits on cluster 1
+    (4, 30, 2, 600, 700),    // "h": waits, will migrate
+    (5, 40, 4, 500, 600),    // "i": waits, will migrate
+    (6, 50, 2, 300, 400),    // "j": tail job
 ];
 
 fn figure_workload() -> Vec<JobSpec> {
@@ -266,11 +266,15 @@ mod tests {
     #[test]
     fn figure1_actually_reallocates_and_improves() {
         let (base, realloc) = figure1_runs();
-        assert!(realloc.total_reallocations >= 1, "figure 1 needs a migration");
+        assert!(
+            realloc.total_reallocations >= 1,
+            "figure 1 needs a migration"
+        );
         // At least one migrated job finishes earlier than without.
-        let improved = realloc.records.values().any(|r| {
-            r.reallocations > 0 && r.completion < base.records[&r.id].completion
-        });
+        let improved = realloc
+            .records
+            .values()
+            .any(|r| r.reallocations > 0 && r.completion < base.records[&r.id].completion);
         assert!(improved, "figure 1's migration must pay off");
     }
 

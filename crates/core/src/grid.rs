@@ -95,7 +95,10 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::UnschedulableJob { id, procs } => {
-                write!(f, "job {id} needs {procs} processors but no cluster is that large")
+                write!(
+                    f,
+                    "job {id} needs {procs} processors but no cluster is that large"
+                )
             }
             SimError::DuplicateJobId(id) => write!(f, "duplicate job id {id}"),
         }
@@ -222,7 +225,8 @@ impl GridSim {
                             .expect("started job must be tracked");
                         t.start = Some(now);
                         t.cluster = c;
-                        self.events.schedule(end, Event::Completion { cluster: c, job });
+                        self.events
+                            .schedule(end, Event::Completion { cluster: c, job });
                     }
                 }
             }
@@ -280,7 +284,10 @@ impl GridSim {
     }
 
     fn handle_realloc_tick(&mut self, now: SimTime) {
-        let cfg = self.config.realloc.expect("tick only scheduled with config");
+        let cfg = self
+            .config
+            .realloc
+            .expect("tick only scheduled with config");
         let report = realloc::run_tick(&mut self.clusters, &cfg, now);
         self.outcome.total_ticks += 1;
         if !report.migrations.is_empty() {
@@ -331,7 +338,11 @@ mod tests {
 
     #[test]
     fn single_job_runs_to_completion() {
-        let out = simulate(cfg(BatchPolicy::Fcfs), vec![JobSpec::new(0, 10, 2, 100, 200)]).unwrap();
+        let out = simulate(
+            cfg(BatchPolicy::Fcfs),
+            vec![JobSpec::new(0, 10, 2, 100, 200)],
+        )
+        .unwrap();
         assert_eq!(out.records.len(), 1);
         let r = out.records[&JobId(0)];
         assert_eq!(r.submit, SimTime(10));
@@ -356,7 +367,13 @@ mod tests {
     #[test]
     fn unschedulable_job_errors() {
         let err = simulate(cfg(BatchPolicy::Fcfs), vec![JobSpec::new(0, 0, 9, 1, 1)]).unwrap_err();
-        assert_eq!(err, SimError::UnschedulableJob { id: JobId(0), procs: 9 });
+        assert_eq!(
+            err,
+            SimError::UnschedulableJob {
+                id: JobId(0),
+                procs: 9
+            }
+        );
     }
 
     #[test]
@@ -370,7 +387,11 @@ mod tests {
 
     #[test]
     fn killed_job_ends_at_walltime() {
-        let out = simulate(cfg(BatchPolicy::Fcfs), vec![JobSpec::new(0, 0, 1, 500, 100)]).unwrap();
+        let out = simulate(
+            cfg(BatchPolicy::Fcfs),
+            vec![JobSpec::new(0, 0, 1, 500, 100)],
+        )
+        .unwrap();
         assert_eq!(out.records[&JobId(0)].completion, SimTime(100));
     }
 
@@ -474,8 +495,14 @@ mod tests {
         for policy in [BatchPolicy::Fcfs, BatchPolicy::Cbf] {
             for realloc in [
                 None,
-                Some(ReallocConfig::new(ReallocAlgorithm::NoCancel, Heuristic::MinMin)),
-                Some(ReallocConfig::new(ReallocAlgorithm::CancelAll, Heuristic::MaxGain)),
+                Some(ReallocConfig::new(
+                    ReallocAlgorithm::NoCancel,
+                    Heuristic::MinMin,
+                )),
+                Some(ReallocConfig::new(
+                    ReallocAlgorithm::CancelAll,
+                    Heuristic::MaxGain,
+                )),
             ] {
                 let mut c = GridConfig::new(Platform::grid5000(false), policy);
                 if let Some(r) = realloc {

@@ -173,10 +173,12 @@ mod tests {
         let mut c0 = Cluster::new(ClusterSpec::new("c0", 8, 1.0), BatchPolicy::Fcfs);
         let mut c1 = Cluster::new(ClusterSpec::new("c1", 4, 1.0), BatchPolicy::Fcfs);
         let c2 = Cluster::new(ClusterSpec::new("c2", 8, 1.0), BatchPolicy::Fcfs);
-        c0.submit(JobSpec::new(100, 0, 8, 1000, 1000), SimTime(0)).unwrap();
+        c0.submit(JobSpec::new(100, 0, 8, 1000, 1000), SimTime(0))
+            .unwrap();
         c0.start_due(SimTime(0));
         // Cluster 1 busy for 50 s on all procs.
-        c1.submit(JobSpec::new(101, 0, 4, 50, 50), SimTime(0)).unwrap();
+        c1.submit(JobSpec::new(101, 0, 4, 50, 50), SimTime(0))
+            .unwrap();
         c1.start_due(SimTime(0));
         let j1 = JobSpec::new(1, 0, 1, 80, 100);
         let j2 = JobSpec::new(2, 1, 2, 300, 400);
@@ -185,9 +187,18 @@ mod tests {
         c0.submit(j2, SimTime(2)).unwrap();
         c0.submit(j3, SimTime(2)).unwrap();
         let jobs = vec![
-            WaitingJob { spec: j1, cluster: 0 },
-            WaitingJob { spec: j2, cluster: 0 },
-            WaitingJob { spec: j3, cluster: 0 },
+            WaitingJob {
+                spec: j1,
+                cluster: 0,
+            },
+            WaitingJob {
+                spec: j2,
+                cluster: 0,
+            },
+            WaitingJob {
+                spec: j3,
+                cluster: 0,
+            },
         ];
         (vec![c0, c1, c2], jobs)
     }
@@ -298,7 +309,14 @@ mod tests {
         let labels: Vec<&str> = Heuristic::ALL.iter().map(|h| h.label()).collect();
         assert_eq!(
             labels,
-            vec!["Mct", "MinMin", "MaxMin", "MaxGain", "MaxRelGain", "Sufferage"]
+            vec![
+                "Mct",
+                "MinMin",
+                "MaxMin",
+                "MaxGain",
+                "MaxRelGain",
+                "Sufferage"
+            ]
         );
     }
 

@@ -53,7 +53,12 @@ impl Mapper {
 
     /// Pick a cluster index for `job`, or `None` when no cluster can ever
     /// run it.
-    pub fn assign(&mut self, clusters: &mut [Cluster], job: &JobSpec, now: SimTime) -> Option<usize> {
+    pub fn assign(
+        &mut self,
+        clusters: &mut [Cluster],
+        job: &JobSpec,
+        now: SimTime,
+    ) -> Option<usize> {
         let fits: Vec<usize> = (0..clusters.len())
             .filter(|&c| job.procs <= clusters[c].spec().procs && job.procs > 0)
             .collect();
@@ -111,7 +116,9 @@ mod tests {
     fn mct_picks_min_ect() {
         let mut cs = clusters();
         // Load cluster 0 so cluster 1 wins for a small job.
-        cs[0].submit(JobSpec::new(100, 0, 8, 1000, 1000), SimTime(0)).unwrap();
+        cs[0]
+            .submit(JobSpec::new(100, 0, 8, 1000, 1000), SimTime(0))
+            .unwrap();
         cs[0].start_due(SimTime(0));
         let mut m = Mapper::new(MappingPolicy::Mct, 0);
         let job = JobSpec::new(1, 0, 2, 10, 10);
@@ -138,7 +145,11 @@ mod tests {
     #[test]
     fn large_job_only_fits_big_cluster() {
         let mut cs = clusters();
-        for policy in [MappingPolicy::Mct, MappingPolicy::Random, MappingPolicy::RoundRobin] {
+        for policy in [
+            MappingPolicy::Mct,
+            MappingPolicy::Random,
+            MappingPolicy::RoundRobin,
+        ] {
             let mut m = Mapper::new(policy, 1);
             let job = JobSpec::new(1, 0, 12, 10, 10);
             assert_eq!(m.assign(&mut cs, &job, SimTime(0)), Some(2), "{policy}");
@@ -150,7 +161,9 @@ mod tests {
         let mut cs = clusters();
         let mut m = Mapper::new(MappingPolicy::RoundRobin, 0);
         let job = JobSpec::new(1, 0, 2, 10, 10);
-        let seq: Vec<usize> = (0..6).map(|_| m.assign(&mut cs, &job, SimTime(0)).unwrap()).collect();
+        let seq: Vec<usize> = (0..6)
+            .map(|_| m.assign(&mut cs, &job, SimTime(0)).unwrap())
+            .collect();
         assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -159,7 +172,9 @@ mod tests {
         let mut cs = clusters();
         let mut m = Mapper::new(MappingPolicy::RoundRobin, 0);
         let big = JobSpec::new(1, 0, 8, 10, 10); // fits a (8) and c (16), not b (4)
-        let seq: Vec<usize> = (0..4).map(|_| m.assign(&mut cs, &big, SimTime(0)).unwrap()).collect();
+        let seq: Vec<usize> = (0..4)
+            .map(|_| m.assign(&mut cs, &big, SimTime(0)).unwrap())
+            .collect();
         assert_eq!(seq, vec![0, 2, 0, 2]);
     }
 
@@ -170,7 +185,9 @@ mod tests {
         let draw = |seed: u64| -> Vec<usize> {
             let mut m = Mapper::new(MappingPolicy::Random, seed);
             let mut cs = clusters();
-            (0..30).map(|_| m.assign(&mut cs, &job, SimTime(0)).unwrap()).collect()
+            (0..30)
+                .map(|_| m.assign(&mut cs, &job, SimTime(0)).unwrap())
+                .collect()
         };
         assert_eq!(draw(5), draw(5));
         let picks = draw(5);

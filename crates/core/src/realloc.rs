@@ -33,7 +33,8 @@ pub enum ReallocAlgorithm {
 
 impl ReallocAlgorithm {
     /// Both algorithms, paper order.
-    pub const ALL: [ReallocAlgorithm; 2] = [ReallocAlgorithm::NoCancel, ReallocAlgorithm::CancelAll];
+    pub const ALL: [ReallocAlgorithm; 2] =
+        [ReallocAlgorithm::NoCancel, ReallocAlgorithm::CancelAll];
 
     /// Table-row suffix: heuristics are postfixed with `-C` under
     /// cancellation (§4.2).
@@ -268,9 +269,11 @@ mod tests {
     fn simple_imbalance() -> Vec<Cluster> {
         let mut c0 = cluster("c0", 4);
         let c1 = cluster("c1", 4);
-        c0.submit(JobSpec::new(100, 0, 4, 1000, 1000), SimTime(0)).unwrap();
+        c0.submit(JobSpec::new(100, 0, 4, 1000, 1000), SimTime(0))
+            .unwrap();
         c0.start_due(SimTime(0));
-        c0.submit(JobSpec::new(1, 0, 2, 60, 100), SimTime(0)).unwrap();
+        c0.submit(JobSpec::new(1, 0, 2, 60, 100), SimTime(0))
+            .unwrap();
         vec![c0, c1]
     }
 
@@ -283,7 +286,11 @@ mod tests {
             assert_eq!(report.examined, 1, "{h}");
             assert_eq!(
                 report.migrations,
-                vec![Migration { job: JobId(1), from: 0, to: 1 }],
+                vec![Migration {
+                    job: JobId(1),
+                    from: 0,
+                    to: 1
+                }],
                 "{h}"
             );
             assert_eq!(report.contract_violations, 0, "{h}: ECT contract broken");
@@ -300,12 +307,15 @@ mod tests {
         // Running job blocks for 160 s; waiting job walltime 100:
         // cur ECT = 160 + 100 = 260; target ECT = 100 + 100 = 200?? ...
         // Build: target ECT must be exactly cur - 60 = 200.
-        c0.submit(JobSpec::new(100, 0, 4, 160, 160), SimTime(0)).unwrap();
+        c0.submit(JobSpec::new(100, 0, 4, 160, 160), SimTime(0))
+            .unwrap();
         c0.start_due(SimTime(0));
-        c0.submit(JobSpec::new(1, 0, 2, 60, 100), SimTime(0)).unwrap();
+        c0.submit(JobSpec::new(1, 0, 2, 60, 100), SimTime(0))
+            .unwrap();
         let mut c1m = c1;
         // Occupy cluster 1 fully for 100 s so the probe lands at 100.
-        c1m.submit(JobSpec::new(101, 0, 4, 100, 100), SimTime(0)).unwrap();
+        c1m.submit(JobSpec::new(101, 0, 4, 100, 100), SimTime(0))
+            .unwrap();
         c1m.start_due(SimTime(0));
         let mut clusters = vec![c0, c1m];
         let cfg = ReallocConfig::new(ReallocAlgorithm::NoCancel, Heuristic::Mct);
@@ -324,9 +334,11 @@ mod tests {
         let mut c0 = cluster("c0", 4);
         let mut c1 = cluster("c1", 4);
         for (i, c) in [&mut c0, &mut c1].into_iter().enumerate() {
-            c.submit(JobSpec::new(100 + i as u64, 0, 4, 500, 500), SimTime(0)).unwrap();
+            c.submit(JobSpec::new(100 + i as u64, 0, 4, 500, 500), SimTime(0))
+                .unwrap();
             c.start_due(SimTime(0));
-            c.submit(JobSpec::new(i as u64, 0, 2, 60, 100), SimTime(0)).unwrap();
+            c.submit(JobSpec::new(i as u64, 0, 2, 60, 100), SimTime(0))
+                .unwrap();
         }
         let mut clusters = vec![c0, c1];
         for h in Heuristic::ALL {
@@ -351,10 +363,13 @@ mod tests {
         // Single cluster: every job must come back to it; no migrations
         // counted.
         let mut c0 = cluster("c0", 4);
-        c0.submit(JobSpec::new(100, 0, 4, 1000, 1000), SimTime(0)).unwrap();
+        c0.submit(JobSpec::new(100, 0, 4, 1000, 1000), SimTime(0))
+            .unwrap();
         c0.start_due(SimTime(0));
-        c0.submit(JobSpec::new(1, 0, 2, 60, 100), SimTime(0)).unwrap();
-        c0.submit(JobSpec::new(2, 1, 2, 60, 100), SimTime(0)).unwrap();
+        c0.submit(JobSpec::new(1, 0, 2, 60, 100), SimTime(0))
+            .unwrap();
+        c0.submit(JobSpec::new(2, 1, 2, 60, 100), SimTime(0))
+            .unwrap();
         let mut clusters = vec![c0];
         let cfg = ReallocConfig::new(ReallocAlgorithm::CancelAll, Heuristic::MinMin);
         let report = run_tick(&mut clusters, &cfg, SimTime(10));
@@ -369,10 +384,13 @@ mod tests {
         // one first, so it ends up ahead in the (FCFS) queue even though it
         // was submitted second.
         let mut c0 = cluster("c0", 2);
-        c0.submit(JobSpec::new(100, 0, 2, 1000, 1000), SimTime(0)).unwrap();
+        c0.submit(JobSpec::new(100, 0, 2, 1000, 1000), SimTime(0))
+            .unwrap();
         c0.start_due(SimTime(0));
-        c0.submit(JobSpec::new(1, 0, 2, 800, 900), SimTime(0)).unwrap(); // long
-        c0.submit(JobSpec::new(2, 1, 2, 50, 60), SimTime(1)).unwrap(); // short
+        c0.submit(JobSpec::new(1, 0, 2, 800, 900), SimTime(0))
+            .unwrap(); // long
+        c0.submit(JobSpec::new(2, 1, 2, 50, 60), SimTime(1))
+            .unwrap(); // short
         let mut clusters = vec![c0];
         let cfg = ReallocConfig::new(ReallocAlgorithm::CancelAll, Heuristic::MinMin);
         run_tick(&mut clusters, &cfg, SimTime(10));
@@ -387,13 +405,17 @@ mod tests {
         let build = || {
             let mut c0 = cluster("c0", 2);
             let mut c1 = cluster("c1", 2);
-            c0.submit(JobSpec::new(100, 0, 2, 500, 500), SimTime(0)).unwrap();
+            c0.submit(JobSpec::new(100, 0, 2, 500, 500), SimTime(0))
+                .unwrap();
             c0.start_due(SimTime(0));
-            c1.submit(JobSpec::new(101, 0, 2, 200, 200), SimTime(0)).unwrap();
+            c1.submit(JobSpec::new(101, 0, 2, 200, 200), SimTime(0))
+                .unwrap();
             c1.start_due(SimTime(0));
             // Long job submitted first, short job second, both on c0.
-            c0.submit(JobSpec::new(1, 0, 2, 400, 450), SimTime(0)).unwrap();
-            c0.submit(JobSpec::new(2, 1, 2, 50, 60), SimTime(1)).unwrap();
+            c0.submit(JobSpec::new(1, 0, 2, 400, 450), SimTime(0))
+                .unwrap();
+            c0.submit(JobSpec::new(2, 1, 2, 50, 60), SimTime(1))
+                .unwrap();
             vec![c0, c1]
         };
         let run = |h: Heuristic| {
@@ -401,7 +423,10 @@ mod tests {
             let cfg = ReallocConfig::new(ReallocAlgorithm::CancelAll, h);
             run_tick(&mut clusters, &cfg, SimTime(10));
             // Who got cluster 1 (the earlier release)?
-            clusters[1].waiting_jobs().map(|q| q.job.id).collect::<Vec<_>>()
+            clusters[1]
+                .waiting_jobs()
+                .map(|q| q.job.id)
+                .collect::<Vec<_>>()
         };
         let mct = run(Heuristic::Mct);
         let minmin = run(Heuristic::MinMin);
@@ -425,7 +450,8 @@ mod tests {
     #[test]
     fn running_jobs_are_never_touched() {
         let mut c0 = cluster("c0", 4);
-        c0.submit(JobSpec::new(1, 0, 4, 1000, 1000), SimTime(0)).unwrap();
+        c0.submit(JobSpec::new(1, 0, 4, 1000, 1000), SimTime(0))
+            .unwrap();
         c0.start_due(SimTime(0));
         let mut clusters = vec![c0, cluster("c1", 4)];
         for algo in ReallocAlgorithm::ALL {

@@ -18,8 +18,10 @@ fn two_clusters(p0: u32, p1: u32) -> Platform {
 #[test]
 fn empty_workload_is_a_noop() {
     let out = GridSim::new(
-        GridConfig::new(two_clusters(4, 4), BatchPolicy::Fcfs)
-            .with_realloc(ReallocConfig::new(ReallocAlgorithm::CancelAll, Heuristic::MinMin)),
+        GridConfig::new(two_clusters(4, 4), BatchPolicy::Fcfs).with_realloc(ReallocConfig::new(
+            ReallocAlgorithm::CancelAll,
+            Heuristic::MinMin,
+        )),
         vec![],
     )
     .run()
@@ -39,14 +41,19 @@ fn completion_and_tick_at_same_instant_order_correctly() {
         JobSpec::new(1, 0, 4, 100, 7_200),
     ];
     let out = GridSim::new(
-        GridConfig::new(two_clusters(4, 4), BatchPolicy::Fcfs)
-            .with_realloc(ReallocConfig::new(ReallocAlgorithm::NoCancel, Heuristic::Mct)),
+        GridConfig::new(two_clusters(4, 4), BatchPolicy::Fcfs).with_realloc(ReallocConfig::new(
+            ReallocAlgorithm::NoCancel,
+            Heuristic::Mct,
+        )),
         jobs,
     )
     .run()
     .unwrap();
     assert_eq!(out.records.len(), 2);
-    assert_eq!(out.records[&grid_batch::JobId(0)].completion, SimTime(3_600));
+    assert_eq!(
+        out.records[&grid_batch::JobId(0)].completion,
+        SimTime(3_600)
+    );
 }
 
 #[test]
@@ -60,8 +67,10 @@ fn arrival_exactly_at_tick_is_mapped_then_not_reallocated_same_tick() {
         JobSpec::new(1, 3_600, 2, 100, 200),   // arrives at the tick
     ];
     let out = GridSim::new(
-        GridConfig::new(two_clusters(4, 4), BatchPolicy::Fcfs)
-            .with_realloc(ReallocConfig::new(ReallocAlgorithm::NoCancel, Heuristic::Mct)),
+        GridConfig::new(two_clusters(4, 4), BatchPolicy::Fcfs).with_realloc(ReallocConfig::new(
+            ReallocAlgorithm::NoCancel,
+            Heuristic::Mct,
+        )),
         jobs,
     )
     .run()
@@ -82,8 +91,10 @@ fn no_migration_when_everything_is_saturated() {
         jobs.push(JobSpec::new(i, 0, 4, 5_000, 5_000));
     }
     let out = GridSim::new(
-        GridConfig::new(two_clusters(4, 4), BatchPolicy::Fcfs)
-            .with_realloc(ReallocConfig::new(ReallocAlgorithm::NoCancel, Heuristic::MaxGain)),
+        GridConfig::new(two_clusters(4, 4), BatchPolicy::Fcfs).with_realloc(ReallocConfig::new(
+            ReallocAlgorithm::NoCancel,
+            Heuristic::MaxGain,
+        )),
         jobs,
     )
     .run()
@@ -103,8 +114,10 @@ fn job_fitting_single_cluster_stays_under_cancel_all() {
         JobSpec::new(2, 20, 4, 9_000, 9_500),  // keeps cluster 1 busy too
     ];
     let out = GridSim::new(
-        GridConfig::new(two_clusters(8, 4), BatchPolicy::Fcfs)
-            .with_realloc(ReallocConfig::new(ReallocAlgorithm::CancelAll, Heuristic::Sufferage)),
+        GridConfig::new(two_clusters(8, 4), BatchPolicy::Fcfs).with_realloc(ReallocConfig::new(
+            ReallocAlgorithm::CancelAll,
+            Heuristic::Sufferage,
+        )),
         jobs,
     )
     .run()
@@ -188,8 +201,10 @@ fn kill_rule_applies_on_migration_target_speed() {
         JobSpec::new(2, 10, 4, 9_999_999, 7_000), // bad job, waits on cluster 1 (fast: better ECT)
     ];
     let out = GridSim::new(
-        GridConfig::new(platform, BatchPolicy::Fcfs)
-            .with_realloc(ReallocConfig::new(ReallocAlgorithm::NoCancel, Heuristic::Mct)),
+        GridConfig::new(platform, BatchPolicy::Fcfs).with_realloc(ReallocConfig::new(
+            ReallocAlgorithm::NoCancel,
+            Heuristic::Mct,
+        )),
         jobs,
     )
     .run()
@@ -205,9 +220,9 @@ fn heuristics_agree_on_single_waiting_job() {
     // migration decision (selection order is irrelevant).
     let mk_jobs = || {
         vec![
-            JobSpec::new(0, 0, 4, 8_000, 9_000),  // blocks cluster 0
-            JobSpec::new(1, 0, 4, 1_000, 9_000),  // blocks cluster 1, ends early
-            JobSpec::new(2, 10, 2, 500, 600),     // waits on cluster 0
+            JobSpec::new(0, 0, 4, 8_000, 9_000), // blocks cluster 0
+            JobSpec::new(1, 0, 4, 1_000, 9_000), // blocks cluster 1, ends early
+            JobSpec::new(2, 10, 2, 500, 600),    // waits on cluster 0
         ]
     };
     let mut outcomes = Vec::new();
@@ -236,8 +251,10 @@ fn zero_runtime_jobs_survive_reallocation_rounds() {
         JobSpec::new(3, 20, 1, 0, 600),        // another one
     ];
     let out = GridSim::new(
-        GridConfig::new(two_clusters(4, 4), BatchPolicy::Cbf)
-            .with_realloc(ReallocConfig::new(ReallocAlgorithm::CancelAll, Heuristic::MinMin)),
+        GridConfig::new(two_clusters(4, 4), BatchPolicy::Cbf).with_realloc(ReallocConfig::new(
+            ReallocAlgorithm::CancelAll,
+            Heuristic::MinMin,
+        )),
         jobs,
     )
     .run()

@@ -8,21 +8,23 @@ use proptest::prelude::*;
 
 /// Arbitrary grid workload over a two-cluster platform.
 fn jobs_strategy() -> impl Strategy<Value = Vec<JobSpec>> {
-    prop::collection::vec(
-        (0u64..3_000, 1u32..=12, 0u64..2_000, 1u64..1_500),
-        1..80,
+    prop::collection::vec((0u64..3_000, 1u32..=12, 0u64..2_000, 1u64..1_500), 1..80).prop_map(
+        |raw| {
+            let mut t = 0;
+            raw.iter()
+                .enumerate()
+                .map(|(i, &(gap, procs, rt, margin))| {
+                    t += gap;
+                    let wt = if i % 6 == 5 {
+                        (rt / 2).max(1)
+                    } else {
+                        rt + margin
+                    };
+                    JobSpec::new(i as u64, t, procs, rt, wt)
+                })
+                .collect()
+        },
     )
-    .prop_map(|raw| {
-        let mut t = 0;
-        raw.iter()
-            .enumerate()
-            .map(|(i, &(gap, procs, rt, margin))| {
-                t += gap;
-                let wt = if i % 6 == 5 { (rt / 2).max(1) } else { rt + margin };
-                JobSpec::new(i as u64, t, procs, rt, wt)
-            })
-            .collect()
-    })
 }
 
 fn platform() -> Platform {

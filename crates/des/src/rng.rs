@@ -5,24 +5,37 @@
 //! scenario definition, so that each experiment — and therefore each table
 //! row — is exactly reproducible.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
 
 /// A deterministic random-number generator.
 ///
-/// Thin wrapper over [`rand::rngs::StdRng`] adding domain helpers
-/// (log-uniform sampling, weighted index, stream derivation).
+/// An embedded xoshiro256** generator (seeded via SplitMix64) with domain
+/// helpers (log-uniform sampling, weighted index, stream derivation). The
+/// generator is implemented in-tree rather than on top of the `rand`
+/// crate so the workspace builds without registry access, and so the
+/// committed fingerprints cannot drift when an external crate changes its
+/// stream; the statistical quality of xoshiro256** is more than adequate
+/// for workload synthesis.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Create from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed, as recommended by the
+        // xoshiro authors, guarantees a non-zero state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
     }
 
@@ -32,31 +45,44 @@ impl SimRng {
     /// so that e.g. each site of a platform gets its own reproducible
     /// stream regardless of how many draws other sites consumed.
     pub fn derive(seed: u64, stream: u64) -> Self {
-        let mut z = seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+        let mut z =
+            seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
         SimRng::seed_from_u64(z)
     }
 
-    /// Uniform sample in `range`.
+    /// Uniform sample in `range` (half-open or inclusive integer ranges).
+    ///
+    /// # Panics
+    /// Panics on an empty range.
     pub fn gen_range<T, R>(&mut self, range: R) -> T
     where
-        T: SampleUniform,
         R: SampleRange<T>,
     {
-        self.inner.gen_range(range)
+        range.sample_from(self)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        if p >= 1.0 {
+            return true;
+        }
+        self.gen_f64() < p
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, bound)` via Lemire's widening multiply
+    /// (bias is below 2^-64 per draw — irrelevant at trace scale).
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling range");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
 
     /// Log-uniform sample in `[lo, hi]` (both > 0): the logarithm of the
@@ -66,7 +92,10 @@ impl SimRng {
     /// # Panics
     /// Panics if `lo <= 0`, `hi <= 0` or `lo > hi`.
     pub fn log_uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo > 0.0 && hi > 0.0 && lo <= hi, "bad log_uniform range [{lo}, {hi}]");
+        assert!(
+            lo > 0.0 && hi > 0.0 && lo <= hi,
+            "bad log_uniform range [{lo}, {hi}]"
+        );
         if lo == hi {
             return lo;
         }
@@ -95,14 +124,79 @@ impl SimRng {
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.gen_range(0..=i);
             slice.swap(i, j);
         }
     }
 
     /// Next raw 64 bits (for callers needing a sub-seed).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        // xoshiro256** step.
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+}
+
+/// Integer types [`SimRng::gen_range`] can sample uniformly.
+///
+/// Mirrors the shape of `rand`'s trait of the same name so call sites
+/// read identically, but is implemented in-tree (see [`SimRng`] docs).
+pub trait SampleUniform: Copy {
+    /// Widen to the `u64` the generator natively produces.
+    fn to_u64(self) -> u64;
+    /// Narrow back after sampling.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn to_u64(self) -> u64 { self as u64 }
+            #[inline]
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Ranges [`SimRng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample_from(self, rng: &mut SimRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut SimRng) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "empty sampling range");
+        T::from_u64(lo + rng.below(hi - lo))
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut SimRng) -> f64 {
+        assert!(self.start < self.end, "empty sampling range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut SimRng) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "empty sampling range");
+        if lo == 0 && hi == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + rng.below(hi - lo + 1))
     }
 }
 

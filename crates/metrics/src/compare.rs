@@ -4,10 +4,9 @@ use std::collections::BTreeMap;
 
 use grid_batch::JobId;
 use grid_des::{Duration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Final fate of one job in one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobRecord {
     /// The job.
     pub id: JobId,
@@ -37,7 +36,7 @@ impl JobRecord {
 }
 
 /// Everything a single simulation run produced.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunOutcome {
     /// Per-job records, keyed (and therefore ordered) by job id.
     pub records: BTreeMap<JobId, JobRecord>,
@@ -51,7 +50,6 @@ pub struct RunOutcome {
     pub total_ticks: u64,
     /// ECT contract violations observed at migration time (§6 "contract
     /// checking"); always zero on a dedicated platform.
-    #[serde(default)]
     pub contract_violations: u64,
     /// Virtual instant the last job completed.
     pub makespan: SimTime,
@@ -112,7 +110,7 @@ impl RunOutcome {
 
 /// The §3.4 metrics of a run measured against its no-reallocation
 /// reference.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Comparison {
     /// Jobs present in both runs.
     pub n_jobs: usize,
@@ -237,9 +235,19 @@ mod tests {
 
     #[test]
     fn impacted_jobs_counted_and_classified() {
-        let base = outcome(&[rec(1, 0, 0, 100), rec(2, 0, 0, 100), rec(3, 0, 0, 100), rec(4, 0, 0, 100)]);
+        let base = outcome(&[
+            rec(1, 0, 0, 100),
+            rec(2, 0, 0, 100),
+            rec(3, 0, 0, 100),
+            rec(4, 0, 0, 100),
+        ]);
         // Job 1 earlier, job 2 later, jobs 3-4 unchanged.
-        let run = outcome(&[rec(1, 0, 0, 50), rec(2, 0, 0, 200), rec(3, 0, 0, 100), rec(4, 0, 0, 100)]);
+        let run = outcome(&[
+            rec(1, 0, 0, 50),
+            rec(2, 0, 0, 200),
+            rec(3, 0, 0, 100),
+            rec(4, 0, 0, 100),
+        ]);
         let c = Comparison::against_baseline(&base, &run);
         assert_eq!(c.impacted, 2);
         assert_eq!(c.earlier, 1);

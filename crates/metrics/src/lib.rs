@@ -12,6 +12,7 @@
 //!   0.85 means reallocation cut the average response time by 15%).
 
 pub mod compare;
+pub mod ser;
 pub mod table;
 pub mod timeseries;
 

@@ -130,7 +130,11 @@ impl fmt::Display for PaperTable {
         for g in &self.groups {
             for (i, row) in g.rows.iter().enumerate() {
                 let mut cells = Vec::with_capacity(headers.len());
-                cells.push(if i == 0 { g.label.clone() } else { String::new() });
+                cells.push(if i == 0 {
+                    g.label.clone()
+                } else {
+                    String::new()
+                });
                 cells.push(row.label.clone());
                 for v in &row.values {
                     cells.push(format!("{:.*}", self.decimals, v));
@@ -189,11 +193,7 @@ mod tests {
     use super::*;
 
     fn sample() -> PaperTable {
-        let mut t = PaperTable::new(
-            "Table X: demo",
-            vec!["jan".into(), "feb".into()],
-            true,
-        );
+        let mut t = PaperTable::new("Table X: demo", vec!["jan".into(), "feb".into()], true);
         t.push_row("FCFS", "Mct", vec![1.0, 3.0]);
         t.push_row("FCFS", "MinMin", vec![2.0, 2.0]);
         t.push_row("CBF", "Mct", vec![4.0, 4.0]);
@@ -215,7 +215,9 @@ mod tests {
     fn render_contains_all_cells() {
         let s = sample().to_string();
         assert!(s.contains("Table X: demo"));
-        for needle in ["FCFS", "CBF", "Mct", "MinMin", "jan", "feb", "AVG", "1.00", "2.00", "4.00"] {
+        for needle in [
+            "FCFS", "CBF", "Mct", "MinMin", "jan", "feb", "AVG", "1.00", "2.00", "4.00",
+        ] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
     }

@@ -138,7 +138,10 @@ mod tests {
 
     #[test]
     fn utilization_tracks_running_cores() {
-        let jobs = vec![JobSpec::new(0, 0, 4, 100, 100), JobSpec::new(1, 0, 4, 50, 50)];
+        let jobs = vec![
+            JobSpec::new(0, 0, 4, 100, 100),
+            JobSpec::new(1, 0, 4, 50, 50),
+        ];
         let o = outcome(&[rec(0, 0, 0, 100), rec(1, 0, 50, 100)]);
         let series = utilization_series(&jobs, &o, 8, 11);
         let at = |t: u64| series.iter().find(|(p, _)| p.as_secs() == t).unwrap().1;

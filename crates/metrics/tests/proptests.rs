@@ -8,7 +8,13 @@ use proptest::prelude::*;
 /// An arbitrary pair of runs over the same jobs.
 fn run_pair() -> impl Strategy<Value = (RunOutcome, RunOutcome)> {
     prop::collection::vec(
-        (0u64..10_000, 0u64..5_000, 0u64..5_000, 0u64..5_000, 0u64..5_000),
+        (
+            0u64..10_000,
+            0u64..5_000,
+            0u64..5_000,
+            0u64..5_000,
+            0u64..5_000,
+        ),
         1..80,
     )
     .prop_map(|raw| {

@@ -1,0 +1,575 @@
+//! JSON value model, recursive-descent parser and canonical writer.
+//!
+//! Canonical form: object keys are stored in a `BTreeMap` (sorted), no
+//! insignificant whitespace, integers printed in decimal, floats with
+//! Rust's shortest-round-trip `Display`. Encoding the same `Value` twice
+//! therefore yields identical bytes — the invariant the campaign result
+//! cache hashes and the resume-determinism tests depend on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON document. Integers keep full `i64`/`u64` precision rather than
+/// being forced through `f64`, because job ids and simulated timestamps
+/// are 64-bit counters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Negative integers.
+    Int(i64),
+    /// Non-negative integers (the common case for times and counts).
+    UInt(u64),
+    /// Everything with a fractional part or exponent.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object, keys sorted.
+    Obj(BTreeMap<String, Value>),
+}
+
+/// Parse or access error with a short human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SerError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SerError {
+    /// Build an error with `message`.
+    pub fn new(message: impl Into<String>) -> Self {
+        SerError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl Value {
+    /// Empty object.
+    pub fn object() -> Value {
+        Value::Obj(BTreeMap::new())
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Insert into an object; panics when `self` is not an object.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        match self {
+            Value::Obj(m) => {
+                m.insert(key.into(), value.into());
+            }
+            other => panic!("insert on non-object JSON value {other:?}"),
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Unsigned accessor (accepts non-negative `Int` too).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Float accessor (accepts integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object accessor.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Typed member access helpers for manual deserializers: a missing key
+    /// or wrong type becomes a descriptive error.
+    pub fn req(&self, key: &str) -> Result<&Value, SerError> {
+        self.get(key)
+            .ok_or_else(|| SerError::new(format!("missing key `{key}`")))
+    }
+
+    /// Required string member.
+    pub fn req_str(&self, key: &str) -> Result<&str, SerError> {
+        self.req(key)?
+            .as_str()
+            .ok_or_else(|| SerError::new(format!("`{key}` must be a string")))
+    }
+
+    /// Required unsigned member.
+    pub fn req_u64(&self, key: &str) -> Result<u64, SerError> {
+        self.req(key)?
+            .as_u64()
+            .ok_or_else(|| SerError::new(format!("`{key}` must be a non-negative integer")))
+    }
+
+    /// Required float member.
+    pub fn req_f64(&self, key: &str) -> Result<f64, SerError> {
+        self.req(key)?
+            .as_f64()
+            .ok_or_else(|| SerError::new(format!("`{key}` must be a number")))
+    }
+
+    /// Required array member.
+    pub fn req_arr(&self, key: &str) -> Result<&[Value], SerError> {
+        self.req(key)?
+            .as_arr()
+            .ok_or_else(|| SerError::new(format!("`{key}` must be an array")))
+    }
+
+    /// Canonical compact encoding.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Human-oriented encoding with 2-space indentation (still canonical
+    /// in key order and number formatting).
+    pub fn encode_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::UInt(n) => out.push_str(&n.to_string()),
+            Value::Float(f) => write_f64(out, *f),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Value, SerError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON document"));
+        }
+        Ok(v)
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let s = f.to_string();
+        out.push_str(&s);
+        // Keep floats distinguishable from integers on re-parse.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no Inf/NaN; encode as null like serde_json does.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! from_num {
+    ($($t:ty => $variant:ident as $conv:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::$variant(v as $conv) }
+        }
+    )*};
+}
+
+from_num!(u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64, u64 => UInt as u64,
+          usize => UInt as u64, i32 => Int as i64, i64 => Int as i64, f64 => Float as f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> SerError {
+        SerError::new(format!("JSON parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), SerError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, SerError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, SerError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, SerError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, SerError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SerError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&b) = rest.first() else {
+                return Err(self.err("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    let esc = rest.get(1).copied().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 2;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for our data;
+                            // map lone surrogates to the replacement char.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar.
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, SerError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let text = r#"{"b":[1,2.5,-3,true,null],"a":"x\n\"y\"","n":18446744073709551615}"#;
+        let v = Value::parse(text).unwrap();
+        assert_eq!(v.get("n").unwrap(), &Value::UInt(u64::MAX));
+        assert_eq!(v.get("a").unwrap().as_str(), Some("x\n\"y\""));
+        let re = Value::parse(&v.encode()).unwrap();
+        assert_eq!(v, re);
+    }
+
+    #[test]
+    fn canonical_encoding_sorts_keys_and_is_stable() {
+        let a = Value::parse(r#"{"z":1,"a":2}"#).unwrap();
+        let b = Value::parse(r#"{"a":2,"z":1}"#).unwrap();
+        assert_eq!(a.encode(), b.encode());
+        assert_eq!(a.encode(), r#"{"a":2,"z":1}"#);
+        assert_eq!(a.encode(), a.clone().encode());
+    }
+
+    #[test]
+    fn floats_reparse_as_floats() {
+        let v = Value::Float(2.0);
+        assert_eq!(v.encode(), "2.0");
+        assert_eq!(Value::parse("2.0").unwrap(), Value::Float(2.0));
+        assert_eq!(Value::parse("1e3").unwrap(), Value::Float(1000.0));
+    }
+
+    #[test]
+    fn pretty_matches_compact_semantics() {
+        let v = Value::parse(r#"{"a":[1,{"b":2}],"c":"d"}"#).unwrap();
+        assert_eq!(Value::parse(&v.encode_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("12 34").is_err());
+        assert!(Value::parse(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn req_helpers() {
+        let v = Value::parse(r#"{"s":"x","n":3,"f":1.5,"a":[1]}"#).unwrap();
+        assert_eq!(v.req_str("s").unwrap(), "x");
+        assert_eq!(v.req_u64("n").unwrap(), 3);
+        assert_eq!(v.req_f64("f").unwrap(), 1.5);
+        assert_eq!(v.req_arr("a").unwrap().len(), 1);
+        assert!(v.req_str("missing").is_err());
+        assert!(v.req_u64("s").is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! # grid-ser — dependency-free serialization for the grid workspace
+//!
+//! The campaign engine needs three things a build container without
+//! registry access cannot get from crates.io:
+//!
+//! * a **JSON** value model with a parser and a *canonical* writer
+//!   (object keys sorted, stable number formatting) so cached result
+//!   records are byte-identical across runs — the property the
+//!   content-addressed cache and the resume tests rely on;
+//! * a **TOML subset** parser for human-authored campaign spec files
+//!   (tables, arrays of tables, arrays, strings, integers, floats,
+//!   booleans, comments — no datetimes);
+//! * a **stable hash** ([`stable_hash128`]) for deriving cache keys from
+//!   canonical JSON, independent of `std::hash`'s per-process seeds.
+//!
+//! Both parsers produce the same [`Value`] type, so spec loading is
+//! format-agnostic.
+
+pub mod json;
+pub mod toml;
+
+pub use json::Value;
+
+/// FNV-1a 64-bit over `bytes`, starting from `offset`.
+fn fnv1a(offset: u64, bytes: &[u8]) -> u64 {
+    let mut h = offset;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// 128 bits of stable, process-independent hash, hex-encoded (32 chars).
+///
+/// Two independent FNV-1a streams (the standard offset basis and a
+/// re-seeded one) are concatenated. Not cryptographic — cache consumers
+/// must verify the stored descriptor on load, which [`the campaign
+/// cache`](../grid_campaign/cache/index.html) does.
+pub fn stable_hash128(bytes: &[u8]) -> String {
+    let h1 = fnv1a(0xcbf2_9ce4_8422_2325, bytes);
+    let h2 = fnv1a(h1 ^ 0x9E37_79B9_7F4A_7C15, bytes);
+    format!("{h1:016x}{h2:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_and_sensitive() {
+        let a = stable_hash128(b"jun/het/FCFS");
+        assert_eq!(a, stable_hash128(b"jun/het/FCFS"));
+        assert_eq!(a.len(), 32);
+        assert_ne!(a, stable_hash128(b"jun/het/CBF"));
+        assert_ne!(a, stable_hash128(b""));
+    }
+}

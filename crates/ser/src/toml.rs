@@ -1,0 +1,472 @@
+//! Line-oriented parser for the TOML subset campaign specs use.
+//!
+//! Supported: `[table]` / `[a.b]` headers, `[[array-of-tables]]`,
+//! `key = value` with basic and literal strings, integers (with `_`
+//! separators), floats, booleans, (multi-line) arrays and inline tables,
+//! plus `#` comments. Not supported (not needed for spec files):
+//! datetimes, multi-line strings, dotted keys on the left-hand side.
+//!
+//! The output is the same [`Value`] tree the JSON parser produces, so
+//! callers are format-agnostic.
+
+use std::collections::BTreeMap;
+
+use crate::json::{SerError, Value};
+
+/// Parse a TOML document into a [`Value::Obj`] tree.
+pub fn parse(text: &str) -> Result<Value, SerError> {
+    let mut root = BTreeMap::new();
+    // Path of the table currently being filled; empty = root.
+    let mut current: Vec<String> = Vec::new();
+    let mut lines = LogicalLines::new(text);
+    while let Some((line_no, line)) = lines.next_line()? {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[") {
+            let name = header
+                .strip_suffix("]]")
+                .ok_or_else(|| err(line_no, "unterminated `[[` header"))?;
+            current = split_path(name, line_no)?;
+            push_array_table(&mut root, &current, line_no)?;
+        } else if let Some(header) = line.strip_prefix('[') {
+            let name = header
+                .strip_suffix(']')
+                .ok_or_else(|| err(line_no, "unterminated `[` header"))?;
+            current = split_path(name, line_no)?;
+            ensure_table(&mut root, &current, line_no)?;
+        } else {
+            let (key, raw) = line
+                .split_once('=')
+                .ok_or_else(|| err(line_no, "expected `key = value`"))?;
+            let key = parse_key(key.trim(), line_no)?;
+            let value = parse_value(raw.trim(), line_no)?;
+            let table = navigate(&mut root, &current, line_no)?;
+            if table.insert(key.clone(), value).is_some() {
+                return Err(err(line_no, &format!("duplicate key `{key}`")));
+            }
+        }
+    }
+    Ok(Value::Obj(root))
+}
+
+fn err(line: usize, msg: &str) -> SerError {
+    SerError::new(format!("TOML parse error on line {line}: {msg}"))
+}
+
+/// Iterator over logical lines: a line whose brackets are unbalanced
+/// pulls in following physical lines (multi-line arrays).
+struct LogicalLines<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> LogicalLines<'a> {
+    fn new(text: &'a str) -> Self {
+        LogicalLines {
+            lines: text.lines().enumerate(),
+        }
+    }
+
+    fn next_line(&mut self) -> Result<Option<(usize, String)>, SerError> {
+        let Some((idx, first)) = self.lines.next() else {
+            return Ok(None);
+        };
+        let line_no = idx + 1;
+        let mut logical = strip_comment(first).to_string();
+        let mut depth = bracket_depth(&logical, line_no)?;
+        while depth > 0 {
+            let Some((_, cont)) = self.lines.next() else {
+                return Err(err(line_no, "unterminated array"));
+            };
+            logical.push(' ');
+            logical.push_str(strip_comment(cont));
+            depth = bracket_depth(&logical, line_no)?;
+        }
+        Ok(Some((line_no, logical)))
+    }
+}
+
+/// A `"` at `i` toggles basic-string mode unless it is escaped.
+///
+/// A quote is escaped iff an *odd* number of backslashes immediately
+/// precedes it — `"x\""` escapes the quote, but in `"x\\"` the
+/// backslash escapes itself and the quote closes the string.
+fn quote_toggles_basic(in_basic: bool, bytes: &[u8], i: usize) -> bool {
+    if !in_basic {
+        return true;
+    }
+    let mut backslashes = 0;
+    while backslashes < i && bytes[i - 1 - backslashes] == b'\\' {
+        backslashes += 1;
+    }
+    backslashes % 2 == 0
+}
+
+/// Remove a trailing `#` comment, respecting strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            // Escaped quotes inside basic strings do not toggle.
+            b'"' if !in_literal && quote_toggles_basic(in_basic, bytes, i) => {
+                in_basic = !in_basic;
+            }
+            b'\'' if !in_basic => in_literal = !in_literal,
+            b'#' if !in_basic && !in_literal => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Net `[`/`]` nesting of `line`, ignoring brackets inside strings and
+/// table headers (a header line is always balanced anyway).
+fn bracket_depth(line: &str, line_no: usize) -> Result<i32, SerError> {
+    let bytes = line.as_bytes();
+    let mut depth = 0i32;
+    let mut in_basic = false;
+    let mut in_literal = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' if !in_literal && quote_toggles_basic(in_basic, bytes, i) => {
+                in_basic = !in_basic;
+            }
+            b'\'' if !in_basic => in_literal = !in_literal,
+            b'[' if !in_basic && !in_literal => depth += 1,
+            b']' if !in_basic && !in_literal => depth -= 1,
+            _ => {}
+        }
+    }
+    if depth < 0 {
+        return Err(err(line_no, "unbalanced `]`"));
+    }
+    Ok(depth)
+}
+
+fn split_path(name: &str, line_no: usize) -> Result<Vec<String>, SerError> {
+    name.split('.')
+        .map(|part| parse_key(part.trim(), line_no))
+        .collect()
+}
+
+fn parse_key(key: &str, line_no: usize) -> Result<String, SerError> {
+    if let Some(inner) = key.strip_prefix('"').and_then(|k| k.strip_suffix('"')) {
+        return Ok(inner.to_string());
+    }
+    if key.is_empty()
+        || !key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(err(line_no, &format!("invalid key `{key}`")));
+    }
+    Ok(key.to_string())
+}
+
+/// Walk to (and create) the table at `path`.
+fn navigate<'a>(
+    root: &'a mut BTreeMap<String, Value>,
+    path: &[String],
+    line_no: usize,
+) -> Result<&'a mut BTreeMap<String, Value>, SerError> {
+    let mut table = root;
+    for part in path {
+        let entry = table.entry(part.clone()).or_insert_with(Value::object);
+        table = match entry {
+            Value::Obj(m) => m,
+            // `[[x]]` array-of-tables: keys land in the last element.
+            Value::Arr(items) => match items.last_mut() {
+                Some(Value::Obj(m)) => m,
+                _ => return Err(err(line_no, &format!("`{part}` is not a table"))),
+            },
+            _ => return Err(err(line_no, &format!("`{part}` is not a table"))),
+        };
+    }
+    Ok(table)
+}
+
+fn ensure_table(
+    root: &mut BTreeMap<String, Value>,
+    path: &[String],
+    line_no: usize,
+) -> Result<(), SerError> {
+    navigate(root, path, line_no).map(|_| ())
+}
+
+fn push_array_table(
+    root: &mut BTreeMap<String, Value>,
+    path: &[String],
+    line_no: usize,
+) -> Result<(), SerError> {
+    let (last, parents) = path
+        .split_last()
+        .ok_or_else(|| err(line_no, "empty `[[ ]]` header"))?;
+    let parent = navigate(root, parents, line_no)?;
+    let entry = parent
+        .entry(last.clone())
+        .or_insert_with(|| Value::Arr(Vec::new()));
+    match entry {
+        Value::Arr(items) => {
+            items.push(Value::object());
+            Ok(())
+        }
+        _ => Err(err(line_no, &format!("`{last}` is not an array of tables"))),
+    }
+}
+
+fn parse_value(raw: &str, line_no: usize) -> Result<Value, SerError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(err(line_no, "missing value"));
+    }
+    match raw.as_bytes()[0] {
+        b'"' => {
+            let inner = raw
+                .strip_prefix('"')
+                .and_then(|r| r.strip_suffix('"'))
+                .ok_or_else(|| err(line_no, "unterminated string"))?;
+            unescape_basic(inner, line_no)
+        }
+        b'\'' => raw
+            .strip_prefix('\'')
+            .and_then(|r| r.strip_suffix('\''))
+            .map(|s| Value::Str(s.to_string()))
+            .ok_or_else(|| err(line_no, "unterminated literal string")),
+        b'[' => {
+            let inner = raw
+                .strip_prefix('[')
+                .and_then(|r| r.strip_suffix(']'))
+                .ok_or_else(|| err(line_no, "unterminated array"))?;
+            let mut items = Vec::new();
+            for piece in split_top_level(inner, line_no)? {
+                items.push(parse_value(&piece, line_no)?);
+            }
+            Ok(Value::Arr(items))
+        }
+        b'{' => {
+            let inner = raw
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+                .ok_or_else(|| err(line_no, "unterminated inline table"))?;
+            let mut map = BTreeMap::new();
+            for piece in split_top_level(inner, line_no)? {
+                let (k, v) = piece
+                    .split_once('=')
+                    .ok_or_else(|| err(line_no, "inline table needs `key = value`"))?;
+                let key = parse_key(k.trim(), line_no)?;
+                if map
+                    .insert(key.clone(), parse_value(v.trim(), line_no)?)
+                    .is_some()
+                {
+                    return Err(err(
+                        line_no,
+                        &format!("duplicate key `{key}` in inline table"),
+                    ));
+                }
+            }
+            Ok(Value::Obj(map))
+        }
+        _ => {
+            if raw == "true" {
+                return Ok(Value::Bool(true));
+            }
+            if raw == "false" {
+                return Ok(Value::Bool(false));
+            }
+            let cleaned: String = raw.chars().filter(|&c| c != '_').collect();
+            if cleaned.contains(['.', 'e', 'E']) {
+                if let Ok(f) = cleaned.parse::<f64>() {
+                    return Ok(Value::Float(f));
+                }
+            } else {
+                if let Ok(u) = cleaned.parse::<u64>() {
+                    return Ok(Value::UInt(u));
+                }
+                if let Ok(i) = cleaned.parse::<i64>() {
+                    return Ok(Value::Int(i));
+                }
+            }
+            Err(err(line_no, &format!("cannot parse value `{raw}`")))
+        }
+    }
+}
+
+fn unescape_basic(inner: &str, line_no: usize) -> Result<Value, SerError> {
+    let mut s = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            s.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => s.push('\n'),
+            Some('t') => s.push('\t'),
+            Some('r') => s.push('\r'),
+            Some('"') => s.push('"'),
+            Some('\\') => s.push('\\'),
+            other => {
+                return Err(err(
+                    line_no,
+                    &format!("unsupported escape `\\{}`", other.unwrap_or(' ')),
+                ))
+            }
+        }
+    }
+    Ok(Value::Str(s))
+}
+
+/// Split `inner` on top-level commas (not inside strings/brackets).
+fn split_top_level(inner: &str, line_no: usize) -> Result<Vec<String>, SerError> {
+    let mut pieces = Vec::new();
+    let mut depth = 0i32;
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut start = 0usize;
+    let bytes = inner.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' if !in_literal && quote_toggles_basic(in_basic, bytes, i) => {
+                in_basic = !in_basic;
+            }
+            b'\'' if !in_basic => in_literal = !in_literal,
+            b'[' | b'{' if !in_basic && !in_literal => depth += 1,
+            b']' | b'}' if !in_basic && !in_literal => depth -= 1,
+            b',' if depth == 0 && !in_basic && !in_literal => {
+                pieces.push(inner[start..i].trim().to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_basic || in_literal {
+        return Err(err(line_no, "unbalanced brackets or quotes"));
+    }
+    let tail = inner[start..].trim();
+    if !tail.is_empty() {
+        pieces.push(tail.to_string());
+    }
+    Ok(pieces.into_iter().filter(|p| !p.is_empty()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_keys_and_scalars() {
+        let doc = r#"
+# campaign
+name = "paper"
+fraction = 0.02
+seeds = [42, 43]   # two repetitions
+enabled = true
+count = 1_000
+
+[matrix]
+scenarios = ["jan", "jun"]
+
+[matrix.nested]
+x = -3
+"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.req_str("name").unwrap(), "paper");
+        assert_eq!(v.req_f64("fraction").unwrap(), 0.02);
+        assert_eq!(v.req_u64("count").unwrap(), 1000);
+        assert_eq!(v.get("enabled").unwrap().as_bool(), Some(true));
+        let seeds = v.req_arr("seeds").unwrap();
+        assert_eq!(seeds, &[Value::UInt(42), Value::UInt(43)]);
+        let matrix = v.get("matrix").unwrap();
+        assert_eq!(
+            matrix.req_arr("scenarios").unwrap(),
+            &[Value::Str("jan".into()), Value::Str("jun".into())]
+        );
+        assert_eq!(
+            matrix.get("nested").unwrap().get("x").unwrap(),
+            &Value::Int(-3)
+        );
+    }
+
+    #[test]
+    fn multiline_arrays_and_comments() {
+        let doc = "
+values = [
+    1,  # one
+    2,
+    3,
+]
+";
+        let v = parse(doc).unwrap();
+        assert_eq!(
+            v.req_arr("values").unwrap(),
+            &[Value::UInt(1), Value::UInt(2), Value::UInt(3)]
+        );
+    }
+
+    #[test]
+    fn array_of_tables_and_inline_tables() {
+        let doc = r#"
+[[sweep]]
+period = 3600
+[[sweep]]
+period = 7200
+extra = { label = "slow", scale = 2.0 }
+"#;
+        let v = parse(doc).unwrap();
+        let sweeps = v.req_arr("sweep").unwrap();
+        assert_eq!(sweeps.len(), 2);
+        assert_eq!(sweeps[0].req_u64("period").unwrap(), 3600);
+        assert_eq!(
+            sweeps[1].get("extra").unwrap().req_str("label").unwrap(),
+            "slow"
+        );
+    }
+
+    #[test]
+    fn strings_with_tricky_content() {
+        let doc = r#"
+a = "hash # inside"
+b = 'literal \ backslash'
+c = "escaped \"quote\" and \n newline"
+"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.req_str("a").unwrap(), "hash # inside");
+        assert_eq!(v.req_str("b").unwrap(), r"literal \ backslash");
+        assert_eq!(v.req_str("c").unwrap(), "escaped \"quote\" and \n newline");
+    }
+
+    #[test]
+    fn trailing_escaped_backslash_closes_the_string() {
+        // The closing quote after `\\` is NOT escaped: the backslash
+        // escaped itself.
+        let v = parse("a = \"x\\\\\" # comment\nb = [\"y\\\\\", \"z\"]").unwrap();
+        assert_eq!(v.req_str("a").unwrap(), "x\\");
+        assert_eq!(
+            v.req_arr("b").unwrap(),
+            &[Value::Str("y\\".into()), Value::Str("z".into())]
+        );
+        // Odd backslash count still escapes the quote.
+        let v = parse(r#"c = "quote \" inside""#).unwrap();
+        assert_eq!(v.req_str("c").unwrap(), "quote \" inside");
+    }
+
+    #[test]
+    fn inline_table_duplicate_keys_rejected() {
+        let err = parse("x = { a = 1, a = 2 }").unwrap_err();
+        assert!(err.to_string().contains("duplicate key `a`"), "{err}");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("key").is_err());
+        assert!(parse("[unterminated").is_err());
+        assert!(parse("a = ").is_err());
+        assert!(parse("a = 1\na = 2").is_err());
+        assert!(parse("a = [1, 2").is_err());
+    }
+}

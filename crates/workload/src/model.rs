@@ -46,8 +46,8 @@ impl Default for ArrivalSpec {
             // Night trough, morning ramp, office-hours plateau, evening
             // decline: the classic shape of supercomputer logs.
             hourly_weights: [
-                0.25, 0.2, 0.15, 0.15, 0.15, 0.2, 0.3, 0.5, 0.9, 1.3, 1.5, 1.5, 1.3, 1.4, 1.5,
-                1.5, 1.4, 1.2, 1.0, 0.8, 0.6, 0.5, 0.4, 0.3,
+                0.25, 0.2, 0.15, 0.15, 0.15, 0.2, 0.3, 0.5, 0.9, 1.3, 1.5, 1.5, 1.3, 1.4, 1.5, 1.5,
+                1.4, 1.2, 1.0, 0.8, 0.6, 0.5, 0.4, 0.3,
             ],
             weekday_weights: [1.0, 1.05, 1.05, 1.0, 0.95, 0.45, 0.35],
             n_bursts: 8,
@@ -102,9 +102,9 @@ impl Default for RuntimeSpec {
     fn default() -> Self {
         RuntimeSpec {
             classes: vec![
-                (15.0, 10, 300),        // tiny
-                (45.0, 300, 14_400),    // up to 4 h
-                (30.0, 14_400, 86_400), // up to a day
+                (15.0, 10, 300),         // tiny
+                (45.0, 300, 14_400),     // up to 4 h
+                (30.0, 14_400, 86_400),  // up to a day
                 (10.0, 86_400, 259_200), // up to 3 days
             ],
         }
@@ -326,7 +326,9 @@ impl SiteWorkloadSpec {
         if rng.gen_bool(w.p_killed) {
             // Overran the estimate: the batch system kills it at the
             // walltime; the trace's recorded runtime exceeds the request.
-            let walltime = ((runtime as f64) * rng.gen_range(0.5..0.95)).round().max(1.0) as u64;
+            let walltime = ((runtime as f64) * rng.gen_range(0.5..0.95))
+                .round()
+                .max(1.0) as u64;
             return (runtime.max(walltime + 1), walltime);
         }
         let weights: Vec<f64> = w.factor_classes.iter().map(|c| c.0).collect();
@@ -386,7 +388,11 @@ mod tests {
     fn sizes_bounded_by_site() {
         let spec = SiteWorkloadSpec::new(2_000, 100, Duration::days(7));
         for j in gen(&spec, 5) {
-            assert!(j.procs >= 1 && j.procs <= 100, "procs {} out of range", j.procs);
+            assert!(
+                j.procs >= 1 && j.procs <= 100,
+                "procs {} out of range",
+                j.procs
+            );
         }
     }
 
@@ -482,7 +488,11 @@ mod tests {
             })
             .count();
         // 10 of 24 hours carry well over half the arrivals.
-        assert!(day as f64 / 5_000.0 > 0.5, "day fraction {}", day as f64 / 5_000.0);
+        assert!(
+            day as f64 / 5_000.0 > 0.5,
+            "day fraction {}",
+            day as f64 / 5_000.0
+        );
     }
 
     #[test]

@@ -53,8 +53,10 @@ impl WorkloadStats {
                 over_n += 1;
             }
         }
-        let submit_span = match (jobs.iter().map(|j| j.submit).min(), jobs.iter().map(|j| j.submit).max())
-        {
+        let submit_span = match (
+            jobs.iter().map(|j| j.submit).min(),
+            jobs.iter().map(|j| j.submit).max(),
+        ) {
             (Some(lo), Some(hi)) => hi.since(lo),
             _ => Duration::ZERO,
         };

@@ -191,7 +191,11 @@ mod tests {
         let p = parse(SAMPLE).unwrap();
         let j = &p.jobs[1];
         assert_eq!(j.procs, 8, "allocated procs used when request missing");
-        assert_eq!(j.walltime_ref, Duration(100), "walltime falls back to runtime");
+        assert_eq!(
+            j.walltime_ref,
+            Duration(100),
+            "walltime falls back to runtime"
+        );
     }
 
     #[test]
@@ -249,12 +253,18 @@ mod tests {
 
     #[test]
     fn merge_orders_by_submit_and_reassigns_ids() {
-        let a = vec![JobSpec::new(100, 50, 1, 1, 1), JobSpec::new(101, 150, 1, 1, 1)];
+        let a = vec![
+            JobSpec::new(100, 50, 1, 1, 1),
+            JobSpec::new(101, 150, 1, 1, 1),
+        ];
         let b = vec![JobSpec::new(200, 100, 1, 1, 1)];
         let merged = merge_traces(vec![a, b]);
         assert_eq!(merged.len(), 3);
         assert_eq!(
-            merged.iter().map(|j| j.submit.as_secs()).collect::<Vec<_>>(),
+            merged
+                .iter()
+                .map(|j| j.submit.as_secs())
+                .collect::<Vec<_>>(),
             vec![50, 100, 150]
         );
         assert_eq!(

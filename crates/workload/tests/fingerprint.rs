@@ -38,8 +38,14 @@ fn generator_fingerprints_are_stable() {
     let jun_fp = fingerprint(&jun);
     let apr_fp = fingerprint(&apr);
     // Fingerprints must at least be stable within a session...
-    assert_eq!(jun_fp, fingerprint(&Scenario::Jun.generate_fraction(42, 0.01)));
-    assert_eq!(apr_fp, fingerprint(&Scenario::Apr.generate_fraction(42, 0.01)));
+    assert_eq!(
+        jun_fp,
+        fingerprint(&Scenario::Jun.generate_fraction(42, 0.01))
+    );
+    assert_eq!(
+        apr_fp,
+        fingerprint(&Scenario::Apr.generate_fraction(42, 0.01))
+    );
     // ...and distinct across scenarios and seeds.
     assert_ne!(jun_fp, apr_fp);
     assert_ne!(
@@ -64,7 +70,10 @@ fn fingerprint_sensitive_to_every_field() {
             "procs",
         ),
         (Box::new(|j: &mut JobSpec| j.runtime_ref.0 += 1), "runtime"),
-        (Box::new(|j: &mut JobSpec| j.walltime_ref.0 += 1), "walltime"),
+        (
+            Box::new(|j: &mut JobSpec| j.walltime_ref.0 += 1),
+            "walltime",
+        ),
         (Box::new(|j: &mut JobSpec| j.submit.0 += 1), "submit"),
     ] {
         let mut copy = base.clone();

@@ -22,7 +22,9 @@ fn main() {
                 .unwrap_or_else(|| panic!("unknown month {s:?}"))
         })
         .unwrap_or(Scenario::Jun);
-    let fraction: f64 = args.get(1).map_or(0.1, |s| s.parse().expect("bad fraction"));
+    let fraction: f64 = args
+        .get(1)
+        .map_or(0.1, |s| s.parse().expect("bad fraction"));
 
     let jobs = scenario.generate_fraction(42, fraction);
     let platform = platform_for(scenario, true); // heterogeneous, like §4's "most realistic" setup

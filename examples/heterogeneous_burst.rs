@@ -34,7 +34,10 @@ fn main() {
         lyon.generate(&mut rng),
         toulouse.generate(&mut rng),
     ]);
-    println!("{} jobs over 3 days; bursts of hundreds of submissions", jobs.len());
+    println!(
+        "{} jobs over 3 days; bursts of hundreds of submissions",
+        jobs.len()
+    );
 
     for policy in [BatchPolicy::Fcfs, BatchPolicy::Cbf] {
         let baseline = GridSim::new(GridConfig::new(platform.clone(), policy), jobs.clone())
@@ -48,8 +51,16 @@ fn main() {
             baseline.mean_response()
         );
         for (label, algo, heuristic) in [
-            ("Algorithm 1 (MCT)", ReallocAlgorithm::NoCancel, Heuristic::Mct),
-            ("Algorithm 2 (MinMin-C)", ReallocAlgorithm::CancelAll, Heuristic::MinMin),
+            (
+                "Algorithm 1 (MCT)",
+                ReallocAlgorithm::NoCancel,
+                Heuristic::Mct,
+            ),
+            (
+                "Algorithm 2 (MinMin-C)",
+                ReallocAlgorithm::CancelAll,
+                Heuristic::MinMin,
+            ),
         ] {
             let run = GridSim::new(
                 GridConfig::new(platform.clone(), policy)

@@ -21,7 +21,9 @@ fn main() {
                 .unwrap_or_else(|| panic!("unknown month {s:?}"))
         })
         .unwrap_or(Scenario::Apr);
-    let fraction: f64 = args.get(1).map_or(0.05, |s| s.parse().expect("bad fraction"));
+    let fraction: f64 = args
+        .get(1)
+        .map_or(0.05, |s| s.parse().expect("bad fraction"));
 
     let jobs = scenario.generate_fraction(42, fraction);
     let platform = platform_for(scenario, true);
@@ -38,14 +40,19 @@ fn main() {
         ("no reallocation", None),
         (
             "cancel-all / MinMin",
-            Some(ReallocConfig::new(ReallocAlgorithm::CancelAll, Heuristic::MinMin)),
+            Some(ReallocConfig::new(
+                ReallocAlgorithm::CancelAll,
+                Heuristic::MinMin,
+            )),
         ),
     ] {
         let mut config = GridConfig::new(platform.clone(), BatchPolicy::Fcfs);
         if let Some(r) = realloc {
             config = config.with_realloc(r);
         }
-        let out = GridSim::new(config, jobs.clone()).run().expect("schedulable");
+        let out = GridSim::new(config, jobs.clone())
+            .run()
+            .expect("schedulable");
         let util: Vec<f64> = utilization_series(&jobs, &out, total, width)
             .into_iter()
             .map(|(_, u)| u)

@@ -44,8 +44,10 @@ fn main() {
 
     // Same workload with hourly reallocation (Algorithm 1, MCT ordering).
     let with_realloc = GridSim::new(
-        GridConfig::new(platform, BatchPolicy::Cbf)
-            .with_realloc(ReallocConfig::new(ReallocAlgorithm::NoCancel, Heuristic::Mct)),
+        GridConfig::new(platform, BatchPolicy::Cbf).with_realloc(ReallocConfig::new(
+            ReallocAlgorithm::NoCancel,
+            Heuristic::Mct,
+        )),
         jobs,
     )
     .run()
@@ -53,8 +55,14 @@ fn main() {
 
     let cmp = Comparison::against_baseline(&baseline, &with_realloc);
     println!();
-    println!("without reallocation: mean response {:>7.0} s", baseline.mean_response());
-    println!("with    reallocation: mean response {:>7.0} s", with_realloc.mean_response());
+    println!(
+        "without reallocation: mean response {:>7.0} s",
+        baseline.mean_response()
+    );
+    println!(
+        "with    reallocation: mean response {:>7.0} s",
+        with_realloc.mean_response()
+    );
     println!();
     println!(
         "jobs impacted:            {:>6.2}% ({} of {})",
@@ -68,7 +76,11 @@ fn main() {
     println!(
         "relative avg response:    {:>6.3}  ({}{}%)",
         cmp.rel_avg_response,
-        if cmp.rel_avg_response <= 1.0 { "gain " } else { "loss " },
+        if cmp.rel_avg_response <= 1.0 {
+            "gain "
+        } else {
+            "loss "
+        },
         ((1.0 - cmp.rel_avg_response).abs() * 100.0).round()
     );
 }

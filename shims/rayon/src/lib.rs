@@ -1,0 +1,196 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build container has no registry access, so this crate provides the
+//! handful of parallel-iterator operations the workspace actually uses
+//! (`par_iter().map(..)`, `par_iter().flat_map_iter(..)`, `collect()`),
+//! implemented with scoped threads pulling work items off a shared atomic
+//! cursor — dynamic (work-stealing-like) scheduling at item granularity.
+//!
+//! Semantics match rayon where it matters here:
+//!
+//! * results are delivered in input order (like rayon's indexed collect);
+//! * closures run concurrently, so they must be `Sync` and items `Send`;
+//! * a panic in a worker propagates to the caller.
+//!
+//! Swap the workspace `rayon` dependency back to crates.io when a registry
+//! is reachable; no call sites need to change.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParVec};
+}
+
+/// Number of worker threads used for parallel operations.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over `0..n`, returning results in index order. Items are
+/// claimed one at a time from a shared cursor so uneven item costs load
+/// balance across the pool, like rayon's work stealing.
+pub fn indexed_run<U: Send>(n: usize, threads: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    let threads = threads.clamp(1, n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads == 1 || n == 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut indexed: Vec<(usize, U)> = Vec::with_capacity(n);
+    for part in &mut parts {
+        indexed.append(part);
+    }
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, v)| v).collect()
+}
+
+/// `.par_iter()` entry point, mirroring rayon's trait of the same name.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Sync + 'a;
+    /// Build the parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Parallel map; result order matches input order.
+    pub fn map<U: Send>(self, f: impl Fn(&'a T) -> U + Sync) -> ParVec<U> {
+        let items = self.items;
+        ParVec {
+            items: indexed_run(items.len(), current_num_threads(), |i| f(&items[i])),
+        }
+    }
+
+    /// Parallel flat-map where each closure call yields a serial iterator.
+    pub fn flat_map_iter<U, I>(self, f: impl Fn(&'a T) -> I + Sync) -> ParVec<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+    {
+        let items = self.items;
+        let nested = indexed_run(items.len(), current_num_threads(), |i| {
+            f(&items[i]).into_iter().collect::<Vec<U>>()
+        });
+        ParVec {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel for-each.
+    pub fn for_each(self, f: impl Fn(&'a T) + Sync) {
+        let items = self.items;
+        indexed_run(items.len(), current_num_threads(), |i| f(&items[i]));
+    }
+}
+
+/// Materialised results of a parallel stage.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParVec<T> {
+    /// Chain another map stage (sequential: the parallel work already
+    /// happened when this `ParVec` was materialised).
+    pub fn map<U: Send>(self, f: impl Fn(T) -> U + Sync) -> ParVec<U> {
+        ParVec {
+            items: self.items.into_iter().map(f).collect(),
+        }
+    }
+
+    /// Gather into any `FromIterator` collection, in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..500).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let v = vec![1usize, 2, 3];
+        let out: Vec<usize> = v.par_iter().flat_map_iter(|&n| 0..n).collect();
+        assert_eq!(out, vec![0, 0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn collects_into_hashmap() {
+        let v: Vec<u32> = (0..64).collect();
+        let m: HashMap<u32, u32> = v.par_iter().map(|&x| (x, x * x)).collect();
+        assert_eq!(m.len(), 64);
+        assert_eq!(m[&7], 49);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let v: Vec<u32> = (0..32).collect();
+        let _: Vec<u32> = v
+            .par_iter()
+            .map(|&x| if x == 17 { panic!("boom") } else { x })
+            .collect();
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

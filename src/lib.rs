@@ -22,6 +22,7 @@
 //! | [`workload`] | SWF trace I/O and the calibrated synthetic generator reproducing the paper's Table 1 scenarios |
 //! | [`realloc`] | the paper's contribution: MCT meta-scheduling, reallocation Algorithms 1 & 2, the six heuristics, the 364-experiment harness and ablations |
 //! | [`metrics`] | the §3.4 evaluation metrics and paper-style table rendering |
+//! | [`campaign`] | declarative experiment campaigns: spec files, sharded execution, content-addressed result cache, aggregation and exports |
 //!
 //! ## Quick start
 //!
@@ -55,6 +56,7 @@
 //! binaries regenerating every table and figure of the paper.
 
 pub use grid_batch as batch;
+pub use grid_campaign as campaign;
 pub use grid_des as des;
 pub use grid_metrics as metrics;
 pub use grid_realloc as realloc;
@@ -62,9 +64,8 @@ pub use grid_workload as workload;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use grid_batch::{
-        BatchPolicy, Cluster, ClusterSpec, GanttChart, JobId, JobSpec, Platform,
-    };
+    pub use grid_batch::{BatchPolicy, Cluster, ClusterSpec, GanttChart, JobId, JobSpec, Platform};
+    pub use grid_campaign::{CampaignPlan, CampaignSpec, ResultCache};
     pub use grid_des::{Duration, SimRng, SimTime};
     pub use grid_metrics::{Comparison, JobRecord, PaperTable, RunOutcome};
     pub use grid_realloc::{

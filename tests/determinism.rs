@@ -48,8 +48,14 @@ fn full_stack_runs_are_bit_reproducible() {
     for policy in [BatchPolicy::Fcfs, BatchPolicy::Cbf, BatchPolicy::Easy] {
         for realloc in [
             None,
-            Some(ReallocConfig::new(ReallocAlgorithm::NoCancel, Heuristic::Sufferage)),
-            Some(ReallocConfig::new(ReallocAlgorithm::CancelAll, Heuristic::MaxRelGain)),
+            Some(ReallocConfig::new(
+                ReallocAlgorithm::NoCancel,
+                Heuristic::Sufferage,
+            )),
+            Some(ReallocConfig::new(
+                ReallocAlgorithm::CancelAll,
+                Heuristic::MaxRelGain,
+            )),
         ] {
             let a = fingerprint(&run_once(Scenario::Mar, true, policy, realloc));
             let b = fingerprint(&run_once(Scenario::Mar, true, policy, realloc));
@@ -70,7 +76,10 @@ fn distinct_configs_produce_distinct_outcomes() {
         Scenario::Apr,
         false,
         BatchPolicy::Fcfs,
-        Some(ReallocConfig::new(ReallocAlgorithm::CancelAll, Heuristic::MinMin)),
+        Some(ReallocConfig::new(
+            ReallocAlgorithm::CancelAll,
+            Heuristic::MinMin,
+        )),
     ));
     assert_ne!(base, cbf, "FCFS vs CBF must differ");
     assert_ne!(base, het, "homogeneous vs heterogeneous must differ");

@@ -55,8 +55,16 @@ fn response_times_are_consistent() {
         0.01,
     );
     for r in run.records.values() {
-        assert!(r.start >= r.submit, "job {} started before submission", r.id);
-        assert!(r.completion >= r.start, "job {} completed before starting", r.id);
+        assert!(
+            r.start >= r.submit,
+            "job {} started before submission",
+            r.id
+        );
+        assert!(
+            r.completion >= r.start,
+            "job {} completed before starting",
+            r.id
+        );
     }
 }
 
@@ -70,7 +78,11 @@ fn reallocation_counts_match_per_job_records() {
         Heuristic::MinMin,
         0.01,
     );
-    let per_job: u64 = run.records.values().map(|r| u64::from(r.reallocations)).sum();
+    let per_job: u64 = run
+        .records
+        .values()
+        .map(|r| u64::from(r.reallocations))
+        .sum();
     assert_eq!(per_job, run.total_reallocations);
     assert!(run.total_ticks >= run.active_ticks);
 }
@@ -98,7 +110,9 @@ fn no_realloc_run_is_invariant_of_realloc_config_absence() {
 fn heterogeneous_platform_prefers_faster_clusters_for_equal_queues() {
     // A stream of identical jobs at t=0: with empty clusters, MCT sends
     // each to the cluster with the best ECT, which scales with speed.
-    let jobs: Vec<JobSpec> = (0..30).map(|i| JobSpec::new(i, 0, 64, 3_600, 7_200)).collect();
+    let jobs: Vec<JobSpec> = (0..30)
+        .map(|i| JobSpec::new(i, 0, 64, 3_600, 7_200))
+        .collect();
     let out = GridSim::new(
         GridConfig::new(Platform::grid5000(true), BatchPolicy::Cbf),
         jobs,
@@ -174,7 +188,10 @@ fn swf_written_traces_replay_identically() {
     };
     let a = run(jobs);
     let b = run(parsed);
-    assert_eq!(a.records, b.records, "SWF round-trip must not change the simulation");
+    assert_eq!(
+        a.records, b.records,
+        "SWF round-trip must not change the simulation"
+    );
 }
 
 #[test]
