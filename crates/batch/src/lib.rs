@@ -3,10 +3,13 @@
 //! The paper simulates each cluster's local resource management system
 //! (LRMS) with Simbatch, a C library on top of SimGrid. This crate is the
 //! Rust equivalent: it models a cluster of processors managed by a batch
-//! scheduler running either **FCFS** (first-come-first-served, no
-//! back-filling — the job gets "the earliest slot at the end of the job
-//! queue") or **CBF** (conservative back-filling — the earliest slot
-//! anywhere that does not delay previously queued jobs).
+//! scheduler running any registered [`LocalScheduler`] — **FCFS**
+//! (first-come-first-served, no back-filling — the job gets "the
+//! earliest slot at the end of the job queue"), **CBF** (conservative
+//! back-filling — the earliest slot anywhere that does not delay
+//! previously queued jobs), **EASY** (aggressive back-filling) and
+//! **EASY-SJF** (shortest-job-first EASY) ship in-tree; see the
+//! [`sched`] module for the registry.
 //!
 //! A cluster exposes exactly the queries the paper's middleware is allowed
 //! to use (§2.1): **submission**, **cancellation of a waiting job**,
@@ -26,13 +29,16 @@
 //!   adjustment of the walltime to the speed of the cluster".
 
 pub mod cluster;
+pub mod easy_sjf;
 pub mod gantt;
 pub mod job;
 pub mod platform;
 pub mod profile;
+pub mod sched;
 
-pub use cluster::{BatchPolicy, Cluster, ClusterStats, SubmitError};
+pub use cluster::{Cluster, ClusterStats, Queued, Running, SubmitError};
 pub use gantt::{GanttChart, GanttEntry};
 pub use job::{JobId, JobSpec, ScaledJob};
 pub use platform::{ClusterSpec, Platform};
 pub use profile::Profile;
+pub use sched::{BatchPolicy, LocalScheduler};

@@ -110,6 +110,62 @@ impl Profile {
         self.coalesce();
     }
 
+    /// Advance the profile origin to `now`, dropping breakpoints that lie
+    /// entirely in the past. A long-lived warm profile accumulates one
+    /// breakpoint per historical reservation edge; placements never look
+    /// before `now`, so trimming is free of behavioural consequence and
+    /// keeps every later operation O(live reservations). Amortised O(1):
+    /// each breakpoint is dropped at most once.
+    pub fn advance_origin(&mut self, now: SimTime) {
+        if self.points[0].0 >= now {
+            return;
+        }
+        // Index of the last breakpoint at or before `now`: its free count
+        // is the value in force at `now`.
+        let cut = match self.points.binary_search_by_key(&now, |p| p.0) {
+            Ok(i) => i,
+            Err(i) => i - 1, // i >= 1 because origin < now
+        };
+        if cut > 0 {
+            self.points.drain(..cut);
+        }
+        self.points[0].0 = now;
+    }
+
+    /// Give `procs` processors back to the free pool over
+    /// `[start, start + dur)` — the inverse of [`Profile::reserve`], used
+    /// by the incremental schedule maintenance to un-carve a reservation
+    /// (cancelled job, early completion) without rebuilding the profile.
+    ///
+    /// # Panics
+    /// Panics if the release would push the free count above `total`
+    /// anywhere in the window (releasing something that was never
+    /// reserved), or if `start` precedes the profile origin.
+    pub fn release(&mut self, start: SimTime, dur: Duration, procs: u32) {
+        if dur == Duration::ZERO || procs == 0 {
+            return;
+        }
+        assert!(
+            start >= self.origin(),
+            "release at {start} before profile origin {}",
+            self.origin()
+        );
+        let end = start + dur;
+        let si = self.ensure_breakpoint(start);
+        let ei = self.ensure_breakpoint(end);
+        for p in &mut self.points[si..ei] {
+            assert!(
+                p.1 + procs <= self.total,
+                "over-release: {} procs free at {}, releasing {procs} of {}",
+                p.1,
+                p.0,
+                self.total
+            );
+            p.1 += procs;
+        }
+        self.coalesce();
+    }
+
     /// Earliest `t >= after` such that at least `procs` processors are free
     /// for the whole window `[t, t + dur)`. Always succeeds provided
     /// `procs <= total` (the tail of the profile is eventually free).
@@ -320,6 +376,64 @@ mod tests {
     fn earliest_fit_rejects_oversized_job() {
         let p = Profile::flat(4, t(0));
         let _ = p.earliest_fit(t(0), 5, d(1));
+    }
+
+    #[test]
+    fn advance_origin_drops_the_past_only() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(10), d(20), 5); // [10,30): 3 free
+        p.reserve(t(40), d(10), 2); // [40,50): 6 free
+        let free_after_20 = [
+            (t(20), p.free_at(t(20))),
+            (t(35), p.free_at(t(35))),
+            (t(45), p.free_at(t(45))),
+            (t(60), p.free_at(t(60))),
+        ];
+        p.advance_origin(t(20));
+        assert_eq!(p.origin(), t(20));
+        for (at, free) in free_after_20 {
+            assert_eq!(p.free_at(at), free, "value at {at} preserved");
+        }
+        p.assert_invariants();
+        // Idempotent, and a no-op before the origin.
+        let snapshot = p.clone();
+        p.advance_origin(t(20));
+        p.advance_origin(t(5));
+        assert_eq!(p, snapshot);
+        // Advancing past every breakpoint leaves the flat tail.
+        p.advance_origin(t(100));
+        assert_eq!(p.points(), &[(t(100), 8)]);
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn release_is_the_inverse_of_reserve() {
+        let mut p = Profile::flat(8, t(0));
+        let flat = p.clone();
+        p.reserve(t(10), d(20), 5);
+        p.reserve(t(15), d(30), 3);
+        p.release(t(15), d(30), 3);
+        p.release(t(10), d(20), 5);
+        assert_eq!(p, flat, "release must restore the profile exactly");
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn partial_release_opens_the_window() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(0), d(100), 8); // fully busy [0,100)
+        p.release(t(30), d(70), 8); // early completion at t=30
+        assert_eq!(p.free_at(t(0)), 0);
+        assert_eq!(p.free_at(t(30)), 8);
+        assert_eq!(p.earliest_fit(t(0), 4, d(10)), t(30));
+        p.assert_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "over-release")]
+    fn release_rejects_unreserved_capacity() {
+        let mut p = Profile::flat(4, t(0));
+        p.release(t(0), d(10), 1);
     }
 
     #[test]

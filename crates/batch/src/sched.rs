@@ -1,0 +1,430 @@
+//! Pluggable local batch schedulers.
+//!
+//! The paper's §3.1 policies (FCFS, conservative and aggressive
+//! back-filling) used to be a closed `enum` matched all over
+//! [`Cluster`](crate::Cluster); they are now implementations of the
+//! [`LocalScheduler`] trait held in a string-keyed registry. A
+//! [`BatchPolicy`] is a `Copy` handle to a registered scheduler — identity
+//! is the canonical name, so handles compare, hash and print exactly like
+//! the old enum did.
+//!
+//! Adding a policy is one file implementing [`LocalScheduler`] plus one
+//! registry line ([`easy_sjf`](crate::easy_sjf) is the worked example; at
+//! runtime, [`BatchPolicy::register`] does the same for downstream
+//! crates).
+//!
+//! ## Scheduler contract
+//!
+//! [`LocalScheduler::schedule`] (re)computes the reservations of
+//! `queue[from..]` against an availability [`Profile`] that already
+//! carries the running jobs and the reservations of `queue[..from]`. The
+//! two capability flags tell [`Cluster`](crate::Cluster) how much of the
+//! schedule survives a mutation:
+//!
+//! * [`incremental_tail`](LocalScheduler::incremental_tail) — a new tail
+//!   job never disturbs existing reservations (true for FCFS/CBF, false
+//!   for the aggressive EASY family, which re-examines the whole queue);
+//! * [`supports_suffix_repair`](LocalScheduler::supports_suffix_repair) —
+//!   after a cancel at queue index *i* only `queue[i..]` must be
+//!   re-placed, and after an early completion only the queued suffix
+//!   (never the running set) — the warm-profile fast path of
+//!   `Cluster::ensure_schedule`.
+
+use std::sync::Mutex;
+
+use grid_des::SimTime;
+
+use crate::cluster::Queued;
+use crate::profile::Profile;
+
+/// A local batch scheduling policy (the paper's LRMS algorithm).
+///
+/// Implementations are stateless: all scheduling state lives in the
+/// cluster's queue and availability profile, so one `&'static` instance
+/// serves every cluster.
+pub trait LocalScheduler: std::fmt::Debug + Sync {
+    /// Canonical name, e.g. `FCFS`. Registry lookups are
+    /// case-insensitive; display, hashing and equality use this string.
+    fn name(&self) -> &'static str;
+
+    /// `true` when a tail submission can reuse the warm profile (the new
+    /// job never moves an existing reservation).
+    ///
+    /// **Opt-in.** Defaults to `false` — the trait cannot verify the
+    /// invariant, so a scheduler must claim it explicitly, as FCFS and
+    /// CBF do. Leaving it `false` only costs a full recompute per
+    /// submission; claiming it wrongly silently corrupts schedules.
+    fn incremental_tail(&self) -> bool {
+        false
+    }
+
+    /// `true` when the schedule admits suffix-only repair after a cancel
+    /// or an early completion (reservations of `queue[..i]` never depend
+    /// on `queue[i..]`).
+    ///
+    /// **Opt-in**, like [`incremental_tail`](Self::incremental_tail):
+    /// order-dependent schedulers (the EASY family re-examines the whole
+    /// queue) must keep the conservative default.
+    fn supports_suffix_repair(&self) -> bool {
+        false
+    }
+
+    /// Floor instant for placing a brand-new tail job against the current
+    /// profile (FCFS: no start before the last queued reservation).
+    fn tail_floor(&self, queue: &[Queued], now: SimTime) -> SimTime;
+
+    /// (Re)compute the reservations of `queue[from..]`, carving them into
+    /// `profile`. On entry the profile holds the running jobs and the
+    /// reservations of `queue[..from]` only.
+    fn schedule(&self, profile: &mut Profile, queue: &mut [Queued], from: usize, now: SimTime);
+
+    /// Policy-specific invariants (test helper; FCFS checks start-order
+    /// monotonicity).
+    fn check_invariants(&self, queue: &[Queued]) {
+        let _ = queue;
+    }
+}
+
+/// Copyable, comparable handle to a registered [`LocalScheduler`].
+///
+/// Replaces the old three-variant enum of the same name: the historical
+/// `BatchPolicy::Fcfs` / `Cbf` / `Easy` spellings are associated
+/// constants, so existing call sites read unchanged, while
+/// [`BatchPolicy::resolve`] opens the axis to any registered name
+/// (`EASY-SJF` ships in-tree).
+#[derive(Clone, Copy)]
+pub struct BatchPolicy(&'static dyn LocalScheduler);
+
+#[allow(non_upper_case_globals)] // mirror the historical enum variants
+impl BatchPolicy {
+    /// First-come-first-served: "the earliest slot at the end of the job
+    /// queue" (Schwiegelshohn & Yahyapour). Default policy of PBS, SGE,
+    /// Maui.
+    pub const Fcfs: BatchPolicy = BatchPolicy(&FcfsScheduler);
+    /// Conservative back-filling (Lifka): earliest slot anywhere that does
+    /// not delay any earlier-queued job. Available in Maui, LoadLeveler,
+    /// OAR.
+    pub const Cbf: BatchPolicy = BatchPolicy(&CbfScheduler);
+    /// EASY (aggressive) back-filling (Lifka's ANL/IBM SP scheduler): only
+    /// the queue *head* holds a protected reservation; any other job may
+    /// start immediately if it does not delay the head — even if that
+    /// pushes other queued jobs back. The paper's evaluation uses FCFS and
+    /// CBF; EASY is provided for the related-work ablation (Sabin et al.
+    /// found conservative back-filling superior to aggressive, §5).
+    pub const Easy: BatchPolicy = BatchPolicy(&EasyScheduler);
+    /// SJF-ordered EASY back-filling (see [`crate::easy_sjf`]); reachable
+    /// from specs as `EASY-SJF` — the first policy the old enum could not
+    /// express.
+    pub const EasySjf: BatchPolicy = BatchPolicy(&crate::easy_sjf::EasySjfScheduler);
+}
+
+/// Built-in registry entries, in canonical (paper-table) order.
+static BUILTINS: [BatchPolicy; 4] = [
+    BatchPolicy::Fcfs,
+    BatchPolicy::Cbf,
+    BatchPolicy::Easy,
+    BatchPolicy::EasySjf, // <- one line per new in-tree policy
+];
+
+/// Schedulers registered at runtime by downstream crates.
+static EXTRAS: Mutex<Vec<BatchPolicy>> = Mutex::new(Vec::new());
+
+impl BatchPolicy {
+    /// The underlying scheduler implementation.
+    #[inline]
+    pub fn scheduler(self) -> &'static dyn LocalScheduler {
+        self.0
+    }
+
+    /// Canonical policy name (`FCFS`, `CBF`, `EASY`, `EASY-SJF`, …).
+    #[inline]
+    pub fn name(self) -> &'static str {
+        self.0.name()
+    }
+
+    /// Every registered policy, built-ins first, in registration order.
+    pub fn all() -> Vec<BatchPolicy> {
+        let mut out = BUILTINS.to_vec();
+        out.extend(
+            EXTRAS
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .iter(),
+        );
+        out
+    }
+
+    /// Look a policy up by name (case-insensitive).
+    pub fn resolve(name: &str) -> Option<BatchPolicy> {
+        Self::all()
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Register a scheduler implementation and return its handle.
+    ///
+    /// # Panics
+    /// Panics if the name is already taken — two policies answering to
+    /// one name would make spec files ambiguous.
+    pub fn register(scheduler: &'static dyn LocalScheduler) -> BatchPolicy {
+        // Check and push under one lock acquisition, so two concurrent
+        // registrations of the same name cannot both pass the check.
+        let mut extras = EXTRAS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let taken = BUILTINS
+            .iter()
+            .chain(extras.iter())
+            .any(|p| p.name().eq_ignore_ascii_case(scheduler.name()));
+        assert!(
+            !taken,
+            "batch policy `{}` is already registered",
+            scheduler.name()
+        );
+        let policy = BatchPolicy(scheduler);
+        extras.push(policy);
+        policy
+    }
+}
+
+impl std::fmt::Debug for BatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::fmt::Display for BatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl PartialEq for BatchPolicy {
+    fn eq(&self, other: &Self) -> bool {
+        self.name() == other.name()
+    }
+}
+
+impl Eq for BatchPolicy {}
+
+impl std::hash::Hash for BatchPolicy {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name().hash(state);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The paper's three built-in schedulers
+// ---------------------------------------------------------------------
+
+/// First-come-first-served (no back-filling).
+#[derive(Debug)]
+pub struct FcfsScheduler;
+
+impl LocalScheduler for FcfsScheduler {
+    fn name(&self) -> &'static str {
+        "FCFS"
+    }
+
+    // A tail job can never start before the previous one, and earlier
+    // placements never look at later queue entries: both fast paths are
+    // sound.
+    fn incremental_tail(&self) -> bool {
+        true
+    }
+
+    fn supports_suffix_repair(&self) -> bool {
+        true
+    }
+
+    fn tail_floor(&self, queue: &[Queued], now: SimTime) -> SimTime {
+        queue
+            .iter()
+            .map(|q| q.reserved_start)
+            .max()
+            .map_or(now, |last| last.max(now))
+    }
+
+    fn schedule(&self, profile: &mut Profile, queue: &mut [Queued], from: usize, now: SimTime) {
+        // Start times are non-decreasing in queue order; the floor chains
+        // through the previous job's start.
+        let mut prev_start = if from == 0 {
+            now
+        } else {
+            queue[from - 1].reserved_start.max(now)
+        };
+        for q in &mut queue[from..] {
+            let start = profile.earliest_fit(prev_start, q.scaled.procs, q.scaled.walltime);
+            profile.reserve(start, q.scaled.walltime, q.scaled.procs);
+            q.reserved_start = start;
+            prev_start = start;
+        }
+    }
+
+    fn check_invariants(&self, queue: &[Queued]) {
+        let mut prev = SimTime::ZERO;
+        for q in queue {
+            assert!(
+                q.reserved_start >= prev,
+                "FCFS start order violated for {}",
+                q.job.id
+            );
+            prev = q.reserved_start;
+        }
+    }
+}
+
+/// Conservative back-filling.
+#[derive(Debug)]
+pub struct CbfScheduler;
+
+impl LocalScheduler for CbfScheduler {
+    fn name(&self) -> &'static str {
+        "CBF"
+    }
+
+    // Conservative back-filling places each job against earlier-queued
+    // reservations only: prefix placements never depend on later or
+    // removed jobs, so both fast paths are sound.
+    fn incremental_tail(&self) -> bool {
+        true
+    }
+
+    fn supports_suffix_repair(&self) -> bool {
+        true
+    }
+
+    fn tail_floor(&self, _queue: &[Queued], now: SimTime) -> SimTime {
+        now
+    }
+
+    fn schedule(&self, profile: &mut Profile, queue: &mut [Queued], from: usize, now: SimTime) {
+        // Each job takes the earliest hole given all earlier-queued
+        // reservations; later jobs may jump ahead in time but can never
+        // delay an earlier job (its reservation is already carved).
+        for q in &mut queue[from..] {
+            let start = profile.earliest_fit(now, q.scaled.procs, q.scaled.walltime);
+            profile.reserve(start, q.scaled.walltime, q.scaled.procs);
+            q.reserved_start = start;
+        }
+    }
+}
+
+/// EASY (aggressive) back-filling: only the head is protected.
+#[derive(Debug)]
+pub struct EasyScheduler;
+
+impl LocalScheduler for EasyScheduler {
+    fn name(&self) -> &'static str {
+        "EASY"
+    }
+
+    // Aggressive back-filling re-examines the whole queue on every
+    // change; the conservative (default-off) fast paths stay off.
+
+    fn tail_floor(&self, _queue: &[Queued], now: SimTime) -> SimTime {
+        // Conservative estimate for dry runs; the aggressive "may start
+        // right now" case is handled by the full recompute in `submit`.
+        now
+    }
+
+    fn schedule(&self, profile: &mut Profile, queue: &mut [Queued], _from: usize, now: SimTime) {
+        // Head holds the only protected reservation.
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, q) in queue.iter_mut().enumerate() {
+            if i == 0 {
+                let start = profile.earliest_fit(now, q.scaled.procs, q.scaled.walltime);
+                profile.reserve(start, q.scaled.walltime, q.scaled.procs);
+                q.reserved_start = start;
+                continue;
+            }
+            // Aggressive phase: start immediately if that does not delay
+            // the head (whose reservation is already carved into the
+            // profile) or any already-admitted backfill.
+            if profile.min_free(now, q.scaled.walltime) >= q.scaled.procs {
+                profile.reserve(now, q.scaled.walltime, q.scaled.procs);
+                q.reserved_start = now;
+            } else {
+                pending.push(i);
+            }
+        }
+        // Estimation phase: tentative (unprotected) slots for the rest,
+        // so ECT queries and wake-ups have something to read.
+        for i in pending {
+            let q = &mut queue[i];
+            let start = profile.earliest_fit(now, q.scaled.procs, q.scaled.walltime);
+            profile.reserve(start, q.scaled.walltime, q.scaled.procs);
+            q.reserved_start = start;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_resolve_by_name_case_insensitively() {
+        assert_eq!(BatchPolicy::resolve("FCFS"), Some(BatchPolicy::Fcfs));
+        assert_eq!(BatchPolicy::resolve("fcfs"), Some(BatchPolicy::Fcfs));
+        assert_eq!(BatchPolicy::resolve("cbf"), Some(BatchPolicy::Cbf));
+        assert_eq!(BatchPolicy::resolve("Easy"), Some(BatchPolicy::Easy));
+        assert_eq!(BatchPolicy::resolve("easy-sjf"), Some(BatchPolicy::EasySjf));
+        assert_eq!(BatchPolicy::resolve("nope"), None);
+    }
+
+    #[test]
+    fn registry_order_is_canonical() {
+        let names: Vec<&str> = BatchPolicy::all().iter().map(|p| p.name()).collect();
+        assert!(names.starts_with(&["FCFS", "CBF", "EASY", "EASY-SJF"]));
+    }
+
+    #[test]
+    fn handles_compare_and_hash_by_name() {
+        use std::collections::HashSet;
+        assert_eq!(BatchPolicy::Fcfs, BatchPolicy::resolve("fcfs").unwrap());
+        assert_ne!(BatchPolicy::Fcfs, BatchPolicy::Cbf);
+        let set: HashSet<BatchPolicy> =
+            [BatchPolicy::Fcfs, BatchPolicy::Fcfs, BatchPolicy::Cbf].into();
+        assert_eq!(set.len(), 2);
+        assert_eq!(BatchPolicy::Easy.to_string(), "EASY");
+        assert_eq!(format!("{:?}", BatchPolicy::Cbf), "CBF");
+    }
+
+    #[test]
+    fn runtime_registration_extends_the_axis() {
+        #[derive(Debug)]
+        struct Custom;
+        impl LocalScheduler for Custom {
+            fn name(&self) -> &'static str {
+                "TEST-CUSTOM"
+            }
+            fn tail_floor(&self, _q: &[Queued], now: SimTime) -> SimTime {
+                now
+            }
+            fn schedule(&self, p: &mut Profile, q: &mut [Queued], from: usize, now: SimTime) {
+                CbfScheduler.schedule(p, q, from, now);
+            }
+        }
+        let handle = BatchPolicy::register(&Custom);
+        assert_eq!(BatchPolicy::resolve("test-custom"), Some(handle));
+        assert!(BatchPolicy::all().contains(&handle));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_names_are_rejected() {
+        #[derive(Debug)]
+        struct Dup;
+        impl LocalScheduler for Dup {
+            fn name(&self) -> &'static str {
+                "FCFS"
+            }
+            fn tail_floor(&self, _q: &[Queued], now: SimTime) -> SimTime {
+                now
+            }
+            fn schedule(&self, _p: &mut Profile, _q: &mut [Queued], _f: usize, _n: SimTime) {}
+        }
+        BatchPolicy::register(&Dup);
+    }
+}

@@ -1,0 +1,118 @@
+//! `scheduling-incremental` — warm-profile schedule maintenance vs the
+//! historical full-rebuild baseline.
+//!
+//! The reallocation mechanism's hot path is "cancel a waiting job (or
+//! observe an early completion), then re-read the schedule". The seed
+//! engine invalidated the whole availability profile on every such
+//! mutation, paying a full O(queue × profile) recompute at the next
+//! query; the incremental engine releases the affected window and
+//! re-places only the dirty queue suffix. This bench measures both modes
+//! on deep queues (1k / 10k jobs) and — outside the timed loops —
+//! compares the recompute counters over the identical operation
+//! sequence. The warm path must perform strictly fewer full recomputes;
+//! the assertion at the bottom turns a regression into a bench failure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grid_batch::{BatchPolicy, Cluster, ClusterSpec, ClusterStats, JobId, JobSpec};
+use grid_des::SimTime;
+use std::hint::black_box;
+
+const PROCS: u32 = 640;
+/// The blocker over-estimates: reserved to 50_000, actually ends here.
+const BLOCKER_END: u64 = 40_000;
+
+/// A cluster whose full width is taken by one over-estimated running job
+/// (runtime 40k, walltime 50k) with `depth` mixed jobs queued behind it.
+fn deep_cluster(policy: BatchPolicy, depth: usize) -> Cluster {
+    let mut c = Cluster::new(ClusterSpec::new("bench", PROCS, 1.0), policy);
+    c.submit(
+        JobSpec::new(1_000_000, 0, PROCS, BLOCKER_END, 50_000),
+        SimTime(0),
+    )
+    .expect("blocker fits");
+    c.start_due(SimTime(0));
+    for i in 0..depth {
+        let p = (i as u32 % (PROCS / 4).max(1)) + 1;
+        let wt = 600 + (i as u64 % 7) * 600;
+        c.submit(
+            JobSpec::new(i as u64, i as u64, p, wt - 60, wt),
+            SimTime(i as u64),
+        )
+        .expect("bench job fits");
+    }
+    c
+}
+
+/// The measured operation sequence: `cancels` reallocation-style
+/// cancel+query pairs spread through the queue, then the blocker's early
+/// completion followed by a final schedule query.
+///
+/// Time starts past the last submission instant (`depth`) so the clock
+/// never runs backwards and the warm profile built during setup stays
+/// reusable from the first operation on.
+fn churn(cluster: &mut Cluster, depth: usize, cancels: usize) -> Option<SimTime> {
+    for k in 0..cancels {
+        // Victims spread over the back half of the queue, so the suffix
+        // repair has a prefix to skip.
+        let idx = (depth / 4 + k * (depth / 2) / cancels.max(1)) as u64;
+        let t = SimTime((depth + k) as u64 + 1);
+        if cluster.cancel(JobId(idx), t).is_some() {
+            black_box(cluster.next_reservation(t));
+        }
+    }
+    cluster.complete(JobId(1_000_000), SimTime(BLOCKER_END));
+    cluster.next_reservation(SimTime(BLOCKER_END))
+}
+
+/// Run the churn once and return the final counters.
+fn stats_after_churn(policy: BatchPolicy, depth: usize, incremental: bool) -> ClusterStats {
+    let mut c = deep_cluster(policy, depth);
+    c.set_incremental(incremental);
+    churn(&mut c, depth, 32);
+    *c.stats()
+}
+
+fn scheduling_incremental(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduling-incremental");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.sample_size(10);
+    for policy in [BatchPolicy::Fcfs, BatchPolicy::Cbf] {
+        for &depth in &[1_000usize, 10_000] {
+            let base = deep_cluster(policy, depth);
+            for (mode, incremental) in [("warm-profile", true), ("full-rebuild", false)] {
+                g.bench_function(BenchmarkId::new(format!("{mode}/{policy}"), depth), |b| {
+                    b.iter_batched(
+                        || {
+                            let mut cl = base.clone();
+                            cl.set_incremental(incremental);
+                            cl
+                        },
+                        |mut cl| black_box(churn(&mut cl, depth, 32)),
+                        criterion::BatchSize::SmallInput,
+                    )
+                });
+            }
+            // Recompute accounting over the identical op sequence.
+            let warm = stats_after_churn(policy, depth, true);
+            let full = stats_after_churn(policy, depth, false);
+            eprintln!(
+                "[recomputes {policy}/{depth}] warm-profile: {} full rebuilds + {} suffix \
+                 repairs | full-rebuild baseline: {} full rebuilds",
+                warm.recomputes, warm.suffix_repairs, full.recomputes
+            );
+            assert!(
+                warm.recomputes < full.recomputes,
+                "{policy}/{depth}: warm path must perform strictly fewer full recomputes \
+                 ({} vs {})",
+                warm.recomputes,
+                full.recomputes
+            );
+            assert!(warm.suffix_repairs > 0, "warm path never repaired");
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, scheduling_incremental);
+criterion_main!(benches);

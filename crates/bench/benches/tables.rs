@@ -26,7 +26,8 @@ fn all_tables(c: &mut Criterion) {
         let results = run_suite(heterogeneous, &scenarios, &suite);
         for algorithm in ReallocAlgorithm::ALL {
             for metric in Metric::ALL {
-                let n = table_number(algorithm, metric, heterogeneous);
+                let n = table_number(algorithm, metric, heterogeneous)
+                    .expect("paper algorithms have table numbers");
                 g.bench_function(format!("table{n:02}"), |b| {
                     b.iter(|| black_box(results.table(algorithm, metric, &scenarios)))
                 });

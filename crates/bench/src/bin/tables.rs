@@ -188,7 +188,8 @@ fn main() {
     for algorithm in ReallocAlgorithm::ALL {
         for metric in Metric::ALL {
             for (results, heterogeneous) in [(&hom, false), (&het, true)] {
-                let n = table_number(algorithm, metric, heterogeneous);
+                let n = table_number(algorithm, metric, heterogeneous)
+                    .expect("paper algorithms have table numbers");
                 if !wants(&opts, n) {
                     continue;
                 }

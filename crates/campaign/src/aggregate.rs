@@ -6,12 +6,19 @@
 //! `(flavour, seed, period, threshold)` — for the paper's spec that is
 //! exactly the two groups (homogeneous, heterogeneous) whose tables the
 //! paper prints; sweep specs get one table set per sweep point.
+//!
+//! Multi-seed campaigns additionally aggregate *across* seeds: the
+//! rendered report shows one table group per
+//! `(flavour, period, threshold)` with per-cell means and 95% confidence
+//! intervals ([`CampaignResults::seed_aggregates`]), while the CSV export
+//! keeps the raw per-seed rows for downstream analysis.
 
 use std::collections::{BTreeMap, HashMap};
 
 use grid_batch::BatchPolicy;
-use grid_metrics::{Comparison, RunOutcome};
+use grid_metrics::{Comparison, PaperTable, RunOutcome};
 use grid_realloc::experiments::{table_number, ExperimentKey, Metric, SuiteResults};
+use grid_realloc::Heuristic;
 use grid_ser::Value;
 use grid_workload::Scenario;
 
@@ -119,9 +126,195 @@ pub fn aggregate(
     })
 }
 
+/// Sample mean and 95% confidence interval of one table cell across
+/// seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval (normal approximation,
+    /// `1.96 · s/√n`; zero for a single sample).
+    pub ci95: f64,
+    /// Number of seeds the cell was observed under.
+    pub n: usize,
+}
+
+/// Mean/CI of a sample (sample standard deviation, n−1 denominator).
+pub fn mean_ci(values: &[f64]) -> MeanCi {
+    let n = values.len();
+    if n == 0 {
+        return MeanCi {
+            mean: f64::NAN,
+            ci95: f64::NAN,
+            n: 0,
+        };
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return MeanCi { mean, ci95: 0.0, n };
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    MeanCi {
+        mean,
+        ci95: 1.96 * (var / n as f64).sqrt(),
+        n,
+    }
+}
+
+/// One cross-seed table-set group: everything but the seed axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeedAggKey {
+    /// Heterogeneous platform flavour?
+    pub heterogeneous: bool,
+    /// Reallocation period, seconds.
+    pub period_s: u64,
+    /// Algorithm-1 threshold, seconds.
+    pub threshold_s: u64,
+}
+
+/// Cross-seed statistics of one group.
+#[derive(Debug, Clone)]
+pub struct SeedAggregate {
+    /// Seeds folded into this group.
+    pub n_seeds: usize,
+    /// Mean/CI per table cell and metric.
+    pub cells: HashMap<(ExperimentKey, Metric), MeanCi>,
+}
+
 impl CampaignResults {
+    /// Fold the per-seed groups into per-`(flavour, period, threshold)`
+    /// cross-seed statistics.
+    pub fn seed_aggregates(&self) -> BTreeMap<SeedAggKey, SeedAggregate> {
+        // Collect every seed's value per (group-sans-seed, cell, metric).
+        let mut samples: BTreeMap<SeedAggKey, HashMap<(ExperimentKey, Metric), Vec<f64>>> =
+            BTreeMap::new();
+        let mut seeds: BTreeMap<SeedAggKey, std::collections::BTreeSet<u64>> = BTreeMap::new();
+        for (group, results) in &self.groups {
+            let key = SeedAggKey {
+                heterogeneous: group.heterogeneous,
+                period_s: group.period_s,
+                threshold_s: group.threshold_s,
+            };
+            seeds.entry(key).or_default().insert(group.seed);
+            let by_cell = samples.entry(key).or_default();
+            for (cell, comparison) in &results.comparisons {
+                for metric in Metric::ALL {
+                    by_cell
+                        .entry((*cell, metric))
+                        .or_default()
+                        .push(metric.of(comparison));
+                }
+            }
+        }
+        samples
+            .into_iter()
+            .map(|(key, by_cell)| {
+                let aggregate = SeedAggregate {
+                    n_seeds: seeds[&key].len(),
+                    cells: by_cell
+                        .into_iter()
+                        .map(|(cell, values)| (cell, mean_ci(&values)))
+                        .collect(),
+                };
+                (key, aggregate)
+            })
+            .collect()
+    }
+
+    /// Build one cross-seed table (means or CI half-widths) in the same
+    /// layout as the per-seed paper tables.
+    fn agg_table(
+        &self,
+        agg: &SeedAggregate,
+        key: SeedAggKey,
+        algorithm: grid_realloc::ReallocAlgorithm,
+        metric: Metric,
+        ci: bool,
+    ) -> PaperTable {
+        let columns: Vec<String> = self
+            .spec
+            .scenarios
+            .iter()
+            .map(|s| s.label().to_string())
+            .collect();
+        let flavour = if key.heterogeneous {
+            "heterogeneous"
+        } else {
+            "homogeneous"
+        };
+        let what = if ci { "95% CI half-width" } else { "mean" };
+        // Like the per-seed tables: paper strategies carry their table
+        // number, registry-only strategies carry their name instead so
+        // two of them in one spec stay distinguishable.
+        let (number, algo_tag) = match table_number(algorithm, metric, key.heterogeneous) {
+            Some(n) => (format!("Table {n}, "), String::new()),
+            None => (String::new(), format!(" [{algorithm}]")),
+        };
+        let title = format!(
+            "{number}{} on {flavour} platforms{}{algo_tag} — {what} over {} seeds",
+            metric.describe(),
+            algorithm.strategy().title_note(),
+            agg.n_seeds,
+        );
+        let mut table = PaperTable::new(title, columns, metric.has_avg()).decimals(
+            // CI half-widths of integer metrics still need decimals.
+            if ci {
+                metric.decimals().max(2)
+            } else {
+                metric.decimals()
+            },
+        );
+        let has_row = |policy: BatchPolicy, heuristic: Heuristic| {
+            agg.cells.keys().any(|(k, _)| {
+                k.policy == policy && k.heuristic == heuristic && k.algorithm == algorithm
+            })
+        };
+        for policy in BatchPolicy::all() {
+            for heuristic in Heuristic::all() {
+                if !has_row(policy, heuristic) {
+                    continue;
+                }
+                let values: Vec<f64> = self
+                    .spec
+                    .scenarios
+                    .iter()
+                    .map(|&scenario| {
+                        let cell = ExperimentKey {
+                            scenario,
+                            policy,
+                            algorithm,
+                            heuristic,
+                        };
+                        agg.cells
+                            .get(&(cell, metric))
+                            .map(|s| if ci { s.ci95 } else { s.mean })
+                            .unwrap_or(f64::NAN)
+                    })
+                    .collect();
+                let label = format!("{}{}", heuristic.label(), algorithm.suffix());
+                table.push_row(&policy.to_string(), label, values);
+            }
+        }
+        table
+    }
+
     /// Render every paper table of every group, in paper order.
+    ///
+    /// Single-seed campaigns render one table set per
+    /// `(flavour, seed, period, threshold)` group, exactly as the paper
+    /// prints them. Multi-seed campaigns render one *aggregated* set per
+    /// `(flavour, period, threshold)` instead: per-cell means followed by
+    /// the 95% CI half-widths (the per-seed rows stay available in the
+    /// CSV export).
     pub fn render_tables(&self) -> String {
+        if self.spec.seeds.len() > 1 {
+            return self.render_seed_aggregated_tables();
+        }
+        self.render_per_seed_tables()
+    }
+
+    /// The classic per-seed rendering.
+    fn render_per_seed_tables(&self) -> String {
         let mut out = String::new();
         let multi_group = self.groups.len() > 1;
         for (key, results) in &self.groups {
@@ -143,6 +336,34 @@ impl CampaignResults {
                     out.push_str(&format!(
                         "{}\n",
                         results.table(*algorithm, metric, &self.spec.scenarios)
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// The multi-seed rendering: one group per sweep point, mean + CI.
+    fn render_seed_aggregated_tables(&self) -> String {
+        let mut out = String::new();
+        for (key, agg) in self.seed_aggregates() {
+            out.push_str(&format!(
+                "## group: {} / period {}s / threshold {}s — mean ± 95% CI over {} seeds\n\n",
+                if key.heterogeneous {
+                    "heterogeneous"
+                } else {
+                    "homogeneous"
+                },
+                key.period_s,
+                key.threshold_s,
+                agg.n_seeds,
+            ));
+            for &algorithm in &self.spec.algorithms {
+                for metric in Metric::ALL {
+                    out.push_str(&format!(
+                        "{}\n{}\n",
+                        self.agg_table(&agg, key, algorithm, metric, false),
+                        self.agg_table(&agg, key, algorithm, metric, true),
                     ));
                 }
             }
@@ -222,11 +443,8 @@ impl CampaignResults {
                     Value::Arr(
                         Metric::ALL
                             .iter()
-                            .map(|&m| {
-                                Value::UInt(
-                                    table_number(key.algorithm, m, group.heterogeneous) as u64
-                                )
-                            })
+                            .filter_map(|&m| table_number(key.algorithm, m, group.heterogeneous))
+                            .map(|n| Value::UInt(n as u64))
                             .collect(),
                     ),
                 );
@@ -237,6 +455,38 @@ impl CampaignResults {
         root.insert("campaign", self.spec.name.as_str());
         root.insert("engine", crate::ENGINE_VERSION);
         root.insert("cells", Value::Arr(rows));
+        if self.spec.seeds.len() > 1 {
+            let mut agg_rows = Vec::new();
+            for (key, agg) in self.seed_aggregates() {
+                let mut cells: Vec<(&ExperimentKey, &Metric, &MeanCi)> =
+                    agg.cells.iter().map(|((k, m), s)| (k, m, s)).collect();
+                cells.sort_by_key(|(k, m, _)| {
+                    (
+                        k.scenario.label(),
+                        k.policy.to_string(),
+                        k.algorithm.to_string(),
+                        k.heuristic.label(),
+                        format!("{m:?}"),
+                    )
+                });
+                for (cell, metric, stats) in cells {
+                    let mut row = Value::object();
+                    row.insert("scenario", cell.scenario.label());
+                    row.insert("platform", if key.heterogeneous { "het" } else { "hom" });
+                    row.insert("policy", cell.policy.to_string());
+                    row.insert("algorithm", cell.algorithm.to_string());
+                    row.insert("heuristic", cell.heuristic.label());
+                    row.insert("period_s", key.period_s);
+                    row.insert("threshold_s", key.threshold_s);
+                    row.insert("metric", format!("{metric:?}"));
+                    row.insert("mean", stats.mean);
+                    row.insert("ci95", stats.ci95);
+                    row.insert("seeds", stats.n as u64);
+                    agg_rows.push(row);
+                }
+            }
+            root.insert("seed_aggregates", Value::Arr(agg_rows));
+        }
         root
     }
 }
@@ -322,6 +572,74 @@ mod tests {
         let tables = results.render_tables();
         assert!(tables.contains("Table 2"));
         assert!(tables.contains("## group"));
+    }
+
+    #[test]
+    fn mean_ci_basics() {
+        let single = mean_ci(&[3.0]);
+        assert_eq!(single.mean, 3.0);
+        assert_eq!(single.ci95, 0.0);
+        assert_eq!(single.n, 1);
+        let s = mean_ci(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        // s = 1, 1.96/sqrt(3) ≈ 1.1316.
+        assert!((s.ci95 - 1.96 / 3.0_f64.sqrt()).abs() < 1e-9);
+        assert!(mean_ci(&[]).mean.is_nan());
+    }
+
+    #[test]
+    fn multi_seed_campaign_aggregates_across_seeds() {
+        let mut spec = mini_spec();
+        spec.seeds = vec![1, 2, 3];
+        spec.heterogeneity = vec![false];
+        let plan = spec.expand();
+        let (outcomes, summary) = execute(&plan.units, None, &ExecOptions::default());
+        assert!(summary.failures.is_empty());
+        let results = aggregate(&spec, &plan, &outcomes).unwrap();
+        // Per-seed groups remain (CSV keeps per-seed rows)…
+        assert_eq!(results.groups.len(), 3);
+        let csv = results.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 3 * 4, "one CSV row per seed");
+        // …but the rendered report is one aggregated group.
+        let aggs = results.seed_aggregates();
+        assert_eq!(aggs.len(), 1);
+        let agg = aggs.values().next().unwrap();
+        assert_eq!(agg.n_seeds, 3);
+        // Pin one cell's mean against the raw per-seed values.
+        let cell = ExperimentKey {
+            scenario: Scenario::Jun,
+            policy: BatchPolicy::Fcfs,
+            algorithm: ReallocAlgorithm::NoCancel,
+            heuristic: Heuristic::MinMin,
+        };
+        let per_seed: Vec<f64> = results
+            .groups
+            .values()
+            .map(|g| g.comparisons[&cell].rel_avg_response)
+            .collect();
+        let expected = mean_ci(&per_seed);
+        let got = agg.cells[&(cell, Metric::RelAvgResponse)];
+        assert!((got.mean - expected.mean).abs() < 1e-12);
+        assert!((got.ci95 - expected.ci95).abs() < 1e-12);
+        // Rendering switches to the aggregated layout.
+        let tables = results.render_tables();
+        assert!(tables.contains("mean ± 95% CI over 3 seeds"), "{tables}");
+        assert!(tables.contains("95% CI half-width"));
+        assert!(!tables.contains("seed 1 /"), "no per-seed groups rendered");
+        // JSON gains the aggregate block.
+        let json = results.to_json();
+        assert!(json.req_arr("seed_aggregates").unwrap().len() >= 4);
+    }
+
+    #[test]
+    fn single_seed_rendering_is_unchanged_by_aggregation_support() {
+        let spec = mini_spec();
+        let plan = spec.expand();
+        let (outcomes, _) = execute(&plan.units, None, &ExecOptions::default());
+        let results = aggregate(&spec, &plan, &outcomes).unwrap();
+        let tables = results.render_tables();
+        assert!(tables.contains("## group"));
+        assert!(!tables.contains("95% CI"));
     }
 
     #[test]

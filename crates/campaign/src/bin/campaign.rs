@@ -1,4 +1,5 @@
-//! The campaign CLI: plan, execute and report experiment campaigns.
+//! The campaign CLI: plan, execute, report and garbage-collect
+//! experiment campaigns.
 //!
 //! ```text
 //! campaign plan   --spec FILE [--shards K]
@@ -6,12 +7,18 @@
 //!                 [--threads N] [--quiet]
 //! campaign report --spec FILE [--cache DIR] [--format tables|csv|json]
 //!                 [--out FILE]
+//! campaign gc     --spec FILE [--spec FILE ...] [--cache DIR]
 //! ```
 //!
 //! `run` executes (its shard of) the spec's expansion, resuming from the
 //! content-addressed cache; invoke it once per shard — from separate
 //! processes or machines sharing the cache directory — then `report`
 //! aggregates the full campaign into the paper's tables or CSV/JSON.
+//!
+//! `gc` deletes every cached record not reachable from the given spec(s)
+//! under the current engine version — stale engine versions and retired
+//! spec digests hash to keys no live plan produces — and prints the
+//! bytes reclaimed plus the bytes each campaign still holds.
 //!
 //! The spec path defaults to `examples/paper_campaign.toml`; the cache
 //! directory defaults to `campaign-cache/`.
@@ -22,7 +29,7 @@ use std::process::ExitCode;
 use grid_campaign::{aggregate, execute, CampaignSpec, ExecOptions, ResultCache};
 
 struct CommonArgs {
-    spec: PathBuf,
+    specs: Vec<PathBuf>,
     cache: PathBuf,
     shards: usize,
     shard: usize,
@@ -32,13 +39,23 @@ struct CommonArgs {
     out: Option<PathBuf>,
 }
 
-const USAGE: &str = "usage: campaign <plan|run|report> [--spec FILE] [--shards K] [--shard I] \
-[--cache DIR] [--threads N] [--format tables|csv|json] [--out FILE] [--quiet]";
+impl CommonArgs {
+    /// The single spec path of plan/run/report (gc takes several).
+    fn spec(&self) -> Result<&PathBuf, String> {
+        match self.specs.as_slice() {
+            [one] => Ok(one),
+            _ => Err("this command takes exactly one --spec".into()),
+        }
+    }
+}
+
+const USAGE: &str = "usage: campaign <plan|run|report|gc> [--spec FILE]... [--shards K] \
+[--shard I] [--cache DIR] [--threads N] [--format tables|csv|json] [--out FILE] [--quiet]";
 
 fn parse_args(mut args: std::env::Args) -> Result<(String, CommonArgs), String> {
     let command = args.next().ok_or(USAGE)?;
     let mut parsed = CommonArgs {
-        spec: PathBuf::from("examples/paper_campaign.toml"),
+        specs: Vec::new(),
         cache: PathBuf::from("campaign-cache"),
         shards: 1,
         shard: 0,
@@ -51,7 +68,9 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, CommonArgs), String> 
         |args: &mut std::env::Args, flag: &str| args.next().ok_or(format!("{flag} needs a value"));
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--spec" => parsed.spec = PathBuf::from(value(&mut args, "--spec")?),
+            "--spec" => parsed
+                .specs
+                .push(PathBuf::from(value(&mut args, "--spec")?)),
             "--cache" => parsed.cache = PathBuf::from(value(&mut args, "--cache")?),
             "--shards" => {
                 parsed.shards = value(&mut args, "--shards")?
@@ -89,6 +108,11 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, CommonArgs), String> 
     if !["tables", "csv", "json"].contains(&parsed.format.as_str()) {
         return Err(format!("unknown --format {:?}", parsed.format));
     }
+    if parsed.specs.is_empty() {
+        parsed
+            .specs
+            .push(PathBuf::from("examples/paper_campaign.toml"));
+    }
     Ok((command, parsed))
 }
 
@@ -106,6 +130,7 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(&opts),
         "run" => cmd_run(&opts),
         "report" => cmd_report(&opts),
+        "gc" => cmd_gc(&opts),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
     match result {
@@ -118,7 +143,7 @@ fn main() -> ExitCode {
 }
 
 fn load_spec(opts: &CommonArgs) -> Result<CampaignSpec, String> {
-    CampaignSpec::load(&opts.spec).map_err(|e| e.to_string())
+    CampaignSpec::load(opts.spec()?).map_err(|e| e.to_string())
 }
 
 fn cmd_plan(opts: &CommonArgs) -> Result<(), String> {
@@ -221,6 +246,54 @@ fn cmd_run(opts: &CommonArgs) -> Result<(), String> {
         )),
         (fails, _) => Err(format!("{fails} run(s) failed")),
     }
+}
+
+fn cmd_gc(opts: &CommonArgs) -> Result<(), String> {
+    if !opts.cache.is_dir() {
+        return Err(format!(
+            "cache directory {} does not exist",
+            opts.cache.display()
+        ));
+    }
+    let cache = ResultCache::open(&opts.cache).map_err(|e| e.to_string())?;
+    // Reachable = every key of every provided spec's expansion under the
+    // current engine version.
+    let mut keep = std::collections::HashSet::new();
+    let mut campaigns = Vec::new();
+    for path in &opts.specs {
+        let spec = CampaignSpec::load(path).map_err(|e| e.to_string())?;
+        let keys: Vec<String> = spec.expand().units.iter().map(ResultCache::key).collect();
+        campaigns.push((spec.name.clone(), keys.clone()));
+        keep.extend(keys);
+    }
+    let report = cache.gc(&keep).map_err(|e| e.to_string())?;
+    // Per-campaign footprint of what survived.
+    for (name, keys) in &campaigns {
+        let mut bytes = 0u64;
+        let mut present = 0usize;
+        for key in keys {
+            let path = cache.dir().join(format!("{key}.json"));
+            if let Ok(meta) = std::fs::metadata(&path) {
+                bytes += meta.len();
+                present += 1;
+            }
+        }
+        println!(
+            "campaign {name}: {present}/{} runs cached, {bytes} bytes",
+            keys.len()
+        );
+    }
+    println!(
+        "gc: scanned {} records, kept {} ({} bytes), deleted {} records + {} temp files, \
+         reclaimed {} bytes",
+        report.scanned,
+        report.kept,
+        report.kept_bytes,
+        report.deleted,
+        report.tmp_deleted,
+        report.reclaimed_bytes
+    );
+    Ok(())
 }
 
 fn cmd_report(opts: &CommonArgs) -> Result<(), String> {

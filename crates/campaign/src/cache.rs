@@ -128,6 +128,57 @@ impl ResultCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Garbage-collect the cache: delete every record file whose key is
+    /// not in `keep` (records written by an older engine version or by a
+    /// spec no longer reachable hash to keys no live plan produces), plus
+    /// any stale `.tmp.*` files left by interrupted writers.
+    pub fn gc(&self, keep: &std::collections::HashSet<String>) -> io::Result<GcReport> {
+        let mut report = GcReport::default();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let size = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            if let Some(stem) = name.strip_suffix(".json") {
+                report.scanned += 1;
+                if keep.contains(stem) {
+                    report.kept += 1;
+                    report.kept_bytes += size;
+                } else {
+                    std::fs::remove_file(&path)?;
+                    report.deleted += 1;
+                    report.reclaimed_bytes += size;
+                }
+            } else if name.contains(".tmp.") {
+                // Torn write from a crashed shard: never reachable again.
+                std::fs::remove_file(&path)?;
+                report.tmp_deleted += 1;
+                report.reclaimed_bytes += size;
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// What [`ResultCache::gc`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Record files examined.
+    pub scanned: usize,
+    /// Records kept (reachable from a provided spec).
+    pub kept: usize,
+    /// Bytes held by the kept records.
+    pub kept_bytes: u64,
+    /// Records deleted.
+    pub deleted: usize,
+    /// Stale temporary files deleted.
+    pub tmp_deleted: usize,
+    /// Bytes reclaimed by the deletions.
+    pub reclaimed_bytes: u64,
 }
 
 #[cfg(test)]
@@ -199,6 +250,36 @@ mod tests {
             cache.load(&u2).is_none(),
             "foreign record must not be trusted"
         );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn gc_keeps_reachable_records_and_reclaims_the_rest() {
+        let cache = tmp_cache("gc");
+        let keep_unit = unit(1);
+        let drop_unit = unit(2);
+        for u in [&keep_unit, &drop_unit] {
+            cache
+                .store(u, &RunRecord::new(u, RunOutcome::default()))
+                .unwrap();
+        }
+        // A torn temp file from a crashed writer.
+        std::fs::write(cache.dir().join("deadbeef.tmp.12345"), "partial").unwrap();
+        let keep: std::collections::HashSet<String> =
+            [ResultCache::key(&keep_unit)].into_iter().collect();
+        let report = cache.gc(&keep).unwrap();
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.deleted, 1);
+        assert_eq!(report.tmp_deleted, 1);
+        assert!(report.reclaimed_bytes > 0);
+        assert!(cache.load(&keep_unit).is_some(), "kept record intact");
+        assert!(cache.load(&drop_unit).is_none(), "unreachable record gone");
+        assert_eq!(cache.len(), 1);
+        // Idempotent: a second pass reclaims nothing.
+        let again = cache.gc(&keep).unwrap();
+        assert_eq!(again.deleted, 0);
+        assert_eq!(again.reclaimed_bytes, 0);
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -12,7 +12,7 @@
 //! * [`CampaignPlan`] — the deterministic expansion, with
 //!   [sharding](CampaignPlan::shard) for multi-process fan-out
 //!   (`--shards K --shard i`: disjoint, covering, stable);
-//! * [`execute`](exec::execute) — a work-stealing parallel executor with
+//! * [`execute`](exec::execute()) — a work-stealing parallel executor with
 //!   per-run panic isolation and progress reporting;
 //! * [`ResultCache`] — a content-addressed on-disk cache (hash of the
 //!   canonical run descriptor + engine version) so interrupted campaigns
@@ -42,8 +42,8 @@ pub mod exec;
 pub mod plan;
 pub mod spec;
 
-pub use aggregate::{aggregate, CampaignResults};
-pub use cache::{ResultCache, RunRecord};
+pub use aggregate::{aggregate, CampaignResults, MeanCi, SeedAggKey, SeedAggregate};
+pub use cache::{GcReport, ResultCache, RunRecord};
 pub use exec::{execute, ExecOptions, ExecSummary};
 pub use plan::{CampaignPlan, ReallocSetting, RunKind, RunUnit};
 pub use spec::CampaignSpec;

@@ -360,33 +360,42 @@ fn parse_flavour(s: &str) -> Result<bool, SerError> {
 }
 
 fn parse_policy(s: &str) -> Result<BatchPolicy, SerError> {
-    [BatchPolicy::Fcfs, BatchPolicy::Cbf, BatchPolicy::Easy]
-        .into_iter()
-        .find(|p| p.to_string().eq_ignore_ascii_case(s))
-        .ok_or_else(|| SerError::new(format!("unknown batch policy `{s}` (FCFS, CBF or EASY)")))
+    BatchPolicy::resolve(s).ok_or_else(|| {
+        SerError::new(format!(
+            "unknown batch policy `{s}` (registered: {})",
+            BatchPolicy::all()
+                .iter()
+                .map(|p| p.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })
 }
 
 fn parse_algorithm(s: &str) -> Result<ReallocAlgorithm, SerError> {
-    ReallocAlgorithm::ALL
-        .into_iter()
-        .find(|a| a.to_string().eq_ignore_ascii_case(s))
-        .ok_or_else(|| {
-            SerError::new(format!(
-                "unknown algorithm `{s}` (expected no-cancel or cancel-all)"
-            ))
-        })
+    ReallocAlgorithm::resolve(s).ok_or_else(|| {
+        SerError::new(format!(
+            "unknown algorithm `{s}` (registered: {})",
+            ReallocAlgorithm::all()
+                .iter()
+                .map(|a| a.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })
 }
 
 fn parse_heuristic(s: &str) -> Result<Heuristic, SerError> {
-    Heuristic::ALL
-        .into_iter()
-        .find(|h| h.label().eq_ignore_ascii_case(s))
-        .ok_or_else(|| {
-            SerError::new(format!(
-                "unknown heuristic `{s}` (expected one of {})",
-                Heuristic::ALL.map(|h| h.label()).join(", ")
-            ))
-        })
+    Heuristic::resolve(s).ok_or_else(|| {
+        SerError::new(format!(
+            "unknown heuristic `{s}` (registered: {})",
+            Heuristic::all()
+                .iter()
+                .map(|h| h.label())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })
 }
 
 #[cfg(test)]
@@ -484,6 +493,24 @@ periods_s = [1800, 3600]
         let spec = CampaignSpec::from_json_str(r#"{"scenarios":["jun"],"seeds":[7]}"#).unwrap();
         assert_eq!(spec.scenarios, vec![Scenario::Jun]);
         assert_eq!(spec.seeds, vec![7]);
+    }
+
+    #[test]
+    fn registry_policies_parse_by_name() {
+        let spec = CampaignSpec::from_toml_str(
+            r#"
+name = "registry"
+[matrix]
+policies = ["easy-sjf"]
+algorithms = ["load-threshold"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(spec.policies, vec![BatchPolicy::EasySjf]);
+        assert_eq!(spec.algorithms, vec![ReallocAlgorithm::LoadThreshold]);
+        // Error messages list the live registry.
+        let err = CampaignSpec::from_toml_str("[matrix]\npolicies = [\"nope\"]").unwrap_err();
+        assert!(err.to_string().contains("EASY-SJF"), "{err}");
     }
 
     #[test]

@@ -194,6 +194,53 @@ fn sharded_execution_reproduces_single_shard_tables() {
     assert_eq!(cache_bytes(&dir_single), cache_bytes(&dir_sharded));
 }
 
+/// The registry-only axes (`EASY-SJF`, `load-threshold`) plan, run and
+/// report end-to-end from a spec file that names them as strings.
+#[test]
+fn extended_policy_spec_runs_end_to_end() {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/extended_policies.toml");
+    let mut spec = CampaignSpec::load(&path).expect("extended spec parses");
+    assert!(spec
+        .policies
+        .contains(&grid_batch::BatchPolicy::resolve("easy-sjf").unwrap()));
+    assert!(spec
+        .algorithms
+        .contains(&grid_realloc::ReallocAlgorithm::resolve("load-threshold").unwrap()));
+    // Shrink for test speed: one scenario, smaller fraction.
+    spec.scenarios = vec![Scenario::Jun];
+    spec.fraction = 0.005;
+    let plan = spec.expand();
+    // 2 policies -> 2 refs; × 2 algorithms × 2 heuristics -> 8 realloc.
+    assert_eq!(plan.reference_count(), 2);
+    assert_eq!(plan.realloc_count(), 8);
+    let dir = scratch("extended");
+    let cache = ResultCache::open(&dir).unwrap();
+    let (outcomes, summary) = execute(&plan.units, Some(&cache), &ExecOptions::default());
+    assert!(summary.failures.is_empty(), "{:?}", summary.failures);
+    let results = aggregate(&spec, &plan, &outcomes).expect("complete campaign");
+    let tables = results.render_tables();
+    assert!(
+        tables.contains("EASY-SJF"),
+        "policy rows rendered:\n{tables}"
+    );
+    assert!(
+        tables.contains("Mct-LT"),
+        "load-threshold suffix rendered:\n{tables}"
+    );
+    assert!(
+        tables.contains("(load-threshold trigger)"),
+        "strategy title note rendered"
+    );
+    let csv = results.to_csv();
+    assert!(csv.contains("load-threshold"));
+    assert!(csv.contains("EASY-SJF"));
+    assert_eq!(csv.lines().count(), 1 + 8);
+    // Cached resume works for registry policies too.
+    let (_, resumed) = execute(&plan.units, Some(&cache), &ExecOptions::default());
+    assert_eq!(resumed.cached, plan.len());
+}
+
 #[test]
 fn report_fails_cleanly_on_incomplete_cache() {
     let spec = tiny_spec();

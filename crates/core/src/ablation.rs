@@ -27,7 +27,7 @@ use rayon::prelude::*;
 use crate::experiments::{run_one, SuiteConfig};
 use crate::grid::{GridConfig, GridSim};
 use crate::heuristics::Heuristic;
-use crate::mapping::MappingPolicy;
+use crate::mapping::Mapping;
 use crate::realloc::{ReallocAlgorithm, ReallocConfig};
 
 /// One point of the period sweep.
@@ -103,7 +103,7 @@ pub fn threshold_sweep(
 #[derive(Debug, Clone, Copy)]
 pub struct MappingPoint {
     /// The initial mapping policy.
-    pub mapping: MappingPolicy,
+    pub mapping: Mapping,
     /// Mean response time without reallocation, seconds.
     pub mean_response_no_realloc: f64,
     /// Mean response time with reallocation, seconds.
@@ -119,11 +119,7 @@ pub fn mapping_ablation(
     realloc: ReallocConfig,
     suite: &SuiteConfig,
 ) -> Vec<MappingPoint> {
-    let mappings = [
-        MappingPolicy::Mct,
-        MappingPolicy::Random,
-        MappingPolicy::RoundRobin,
-    ];
+    let mappings = [Mapping::Mct, Mapping::Random, Mapping::RoundRobin];
     mappings
         .par_iter()
         .map(|&mapping| {

@@ -256,32 +256,36 @@ impl SuiteResults {
         scenarios: &[Scenario],
     ) -> PaperTable {
         let columns: Vec<String> = scenarios.iter().map(|s| s.label().to_string()).collect();
-        let number = table_number(algorithm, metric, self.heterogeneous);
-        let title = format!(
-            "Table {number}: {} when reallocation is performed on {} platforms{}",
-            metric.describe(),
-            if self.heterogeneous {
-                "heterogeneous"
-            } else {
-                "homogeneous"
-            },
-            match algorithm {
-                ReallocAlgorithm::NoCancel => "",
-                ReallocAlgorithm::CancelAll => " (with cancellation)",
-            },
-        );
+        let flavour = if self.heterogeneous {
+            "heterogeneous"
+        } else {
+            "homogeneous"
+        };
+        let note = algorithm.strategy().title_note();
+        let title = match table_number(algorithm, metric, self.heterogeneous) {
+            Some(number) => format!(
+                "Table {number}: {} when reallocation is performed on {flavour} platforms{note}",
+                metric.describe(),
+            ),
+            // Strategies beyond the paper's two have no table numbers.
+            None => format!(
+                "{} when reallocation is performed on {flavour} platforms{note} [{algorithm}]",
+                metric.describe(),
+            ),
+        };
         let mut table =
             PaperTable::new(title, columns, metric.has_avg()).decimals(metric.decimals());
         // Render only the (policy, heuristic) rows the results actually
-        // cover — campaigns may restrict either axis (or use EASY, which
-        // the paper's tables don't list) — in canonical paper order.
+        // cover — campaigns may restrict either axis (or use registry
+        // policies the paper's tables don't list) — in registry order,
+        // which puts the paper's rows in canonical paper order first.
         let has_row = |policy: BatchPolicy, heuristic: Heuristic| {
             self.comparisons
                 .keys()
                 .any(|k| k.policy == policy && k.heuristic == heuristic && k.algorithm == algorithm)
         };
-        for policy in [BatchPolicy::Fcfs, BatchPolicy::Cbf, BatchPolicy::Easy] {
-            for heuristic in Heuristic::ALL {
+        for policy in BatchPolicy::all() {
+            for heuristic in Heuristic::all() {
                 if !has_row(policy, heuristic) {
                     continue;
                 }
@@ -308,19 +312,21 @@ impl SuiteResults {
     }
 }
 
-/// The paper's table number for `(algorithm, metric, heterogeneity)`.
-pub fn table_number(algorithm: ReallocAlgorithm, metric: Metric, heterogeneous: bool) -> usize {
-    let base = match algorithm {
-        ReallocAlgorithm::NoCancel => 2,
-        ReallocAlgorithm::CancelAll => 10,
-    };
+/// The paper's table number for `(algorithm, metric, heterogeneity)`;
+/// `None` for registry strategies the paper has no tables for.
+pub fn table_number(
+    algorithm: ReallocAlgorithm,
+    metric: Metric,
+    heterogeneous: bool,
+) -> Option<usize> {
+    let base = algorithm.strategy().paper_table_base()?;
     let metric_off = match metric {
         Metric::PctImpacted => 0,
         Metric::Reallocations => 2,
         Metric::PctEarlier => 4,
         Metric::RelAvgResponse => 6,
     };
-    base + metric_off + usize::from(heterogeneous)
+    Some(base + metric_off + usize::from(heterogeneous))
 }
 
 /// Table 1 of the paper: job counts per month and site.
@@ -496,23 +502,29 @@ mod tests {
     #[test]
     fn table_numbers_match_paper() {
         use Metric::*;
-        use ReallocAlgorithm::*;
-        assert_eq!(table_number(NoCancel, PctImpacted, false), 2);
-        assert_eq!(table_number(NoCancel, PctImpacted, true), 3);
-        assert_eq!(table_number(NoCancel, Reallocations, false), 4);
-        assert_eq!(table_number(NoCancel, Reallocations, true), 5);
-        assert_eq!(table_number(NoCancel, PctEarlier, false), 6);
-        assert_eq!(table_number(NoCancel, PctEarlier, true), 7);
-        assert_eq!(table_number(NoCancel, RelAvgResponse, false), 8);
-        assert_eq!(table_number(NoCancel, RelAvgResponse, true), 9);
-        assert_eq!(table_number(CancelAll, PctImpacted, false), 10);
-        assert_eq!(table_number(CancelAll, PctImpacted, true), 11);
-        assert_eq!(table_number(CancelAll, Reallocations, false), 12);
-        assert_eq!(table_number(CancelAll, Reallocations, true), 13);
-        assert_eq!(table_number(CancelAll, PctEarlier, false), 14);
-        assert_eq!(table_number(CancelAll, PctEarlier, true), 15);
-        assert_eq!(table_number(CancelAll, RelAvgResponse, false), 16);
-        assert_eq!(table_number(CancelAll, RelAvgResponse, true), 17);
+        let nc = ReallocAlgorithm::NoCancel;
+        let ca = ReallocAlgorithm::CancelAll;
+        assert_eq!(table_number(nc, PctImpacted, false), Some(2));
+        assert_eq!(table_number(nc, PctImpacted, true), Some(3));
+        assert_eq!(table_number(nc, Reallocations, false), Some(4));
+        assert_eq!(table_number(nc, Reallocations, true), Some(5));
+        assert_eq!(table_number(nc, PctEarlier, false), Some(6));
+        assert_eq!(table_number(nc, PctEarlier, true), Some(7));
+        assert_eq!(table_number(nc, RelAvgResponse, false), Some(8));
+        assert_eq!(table_number(nc, RelAvgResponse, true), Some(9));
+        assert_eq!(table_number(ca, PctImpacted, false), Some(10));
+        assert_eq!(table_number(ca, PctImpacted, true), Some(11));
+        assert_eq!(table_number(ca, Reallocations, false), Some(12));
+        assert_eq!(table_number(ca, Reallocations, true), Some(13));
+        assert_eq!(table_number(ca, PctEarlier, false), Some(14));
+        assert_eq!(table_number(ca, PctEarlier, true), Some(15));
+        assert_eq!(table_number(ca, RelAvgResponse, false), Some(16));
+        assert_eq!(table_number(ca, RelAvgResponse, true), Some(17));
+        // Registry-only strategies sit outside the paper's numbering.
+        assert_eq!(
+            table_number(ReallocAlgorithm::LoadThreshold, PctImpacted, false),
+            None
+        );
     }
 
     #[test]

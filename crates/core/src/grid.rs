@@ -17,7 +17,7 @@ use grid_batch::{BatchPolicy, Cluster, JobId, JobSpec, Platform};
 use grid_des::{EventQueue, SimTime};
 use grid_metrics::{JobRecord, RunOutcome};
 
-use crate::mapping::{Mapper, MappingPolicy};
+use crate::mapping::{Mapper, Mapping};
 use crate::realloc::{self, ReallocConfig};
 
 /// Everything that defines a run besides the workload.
@@ -26,10 +26,11 @@ pub struct GridConfig {
     /// The clusters.
     pub platform: Platform,
     /// Local batch policy, identical on every cluster ("for a single
-    /// experiment, each cluster uses the same batch algorithm", §4).
+    /// experiment, each cluster uses the same batch algorithm", §4);
+    /// any registered [`grid_batch::LocalScheduler`].
     pub batch_policy: BatchPolicy,
     /// Initial mapping policy of the agent (paper: MCT).
-    pub mapping: MappingPolicy,
+    pub mapping: Mapping,
     /// Reallocation mechanism; `None` reproduces the reference runs.
     pub realloc: Option<ReallocConfig>,
     /// Seed for the stochastic pieces (Random mapping only).
@@ -44,7 +45,7 @@ impl GridConfig {
         GridConfig {
             platform,
             batch_policy,
-            mapping: MappingPolicy::Mct,
+            mapping: Mapping::Mct,
             realloc: None,
             seed: 0,
             walltime_adjustment: true,
@@ -58,7 +59,7 @@ impl GridConfig {
     }
 
     /// Builder: change the initial mapping policy.
-    pub fn with_mapping(mut self, mapping: MappingPolicy) -> Self {
+    pub fn with_mapping(mut self, mapping: Mapping) -> Self {
         self.mapping = mapping;
         self
     }
@@ -518,7 +519,7 @@ mod tests {
     fn random_and_round_robin_mappings_complete() {
         let jobs = grid_workload::Scenario::Jun.generate_fraction(5, 0.005);
         let n = jobs.len();
-        for mapping in [MappingPolicy::Random, MappingPolicy::RoundRobin] {
+        for mapping in [Mapping::Random, Mapping::RoundRobin] {
             let out = simulate(
                 GridConfig::new(Platform::grid5000(true), BatchPolicy::Cbf)
                     .with_mapping(mapping)

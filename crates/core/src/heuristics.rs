@@ -1,4 +1,4 @@
-//! The six (re)scheduling heuristics of §2.2.2.
+//! The (re)scheduling heuristics of §2.2.2, as pluggable trait objects.
 //!
 //! One *online* heuristic (MCT) processes jobs in their submission order;
 //! five *offline* heuristics re-rank the whole remaining set after every
@@ -15,27 +15,59 @@
 //! * **Sufferage** — pick the task with the largest difference between its
 //!   two best ECTs (the task that would "suffer" most from not getting its
 //!   best placement).
+//!
+//! Each of these is an [`OrderingHeuristic`] implementation; a
+//! [`Heuristic`] is a `Copy` handle into the string-keyed registry
+//! ([`Heuristic::resolve`]), so campaign specs select heuristics by name
+//! and a new ordering is one implementation plus one
+//! [`Heuristic::register`] call.
+
+use std::sync::Mutex;
 
 use crate::ect::EctView;
 
-/// Job-selection heuristic for a reallocation round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Heuristic {
-    /// Online: submission order.
-    Mct,
-    /// Offline: smallest best-ECT first.
-    MinMin,
-    /// Offline: largest best-ECT first.
-    MaxMin,
-    /// Offline: largest absolute reallocation gain first.
-    MaxGain,
-    /// Offline: largest per-processor gain first.
-    MaxRelGain,
-    /// Offline: largest sufferage (2nd-best − best ECT) first.
-    Sufferage,
+/// Job-selection order of a reallocation round.
+///
+/// Implementations are stateless; one `&'static` instance serves every
+/// round.
+pub trait OrderingHeuristic: std::fmt::Debug + Sync {
+    /// Row label used in the paper's tables (without the `-C` suffix);
+    /// also the registry key (case-insensitive).
+    fn label(&self) -> &'static str;
+
+    /// `true` for heuristics that must re-rank all remaining jobs at
+    /// every step.
+    fn is_offline(&self) -> bool {
+        true
+    }
+
+    /// Select the next job (index into the round's job list) from the
+    /// remaining ones, or `None` when the list is exhausted.
+    ///
+    /// Ties are broken towards the earliest-submitted remaining job (the
+    /// job list is sorted by submission, and comparisons are strict).
+    fn select(&self, view: &mut EctView<'_>) -> Option<usize>;
 }
 
+/// Copyable, comparable handle to a registered [`OrderingHeuristic`].
+#[derive(Clone, Copy)]
+pub struct Heuristic(&'static dyn OrderingHeuristic);
+
+#[allow(non_upper_case_globals)] // mirror the historical enum variants
 impl Heuristic {
+    /// Online: submission order.
+    pub const Mct: Heuristic = Heuristic(&MctOrder);
+    /// Offline: smallest best-ECT first.
+    pub const MinMin: Heuristic = Heuristic(&MinMinOrder);
+    /// Offline: largest best-ECT first.
+    pub const MaxMin: Heuristic = Heuristic(&MaxMinOrder);
+    /// Offline: largest absolute reallocation gain first.
+    pub const MaxGain: Heuristic = Heuristic(&MaxGainOrder);
+    /// Offline: largest per-processor gain first.
+    pub const MaxRelGain: Heuristic = Heuristic(&MaxRelGainOrder);
+    /// Offline: largest sufferage (2nd-best − best ECT) first.
+    pub const Sufferage: Heuristic = Heuristic(&SufferageOrder);
+
     /// All heuristics in the paper's table order.
     pub const ALL: [Heuristic; 6] = [
         Heuristic::Mct,
@@ -45,113 +77,265 @@ impl Heuristic {
         Heuristic::MaxRelGain,
         Heuristic::Sufferage,
     ];
+}
 
+/// Heuristics registered at runtime by downstream crates.
+static EXTRAS: Mutex<Vec<Heuristic>> = Mutex::new(Vec::new());
+
+impl Heuristic {
     /// Row label used in the paper's tables (without the `-C` suffix).
     pub fn label(self) -> &'static str {
-        match self {
-            Heuristic::Mct => "Mct",
-            Heuristic::MinMin => "MinMin",
-            Heuristic::MaxMin => "MaxMin",
-            Heuristic::MaxGain => "MaxGain",
-            Heuristic::MaxRelGain => "MaxRelGain",
-            Heuristic::Sufferage => "Sufferage",
-        }
+        self.0.label()
     }
 
     /// `true` for the heuristics that must re-rank all remaining jobs at
     /// every step (everything but MCT).
     pub fn is_offline(self) -> bool {
-        self != Heuristic::Mct
+        self.0.is_offline()
     }
 
-    /// Select the next job (index into the round's job list) from the
-    /// remaining ones, or `None` when the list is exhausted.
-    ///
-    /// Ties are broken towards the earliest-submitted remaining job (the
-    /// job list is sorted by submission, and comparisons are strict).
+    /// Select the next job from the remaining ones (see
+    /// [`OrderingHeuristic::select`]).
     pub fn select(self, view: &mut EctView<'_>) -> Option<usize> {
-        let alive: Vec<usize> = view.alive_indices().collect();
-        if alive.is_empty() {
-            return None;
-        }
-        match self {
-            Heuristic::Mct => alive.first().copied(),
-            Heuristic::MinMin => {
-                Self::arg_best(&alive, |i| view.best_ect(i).as_secs() as i128, false)
-            }
-            Heuristic::MaxMin => {
-                Self::arg_best(&alive, |i| view.best_ect(i).as_secs() as i128, true)
-            }
-            Heuristic::MaxGain => Self::arg_best(&alive, |i| Self::gain(view, i), true),
-            Heuristic::MaxRelGain => Self::arg_best(
-                &alive,
-                |i| {
-                    let g = Self::gain(view, i);
-                    if g == i128::MIN {
-                        return i128::MIN; // no target at all
-                    }
-                    // Scale by 2^20 before the integer division so small
-                    // per-processor differences survive.
-                    let procs = i128::from(view.jobs()[i].spec.procs.max(1));
-                    (g << 20) / procs
-                },
-                true,
-            ),
-            Heuristic::Sufferage => Self::arg_best(
-                &alive,
-                |i| {
-                    let (best, second) = view.two_best_ects(i);
-                    match second {
-                        Some(s) => (s.as_secs() - best.as_secs()) as i128,
-                        // A single option cannot suffer.
-                        None => i128::MIN,
-                    }
-                },
-                true,
-            ),
-        }
+        self.0.select(view)
     }
 
-    /// Reallocation gain of job `i`: current ECT minus best target ECT
-    /// (negative when every move would hurt; `i128::MIN` with no target).
-    fn gain(view: &mut EctView<'_>, i: usize) -> i128 {
-        let cur = view.cur_ect(i).as_secs() as i128;
-        match view.best_target(i) {
-            Some((_, e)) => cur - e.as_secs() as i128,
-            None => i128::MIN,
-        }
+    /// Every registered heuristic, the paper's six first, then runtime
+    /// registrations in registration order.
+    pub fn all() -> Vec<Heuristic> {
+        let mut out = Self::ALL.to_vec();
+        out.extend(
+            EXTRAS
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .iter(),
+        );
+        out
     }
 
-    /// Index minimising (or maximising) `key`, first index on ties.
-    fn arg_best(
-        alive: &[usize],
-        mut key: impl FnMut(usize) -> i128,
-        maximise: bool,
-    ) -> Option<usize> {
-        let mut best: Option<(i128, usize)> = None;
-        for &i in alive {
-            let v = key(i);
-            let better = match best {
-                None => true,
-                Some((bv, _)) => {
-                    if maximise {
-                        v > bv
-                    } else {
-                        v < bv
-                    }
-                }
-            };
-            if better {
-                best = Some((v, i));
-            }
-        }
-        best.map(|(_, i)| i)
+    /// Look a heuristic up by label (case-insensitive).
+    pub fn resolve(name: &str) -> Option<Heuristic> {
+        Self::all()
+            .into_iter()
+            .find(|h| h.label().eq_ignore_ascii_case(name))
+    }
+
+    /// Register an ordering heuristic and return its handle.
+    ///
+    /// # Panics
+    /// Panics if the label is already taken.
+    pub fn register(heuristic: &'static dyn OrderingHeuristic) -> Heuristic {
+        // Check and push under one lock acquisition, so two concurrent
+        // registrations of the same label cannot both pass the check.
+        let mut extras = EXTRAS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let taken = Self::ALL
+            .iter()
+            .chain(extras.iter())
+            .any(|h| h.label().eq_ignore_ascii_case(heuristic.label()));
+        assert!(
+            !taken,
+            "heuristic `{}` is already registered",
+            heuristic.label()
+        );
+        let handle = Heuristic(heuristic);
+        extras.push(handle);
+        handle
+    }
+}
+
+impl std::fmt::Debug for Heuristic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 
 impl std::fmt::Display for Heuristic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+impl PartialEq for Heuristic {
+    fn eq(&self, other: &Self) -> bool {
+        self.label() == other.label()
+    }
+}
+
+impl Eq for Heuristic {}
+
+impl std::hash::Hash for Heuristic {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.label().hash(state);
+    }
+}
+
+impl PartialOrd for Heuristic {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Heuristic {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.label().cmp(other.label())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared ranking helpers
+// ---------------------------------------------------------------------
+
+/// Reallocation gain of job `i`: current ECT minus best target ECT
+/// (negative when every move would hurt; `i128::MIN` with no target).
+fn gain(view: &mut EctView<'_>, i: usize) -> i128 {
+    let cur = view.cur_ect(i).as_secs() as i128;
+    match view.best_target(i) {
+        Some((_, e)) => cur - e.as_secs() as i128,
+        None => i128::MIN,
+    }
+}
+
+/// Index minimising (or maximising) `key`, first index on ties.
+fn arg_best(alive: &[usize], mut key: impl FnMut(usize) -> i128, maximise: bool) -> Option<usize> {
+    let mut best: Option<(i128, usize)> = None;
+    for &i in alive {
+        let v = key(i);
+        let better = match best {
+            None => true,
+            Some((bv, _)) => {
+                if maximise {
+                    v > bv
+                } else {
+                    v < bv
+                }
+            }
+        };
+        if better {
+            best = Some((v, i));
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+/// The alive indices, or `None` when the round is over.
+fn alive(view: &EctView<'_>) -> Option<Vec<usize>> {
+    let alive: Vec<usize> = view.alive_indices().collect();
+    (!alive.is_empty()).then_some(alive)
+}
+
+// ---------------------------------------------------------------------
+// The paper's six orderings
+// ---------------------------------------------------------------------
+
+/// Online: submission order.
+#[derive(Debug)]
+pub struct MctOrder;
+
+impl OrderingHeuristic for MctOrder {
+    fn label(&self) -> &'static str {
+        "Mct"
+    }
+    fn is_offline(&self) -> bool {
+        false
+    }
+    fn select(&self, view: &mut EctView<'_>) -> Option<usize> {
+        alive(view)?.first().copied()
+    }
+}
+
+/// Offline: smallest best-ECT first.
+#[derive(Debug)]
+pub struct MinMinOrder;
+
+impl OrderingHeuristic for MinMinOrder {
+    fn label(&self) -> &'static str {
+        "MinMin"
+    }
+    fn select(&self, view: &mut EctView<'_>) -> Option<usize> {
+        let alive = alive(view)?;
+        arg_best(&alive, |i| view.best_ect(i).as_secs() as i128, false)
+    }
+}
+
+/// Offline: largest best-ECT first.
+#[derive(Debug)]
+pub struct MaxMinOrder;
+
+impl OrderingHeuristic for MaxMinOrder {
+    fn label(&self) -> &'static str {
+        "MaxMin"
+    }
+    fn select(&self, view: &mut EctView<'_>) -> Option<usize> {
+        let alive = alive(view)?;
+        arg_best(&alive, |i| view.best_ect(i).as_secs() as i128, true)
+    }
+}
+
+/// Offline: largest absolute reallocation gain first.
+#[derive(Debug)]
+pub struct MaxGainOrder;
+
+impl OrderingHeuristic for MaxGainOrder {
+    fn label(&self) -> &'static str {
+        "MaxGain"
+    }
+    fn select(&self, view: &mut EctView<'_>) -> Option<usize> {
+        let alive = alive(view)?;
+        arg_best(&alive, |i| gain(view, i), true)
+    }
+}
+
+/// Offline: largest per-processor gain first.
+#[derive(Debug)]
+pub struct MaxRelGainOrder;
+
+impl OrderingHeuristic for MaxRelGainOrder {
+    fn label(&self) -> &'static str {
+        "MaxRelGain"
+    }
+    fn select(&self, view: &mut EctView<'_>) -> Option<usize> {
+        let alive = alive(view)?;
+        arg_best(
+            &alive,
+            |i| {
+                let g = gain(view, i);
+                if g == i128::MIN {
+                    return i128::MIN; // no target at all
+                }
+                // Scale by 2^20 before the integer division so small
+                // per-processor differences survive.
+                let procs = i128::from(view.jobs()[i].spec.procs.max(1));
+                (g << 20) / procs
+            },
+            true,
+        )
+    }
+}
+
+/// Offline: largest sufferage (2nd-best − best ECT) first.
+#[derive(Debug)]
+pub struct SufferageOrder;
+
+impl OrderingHeuristic for SufferageOrder {
+    fn label(&self) -> &'static str {
+        "Sufferage"
+    }
+    fn select(&self, view: &mut EctView<'_>) -> Option<usize> {
+        let alive = alive(view)?;
+        arg_best(
+            &alive,
+            |i| {
+                let (best, second) = view.two_best_ects(i);
+                match second {
+                    Some(s) => (s.as_secs() - best.as_secs()) as i128,
+                    // A single option cannot suffer.
+                    None => i128::MIN,
+                }
+            },
+            true,
+        )
     }
 }
 
@@ -204,15 +388,18 @@ mod tests {
     }
 
     /// ECT table for `setup` at t=2 (FCFS):
-    ///   cur(j1)=1100, cur(j2)=1400 (starts when j1 does: procs allow both
-    ///   at 1000.. j1 1 proc + j2 2 procs fit together), cur(j3)=1600.
-    ///   new(j1): c1 -> 50+100=150, c2 -> 2+100=102.
-    ///   new(j2): c1 -> 50+400=450, c2 -> 2+400=402.
-    ///   new(j3): c1 -> none,       c2 -> 2+200=202.
+    ///   cur(j1)=1100, cur(j2)=1400, cur(j3)=1600.
+    ///   new(j1): c1 -> 150, c2 -> 102.
+    ///   new(j2): c1 -> 450, c2 -> 402.
+    ///   new(j3): c1 -> none, c2 -> 202.
     fn view<'a>(clusters: &'a mut [Cluster], jobs: &'a [WaitingJob]) -> EctView<'a> {
         EctView::queued(clusters, jobs, SimTime(2))
     }
 
+    /// Pin the fixture's exact ECT matrix: every ordering expectation
+    /// below is derived from these numbers, so a drift in `EctView` or
+    /// the fixture clusters shows up here first, with the changed value
+    /// named.
     #[test]
     fn setup_ects_are_as_documented() {
         let (mut clusters, jobs) = setup();
@@ -326,5 +513,37 @@ mod tests {
         for h in &Heuristic::ALL[1..] {
             assert!(h.is_offline(), "{h}");
         }
+    }
+
+    #[test]
+    fn registry_resolves_by_label() {
+        assert_eq!(Heuristic::resolve("minmin"), Some(Heuristic::MinMin));
+        assert_eq!(Heuristic::resolve("SUFFERAGE"), Some(Heuristic::Sufferage));
+        assert_eq!(Heuristic::resolve("nope"), None);
+        assert_eq!(Heuristic::all()[..6], Heuristic::ALL);
+    }
+
+    #[test]
+    fn runtime_registration_extends_the_axis() {
+        /// Largest processor count first — a shape the paper never uses.
+        #[derive(Debug)]
+        struct WidestFirst;
+        impl OrderingHeuristic for WidestFirst {
+            fn label(&self) -> &'static str {
+                "TestWidest"
+            }
+            fn select(&self, view: &mut EctView<'_>) -> Option<usize> {
+                let alive: Vec<usize> = view.alive_indices().collect();
+                alive
+                    .into_iter()
+                    .max_by_key(|&i| (view.jobs()[i].spec.procs, std::cmp::Reverse(i)))
+            }
+        }
+        let handle = Heuristic::register(&WidestFirst);
+        assert_eq!(Heuristic::resolve("testwidest"), Some(handle));
+        let (mut clusters, jobs) = setup();
+        let mut v = view(&mut clusters, &jobs);
+        // j3 (8 procs) first.
+        assert_eq!(handle.select(&mut v), Some(2));
     }
 }

@@ -50,11 +50,12 @@ pub mod experiments;
 pub mod figures;
 pub mod grid;
 pub mod heuristics;
+pub mod load_threshold;
 pub mod mapping;
 pub mod multisub;
 pub mod realloc;
 
 pub use grid::{GridConfig, GridSim, SimError};
-pub use heuristics::Heuristic;
-pub use mapping::MappingPolicy;
-pub use realloc::{ReallocAlgorithm, ReallocConfig, TickReport};
+pub use heuristics::{Heuristic, OrderingHeuristic};
+pub use mapping::{Mapper, Mapping, MappingPolicy};
+pub use realloc::{ReallocAlgorithm, ReallocConfig, ReallocStrategy, TickReport};

@@ -1,0 +1,168 @@
+//! Load-threshold-triggered reallocation — the strategy-registry
+//! walkthrough entry.
+//!
+//! Savvas & Kechadi (*Dynamic Task Scheduling in Computing Cluster
+//! Environments*) reschedule only when a node's load crosses a threshold,
+//! instead of on every periodic event. This strategy brings that trigger
+//! to the paper's mechanism: each tick it measures every cluster's load
+//! and runs Algorithm 1's migration pass **only when the grid is
+//! imbalanced**; on balanced ticks it does nothing, saving the O(n²) ECT
+//! probing entirely.
+//!
+//! *Load* is queued work per processor: Σ(procs × scaled walltime) over a
+//! cluster's waiting jobs, divided by the cluster's processor count — an
+//! estimate of how many seconds of backlog each processor carries. The
+//! event fires when
+//!
+//! ```text
+//! max_load ≥ 2 × min_load + threshold
+//! ```
+//!
+//! i.e. the most-loaded cluster carries at least twice the backlog of the
+//! least-loaded one, with the configured improvement threshold
+//! (`ReallocConfig::threshold`, the paper's 60 s) as an absolute floor so
+//! near-empty queues never trigger.
+//!
+//! The old `ReallocAlgorithm` enum could not express this — triggering
+//! was hard-wired as "every tick". With the
+//! [`ReallocStrategy`] seam it is this
+//! one file plus one line in the `realloc` registry, and campaign specs
+//! reach it as `algorithms = ["load-threshold"]`.
+
+use grid_batch::Cluster;
+use grid_des::SimTime;
+
+use crate::ect::WaitingJob;
+use crate::realloc::{run_no_cancel, ReallocConfig, ReallocStrategy, TickReport};
+
+/// Algorithm 1 gated by a per-processor queued-work imbalance test.
+#[derive(Debug)]
+pub struct LoadThresholdStrategy;
+
+/// Queued work per processor, in seconds, for one cluster.
+fn load_secs(cluster: &Cluster) -> u64 {
+    let work: u64 = cluster
+        .waiting_jobs()
+        .map(|q| u64::from(q.scaled.procs) * q.scaled.walltime.as_secs())
+        .sum();
+    work / u64::from(cluster.spec().procs.max(1))
+}
+
+impl LoadThresholdStrategy {
+    /// The imbalance test (public so tests and docs can pin it).
+    pub fn is_imbalanced(clusters: &[Cluster], cfg: &ReallocConfig) -> bool {
+        let loads: Vec<u64> = clusters.iter().map(load_secs).collect();
+        let (Some(&max), Some(&min)) = (loads.iter().max(), loads.iter().min()) else {
+            return false;
+        };
+        max >= 2 * min + cfg.threshold.as_secs().max(1)
+    }
+}
+
+impl ReallocStrategy for LoadThresholdStrategy {
+    fn name(&self) -> &'static str {
+        "load-threshold"
+    }
+
+    fn suffix(&self) -> &'static str {
+        "-LT"
+    }
+
+    fn title_note(&self) -> &'static str {
+        " (load-threshold trigger)"
+    }
+
+    fn tick(
+        &self,
+        clusters: &mut [Cluster],
+        jobs: &[WaitingJob],
+        cfg: &ReallocConfig,
+        now: SimTime,
+        report: &mut TickReport,
+    ) {
+        if !Self::is_imbalanced(clusters, cfg) {
+            return; // balanced grid: skip the whole migration pass
+        }
+        run_no_cancel(clusters, jobs, cfg, now, report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::Heuristic;
+    use crate::realloc::{run_tick, ReallocAlgorithm};
+    use grid_batch::{BatchPolicy, ClusterSpec, JobSpec};
+
+    fn cluster(name: &str, procs: u32) -> Cluster {
+        Cluster::new(ClusterSpec::new(name, procs, 1.0), BatchPolicy::Fcfs)
+    }
+
+    fn cfg() -> ReallocConfig {
+        ReallocConfig::new(ReallocAlgorithm::LoadThreshold, Heuristic::Mct)
+    }
+
+    /// Cluster 0 severely backlogged, cluster 1 idle: the trigger fires
+    /// and the pass migrates like Algorithm 1.
+    #[test]
+    fn imbalance_triggers_migration() {
+        let mut c0 = cluster("c0", 4);
+        let c1 = cluster("c1", 4);
+        c0.submit(JobSpec::new(100, 0, 4, 1_000, 1_000), SimTime(0))
+            .unwrap();
+        c0.start_due(SimTime(0));
+        c0.submit(JobSpec::new(1, 0, 2, 60, 500), SimTime(0))
+            .unwrap();
+        let mut clusters = vec![c0, c1];
+        assert!(LoadThresholdStrategy::is_imbalanced(&clusters, &cfg()));
+        let report = run_tick(&mut clusters, &cfg(), SimTime(10));
+        assert_eq!(report.migrations.len(), 1);
+        assert_eq!(clusters[1].waiting_count(), 1);
+    }
+
+    /// Equally loaded clusters stay untouched even though plain
+    /// Algorithm 1 would have examined every job.
+    #[test]
+    fn balanced_grid_skips_the_pass() {
+        let mut clusters: Vec<Cluster> = (0..2).map(|i| cluster(&format!("c{i}"), 4)).collect();
+        for (i, c) in clusters.iter_mut().enumerate() {
+            c.submit(JobSpec::new(100 + i as u64, 0, 4, 1_000, 1_000), SimTime(0))
+                .unwrap();
+            c.start_due(SimTime(0));
+            c.submit(JobSpec::new(i as u64, 0, 2, 60, 500), SimTime(0))
+                .unwrap();
+        }
+        assert!(!LoadThresholdStrategy::is_imbalanced(&clusters, &cfg()));
+        let report = run_tick(&mut clusters, &cfg(), SimTime(10));
+        assert!(report.migrations.is_empty());
+        // Examined counts the snapshot; the pass itself never ran, so no
+        // contract activity either.
+        assert_eq!(report.contract_violations, 0);
+    }
+
+    /// Tiny backlogs sit under the absolute threshold floor.
+    #[test]
+    fn threshold_floor_suppresses_noise() {
+        let mut c0 = cluster("c0", 4);
+        let c1 = cluster("c1", 4);
+        c0.submit(JobSpec::new(100, 0, 4, 50, 50), SimTime(0))
+            .unwrap();
+        c0.start_due(SimTime(0));
+        // 2 procs x 30 s / 4 procs = 15 s of backlog < 60 s threshold.
+        c0.submit(JobSpec::new(1, 0, 2, 20, 30), SimTime(0))
+            .unwrap();
+        let clusters = vec![c0, c1];
+        assert!(!LoadThresholdStrategy::is_imbalanced(&clusters, &cfg()));
+    }
+
+    #[test]
+    fn registry_exposes_the_strategy() {
+        let handle = ReallocAlgorithm::resolve("load-threshold").unwrap();
+        assert_eq!(handle, ReallocAlgorithm::LoadThreshold);
+        assert_eq!(handle.suffix(), "-LT");
+        assert_eq!(handle.to_string(), "load-threshold");
+        // Not part of the paper's two-algorithm default axis.
+        assert!(!ReallocAlgorithm::ALL.contains(&handle));
+        assert!(ReallocAlgorithm::all().contains(&handle));
+    }
+}

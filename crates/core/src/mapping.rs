@@ -7,48 +7,158 @@
 //!
 //! MCT is the paper's choice; Random and Round-Robin are provided for the
 //! mapping ablation (A3 in `DESIGN.md`).
+//!
+//! The closed enum this module used to export is now the
+//! [`MappingPolicy`] trait: a registry entry names the policy and builds
+//! its per-run state ([`MapperState`] — the Round-Robin cursor, the
+//! Random stream). A [`Mapping`] is a `Copy` handle resolvable by name
+//! ([`Mapping::resolve`]), so campaign layers and CLIs select mappings as
+//! strings and a new policy is one implementation plus one
+//! [`Mapping::register`] call.
+
+use std::sync::Mutex;
 
 use grid_batch::{Cluster, JobSpec};
 use grid_des::{SimRng, SimTime};
 
-/// How the agent assigns an incoming job to a cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum MappingPolicy {
-    /// Minimum completion time: ask every (fitting) cluster for an ECT and
-    /// pick the smallest; ties go to the lowest cluster index.
-    Mct,
-    /// Uniformly random fitting cluster.
-    Random,
-    /// Cycle through the clusters, skipping those the job does not fit.
-    RoundRobin,
+/// Identity + factory of a mapping policy (the registry entry).
+pub trait MappingPolicy: std::fmt::Debug + Sync {
+    /// Canonical name, e.g. `MCT`; the registry key (case-insensitive).
+    fn name(&self) -> &'static str;
+
+    /// Build the per-run mutable state; `seed` feeds stochastic policies.
+    fn make(&self, seed: u64) -> Box<dyn MapperState>;
 }
 
-impl std::fmt::Display for MappingPolicy {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            MappingPolicy::Mct => write!(f, "MCT"),
-            MappingPolicy::Random => write!(f, "Random"),
-            MappingPolicy::RoundRobin => write!(f, "RoundRobin"),
-        }
+/// Per-run state of a mapping policy.
+pub trait MapperState: std::fmt::Debug + Send {
+    /// Pick a cluster index for `job` among `fits` (indices of clusters
+    /// the job can ever run on, ascending, never empty).
+    fn assign(
+        &mut self,
+        clusters: &mut [Cluster],
+        fits: &[usize],
+        job: &JobSpec,
+        now: SimTime,
+    ) -> usize;
+}
+
+/// Copyable, comparable handle to a registered [`MappingPolicy`].
+#[derive(Clone, Copy)]
+pub struct Mapping(&'static dyn MappingPolicy);
+
+#[allow(non_upper_case_globals)] // mirror the historical enum variants
+impl Mapping {
+    /// Minimum completion time: ask every (fitting) cluster for an ECT and
+    /// pick the smallest; ties go to the lowest cluster index.
+    pub const Mct: Mapping = Mapping(&MctMapping);
+    /// Uniformly random fitting cluster.
+    pub const Random: Mapping = Mapping(&RandomMapping);
+    /// Cycle through the clusters, skipping those the job does not fit.
+    pub const RoundRobin: Mapping = Mapping(&RoundRobinMapping);
+}
+
+/// Built-in registry entries.
+static BUILTINS: [Mapping; 3] = [Mapping::Mct, Mapping::Random, Mapping::RoundRobin];
+
+/// Policies registered at runtime by downstream crates.
+static EXTRAS: Mutex<Vec<Mapping>> = Mutex::new(Vec::new());
+
+impl Mapping {
+    /// Canonical policy name (`MCT`, `Random`, `RoundRobin`, …).
+    pub fn name(self) -> &'static str {
+        self.0.name()
+    }
+
+    /// Every registered mapping, built-ins first.
+    pub fn all() -> Vec<Mapping> {
+        let mut out = BUILTINS.to_vec();
+        out.extend(
+            EXTRAS
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .iter(),
+        );
+        out
+    }
+
+    /// Look a mapping up by name (case-insensitive).
+    pub fn resolve(name: &str) -> Option<Mapping> {
+        Self::all()
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Register a mapping policy and return its handle.
+    ///
+    /// # Panics
+    /// Panics if the name is already taken.
+    pub fn register(policy: &'static dyn MappingPolicy) -> Mapping {
+        // Check and push under one lock acquisition, so two concurrent
+        // registrations of the same name cannot both pass the check.
+        let mut extras = EXTRAS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let taken = BUILTINS
+            .iter()
+            .chain(extras.iter())
+            .any(|m| m.name().eq_ignore_ascii_case(policy.name()));
+        assert!(
+            !taken,
+            "mapping policy `{}` is already registered",
+            policy.name()
+        );
+        let handle = Mapping(policy);
+        extras.push(handle);
+        handle
     }
 }
 
-/// Stateful mapper (Round-Robin cursor, Random stream).
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::fmt::Display for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl PartialEq for Mapping {
+    fn eq(&self, other: &Self) -> bool {
+        self.name() == other.name()
+    }
+}
+
+impl Eq for Mapping {}
+
+impl std::hash::Hash for Mapping {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name().hash(state);
+    }
+}
+
+/// Stateful mapper driving one run: the policy handle plus its state.
 #[derive(Debug)]
 pub struct Mapper {
-    policy: MappingPolicy,
-    rr_cursor: usize,
-    rng: SimRng,
+    policy: Mapping,
+    state: Box<dyn MapperState>,
 }
 
 impl Mapper {
-    /// Create a mapper; `seed` feeds the Random policy only.
-    pub fn new(policy: MappingPolicy, seed: u64) -> Self {
+    /// Create a mapper; `seed` feeds stochastic policies only.
+    pub fn new(policy: Mapping, seed: u64) -> Self {
         Mapper {
             policy,
-            rr_cursor: 0,
-            rng: SimRng::derive(seed, 0x4D41_5050), // "MAPP" stream tag
+            state: policy.0.make(seed),
         }
+    }
+
+    /// The policy this mapper runs.
+    pub fn policy(&self) -> Mapping {
+        self.policy
     }
 
     /// Pick a cluster index for `job`, or `None` when no cluster can ever
@@ -65,37 +175,120 @@ impl Mapper {
         if fits.is_empty() {
             return None;
         }
-        match self.policy {
-            MappingPolicy::Mct => {
-                let mut best: Option<(SimTime, usize)> = None;
-                for &c in &fits {
-                    let ect = clusters[c]
-                        .estimate_new(job, now)
-                        .expect("fitting cluster must produce an estimate");
-                    // Strict `<` keeps the lowest index on ties.
-                    if best.is_none_or(|(b, _)| ect < b) {
-                        best = Some((ect, c));
-                    }
-                }
-                best.map(|(_, c)| c)
-            }
-            MappingPolicy::Random => {
-                let k = self.rng.gen_range(0..fits.len());
-                Some(fits[k])
-            }
-            MappingPolicy::RoundRobin => {
-                // Advance the cursor once per assignment, then walk until a
-                // fitting cluster is found.
-                for step in 0..clusters.len() {
-                    let c = (self.rr_cursor + step) % clusters.len();
-                    if fits.contains(&c) {
-                        self.rr_cursor = (c + 1) % clusters.len();
-                        return Some(c);
-                    }
-                }
-                None
+        Some(self.state.assign(clusters, &fits, job, now))
+    }
+}
+
+// ---------------------------------------------------------------------
+// The paper's three built-in mappings
+// ---------------------------------------------------------------------
+
+/// Minimum completion time (the paper's choice).
+#[derive(Debug)]
+pub struct MctMapping;
+
+impl MappingPolicy for MctMapping {
+    fn name(&self) -> &'static str {
+        "MCT"
+    }
+    fn make(&self, _seed: u64) -> Box<dyn MapperState> {
+        Box::new(MctState)
+    }
+}
+
+#[derive(Debug)]
+struct MctState;
+
+impl MapperState for MctState {
+    fn assign(
+        &mut self,
+        clusters: &mut [Cluster],
+        fits: &[usize],
+        job: &JobSpec,
+        now: SimTime,
+    ) -> usize {
+        let mut best: Option<(SimTime, usize)> = None;
+        for &c in fits {
+            let ect = clusters[c]
+                .estimate_new(job, now)
+                .expect("fitting cluster must produce an estimate");
+            // Strict `<` keeps the lowest index on ties.
+            if best.is_none_or(|(b, _)| ect < b) {
+                best = Some((ect, c));
             }
         }
+        best.expect("fits is never empty").1
+    }
+}
+
+/// Uniformly random fitting cluster.
+#[derive(Debug)]
+pub struct RandomMapping;
+
+impl MappingPolicy for RandomMapping {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+    fn make(&self, seed: u64) -> Box<dyn MapperState> {
+        Box::new(RandomState {
+            rng: SimRng::derive(seed, 0x4D41_5050), // "MAPP" stream tag
+        })
+    }
+}
+
+#[derive(Debug)]
+struct RandomState {
+    rng: SimRng,
+}
+
+impl MapperState for RandomState {
+    fn assign(
+        &mut self,
+        _clusters: &mut [Cluster],
+        fits: &[usize],
+        _job: &JobSpec,
+        _now: SimTime,
+    ) -> usize {
+        fits[self.rng.gen_range(0..fits.len())]
+    }
+}
+
+/// Cycle through the clusters, skipping those the job does not fit.
+#[derive(Debug)]
+pub struct RoundRobinMapping;
+
+impl MappingPolicy for RoundRobinMapping {
+    fn name(&self) -> &'static str {
+        "RoundRobin"
+    }
+    fn make(&self, _seed: u64) -> Box<dyn MapperState> {
+        Box::new(RoundRobinState { cursor: 0 })
+    }
+}
+
+#[derive(Debug)]
+struct RoundRobinState {
+    cursor: usize,
+}
+
+impl MapperState for RoundRobinState {
+    fn assign(
+        &mut self,
+        clusters: &mut [Cluster],
+        fits: &[usize],
+        _job: &JobSpec,
+        _now: SimTime,
+    ) -> usize {
+        // Advance the cursor once per assignment, then walk until a
+        // fitting cluster is found.
+        for step in 0..clusters.len() {
+            let c = (self.cursor + step) % clusters.len();
+            if fits.contains(&c) {
+                self.cursor = (c + 1) % clusters.len();
+                return c;
+            }
+        }
+        unreachable!("fits is never empty")
     }
 }
 
@@ -120,7 +313,7 @@ mod tests {
             .submit(JobSpec::new(100, 0, 8, 1000, 1000), SimTime(0))
             .unwrap();
         cs[0].start_due(SimTime(0));
-        let mut m = Mapper::new(MappingPolicy::Mct, 0);
+        let mut m = Mapper::new(Mapping::Mct, 0);
         let job = JobSpec::new(1, 0, 2, 10, 10);
         // Clusters 1 and 2 are both free: ECT ties at 10 -> lowest index 1.
         assert_eq!(m.assign(&mut cs, &job, SimTime(0)), Some(1));
@@ -129,7 +322,7 @@ mod tests {
     #[test]
     fn mct_tie_break_is_lowest_index() {
         let mut cs = clusters();
-        let mut m = Mapper::new(MappingPolicy::Mct, 0);
+        let mut m = Mapper::new(Mapping::Mct, 0);
         let job = JobSpec::new(1, 0, 2, 10, 10);
         assert_eq!(m.assign(&mut cs, &job, SimTime(0)), Some(0));
     }
@@ -137,7 +330,7 @@ mod tests {
     #[test]
     fn oversized_job_maps_nowhere() {
         let mut cs = clusters();
-        let mut m = Mapper::new(MappingPolicy::Mct, 0);
+        let mut m = Mapper::new(Mapping::Mct, 0);
         let job = JobSpec::new(1, 0, 64, 10, 10);
         assert_eq!(m.assign(&mut cs, &job, SimTime(0)), None);
     }
@@ -145,11 +338,7 @@ mod tests {
     #[test]
     fn large_job_only_fits_big_cluster() {
         let mut cs = clusters();
-        for policy in [
-            MappingPolicy::Mct,
-            MappingPolicy::Random,
-            MappingPolicy::RoundRobin,
-        ] {
+        for policy in [Mapping::Mct, Mapping::Random, Mapping::RoundRobin] {
             let mut m = Mapper::new(policy, 1);
             let job = JobSpec::new(1, 0, 12, 10, 10);
             assert_eq!(m.assign(&mut cs, &job, SimTime(0)), Some(2), "{policy}");
@@ -159,7 +348,7 @@ mod tests {
     #[test]
     fn round_robin_cycles() {
         let mut cs = clusters();
-        let mut m = Mapper::new(MappingPolicy::RoundRobin, 0);
+        let mut m = Mapper::new(Mapping::RoundRobin, 0);
         let job = JobSpec::new(1, 0, 2, 10, 10);
         let seq: Vec<usize> = (0..6)
             .map(|_| m.assign(&mut cs, &job, SimTime(0)).unwrap())
@@ -170,7 +359,7 @@ mod tests {
     #[test]
     fn round_robin_skips_small_clusters() {
         let mut cs = clusters();
-        let mut m = Mapper::new(MappingPolicy::RoundRobin, 0);
+        let mut m = Mapper::new(Mapping::RoundRobin, 0);
         let big = JobSpec::new(1, 0, 8, 10, 10); // fits a (8) and c (16), not b (4)
         let seq: Vec<usize> = (0..4)
             .map(|_| m.assign(&mut cs, &big, SimTime(0)).unwrap())
@@ -183,7 +372,7 @@ mod tests {
         let mut cs = clusters();
         let job = JobSpec::new(1, 0, 2, 10, 10);
         let draw = |seed: u64| -> Vec<usize> {
-            let mut m = Mapper::new(MappingPolicy::Random, seed);
+            let mut m = Mapper::new(Mapping::Random, seed);
             let mut cs = clusters();
             (0..30)
                 .map(|_| m.assign(&mut cs, &job, SimTime(0)).unwrap())
@@ -194,7 +383,50 @@ mod tests {
         for c in 0..3 {
             assert!(picks.contains(&c), "cluster {c} never picked");
         }
-        let mut m = Mapper::new(MappingPolicy::Random, 5);
+        let mut m = Mapper::new(Mapping::Random, 5);
         assert!(m.assign(&mut cs, &job, SimTime(0)).is_some());
+    }
+
+    #[test]
+    fn registry_resolves_by_name() {
+        assert_eq!(Mapping::resolve("mct"), Some(Mapping::Mct));
+        assert_eq!(Mapping::resolve("roundrobin"), Some(Mapping::RoundRobin));
+        assert_eq!(Mapping::resolve("nope"), None);
+        let names: Vec<&str> = Mapping::all().iter().map(|m| m.name()).collect();
+        assert!(names.starts_with(&["MCT", "Random", "RoundRobin"]));
+    }
+
+    #[test]
+    fn runtime_registration_extends_the_axis() {
+        /// Always the last fitting cluster — a policy the enum never had.
+        #[derive(Debug)]
+        struct LastFit;
+        impl MappingPolicy for LastFit {
+            fn name(&self) -> &'static str {
+                "TestLastFit"
+            }
+            fn make(&self, _seed: u64) -> Box<dyn MapperState> {
+                #[derive(Debug)]
+                struct S;
+                impl MapperState for S {
+                    fn assign(
+                        &mut self,
+                        _c: &mut [Cluster],
+                        fits: &[usize],
+                        _j: &JobSpec,
+                        _n: SimTime,
+                    ) -> usize {
+                        *fits.last().expect("never empty")
+                    }
+                }
+                Box::new(S)
+            }
+        }
+        let handle = Mapping::register(&LastFit);
+        assert_eq!(Mapping::resolve("testlastfit"), Some(handle));
+        let mut cs = clusters();
+        let mut m = Mapper::new(handle, 0);
+        let job = JobSpec::new(1, 0, 2, 10, 10);
+        assert_eq!(m.assign(&mut cs, &job, SimTime(0)), Some(2));
     }
 }

@@ -1,7 +1,8 @@
-//! The two reallocation algorithms (§2.2.1).
+//! The reallocation strategies, built around the paper's two §2.2.1
+//! algorithms.
 //!
-//! Both run inside a periodic *reallocation event* (hourly in the paper,
-//! first fired one hour after the first submission):
+//! All strategies run inside a periodic *reallocation event* (hourly in
+//! the paper, first fired one hour after the first submission):
 //!
 //! * **Algorithm 1 — [`ReallocAlgorithm::NoCancel`]**: walk the waiting
 //!   jobs (ordered by the heuristic); a job migrates iff some other
@@ -15,6 +16,17 @@
 //!   when the job lands on a different cluster than before (§4.2: "we save
 //!   the location of a job and if it is submitted on another cluster, we
 //!   count this as a reallocation").
+//! * **[`ReallocAlgorithm::LoadThreshold`]** — a load-imbalance-gated
+//!   variant of Algorithm 1 the old enum could not express; see
+//!   [`crate::load_threshold`].
+//!
+//! What used to be a closed two-variant enum matched inside `run_tick` is
+//! now the [`ReallocStrategy`] trait plus a string-keyed registry: a
+//! [`ReallocAlgorithm`] is a `Copy` handle resolvable by name
+//! ([`ReallocAlgorithm::resolve`]) from campaign specs, and a new
+//! strategy is one file implementing the trait plus one registry line.
+
+use std::sync::Mutex;
 
 use grid_batch::{Cluster, JobId};
 use grid_des::{Duration, SimTime};
@@ -22,36 +34,175 @@ use grid_des::{Duration, SimTime};
 use crate::ect::{EctView, WaitingJob};
 use crate::heuristics::Heuristic;
 
-/// Which §2.2.1 algorithm a reallocation event runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum ReallocAlgorithm {
-    /// Algorithm 1: selective cancel-and-resubmit with a threshold.
-    NoCancel,
-    /// Algorithm 2: cancel everything, reschedule the whole bag of tasks.
-    CancelAll,
-}
-
-impl ReallocAlgorithm {
-    /// Both algorithms, paper order.
-    pub const ALL: [ReallocAlgorithm; 2] =
-        [ReallocAlgorithm::NoCancel, ReallocAlgorithm::CancelAll];
+/// One reallocation-event algorithm (the paper's §2.2.1 family).
+///
+/// Implementations are stateless; the per-event inputs arrive as
+/// arguments. `jobs` is the snapshot of every waiting job in submission
+/// order (MCT's processing order, and the deterministic tie-break for the
+/// offline heuristics).
+pub trait ReallocStrategy: std::fmt::Debug + Sync {
+    /// Canonical name, e.g. `no-cancel`; the registry key
+    /// (case-insensitive) and the spec/CLI spelling.
+    fn name(&self) -> &'static str;
 
     /// Table-row suffix: heuristics are postfixed with `-C` under
-    /// cancellation (§4.2).
+    /// cancellation (§4.2), `-LT` under the load-threshold trigger.
+    fn suffix(&self) -> &'static str {
+        ""
+    }
+
+    /// Note appended to table titles, e.g. " (with cancellation)".
+    fn title_note(&self) -> &'static str {
+        ""
+    }
+
+    /// First table number of this strategy's group in the paper
+    /// (`Some(2)` for Algorithm 1, `Some(10)` for Algorithm 2); `None`
+    /// for strategies the paper has no tables for.
+    fn paper_table_base(&self) -> Option<usize> {
+        None
+    }
+
+    /// Run one reallocation event over `clusters` at instant `now`,
+    /// recording migrations into `report`.
+    fn tick(
+        &self,
+        clusters: &mut [Cluster],
+        jobs: &[WaitingJob],
+        cfg: &ReallocConfig,
+        now: SimTime,
+        report: &mut TickReport,
+    );
+}
+
+/// Copyable, comparable handle to a registered [`ReallocStrategy`].
+#[derive(Clone, Copy)]
+pub struct ReallocAlgorithm(&'static dyn ReallocStrategy);
+
+#[allow(non_upper_case_globals)] // mirror the historical enum variants
+impl ReallocAlgorithm {
+    /// Algorithm 1: selective cancel-and-resubmit with a threshold.
+    pub const NoCancel: ReallocAlgorithm = ReallocAlgorithm(&NoCancelStrategy);
+    /// Algorithm 2: cancel everything, reschedule the whole bag of tasks.
+    pub const CancelAll: ReallocAlgorithm = ReallocAlgorithm(&CancelAllStrategy);
+    /// Load-threshold-gated Algorithm 1 (see [`crate::load_threshold`]);
+    /// reachable from specs as `load-threshold`. Not part of
+    /// [`ReallocAlgorithm::ALL`] — the paper's campaign stays two
+    /// algorithms wide.
+    pub const LoadThreshold: ReallocAlgorithm =
+        ReallocAlgorithm(&crate::load_threshold::LoadThresholdStrategy);
+
+    /// The paper's two algorithms, paper order.
+    pub const ALL: [ReallocAlgorithm; 2] =
+        [ReallocAlgorithm::NoCancel, ReallocAlgorithm::CancelAll];
+}
+
+/// Built-in registry entries, paper strategies first.
+static BUILTINS: [ReallocAlgorithm; 3] = [
+    ReallocAlgorithm::NoCancel,
+    ReallocAlgorithm::CancelAll,
+    ReallocAlgorithm::LoadThreshold, // <- one line per new in-tree strategy
+];
+
+/// Strategies registered at runtime by downstream crates.
+static EXTRAS: Mutex<Vec<ReallocAlgorithm>> = Mutex::new(Vec::new());
+
+impl ReallocAlgorithm {
+    /// The underlying strategy implementation.
+    #[inline]
+    pub fn strategy(self) -> &'static dyn ReallocStrategy {
+        self.0
+    }
+
+    /// Canonical strategy name (`no-cancel`, `cancel-all`, …).
+    pub fn name(self) -> &'static str {
+        self.0.name()
+    }
+
+    /// Table-row suffix (see [`ReallocStrategy::suffix`]).
     pub fn suffix(self) -> &'static str {
-        match self {
-            ReallocAlgorithm::NoCancel => "",
-            ReallocAlgorithm::CancelAll => "-C",
-        }
+        self.0.suffix()
+    }
+
+    /// Every registered strategy, built-ins first, in registration order.
+    pub fn all() -> Vec<ReallocAlgorithm> {
+        let mut out = BUILTINS.to_vec();
+        out.extend(
+            EXTRAS
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .iter(),
+        );
+        out
+    }
+
+    /// Look a strategy up by name (case-insensitive).
+    pub fn resolve(name: &str) -> Option<ReallocAlgorithm> {
+        Self::all()
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Register a strategy and return its handle.
+    ///
+    /// # Panics
+    /// Panics if the name is already taken.
+    pub fn register(strategy: &'static dyn ReallocStrategy) -> ReallocAlgorithm {
+        // Check and push under one lock acquisition, so two concurrent
+        // registrations of the same name cannot both pass the check.
+        let mut extras = EXTRAS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let taken = BUILTINS
+            .iter()
+            .chain(extras.iter())
+            .any(|a| a.name().eq_ignore_ascii_case(strategy.name()));
+        assert!(
+            !taken,
+            "reallocation strategy `{}` is already registered",
+            strategy.name()
+        );
+        let handle = ReallocAlgorithm(strategy);
+        extras.push(handle);
+        handle
+    }
+}
+
+impl std::fmt::Debug for ReallocAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
 impl std::fmt::Display for ReallocAlgorithm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ReallocAlgorithm::NoCancel => write!(f, "no-cancel"),
-            ReallocAlgorithm::CancelAll => write!(f, "cancel-all"),
-        }
+        f.write_str(self.name())
+    }
+}
+
+impl PartialEq for ReallocAlgorithm {
+    fn eq(&self, other: &Self) -> bool {
+        self.name() == other.name()
+    }
+}
+
+impl Eq for ReallocAlgorithm {}
+
+impl std::hash::Hash for ReallocAlgorithm {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name().hash(state);
+    }
+}
+
+impl PartialOrd for ReallocAlgorithm {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ReallocAlgorithm {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.name().cmp(other.name())
     }
 }
 
@@ -147,11 +298,62 @@ pub fn run_tick(clusters: &mut [Cluster], cfg: &ReallocConfig, now: SimTime) -> 
         examined,
         ..TickReport::default()
     };
-    match cfg.algorithm {
-        ReallocAlgorithm::NoCancel => run_no_cancel(clusters, &jobs, cfg, now, &mut report),
-        ReallocAlgorithm::CancelAll => run_cancel_all(clusters, &jobs, cfg, now, &mut report),
-    }
+    cfg.algorithm
+        .strategy()
+        .tick(clusters, &jobs, cfg, now, &mut report);
     report
+}
+
+/// Algorithm 1 as a registry entry.
+#[derive(Debug)]
+pub struct NoCancelStrategy;
+
+impl ReallocStrategy for NoCancelStrategy {
+    fn name(&self) -> &'static str {
+        "no-cancel"
+    }
+    fn paper_table_base(&self) -> Option<usize> {
+        Some(2)
+    }
+    fn tick(
+        &self,
+        clusters: &mut [Cluster],
+        jobs: &[WaitingJob],
+        cfg: &ReallocConfig,
+        now: SimTime,
+        report: &mut TickReport,
+    ) {
+        run_no_cancel(clusters, jobs, cfg, now, report);
+    }
+}
+
+/// Algorithm 2 as a registry entry.
+#[derive(Debug)]
+pub struct CancelAllStrategy;
+
+impl ReallocStrategy for CancelAllStrategy {
+    fn name(&self) -> &'static str {
+        "cancel-all"
+    }
+    fn suffix(&self) -> &'static str {
+        "-C"
+    }
+    fn title_note(&self) -> &'static str {
+        " (with cancellation)"
+    }
+    fn paper_table_base(&self) -> Option<usize> {
+        Some(10)
+    }
+    fn tick(
+        &self,
+        clusters: &mut [Cluster],
+        jobs: &[WaitingJob],
+        cfg: &ReallocConfig,
+        now: SimTime,
+        report: &mut TickReport,
+    ) {
+        run_cancel_all(clusters, jobs, cfg, now, report);
+    }
 }
 
 /// Contract check (§6): the reservation obtained at submission must yield
@@ -174,8 +376,8 @@ fn check_contract(
     }
 }
 
-/// Algorithm 1 of the paper.
-fn run_no_cancel(
+/// Algorithm 1 of the paper (shared with the load-threshold strategy).
+pub(crate) fn run_no_cancel(
     clusters: &mut [Cluster],
     jobs: &[WaitingJob],
     cfg: &ReallocConfig,

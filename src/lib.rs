@@ -64,12 +64,15 @@ pub use grid_workload as workload;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use grid_batch::{BatchPolicy, Cluster, ClusterSpec, GanttChart, JobId, JobSpec, Platform};
+    pub use grid_batch::{
+        BatchPolicy, Cluster, ClusterSpec, GanttChart, JobId, JobSpec, LocalScheduler, Platform,
+    };
     pub use grid_campaign::{CampaignPlan, CampaignSpec, ResultCache};
     pub use grid_des::{Duration, SimRng, SimTime};
     pub use grid_metrics::{Comparison, JobRecord, PaperTable, RunOutcome};
     pub use grid_realloc::{
-        GridConfig, GridSim, Heuristic, MappingPolicy, ReallocAlgorithm, ReallocConfig,
+        GridConfig, GridSim, Heuristic, Mapping, MappingPolicy, OrderingHeuristic,
+        ReallocAlgorithm, ReallocConfig, ReallocStrategy,
     };
     pub use grid_workload::{Scenario, SiteWorkloadSpec, WorkloadStats};
 }
