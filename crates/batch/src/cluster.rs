@@ -150,7 +150,17 @@ pub struct Cluster {
 
 impl Cluster {
     /// Create an empty cluster.
+    ///
+    /// # Panics
+    /// Panics on a per-site mix handle — a cluster runs exactly one
+    /// scheduler; expand mixes with [`BatchPolicy::for_site`] first (the
+    /// grid driver does).
     pub fn new(spec: ClusterSpec, policy: BatchPolicy) -> Self {
+        assert!(
+            !policy.is_mix(),
+            "cluster {} cannot run policy mix `{policy}`; assign one policy per site",
+            spec.name
+        );
         Cluster {
             spec,
             policy,

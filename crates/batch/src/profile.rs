@@ -436,6 +436,86 @@ mod tests {
         p.release(t(0), d(10), 1);
     }
 
+    /// Releasing more than was reserved anywhere in the window is
+    /// rejected deterministically, even when part of the window *is*
+    /// legitimately reserved.
+    #[test]
+    #[should_panic(expected = "over-release")]
+    fn release_rejects_partially_unreserved_window() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(10), d(10), 3); // [10,20) reserved
+        p.release(t(10), d(20), 3); // [20,30) was never reserved
+    }
+
+    /// A release whose window starts before the (advanced) origin is
+    /// rejected: the dropped past cannot be un-carved.
+    #[test]
+    #[should_panic(expected = "before profile origin")]
+    fn release_spanning_the_origin_is_rejected() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(10), d(40), 5); // [10,50)
+        p.advance_origin(t(30));
+        // The reservation's original start now lies in the dropped past.
+        p.release(t(10), d(40), 5);
+    }
+
+    /// The live remainder of a reservation that straddles the origin can
+    /// still be released (what `Cluster::complete` does at an early
+    /// completion: release `[now, reserved_end)`).
+    #[test]
+    fn release_of_the_live_remainder_succeeds_after_advance() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(10), d(40), 5); // [10,50)
+        p.advance_origin(t(30));
+        p.release(t(30), d(20), 5); // the remaining [30,50)
+        assert_eq!(p.points(), &[(t(30), 8)], "flat from the new origin");
+        p.assert_invariants();
+    }
+
+    /// Releasing every reservation coalesces the representation all the
+    /// way back to a single flat breakpoint, not just equal values.
+    #[test]
+    fn full_release_coalesces_back_to_flat() {
+        let mut p = Profile::flat(16, t(5));
+        p.reserve(t(10), d(20), 4);
+        p.reserve(t(15), d(30), 8);
+        p.reserve(t(50), d(5), 16);
+        assert!(p.len() > 1);
+        p.release(t(50), d(5), 16);
+        p.release(t(10), d(20), 4);
+        p.release(t(15), d(30), 8);
+        assert_eq!(p.points(), &[(t(5), 16)], "single flat segment");
+        assert_eq!(p, Profile::flat(16, t(5)));
+        p.assert_invariants();
+    }
+
+    /// `advance_origin` to an instant between breakpoints lands the new
+    /// origin exactly at `now` with the in-force free count.
+    #[test]
+    fn advance_origin_between_breakpoints_keeps_in_force_value() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(10), d(20), 5); // [10,30): 3 free
+        p.advance_origin(t(17));
+        assert_eq!(p.origin(), t(17));
+        assert_eq!(p.free_at(t(17)), 3);
+        assert_eq!(p.points()[0], (t(17), 3));
+        p.assert_invariants();
+        // Reservations against the trimmed profile still work.
+        assert_eq!(p.earliest_fit(t(0), 8, d(5)), t(30));
+    }
+
+    /// `advance_origin` landing exactly on a breakpoint neither
+    /// duplicates nor skips it.
+    #[test]
+    fn advance_origin_onto_a_breakpoint_is_exact() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(10), d(20), 5);
+        p.advance_origin(t(10));
+        assert_eq!(p.points()[0], (t(10), 3));
+        assert_eq!(p.origin(), t(10));
+        p.assert_invariants();
+    }
+
     #[test]
     fn min_free_over_window() {
         let mut p = Profile::flat(8, t(0));

@@ -5,8 +5,30 @@
 //! [`Cluster`](crate::Cluster); they are now implementations of the
 //! [`LocalScheduler`] trait held in a string-keyed registry. A
 //! [`BatchPolicy`] is a `Copy` handle to a registered scheduler — identity
-//! is the canonical name, so handles compare, hash and print exactly like
-//! the old enum did.
+//! is the canonical *policy expression*, so handles compare, hash and
+//! print exactly like the old enum did for the paper's bare names.
+//!
+//! ## Policy expressions
+//!
+//! Registry entries are selected by [`grid_ser::expr`] expressions:
+//! `EASY` is the classic aggressive back-filler, `EASY(protected=4)` a
+//! configured variant protecting the first four queued reservations.
+//! Each entry declares its accepted parameters
+//! ([`LocalScheduler::params`]) and builds configured instances
+//! ([`LocalScheduler::with_params`]); [`BatchPolicy::resolve_expr`]
+//! validates, canonicalises (default-valued arguments are dropped, so
+//! `EASY`, `EASY()` and `EASY(protected=1)` are the same handle) and
+//! interns one instance per distinct canonical expression.
+//!
+//! ## Per-cluster policy mixes
+//!
+//! A handle can also name a *per-site assignment*: `FCFS+CBF+CBF` (one
+//! expression per cluster, joined with `+`) resolves via
+//! [`BatchPolicy::resolve_assignment`] into a mix handle whose
+//! [`for_site`](BatchPolicy::for_site) yields the cluster-local policy.
+//! The grid driver expands mixes at cluster construction; a uniform
+//! assignment (`CBF+CBF+CBF`) collapses to the plain handle, so the
+//! homogeneous spelling stays canonical.
 //!
 //! Adding a policy is one file implementing [`LocalScheduler`] plus one
 //! registry line ([`easy_sjf`](crate::easy_sjf) is the worked example; at
@@ -33,6 +55,7 @@
 use std::sync::Mutex;
 
 use grid_des::SimTime;
+use grid_ser::expr::{BoundArgs, ParamSpec};
 
 use crate::cluster::Queued;
 use crate::profile::Profile;
@@ -83,39 +106,79 @@ pub trait LocalScheduler: std::fmt::Debug + Sync {
     fn check_invariants(&self, queue: &[Queued]) {
         let _ = queue;
     }
+
+    /// Parameters this entry accepts in policy expressions
+    /// (`EASY(protected=4)`). Default: none — bare-name entries reject
+    /// any argument with an error listing this (empty) set.
+    fn params(&self) -> Vec<ParamSpec> {
+        Vec::new()
+    }
+
+    /// Build a configured instance from validated arguments. Called only
+    /// when at least one argument differs from its declared default, so
+    /// entries without parameters never see it.
+    fn with_params(&self, args: &BoundArgs) -> Result<Box<dyn LocalScheduler>, String> {
+        let _ = args;
+        Err(format!("`{}` takes no parameters", self.name()))
+    }
 }
 
-/// Copyable, comparable handle to a registered [`LocalScheduler`].
+/// Copyable, comparable handle to a registered [`LocalScheduler`] — or
+/// to a per-site mix of them.
 ///
 /// Replaces the old three-variant enum of the same name: the historical
 /// `BatchPolicy::Fcfs` / `Cbf` / `Easy` spellings are associated
 /// constants, so existing call sites read unchanged, while
-/// [`BatchPolicy::resolve`] opens the axis to any registered name
-/// (`EASY-SJF` ships in-tree).
+/// [`BatchPolicy::resolve_expr`] opens the axis to any registered name
+/// with parameters (`EASY(protected=4)`) and
+/// [`BatchPolicy::resolve_assignment`] to per-cluster mixes
+/// (`FCFS+CBF+CBF`). Identity (equality, hashing, display, cache keys)
+/// is the canonical expression string.
 #[derive(Clone, Copy)]
-pub struct BatchPolicy(&'static dyn LocalScheduler);
+pub struct BatchPolicy {
+    sched: &'static dyn LocalScheduler,
+    /// Canonical expression — the handle's identity. Equals the entry
+    /// name for default-parameter handles.
+    key: &'static str,
+    /// Per-site assignment when this handle is a mix (`FCFS+CBF+CBF`);
+    /// the elements are never mixes themselves.
+    sites: Option<&'static [BatchPolicy]>,
+}
 
 #[allow(non_upper_case_globals)] // mirror the historical enum variants
 impl BatchPolicy {
     /// First-come-first-served: "the earliest slot at the end of the job
     /// queue" (Schwiegelshohn & Yahyapour). Default policy of PBS, SGE,
     /// Maui.
-    pub const Fcfs: BatchPolicy = BatchPolicy(&FcfsScheduler);
+    pub const Fcfs: BatchPolicy = BatchPolicy::base("FCFS", &FcfsScheduler);
     /// Conservative back-filling (Lifka): earliest slot anywhere that does
     /// not delay any earlier-queued job. Available in Maui, LoadLeveler,
     /// OAR.
-    pub const Cbf: BatchPolicy = BatchPolicy(&CbfScheduler);
+    pub const Cbf: BatchPolicy = BatchPolicy::base("CBF", &CbfScheduler);
     /// EASY (aggressive) back-filling (Lifka's ANL/IBM SP scheduler): only
     /// the queue *head* holds a protected reservation; any other job may
     /// start immediately if it does not delay the head — even if that
     /// pushes other queued jobs back. The paper's evaluation uses FCFS and
     /// CBF; EASY is provided for the related-work ablation (Sabin et al.
     /// found conservative back-filling superior to aggressive, §5).
-    pub const Easy: BatchPolicy = BatchPolicy(&EasyScheduler);
+    /// `EASY(protected=K)` protects the first K queued reservations
+    /// instead of only the head.
+    pub const Easy: BatchPolicy = BatchPolicy::base("EASY", &EasyScheduler::CLASSIC);
     /// SJF-ordered EASY back-filling (see [`crate::easy_sjf`]); reachable
     /// from specs as `EASY-SJF` — the first policy the old enum could not
     /// express.
-    pub const EasySjf: BatchPolicy = BatchPolicy(&crate::easy_sjf::EasySjfScheduler);
+    pub const EasySjf: BatchPolicy =
+        BatchPolicy::base("EASY-SJF", &crate::easy_sjf::EasySjfScheduler);
+
+    /// A base (unparameterised) handle. `key` must equal `sched.name()`;
+    /// a unit test pins this for every built-in.
+    const fn base(key: &'static str, sched: &'static dyn LocalScheduler) -> BatchPolicy {
+        BatchPolicy {
+            sched,
+            key,
+            sites: None,
+        }
+    }
 }
 
 /// Built-in registry entries, in canonical (paper-table) order.
@@ -129,20 +192,70 @@ static BUILTINS: [BatchPolicy; 4] = [
 /// Schedulers registered at runtime by downstream crates.
 static EXTRAS: Mutex<Vec<BatchPolicy>> = Mutex::new(Vec::new());
 
+/// Interned parameterised instances (`EASY(protected=4)`), one per
+/// distinct canonical expression; interning keeps handles `Copy` and
+/// bounds the leaked instances to one per configuration per process.
+static CONFIGURED: Mutex<Vec<BatchPolicy>> = Mutex::new(Vec::new());
+
+/// Interned per-site mixes (`FCFS+CBF+CBF`).
+static MIXES: Mutex<Vec<BatchPolicy>> = Mutex::new(Vec::new());
+
 impl BatchPolicy {
     /// The underlying scheduler implementation.
+    ///
+    /// # Panics
+    /// Panics on a mix handle — a per-site assignment has no single
+    /// scheduler; expand it with [`BatchPolicy::for_site`] first.
     #[inline]
     pub fn scheduler(self) -> &'static dyn LocalScheduler {
-        self.0
+        assert!(
+            self.sites.is_none(),
+            "policy mix `{}` has no single scheduler; resolve per site with for_site()",
+            self.key
+        );
+        self.sched
     }
 
-    /// Canonical policy name (`FCFS`, `CBF`, `EASY`, `EASY-SJF`, …).
+    /// Canonical policy expression (`FCFS`, `EASY(protected=4)`,
+    /// `FCFS+CBF+CBF`, …) — the handle's identity.
     #[inline]
     pub fn name(self) -> &'static str {
-        self.0.name()
+        self.key
     }
 
-    /// Every registered policy, built-ins first, in registration order.
+    /// Per-site policies when this handle is a mix.
+    #[inline]
+    pub fn site_policies(self) -> Option<&'static [BatchPolicy]> {
+        self.sites
+    }
+
+    /// `true` when this handle assigns different policies per site.
+    #[inline]
+    pub fn is_mix(self) -> bool {
+        self.sites.is_some()
+    }
+
+    /// Number of sites a mix assigns; `None` for uniform handles (which
+    /// fit any platform).
+    pub fn site_count(self) -> Option<usize> {
+        self.sites.map(<[BatchPolicy]>::len)
+    }
+
+    /// The policy of cluster `site`: the mix element for mixes, `self`
+    /// otherwise.
+    ///
+    /// # Panics
+    /// Panics when `site` is out of range for a mix.
+    pub fn for_site(self, site: usize) -> BatchPolicy {
+        match self.sites {
+            Some(sites) => sites[site],
+            None => self,
+        }
+    }
+
+    /// Every registered policy, built-ins first, in registration order
+    /// (base entries only — parameterised instances and mixes are
+    /// reachable through expressions, not listed).
     pub fn all() -> Vec<BatchPolicy> {
         let mut out = BUILTINS.to_vec();
         out.extend(
@@ -154,11 +267,104 @@ impl BatchPolicy {
         out
     }
 
-    /// Look a policy up by name (case-insensitive).
+    /// Look a base policy up by name (case-insensitive). Bare names
+    /// only; use [`BatchPolicy::resolve_expr`] for parameterised forms.
     pub fn resolve(name: &str) -> Option<BatchPolicy> {
         Self::all()
             .into_iter()
             .find(|p| p.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Resolve a policy expression (`EASY`, `easy()`,
+    /// `EASY(protected=4)`) to a handle.
+    ///
+    /// Arguments are validated against the entry's declared
+    /// [`params`](LocalScheduler::params) — unknown or ill-typed keys
+    /// error with the accepted list — and canonicalised: an expression
+    /// whose arguments all equal their defaults resolves to the base
+    /// handle itself, anything else to an interned configured instance.
+    pub fn resolve_expr(input: &str) -> Result<BatchPolicy, String> {
+        grid_ser::expr::resolve_configured(
+            input,
+            Self::resolve,
+            |name| {
+                format!(
+                    "unknown batch policy `{name}` (registered: {})",
+                    Self::all()
+                        .iter()
+                        .map(|p| p.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            },
+            |p| p.key,
+            |p| p.sched.params(),
+            |key, bound, base| {
+                let mut interned = CONFIGURED
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if let Some(hit) = interned.iter().find(|p| p.key == key) {
+                    return Ok(*hit);
+                }
+                let policy = BatchPolicy {
+                    sched: Box::leak(base.sched.with_params(&bound)?),
+                    key: String::leak(key),
+                    sites: None,
+                };
+                interned.push(policy);
+                Ok(policy)
+            },
+        )
+    }
+
+    /// Resolve a per-site assignment: one policy expression per cluster,
+    /// joined with `+` (`FCFS+CBF+CBF`), in platform site order. A
+    /// single expression resolves like [`BatchPolicy::resolve_expr`]; a
+    /// uniform assignment (`CBF+CBF+CBF`) collapses to the plain handle,
+    /// so the homogeneous spelling stays canonical.
+    pub fn resolve_assignment(input: &str) -> Result<BatchPolicy, String> {
+        let parts = split_sites(input);
+        if parts.iter().any(|p| p.trim().is_empty()) {
+            return Err(format!("`{input}`: empty policy between `+` separators"));
+        }
+        let handles = parts
+            .iter()
+            .map(|p| Self::resolve_expr(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        if handles.len() == 1 || handles.iter().all(|h| *h == handles[0]) {
+            return Ok(handles[0]);
+        }
+        Ok(Self::mix(&handles))
+    }
+
+    /// Intern a per-site mix of (non-mix) policies.
+    ///
+    /// Unlike [`BatchPolicy::resolve_assignment`], a uniform list is
+    /// *not* collapsed — `mix(&[CBF; 3])` keys as `CBF+CBF+CBF` — which
+    /// is what the heterogeneous-grid equivalence tests exercise.
+    ///
+    /// # Panics
+    /// Panics on an empty list or nested mixes.
+    pub fn mix(sites: &[BatchPolicy]) -> BatchPolicy {
+        assert!(!sites.is_empty(), "a policy mix needs at least one site");
+        assert!(
+            sites.iter().all(|s| !s.is_mix()),
+            "policy mixes cannot nest"
+        );
+        let key = sites.iter().map(|s| s.name()).collect::<Vec<_>>().join("+");
+        let mut interned = MIXES
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(hit) = interned.iter().find(|p| p.key == key) {
+            return *hit;
+        }
+        let policy = BatchPolicy {
+            sched: sites[0].sched,
+            key: String::leak(key),
+            sites: Some(Vec::leak(sites.to_vec())),
+        };
+        interned.push(policy);
+        policy
     }
 
     /// Register a scheduler implementation and return its handle.
@@ -181,10 +387,35 @@ impl BatchPolicy {
             "batch policy `{}` is already registered",
             scheduler.name()
         );
-        let policy = BatchPolicy(scheduler);
+        let policy = BatchPolicy {
+            sched: scheduler,
+            key: scheduler.name(),
+            sites: None,
+        };
         extras.push(policy);
         policy
     }
+}
+
+/// Split a per-site assignment on `+` outside parentheses, so
+/// expression arguments stay intact (`EASY(protected=2)+FCFS`).
+fn split_sites(input: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in input.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            '+' if depth == 0 => {
+                parts.push(&input[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&input[start..]);
+    parts
 }
 
 impl std::fmt::Debug for BatchPolicy {
@@ -310,9 +541,20 @@ impl LocalScheduler for CbfScheduler {
     }
 }
 
-/// EASY (aggressive) back-filling: only the head is protected.
+/// EASY (aggressive) back-filling: the first `protected` queued jobs
+/// hold protected reservations (classic EASY: only the head).
 #[derive(Debug)]
-pub struct EasyScheduler;
+pub struct EasyScheduler {
+    /// Number of queue-head jobs whose reservations back-fills may not
+    /// delay. 1 is Lifka's EASY; larger values interpolate towards
+    /// conservative back-filling; 0 is fully aggressive.
+    protected: usize,
+}
+
+impl EasyScheduler {
+    /// Classic EASY: only the queue head is protected.
+    pub const CLASSIC: EasyScheduler = EasyScheduler { protected: 1 };
+}
 
 impl LocalScheduler for EasyScheduler {
     fn name(&self) -> &'static str {
@@ -322,6 +564,24 @@ impl LocalScheduler for EasyScheduler {
     // Aggressive back-filling re-examines the whole queue on every
     // change; the conservative (default-off) fast paths stay off.
 
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![ParamSpec::int(
+            "protected",
+            Some(1),
+            "queue-head reservations back-fills may not delay",
+        )]
+    }
+
+    fn with_params(&self, args: &BoundArgs) -> Result<Box<dyn LocalScheduler>, String> {
+        let protected = args.i64("protected").expect("declared with a default");
+        if protected < 0 {
+            return Err(format!("`EASY` needs protected >= 0, got {protected}"));
+        }
+        Ok(Box::new(EasyScheduler {
+            protected: protected as usize,
+        }))
+    }
+
     fn tail_floor(&self, _queue: &[Queued], now: SimTime) -> SimTime {
         // Conservative estimate for dry runs; the aggressive "may start
         // right now" case is handled by the full recompute in `submit`.
@@ -329,17 +589,17 @@ impl LocalScheduler for EasyScheduler {
     }
 
     fn schedule(&self, profile: &mut Profile, queue: &mut [Queued], _from: usize, now: SimTime) {
-        // Head holds the only protected reservation.
+        // The protected head segment is placed in queue order, like CBF.
         let mut pending: Vec<usize> = Vec::new();
         for (i, q) in queue.iter_mut().enumerate() {
-            if i == 0 {
+            if i < self.protected {
                 let start = profile.earliest_fit(now, q.scaled.procs, q.scaled.walltime);
                 profile.reserve(start, q.scaled.walltime, q.scaled.procs);
                 q.reserved_start = start;
                 continue;
             }
             // Aggressive phase: start immediately if that does not delay
-            // the head (whose reservation is already carved into the
+            // any protected reservation (already carved into the
             // profile) or any already-admitted backfill.
             if profile.min_free(now, q.scaled.walltime) >= q.scaled.procs {
                 profile.reserve(now, q.scaled.walltime, q.scaled.procs);
@@ -409,6 +669,157 @@ mod tests {
         let handle = BatchPolicy::register(&Custom);
         assert_eq!(BatchPolicy::resolve("test-custom"), Some(handle));
         assert!(BatchPolicy::all().contains(&handle));
+    }
+
+    #[test]
+    fn builtin_keys_match_scheduler_names() {
+        for p in &BUILTINS {
+            assert_eq!(p.key, p.sched.name(), "const key drifted for {}", p.key);
+            assert!(!p.is_mix());
+        }
+    }
+
+    #[test]
+    fn expressions_canonicalise_to_base_handles() {
+        for spelled in ["EASY", "easy", "EASY()", "EASY(protected=1)", " easy( ) "] {
+            assert_eq!(
+                BatchPolicy::resolve_expr(spelled).unwrap(),
+                BatchPolicy::Easy,
+                "{spelled}"
+            );
+        }
+        assert_eq!(
+            BatchPolicy::resolve_expr("fcfs()").unwrap(),
+            BatchPolicy::Fcfs
+        );
+        assert_eq!(BatchPolicy::resolve_expr("EASY").unwrap().name(), "EASY");
+    }
+
+    #[test]
+    fn parameterised_expressions_intern_one_instance() {
+        let a = BatchPolicy::resolve_expr("EASY(protected=4)").unwrap();
+        let b = BatchPolicy::resolve_expr("easy( protected = 4 )").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "EASY(protected=4)");
+        assert!(std::ptr::eq(a.name(), b.name()), "interned, not re-leaked");
+        assert_ne!(a, BatchPolicy::Easy);
+        assert_eq!(a.scheduler().name(), "EASY", "entry name is unchanged");
+        assert_eq!(a.to_string(), "EASY(protected=4)");
+    }
+
+    #[test]
+    fn expression_errors_list_registry_and_params() {
+        let err = BatchPolicy::resolve_expr("nope(x=1)").unwrap_err();
+        assert!(err.contains("unknown batch policy `nope`"), "{err}");
+        assert!(err.contains("FCFS, CBF, EASY, EASY-SJF"), "{err}");
+        let err = BatchPolicy::resolve_expr("EASY(depth=2)").unwrap_err();
+        assert!(err.contains("unknown parameter `depth`"), "{err}");
+        assert!(err.contains("protected: int = 1"), "{err}");
+        let err = BatchPolicy::resolve_expr("EASY(protected=soon)").unwrap_err();
+        assert!(err.contains("expects int"), "{err}");
+        let err = BatchPolicy::resolve_expr("FCFS(x=1)").unwrap_err();
+        assert!(err.contains("`FCFS` takes no parameters"), "{err}");
+        let err = BatchPolicy::resolve_expr("EASY(protected=-1)").unwrap_err();
+        assert!(err.contains("protected >= 0"), "{err}");
+    }
+
+    #[test]
+    fn protected_depth_shields_more_reservations() {
+        use crate::cluster::Cluster;
+        use crate::job::{JobId, JobSpec};
+        use crate::platform::ClusterSpec;
+        // 8 procs; running job holds 2 until t=1000. Queue: H (8 procs),
+        // A (5 procs, wt 300), B (4 procs, wt 450). Classic EASY lets B
+        // start now and push A back; EASY(protected=2) shields A too.
+        let build = |policy: BatchPolicy| {
+            let mut c = Cluster::new(ClusterSpec::new("t", 8, 1.0), policy);
+            c.submit(JobSpec::new(100, 0, 2, 1000, 1000), SimTime(0))
+                .unwrap();
+            c.submit(JobSpec::new(101, 0, 2, 200, 200), SimTime(0))
+                .unwrap();
+            c.start_due(SimTime(0));
+            c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0))
+                .unwrap();
+            c.submit(JobSpec::new(2, 0, 5, 300, 300), SimTime(0))
+                .unwrap();
+            c.submit(JobSpec::new(3, 0, 4, 450, 450), SimTime(0))
+                .unwrap();
+            c
+        };
+        let res = |c: &Cluster, id: u64| {
+            c.waiting_jobs()
+                .find(|q| q.job.id == JobId(id))
+                .map(|q| q.reserved_start)
+                .unwrap()
+        };
+        let classic = build(BatchPolicy::Easy);
+        let deep = build(BatchPolicy::resolve_expr("EASY(protected=2)").unwrap());
+        // Classic: B back-fills at t=0, A pushed to 450.
+        assert_eq!(res(&classic, 3), SimTime(0));
+        assert_eq!(res(&classic, 2), SimTime(450));
+        // protected=2: A's reservation at 200 is protected, so B may not
+        // delay it and waits until A's window ends.
+        assert_eq!(res(&deep, 2), SimTime(200));
+        assert!(
+            res(&deep, 3) >= SimTime(500),
+            "B delayed: {:?}",
+            res(&deep, 3)
+        );
+    }
+
+    #[test]
+    fn assignments_resolve_split_and_collapse() {
+        let mixed = BatchPolicy::resolve_assignment("FCFS+CBF+CBF").unwrap();
+        assert!(mixed.is_mix());
+        assert_eq!(mixed.name(), "FCFS+CBF+CBF");
+        assert_eq!(mixed.site_count(), Some(3));
+        assert_eq!(mixed.for_site(0), BatchPolicy::Fcfs);
+        assert_eq!(mixed.for_site(1), BatchPolicy::Cbf);
+        assert_eq!(mixed.for_site(2), BatchPolicy::Cbf);
+        // Interned: same assignment, same handle.
+        assert_eq!(
+            BatchPolicy::resolve_assignment("fcfs+cbf+CBF").unwrap(),
+            mixed
+        );
+        // A uniform assignment collapses to the plain handle.
+        assert_eq!(
+            BatchPolicy::resolve_assignment("CBF+CBF+CBF").unwrap(),
+            BatchPolicy::Cbf
+        );
+        // Parameterised elements keep their arguments intact.
+        let with_params = BatchPolicy::resolve_assignment("EASY(protected=2)+FCFS").unwrap();
+        assert_eq!(with_params.name(), "EASY(protected=2)+FCFS");
+        assert_eq!(
+            with_params.for_site(0),
+            BatchPolicy::resolve_expr("EASY(protected=2)").unwrap()
+        );
+        // Errors propagate with context.
+        assert!(BatchPolicy::resolve_assignment("FCFS++CBF")
+            .unwrap_err()
+            .contains("empty policy"));
+        assert!(BatchPolicy::resolve_assignment("FCFS+nope")
+            .unwrap_err()
+            .contains("unknown batch policy"));
+    }
+
+    #[test]
+    fn uniform_handles_fit_any_site() {
+        assert_eq!(BatchPolicy::Fcfs.site_count(), None);
+        assert_eq!(BatchPolicy::Fcfs.for_site(7), BatchPolicy::Fcfs);
+    }
+
+    #[test]
+    #[should_panic(expected = "no single scheduler")]
+    fn mix_handles_refuse_single_scheduler_access() {
+        let mixed = BatchPolicy::mix(&[BatchPolicy::Fcfs, BatchPolicy::Cbf]);
+        let _ = mixed.scheduler();
+    }
+
+    #[test]
+    fn uniform_mix_keys_do_not_collapse_via_mix() {
+        let m = BatchPolicy::mix(&[BatchPolicy::Cbf, BatchPolicy::Cbf]);
+        assert_eq!(m.name(), "CBF+CBF");
+        assert_ne!(m, BatchPolicy::Cbf);
     }
 
     #[test]

@@ -132,11 +132,29 @@ pub fn aggregate(
 pub struct MeanCi {
     /// Sample mean.
     pub mean: f64,
-    /// Half-width of the 95% confidence interval (normal approximation,
-    /// `1.96 · s/√n`; zero for a single sample).
+    /// Half-width of the 95% confidence interval
+    /// (`t(0.975, n−1) · s/√n`, Student-t so the handful-of-seeds
+    /// campaigns specs actually run get honest intervals; zero for a
+    /// single sample).
     pub ci95: f64,
     /// Number of seeds the cell was observed under.
     pub n: usize,
+}
+
+/// Two-sided 97.5% Student-t quantile for `df` degrees of freedom.
+/// Specs list a handful of seeds, where the normal approximation's 1.96
+/// would understate the interval by up to 2.2× (df = 2); beyond the
+/// table the quantile is within 2% of the normal limit.
+fn t_975(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::NAN,
+        _ => TABLE.get(df - 1).copied().unwrap_or(1.96),
+    }
 }
 
 /// Mean/CI of a sample (sample standard deviation, n−1 denominator).
@@ -156,7 +174,7 @@ pub fn mean_ci(values: &[f64]) -> MeanCi {
     let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
     MeanCi {
         mean,
-        ci95: 1.96 * (var / n as f64).sqrt(),
+        ci95: t_975(n - 1) * (var / n as f64).sqrt(),
         n,
     }
 }
@@ -269,8 +287,9 @@ impl CampaignResults {
                 k.policy == policy && k.heuristic == heuristic && k.algorithm == algorithm
             })
         };
-        for policy in BatchPolicy::all() {
-            for heuristic in Heuristic::all() {
+        let cell_keys = || agg.cells.keys().map(|(k, _)| k);
+        for policy in grid_realloc::experiments::ordered_policies(cell_keys()) {
+            for heuristic in grid_realloc::experiments::ordered_heuristics(cell_keys()) {
                 if !has_row(policy, heuristic) {
                     continue;
                 }
@@ -372,6 +391,11 @@ impl CampaignResults {
     }
 
     /// Flat CSV export: one row per comparison cell.
+    ///
+    /// Policy-expression fields may contain commas
+    /// (`load-threshold(factor=1.5, floor_s=30)`); such fields are
+    /// CSV-quoted. Bare names are emitted unquoted, byte-identical to
+    /// the pre-expression exports.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "scenario,platform,policy,algorithm,heuristic,period_s,threshold_s,seed,\
@@ -393,9 +417,9 @@ impl CampaignResults {
                     "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                     key.scenario.label(),
                     if group.heterogeneous { "het" } else { "hom" },
-                    key.policy,
-                    key.algorithm,
-                    key.heuristic.label(),
+                    csv_field(key.policy.name()),
+                    csv_field(key.algorithm.name()),
+                    csv_field(key.heuristic.label()),
                     group.period_s,
                     group.threshold_s,
                     group.seed,
@@ -491,6 +515,16 @@ impl CampaignResults {
     }
 }
 
+/// Quote a CSV field if it contains a delimiter or quote (RFC 4180);
+/// bare policy names pass through untouched.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 /// Convenience used by tests and the facade: aggregate into the two
 /// classic suite-result objects when the campaign has exactly the
 /// paper's (hom, het) group structure.
@@ -575,6 +609,47 @@ mod tests {
     }
 
     #[test]
+    fn csv_fields_with_commas_are_quoted() {
+        assert_eq!(csv_field("FCFS"), "FCFS");
+        assert_eq!(csv_field("FCFS+CBF+CBF"), "FCFS+CBF+CBF");
+        assert_eq!(
+            csv_field("load-threshold(factor=1.5)"),
+            "load-threshold(factor=1.5)"
+        );
+        // A two-argument canonical expression carries a comma: quoted.
+        assert_eq!(
+            csv_field("load-threshold(factor=1.5, floor_s=30)"),
+            "\"load-threshold(factor=1.5, floor_s=30)\""
+        );
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+    }
+
+    /// A two-argument expression flows through the whole aggregation
+    /// pipeline with intact (quoted) CSV rows.
+    #[test]
+    fn two_arg_expressions_survive_csv_export() {
+        let mut spec = mini_spec();
+        spec.heterogeneity = vec![false];
+        spec.heuristics = vec![Heuristic::Mct];
+        spec.algorithms = vec![grid_realloc::ReallocAlgorithm::resolve_expr(
+            "load-threshold(factor=1.5, floor_s=30)",
+        )
+        .unwrap()];
+        let plan = spec.expand();
+        let (outcomes, summary) = execute(&plan.units, None, &ExecOptions::default());
+        assert!(summary.failures.is_empty());
+        let results = aggregate(&spec, &plan, &outcomes).unwrap();
+        let csv = results.to_csv();
+        let row = csv.lines().nth(1).expect("one cell row");
+        assert!(
+            row.contains("\"load-threshold(factor=1.5, floor_s=30)\""),
+            "{row}"
+        );
+        // Field count is stable when the quoted comma is accounted for.
+        assert_eq!(row.split(',').count(), 17, "16 fields + 1 quoted comma");
+    }
+
+    #[test]
     fn mean_ci_basics() {
         let single = mean_ci(&[3.0]);
         assert_eq!(single.mean, 3.0);
@@ -582,8 +657,14 @@ mod tests {
         assert_eq!(single.n, 1);
         let s = mean_ci(&[1.0, 2.0, 3.0]);
         assert!((s.mean - 2.0).abs() < 1e-12);
-        // s = 1, 1.96/sqrt(3) ≈ 1.1316.
-        assert!((s.ci95 - 1.96 / 3.0_f64.sqrt()).abs() < 1e-9);
+        // s = 1, t(0.975, df=2) = 4.303: 4.303/sqrt(3) ≈ 2.4843 — the
+        // honest small-sample interval, not the normal 1.96.
+        assert!((s.ci95 - 4.303 / 3.0_f64.sqrt()).abs() < 1e-9);
+        // Large samples converge to the normal quantile.
+        let wide: Vec<f64> = (0..60).map(|i| f64::from(i % 7)).collect();
+        let w = mean_ci(&wide);
+        let var = wide.iter().map(|v| (v - w.mean).powi(2)).sum::<f64>() / 59.0;
+        assert!((w.ci95 - 1.96 * (var / 60.0).sqrt()).abs() < 1e-9);
         assert!(mean_ci(&[]).mean.is_nan());
     }
 

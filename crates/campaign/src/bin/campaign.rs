@@ -166,6 +166,34 @@ fn cmd_plan(opts: &CommonArgs) -> Result<(), String> {
         spec.seeds.len(),
         spec.fraction,
     );
+    // Fully canonicalised axis values: `load-threshold`,
+    // `load-threshold()` and `load-threshold(factor=2)` all print — and
+    // hash into cache keys — identically.
+    fn axis<T: std::fmt::Display>(name: &str, items: &[T]) {
+        println!(
+            "  {name}: {}",
+            items
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    axis(
+        "scenarios ",
+        &spec.scenarios.iter().map(|s| s.label()).collect::<Vec<_>>(),
+    );
+    axis(
+        "platforms ",
+        &spec
+            .heterogeneity
+            .iter()
+            .map(|&h| if h { "heterogeneous" } else { "homogeneous" })
+            .collect::<Vec<_>>(),
+    );
+    axis("policies  ", &spec.policies);
+    axis("algorithms", &spec.algorithms);
+    axis("heuristics", &spec.heuristics);
     println!(
         "total runs: {} ({} reference + {} reallocation)",
         plan.len(),

@@ -161,6 +161,26 @@ impl CampaignSpec {
         check("periods_s", &self.periods_s)?;
         check("thresholds_s", &self.thresholds_s)?;
         check("seeds", &self.seeds)?;
+        // A per-site policy mix must assign exactly one policy per
+        // cluster of every platform it will run on; catching it here
+        // turns a mid-campaign run failure into a load-time spec error.
+        for policy in &self.policies {
+            let Some(sites) = policy.site_count() else {
+                continue;
+            };
+            for &scenario in &self.scenarios {
+                for &het in &self.heterogeneity {
+                    let clusters = grid_realloc::experiments::platform_for(scenario, het).len();
+                    if sites != clusters {
+                        return Err(SerError::new(format!(
+                            "policy mix `{policy}` assigns {sites} sites but scenario \
+                             `{}`'s platform has {clusters} clusters",
+                            scenario.label()
+                        )));
+                    }
+                }
+            }
+        }
         if !(self.fraction > 0.0 && self.fraction <= 1.0) {
             return Err(SerError::new(format!(
                 "`fraction` must be in (0, 1], got {}",
@@ -359,43 +379,23 @@ fn parse_flavour(s: &str) -> Result<bool, SerError> {
     }
 }
 
+/// Policies are full expressions, optionally per-site assignments:
+/// `FCFS`, `EASY(protected=4)`, `FCFS+CBF+CBF`. Canonicalisation in the
+/// registry makes `FCFS`, `fcfs()` and `CBF+CBF+CBF`→`CBF` identical
+/// handles, so spelling variants collide in the duplicate check instead
+/// of silently double-counting runs.
 fn parse_policy(s: &str) -> Result<BatchPolicy, SerError> {
-    BatchPolicy::resolve(s).ok_or_else(|| {
-        SerError::new(format!(
-            "unknown batch policy `{s}` (registered: {})",
-            BatchPolicy::all()
-                .iter()
-                .map(|p| p.name())
-                .collect::<Vec<_>>()
-                .join(", ")
-        ))
-    })
+    BatchPolicy::resolve_assignment(s).map_err(SerError::new)
 }
 
+/// Algorithms are expressions too: `load-threshold(factor=1.5)` sweeps
+/// Savvas & Kechadi's imbalance factor from the spec file.
 fn parse_algorithm(s: &str) -> Result<ReallocAlgorithm, SerError> {
-    ReallocAlgorithm::resolve(s).ok_or_else(|| {
-        SerError::new(format!(
-            "unknown algorithm `{s}` (registered: {})",
-            ReallocAlgorithm::all()
-                .iter()
-                .map(|a| a.name())
-                .collect::<Vec<_>>()
-                .join(", ")
-        ))
-    })
+    ReallocAlgorithm::resolve_expr(s).map_err(SerError::new)
 }
 
 fn parse_heuristic(s: &str) -> Result<Heuristic, SerError> {
-    Heuristic::resolve(s).ok_or_else(|| {
-        SerError::new(format!(
-            "unknown heuristic `{s}` (registered: {})",
-            Heuristic::all()
-                .iter()
-                .map(|h| h.label())
-                .collect::<Vec<_>>()
-                .join(", ")
-        ))
-    })
+    Heuristic::resolve_expr(s).map_err(SerError::new)
 }
 
 #[cfg(test)]
@@ -511,6 +511,75 @@ algorithms = ["load-threshold"]
         // Error messages list the live registry.
         let err = CampaignSpec::from_toml_str("[matrix]\npolicies = [\"nope\"]").unwrap_err();
         assert!(err.to_string().contains("EASY-SJF"), "{err}");
+    }
+
+    #[test]
+    fn expression_axes_canonicalise_and_sweep() {
+        // Spelling variants of the default all parse to the same spec.
+        let canonical = CampaignSpec::from_toml_str(
+            "[matrix]\nalgorithms = [\"load-threshold\"]\npolicies = [\"FCFS\"]",
+        )
+        .unwrap();
+        for spelled in [
+            "load-threshold()",
+            "load-threshold(factor=2)",
+            "Load-Threshold",
+        ] {
+            let spec = CampaignSpec::from_toml_str(&format!(
+                "[matrix]\nalgorithms = [\"{spelled}\"]\npolicies = [\"FCFS\"]"
+            ))
+            .unwrap();
+            assert_eq!(spec.algorithms, canonical.algorithms, "{spelled}");
+        }
+        // A parameter sweep is two distinct axis entries.
+        let sweep = CampaignSpec::from_toml_str(
+            r#"
+[matrix]
+algorithms = ["load-threshold(factor=1.5)", "load-threshold(factor=3)"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(sweep.algorithms.len(), 2);
+        assert_ne!(sweep.algorithms[0], sweep.algorithms[1]);
+        assert_eq!(sweep.algorithms[0].name(), "load-threshold(factor=1.5)");
+        assert_eq!(sweep.algorithms[1].name(), "load-threshold(factor=3)");
+        // Spelling variants of one configuration are duplicates.
+        let err = CampaignSpec::from_toml_str(
+            "[matrix]\nalgorithms = [\"load-threshold\", \"load-threshold(factor=2)\"]",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("twice"), "{err}");
+        // Ill-typed arguments surface the accepted parameter list.
+        let err =
+            CampaignSpec::from_toml_str("[matrix]\nalgorithms = [\"load-threshold(factor=soon)\"]")
+                .unwrap_err();
+        assert!(err.to_string().contains("factor: float = 2"), "{err}");
+    }
+
+    #[test]
+    fn per_site_policy_mixes_parse_and_validate() {
+        let spec = CampaignSpec::from_toml_str(
+            r#"
+[matrix]
+scenarios = ["jun"]
+policies = ["FCFS", "FCFS+CBF+CBF"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(spec.policies.len(), 2);
+        assert!(spec.policies[1].is_mix());
+        assert_eq!(spec.policies[1].name(), "FCFS+CBF+CBF");
+        // A uniform assignment collapses to the plain policy — and then
+        // collides with it in the duplicate check.
+        let err = CampaignSpec::from_toml_str("[matrix]\npolicies = [\"CBF\", \"CBF+CBF+CBF\"]")
+            .unwrap_err();
+        assert!(err.to_string().contains("twice"), "{err}");
+        // Wrong arity for the paper's three-site platforms.
+        let err = CampaignSpec::from_toml_str("[matrix]\npolicies = [\"FCFS+CBF\"]").unwrap_err();
+        assert!(
+            err.to_string().contains("2 sites") && err.to_string().contains("3 clusters"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -241,6 +241,111 @@ fn extended_policy_spec_runs_end_to_end() {
     assert_eq!(resumed.cached, plan.len());
 }
 
+/// Cache keys of default-expression units, pinned to the values the
+/// engine produced before the policy-expression refactor: expression
+/// canonicalisation must not perturb descriptors, or every existing
+/// cache directory would silently recompute from scratch.
+#[test]
+fn default_expression_cache_keys_are_pinned() {
+    let mut spec = CampaignSpec::paper();
+    spec.fraction = 0.01;
+    let plan = spec.expand();
+    let pinned = [
+        (
+            "87d001711d9230fe17e62d641663ab6c",
+            "jan/hom/FCFS/reference/s42",
+        ),
+        (
+            "0b0971410fb995bbc8a895f4afbc04e6",
+            "jan/hom/CBF/reference/s42",
+        ),
+        (
+            "93258ef359ae625d80ee1728f471371e",
+            "jan/hom/FCFS/no-cancel/Mct/p3600/t60/s42",
+        ),
+        (
+            "6599a2f33e516975dea96af2b9fe9f3c",
+            "jan/hom/FCFS/no-cancel/MinMin/p3600/t60/s42",
+        ),
+        (
+            "69e0e0fe6934e3acea55581680139e50",
+            "pwa-g5k/het/CBF/cancel-all/Sufferage/p3600/t60/s42",
+        ),
+    ];
+    for (key, label) in pinned {
+        let unit = plan
+            .units
+            .iter()
+            .find(|u| u.label() == label)
+            .unwrap_or_else(|| panic!("no unit labelled {label}"));
+        assert_eq!(
+            ResultCache::key(unit),
+            key,
+            "cache key drifted for {label} — existing caches would miss"
+        );
+    }
+}
+
+/// The heterogeneous/parameterised example campaign runs end to end:
+/// mixed FCFS/CBF sites and a load-threshold factor sweep, with every
+/// cell distinguishable in the report keys.
+#[test]
+fn heterogeneous_grid_spec_runs_end_to_end() {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/heterogeneous_grid.toml");
+    let mut spec = CampaignSpec::load(&path).expect("heterogeneous spec parses");
+    assert!(
+        spec.policies.iter().any(|p| p.is_mix()),
+        "example must mix at least two batch policies across clusters"
+    );
+    assert!(
+        spec.algorithms.iter().any(|a| a.name().contains("factor=")),
+        "example must sweep a numeric policy parameter"
+    );
+    // Shrink for test speed: one scenario.
+    spec.scenarios = vec![Scenario::Jun];
+    let plan = spec.expand();
+    // 3 policies -> 3 refs; × 3 algorithms × 2 heuristics -> 18 realloc.
+    assert_eq!(plan.reference_count(), 3);
+    assert_eq!(plan.realloc_count(), 18);
+    let (outcomes, summary) = execute(&plan.units, None, &ExecOptions::default());
+    assert!(summary.failures.is_empty(), "{:?}", summary.failures);
+    let results = aggregate(&spec, &plan, &outcomes).expect("complete campaign");
+
+    let csv = results.to_csv();
+    assert_eq!(csv.lines().count(), 1 + 18);
+    // Per-cell keys: the mix policy and each sweep point are their own
+    // rows, never merged with the uniform/default cells.
+    for needle in [
+        "FCFS+CBF+CBF",
+        "load-threshold(factor=1.5)",
+        "load-threshold(factor=3)",
+    ] {
+        assert!(csv.contains(needle), "CSV must key cells by `{needle}`");
+    }
+    let factor_rows = |f: &str| {
+        csv.lines()
+            .filter(|l| l.contains(&format!("load-threshold(factor={f})")))
+            .count()
+    };
+    assert_eq!(factor_rows("1.5"), 6, "3 policies × 2 heuristics");
+    assert_eq!(factor_rows("3"), 6);
+
+    let tables = results.render_tables();
+    assert!(
+        tables.contains("[load-threshold(factor=1.5)]"),
+        "sweep points get their own table sets:\n{tables}"
+    );
+    assert!(
+        tables.contains("FCFS+CBF+CBF"),
+        "mix rows render under their canonical expression"
+    );
+    // JSON keeps the same keys.
+    let json = results.to_json().encode();
+    assert!(json.contains("FCFS+CBF+CBF"));
+    assert!(json.contains("load-threshold(factor=3)"));
+}
+
 #[test]
 fn report_fails_cleanly_on_incomplete_cache() {
     let spec = tiny_spec();

@@ -247,6 +247,51 @@ pub fn run_suite(heterogeneous: bool, scenarios: &[Scenario], suite: &SuiteConfi
     }
 }
 
+/// Row-group (policy) rendering order: registered policies in registry
+/// order first, then expression-only handles (parameterised variants,
+/// per-site mixes — which `BatchPolicy::all()` does not list) in
+/// canonical-name order. Deduplicated, deterministic.
+pub fn ordered_policies<'a>(keys: impl IntoIterator<Item = &'a ExperimentKey>) -> Vec<BatchPolicy> {
+    let mut present: Vec<BatchPolicy> = Vec::new();
+    for k in keys {
+        if !present.contains(&k.policy) {
+            present.push(k.policy);
+        }
+    }
+    let registry = BatchPolicy::all();
+    present.sort_by_key(|p| {
+        (
+            registry
+                .iter()
+                .position(|r| r == p)
+                .unwrap_or(registry.len()),
+            p.name(),
+        )
+    });
+    present
+}
+
+/// Row (heuristic) rendering order, analogous to [`ordered_policies`].
+pub fn ordered_heuristics<'a>(keys: impl IntoIterator<Item = &'a ExperimentKey>) -> Vec<Heuristic> {
+    let mut present: Vec<Heuristic> = Vec::new();
+    for k in keys {
+        if !present.contains(&k.heuristic) {
+            present.push(k.heuristic);
+        }
+    }
+    let registry = Heuristic::all();
+    present.sort_by_key(|h| {
+        (
+            registry
+                .iter()
+                .position(|r| r == h)
+                .unwrap_or(registry.len()),
+            h.label(),
+        )
+    });
+    present
+}
+
 impl SuiteResults {
     /// Build the paper table for `(algorithm, metric)` from these results.
     pub fn table(
@@ -276,16 +321,17 @@ impl SuiteResults {
         let mut table =
             PaperTable::new(title, columns, metric.has_avg()).decimals(metric.decimals());
         // Render only the (policy, heuristic) rows the results actually
-        // cover — campaigns may restrict either axis (or use registry
-        // policies the paper's tables don't list) — in registry order,
-        // which puts the paper's rows in canonical paper order first.
+        // cover — campaigns may restrict either axis, use registry
+        // policies the paper's tables don't list, or use expression-only
+        // handles (parameterised variants, per-site mixes) no registry
+        // enumerates — registered entries first in registry order.
         let has_row = |policy: BatchPolicy, heuristic: Heuristic| {
             self.comparisons
                 .keys()
                 .any(|k| k.policy == policy && k.heuristic == heuristic && k.algorithm == algorithm)
         };
-        for policy in BatchPolicy::all() {
-            for heuristic in Heuristic::all() {
+        for policy in ordered_policies(self.comparisons.keys()) {
+            for heuristic in ordered_heuristics(self.comparisons.keys()) {
                 if !has_row(policy, heuristic) {
                     continue;
                 }

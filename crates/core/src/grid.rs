@@ -25,9 +25,14 @@ use crate::realloc::{self, ReallocConfig};
 pub struct GridConfig {
     /// The clusters.
     pub platform: Platform,
-    /// Local batch policy, identical on every cluster ("for a single
-    /// experiment, each cluster uses the same batch algorithm", §4);
-    /// any registered [`grid_batch::LocalScheduler`].
+    /// Local batch policy: either one policy for every cluster (the
+    /// paper's "for a single experiment, each cluster uses the same
+    /// batch algorithm", §4) or a per-site mix handle
+    /// ([`BatchPolicy::mix`] / `FCFS+CBF+CBF` in specs) assigning one
+    /// registered [`grid_batch::LocalScheduler`] per cluster, in
+    /// platform site order. A mix must assign exactly
+    /// `platform.clusters.len()` sites ([`SimError::PolicySiteMismatch`]
+    /// otherwise).
     pub batch_policy: BatchPolicy,
     /// Initial mapping policy of the agent (paper: MCT).
     pub mapping: Mapping,
@@ -90,6 +95,14 @@ pub enum SimError {
     },
     /// Two jobs share an id.
     DuplicateJobId(JobId),
+    /// A per-site policy mix assigns a different number of sites than
+    /// the platform has clusters.
+    PolicySiteMismatch {
+        /// Sites the mix assigns.
+        sites: usize,
+        /// Clusters the platform has.
+        clusters: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -102,6 +115,10 @@ impl std::fmt::Display for SimError {
                 )
             }
             SimError::DuplicateJobId(id) => write!(f, "duplicate job id {id}"),
+            SimError::PolicySiteMismatch { sites, clusters } => write!(
+                f,
+                "policy mix assigns {sites} sites but the platform has {clusters} clusters"
+            ),
         }
     }
 }
@@ -142,21 +159,41 @@ pub struct GridSim {
     completed: usize,
     /// Earliest pending wake per cluster, to avoid flooding the queue.
     wake_armed: Vec<Option<SimTime>>,
+    /// A malformed configuration detected at construction (a policy mix
+    /// of the wrong arity); surfaced as the `run()` error.
+    config_error: Option<SimError>,
 }
 
 impl GridSim {
     /// Set up a simulation of `jobs` over `config`.
     pub fn new(config: GridConfig, jobs: Vec<JobSpec>) -> Self {
-        let clusters: Vec<Cluster> = config
-            .platform
-            .clusters
-            .iter()
-            .map(|spec| {
-                let mut c = Cluster::new(spec.clone(), config.batch_policy);
-                c.set_walltime_adjustment(config.walltime_adjustment);
-                c
-            })
-            .collect();
+        // A per-site policy mix must assign exactly one policy per
+        // cluster; the mismatch is reported from `run()` so campaign
+        // executors see an error, not a panic.
+        let config_error = match config.batch_policy.site_count() {
+            Some(sites) if sites != config.platform.clusters.len() => {
+                Some(SimError::PolicySiteMismatch {
+                    sites,
+                    clusters: config.platform.clusters.len(),
+                })
+            }
+            _ => None,
+        };
+        let clusters: Vec<Cluster> = if config_error.is_some() {
+            Vec::new()
+        } else {
+            config
+                .platform
+                .clusters
+                .iter()
+                .enumerate()
+                .map(|(site, spec)| {
+                    let mut c = Cluster::new(spec.clone(), config.batch_policy.for_site(site));
+                    c.set_walltime_adjustment(config.walltime_adjustment);
+                    c
+                })
+                .collect()
+        };
         let mapper = Mapper::new(config.mapping, config.seed);
         let n = clusters.len();
         GridSim {
@@ -169,11 +206,15 @@ impl GridSim {
             outcome: RunOutcome::default(),
             completed: 0,
             wake_armed: vec![None; n],
+            config_error,
         }
     }
 
     /// Run to completion and return the outcome.
     pub fn run(mut self) -> Result<RunOutcome, SimError> {
+        if let Some(e) = self.config_error.take() {
+            return Err(e);
+        }
         // Sanity: unique ids (comparisons key on them).
         {
             let mut seen = std::collections::HashSet::with_capacity(self.jobs.len());
@@ -513,6 +554,87 @@ mod tests {
                 assert_eq!(out.records.len(), n, "{policy} {realloc:?}");
             }
         }
+    }
+
+    /// A mixed-policy grid runs end to end, each cluster really runs its
+    /// own scheduler (the mix outcome diverges from both uniform grids),
+    /// and MCT's ECT probes see the per-site policies.
+    #[test]
+    fn mixed_policy_grid_schedules_per_site() {
+        let jobs = grid_workload::Scenario::Apr.generate_fraction(7, 0.01);
+        let run = |policy: BatchPolicy| {
+            simulate(
+                GridConfig::new(Platform::grid5000(false), policy),
+                jobs.clone(),
+            )
+            .unwrap()
+        };
+        let mixed = run(BatchPolicy::mix(&[
+            BatchPolicy::Fcfs,
+            BatchPolicy::Cbf,
+            BatchPolicy::Cbf,
+        ]));
+        let fcfs = run(BatchPolicy::Fcfs);
+        let cbf = run(BatchPolicy::Cbf);
+        assert_eq!(mixed.records.len(), jobs.len(), "all jobs complete");
+        assert_ne!(
+            mixed.records, fcfs.records,
+            "the CBF sites must change the schedule"
+        );
+        assert_ne!(
+            mixed.records, cbf.records,
+            "the FCFS site must change the schedule"
+        );
+        // Deterministic like every other configuration.
+        let again = run(BatchPolicy::mix(&[
+            BatchPolicy::Fcfs,
+            BatchPolicy::Cbf,
+            BatchPolicy::Cbf,
+        ]));
+        assert_eq!(mixed.records, again.records);
+    }
+
+    /// Reallocation works across a mixed-policy grid: ECT estimation and
+    /// migration treat each cluster under its own scheduler.
+    #[test]
+    fn mixed_policy_grid_reallocates() {
+        let jobs = grid_workload::Scenario::Apr.generate_fraction(7, 0.01);
+        let mix = BatchPolicy::mix(&[BatchPolicy::Fcfs, BatchPolicy::Cbf, BatchPolicy::Cbf]);
+        let out = simulate(
+            GridConfig::new(Platform::grid5000(true), mix).with_realloc(ReallocConfig::new(
+                ReallocAlgorithm::CancelAll,
+                Heuristic::MinMin,
+            )),
+            jobs.clone(),
+        )
+        .unwrap();
+        assert_eq!(out.records.len(), jobs.len());
+        assert!(out.total_reallocations > 0, "April is load-imbalanced");
+        assert_eq!(out.contract_violations, 0, "per-site ECTs stay honest");
+    }
+
+    #[test]
+    fn mismatched_policy_mix_is_a_sim_error() {
+        let mix = BatchPolicy::mix(&[BatchPolicy::Fcfs, BatchPolicy::Cbf, BatchPolicy::Cbf]);
+        let err = simulate(
+            GridConfig::new(
+                Platform::new(
+                    "two",
+                    vec![ClusterSpec::new("a", 4, 1.0), ClusterSpec::new("b", 4, 1.0)],
+                ),
+                mix,
+            ),
+            vec![JobSpec::new(0, 0, 1, 1, 1)],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::PolicySiteMismatch {
+                sites: 3,
+                clusters: 2
+            }
+        );
+        assert!(err.to_string().contains("3 sites"), "{err}");
     }
 
     #[test]

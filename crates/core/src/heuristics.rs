@@ -24,6 +24,8 @@
 
 use std::sync::Mutex;
 
+use grid_ser::expr::{BoundArgs, ParamSpec};
+
 use crate::ect::EctView;
 
 /// Job-selection order of a reallocation round.
@@ -47,26 +49,47 @@ pub trait OrderingHeuristic: std::fmt::Debug + Sync {
     /// Ties are broken towards the earliest-submitted remaining job (the
     /// job list is sorted by submission, and comparisons are strict).
     fn select(&self, view: &mut EctView<'_>) -> Option<usize>;
+
+    /// Parameters this entry accepts in policy expressions. Default:
+    /// none — the paper's six orderings are parameter-free.
+    fn params(&self) -> Vec<ParamSpec> {
+        Vec::new()
+    }
+
+    /// Build a configured instance from validated arguments. Called only
+    /// when at least one argument differs from its declared default.
+    fn with_params(&self, args: &BoundArgs) -> Result<Box<dyn OrderingHeuristic>, String> {
+        let _ = args;
+        Err(format!("`{}` takes no parameters", self.label()))
+    }
 }
 
 /// Copyable, comparable handle to a registered [`OrderingHeuristic`].
+///
+/// Identity (equality, hashing, display, table rows) is the canonical
+/// policy expression — the bare label for the paper's six
+/// parameter-free orderings ([`Heuristic::resolve_expr`]).
 #[derive(Clone, Copy)]
-pub struct Heuristic(&'static dyn OrderingHeuristic);
+pub struct Heuristic {
+    order: &'static dyn OrderingHeuristic,
+    /// Canonical expression — the handle's identity.
+    key: &'static str,
+}
 
 #[allow(non_upper_case_globals)] // mirror the historical enum variants
 impl Heuristic {
     /// Online: submission order.
-    pub const Mct: Heuristic = Heuristic(&MctOrder);
+    pub const Mct: Heuristic = Heuristic::base("Mct", &MctOrder);
     /// Offline: smallest best-ECT first.
-    pub const MinMin: Heuristic = Heuristic(&MinMinOrder);
+    pub const MinMin: Heuristic = Heuristic::base("MinMin", &MinMinOrder);
     /// Offline: largest best-ECT first.
-    pub const MaxMin: Heuristic = Heuristic(&MaxMinOrder);
+    pub const MaxMin: Heuristic = Heuristic::base("MaxMin", &MaxMinOrder);
     /// Offline: largest absolute reallocation gain first.
-    pub const MaxGain: Heuristic = Heuristic(&MaxGainOrder);
+    pub const MaxGain: Heuristic = Heuristic::base("MaxGain", &MaxGainOrder);
     /// Offline: largest per-processor gain first.
-    pub const MaxRelGain: Heuristic = Heuristic(&MaxRelGainOrder);
+    pub const MaxRelGain: Heuristic = Heuristic::base("MaxRelGain", &MaxRelGainOrder);
     /// Offline: largest sufferage (2nd-best − best ECT) first.
-    pub const Sufferage: Heuristic = Heuristic(&SufferageOrder);
+    pub const Sufferage: Heuristic = Heuristic::base("Sufferage", &SufferageOrder);
 
     /// All heuristics in the paper's table order.
     pub const ALL: [Heuristic; 6] = [
@@ -77,31 +100,41 @@ impl Heuristic {
         Heuristic::MaxRelGain,
         Heuristic::Sufferage,
     ];
+
+    /// A base (unparameterised) handle. `key` must equal
+    /// `order.label()`; a unit test pins this for every built-in.
+    const fn base(key: &'static str, order: &'static dyn OrderingHeuristic) -> Heuristic {
+        Heuristic { order, key }
+    }
 }
 
 /// Heuristics registered at runtime by downstream crates.
 static EXTRAS: Mutex<Vec<Heuristic>> = Mutex::new(Vec::new());
 
+/// Interned parameterised instances, one per canonical expression.
+static CONFIGURED: Mutex<Vec<Heuristic>> = Mutex::new(Vec::new());
+
 impl Heuristic {
-    /// Row label used in the paper's tables (without the `-C` suffix).
+    /// Row label used in the paper's tables (without the `-C` suffix):
+    /// the canonical expression.
     pub fn label(self) -> &'static str {
-        self.0.label()
+        self.key
     }
 
     /// `true` for the heuristics that must re-rank all remaining jobs at
     /// every step (everything but MCT).
     pub fn is_offline(self) -> bool {
-        self.0.is_offline()
+        self.order.is_offline()
     }
 
     /// Select the next job from the remaining ones (see
     /// [`OrderingHeuristic::select`]).
     pub fn select(self, view: &mut EctView<'_>) -> Option<usize> {
-        self.0.select(view)
+        self.order.select(view)
     }
 
     /// Every registered heuristic, the paper's six first, then runtime
-    /// registrations in registration order.
+    /// registrations in registration order (base entries only).
     pub fn all() -> Vec<Heuristic> {
         let mut out = Self::ALL.to_vec();
         out.extend(
@@ -113,11 +146,49 @@ impl Heuristic {
         out
     }
 
-    /// Look a heuristic up by label (case-insensitive).
+    /// Look a base heuristic up by label (case-insensitive). Bare labels
+    /// only; use [`Heuristic::resolve_expr`] for parameterised forms.
     pub fn resolve(name: &str) -> Option<Heuristic> {
         Self::all()
             .into_iter()
             .find(|h| h.label().eq_ignore_ascii_case(name))
+    }
+
+    /// Resolve a heuristic expression to a handle, validating arguments
+    /// against the entry's declared [`params`](OrderingHeuristic::params)
+    /// and canonicalising (default-valued arguments drop away; the
+    /// paper's six orderings accept none, so `MinMin()` is `MinMin`).
+    pub fn resolve_expr(input: &str) -> Result<Heuristic, String> {
+        grid_ser::expr::resolve_configured(
+            input,
+            Self::resolve,
+            |name| {
+                format!(
+                    "unknown heuristic `{name}` (registered: {})",
+                    Self::all()
+                        .iter()
+                        .map(|h| h.label())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            },
+            |h| h.key,
+            |h| h.order.params(),
+            |key, bound, base| {
+                let mut interned = CONFIGURED
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if let Some(hit) = interned.iter().find(|h| h.key == key) {
+                    return Ok(*hit);
+                }
+                let handle = Heuristic {
+                    order: Box::leak(base.order.with_params(&bound)?),
+                    key: String::leak(key),
+                };
+                interned.push(handle);
+                Ok(handle)
+            },
+        )
     }
 
     /// Register an ordering heuristic and return its handle.
@@ -139,7 +210,10 @@ impl Heuristic {
             "heuristic `{}` is already registered",
             heuristic.label()
         );
-        let handle = Heuristic(heuristic);
+        let handle = Heuristic {
+            order: heuristic,
+            key: heuristic.label(),
+        };
         extras.push(handle);
         handle
     }
@@ -521,6 +595,26 @@ mod tests {
         assert_eq!(Heuristic::resolve("SUFFERAGE"), Some(Heuristic::Sufferage));
         assert_eq!(Heuristic::resolve("nope"), None);
         assert_eq!(Heuristic::all()[..6], Heuristic::ALL);
+        for h in Heuristic::ALL {
+            assert_eq!(h.key, h.order.label(), "const key drifted for {}", h.key);
+        }
+    }
+
+    #[test]
+    fn expressions_resolve_and_reject_args() {
+        assert_eq!(
+            Heuristic::resolve_expr("MinMin()").unwrap(),
+            Heuristic::MinMin
+        );
+        assert_eq!(
+            Heuristic::resolve_expr("sufferage").unwrap(),
+            Heuristic::Sufferage
+        );
+        let err = Heuristic::resolve_expr("nope").unwrap_err();
+        assert!(err.contains("unknown heuristic"), "{err}");
+        assert!(err.contains("Mct, MinMin, MaxMin"), "{err}");
+        let err = Heuristic::resolve_expr("MinMin(k=2)").unwrap_err();
+        assert!(err.contains("takes no parameters"), "{err}");
     }
 
     #[test]

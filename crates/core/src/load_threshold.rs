@@ -15,29 +15,42 @@
 //! event fires when
 //!
 //! ```text
-//! max_load ≥ 2 × min_load + threshold
+//! max_load ≥ factor × min_load + floor
 //! ```
 //!
-//! i.e. the most-loaded cluster carries at least twice the backlog of the
-//! least-loaded one, with the configured improvement threshold
-//! (`ReallocConfig::threshold`, the paper's 60 s) as an absolute floor so
-//! near-empty queues never trigger.
+//! Savvas & Kechadi's mechanism is explicitly parameterised by the
+//! imbalance factor, and both knobs are policy-expression parameters
+//! here:
+//!
+//! * `factor` (float, default 2) — how many times the least-loaded
+//!   cluster's backlog the most-loaded one must carry;
+//! * `floor_s` (int, default: the run's improvement threshold,
+//!   `ReallocConfig::threshold`, the paper's 60 s) — an absolute backlog
+//!   floor so near-empty queues never trigger.
 //!
 //! The old `ReallocAlgorithm` enum could not express this — triggering
 //! was hard-wired as "every tick". With the
 //! [`ReallocStrategy`] seam it is this
 //! one file plus one line in the `realloc` registry, and campaign specs
-//! reach it as `algorithms = ["load-threshold"]`.
+//! reach it as `algorithms = ["load-threshold"]` — or sweep the factor
+//! with `["load-threshold(factor=1.5)", "load-threshold(factor=3)"]`.
 
 use grid_batch::Cluster;
 use grid_des::SimTime;
+use grid_ser::expr::{BoundArgs, ParamSpec};
 
 use crate::ect::WaitingJob;
 use crate::realloc::{run_no_cancel, ReallocConfig, ReallocStrategy, TickReport};
 
 /// Algorithm 1 gated by a per-processor queued-work imbalance test.
 #[derive(Debug)]
-pub struct LoadThresholdStrategy;
+pub struct LoadThresholdStrategy {
+    /// Imbalance factor (Savvas & Kechadi's knob).
+    factor: f64,
+    /// Absolute backlog floor in seconds; `None` inherits the run's
+    /// improvement threshold.
+    floor_s: Option<u64>,
+}
 
 /// Queued work per processor, in seconds, for one cluster.
 fn load_secs(cluster: &Cluster) -> u64 {
@@ -49,13 +62,23 @@ fn load_secs(cluster: &Cluster) -> u64 {
 }
 
 impl LoadThresholdStrategy {
+    /// The default configuration: factor 2, floor = run threshold.
+    pub const DEFAULT: LoadThresholdStrategy = LoadThresholdStrategy {
+        factor: 2.0,
+        floor_s: None,
+    };
+
     /// The imbalance test (public so tests and docs can pin it).
-    pub fn is_imbalanced(clusters: &[Cluster], cfg: &ReallocConfig) -> bool {
+    pub fn is_imbalanced(&self, clusters: &[Cluster], cfg: &ReallocConfig) -> bool {
         let loads: Vec<u64> = clusters.iter().map(load_secs).collect();
         let (Some(&max), Some(&min)) = (loads.iter().max(), loads.iter().min()) else {
             return false;
         };
-        max >= 2 * min + cfg.threshold.as_secs().max(1)
+        let floor = self
+            .floor_s
+            .unwrap_or_else(|| cfg.threshold.as_secs())
+            .max(1);
+        max as f64 >= self.factor * min as f64 + floor as f64
     }
 }
 
@@ -72,6 +95,36 @@ impl ReallocStrategy for LoadThresholdStrategy {
         " (load-threshold trigger)"
     }
 
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::float("factor", Some(2.0), "imbalance factor over the min load"),
+            ParamSpec::int(
+                "floor_s",
+                None,
+                "absolute backlog floor in seconds (default: the run's threshold)",
+            ),
+        ]
+    }
+
+    fn with_params(&self, args: &BoundArgs) -> Result<Box<dyn ReallocStrategy>, String> {
+        let factor = args.f64("factor").expect("declared with a default");
+        if !(factor.is_finite() && factor >= 1.0) {
+            return Err(format!(
+                "`load-threshold` needs factor >= 1 (got {factor}); below 1 the trigger \
+                 fires on balanced grids"
+            ));
+        }
+        if let Some(floor) = args.i64("floor_s") {
+            if floor < 0 {
+                return Err(format!("`load-threshold` needs floor_s >= 0, got {floor}"));
+            }
+        }
+        Ok(Box::new(LoadThresholdStrategy {
+            factor,
+            floor_s: args.u64("floor_s"),
+        }))
+    }
+
     fn tick(
         &self,
         clusters: &mut [Cluster],
@@ -80,7 +133,7 @@ impl ReallocStrategy for LoadThresholdStrategy {
         now: SimTime,
         report: &mut TickReport,
     ) {
-        if !Self::is_imbalanced(clusters, cfg) {
+        if !self.is_imbalanced(clusters, cfg) {
             return; // balanced grid: skip the whole migration pass
         }
         run_no_cancel(clusters, jobs, cfg, now, report);
@@ -114,7 +167,7 @@ mod tests {
         c0.submit(JobSpec::new(1, 0, 2, 60, 500), SimTime(0))
             .unwrap();
         let mut clusters = vec![c0, c1];
-        assert!(LoadThresholdStrategy::is_imbalanced(&clusters, &cfg()));
+        assert!(LoadThresholdStrategy::DEFAULT.is_imbalanced(&clusters, &cfg()));
         let report = run_tick(&mut clusters, &cfg(), SimTime(10));
         assert_eq!(report.migrations.len(), 1);
         assert_eq!(clusters[1].waiting_count(), 1);
@@ -132,7 +185,7 @@ mod tests {
             c.submit(JobSpec::new(i as u64, 0, 2, 60, 500), SimTime(0))
                 .unwrap();
         }
-        assert!(!LoadThresholdStrategy::is_imbalanced(&clusters, &cfg()));
+        assert!(!LoadThresholdStrategy::DEFAULT.is_imbalanced(&clusters, &cfg()));
         let report = run_tick(&mut clusters, &cfg(), SimTime(10));
         assert!(report.migrations.is_empty());
         // Examined counts the snapshot; the pass itself never ran, so no
@@ -152,7 +205,103 @@ mod tests {
         c0.submit(JobSpec::new(1, 0, 2, 20, 30), SimTime(0))
             .unwrap();
         let clusters = vec![c0, c1];
-        assert!(!LoadThresholdStrategy::is_imbalanced(&clusters, &cfg()));
+        assert!(!LoadThresholdStrategy::DEFAULT.is_imbalanced(&clusters, &cfg()));
+    }
+
+    /// The imbalance factor is a real parameter: a grid the default 2×
+    /// trigger leaves alone migrates under `factor=1.2` and stays quiet
+    /// under `factor=10`, end to end through `run_tick`.
+    #[test]
+    fn factor_parameter_changes_the_trigger_point() {
+        // Loads (queued work / procs): c0 = 2×500/4 = 250 s, c1 =
+        // 2×200/4 = 100 s. Default: 250 < 2×100+60 → skip. factor=1.2:
+        // 250 ≥ 120+60 → the pass runs, and c0's waiting job improves by
+        // moving (c1 frees at 1000 with room beside its queued job).
+        let build = || {
+            let mut c0 = cluster("c0", 4);
+            let mut c1 = cluster("c1", 4);
+            c0.submit(JobSpec::new(100, 0, 4, 10_000, 10_000), SimTime(0))
+                .unwrap();
+            c0.start_due(SimTime(0));
+            c0.submit(JobSpec::new(1, 0, 2, 400, 500), SimTime(0))
+                .unwrap();
+            c1.submit(JobSpec::new(101, 0, 4, 1_000, 1_000), SimTime(0))
+                .unwrap();
+            c1.start_due(SimTime(0));
+            c1.submit(JobSpec::new(2, 0, 2, 150, 200), SimTime(0))
+                .unwrap();
+            vec![c0, c1]
+        };
+        let migrations = |expr: &str| {
+            let algo = ReallocAlgorithm::resolve_expr(expr).unwrap();
+            let mut clusters = build();
+            let cfg = ReallocConfig::new(algo, Heuristic::Mct);
+            run_tick(&mut clusters, &cfg, SimTime(10)).migrations.len()
+        };
+        assert_eq!(migrations("load-threshold"), 0, "2x trigger stays quiet");
+        assert_eq!(migrations("load-threshold(factor=1.2)"), 1);
+        assert_eq!(migrations("load-threshold(factor=10)"), 0);
+    }
+
+    /// `floor_s` overrides the inherited run threshold.
+    #[test]
+    fn floor_parameter_overrides_run_threshold() {
+        // Loads 15 s vs 0 s: the inherited 60 s floor suppresses the
+        // trigger; an explicit 5 s floor lets the pass run, and the
+        // waiting job gains 500 s by moving to the idle cluster.
+        let build = || {
+            let mut c0 = cluster("c0", 4);
+            let c1 = cluster("c1", 4);
+            c0.submit(JobSpec::new(100, 0, 4, 500, 500), SimTime(0))
+                .unwrap();
+            c0.start_due(SimTime(0));
+            c0.submit(JobSpec::new(1, 0, 2, 20, 30), SimTime(0))
+                .unwrap();
+            vec![c0, c1]
+        };
+        let migrations = |expr: &str| {
+            let algo = ReallocAlgorithm::resolve_expr(expr).unwrap();
+            let mut clusters = build();
+            let cfg = ReallocConfig::new(algo, Heuristic::Mct);
+            run_tick(&mut clusters, &cfg, SimTime(10)).migrations.len()
+        };
+        assert_eq!(migrations("load-threshold"), 0, "60 s floor suppresses");
+        assert_eq!(migrations("load-threshold(floor_s=5)"), 1);
+    }
+
+    /// Expression canonicalisation and validation on this entry.
+    #[test]
+    fn expressions_canonicalise_and_validate() {
+        let resolve = |s: &str| ReallocAlgorithm::resolve_expr(s).unwrap();
+        // Explicit defaults are the default handle.
+        assert_eq!(
+            resolve("load-threshold(factor=2)"),
+            ReallocAlgorithm::LoadThreshold
+        );
+        assert_eq!(resolve("load-threshold()").name(), "load-threshold");
+        assert_eq!(
+            resolve("load-threshold(factor=1.5)").name(),
+            "load-threshold(factor=1.5)"
+        );
+        // Same canonical expression, same interned handle.
+        assert_eq!(
+            resolve("load-threshold(factor=1.5)"),
+            resolve("LOAD-THRESHOLD( factor = 1.5 )")
+        );
+        // Parameterised variants keep the table suffix and title note.
+        assert_eq!(resolve("load-threshold(factor=1.5)").suffix(), "-LT");
+        // Validation catches nonsense factors and floors.
+        assert!(ReallocAlgorithm::resolve_expr("load-threshold(factor=0.5)")
+            .unwrap_err()
+            .contains("factor >= 1"));
+        assert!(ReallocAlgorithm::resolve_expr("load-threshold(floor_s=-3)")
+            .unwrap_err()
+            .contains("floor_s >= 0"));
+        // Unknown/ill-typed args list the accepted parameters.
+        let err = ReallocAlgorithm::resolve_expr("load-threshold(facter=2)").unwrap_err();
+        assert!(err.contains("unknown parameter `facter`"), "{err}");
+        assert!(err.contains("factor: float = 2"), "{err}");
+        assert!(err.contains("floor_s: int"), "{err}");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::sync::Mutex;
 
 use grid_batch::{Cluster, JobSpec};
 use grid_des::{SimRng, SimTime};
+use grid_ser::expr::{BoundArgs, ParamSpec};
 
 /// Identity + factory of a mapping policy (the registry entry).
 pub trait MappingPolicy: std::fmt::Debug + Sync {
@@ -28,6 +29,19 @@ pub trait MappingPolicy: std::fmt::Debug + Sync {
 
     /// Build the per-run mutable state; `seed` feeds stochastic policies.
     fn make(&self, seed: u64) -> Box<dyn MapperState>;
+
+    /// Parameters this entry accepts in policy expressions
+    /// (`RoundRobin(offset=1)`). Default: none.
+    fn params(&self) -> Vec<ParamSpec> {
+        Vec::new()
+    }
+
+    /// Build a configured instance from validated arguments. Called only
+    /// when at least one argument differs from its declared default.
+    fn with_params(&self, args: &BoundArgs) -> Result<Box<dyn MappingPolicy>, String> {
+        let _ = args;
+        Err(format!("`{}` takes no parameters", self.name()))
+    }
 }
 
 /// Per-run state of a mapping policy.
@@ -44,18 +58,34 @@ pub trait MapperState: std::fmt::Debug + Send {
 }
 
 /// Copyable, comparable handle to a registered [`MappingPolicy`].
+///
+/// Identity (equality, hashing, display) is the canonical policy
+/// expression: `RoundRobin` for the default configuration,
+/// `RoundRobin(offset=1)` for a parameterised variant
+/// ([`Mapping::resolve_expr`]).
 #[derive(Clone, Copy)]
-pub struct Mapping(&'static dyn MappingPolicy);
+pub struct Mapping {
+    policy: &'static dyn MappingPolicy,
+    /// Canonical expression — the handle's identity.
+    key: &'static str,
+}
 
 #[allow(non_upper_case_globals)] // mirror the historical enum variants
 impl Mapping {
     /// Minimum completion time: ask every (fitting) cluster for an ECT and
     /// pick the smallest; ties go to the lowest cluster index.
-    pub const Mct: Mapping = Mapping(&MctMapping);
+    pub const Mct: Mapping = Mapping::base("MCT", &MctMapping);
     /// Uniformly random fitting cluster.
-    pub const Random: Mapping = Mapping(&RandomMapping);
+    pub const Random: Mapping = Mapping::base("Random", &RandomMapping);
     /// Cycle through the clusters, skipping those the job does not fit.
-    pub const RoundRobin: Mapping = Mapping(&RoundRobinMapping);
+    /// `RoundRobin(offset=K)` starts the cursor at cluster K.
+    pub const RoundRobin: Mapping = Mapping::base("RoundRobin", &RoundRobinMapping::DEFAULT);
+
+    /// A base (unparameterised) handle. `key` must equal
+    /// `policy.name()`; a unit test pins this for every built-in.
+    const fn base(key: &'static str, policy: &'static dyn MappingPolicy) -> Mapping {
+        Mapping { policy, key }
+    }
 }
 
 /// Built-in registry entries.
@@ -64,13 +94,17 @@ static BUILTINS: [Mapping; 3] = [Mapping::Mct, Mapping::Random, Mapping::RoundRo
 /// Policies registered at runtime by downstream crates.
 static EXTRAS: Mutex<Vec<Mapping>> = Mutex::new(Vec::new());
 
+/// Interned parameterised instances, one per canonical expression.
+static CONFIGURED: Mutex<Vec<Mapping>> = Mutex::new(Vec::new());
+
 impl Mapping {
-    /// Canonical policy name (`MCT`, `Random`, `RoundRobin`, …).
+    /// Canonical policy expression (`MCT`, `RoundRobin(offset=1)`, …) —
+    /// the handle's identity.
     pub fn name(self) -> &'static str {
-        self.0.name()
+        self.key
     }
 
-    /// Every registered mapping, built-ins first.
+    /// Every registered mapping, built-ins first (base entries only).
     pub fn all() -> Vec<Mapping> {
         let mut out = BUILTINS.to_vec();
         out.extend(
@@ -82,11 +116,49 @@ impl Mapping {
         out
     }
 
-    /// Look a mapping up by name (case-insensitive).
+    /// Look a base mapping up by name (case-insensitive). Bare names
+    /// only; use [`Mapping::resolve_expr`] for parameterised forms.
     pub fn resolve(name: &str) -> Option<Mapping> {
         Self::all()
             .into_iter()
             .find(|m| m.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Resolve a mapping expression (`MCT`, `RoundRobin(offset=1)`) to a
+    /// handle, validating arguments against the entry's declared
+    /// [`params`](MappingPolicy::params) and canonicalising
+    /// (default-valued arguments drop away).
+    pub fn resolve_expr(input: &str) -> Result<Mapping, String> {
+        grid_ser::expr::resolve_configured(
+            input,
+            Self::resolve,
+            |name| {
+                format!(
+                    "unknown mapping policy `{name}` (registered: {})",
+                    Self::all()
+                        .iter()
+                        .map(|m| m.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            },
+            |m| m.key,
+            |m| m.policy.params(),
+            |key, bound, base| {
+                let mut interned = CONFIGURED
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if let Some(hit) = interned.iter().find(|m| m.key == key) {
+                    return Ok(*hit);
+                }
+                let handle = Mapping {
+                    policy: Box::leak(base.policy.with_params(&bound)?),
+                    key: String::leak(key),
+                };
+                interned.push(handle);
+                Ok(handle)
+            },
+        )
     }
 
     /// Register a mapping policy and return its handle.
@@ -108,7 +180,10 @@ impl Mapping {
             "mapping policy `{}` is already registered",
             policy.name()
         );
-        let handle = Mapping(policy);
+        let handle = Mapping {
+            policy,
+            key: policy.name(),
+        };
         extras.push(handle);
         handle
     }
@@ -152,7 +227,7 @@ impl Mapper {
     pub fn new(policy: Mapping, seed: u64) -> Self {
         Mapper {
             policy,
-            state: policy.0.make(seed),
+            state: policy.policy.make(seed),
         }
     }
 
@@ -255,14 +330,41 @@ impl MapperState for RandomState {
 
 /// Cycle through the clusters, skipping those the job does not fit.
 #[derive(Debug)]
-pub struct RoundRobinMapping;
+pub struct RoundRobinMapping {
+    /// Initial cursor position (cluster index the first assignment
+    /// starts probing at).
+    offset: usize,
+}
+
+impl RoundRobinMapping {
+    /// The classic cursor-at-zero configuration.
+    pub const DEFAULT: RoundRobinMapping = RoundRobinMapping { offset: 0 };
+}
 
 impl MappingPolicy for RoundRobinMapping {
     fn name(&self) -> &'static str {
         "RoundRobin"
     }
     fn make(&self, _seed: u64) -> Box<dyn MapperState> {
-        Box::new(RoundRobinState { cursor: 0 })
+        Box::new(RoundRobinState {
+            cursor: self.offset,
+        })
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![ParamSpec::int(
+            "offset",
+            Some(0),
+            "cluster index the cursor starts at",
+        )]
+    }
+    fn with_params(&self, args: &BoundArgs) -> Result<Box<dyn MappingPolicy>, String> {
+        let offset = args.i64("offset").expect("declared with a default");
+        if offset < 0 {
+            return Err(format!("`RoundRobin` needs offset >= 0, got {offset}"));
+        }
+        Ok(Box::new(RoundRobinMapping {
+            offset: offset as usize,
+        }))
     }
 }
 
@@ -394,6 +496,45 @@ mod tests {
         assert_eq!(Mapping::resolve("nope"), None);
         let names: Vec<&str> = Mapping::all().iter().map(|m| m.name()).collect();
         assert!(names.starts_with(&["MCT", "Random", "RoundRobin"]));
+    }
+
+    #[test]
+    fn expressions_resolve_and_parameterise() {
+        // Canonicalisation: explicit defaults are the base handle.
+        assert_eq!(Mapping::resolve_expr("mct()").unwrap(), Mapping::Mct);
+        assert_eq!(
+            Mapping::resolve_expr("RoundRobin(offset=0)").unwrap(),
+            Mapping::RoundRobin
+        );
+        // A configured cursor starts the cycle elsewhere.
+        let offset = Mapping::resolve_expr("RoundRobin(offset=1)").unwrap();
+        assert_eq!(offset.name(), "RoundRobin(offset=1)");
+        assert_ne!(offset, Mapping::RoundRobin);
+        let mut cs = clusters();
+        let mut m = Mapper::new(offset, 0);
+        let job = JobSpec::new(1, 0, 2, 10, 10);
+        let seq: Vec<usize> = (0..4)
+            .map(|_| m.assign(&mut cs, &job, SimTime(0)).unwrap())
+            .collect();
+        assert_eq!(seq, vec![1, 2, 0, 1], "cursor starts at cluster 1");
+        // Errors list the registry / accepted parameters.
+        let err = Mapping::resolve_expr("nope").unwrap_err();
+        assert!(err.contains("unknown mapping policy"), "{err}");
+        assert!(err.contains("MCT, Random, RoundRobin"), "{err}");
+        let err = Mapping::resolve_expr("RoundRobin(start=1)").unwrap_err();
+        assert!(err.contains("offset: int = 0"), "{err}");
+        let err = Mapping::resolve_expr("MCT(x=2)").unwrap_err();
+        assert!(err.contains("takes no parameters"), "{err}");
+        assert!(Mapping::resolve_expr("RoundRobin(offset=-1)")
+            .unwrap_err()
+            .contains("offset >= 0"));
+    }
+
+    #[test]
+    fn builtin_keys_match_policy_names() {
+        for m in Mapping::all() {
+            assert_eq!(m.key, m.policy.name(), "const key drifted for {}", m.key);
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::sync::Mutex;
 
 use grid_batch::{Cluster, JobId};
 use grid_des::{Duration, SimTime};
+use grid_ser::expr::{BoundArgs, ParamSpec};
 
 use crate::ect::{EctView, WaitingJob};
 use crate::heuristics::Heuristic;
@@ -73,28 +74,60 @@ pub trait ReallocStrategy: std::fmt::Debug + Sync {
         now: SimTime,
         report: &mut TickReport,
     );
+
+    /// Parameters this entry accepts in policy expressions
+    /// (`load-threshold(factor=1.5)`). Default: none.
+    fn params(&self) -> Vec<ParamSpec> {
+        Vec::new()
+    }
+
+    /// Build a configured instance from validated arguments. Called only
+    /// when at least one argument differs from its declared default.
+    fn with_params(&self, args: &BoundArgs) -> Result<Box<dyn ReallocStrategy>, String> {
+        let _ = args;
+        Err(format!("`{}` takes no parameters", self.name()))
+    }
 }
 
 /// Copyable, comparable handle to a registered [`ReallocStrategy`].
+///
+/// Identity (equality, hashing, display, cache keys) is the canonical
+/// policy expression: `load-threshold` for the default configuration,
+/// `load-threshold(factor=1.5)` for a parameterised variant
+/// ([`ReallocAlgorithm::resolve_expr`]).
 #[derive(Clone, Copy)]
-pub struct ReallocAlgorithm(&'static dyn ReallocStrategy);
+pub struct ReallocAlgorithm {
+    strat: &'static dyn ReallocStrategy,
+    /// Canonical expression — the handle's identity.
+    key: &'static str,
+}
 
 #[allow(non_upper_case_globals)] // mirror the historical enum variants
 impl ReallocAlgorithm {
     /// Algorithm 1: selective cancel-and-resubmit with a threshold.
-    pub const NoCancel: ReallocAlgorithm = ReallocAlgorithm(&NoCancelStrategy);
+    pub const NoCancel: ReallocAlgorithm = ReallocAlgorithm::base("no-cancel", &NoCancelStrategy);
     /// Algorithm 2: cancel everything, reschedule the whole bag of tasks.
-    pub const CancelAll: ReallocAlgorithm = ReallocAlgorithm(&CancelAllStrategy);
+    pub const CancelAll: ReallocAlgorithm =
+        ReallocAlgorithm::base("cancel-all", &CancelAllStrategy);
     /// Load-threshold-gated Algorithm 1 (see [`crate::load_threshold`]);
-    /// reachable from specs as `load-threshold`. Not part of
+    /// reachable from specs as `load-threshold` — parameterised as
+    /// `load-threshold(factor=1.5, floor_s=30)`. Not part of
     /// [`ReallocAlgorithm::ALL`] — the paper's campaign stays two
     /// algorithms wide.
-    pub const LoadThreshold: ReallocAlgorithm =
-        ReallocAlgorithm(&crate::load_threshold::LoadThresholdStrategy);
+    pub const LoadThreshold: ReallocAlgorithm = ReallocAlgorithm::base(
+        "load-threshold",
+        &crate::load_threshold::LoadThresholdStrategy::DEFAULT,
+    );
 
     /// The paper's two algorithms, paper order.
     pub const ALL: [ReallocAlgorithm; 2] =
         [ReallocAlgorithm::NoCancel, ReallocAlgorithm::CancelAll];
+
+    /// A base (unparameterised) handle. `key` must equal
+    /// `strat.name()`; a unit test pins this for every built-in.
+    const fn base(key: &'static str, strat: &'static dyn ReallocStrategy) -> ReallocAlgorithm {
+        ReallocAlgorithm { strat, key }
+    }
 }
 
 /// Built-in registry entries, paper strategies first.
@@ -107,24 +140,31 @@ static BUILTINS: [ReallocAlgorithm; 3] = [
 /// Strategies registered at runtime by downstream crates.
 static EXTRAS: Mutex<Vec<ReallocAlgorithm>> = Mutex::new(Vec::new());
 
+/// Interned parameterised instances (`load-threshold(factor=1.5)`), one
+/// per distinct canonical expression.
+static CONFIGURED: Mutex<Vec<ReallocAlgorithm>> = Mutex::new(Vec::new());
+
 impl ReallocAlgorithm {
     /// The underlying strategy implementation.
     #[inline]
     pub fn strategy(self) -> &'static dyn ReallocStrategy {
-        self.0
+        self.strat
     }
 
-    /// Canonical strategy name (`no-cancel`, `cancel-all`, …).
+    /// Canonical strategy expression (`no-cancel`,
+    /// `load-threshold(factor=1.5)`, …) — the handle's identity.
     pub fn name(self) -> &'static str {
-        self.0.name()
+        self.key
     }
 
     /// Table-row suffix (see [`ReallocStrategy::suffix`]).
     pub fn suffix(self) -> &'static str {
-        self.0.suffix()
+        self.strat.suffix()
     }
 
-    /// Every registered strategy, built-ins first, in registration order.
+    /// Every registered strategy, built-ins first, in registration order
+    /// (base entries only — parameterised instances are reachable
+    /// through expressions, not listed).
     pub fn all() -> Vec<ReallocAlgorithm> {
         let mut out = BUILTINS.to_vec();
         out.extend(
@@ -136,11 +176,54 @@ impl ReallocAlgorithm {
         out
     }
 
-    /// Look a strategy up by name (case-insensitive).
+    /// Look a base strategy up by name (case-insensitive). Bare names
+    /// only; use [`ReallocAlgorithm::resolve_expr`] for parameterised
+    /// forms.
     pub fn resolve(name: &str) -> Option<ReallocAlgorithm> {
         Self::all()
             .into_iter()
             .find(|a| a.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Resolve a strategy expression (`load-threshold`,
+    /// `load-threshold(factor=1.5, floor_s=30)`) to a handle.
+    ///
+    /// Arguments are validated against the entry's declared
+    /// [`params`](ReallocStrategy::params) — unknown or ill-typed keys
+    /// error with the accepted list — and canonicalised: default-valued
+    /// arguments drop away, so `load-threshold(factor=2)` *is*
+    /// `load-threshold`; anything else interns a configured instance.
+    pub fn resolve_expr(input: &str) -> Result<ReallocAlgorithm, String> {
+        grid_ser::expr::resolve_configured(
+            input,
+            Self::resolve,
+            |name| {
+                format!(
+                    "unknown reallocation algorithm `{name}` (registered: {})",
+                    Self::all()
+                        .iter()
+                        .map(|a| a.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            },
+            |a| a.key,
+            |a| a.strat.params(),
+            |key, bound, base| {
+                let mut interned = CONFIGURED
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if let Some(hit) = interned.iter().find(|a| a.key == key) {
+                    return Ok(*hit);
+                }
+                let handle = ReallocAlgorithm {
+                    strat: Box::leak(base.strat.with_params(&bound)?),
+                    key: String::leak(key),
+                };
+                interned.push(handle);
+                Ok(handle)
+            },
+        )
     }
 
     /// Register a strategy and return its handle.
@@ -162,7 +245,10 @@ impl ReallocAlgorithm {
             "reallocation strategy `{}` is already registered",
             strategy.name()
         );
-        let handle = ReallocAlgorithm(strategy);
+        let handle = ReallocAlgorithm {
+            strat: strategy,
+            key: strategy.name(),
+        };
         extras.push(handle);
         handle
     }
@@ -670,6 +756,13 @@ mod tests {
         let b = ReallocConfig::new(ReallocAlgorithm::CancelAll, Heuristic::MinMin);
         assert_eq!(a.row_label(), "MinMin");
         assert_eq!(b.row_label(), "MinMin-C");
+    }
+
+    #[test]
+    fn builtin_keys_match_strategy_names() {
+        for a in ReallocAlgorithm::all() {
+            assert_eq!(a.key, a.strat.name(), "const key drifted for {}", a.key);
+        }
     }
 
     #[test]

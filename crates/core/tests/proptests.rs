@@ -151,6 +151,42 @@ proptest! {
         prop_assert_eq!(base.records, run.records);
     }
 
+    /// A heterogeneous (per-site) grid that assigns the *same* policy to
+    /// every cluster is byte-identical to the homogeneous `GridConfig`:
+    /// the mix plumbing may not perturb scheduling, ECT estimation or
+    /// reallocation in any way. Covers FCFS, CBF and EASY, reallocation
+    /// on, over arbitrary workloads.
+    #[test]
+    fn uniform_mix_is_byte_identical_to_homogeneous(
+        jobs in jobs_strategy(),
+        h in heuristic_strategy(),
+        algo in algorithm_strategy(),
+        policy in prop::sample::select(vec![
+            BatchPolicy::Fcfs,
+            BatchPolicy::Cbf,
+            BatchPolicy::Easy,
+        ]),
+    ) {
+        let run = |p: BatchPolicy| {
+            GridSim::new(
+                GridConfig::new(platform(), p)
+                    .with_realloc(ReallocConfig::new(algo, h).with_period(Duration::minutes(30))),
+                jobs.clone(),
+            )
+            .run()
+            .unwrap()
+        };
+        let homogeneous = run(policy);
+        let mixed = run(BatchPolicy::mix(&[policy, policy]));
+        prop_assert_eq!(&homogeneous.records, &mixed.records);
+        prop_assert_eq!(homogeneous.total_reallocations, mixed.total_reallocations);
+        prop_assert_eq!(
+            homogeneous.to_json().encode(),
+            mixed.to_json().encode(),
+            "uniform mix must serialise byte-identically"
+        );
+    }
+
     /// A single-cluster platform can never migrate anything under
     /// Algorithm 1, and cancel-all must reproduce a valid schedule.
     #[test]

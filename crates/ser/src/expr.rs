@@ -1,0 +1,642 @@
+//! Policy expressions: `name(key=value, …)`.
+//!
+//! Every policy axis of the workspace (batch schedulers, mappings,
+//! reallocation strategies, ordering heuristics) is selected from specs
+//! and CLIs by string. This module upgrades those strings from bare
+//! names to *expressions* carrying typed named arguments:
+//!
+//! ```text
+//! load-threshold                      # bare name (all defaults)
+//! load-threshold()                    # same thing
+//! load-threshold(factor=2)            # explicit default — still the same
+//! load-threshold(factor=1.5)          # a configured variant
+//! EASY(protected=4)                   # integer argument
+//! ```
+//!
+//! The registries stay the source of truth: each entry declares the
+//! parameters it accepts as a list of [`ParamSpec`]s (key, type,
+//! default, one-line doc). [`BoundArgs::bind`] validates a parsed
+//! [`PolicyExpr`] against that list — unknown keys and type mismatches
+//! produce errors that spell out the accepted parameters — and
+//! [`BoundArgs::canonical`] renders the *canonical* spelling: arguments
+//! equal to their declared default are dropped and the rest are printed
+//! in declaration order, so `load-threshold`, `load-threshold()` and
+//! `load-threshold(factor=2)` all canonicalise (and therefore display,
+//! compare and hash) identically. Canonicalisation is what lets
+//! expression handles flow into cache descriptors and table keys without
+//! perturbing the byte-identity of default-parameter runs.
+
+use std::fmt;
+
+/// A parsed argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Integer literal (`protected=4`).
+    Int(i64),
+    /// Float literal (`factor=1.5`); integer literals coerce to floats
+    /// where a float is expected.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// Quoted (`"a b"`) or bare (`abc`) string.
+    Str(String),
+}
+
+impl ArgValue {
+    /// Human name of the value's kind (for error messages).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ArgValue::Int(_) => "integer",
+            ArgValue::Float(_) => "float",
+            ArgValue::Bool(_) => "boolean",
+            ArgValue::Str(_) => "string",
+        }
+    }
+
+    /// Canonical rendering used inside canonical expressions. Floats use
+    /// the shortest round-trip form (`3` for `3.0`, `1.5` for `1.5`), so
+    /// `factor=3` and `factor=3.0` canonicalise identically.
+    fn canonical(&self) -> String {
+        match self {
+            ArgValue::Int(i) => i.to_string(),
+            ArgValue::Float(f) => f.to_string(),
+            ArgValue::Bool(b) => b.to_string(),
+            ArgValue::Str(s) => {
+                if !s.is_empty()
+                    && s.chars()
+                        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+                {
+                    s.clone()
+                } else {
+                    format!("{s:?}")
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+/// The type a declared parameter accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Signed integer.
+    Int,
+    /// Float (integer literals coerce).
+    Float,
+    /// Boolean.
+    Bool,
+    /// String.
+    Str,
+}
+
+impl fmt::Display for ParamKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ParamKind::Int => "int",
+            ParamKind::Float => "float",
+            ParamKind::Bool => "bool",
+            ParamKind::Str => "string",
+        })
+    }
+}
+
+/// One parameter a registry entry declares.
+#[derive(Debug, Clone)]
+pub struct ParamSpec {
+    /// Argument key as written in expressions.
+    pub key: &'static str,
+    /// Accepted type.
+    pub kind: ParamKind,
+    /// Declared default. `None` means the default is computed at runtime
+    /// (e.g. "inherit from the run configuration"); such an argument is
+    /// never dropped from the canonical form when provided.
+    pub default: Option<ArgValue>,
+    /// One-line description shown in error messages.
+    pub doc: &'static str,
+}
+
+impl ParamSpec {
+    /// A float parameter.
+    pub fn float(key: &'static str, default: Option<f64>, doc: &'static str) -> ParamSpec {
+        ParamSpec {
+            key,
+            kind: ParamKind::Float,
+            default: default.map(ArgValue::Float),
+            doc,
+        }
+    }
+
+    /// An integer parameter.
+    pub fn int(key: &'static str, default: Option<i64>, doc: &'static str) -> ParamSpec {
+        ParamSpec {
+            key,
+            kind: ParamKind::Int,
+            default: default.map(ArgValue::Int),
+            doc,
+        }
+    }
+
+    /// A boolean parameter.
+    pub fn bool(key: &'static str, default: Option<bool>, doc: &'static str) -> ParamSpec {
+        ParamSpec {
+            key,
+            kind: ParamKind::Bool,
+            default: default.map(ArgValue::Bool),
+            doc,
+        }
+    }
+
+    /// A string parameter.
+    pub fn str(key: &'static str, default: Option<&str>, doc: &'static str) -> ParamSpec {
+        ParamSpec {
+            key,
+            kind: ParamKind::Str,
+            default: default.map(|s| ArgValue::Str(s.to_string())),
+            doc,
+        }
+    }
+
+    /// `key: kind = default — doc` (error-message helper).
+    fn describe(&self) -> String {
+        let default = match &self.default {
+            Some(v) => format!(" = {v}"),
+            None => String::new(),
+        };
+        format!("{}: {}{default} ({})", self.key, self.kind, self.doc)
+    }
+}
+
+/// Render an entry's accepted-parameter list for error messages.
+pub fn describe_params(entry: &str, specs: &[ParamSpec]) -> String {
+    if specs.is_empty() {
+        format!("`{entry}` takes no parameters")
+    } else {
+        format!(
+            "`{entry}` accepts: {}",
+            specs
+                .iter()
+                .map(ParamSpec::describe)
+                .collect::<Vec<_>>()
+                .join("; ")
+        )
+    }
+}
+
+/// A parsed (but not yet validated) policy expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyExpr {
+    /// The entry name as written (case preserved; registries resolve it
+    /// case-insensitively).
+    pub name: String,
+    /// Arguments in source order, keys unique.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl PolicyExpr {
+    /// Parse `name` or `name(key=value, …)`.
+    pub fn parse(input: &str) -> Result<PolicyExpr, String> {
+        let s = input.trim();
+        if s.is_empty() {
+            return Err("empty policy expression".into());
+        }
+        let (name, rest) = match s.find('(') {
+            None => (s, None),
+            Some(i) => {
+                let Some(inner) = s[i + 1..].strip_suffix(')') else {
+                    return Err(format!("`{s}`: missing closing `)`"));
+                };
+                (s[..i].trim_end(), Some(inner))
+            }
+        };
+        if name.is_empty() {
+            return Err(format!("`{s}`: missing policy name before `(`"));
+        }
+        if let Some(bad) = name
+            .chars()
+            .find(|c| ")(,=\"".contains(*c) || c.is_whitespace())
+        {
+            return Err(format!("`{s}`: invalid character `{bad}` in policy name"));
+        }
+        let mut args: Vec<(String, ArgValue)> = Vec::new();
+        if let Some(inner) = rest {
+            for (key, value) in parse_args(inner).map_err(|e| format!("`{s}`: {e}"))? {
+                if args.iter().any(|(k, _)| *k == key) {
+                    return Err(format!("`{s}`: duplicate argument `{key}`"));
+                }
+                args.push((key, value));
+            }
+        }
+        Ok(PolicyExpr {
+            name: name.to_string(),
+            args,
+        })
+    }
+}
+
+/// Tokenise the inside of the parentheses: `key=value, key=value`.
+fn parse_args(inner: &str) -> Result<Vec<(String, ArgValue)>, String> {
+    let mut out = Vec::new();
+    let mut rest = inner.trim_start();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("expected `key=value`, got `{}`", rest.trim()))?;
+        let key = rest[..eq].trim();
+        if key.is_empty() {
+            return Err("missing argument key before `=`".into());
+        }
+        if !key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(format!("invalid argument key `{key}`"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        let (value, after) = parse_value(rest)?;
+        out.push((key.to_string(), value));
+        rest = after.trim_start();
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r.trim_start(),
+            None if rest.is_empty() => break,
+            None => return Err(format!("expected `,` before `{rest}`")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parse one value off the front of `rest`; returns (value, remainder).
+fn parse_value(rest: &str) -> Result<(ArgValue, &str), String> {
+    if let Some(q) = rest.strip_prefix('"') {
+        // Quoted string with minimal escapes.
+        let mut s = String::new();
+        let mut chars = q.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return Ok((ArgValue::Str(s), &q[i + 1..])),
+                '\\' => match chars.next() {
+                    Some((_, '"')) => s.push('"'),
+                    Some((_, '\\')) => s.push('\\'),
+                    Some((_, 'n')) => s.push('\n'),
+                    Some((_, other)) => return Err(format!("unknown escape `\\{other}`")),
+                    None => return Err("unterminated string".into()),
+                },
+                c => s.push(c),
+            }
+        }
+        return Err("unterminated string".into());
+    }
+    let end = rest.find([',', ')']).unwrap_or(rest.len());
+    let token = rest[..end].trim();
+    if token.is_empty() {
+        return Err("missing argument value".into());
+    }
+    if token
+        .chars()
+        .any(|c| c.is_whitespace() || "=\"(".contains(c))
+    {
+        return Err(format!(
+            "invalid bare value `{token}` (quote strings containing spaces)"
+        ));
+    }
+    let value = if token == "true" {
+        ArgValue::Bool(true)
+    } else if token == "false" {
+        ArgValue::Bool(false)
+    } else if let Ok(i) = token.parse::<i64>() {
+        ArgValue::Int(i)
+    } else if let Ok(f) = token.parse::<f64>() {
+        if !f.is_finite() {
+            return Err(format!("non-finite number `{token}`"));
+        }
+        ArgValue::Float(f)
+    } else {
+        ArgValue::Str(token.to_string())
+    };
+    Ok((value, &rest[end..]))
+}
+
+/// One declared parameter after binding: its effective value (provided
+/// or defaulted) and whether the provided value differs from the
+/// default.
+#[derive(Debug, Clone)]
+struct BoundParam {
+    key: &'static str,
+    /// Effective value; `None` when the spec has no static default and
+    /// the argument was not provided (the entry computes it at runtime).
+    value: Option<ArgValue>,
+    /// Provided *and* different from the declared default — i.e. part of
+    /// the canonical spelling.
+    non_default: bool,
+}
+
+/// A policy expression validated against an entry's [`ParamSpec`]s.
+#[derive(Debug, Clone)]
+pub struct BoundArgs {
+    params: Vec<BoundParam>,
+}
+
+impl BoundArgs {
+    /// Validate `expr`'s arguments against `specs`. `entry` is the
+    /// canonical entry name, used in error messages (which always spell
+    /// out the accepted parameters with types and defaults).
+    pub fn bind(expr: &PolicyExpr, specs: &[ParamSpec], entry: &str) -> Result<BoundArgs, String> {
+        let mut provided: Vec<Option<ArgValue>> = vec![None; specs.len()];
+        for (key, value) in &expr.args {
+            let Some(i) = specs.iter().position(|p| p.key == key) else {
+                return Err(format!(
+                    "unknown parameter `{key}` for `{entry}` — {}",
+                    describe_params(entry, specs)
+                ));
+            };
+            let coerced = coerce(value, specs[i].kind).ok_or_else(|| {
+                format!(
+                    "parameter `{key}` of `{entry}` expects {}, got {} `{value}` — {}",
+                    specs[i].kind,
+                    value.kind_name(),
+                    describe_params(entry, specs)
+                )
+            })?;
+            provided[i] = Some(coerced);
+        }
+        let params = specs
+            .iter()
+            .zip(provided)
+            .map(|(spec, provided)| match provided {
+                Some(v) => {
+                    let non_default = spec.default.as_ref() != Some(&v);
+                    BoundParam {
+                        key: spec.key,
+                        value: Some(v),
+                        non_default,
+                    }
+                }
+                None => BoundParam {
+                    key: spec.key,
+                    value: spec.default.clone(),
+                    non_default: false,
+                },
+            })
+            .collect();
+        Ok(BoundArgs { params })
+    }
+
+    /// The canonical spelling of the expression: the bare `name` when
+    /// every argument equals its default, `name(k=v, …)` (declaration
+    /// order, canonical value rendering) otherwise.
+    pub fn canonical(&self, name: &str) -> String {
+        let parts: Vec<String> = self
+            .params
+            .iter()
+            .filter(|p| p.non_default)
+            .map(|p| {
+                format!(
+                    "{}={}",
+                    p.key,
+                    p.value.as_ref().expect("non-default is provided")
+                )
+            })
+            .collect();
+        if parts.is_empty() {
+            name.to_string()
+        } else {
+            format!("{name}({})", parts.join(", "))
+        }
+    }
+
+    /// `true` when every argument equals its declared default.
+    pub fn is_all_default(&self) -> bool {
+        self.params.iter().all(|p| !p.non_default)
+    }
+
+    fn value(&self, key: &str) -> Option<&ArgValue> {
+        self.params
+            .iter()
+            .find(|p| p.key == key)
+            .and_then(|p| p.value.as_ref())
+    }
+
+    /// Effective float value of `key` (`None`: no value and no default).
+    pub fn f64(&self, key: &str) -> Option<f64> {
+        match self.value(key)? {
+            ArgValue::Float(f) => Some(*f),
+            ArgValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Effective integer value of `key`.
+    pub fn i64(&self, key: &str) -> Option<i64> {
+        match self.value(key)? {
+            ArgValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Effective non-negative integer value of `key` (negative values
+    /// were rejected by the entry's own validation or saturate to zero).
+    pub fn u64(&self, key: &str) -> Option<u64> {
+        self.i64(key).map(|i| i.max(0) as u64)
+    }
+
+    /// Effective boolean value of `key`.
+    pub fn bool(&self, key: &str) -> Option<bool> {
+        match self.value(key)? {
+            ArgValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Effective string value of `key`.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        match self.value(key)? {
+            ArgValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// The shared resolution spine of every policy registry: parse `input`,
+/// look the name up (`lookup`, case handled by the caller; `unknown`
+/// renders the error when it misses, typically listing the live
+/// registry), validate the arguments against the entry's parameters and
+/// canonicalise. An expression whose arguments all equal their defaults
+/// resolves to the base handle itself; anything else is handed to
+/// `configure(canonical_key, bound, base)`, which interns and builds
+/// the configured instance (the only registry-specific step).
+///
+/// Keeping this spine in one place means canonical-identity semantics —
+/// the property cache keys and table keys rely on — cannot drift
+/// between the four registries.
+pub fn resolve_configured<H: Copy>(
+    input: &str,
+    lookup: impl FnOnce(&str) -> Option<H>,
+    unknown: impl FnOnce(&str) -> String,
+    entry_key: impl Fn(H) -> &'static str,
+    entry_params: impl FnOnce(H) -> Vec<ParamSpec>,
+    configure: impl FnOnce(String, BoundArgs, H) -> Result<H, String>,
+) -> Result<H, String> {
+    let expr = PolicyExpr::parse(input)?;
+    let Some(base) = lookup(&expr.name) else {
+        return Err(unknown(&expr.name));
+    };
+    let specs = entry_params(base);
+    let bound = BoundArgs::bind(&expr, &specs, entry_key(base))?;
+    let key = bound.canonical(entry_key(base));
+    if key == entry_key(base) {
+        return Ok(base);
+    }
+    configure(key, bound, base)
+}
+
+/// Coerce a parsed value to the declared kind (`Int` → `Float` is the
+/// only widening allowed).
+fn coerce(value: &ArgValue, kind: ParamKind) -> Option<ArgValue> {
+    match (value, kind) {
+        (ArgValue::Int(i), ParamKind::Int) => Some(ArgValue::Int(*i)),
+        (ArgValue::Int(i), ParamKind::Float) => Some(ArgValue::Float(*i as f64)),
+        (ArgValue::Float(f), ParamKind::Float) => Some(ArgValue::Float(*f)),
+        (ArgValue::Bool(b), ParamKind::Bool) => Some(ArgValue::Bool(*b)),
+        (ArgValue::Str(s), ParamKind::Str) => Some(ArgValue::Str(s.clone())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::float("factor", Some(2.0), "imbalance factor"),
+            ParamSpec::int("floor_s", None, "absolute floor in seconds"),
+        ]
+    }
+
+    #[test]
+    fn bare_name_parses() {
+        let e = PolicyExpr::parse("load-threshold").unwrap();
+        assert_eq!(e.name, "load-threshold");
+        assert!(e.args.is_empty());
+        let e = PolicyExpr::parse("  EASY-SJF  ").unwrap();
+        assert_eq!(e.name, "EASY-SJF");
+    }
+
+    #[test]
+    fn empty_parens_equal_bare_name() {
+        let e = PolicyExpr::parse("load-threshold()").unwrap();
+        assert_eq!(e.name, "load-threshold");
+        assert!(e.args.is_empty());
+        let b = BoundArgs::bind(&e, &specs(), "load-threshold").unwrap();
+        assert_eq!(b.canonical("load-threshold"), "load-threshold");
+        assert!(b.is_all_default());
+    }
+
+    #[test]
+    fn args_parse_with_types() {
+        let e = PolicyExpr::parse("x(a=1, b=1.5, c=true, d=word, e=\"two words\")").unwrap();
+        assert_eq!(
+            e.args,
+            vec![
+                ("a".into(), ArgValue::Int(1)),
+                ("b".into(), ArgValue::Float(1.5)),
+                ("c".into(), ArgValue::Bool(true)),
+                ("d".into(), ArgValue::Str("word".into())),
+                ("e".into(), ArgValue::Str("two words".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_specific() {
+        assert!(PolicyExpr::parse("").is_err());
+        assert!(PolicyExpr::parse("x(").unwrap_err().contains("closing"));
+        assert!(PolicyExpr::parse("(a=1)").unwrap_err().contains("name"));
+        assert!(PolicyExpr::parse("x(a)").unwrap_err().contains("key=value"));
+        assert!(PolicyExpr::parse("x(=1)").unwrap_err().contains("key"));
+        assert!(PolicyExpr::parse("x(a=1 b=2)")
+            .unwrap_err()
+            .contains("quote strings"));
+        assert!(PolicyExpr::parse("x(a=1, a=2)")
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(PolicyExpr::parse("x y").is_err());
+    }
+
+    #[test]
+    fn default_valued_args_canonicalise_away() {
+        for spelled in ["lt", "lt()", "lt(factor=2)", "lt(factor=2.0)"] {
+            let e = PolicyExpr::parse(spelled).unwrap();
+            let b = BoundArgs::bind(&e, &specs(), "lt").unwrap();
+            assert_eq!(b.canonical("lt"), "lt", "{spelled}");
+        }
+        let e = PolicyExpr::parse("lt(factor=1.5)").unwrap();
+        let b = BoundArgs::bind(&e, &specs(), "lt").unwrap();
+        assert_eq!(b.canonical("lt"), "lt(factor=1.5)");
+        assert!(!b.is_all_default());
+        // Int literal coerces to float and renders shortest.
+        let e = PolicyExpr::parse("lt(factor=3)").unwrap();
+        let b = BoundArgs::bind(&e, &specs(), "lt").unwrap();
+        assert_eq!(b.canonical("lt"), "lt(factor=3)");
+        assert_eq!(b.f64("factor"), Some(3.0));
+    }
+
+    #[test]
+    fn runtime_defaults_are_never_dropped() {
+        let e = PolicyExpr::parse("lt(floor_s=60)").unwrap();
+        let b = BoundArgs::bind(&e, &specs(), "lt").unwrap();
+        assert_eq!(b.canonical("lt"), "lt(floor_s=60)");
+        assert_eq!(b.u64("floor_s"), Some(60));
+        // Unprovided: no value at all.
+        let e = PolicyExpr::parse("lt").unwrap();
+        let b = BoundArgs::bind(&e, &specs(), "lt").unwrap();
+        assert_eq!(b.u64("floor_s"), None);
+        assert_eq!(b.f64("factor"), Some(2.0), "static default fills in");
+    }
+
+    #[test]
+    fn canonical_orders_by_declaration() {
+        let e = PolicyExpr::parse("lt(floor_s=30, factor=1.5)").unwrap();
+        let b = BoundArgs::bind(&e, &specs(), "lt").unwrap();
+        assert_eq!(b.canonical("lt"), "lt(factor=1.5, floor_s=30)");
+    }
+
+    #[test]
+    fn bind_rejects_unknown_and_ill_typed_args() {
+        let e = PolicyExpr::parse("lt(factr=3)").unwrap();
+        let err = BoundArgs::bind(&e, &specs(), "load-threshold").unwrap_err();
+        assert!(err.contains("unknown parameter `factr`"), "{err}");
+        assert!(err.contains("factor: float = 2"), "{err}");
+        assert!(err.contains("floor_s: int"), "{err}");
+        assert!(err.contains("imbalance factor"), "{err}");
+
+        let e = PolicyExpr::parse("lt(factor=fast)").unwrap();
+        let err = BoundArgs::bind(&e, &specs(), "load-threshold").unwrap_err();
+        assert!(err.contains("expects float"), "{err}");
+        assert!(err.contains("got string"), "{err}");
+
+        let e = PolicyExpr::parse("lt(floor_s=1.5)").unwrap();
+        let err = BoundArgs::bind(&e, &specs(), "load-threshold").unwrap_err();
+        assert!(err.contains("expects int"), "{err}");
+    }
+
+    #[test]
+    fn no_param_entries_reject_any_arg() {
+        let e = PolicyExpr::parse("FCFS(x=1)").unwrap();
+        let err = BoundArgs::bind(&e, &[], "FCFS").unwrap_err();
+        assert!(err.contains("takes no parameters"), "{err}");
+        let e = PolicyExpr::parse("FCFS()").unwrap();
+        assert!(BoundArgs::bind(&e, &[], "FCFS").is_ok());
+    }
+
+    #[test]
+    fn describe_params_lists_everything() {
+        let d = describe_params("lt", &specs());
+        assert!(d.contains("factor: float = 2 (imbalance factor)"), "{d}");
+        assert_eq!(describe_params("FCFS", &[]), "`FCFS` takes no parameters");
+    }
+}

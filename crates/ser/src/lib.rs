@@ -15,10 +15,16 @@
 //!
 //! Both parsers produce the same [`Value`] type, so spec loading is
 //! format-agnostic.
+//!
+//! It also carries the **policy-expression** layer ([`expr`]): parsing,
+//! typed validation and canonicalisation of `name(key=value, …)`
+//! strings, shared by every policy registry in the workspace.
 
+pub mod expr;
 pub mod json;
 pub mod toml;
 
+pub use expr::{ArgValue, BoundArgs, ParamKind, ParamSpec, PolicyExpr};
 pub use json::Value;
 
 /// FNV-1a 64-bit over `bytes`, starting from `offset`.
