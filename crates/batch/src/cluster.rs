@@ -31,7 +31,7 @@
 //! [`LocalScheduler`](crate::sched::LocalScheduler) trait; see the
 //! [`sched`](crate::sched) module for the registry.
 
-use grid_des::{Duration, SimTime};
+use grid_des::{Duration, SimRng, SimTime};
 
 use crate::gantt::GanttEntry;
 use crate::job::{JobId, JobSpec, ScaledJob};
@@ -65,6 +65,50 @@ impl std::fmt::Display for SubmitError {
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Multiplicative lognormal noise on the middleware's completion-time
+/// *estimates* — the fault-injection hook for robustness campaigns
+/// (constructed by `grid-fault`, installed via
+/// [`Cluster::set_ect_noise`]).
+///
+/// Only the two estimation queries ([`Cluster::estimate_new`] and
+/// [`Cluster::current_ect`]) are perturbed; reservations, starts and
+/// completions — the true schedule driving the simulation — never are.
+/// The error factor is a pure function of `(seed, job)`, so repeated
+/// queries are consistent and runs stay byte-deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EctNoise {
+    seed: u64,
+    sigma: f64,
+}
+
+impl EctNoise {
+    /// A noise source with lognormal σ `sigma` (`factor = exp(σ·z)`,
+    /// `z ~ N(0,1)`; median factor 1). `seed` should already mix the run
+    /// seed, the fault seed and the site index.
+    pub fn new(seed: u64, sigma: f64) -> EctNoise {
+        EctNoise { seed, sigma }
+    }
+
+    /// The job's error factor on this cluster (strictly positive).
+    pub fn factor(&self, job: JobId) -> f64 {
+        let mut rng = SimRng::derive(self.seed, job.0);
+        // Box–Muller; u1 is kept off zero so ln() stays finite.
+        let u1 = rng.gen_f64().max(f64::MIN_POSITIVE);
+        let u2 = rng.gen_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.sigma * z).exp()
+    }
+
+    /// Apply the error to an estimate issued at `now`: the *remaining*
+    /// time to completion is scaled, so estimates never precede the
+    /// query instant.
+    pub fn perturb(&self, job: JobId, now: SimTime, ect: SimTime) -> SimTime {
+        debug_assert!(ect >= now, "estimate precedes the query instant");
+        let remaining = ect.since(now).as_secs() as f64;
+        now + Duration((remaining * self.factor(job)).round() as u64)
+    }
+}
 
 /// A job currently executing.
 #[derive(Debug, Clone)]
@@ -110,6 +154,9 @@ pub struct ClusterStats {
     pub killed: u64,
     /// Waiting jobs removed by `cancel`.
     pub canceled: u64,
+    /// Jobs (running or waiting) evicted by a site outage
+    /// ([`Cluster::fail_until`]).
+    pub evicted: u64,
     /// Largest queue length observed.
     pub max_queue_len: usize,
     /// Sum over completed jobs of `procs * (end - start)` in core-seconds.
@@ -141,6 +188,11 @@ pub struct Cluster {
     stats: ClusterStats,
     /// Execution history for Gantt rendering and post-run analysis.
     history: Vec<GanttEntry>,
+    /// Site outage in effect: no processor is available before this
+    /// instant ([`Cluster::fail_until`]); cleared lazily once passed.
+    unavailable_until: Option<SimTime>,
+    /// Fault-injection hook perturbing the two estimation queries.
+    ect_noise: Option<EctNoise>,
     /// Scale walltimes to this cluster's speed (paper §1: "the automatic
     /// adjustment of the walltime to the speed of the cluster"). On by
     /// default; the A5 ablation turns it off, leaving reservations sized
@@ -171,6 +223,8 @@ impl Cluster {
             incremental: true,
             stats: ClusterStats::default(),
             history: Vec::new(),
+            unavailable_until: None,
+            ect_noise: None,
             adjust_walltime: true,
         }
     }
@@ -205,6 +259,18 @@ impl Cluster {
             "walltime adjustment must be configured before use"
         );
         self.adjust_walltime = adjust;
+    }
+
+    /// Install (or clear) the ECT-noise fault hook. Affects only the
+    /// [`Cluster::estimate_new`] / [`Cluster::current_ect`] estimation
+    /// queries; the true schedule is never perturbed.
+    pub fn set_ect_noise(&mut self, noise: Option<EctNoise>) {
+        self.ect_noise = noise;
+    }
+
+    /// The installed ECT-noise hook, if any.
+    pub fn ect_noise(&self) -> Option<&EctNoise> {
+        self.ect_noise.as_ref()
     }
 
     /// Static description (name, processors, speed).
@@ -345,7 +411,8 @@ impl Cluster {
 
     /// Estimated completion time of a *hypothetical* submission of `job`
     /// at `now` (dry run — nothing is mutated besides the schedule cache).
-    /// `None` when the job cannot run here at all.
+    /// `None` when the job cannot run here at all. Subject to the
+    /// [`EctNoise`] fault hook when one is installed.
     pub fn estimate_new(&mut self, job: &JobSpec, now: SimTime) -> Option<SimTime> {
         if job.procs > self.spec.procs || job.procs == 0 {
             return None;
@@ -353,16 +420,53 @@ impl Cluster {
         let scaled = self.scale_job(job);
         self.ensure_schedule(now);
         let start = self.place_at_tail(scaled.procs, scaled.walltime, now);
-        Some(start + scaled.walltime)
+        Some(self.noisy(job.id, now, start + scaled.walltime))
     }
 
     /// Estimated completion time of a job already waiting here: its current
-    /// reservation end. `None` if the job is not waiting here.
+    /// reservation end. `None` if the job is not waiting here. Subject to
+    /// the [`EctNoise`] fault hook when one is installed.
     pub fn current_ect(&mut self, id: JobId, now: SimTime) -> Option<SimTime> {
         self.ensure_schedule(now);
         let idx = self.find_queued(id)?;
         let q = &self.queue[idx];
-        Some(q.reserved_start + q.scaled.walltime)
+        Some(self.noisy(id, now, q.reserved_start + q.scaled.walltime))
+    }
+
+    /// Apply the ECT-noise hook to an estimate, if one is installed.
+    fn noisy(&self, id: JobId, now: SimTime, ect: SimTime) -> SimTime {
+        match &self.ect_noise {
+            Some(noise) => noise.perturb(id, now, ect),
+            None => ect,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (site outages)
+    // ------------------------------------------------------------------
+
+    /// Take the whole site down until `until`: every running job is
+    /// killed (its work is lost), every waiting job is dequeued, and no
+    /// processor is available before `until` — the availability
+    /// [`Profile`] is truncated accordingly, so submissions made during
+    /// the outage are reserved no earlier than the recovery instant.
+    ///
+    /// Returns the evicted `(running, waiting)` job specs so the grid
+    /// driver can re-enter them into the mapper; overlapping outages
+    /// extend the blackout to the latest recovery.
+    pub fn fail_until(&mut self, until: SimTime, now: SimTime) -> (Vec<JobSpec>, Vec<JobSpec>) {
+        debug_assert!(until > now, "recovery must lie in the future");
+        let running: Vec<JobSpec> = self.running.drain(..).map(|r| r.job).collect();
+        let waiting: Vec<JobSpec> = self.queue.drain(..).map(|q| q.job).collect();
+        self.stats.evicted += (running.len() + waiting.len()) as u64;
+        self.unavailable_until = Some(self.unavailable_until.map_or(until, |u| u.max(until)));
+        self.invalidate();
+        (running, waiting)
+    }
+
+    /// The pending recovery instant while the site is down.
+    pub fn unavailable_until(&self) -> Option<SimTime> {
+        self.unavailable_until
     }
 
     // ------------------------------------------------------------------
@@ -486,6 +590,11 @@ impl Cluster {
     /// against the warm profile when that is the cheaper move, rebuild
     /// from scratch otherwise.
     fn ensure_schedule(&mut self, now: SimTime) {
+        if self.unavailable_until.is_some_and(|u| u <= now) {
+            // The outage has passed; its reservation (if any) expires
+            // from the profile on its own.
+            self.unavailable_until = None;
+        }
         let warm = self.profile.as_ref().is_some_and(|p| p.origin() <= now);
         if warm {
             // Drop historical breakpoints so a long-lived warm profile
@@ -531,6 +640,11 @@ impl Cluster {
         self.dirty_from = None;
         self.stats.recomputes += 1;
         let mut profile = Profile::flat(self.spec.procs, now);
+        if let Some(until) = self.unavailable_until {
+            // Site outage: truncate availability — nothing fits before
+            // the recovery instant.
+            profile.reserve(now, until.since(now), self.spec.procs);
+        }
         for r in &self.running {
             debug_assert!(r.reserved_end > now, "zombie running job {}", r.job.id);
             profile.reserve(now, r.reserved_end.since(now), r.scaled.procs);
@@ -1148,6 +1262,91 @@ pub(crate) mod tests {
         let done = drive(&mut c, jobs);
         assert_eq!(done.len(), 200);
         assert!(c.is_idle());
+    }
+
+    #[test]
+    fn fail_until_evicts_everything_and_blocks_the_site() {
+        for policy in [BatchPolicy::Fcfs, BatchPolicy::Cbf, BatchPolicy::Easy] {
+            let mut c = cluster(8, policy);
+            c.submit(JobSpec::new(1, 0, 8, 500, 500), SimTime(0))
+                .unwrap();
+            c.start_due(SimTime(0));
+            c.submit(JobSpec::new(2, 0, 4, 100, 100), SimTime(0))
+                .unwrap();
+            c.submit(JobSpec::new(3, 0, 4, 100, 100), SimTime(0))
+                .unwrap();
+            let (running, waiting) = c.fail_until(SimTime(1_000), SimTime(50));
+            assert_eq!(running.iter().map(|j| j.id).collect::<Vec<_>>(), [JobId(1)]);
+            assert_eq!(
+                waiting.iter().map(|j| j.id).collect::<Vec<_>>(),
+                [JobId(2), JobId(3)],
+                "{policy}"
+            );
+            assert!(c.is_idle());
+            assert_eq!(c.stats().evicted, 3);
+            assert_eq!(c.unavailable_until(), Some(SimTime(1_000)));
+            // A submission during the outage waits for the recovery.
+            let start = c
+                .submit(JobSpec::new(4, 0, 2, 10, 10), SimTime(50))
+                .unwrap();
+            assert_eq!(start, SimTime(1_000), "{policy}");
+            assert_eq!(c.next_reservation(SimTime(50)), Some(SimTime(1_000)));
+            // Estimates see the truncated profile too.
+            let probe = JobSpec::new(9, 0, 8, 20, 20);
+            assert_eq!(c.estimate_new(&probe, SimTime(60)), Some(SimTime(1_030)));
+            // After recovery the site behaves normally again.
+            let started = c.start_due(SimTime(1_000));
+            assert_eq!(started, vec![(JobId(4), SimTime(1_010))]);
+            assert_eq!(c.unavailable_until(), None, "outage cleared lazily");
+        }
+    }
+
+    #[test]
+    fn overlapping_outages_extend_to_the_latest_recovery() {
+        let mut c = cluster(4, BatchPolicy::Fcfs);
+        c.fail_until(SimTime(500), SimTime(0));
+        c.fail_until(SimTime(300), SimTime(100));
+        assert_eq!(c.unavailable_until(), Some(SimTime(500)));
+        let start = c
+            .submit(JobSpec::new(1, 0, 1, 10, 10), SimTime(100))
+            .unwrap();
+        assert_eq!(start, SimTime(500));
+    }
+
+    #[test]
+    fn ect_noise_perturbs_estimates_but_never_the_schedule() {
+        let noise = EctNoise::new(0xFA_17, 0.5);
+        let mut clean = cluster(8, BatchPolicy::Fcfs);
+        let mut noisy = cluster(8, BatchPolicy::Fcfs);
+        noisy.set_ect_noise(Some(noise.clone()));
+        assert!(noisy.ect_noise().is_some() && clean.ect_noise().is_none());
+        for c in [&mut clean, &mut noisy] {
+            c.submit(JobSpec::new(1, 0, 8, 1_000, 1_000), SimTime(0))
+                .unwrap();
+            c.start_due(SimTime(0));
+            c.submit(JobSpec::new(2, 0, 4, 100, 200), SimTime(0))
+                .unwrap();
+        }
+        // True reservations are identical…
+        assert_eq!(
+            clean.waiting_jobs().next().unwrap().reserved_start,
+            noisy.waiting_jobs().next().unwrap().reserved_start,
+        );
+        assert_eq!(
+            clean.next_reservation(SimTime(0)),
+            noisy.next_reservation(SimTime(0))
+        );
+        // …while both estimation queries differ by the job's factor.
+        let probe = JobSpec::new(7, 0, 2, 50, 100);
+        let e_clean = clean.estimate_new(&probe, SimTime(0)).unwrap();
+        let e_noisy = noisy.estimate_new(&probe, SimTime(0)).unwrap();
+        assert_eq!(e_noisy, noise.perturb(JobId(7), SimTime(0), e_clean));
+        assert_ne!(e_noisy, e_clean, "σ=0.5 must move this estimate");
+        let c_clean = clean.current_ect(JobId(2), SimTime(0)).unwrap();
+        let c_noisy = noisy.current_ect(JobId(2), SimTime(0)).unwrap();
+        assert_eq!(c_noisy, noise.perturb(JobId(2), SimTime(0), c_clean));
+        // Repeated queries are stable (pure per-(job, cluster) factor).
+        assert_eq!(noisy.estimate_new(&probe, SimTime(0)), Some(e_noisy));
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod platform;
 pub mod profile;
 pub mod sched;
 
-pub use cluster::{Cluster, ClusterStats, Queued, Running, SubmitError};
+pub use cluster::{Cluster, ClusterStats, EctNoise, Queued, Running, SubmitError};
 pub use gantt::{GanttChart, GanttEntry};
 pub use job::{JobId, JobSpec, ScaledJob};
 pub use platform::{ClusterSpec, Platform};

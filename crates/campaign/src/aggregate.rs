@@ -16,6 +16,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use grid_batch::BatchPolicy;
+use grid_fault::Fault;
 use grid_metrics::{Comparison, PaperTable, RunOutcome};
 use grid_realloc::experiments::{table_number, ExperimentKey, Metric, SuiteResults};
 use grid_realloc::Heuristic;
@@ -36,6 +37,9 @@ pub struct GroupKey {
     pub period_s: u64,
     /// Algorithm-1 threshold, seconds.
     pub threshold_s: u64,
+    /// Injected faults — each fault point is its own table group, so a
+    /// sweep reads as "the same tables, degrading with intensity".
+    pub fault: Fault,
 }
 
 /// Aggregated campaign: suite results per group.
@@ -63,7 +67,8 @@ pub fn aggregate(
         outcomes.len(),
         "outcome vector must match the plan"
     );
-    let mut references: HashMap<(Scenario, bool, BatchPolicy, u64), &RunOutcome> = HashMap::new();
+    let mut references: HashMap<(Scenario, bool, BatchPolicy, u64, Fault), &RunOutcome> =
+        HashMap::new();
     for (unit, outcome) in plan.units.iter().zip(outcomes) {
         if unit.kind == RunKind::Reference {
             if let Some(outcome) = outcome {
@@ -91,6 +96,7 @@ pub fn aggregate(
             seed: unit.seed,
             period_s: setting.period.as_secs(),
             threshold_s: setting.threshold.as_secs(),
+            fault: unit.fault,
         };
         groups
             .entry(key)
@@ -188,6 +194,8 @@ pub struct SeedAggKey {
     pub period_s: u64,
     /// Algorithm-1 threshold, seconds.
     pub threshold_s: u64,
+    /// Injected faults.
+    pub fault: Fault,
 }
 
 /// Cross-seed statistics of one group.
@@ -200,6 +208,14 @@ pub struct SeedAggregate {
 }
 
 impl CampaignResults {
+    /// `true` when any group carries an injected fault — the single
+    /// gate for every fault-aware export surface (group headers, the
+    /// CSV `fault` column): healthy campaigns must stay byte-identical
+    /// to the pre-fault engine everywhere at once.
+    fn faulted(&self) -> bool {
+        self.groups.keys().any(|g| !g.fault.is_none())
+    }
+
     /// Fold the per-seed groups into per-`(flavour, period, threshold)`
     /// cross-seed statistics.
     pub fn seed_aggregates(&self) -> BTreeMap<SeedAggKey, SeedAggregate> {
@@ -212,6 +228,7 @@ impl CampaignResults {
                 heterogeneous: group.heterogeneous,
                 period_s: group.period_s,
                 threshold_s: group.threshold_s,
+                fault: group.fault,
             };
             seeds.entry(key).or_default().insert(group.seed);
             let by_cell = samples.entry(key).or_default();
@@ -335,11 +352,20 @@ impl CampaignResults {
     /// The classic per-seed rendering.
     fn render_per_seed_tables(&self) -> String {
         let mut out = String::new();
-        let multi_group = self.groups.len() > 1;
+        let faulted = self.faulted();
+        let multi_group = self.groups.len() > 1 || faulted;
         for (key, results) in &self.groups {
             if multi_group {
+                // The fault segment appears only in faulted campaigns,
+                // keeping healthy-campaign reports byte-identical to the
+                // pre-fault engine (golden suite).
+                let fault = if faulted {
+                    format!(" / fault {}", key.fault)
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "## group: {} / seed {} / period {}s / threshold {}s\n\n",
+                    "## group: {} / seed {} / period {}s / threshold {}s{fault}\n\n",
                     if key.heterogeneous {
                         "heterogeneous"
                     } else {
@@ -365,9 +391,15 @@ impl CampaignResults {
     /// The multi-seed rendering: one group per sweep point, mean + CI.
     fn render_seed_aggregated_tables(&self) -> String {
         let mut out = String::new();
+        let faulted = self.faulted();
         for (key, agg) in self.seed_aggregates() {
+            let fault = if faulted {
+                format!(" / fault {}", key.fault)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "## group: {} / period {}s / threshold {}s — mean ± 95% CI over {} seeds\n\n",
+                "## group: {} / period {}s / threshold {}s{fault} — mean ± 95% CI over {} seeds\n\n",
                 if key.heterogeneous {
                     "heterogeneous"
                 } else {
@@ -395,13 +427,22 @@ impl CampaignResults {
     /// Policy-expression fields may contain commas
     /// (`load-threshold(factor=1.5, floor_s=30)`); such fields are
     /// CSV-quoted. Bare names are emitted unquoted, byte-identical to
-    /// the pre-expression exports.
+    /// the pre-expression exports. Campaigns with a fault axis gain a
+    /// `fault` column (canonical fault expression per cell); healthy
+    /// campaigns keep the historical header byte for byte.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "scenario,platform,policy,algorithm,heuristic,period_s,threshold_s,seed,\
+        let faulted = self.faulted();
+        let fault_col = if faulted { ",fault" } else { "" };
+        let mut out = format!(
+            "scenario,platform,policy,algorithm,heuristic,period_s,threshold_s,seed{fault_col},\
              n_jobs,impacted,earlier,later,reallocations,pct_impacted,pct_earlier,rel_avg_response\n",
         );
         for (group, results) in &self.groups {
+            let fault_field = if faulted {
+                format!(",{}", csv_field(group.fault.name()))
+            } else {
+                String::new()
+            };
             let mut keys: Vec<&ExperimentKey> = results.comparisons.keys().collect();
             keys.sort_by_key(|k| {
                 (
@@ -414,7 +455,7 @@ impl CampaignResults {
             for key in keys {
                 let c = &results.comparisons[key];
                 out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                    "{},{},{},{},{},{},{},{}{fault_field},{},{},{},{},{},{},{},{}\n",
                     key.scenario.label(),
                     if group.heterogeneous { "het" } else { "hom" },
                     csv_field(key.policy.name()),
@@ -462,6 +503,11 @@ impl CampaignResults {
                 row.insert("period_s", group.period_s);
                 row.insert("threshold_s", group.threshold_s);
                 row.insert("seed", group.seed);
+                // Healthy cells omit the key (byte-compat with pre-fault
+                // exports); faulted cells carry the canonical expression.
+                if !group.fault.is_none() {
+                    row.insert("fault", group.fault.name());
+                }
                 row.insert(
                     "paper_tables",
                     Value::Arr(
@@ -502,6 +548,9 @@ impl CampaignResults {
                     row.insert("heuristic", cell.heuristic.label());
                     row.insert("period_s", key.period_s);
                     row.insert("threshold_s", key.threshold_s);
+                    if !key.fault.is_none() {
+                        row.insert("fault", key.fault.name());
+                    }
                     row.insert("metric", format!("{metric:?}"));
                     row.insert("mean", stats.mean);
                     row.insert("ci95", stats.ci95);

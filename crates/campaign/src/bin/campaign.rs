@@ -153,47 +153,24 @@ fn cmd_plan(opts: &CommonArgs) -> Result<(), String> {
     if !spec.description.is_empty() {
         println!("  {}", spec.description);
     }
+    // One shared canonicalisation path for every axis, current and
+    // future ([`CampaignSpec::axes`]): the values printed here are the
+    // exact canonical expressions the handles hash into cache keys —
+    // `load-threshold`, `load-threshold()` and `load-threshold(factor=2)`
+    // all print identically, and a newly added axis appears here without
+    // touching the CLI.
+    let axes = spec.axes();
     println!(
-        "matrix: {} scenarios x {} platforms x {} policies x {} algorithms x {} heuristics \
-         x {} periods x {} thresholds x {} seeds @ fraction {}",
-        spec.scenarios.len(),
-        spec.heterogeneity.len(),
-        spec.policies.len(),
-        spec.algorithms.len(),
-        spec.heuristics.len(),
-        spec.periods_s.len(),
-        spec.thresholds_s.len(),
-        spec.seeds.len(),
+        "matrix: {} @ fraction {}",
+        axes.iter()
+            .map(|(name, values)| format!("{} {name}", values.len()))
+            .collect::<Vec<_>>()
+            .join(" x "),
         spec.fraction,
     );
-    // Fully canonicalised axis values: `load-threshold`,
-    // `load-threshold()` and `load-threshold(factor=2)` all print — and
-    // hash into cache keys — identically.
-    fn axis<T: std::fmt::Display>(name: &str, items: &[T]) {
-        println!(
-            "  {name}: {}",
-            items
-                .iter()
-                .map(ToString::to_string)
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
+    for (name, values) in &axes {
+        println!("  {name:<12}: {}", values.join(", "));
     }
-    axis(
-        "scenarios ",
-        &spec.scenarios.iter().map(|s| s.label()).collect::<Vec<_>>(),
-    );
-    axis(
-        "platforms ",
-        &spec
-            .heterogeneity
-            .iter()
-            .map(|&h| if h { "heterogeneous" } else { "homogeneous" })
-            .collect::<Vec<_>>(),
-    );
-    axis("policies  ", &spec.policies);
-    axis("algorithms", &spec.algorithms);
-    axis("heuristics", &spec.heuristics);
     println!(
         "total runs: {} ({} reference + {} reallocation)",
         plan.len(),

@@ -195,6 +195,7 @@ mod tests {
             policy: BatchPolicy::Cbf,
             seed,
             fraction: 0.01,
+            fault: grid_fault::Fault::NONE,
             kind: RunKind::Reference,
         }
     }

@@ -76,6 +76,7 @@ pub fn simulate(unit: &RunUnit) -> RunOutcome {
         fraction: unit.fraction,
         period,
         threshold,
+        fault: unit.fault,
     };
     run_one(
         unit.scenario,

@@ -2,6 +2,7 @@
 
 use grid_batch::BatchPolicy;
 use grid_des::Duration;
+use grid_fault::Fault;
 use grid_realloc::{Heuristic, ReallocAlgorithm, ReallocConfig};
 use grid_ser::Value;
 use grid_workload::Scenario;
@@ -54,13 +55,16 @@ pub struct RunUnit {
     pub seed: u64,
     /// Per-site job-count fraction (1.0 = the paper's Table 1 counts).
     pub fraction: f64,
+    /// Injected faults ([`Fault::NONE`] = the paper's healthy grid).
+    pub fault: Fault,
     /// Reference or reallocation run.
     pub kind: RunKind,
 }
 
 impl RunUnit {
     /// Compact human-readable identifier, e.g.
-    /// `apr/het/FCFS/cancel-all/MinMin/p3600/t60/s42`.
+    /// `apr/het/FCFS/cancel-all/MinMin/p3600/t60/s42`; fault-injected
+    /// units append the canonical fault expression.
     pub fn label(&self) -> String {
         let base = format!(
             "{}/{}/{}",
@@ -68,7 +72,7 @@ impl RunUnit {
             if self.heterogeneous { "het" } else { "hom" },
             self.policy,
         );
-        match self.kind {
+        let mut label = match self.kind {
             RunKind::Reference => format!("{base}/reference/s{}", self.seed),
             RunKind::Realloc(r) => format!(
                 "{base}/{}/{}/p{}/t{}/s{}",
@@ -78,7 +82,12 @@ impl RunUnit {
                 r.threshold.as_secs(),
                 self.seed,
             ),
+        };
+        if !self.fault.is_none() {
+            label.push('/');
+            label.push_str(self.fault.name());
         }
+        label
     }
 
     /// The canonical JSON descriptor this unit is content-addressed by.
@@ -95,6 +104,12 @@ impl RunUnit {
         d.insert("policy", self.policy.to_string());
         d.insert("seed", self.seed);
         d.insert("fraction", self.fraction);
+        // Healthy-grid units omit the key entirely, so every cache
+        // record and key written before fault injection existed stays
+        // reachable (pinned by `default_expression_cache_keys_are_pinned`).
+        if !self.fault.is_none() {
+            d.insert("fault", self.fault.name());
+        }
         match self.kind {
             RunKind::Reference => d.insert("kind", "reference"),
             RunKind::Realloc(r) => {
@@ -110,9 +125,17 @@ impl RunUnit {
     }
 
     /// The key of the reference run this unit compares against (itself
-    /// for reference units).
-    pub fn baseline_key(&self) -> (Scenario, bool, BatchPolicy, u64) {
-        (self.scenario, self.heterogeneous, self.policy, self.seed)
+    /// for reference units). Faulted runs compare against the reference
+    /// under the *same* fault, so a campaign measures the reallocation
+    /// gain that survives the fault, not the fault itself.
+    pub fn baseline_key(&self) -> (Scenario, bool, BatchPolicy, u64, Fault) {
+        (
+            self.scenario,
+            self.heterogeneous,
+            self.policy,
+            self.seed,
+            self.fault,
+        )
     }
 }
 
@@ -179,6 +202,7 @@ mod tests {
             policy: BatchPolicy::Fcfs,
             seed: 42,
             fraction: 0.01,
+            fault: Fault::NONE,
             kind,
         }
     }
@@ -199,6 +223,25 @@ mod tests {
             unit(r).label(),
             "jun/het/FCFS/cancel-all/MinMin/p3600/t60/s42"
         );
+    }
+
+    #[test]
+    fn fault_units_extend_labels_and_descriptors() {
+        let fault = Fault::resolve_expr("outage(mtbf_h=12)").unwrap();
+        let mut u = unit(RunKind::Reference);
+        u.fault = fault;
+        assert_eq!(u.label(), "jun/het/FCFS/reference/s42/outage(mtbf_h=12)");
+        let enc = u.descriptor().encode();
+        assert!(enc.contains("\"fault\":\"outage(mtbf_h=12)\""), "{enc}");
+        assert_ne!(enc, unit(RunKind::Reference).descriptor().encode());
+        // The healthy unit's descriptor carries no fault key at all, so
+        // pre-fault cache records stay byte-reachable.
+        assert!(!unit(RunKind::Reference)
+            .descriptor()
+            .encode()
+            .contains("fault"));
+        // The baseline of a faulted run is the faulted reference.
+        assert_eq!(u.baseline_key().4, fault);
     }
 
     #[test]

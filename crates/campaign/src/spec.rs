@@ -8,6 +8,7 @@
 
 use grid_batch::BatchPolicy;
 use grid_des::Duration;
+use grid_fault::Fault;
 use grid_realloc::{Heuristic, ReallocAlgorithm};
 use grid_ser::json::SerError;
 use grid_ser::{toml, Value};
@@ -32,6 +33,10 @@ pub struct CampaignSpec {
     pub algorithms: Vec<ReallocAlgorithm>,
     /// Scheduling heuristics (paper: all six).
     pub heuristics: Vec<Heuristic>,
+    /// Injected faults (paper: the healthy grid, `none`). Every fault
+    /// point gets its own reference runs, so reallocation-vs-none
+    /// comparisons measure the gain *under* the fault.
+    pub faults: Vec<Fault>,
     /// Reallocation periods, seconds (paper: one hour).
     pub periods_s: Vec<u64>,
     /// Algorithm-1 improvement thresholds, seconds (paper: one minute).
@@ -55,6 +60,7 @@ impl CampaignSpec {
             policies: vec![BatchPolicy::Fcfs, BatchPolicy::Cbf],
             algorithms: ReallocAlgorithm::ALL.to_vec(),
             heuristics: Heuristic::ALL.to_vec(),
+            faults: vec![Fault::NONE],
             periods_s: vec![3_600],
             thresholds_s: vec![60],
             seeds: vec![42],
@@ -121,6 +127,7 @@ impl CampaignSpec {
             policies: parse_axis(matrix, "policies", &paper.policies, parse_policy)?,
             algorithms: parse_axis(matrix, "algorithms", &paper.algorithms, parse_algorithm)?,
             heuristics: parse_axis(matrix, "heuristics", &paper.heuristics, parse_heuristic)?,
+            faults: parse_axis(matrix, "faults", &paper.faults, parse_fault)?,
             periods_s: parse_u64_axis(matrix, "periods_s", &paper.periods_s)?,
             thresholds_s: parse_u64_axis(matrix, "thresholds_s", &paper.thresholds_s)?,
             seeds: parse_u64_axis(v, "seeds", &paper.seeds)?,
@@ -158,6 +165,7 @@ impl CampaignSpec {
         check("policies", &self.policies)?;
         check("algorithms", &self.algorithms)?;
         check("heuristics", &self.heuristics)?;
+        check("faults", &self.faults)?;
         check("periods_s", &self.periods_s)?;
         check("thresholds_s", &self.thresholds_s)?;
         check("seeds", &self.seeds)?;
@@ -196,42 +204,48 @@ impl CampaignSpec {
     pub fn expand(&self) -> CampaignPlan {
         let mut units = Vec::with_capacity(self.total_runs());
         for &seed in &self.seeds {
-            for &scenario in &self.scenarios {
-                for &heterogeneous in &self.heterogeneity {
-                    for &policy in &self.policies {
-                        units.push(RunUnit {
-                            scenario,
-                            heterogeneous,
-                            policy,
-                            seed,
-                            fraction: self.fraction,
-                            kind: RunKind::Reference,
-                        });
+            for &fault in &self.faults {
+                for &scenario in &self.scenarios {
+                    for &heterogeneous in &self.heterogeneity {
+                        for &policy in &self.policies {
+                            units.push(RunUnit {
+                                scenario,
+                                heterogeneous,
+                                policy,
+                                seed,
+                                fraction: self.fraction,
+                                fault,
+                                kind: RunKind::Reference,
+                            });
+                        }
                     }
                 }
             }
         }
         for &seed in &self.seeds {
-            for &scenario in &self.scenarios {
-                for &heterogeneous in &self.heterogeneity {
-                    for &policy in &self.policies {
-                        for &algorithm in &self.algorithms {
-                            for &heuristic in &self.heuristics {
-                                for &period in &self.periods_s {
-                                    for &threshold in &self.thresholds_s {
-                                        units.push(RunUnit {
-                                            scenario,
-                                            heterogeneous,
-                                            policy,
-                                            seed,
-                                            fraction: self.fraction,
-                                            kind: RunKind::Realloc(ReallocSetting {
-                                                algorithm,
-                                                heuristic,
-                                                period: Duration::secs(period),
-                                                threshold: Duration::secs(threshold),
-                                            }),
-                                        });
+            for &fault in &self.faults {
+                for &scenario in &self.scenarios {
+                    for &heterogeneous in &self.heterogeneity {
+                        for &policy in &self.policies {
+                            for &algorithm in &self.algorithms {
+                                for &heuristic in &self.heuristics {
+                                    for &period in &self.periods_s {
+                                        for &threshold in &self.thresholds_s {
+                                            units.push(RunUnit {
+                                                scenario,
+                                                heterogeneous,
+                                                policy,
+                                                seed,
+                                                fraction: self.fraction,
+                                                fault,
+                                                kind: RunKind::Realloc(ReallocSetting {
+                                                    algorithm,
+                                                    heuristic,
+                                                    period: Duration::secs(period),
+                                                    threshold: Duration::secs(threshold),
+                                                }),
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -246,6 +260,7 @@ impl CampaignSpec {
     /// Run count the expansion will produce.
     pub fn total_runs(&self) -> usize {
         let base = self.seeds.len()
+            * self.faults.len()
             * self.scenarios.len()
             * self.heterogeneity.len()
             * self.policies.len();
@@ -255,16 +270,51 @@ impl CampaignSpec {
             * self.periods_s.len()
             * self.thresholds_s.len()
     }
+
+    /// Every axis of the spec with canonically rendered values, in
+    /// declaration order — the single rendering path for axis values, so
+    /// a new axis cannot print (or be grepped in CI as) anything but the
+    /// canonical expressions its handles hash into cache keys.
+    /// `campaign plan` prints exactly this.
+    pub fn axes(&self) -> Vec<(&'static str, Vec<String>)> {
+        fn strings<T: ToString>(items: &[T]) -> Vec<String> {
+            items.iter().map(ToString::to_string).collect()
+        }
+        vec![
+            (
+                "scenarios",
+                self.scenarios
+                    .iter()
+                    .map(|s| s.label().to_string())
+                    .collect(),
+            ),
+            (
+                "platforms",
+                self.heterogeneity
+                    .iter()
+                    .map(|&h| if h { "heterogeneous" } else { "homogeneous" }.to_string())
+                    .collect(),
+            ),
+            ("policies", strings(&self.policies)),
+            ("algorithms", strings(&self.algorithms)),
+            ("heuristics", strings(&self.heuristics)),
+            ("faults", strings(&self.faults)),
+            ("periods_s", strings(&self.periods_s)),
+            ("thresholds_s", strings(&self.thresholds_s)),
+            ("seeds", strings(&self.seeds)),
+        ]
+    }
 }
 
 /// The matrix-axis keys (valid under `[matrix]`, or at top level in the
 /// JSON convenience form).
-const AXIS_KEYS: [&str; 7] = [
+const AXIS_KEYS: [&str; 8] = [
     "scenarios",
     "platforms",
     "policies",
     "algorithms",
     "heuristics",
+    "faults",
     "periods_s",
     "thresholds_s",
 ];
@@ -396,6 +446,14 @@ fn parse_algorithm(s: &str) -> Result<ReallocAlgorithm, SerError> {
 
 fn parse_heuristic(s: &str) -> Result<Heuristic, SerError> {
     Heuristic::resolve_expr(s).map_err(SerError::new)
+}
+
+/// Faults are (compound) expressions: `none`, `outage(mtbf_h=12)`,
+/// `outage(mtbf_h=12)+ect-noise(sigma=0.5)`. Canonicalisation makes
+/// spelling variants of one configuration collide in the duplicate
+/// check instead of silently doubling the axis.
+fn parse_fault(s: &str) -> Result<Fault, SerError> {
+    Fault::resolve_expr(s).map_err(SerError::new)
 }
 
 #[cfg(test)]
@@ -580,6 +638,76 @@ policies = ["FCFS", "FCFS+CBF+CBF"]
             err.to_string().contains("2 sites") && err.to_string().contains("3 clusters"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn fault_axis_parses_canonicalises_and_multiplies_runs() {
+        // Omitted axis = the healthy grid; explicit "none" is identical.
+        let implicit = CampaignSpec::from_toml_str("name = \"paper\"").unwrap();
+        let explicit =
+            CampaignSpec::from_toml_str("name = \"paper\"\n[matrix]\nfaults = [\"none\"]").unwrap();
+        assert_eq!(implicit.faults, vec![Fault::NONE]);
+        assert_eq!(implicit, explicit);
+        assert_eq!(implicit.total_runs(), 364);
+        // A three-point sweep triples the whole matrix, references too.
+        let sweep = CampaignSpec::from_toml_str(
+            r#"
+[matrix]
+scenarios = ["jun"]
+platforms = ["hom"]
+policies = ["FCFS"]
+algorithms = ["cancel-all"]
+heuristics = ["Mct"]
+faults = ["none", "outage(mtbf_h=12)", "ECT-Noise(sigma=0.5, seed=0)"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(sweep.faults.len(), 3);
+        assert_eq!(sweep.faults[2].name(), "ect-noise(sigma=0.5)");
+        assert_eq!(sweep.total_runs(), 3 + 3);
+        let plan = sweep.expand();
+        assert_eq!(plan.reference_count(), 3, "one reference per fault point");
+        // Spelling variants of one fault are duplicates.
+        let err =
+            CampaignSpec::from_toml_str("[matrix]\nfaults = [\"outage\", \"outage(mtbf_h=24)\"]")
+                .unwrap_err();
+        assert!(err.to_string().contains("twice"), "{err}");
+        // Unknown components list the registry.
+        let err = CampaignSpec::from_toml_str("[matrix]\nfaults = [\"meteor\"]").unwrap_err();
+        assert!(
+            err.to_string().contains("outage, ect-noise, perturb"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn axes_render_every_axis_canonically() {
+        let spec = CampaignSpec::from_toml_str(
+            r#"
+seeds = [1, 2]
+[matrix]
+scenarios = ["jun"]
+algorithms = ["load-threshold(factor=2)"]
+heuristics = ["Sufferage(rank=1)", "sufferage(rank=2)"]
+faults = ["ect-noise(sigma=0.5)+outage(mtbf_h=24.0)"]
+"#,
+        )
+        .unwrap();
+        let axes = spec.axes();
+        let get =
+            |name: &str| -> &Vec<String> { &axes.iter().find(|(n, _)| *n == name).unwrap().1 };
+        // Canonical spellings, not the spec file's.
+        assert_eq!(get("algorithms"), &["load-threshold"]);
+        assert_eq!(get("heuristics"), &["Sufferage", "Sufferage(rank=2)"]);
+        assert_eq!(get("faults"), &["outage+ect-noise(sigma=0.5)"]);
+        assert_eq!(get("seeds"), &["1", "2"]);
+        assert_eq!(get("periods_s"), &["3600"]);
+        // Every matrix axis key is covered (plus seeds), so `plan`
+        // cannot silently skip a new axis.
+        for key in super::AXIS_KEYS {
+            assert!(axes.iter().any(|(n, _)| *n == key), "axis {key} missing");
+        }
+        assert_eq!(axes.len(), super::AXIS_KEYS.len() + 1);
     }
 
     #[test]

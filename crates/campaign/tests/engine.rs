@@ -346,6 +346,126 @@ fn heterogeneous_grid_spec_runs_end_to_end() {
     assert!(json.contains("load-threshold(factor=3)"));
 }
 
+/// A spec spelling `faults = ["none"]` is the healthy campaign: same
+/// expansion, same descriptors, same cache keys — so every cache
+/// directory written before fault injection existed keeps hitting
+/// (together with `default_expression_cache_keys_are_pinned`, which
+/// pins the absolute key values).
+#[test]
+fn fault_none_is_byte_identical_to_the_pre_fault_engine() {
+    let healthy = tiny_spec();
+    let spelled = CampaignSpec::from_toml_str(
+        r#"
+name = "tiny"
+fraction = 0.01
+[matrix]
+scenarios = ["jun"]
+policies = ["FCFS"]
+heuristics = ["Mct", "MinMin"]
+faults = ["none"]
+"#,
+    )
+    .unwrap();
+    assert_eq!(spelled.faults, healthy.faults);
+    let (a, b) = (healthy.expand(), spelled.expand());
+    assert_eq!(a.len(), b.len());
+    for (ua, ub) in a.units.iter().zip(&b.units) {
+        assert_eq!(ua.label(), ub.label());
+        assert_eq!(
+            ua.descriptor().encode(),
+            ub.descriptor().encode(),
+            "explicit none must not perturb descriptors"
+        );
+        assert!(
+            !ua.descriptor().encode().contains("fault"),
+            "healthy descriptors must not mention faults at all"
+        );
+    }
+}
+
+/// The acceptance path of the fault subsystem: the example robustness
+/// sweep runs end to end; the report carries reallocation-vs-none
+/// metrics for every fault intensity; and the whole campaign is
+/// byte-deterministic — a fresh single-process run and a fresh 3-shard
+/// run produce identical cache bytes, CSV and tables.
+#[test]
+fn fault_sweep_campaign_runs_end_to_end_deterministically() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/fault_sweep.toml");
+    let mut spec = CampaignSpec::load(&path).expect("fault sweep spec parses");
+    assert!(
+        spec.faults.len() >= 4,
+        "the sweep must cover several fault intensities"
+    );
+    assert!(spec.faults.contains(&grid_fault::Fault::NONE));
+    // Shrink for test speed: two fault points beyond the healthy grid.
+    spec.faults.truncate(3);
+    spec.fraction = 0.005;
+    let plan = spec.expand();
+    assert_eq!(plan.reference_count(), 3, "one reference per fault point");
+    assert_eq!(plan.realloc_count(), 3 * 2);
+
+    let dir_a = scratch("fault-single");
+    let cache_a = ResultCache::open(&dir_a).unwrap();
+    let (outcomes, summary) = execute(&plan.units, Some(&cache_a), &ExecOptions::default());
+    assert!(summary.failures.is_empty(), "{:?}", summary.failures);
+    let results = aggregate(&spec, &plan, &outcomes).expect("complete campaign");
+
+    // Sharded re-run from scratch: identical bytes everywhere.
+    let dir_b = scratch("fault-sharded");
+    let cache_b = ResultCache::open(&dir_b).unwrap();
+    for shard in 0..3 {
+        let units = plan.shard(3, shard);
+        let (_, s) = execute(&units, Some(&cache_b), &ExecOptions::default());
+        assert!(s.failures.is_empty());
+    }
+    assert_eq!(
+        cache_bytes(&dir_a),
+        cache_bytes(&dir_b),
+        "sharded fault campaign must write byte-identical records"
+    );
+    let from_cache: Vec<_> = plan
+        .units
+        .iter()
+        .map(|u| cache_b.load(u).map(|r| r.outcome))
+        .collect();
+    let sharded = aggregate(&spec, &plan, &from_cache).unwrap();
+    assert_eq!(results.to_csv(), sharded.to_csv());
+    assert_eq!(results.render_tables(), sharded.render_tables());
+
+    // The CSV gains the fault column and keys every cell by the
+    // canonical fault expression.
+    let csv = results.to_csv();
+    let header = csv.lines().next().unwrap();
+    assert!(header.contains(",seed,fault,"), "{header}");
+    assert_eq!(csv.lines().count(), 1 + 6, "one row per realloc cell");
+    for fault in &spec.faults {
+        // Expressions with a two-argument component carry a comma and
+        // are RFC-4180-quoted in the export; bare names are not.
+        let field = if fault.name().contains(',') {
+            format!(",\"{}\",", fault.name().replace('"', "\"\""))
+        } else {
+            format!(",{},", fault.name())
+        };
+        let rows = csv.lines().filter(|l| l.contains(&field)).count();
+        assert_eq!(rows, 2, "2 heuristics per fault point `{fault}`");
+    }
+
+    // Each fault point is its own table group with realloc-vs-none
+    // metrics (relative response per cell), so the report reads as the
+    // gain degrading with intensity.
+    let tables = results.render_tables();
+    for fault in &spec.faults {
+        assert!(
+            tables.contains(&format!("/ fault {fault}")),
+            "missing group for `{fault}`:\n{tables}"
+        );
+    }
+    assert!(tables.contains("Relative average response time"));
+    // Outages really fired in the faulted runs.
+    let evictions: u64 = outcomes.iter().flatten().map(|o| o.outage_evictions).sum();
+    assert!(evictions > 0, "the sweep's outages must actually evict");
+}
+
 #[test]
 fn report_fails_cleanly_on_incomplete_cache() {
     let spec = tiny_spec();

@@ -176,11 +176,11 @@ impl<'a> EctView<'a> {
         }
     }
 
-    /// The two best ECT *values* among the job's options (Sufferage). In
-    /// `Queued` mode the options are "stay" plus each foreign cluster; in
-    /// `Cancelled` mode, each cluster. Returns `(best, second_best)`;
-    /// `second_best` is `None` with fewer than two options.
-    pub fn two_best_ects(&mut self, i: usize) -> (SimTime, Option<SimTime>) {
+    /// Every ECT *value* among the job's options, ascending. In `Queued`
+    /// mode the options are "stay" plus each foreign cluster; in
+    /// `Cancelled` mode, each cluster. Rank-`k` sufferage variants read
+    /// `options[k] − options[0]`.
+    pub fn ect_options(&mut self, i: usize) -> Vec<SimTime> {
         let mut options: Vec<SimTime> = Vec::with_capacity(self.clusters.len() + 1);
         if self.mode == ViewMode::Queued {
             options.push(self.cur_ect(i));
@@ -191,6 +191,14 @@ impl<'a> EctView<'a> {
             }
         }
         options.sort_unstable();
+        options
+    }
+
+    /// The two best ECT *values* among the job's options (classic
+    /// Sufferage). Returns `(best, second_best)`; `second_best` is
+    /// `None` with fewer than two options.
+    pub fn two_best_ects(&mut self, i: usize) -> (SimTime, Option<SimTime>) {
+        let options = self.ect_options(i);
         match options.as_slice() {
             [] => (SimTime::MAX, None),
             [one] => (*one, None),

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use grid_batch::{BatchPolicy, Platform};
 use grid_des::Duration;
+use grid_fault::Fault;
 use grid_metrics::{Comparison, PaperTable, RunOutcome};
 use grid_workload::Scenario;
 use rayon::prelude::*;
@@ -89,6 +90,8 @@ pub struct SuiteConfig {
     pub period: Duration,
     /// Algorithm 1 improvement threshold.
     pub threshold: Duration,
+    /// Fault injection ([`Fault::NONE`] = the paper's healthy grid).
+    pub fault: Fault,
 }
 
 impl Default for SuiteConfig {
@@ -98,6 +101,7 @@ impl Default for SuiteConfig {
             fraction: 1.0,
             period: Duration::hours(1),
             threshold: Duration::secs(60),
+            fault: Fault::NONE,
         }
     }
 }
@@ -150,8 +154,15 @@ pub fn run_one(
     realloc: Option<ReallocConfig>,
     suite: &SuiteConfig,
 ) -> RunOutcome {
-    let jobs = scenario.generate_fraction(suite.seed, suite.fraction);
-    let mut config = GridConfig::new(platform_for(scenario, heterogeneous), policy);
+    let mut jobs = scenario.generate_fraction(suite.seed, suite.fraction);
+    // Trace perturbation happens before the driver sees the workload;
+    // outages and ECT noise are injected by the driver itself.
+    if let Some(perturb) = &suite.fault.config().perturb {
+        perturb.apply(&mut jobs, suite.seed);
+    }
+    let mut config = GridConfig::new(platform_for(scenario, heterogeneous), policy)
+        .with_seed(suite.seed)
+        .with_fault(suite.fault);
     if let Some(r) = realloc {
         config = config.with_realloc(r);
     }
@@ -617,6 +628,23 @@ mod tests {
         let results = run_suite(true, &[Scenario::Apr], &SuiteConfig::smoke());
         let total: u64 = results.comparisons.values().map(|c| c.reallocations).sum();
         assert!(total > 0, "no migrations in the whole smoke suite");
+    }
+
+    /// The harness applies trace perturbation before the driver runs:
+    /// the perturbed suite differs from the healthy one, deterministically.
+    #[test]
+    fn suite_fault_perturbs_the_trace_deterministically() {
+        let perturbed_suite = SuiteConfig {
+            fault: Fault::resolve_expr("perturb(jitter_s=1800, runtime_factor=1.3)").unwrap(),
+            ..SuiteConfig::smoke()
+        };
+        let run =
+            |suite: &SuiteConfig| run_one(Scenario::Jun, false, BatchPolicy::Fcfs, None, suite);
+        let healthy = run(&SuiteConfig::smoke());
+        let perturbed = run(&perturbed_suite);
+        assert_eq!(perturbed.records.len(), healthy.records.len());
+        assert_ne!(perturbed.records, healthy.records);
+        assert_eq!(perturbed.records, run(&perturbed_suite).records);
     }
 
     #[test]

@@ -7,14 +7,17 @@
 //! `grid-batch` [`Cluster`]) runs its local batch policy.
 //!
 //! The event loop is deterministic: events sharing a timestamp are
-//! processed completions-first, then arrivals, then the reallocation tick,
-//! then a fixpoint that starts every job whose reservation is due. The
-//! whole run is a pure function of `(GridConfig, jobs)`.
+//! processed completions-first, then arrivals, then site outages, then
+//! the reallocation tick, then a fixpoint that starts every job whose
+//! reservation is due. The whole run is a pure function of
+//! `(GridConfig, jobs)` — fault injection included, since every fault
+//! model is seed-addressed (see [`grid_fault`]).
 
 use std::collections::HashMap;
 
 use grid_batch::{BatchPolicy, Cluster, JobId, JobSpec, Platform};
 use grid_des::{EventQueue, SimTime};
+use grid_fault::{Fault, OutageWindow, OutageWindows};
 use grid_metrics::{JobRecord, RunOutcome};
 
 use crate::mapping::{Mapper, Mapping};
@@ -38,10 +41,16 @@ pub struct GridConfig {
     pub mapping: Mapping,
     /// Reallocation mechanism; `None` reproduces the reference runs.
     pub realloc: Option<ReallocConfig>,
-    /// Seed for the stochastic pieces (Random mapping only).
+    /// Seed for the stochastic pieces (Random mapping, fault streams).
     pub seed: u64,
     /// Scale walltimes to cluster speeds (§1; off only for ablation A5).
     pub walltime_adjustment: bool,
+    /// Fault injection: cluster outages and ECT estimation noise
+    /// ([`Fault::NONE`] reproduces the paper's healthy grid). Trace
+    /// perturbation is applied to the workload *before* it reaches the
+    /// driver (see `grid_fault::PerturbSpec` and the experiment
+    /// harness).
+    pub fault: Fault,
 }
 
 impl GridConfig {
@@ -54,6 +63,7 @@ impl GridConfig {
             realloc: None,
             seed: 0,
             walltime_adjustment: true,
+            fault: Fault::NONE,
         }
     }
 
@@ -78,6 +88,12 @@ impl GridConfig {
     /// Builder: disable walltime speed-adjustment (ablation A5).
     pub fn with_walltime_adjustment(mut self, adjust: bool) -> Self {
         self.walltime_adjustment = adjust;
+        self
+    }
+
+    /// Builder: inject faults (outages, ECT noise).
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.fault = fault;
         self
     }
 }
@@ -135,6 +151,10 @@ enum Event {
     Wake { cluster: usize },
     /// Periodic reallocation event.
     ReallocTick,
+    /// A site fails (fault injection): running jobs are killed, the
+    /// whole queue re-enters the mapper, and the site stays blocked
+    /// until the window's recovery instant.
+    Outage { site: usize },
 }
 
 /// In-flight bookkeeping for one job.
@@ -159,6 +179,17 @@ pub struct GridSim {
     completed: usize,
     /// Earliest pending wake per cluster, to avoid flooding the queue.
     wake_armed: Vec<Option<SimTime>>,
+    /// Per-site outage-window streams (fault injection; empty without an
+    /// outage fault).
+    outage_streams: Vec<OutageWindows>,
+    /// The scheduled-but-not-yet-fired window per site.
+    outage_next: Vec<Option<OutageWindow>>,
+    /// Completion events orphaned by an outage kill, keyed by the exact
+    /// `(cluster, job, end)` the dead event was scheduled with. Keying
+    /// by instant matters: a checkpointed job that progresses on a fast
+    /// foreign site and later returns can complete *earlier* than its
+    /// orphaned event, so "stale fires first" would misattribute events.
+    stale_completions: HashMap<(usize, JobId, SimTime), u32>,
     /// A malformed configuration detected at construction (a policy mix
     /// of the wrong arity); surfaced as the `run()` error.
     config_error: Option<SimError>,
@@ -190,6 +221,11 @@ impl GridSim {
                 .map(|(site, spec)| {
                     let mut c = Cluster::new(spec.clone(), config.batch_policy.for_site(site));
                     c.set_walltime_adjustment(config.walltime_adjustment);
+                    // ECT-noise fault: perturb the estimates this site
+                    // reports to the mapper and the realloc heuristics.
+                    if let Some(noise) = &config.fault.config().ect_noise {
+                        c.set_ect_noise(Some(noise.model(config.seed, site)));
+                    }
                     c
                 })
                 .collect()
@@ -206,6 +242,9 @@ impl GridSim {
             outcome: RunOutcome::default(),
             completed: 0,
             wake_armed: vec![None; n],
+            outage_streams: Vec::new(),
+            outage_next: Vec::new(),
+            stale_completions: HashMap::new(),
             config_error,
         }
     }
@@ -233,6 +272,18 @@ impl GridSim {
         ) {
             self.events.schedule(first + cfg.period, Event::ReallocTick);
         }
+        // Outage fault: arm the first failure window of every site.
+        if let Some(outage) = &self.config.fault.config().outage {
+            if !self.jobs.is_empty() {
+                for site in 0..self.clusters.len() {
+                    let mut stream = outage.windows(self.config.seed, site);
+                    let window = stream.next().expect("outage streams are infinite");
+                    self.events.schedule(window.down, Event::Outage { site });
+                    self.outage_streams.push(stream);
+                    self.outage_next.push(Some(window));
+                }
+            }
+        }
         let total = self.jobs.len();
         while let Some((now, batch)) = self.events.pop_batch() {
             let mut tick_due = false;
@@ -240,16 +291,26 @@ impl GridSim {
             // instant's arrivals and reallocations may use.
             for s in &batch {
                 if let Event::Completion { cluster, job } = s.event {
+                    if self.consume_stale_completion(cluster, job, now) {
+                        continue;
+                    }
                     self.handle_completion(cluster, job, now);
                 }
             }
+            let mut outages = Vec::new();
             for s in &batch {
                 match s.event {
                     Event::Arrival { idx } => self.handle_arrival(idx, now)?,
                     Event::Wake { cluster } => self.wake_armed[cluster] = None,
                     Event::ReallocTick => tick_due = true,
+                    Event::Outage { site } => outages.push(site),
                     Event::Completion { .. } => {}
                 }
+            }
+            // Outages next: the same instant's reallocation tick must see
+            // the post-failure grid.
+            for site in outages {
+                self.handle_outage(site, now);
             }
             if tick_due {
                 self.handle_realloc_tick(now);
@@ -323,6 +384,88 @@ impl GridSim {
             reallocations: t.reallocations,
         });
         self.completed += 1;
+    }
+
+    /// `true` when this completion event belongs to a run that an outage
+    /// already killed (the event is consumed, not delivered). If a live
+    /// completion of the same job on the same cluster lands on the same
+    /// instant, the batch holds two identical events and consuming
+    /// either as the stale one is correct.
+    fn consume_stale_completion(&mut self, cluster: usize, job: JobId, now: SimTime) -> bool {
+        let Some(pending) = self.stale_completions.get_mut(&(cluster, job, now)) else {
+            return false;
+        };
+        *pending -= 1;
+        if *pending == 0 {
+            self.stale_completions.remove(&(cluster, job, now));
+        }
+        true
+    }
+
+    /// A site fails: kill its running jobs, drain its queue, block it
+    /// until the window's recovery instant and re-enter every evicted
+    /// job into the grid mapper.
+    ///
+    /// A killed job re-enters with its *remaining* reference runtime
+    /// (checkpoint-on-kill, after the fault-tolerant task management of
+    /// Bui, Flauzac & Rabat) and its original walltime request.
+    /// Restart-from-scratch would livelock: under an aggressive MTBF a
+    /// multi-day job would never observe an up-window long enough to
+    /// finish, so the simulation could not terminate.
+    fn handle_outage(&mut self, site: usize, now: SimTime) {
+        let window = self.outage_next[site]
+            .take()
+            .expect("outage event fired without a pending window");
+        debug_assert_eq!(window.down, now, "outage event at the wrong instant");
+        let speed = self.clusters[site].spec().speed;
+        // The killed runs' completion events are already queued;
+        // tombstone each under the end instant it was scheduled with.
+        let orphaned: Vec<(JobId, SimTime)> = self.clusters[site]
+            .running_jobs()
+            .map(|r| (r.job.id, r.end))
+            .collect();
+        for (id, end) in orphaned {
+            *self.stale_completions.entry((site, id, end)).or_insert(0) += 1;
+        }
+        let (mut running, waiting) = self.clusters[site].fail_until(window.up, now);
+        for job in &mut running {
+            // Checkpoint: convert the elapsed cluster-seconds back to
+            // reference-seconds (ceil — the started second counts, which
+            // also guarantees strictly positive progress per attempt).
+            let started = self.tracking[&job.id]
+                .start
+                .expect("running job must have started");
+            let progress = (now.since(started).as_secs() as f64 * speed).ceil() as u64;
+            job.runtime_ref =
+                grid_des::Duration(job.runtime_ref.as_secs().saturating_sub(progress));
+        }
+        let mut evicted = running;
+        evicted.extend(waiting);
+        evicted.sort_by_key(|j| (j.submit, j.id));
+        for job in evicted {
+            let c = self
+                .mapper
+                .assign(&mut self.clusters, &job, now)
+                .expect("an evicted job fit a cluster before, so it still fits one");
+            self.clusters[c]
+                .submit(job, now)
+                .expect("mapper only assigns fitting clusters");
+            let t = self
+                .tracking
+                .get_mut(&job.id)
+                .expect("evicted job must be tracked");
+            t.start = None;
+            t.cluster = c;
+            self.outcome.outage_evictions += 1;
+        }
+        // Keep the failure process alive while work remains anywhere.
+        if self.completed < self.jobs.len() {
+            let next = self.outage_streams[site]
+                .next()
+                .expect("outage streams are infinite");
+            self.events.schedule(next.down, Event::Outage { site });
+            self.outage_next[site] = Some(next);
+        }
     }
 
     fn handle_realloc_tick(&mut self, now: SimTime) {
@@ -635,6 +778,128 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("3 sites"), "{err}");
+    }
+
+    /// Outage fault, end to end: every job still completes exactly once,
+    /// evictions really happen, and the run is byte-deterministic.
+    #[test]
+    fn outage_fault_requeues_evicted_jobs_and_loses_none() {
+        let jobs = grid_workload::Scenario::Jun.generate_fraction(3, 0.01);
+        let n = jobs.len();
+        let fault = grid_fault::Fault::resolve_expr("outage(mtbf_h=12, mttr_h=2)").unwrap();
+        let run = || {
+            simulate(
+                GridConfig::new(Platform::grid5000(true), BatchPolicy::Cbf)
+                    .with_seed(7)
+                    .with_fault(fault)
+                    .with_realloc(ReallocConfig::new(
+                        ReallocAlgorithm::CancelAll,
+                        Heuristic::MinMin,
+                    )),
+                jobs.clone(),
+            )
+            .unwrap()
+        };
+        let out = run();
+        assert_eq!(out.records.len(), n, "no job may be lost to an outage");
+        assert!(
+            out.outage_evictions > 0,
+            "a month at MTBF 12h must evict something"
+        );
+        let again = run();
+        assert_eq!(out.records, again.records);
+        assert_eq!(out.outage_evictions, again.outage_evictions);
+        // The healthy run differs (outages really perturb the grid).
+        let healthy = simulate(
+            GridConfig::new(Platform::grid5000(true), BatchPolicy::Cbf)
+                .with_seed(7)
+                .with_realloc(ReallocConfig::new(
+                    ReallocAlgorithm::CancelAll,
+                    Heuristic::MinMin,
+                )),
+            jobs.clone(),
+        )
+        .unwrap();
+        assert_eq!(healthy.outage_evictions, 0);
+        assert_ne!(healthy.records, out.records);
+    }
+
+    /// Property: no completed run overlaps a down window of its final
+    /// cluster — killed jobs restart after the outage, and the blocked
+    /// availability profile admits no start during one. The windows are
+    /// regenerated independently from the same spec, pinning the
+    /// pure-function contract of the outage stream.
+    #[test]
+    fn no_job_runs_on_a_downed_site() {
+        let jobs = grid_workload::Scenario::Feb.generate_fraction(11, 0.01);
+        let fault = grid_fault::Fault::resolve_expr("outage(mtbf_h=8, mttr_h=4)").unwrap();
+        let seed = 13;
+        for policy in [BatchPolicy::Fcfs, BatchPolicy::Cbf] {
+            let out = simulate(
+                GridConfig::new(Platform::grid5000(false), policy)
+                    .with_seed(seed)
+                    .with_fault(fault)
+                    .with_realloc(ReallocConfig::new(
+                        ReallocAlgorithm::NoCancel,
+                        Heuristic::Mct,
+                    )),
+                jobs.clone(),
+            )
+            .unwrap();
+            assert_eq!(out.records.len(), jobs.len());
+            assert!(out.outage_evictions > 0, "{policy}: outages must bite");
+            let spec = fault.config().outage.expect("outage configured");
+            for site in 0..Platform::grid5000(false).clusters.len() {
+                for window in spec.windows(seed, site) {
+                    if window.down > out.makespan {
+                        break;
+                    }
+                    for r in out.records.values().filter(|r| r.cluster == site) {
+                        assert!(
+                            !window.overlaps(r.start, r.completion),
+                            "{policy}: job {} ran [{}, {}) across outage \
+                             [{}, {}) on site {site}",
+                            r.id,
+                            r.start,
+                            r.completion,
+                            window.down,
+                            window.up,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// ECT noise perturbs mapping and reallocation decisions — and only
+    /// them: all jobs complete, runs stay deterministic, and the broken
+    /// promises surface as contract violations instead of panics.
+    #[test]
+    fn ect_noise_changes_decisions_but_not_completeness() {
+        let jobs = grid_workload::Scenario::Apr.generate_fraction(5, 0.01);
+        let fault = grid_fault::Fault::resolve_expr("ect-noise(sigma=0.8)").unwrap();
+        let run = |fault: Option<grid_fault::Fault>| {
+            let mut c = GridConfig::new(Platform::grid5000(true), BatchPolicy::Fcfs)
+                .with_seed(5)
+                .with_realloc(ReallocConfig::new(
+                    ReallocAlgorithm::CancelAll,
+                    Heuristic::Sufferage,
+                ));
+            if let Some(f) = fault {
+                c = c.with_fault(f);
+            }
+            simulate(c, jobs.clone()).unwrap()
+        };
+        let noisy = run(Some(fault));
+        assert_eq!(noisy.records.len(), jobs.len());
+        assert_eq!(noisy.records, run(Some(fault)).records, "deterministic");
+        let clean = run(None);
+        assert_ne!(clean.records, noisy.records, "σ=0.8 must change the run");
+        assert_eq!(clean.contract_violations, 0);
+        assert!(
+            noisy.contract_violations > 0,
+            "noisy estimates must break some ECT contracts"
+        );
     }
 
     #[test]

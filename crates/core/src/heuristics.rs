@@ -89,7 +89,8 @@ impl Heuristic {
     /// Offline: largest per-processor gain first.
     pub const MaxRelGain: Heuristic = Heuristic::base("MaxRelGain", &MaxRelGainOrder);
     /// Offline: largest sufferage (2nd-best − best ECT) first.
-    pub const Sufferage: Heuristic = Heuristic::base("Sufferage", &SufferageOrder);
+    /// `Sufferage(rank=K)` measures against the (K+1)-th best instead.
+    pub const Sufferage: Heuristic = Heuristic::base("Sufferage", &SufferageOrder::CLASSIC);
 
     /// All heuristics in the paper's table order.
     pub const ALL: [Heuristic; 6] = [
@@ -388,9 +389,22 @@ impl OrderingHeuristic for MaxRelGainOrder {
     }
 }
 
-/// Offline: largest sufferage (2nd-best − best ECT) first.
+/// Offline: largest sufferage first. Classic sufferage (rank 1) ranks by
+/// `2nd-best − best` ECT; `Sufferage(rank=K)` generalises to the
+/// `(K+1)-th best − best` spread — how much the task suffers if denied
+/// its K best placements — the first *parameterised* heuristic entry,
+/// proving the registry's params machinery end to end.
 #[derive(Debug)]
-pub struct SufferageOrder;
+pub struct SufferageOrder {
+    /// Which alternative the spread is measured against (1 = classic
+    /// second-best).
+    rank: usize,
+}
+
+impl SufferageOrder {
+    /// The paper's classic sufferage: second-best minus best.
+    pub const CLASSIC: SufferageOrder = SufferageOrder { rank: 1 };
+}
 
 impl OrderingHeuristic for SufferageOrder {
     fn label(&self) -> &'static str {
@@ -401,15 +415,31 @@ impl OrderingHeuristic for SufferageOrder {
         arg_best(
             &alive,
             |i| {
-                let (best, second) = view.two_best_ects(i);
-                match second {
-                    Some(s) => (s.as_secs() - best.as_secs()) as i128,
-                    // A single option cannot suffer.
-                    None => i128::MIN,
+                let options = view.ect_options(i);
+                match (options.first(), options.get(self.rank)) {
+                    (Some(best), Some(alt)) => (alt.as_secs() - best.as_secs()) as i128,
+                    // Too few options to suffer at this rank.
+                    _ => i128::MIN,
                 }
             },
             true,
         )
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![ParamSpec::int(
+            "rank",
+            Some(1),
+            "which alternative the sufferage spread is measured against",
+        )]
+    }
+    fn with_params(&self, args: &BoundArgs) -> Result<Box<dyn OrderingHeuristic>, String> {
+        let rank = args.i64("rank").expect("declared with a default");
+        if rank < 1 {
+            return Err(format!("`Sufferage` needs rank >= 1, got {rank}"));
+        }
+        Ok(Box::new(SufferageOrder {
+            rank: rank as usize,
+        }))
     }
 }
 
@@ -615,6 +645,46 @@ mod tests {
         assert!(err.contains("Mct, MinMin, MaxMin"), "{err}");
         let err = Heuristic::resolve_expr("MinMin(k=2)").unwrap_err();
         assert!(err.contains("takes no parameters"), "{err}");
+    }
+
+    /// `Sufferage(rank=K)` — the first parameterised heuristic entry:
+    /// canonicalisation, validation and a rank-2 selection that diverges
+    /// from the classic ordering.
+    #[test]
+    fn sufferage_rank_parameterises_the_heuristic() {
+        // rank=1 is the classic entry (default drops away).
+        assert_eq!(
+            Heuristic::resolve_expr("Sufferage(rank=1)").unwrap(),
+            Heuristic::Sufferage
+        );
+        let rank2 = Heuristic::resolve_expr("sufferage(rank=2)").unwrap();
+        assert_eq!(rank2.label(), "Sufferage(rank=2)");
+        assert_ne!(rank2, Heuristic::Sufferage);
+        assert_eq!(
+            Heuristic::resolve_expr("Sufferage( rank = 2 )").unwrap(),
+            rank2,
+            "interned per canonical expression"
+        );
+        let err = Heuristic::resolve_expr("Sufferage(rank=0)").unwrap_err();
+        assert!(err.contains("rank >= 1"), "{err}");
+        let err = Heuristic::resolve_expr("Sufferage(rank=soon)").unwrap_err();
+        assert!(err.contains("rank: int = 1"), "{err}");
+        // Fixture spreads (see `setup_ects_are_as_documented`):
+        //   options j1: {102, 150, 1100}, j2: {402, 450, 1400},
+        //           j3: {202, 1600}.
+        // rank 1 picks j3 (1398); rank 2 needs a third option, so j3
+        // drops out and j2 wins (1400 − 402 = 998 > 1100 − 102 = 998 —
+        // tie! → earliest submitted, j1).
+        let (mut clusters, jobs) = setup();
+        let mut v = view(&mut clusters, &jobs);
+        assert_eq!(Heuristic::Sufferage.select(&mut v), Some(2));
+        let (mut clusters, jobs) = setup();
+        let mut v = view(&mut clusters, &jobs);
+        assert_eq!(
+            rank2.select(&mut v),
+            Some(0),
+            "rank-2 spread ties, j1 first"
+        );
     }
 
     #[test]

@@ -443,7 +443,11 @@ impl ReallocStrategy for CancelAllStrategy {
 }
 
 /// Contract check (§6): the reservation obtained at submission must yield
-/// the completion estimate the decision used.
+/// the completion estimate the decision used. Under injected ECT noise
+/// the estimate is deliberately wrong, so violations are *expected* —
+/// they become the run's measure of how often the mechanism acted on a
+/// broken promise; on a clean dedicated platform any violation is a
+/// stale-estimation bug, which the debug assertion keeps fatal.
 fn check_contract(
     report: &mut TickReport,
     cluster: &Cluster,
@@ -454,8 +458,8 @@ fn check_contract(
     let realized = reserved_start + cluster.scale_job(job).walltime;
     if realized != expected_ect {
         report.contract_violations += 1;
-        debug_assert_eq!(
-            realized, expected_ect,
+        debug_assert!(
+            cluster.ect_noise().is_some(),
             "stale ECT estimate for {} (dedicated platform must honour contracts)",
             job.id
         );

@@ -1,0 +1,129 @@
+//! ECT estimation noise.
+//!
+//! Multiplicative lognormal error on the completion-time estimates the
+//! meta-scheduler and the reallocation heuristics consume. The error
+//! factor is a pure function of `(run seed, fault seed, site, job)` —
+//! repeated queries see the same error regardless of query order or
+//! cache invalidation, which keeps runs byte-deterministic — and the
+//! *true* schedule (reservations, starts, completions) is never
+//! perturbed: only the two middleware estimation queries
+//! ([`Cluster::estimate_new`](grid_batch::Cluster::estimate_new) and
+//! [`Cluster::current_ect`](grid_batch::Cluster::current_ect)) are
+//! hooked, via [`grid_batch::EctNoise`].
+
+use grid_batch::EctNoise;
+use grid_ser::expr::{BoundArgs, ParamSpec};
+
+/// Stream tag for noise streams (`b"ECTN"`).
+const STREAM_TAG: u64 = 0x4543_544E;
+
+/// Parameters of the ECT-noise fault model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EctNoiseSpec {
+    /// Standard deviation of the lognormal error (`factor = exp(σ·z)`,
+    /// `z ~ N(0,1)`; the median error factor is 1).
+    pub sigma: f64,
+    /// Fault-model seed, mixed into the run seed.
+    pub seed: u64,
+}
+
+impl EctNoiseSpec {
+    /// Declared expression parameters (`ect-noise(sigma=0.5)`).
+    pub fn params() -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::float(
+                "sigma",
+                Some(0.25),
+                "lognormal σ of the multiplicative estimate error",
+            ),
+            ParamSpec::int("seed", Some(0), "fault-model seed mixed into the run seed"),
+        ]
+    }
+
+    /// Build from validated expression arguments.
+    pub fn from_args(args: &BoundArgs) -> Result<EctNoiseSpec, String> {
+        let sigma = args.f64("sigma").expect("declared with a default");
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(format!("`ect-noise` needs sigma >= 0, got {sigma}"));
+        }
+        Ok(EctNoiseSpec {
+            sigma,
+            seed: crate::outage::fault_seed(args, "ect-noise")?,
+        })
+    }
+
+    /// The per-cluster noise hook installed into site `site`'s cluster.
+    pub fn model(&self, run_seed: u64, site: usize) -> EctNoise {
+        EctNoise::new(
+            crate::mix_seed(run_seed, self.seed) ^ STREAM_TAG.wrapping_mul(site as u64 + 1),
+            self.sigma,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_batch::JobId;
+    use grid_des::SimTime;
+
+    fn spec(sigma: f64) -> EctNoiseSpec {
+        EctNoiseSpec { sigma, seed: 0 }
+    }
+
+    #[test]
+    fn factors_are_deterministic_per_job_and_site() {
+        let m = spec(0.5).model(42, 1);
+        assert_eq!(m.factor(JobId(7)), m.factor(JobId(7)));
+        assert_ne!(m.factor(JobId(7)), m.factor(JobId(8)));
+        let other_site = spec(0.5).model(42, 2);
+        assert_ne!(m.factor(JobId(7)), other_site.factor(JobId(7)));
+        let other_seed = EctNoiseSpec {
+            seed: 3,
+            ..spec(0.5)
+        }
+        .model(42, 1);
+        assert_ne!(m.factor(JobId(7)), other_seed.factor(JobId(7)));
+    }
+
+    #[test]
+    fn sigma_zero_is_the_identity() {
+        let m = spec(0.0).model(42, 0);
+        assert_eq!(m.factor(JobId(1)), 1.0);
+        assert_eq!(
+            m.perturb(JobId(1), SimTime(100), SimTime(250)),
+            SimTime(250)
+        );
+    }
+
+    #[test]
+    fn factors_are_median_one_and_spread_grows_with_sigma() {
+        let sample = |sigma: f64| -> Vec<f64> {
+            let m = spec(sigma).model(1, 0);
+            (0..2_000).map(|i| m.factor(JobId(i))).collect()
+        };
+        let narrow = sample(0.1);
+        let wide = sample(0.8);
+        let above = narrow.iter().filter(|f| **f > 1.0).count();
+        assert!(
+            (800..1200).contains(&above),
+            "median must sit near 1: {above}/2000 above"
+        );
+        let spread = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64
+        };
+        assert!(spread(&wide) > 4.0 * spread(&narrow));
+        assert!(narrow.iter().all(|f| *f > 0.0), "factors stay positive");
+    }
+
+    #[test]
+    fn perturb_scales_the_wait_not_the_clock() {
+        let m = spec(0.5).model(9, 0);
+        let now = SimTime(1_000);
+        let noisy = m.perturb(JobId(3), now, SimTime(1_500));
+        assert!(noisy >= now, "estimates never precede the query instant");
+        // now + 0 stays now regardless of the factor.
+        assert_eq!(m.perturb(JobId(3), now, now), now);
+    }
+}

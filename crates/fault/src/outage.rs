@@ -1,0 +1,206 @@
+//! Cluster outage windows.
+//!
+//! Each site fails independently: alternating exponential
+//! time-to-failure (mean `mtbf_h` hours) and time-to-repair (mean
+//! `mttr_h` hours) draws produce an infinite, strictly ordered sequence
+//! of `[down, up)` windows. The sequence is a pure function of
+//! `(run seed, fault seed, site)`, so the grid driver can consume it
+//! lazily during a run while tests regenerate the exact same windows to
+//! check invariants ("no job runs on a downed site") after the fact.
+
+use grid_des::{SimRng, SimTime};
+use grid_ser::expr::{BoundArgs, ParamSpec};
+
+/// Stream tag for outage RNG streams (`b"FAIL"`).
+const STREAM_TAG: u64 = 0x4641_494C;
+
+/// Shared `seed` argument validation for every fault component: a
+/// negative seed must be rejected, not clamped — `u64`-clamping would
+/// let `outage(seed=-1)` keep a distinct canonical key (and cache key)
+/// while simulating identically to `outage`, silently double-counting
+/// one configuration in a campaign axis.
+pub(crate) fn fault_seed(args: &BoundArgs, entry: &str) -> Result<u64, String> {
+    let seed = args.i64("seed").expect("declared with a default");
+    if seed < 0 {
+        return Err(format!("`{entry}` needs seed >= 0, got {seed}"));
+    }
+    Ok(seed as u64)
+}
+
+/// Parameters of the outage fault model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageSpec {
+    /// Mean time between failures per site, hours.
+    pub mtbf_h: f64,
+    /// Mean time to repair, hours.
+    pub mttr_h: f64,
+    /// Fault-model seed, mixed into the run seed.
+    pub seed: u64,
+}
+
+impl OutageSpec {
+    /// Declared expression parameters (`outage(mtbf_h=12, mttr_h=2)`).
+    pub fn params() -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::float("mtbf_h", Some(24.0), "mean hours between site failures"),
+            ParamSpec::float("mttr_h", Some(1.0), "mean hours to repair a failed site"),
+            ParamSpec::int("seed", Some(0), "fault-model seed mixed into the run seed"),
+        ]
+    }
+
+    /// Build from validated expression arguments.
+    pub fn from_args(args: &BoundArgs) -> Result<OutageSpec, String> {
+        let mtbf_h = args.f64("mtbf_h").expect("declared with a default");
+        let mttr_h = args.f64("mttr_h").expect("declared with a default");
+        if !mtbf_h.is_finite() || mtbf_h <= 0.0 {
+            return Err(format!("`outage` needs mtbf_h > 0, got {mtbf_h}"));
+        }
+        if !mttr_h.is_finite() || mttr_h <= 0.0 {
+            return Err(format!("`outage` needs mttr_h > 0, got {mttr_h}"));
+        }
+        Ok(OutageSpec {
+            mtbf_h,
+            mttr_h,
+            seed: fault_seed(args, "outage")?,
+        })
+    }
+
+    /// The site's infinite outage-window sequence for a given run seed.
+    pub fn windows(&self, run_seed: u64, site: usize) -> OutageWindows {
+        OutageWindows {
+            rng: SimRng::derive(
+                crate::mix_seed(run_seed, self.seed),
+                STREAM_TAG ^ (site as u64).wrapping_mul(0x0100_0000_01b3),
+            ),
+            mtbf_s: self.mtbf_h * 3_600.0,
+            mttr_s: self.mttr_h * 3_600.0,
+            t: 0,
+        }
+    }
+}
+
+/// One outage: the site is down over `[down, up)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// Instant the site fails.
+    pub down: SimTime,
+    /// Instant the site is back (exclusive end of the window).
+    pub up: SimTime,
+}
+
+impl OutageWindow {
+    /// `true` when `[start, end)` intersects the down window.
+    pub fn overlaps(&self, start: SimTime, end: SimTime) -> bool {
+        start < self.up && end > self.down
+    }
+}
+
+/// Infinite iterator over one site's outage windows, strictly ordered
+/// and non-overlapping (`prev.up < next.down`).
+#[derive(Debug, Clone)]
+pub struct OutageWindows {
+    rng: SimRng,
+    mtbf_s: f64,
+    mttr_s: f64,
+    /// End of the previous window (recovery instant), seconds.
+    t: u64,
+}
+
+/// Exponential draw with the given mean, rounded to whole seconds and
+/// floored at one second (windows and gaps must have positive length).
+fn exp_secs(rng: &mut SimRng, mean_s: f64) -> u64 {
+    let u = rng.gen_f64();
+    (-(mean_s) * (1.0 - u).ln()).round().max(1.0) as u64
+}
+
+impl Iterator for OutageWindows {
+    type Item = OutageWindow;
+
+    fn next(&mut self) -> Option<OutageWindow> {
+        let ttf = exp_secs(&mut self.rng, self.mtbf_s);
+        let ttr = exp_secs(&mut self.rng, self.mttr_s);
+        let down = self.t + ttf;
+        let up = down + ttr;
+        self.t = up;
+        Some(OutageWindow {
+            down: SimTime(down),
+            up: SimTime(up),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> OutageSpec {
+        OutageSpec {
+            mtbf_h: 24.0,
+            mttr_h: 1.0,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn windows_are_ordered_positive_and_deterministic() {
+        let take = |seed: u64, site: usize| -> Vec<OutageWindow> {
+            spec().windows(seed, site).take(50).collect()
+        };
+        let w = take(42, 0);
+        let mut prev_up = SimTime::ZERO;
+        for win in &w {
+            assert!(win.down > prev_up, "windows must not touch: {win:?}");
+            assert!(win.up > win.down, "window must have positive length");
+            prev_up = win.up;
+        }
+        assert_eq!(w, take(42, 0), "same (seed, site) ⇒ same windows");
+        assert_ne!(w, take(42, 1), "sites fail independently");
+        assert_ne!(w, take(43, 0), "run seed feeds the stream");
+    }
+
+    #[test]
+    fn means_are_roughly_respected() {
+        let w: Vec<OutageWindow> = spec().windows(7, 2).take(2_000).collect();
+        let mean_gap = w
+            .windows(2)
+            .map(|p| p[1].down.since(p[0].up).as_secs())
+            .sum::<u64>() as f64
+            / (w.len() - 1) as f64;
+        let mean_len = w
+            .iter()
+            .map(|win| win.up.since(win.down).as_secs())
+            .sum::<u64>() as f64
+            / w.len() as f64;
+        assert!(
+            (mean_gap / (24.0 * 3_600.0) - 1.0).abs() < 0.15,
+            "mtbf off: {mean_gap}"
+        );
+        assert!(
+            (mean_len / 3_600.0 - 1.0).abs() < 0.15,
+            "mttr off: {mean_len}"
+        );
+    }
+
+    #[test]
+    fn fault_seed_opens_a_new_family() {
+        let a: Vec<_> = spec().windows(42, 0).take(5).collect();
+        let b: Vec<_> = OutageSpec { seed: 9, ..spec() }
+            .windows(42, 0)
+            .take(5)
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn overlap_predicate() {
+        let w = OutageWindow {
+            down: SimTime(100),
+            up: SimTime(200),
+        };
+        assert!(w.overlaps(SimTime(150), SimTime(160)));
+        assert!(w.overlaps(SimTime(50), SimTime(101)));
+        assert!(w.overlaps(SimTime(199), SimTime(300)));
+        assert!(!w.overlaps(SimTime(0), SimTime(100)), "end is exclusive");
+        assert!(!w.overlaps(SimTime(200), SimTime(300)), "up is exclusive");
+    }
+}

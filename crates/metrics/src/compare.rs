@@ -49,8 +49,12 @@ pub struct RunOutcome {
     /// Number of reallocation events triggered in total.
     pub total_ticks: u64,
     /// ECT contract violations observed at migration time (§6 "contract
-    /// checking"); always zero on a dedicated platform.
+    /// checking"); always zero on a dedicated platform without injected
+    /// estimation noise.
     pub contract_violations: u64,
+    /// Jobs evicted by injected site outages (each eviction counts once,
+    /// running or waiting); always zero on a healthy grid.
+    pub outage_evictions: u64,
     /// Virtual instant the last job completed.
     pub makespan: SimTime,
 }

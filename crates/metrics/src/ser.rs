@@ -58,6 +58,12 @@ impl RunOutcome {
         obj.insert("active_ticks", self.active_ticks);
         obj.insert("total_ticks", self.total_ticks);
         obj.insert("contract_violations", self.contract_violations);
+        // Only fault-injected runs carry the eviction counter; omitting
+        // the zero keeps healthy-grid records byte-identical to every
+        // record written before fault injection existed.
+        if self.outage_evictions > 0 {
+            obj.insert("outage_evictions", self.outage_evictions);
+        }
         obj.insert("makespan", self.makespan.0);
         obj.insert(
             "records",
@@ -81,6 +87,11 @@ impl RunOutcome {
             // Absent in records written before contract checking existed.
             contract_violations: v
                 .get("contract_violations")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            // Absent in healthy-grid records (and all pre-fault ones).
+            outage_evictions: v
+                .get("outage_evictions")
                 .and_then(Value::as_u64)
                 .unwrap_or(0),
             makespan: SimTime(v.req_u64("makespan")?),
@@ -154,6 +165,26 @@ mod tests {
     #[test]
     fn outcome_encoding_is_byte_stable() {
         assert_eq!(outcome().to_json().encode(), outcome().to_json().encode());
+    }
+
+    #[test]
+    fn outage_evictions_serialise_only_when_present() {
+        // Healthy runs stay byte-identical to pre-fault records…
+        let clean = outcome().to_json().encode();
+        assert!(!clean.contains("outage_evictions"));
+        // …while fault runs round-trip the counter.
+        let mut faulty = outcome();
+        faulty.outage_evictions = 3;
+        let encoded = faulty.to_json().encode();
+        assert!(encoded.contains("\"outage_evictions\":3"));
+        let back = RunOutcome::from_json(&faulty.to_json()).unwrap();
+        assert_eq!(back.outage_evictions, 3);
+        assert_eq!(
+            RunOutcome::from_json(&outcome().to_json())
+                .unwrap()
+                .outage_evictions,
+            0
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | [`workload`] | SWF trace I/O and the calibrated synthetic generator reproducing the paper's Table 1 scenarios |
 //! | [`realloc`] | the paper's contribution: MCT meta-scheduling, reallocation Algorithms 1 & 2, the six heuristics, the 364-experiment harness and ablations |
 //! | [`metrics`] | the §3.4 evaluation metrics and paper-style table rendering |
+//! | [`fault`] | deterministic fault injection: cluster outage windows, ECT estimation noise, trace perturbation |
 //! | [`campaign`] | declarative experiment campaigns: spec files, sharded execution, content-addressed result cache, aggregation and exports |
 //!
 //! ## Quick start
@@ -58,6 +59,7 @@
 pub use grid_batch as batch;
 pub use grid_campaign as campaign;
 pub use grid_des as des;
+pub use grid_fault as fault;
 pub use grid_metrics as metrics;
 pub use grid_realloc as realloc;
 pub use grid_workload as workload;
@@ -69,6 +71,7 @@ pub mod prelude {
     };
     pub use grid_campaign::{CampaignPlan, CampaignSpec, ResultCache};
     pub use grid_des::{Duration, SimRng, SimTime};
+    pub use grid_fault::{EctNoiseSpec, Fault, OutageSpec, PerturbSpec};
     pub use grid_metrics::{Comparison, JobRecord, PaperTable, RunOutcome};
     pub use grid_realloc::{
         GridConfig, GridSim, Heuristic, Mapping, MappingPolicy, OrderingHeuristic,
