@@ -19,13 +19,19 @@
 //!
 //! Early completions (the walltime over-estimation the paper exploits)
 //! and cancellations used to invalidate the cached schedule wholesale;
-//! under schedulers that support it (FCFS, CBF) the cluster now keeps the
-//! availability [`Profile`] warm and repairs only the affected queue
-//! suffix — a cancel at queue index *i* re-places `queue[i..]` only, an
-//! early completion re-places the queued suffix without rebuilding the
-//! running-set reservations. [`ClusterStats::recomputes`] counts the full
-//! rebuilds that remain; [`ClusterStats::suffix_repairs`] counts the
-//! warm-path fixups that replaced them.
+//! the cluster now keeps the availability [`Profile`] warm and asks the
+//! scheduler how much of the schedule survived
+//! ([`LocalScheduler::repair_from`](crate::sched::LocalScheduler::repair_from)):
+//! FCFS and CBF re-place `queue[i..]` after a cancel at index *i*, the
+//! EASY family re-places everything after its *protected head* (those
+//! reservations are placed in queue order against the running set alone,
+//! so they are suffix-independent), and EASY-SJF re-runs the whole queue
+//! against the warm running-set profile. Every repair is byte-identical
+//! to the full rebuild it replaces. [`ClusterStats::recomputes`] counts
+//! the full rebuilds that remain; [`ClusterStats::suffix_repairs`] counts
+//! the warm-path fixups that replaced them;
+//! [`ClusterStats::first_fit_probes`] counts the placement queries the
+//! availability engine answered (scheduler effort).
 //!
 //! The scheduling policies themselves live behind the
 //! [`LocalScheduler`](crate::sched::LocalScheduler) trait; see the
@@ -166,6 +172,58 @@ pub struct ClusterStats {
     /// Number of warm-profile suffix repairs that replaced a full
     /// recomputation (incremental maintenance; see the module docs).
     pub suffix_repairs: u64,
+    /// Number of `Profile::first_fit` placement queries answered for this
+    /// cluster — scheduling *and* estimation dry-runs, so campaigns can
+    /// report total scheduler effort.
+    pub first_fit_probes: u64,
+}
+
+impl ClusterStats {
+    /// Canonical JSON object (sorted keys). The incremental-engine
+    /// counters — `evicted`, `suffix_repairs`, `first_fit_probes` — are
+    /// serialised only when non-zero, like `outage_evictions` on run
+    /// outcomes, so reports from configurations that never exercise them
+    /// stay byte-identical across engine versions.
+    pub fn to_json(&self) -> grid_ser::Value {
+        let mut obj = grid_ser::Value::object();
+        obj.insert("submitted", self.submitted);
+        obj.insert("started", self.started);
+        obj.insert("completed", self.completed);
+        obj.insert("killed", self.killed);
+        obj.insert("canceled", self.canceled);
+        if self.evicted > 0 {
+            obj.insert("evicted", self.evicted);
+        }
+        obj.insert("max_queue_len", self.max_queue_len as u64);
+        obj.insert("busy_core_secs", self.busy_core_secs);
+        obj.insert("recomputes", self.recomputes);
+        if self.suffix_repairs > 0 {
+            obj.insert("suffix_repairs", self.suffix_repairs);
+        }
+        if self.first_fit_probes > 0 {
+            obj.insert("first_fit_probes", self.first_fit_probes);
+        }
+        obj
+    }
+
+    /// Decode [`ClusterStats::to_json`] (absent optional counters read
+    /// back as zero).
+    pub fn from_json(v: &grid_ser::Value) -> Result<ClusterStats, grid_ser::json::SerError> {
+        let opt = |key: &str| v.get(key).and_then(grid_ser::Value::as_u64).unwrap_or(0);
+        Ok(ClusterStats {
+            submitted: v.req_u64("submitted")?,
+            started: v.req_u64("started")?,
+            completed: v.req_u64("completed")?,
+            killed: v.req_u64("killed")?,
+            canceled: v.req_u64("canceled")?,
+            evicted: opt("evicted"),
+            max_queue_len: v.req_u64("max_queue_len")? as usize,
+            busy_core_secs: v.req_u64("busy_core_secs")?,
+            recomputes: v.req_u64("recomputes")?,
+            suffix_repairs: opt("suffix_repairs"),
+            first_fit_probes: opt("first_fit_probes"),
+        })
+    }
 }
 
 /// A cluster of processors under a batch scheduler.
@@ -242,10 +300,15 @@ impl Cluster {
         }
     }
 
-    /// `true` when the warm-profile fast path is usable: the switch is on
-    /// and the scheduler's reservations admit suffix-only repair.
-    fn repairable(&self) -> bool {
-        self.incremental && self.policy.scheduler().supports_suffix_repair()
+    /// The index a warm-profile repair may start from for a mutation
+    /// dirtying `queue[dirty..]`, when the fast path is usable at all:
+    /// the switch must be on, a warm profile must exist, and the
+    /// scheduler must claim a byte-identical repair point.
+    fn repair_entry(&self, dirty: usize) -> Option<usize> {
+        if !self.incremental || self.profile.is_none() {
+            return None;
+        }
+        self.policy.scheduler().repair_from(dirty)
     }
 
     /// Enable/disable walltime speed-adjustment (see the field docs).
@@ -372,19 +435,29 @@ impl Cluster {
         } else {
             // Aggressive back-filling re-examines the whole queue: the
             // new job may start immediately even when the tentative
-            // schedule says otherwise.
+            // schedule says otherwise. `SimTime::MAX` marks "not carved
+            // into the profile yet"; the repair path skips its release.
             self.queue.push(Queued {
                 job,
                 scaled,
                 reserved_start: SimTime::MAX,
                 enqueued_at: now,
             });
-            self.invalidate();
+            let idx = self.queue.len() - 1;
+            if self.repair_entry(idx).is_some() {
+                // The scheduler can absorb a tail job on the warm profile
+                // (EASY: its protected head is suffix-independent, so
+                // only the aggressive + estimation phases re-run).
+                self.dirty_from = Some(self.dirty_from.map_or(idx, |d| d.min(idx)));
+            } else {
+                self.invalidate();
+            }
             self.ensure_schedule(now);
             self.queue.last().expect("just pushed").reserved_start
         };
         self.stats.submitted += 1;
         self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len());
+        self.harvest_probes();
         Ok(start)
     }
 
@@ -395,17 +468,18 @@ impl Cluster {
         let idx = self.find_queued(id)?;
         let q = self.queue.remove(idx);
         self.stats.canceled += 1;
-        // A hole opened: later reservations may move earlier. Earlier
-        // reservations were computed without knowledge of this job, so
-        // under suffix-repairable schedulers only `queue[idx..]` is dirty.
-        if self.repairable() {
-            if let Some(p) = &mut self.profile {
-                p.release(q.reserved_start, q.scaled.walltime, q.scaled.procs);
-                self.dirty_from = Some(self.dirty_from.map_or(idx, |d| d.min(idx)));
-                return Some(q.job);
-            }
+        // A hole opened: later reservations may move earlier. When the
+        // scheduler claims a byte-identical repair point for a mutation
+        // at `idx`, un-carve the victim and dirty-track; the repair runs
+        // lazily at the next schedule query. (`repair_entry` is `None`
+        // without a warm profile, so the profile is present here.)
+        if self.repair_entry(idx).is_some() {
+            let p = self.profile.as_mut().expect("repair_entry implies warm");
+            p.release(q.reserved_start, q.scaled.walltime, q.scaled.procs);
+            self.dirty_from = Some(self.dirty_from.map_or(idx, |d| d.min(idx)));
+        } else {
+            self.invalidate();
         }
-        self.invalidate();
         Some(q.job)
     }
 
@@ -420,6 +494,7 @@ impl Cluster {
         let scaled = self.scale_job(job);
         self.ensure_schedule(now);
         let start = self.place_at_tail(scaled.procs, scaled.walltime, now);
+        self.harvest_probes();
         Some(self.noisy(job.id, now, start + scaled.walltime))
     }
 
@@ -460,7 +535,21 @@ impl Cluster {
         let waiting: Vec<JobSpec> = self.queue.drain(..).map(|q| q.job).collect();
         self.stats.evicted += (running.len() + waiting.len()) as u64;
         self.unavailable_until = Some(self.unavailable_until.map_or(until, |u| u.max(until)));
-        self.invalidate();
+        if self.incremental {
+            // Outage truncation on the availability engine: every
+            // reservation belongs to an evicted job, so the profile
+            // collapses to "blocked until recovery, free after" in O(1)
+            // instead of being invalidated and rebuilt at the next query.
+            // Nothing of the pre-outage profile survives the truncation.
+            let recovery = self.unavailable_until.expect("just set");
+            self.harvest_probes();
+            let mut p = Profile::flat(self.spec.procs, now);
+            p.fail_until(now, recovery);
+            self.profile = Some(p);
+            self.dirty_from = None;
+        } else {
+            self.invalidate();
+        }
         (running, waiting)
     }
 
@@ -546,14 +635,17 @@ impl Cluster {
             // reservation may move earlier, so the dirty suffix is the
             // whole queue — but the running-set reservations stay valid,
             // and an empty queue costs nothing at all.
-            match self.profile.as_mut() {
-                Some(p) if self.incremental && self.policy.scheduler().supports_suffix_repair() => {
+            if self.incremental && self.policy.scheduler().repair_from(0).is_some() {
+                if let Some(p) = self.profile.as_mut() {
                     p.release(now, r.reserved_end.since(now), r.scaled.procs);
                     if !self.queue.is_empty() {
                         self.dirty_from = Some(0);
                     }
+                } else {
+                    self.invalidate();
                 }
-                _ => self.invalidate(),
+            } else {
+                self.invalidate();
             }
         }
         r
@@ -573,8 +665,18 @@ impl Cluster {
 
     /// Drop the cached schedule entirely (full rebuild on next query).
     fn invalidate(&mut self) {
+        self.harvest_probes();
         self.profile = None;
         self.dirty_from = None;
+    }
+
+    /// Fold the profile's first-fit probe counter into the stats (the
+    /// profile counts placement queries as they happen; the cluster owns
+    /// the long-lived accounting).
+    fn harvest_probes(&mut self) {
+        if let Some(p) = &self.profile {
+            self.stats.first_fit_probes += p.take_probes();
+        }
     }
 
     /// Where a new tail job of `(procs, walltime)` would start, per policy,
@@ -583,7 +685,7 @@ impl Cluster {
         let profile = self.profile.as_ref().expect("ensure_schedule first");
         debug_assert!(self.dirty_from.is_none(), "placement against dirty profile");
         let floor = self.policy.scheduler().tail_floor(&self.queue, now);
-        profile.earliest_fit(floor, procs, walltime)
+        profile.first_fit(floor, walltime, procs)
     }
 
     /// Bring the cached schedule up to date: repair the dirty queue suffix
@@ -606,39 +708,54 @@ impl Cluster {
                 .advance_origin(now);
             match self.dirty_from.take() {
                 None => return,
-                Some(from) => {
-                    // Cost model: a repair releases and re-places the
-                    // suffix (two profile passes per job); a rebuild
-                    // re-reserves the running set and re-places the whole
-                    // queue. Rebuild passes are cheaper per job than
-                    // releases (a fresh profile starts small, and FCFS
-                    // placements chain monotonically instead of paying
-                    // mid-vector inserts), so repair must win by a margin
-                    // — the 3× factor keeps it to short suffixes, where
-                    // measured wall time actually improves
-                    // (`scheduling-incremental` bench).
-                    let repair_ops = 3 * (self.queue.len() - from);
-                    let rebuild_ops = self.running.len() + self.queue.len();
-                    if repair_ops <= rebuild_ops {
-                        let profile = self.profile.as_mut().expect("warm profile present");
-                        // The suffix reservations are still carved from
-                        // before the mutation; give them back, then
-                        // re-place them.
-                        for q in &self.queue[from..] {
-                            profile.release(q.reserved_start, q.scaled.walltime, q.scaled.procs);
+                Some(dirty) => {
+                    // The scheduler names the earliest byte-identical
+                    // repair index (FCFS/CBF: `dirty` itself; EASY: the
+                    // end of its protected head; EASY-SJF: 0).
+                    let from = self.repair_entry(dirty);
+                    if let Some(from) = from {
+                        // Cost model on the tree backend: a repair is two
+                        // O(log n) passes per suffix job (release +
+                        // re-place), a rebuild one pass per running and
+                        // queued job plus the flat-profile setup. All ops
+                        // cost O(log n) now, so the constants compare
+                        // directly — the legacy 3× mid-vector-insert
+                        // penalty is gone (`scheduling-incremental`
+                        // bench pins the win).
+                        let repair_ops = 2 * (self.queue.len() - from);
+                        let rebuild_ops = self.running.len() + self.queue.len() + 1;
+                        if repair_ops <= rebuild_ops {
+                            let profile = self.profile.as_mut().expect("warm profile present");
+                            // The suffix reservations are still carved
+                            // from before the mutation; give them back,
+                            // then re-place them. `SimTime::MAX` marks a
+                            // job submitted onto the dirty queue whose
+                            // reservation was never carved.
+                            for q in &self.queue[from..] {
+                                if q.reserved_start != SimTime::MAX {
+                                    profile.release(
+                                        q.reserved_start,
+                                        q.scaled.walltime,
+                                        q.scaled.procs,
+                                    );
+                                }
+                            }
+                            self.policy
+                                .scheduler()
+                                .schedule(profile, &mut self.queue, from, now);
+                            self.stats.suffix_repairs += 1;
+                            self.harvest_probes();
+                            return;
                         }
-                        self.policy
-                            .scheduler()
-                            .schedule(profile, &mut self.queue, from, now);
-                        self.stats.suffix_repairs += 1;
-                        return;
                     }
-                    // Dirty suffix too large: fall through to a rebuild.
+                    // No repair point, or the dirty suffix is too large:
+                    // fall through to a rebuild.
                 }
             }
         }
         self.dirty_from = None;
         self.stats.recomputes += 1;
+        self.harvest_probes();
         let mut profile = Profile::flat(self.spec.procs, now);
         if let Some(until) = self.unavailable_until {
             // Site outage: truncate availability — nothing fits before
@@ -653,6 +770,7 @@ impl Cluster {
             .scheduler()
             .schedule(&mut profile, &mut self.queue, 0, now);
         self.profile = Some(profile);
+        self.harvest_probes();
     }
 
     /// Validate internal invariants (test helper): capacity is never
@@ -1131,6 +1249,29 @@ pub(crate) mod tests {
         incremental_vs_full(BatchPolicy::Cbf, 300, 7);
     }
 
+    /// The availability engine opened the warm path to the aggressive
+    /// family: protected-head suffix repair for EASY, whole-queue warm
+    /// repair for EASY-SJF — both must stay observably identical to the
+    /// full-rebuild baseline while performing strictly fewer rebuilds.
+    #[test]
+    fn incremental_maintenance_is_behaviour_preserving_easy() {
+        incremental_vs_full(BatchPolicy::Easy, 300, 7);
+    }
+
+    #[test]
+    fn incremental_maintenance_is_behaviour_preserving_easy_sjf() {
+        incremental_vs_full(BatchPolicy::EasySjf, 300, 7);
+    }
+
+    #[test]
+    fn incremental_maintenance_is_behaviour_preserving_easy_protected_3() {
+        incremental_vs_full(
+            BatchPolicy::resolve_expr("EASY(protected=3)").unwrap(),
+            300,
+            7,
+        );
+    }
+
     #[test]
     fn cancel_repairs_only_the_suffix() {
         let mut c = cluster(4, BatchPolicy::Fcfs);
@@ -1172,6 +1313,171 @@ pub(crate) mod tests {
             .submit(JobSpec::new(2, 0, 8, 10, 10), SimTime(30))
             .unwrap();
         assert_eq!(s, SimTime(30));
+    }
+
+    /// An EASY cancel of an unprotected job takes the warm path: the
+    /// protected head's reservation is kept, only the aggressive +
+    /// estimation phases re-run — with no full rebuild — and the result
+    /// is bit-identical to a forced rebuild.
+    #[test]
+    fn easy_cancel_repairs_past_the_protected_head() {
+        let build = |incremental: bool| {
+            let mut c = cluster(8, BatchPolicy::Easy);
+            c.set_incremental(incremental);
+            // Many narrow running jobs make a rebuild expensive, so the
+            // cost model prefers the repair.
+            for i in 0..6u64 {
+                c.submit(JobSpec::new(100 + i, 0, 1, 1_000, 1_000), SimTime(0))
+                    .unwrap();
+            }
+            c.start_due(SimTime(0));
+            c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0))
+                .unwrap(); // head
+            c.submit(JobSpec::new(2, 0, 5, 300, 300), SimTime(0))
+                .unwrap();
+            c.submit(JobSpec::new(3, 0, 4, 450, 450), SimTime(0))
+                .unwrap();
+            c
+        };
+        let mut warm = build(true);
+        let mut cold = build(false);
+        let recomputes_before = warm.stats().recomputes;
+        warm.cancel(JobId(2), SimTime(1)).unwrap();
+        cold.cancel(JobId(2), SimTime(1)).unwrap();
+        assert_eq!(
+            warm.next_reservation(SimTime(1)),
+            cold.next_reservation(SimTime(1))
+        );
+        let starts = |c: &Cluster| -> Vec<(JobId, SimTime)> {
+            c.waiting_jobs()
+                .map(|q| (q.job.id, q.reserved_start))
+                .collect()
+        };
+        assert_eq!(starts(&warm), starts(&cold), "repair must equal rebuild");
+        assert_eq!(
+            warm.stats().recomputes,
+            recomputes_before,
+            "no full rebuild on the warm path"
+        );
+        assert!(warm.stats().suffix_repairs > 0, "EASY must repair");
+        assert_eq!(cold.stats().suffix_repairs, 0, "baseline never repairs");
+    }
+
+    /// EASY early completion with an empty queue rides the warm profile
+    /// for free — the release is absorbed with neither rebuild nor
+    /// repair (previously every early completion invalidated).
+    #[test]
+    fn easy_early_completion_with_empty_queue_is_free() {
+        let mut c = cluster(8, BatchPolicy::Easy);
+        c.submit(JobSpec::new(1, 0, 8, 30, 100), SimTime(0))
+            .unwrap();
+        c.start_due(SimTime(0));
+        let recomputes = c.stats().recomputes;
+        c.complete(JobId(1), SimTime(30));
+        assert_eq!(c.next_reservation(SimTime(30)), None);
+        assert_eq!(c.stats().recomputes, recomputes);
+        assert_eq!(c.stats().suffix_repairs, 0);
+        let s = c
+            .submit(JobSpec::new(2, 0, 8, 10, 10), SimTime(30))
+            .unwrap();
+        assert_eq!(s, SimTime(30));
+    }
+
+    /// Scheduler-effort accounting: placement queries (scheduling and
+    /// estimation dry-runs alike) land in `first_fit_probes`.
+    #[test]
+    fn first_fit_probes_count_scheduler_effort() {
+        let mut c = cluster(8, BatchPolicy::Cbf);
+        assert_eq!(c.stats().first_fit_probes, 0);
+        c.submit(JobSpec::new(1, 0, 8, 100, 100), SimTime(0))
+            .unwrap();
+        c.start_due(SimTime(0));
+        let after_submit = c.stats().first_fit_probes;
+        assert!(after_submit > 0, "a submission probes the profile");
+        let probe = JobSpec::new(99, 0, 4, 50, 50);
+        c.estimate_new(&probe, SimTime(0)).unwrap();
+        assert!(
+            c.stats().first_fit_probes > after_submit,
+            "estimation dry-runs are probes too"
+        );
+    }
+
+    /// `ClusterStats` serialises canonically; the incremental-engine
+    /// counters appear only when non-zero (the `outage_evictions`
+    /// pattern), and absent counters decode back to zero.
+    #[test]
+    fn cluster_stats_json_roundtrip_omits_zero_counters() {
+        let mut s = ClusterStats {
+            submitted: 5,
+            started: 4,
+            completed: 4,
+            killed: 1,
+            canceled: 1,
+            evicted: 0,
+            max_queue_len: 3,
+            busy_core_secs: 1234,
+            recomputes: 7,
+            suffix_repairs: 0,
+            first_fit_probes: 0,
+        };
+        let clean = s.to_json().encode();
+        assert!(!clean.contains("suffix_repairs"), "{clean}");
+        assert!(!clean.contains("first_fit_probes"), "{clean}");
+        assert!(!clean.contains("evicted"), "{clean}");
+        assert_eq!(ClusterStats::from_json(&s.to_json()).unwrap(), s);
+        s.evicted = 2;
+        s.suffix_repairs = 9;
+        s.first_fit_probes = 41;
+        let full = s.to_json().encode();
+        assert!(full.contains("\"suffix_repairs\":9"), "{full}");
+        assert!(full.contains("\"first_fit_probes\":41"), "{full}");
+        assert!(full.contains("\"evicted\":2"), "{full}");
+        assert_eq!(ClusterStats::from_json(&s.to_json()).unwrap(), s);
+        // Byte-stable encoding.
+        assert_eq!(s.to_json().encode(), s.to_json().encode());
+    }
+
+    /// An outage landing strictly between availability breakpoints
+    /// truncates the profile to the exact instants (no rounding to a
+    /// neighbouring breakpoint), keeps the eviction accounting unchanged
+    /// — and, on the availability engine, without a rebuild at the next
+    /// query.
+    #[test]
+    fn fail_until_between_breakpoints_truncates_exactly() {
+        for incremental in [true, false] {
+            let mut c = cluster(8, BatchPolicy::Cbf);
+            c.set_incremental(incremental);
+            // Breakpoints at 0/500 (running) and 500/600 (queued).
+            c.submit(JobSpec::new(1, 0, 8, 500, 500), SimTime(0))
+                .unwrap();
+            c.start_due(SimTime(0));
+            c.submit(JobSpec::new(2, 0, 4, 100, 100), SimTime(0))
+                .unwrap();
+            // now = 137 and until = 733 both fall strictly between
+            // breakpoints.
+            let (running, waiting) = c.fail_until(SimTime(733), SimTime(137));
+            assert_eq!(running.len(), 1);
+            assert_eq!(waiting.len(), 1);
+            assert_eq!(c.stats().evicted, 2, "eviction accounting unchanged");
+            let recomputes = c.stats().recomputes;
+            let start = c
+                .submit(JobSpec::new(3, 0, 2, 10, 10), SimTime(137))
+                .unwrap();
+            assert_eq!(start, SimTime(733), "reserved at the exact recovery");
+            assert_eq!(
+                c.estimate_new(&JobSpec::new(9, 0, 8, 20, 20), SimTime(140)),
+                Some(SimTime(763))
+            );
+            if incremental {
+                assert_eq!(
+                    c.stats().recomputes,
+                    recomputes,
+                    "outage truncation keeps the profile warm"
+                );
+            }
+            let started = c.start_due(SimTime(733));
+            assert_eq!(started, vec![(JobId(3), SimTime(743))]);
+        }
     }
 
     /// The canonical CBF-vs-EASY divergence: a back-fill candidate that

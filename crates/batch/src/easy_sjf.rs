@@ -30,8 +30,14 @@ impl LocalScheduler for EasySjfScheduler {
         "EASY-SJF"
     }
 
-    // Like EASY, the schedule depends on examining the whole queue, so
-    // the warm-profile fast paths keep their conservative (off) defaults.
+    // The SJF examination order is a function of the *whole* queue, so no
+    // strictly-positive suffix index is ever repair-safe — but re-running
+    // the full schedule against the warm running-set profile is exactly
+    // what a rebuild would compute, without re-carving the running
+    // reservations. Hence: always repair, always from index 0.
+    fn repair_from(&self, _dirty_from: usize) -> Option<usize> {
+        Some(0)
+    }
 
     fn tail_floor(&self, _queue: &[Queued], now: SimTime) -> SimTime {
         // Conservative dry-run estimate, like EASY: the aggressive case is
@@ -39,7 +45,10 @@ impl LocalScheduler for EasySjfScheduler {
         now
     }
 
-    fn schedule(&self, profile: &mut Profile, queue: &mut [Queued], _from: usize, now: SimTime) {
+    fn schedule(&self, profile: &mut Profile, queue: &mut [Queued], from: usize, now: SimTime) {
+        // `repair_from` always answers 0: the profile carries the running
+        // set only and the whole queue is re-examined.
+        debug_assert_eq!(from, 0, "EASY-SJF only schedules the full queue");
         if queue.is_empty() {
             return;
         }
@@ -51,7 +60,7 @@ impl LocalScheduler for EasySjfScheduler {
             let q = &mut queue[i];
             if rank == 0 {
                 // The SJF head holds the only protected reservation.
-                let start = profile.earliest_fit(now, q.scaled.procs, q.scaled.walltime);
+                let start = profile.first_fit(now, q.scaled.walltime, q.scaled.procs);
                 profile.reserve(start, q.scaled.walltime, q.scaled.procs);
                 q.reserved_start = start;
                 continue;
@@ -65,7 +74,7 @@ impl LocalScheduler for EasySjfScheduler {
         }
         for i in pending {
             let q = &mut queue[i];
-            let start = profile.earliest_fit(now, q.scaled.procs, q.scaled.walltime);
+            let start = profile.first_fit(now, q.scaled.walltime, q.scaled.procs);
             profile.reserve(start, q.scaled.walltime, q.scaled.procs);
             q.reserved_start = start;
         }

@@ -11,6 +11,51 @@ use std::collections::BTreeMap;
 use grid_des::SimTime;
 
 use crate::job::JobId;
+use crate::profile::Profile;
+
+/// Render a [`Profile`]'s free-capacity step function as a one-line ASCII
+/// lane over `[t0, t1)`: each of the `width` cells shows the free count at
+/// its left edge as a single character (`0`–`9` up to nine processors,
+/// then `a`–`z` in coarse steps, `#` beyond). Consumes the public
+/// [`Profile::breakpoints`] iterator — renderers never poke at the
+/// availability engine's internals.
+///
+/// # Panics
+/// Panics on an empty window or a width below 2, like
+/// [`GanttChart::render`].
+pub fn availability_lane(profile: &Profile, t0: SimTime, t1: SimTime, width: usize) -> String {
+    assert!(t1 > t0, "empty time window");
+    assert!(width >= 2, "width too small");
+    let span = t1.since(t0).as_secs().max(1);
+    let glyph = |free: u32| -> char {
+        match free {
+            0..=9 => (b'0' + free as u8) as char,
+            10..=35 => (b'a' + (free - 10) as u8) as char,
+            _ => '#',
+        }
+    };
+    let mut cells = String::with_capacity(width + 2);
+    cells.push('|');
+    // Walk the breakpoint stream once, advancing it lazily as the cell
+    // cursor crosses each breakpoint.
+    let mut bps = profile.breakpoints().peekable();
+    let mut free = profile.free_at(t0);
+    for cell in 0..width {
+        let at = SimTime(t0.as_secs() + (cell as u128 * span as u128 / width as u128) as u64);
+        while let Some(&(bt, bf)) = bps.peek() {
+            if bt <= at {
+                free = bf;
+                bps.next();
+            } else {
+                break;
+            }
+        }
+        cells.push(glyph(free));
+    }
+    cells.push('|');
+    cells.push('\n');
+    cells
+}
 
 /// One executed (or planned) job occupation: `procs` processors over
 /// `[start, end)`.
@@ -270,6 +315,20 @@ mod tests {
         g.push(e(1, 1, 0, 1));
         let s = g.render(1, SimTime(0), SimTime(1000), 20);
         assert!(s.contains('a'));
+    }
+
+    #[test]
+    fn availability_lane_tracks_the_breakpoints() {
+        use grid_des::Duration;
+        let mut p = Profile::flat(8, SimTime(0));
+        p.reserve(SimTime(0), Duration(5), 8); // fully busy [0,5)
+        p.reserve(SimTime(5), Duration(5), 3); // 5 free over [5,10)
+        let lane = availability_lane(&p, SimTime(0), SimTime(20), 20);
+        assert_eq!(lane, "|00000555558888888888|\n");
+        // Clamped before the origin, wide counts collapse to letters.
+        let big = Profile::flat(12, SimTime(10));
+        let lane = availability_lane(&big, SimTime(0), SimTime(20), 10);
+        assert_eq!(lane, "|cccccccccc|\n");
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //!   walltime of a job are divided by *s* (rounded up) — the "automatic
 //!   adjustment of the walltime to the speed of the cluster".
 
+pub mod avail;
 pub mod cluster;
 pub mod easy_sjf;
 pub mod gantt;
@@ -36,9 +37,12 @@ pub mod platform;
 pub mod profile;
 pub mod sched;
 
+pub use avail::Breakpoints;
 pub use cluster::{Cluster, ClusterStats, EctNoise, Queued, Running, SubmitError};
-pub use gantt::{GanttChart, GanttEntry};
+pub use gantt::{availability_lane, GanttChart, GanttEntry};
 pub use job::{JobId, JobSpec, ScaledJob};
 pub use platform::{ClusterSpec, Platform};
 pub use profile::Profile;
+#[doc(hidden)]
+pub use profile::VecProfile;
 pub use sched::{BatchPolicy, LocalScheduler};

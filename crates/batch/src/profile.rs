@@ -2,46 +2,248 @@
 //!
 //! A [`Profile`] is a step function mapping simulated time to the number of
 //! free processors, starting at some horizon (usually "now") and extending
-//! to infinity. It is the data structure both batch policies are built on:
-//! FCFS and CBF differ only in *where* they look for a hole, not in how
-//! holes are found.
+//! to infinity. It is the data structure every batch policy is built on:
+//! FCFS, CBF and the EASY family differ only in *where* they look for a
+//! hole, not in how holes are found.
 //!
-//! The representation is a sorted vector of breakpoints `(t, free)`: `free`
-//! processors are available from `t` (inclusive) until the next breakpoint
-//! (exclusive); the last breakpoint extends to infinity.
+//! Since the availability-engine refactor the backing store is
+//! [`AvailTree`] — a balanced, time-indexed structure (see the
+//! [`avail`](crate::avail) module) that makes [`Profile::reserve`],
+//! [`Profile::release`], [`Profile::advance_origin`] and the
+//! [`Profile::fail_until`] outage truncation O(log n), and answers
+//! [`Profile::first_fit`] by descending on subtree min free capacity
+//! instead of scanning segments. Behaviour is byte-identical to the
+//! historical sorted-`Vec` backend, which survives as [`VecProfile`]: the
+//! differential oracle for property tests and the baseline the
+//! `scheduling-incremental` benchmark measures the tree against.
+
+use std::cell::Cell;
 
 use grid_des::{Duration, SimTime};
 
-/// Step function of free processors over time.
-#[derive(Debug, Clone, PartialEq, Eq)]
+use crate::avail::{AvailTree, Breakpoints};
+
+/// Step function of free processors over time (tree-backed).
+#[derive(Clone)]
 pub struct Profile {
-    /// Breakpoints, strictly increasing in time. Invariant: non-empty.
-    points: Vec<(SimTime, u32)>,
-    /// Total processors of the underlying cluster (upper bound of `free`).
-    total: u32,
+    tree: AvailTree,
+    /// [`Profile::first_fit`] queries answered since the last
+    /// [`Profile::take_probes`] — the scheduler-effort counter surfaced
+    /// as `ClusterStats::first_fit_probes`. Interior-mutable because
+    /// placement probes are logically reads.
+    probes: Cell<u64>,
 }
 
 impl Profile {
     /// A profile with all `total` processors free from `origin` onwards.
     pub fn flat(total: u32, origin: SimTime) -> Self {
         Profile {
+            tree: AvailTree::flat(total, origin),
+            probes: Cell::new(0),
+        }
+    }
+
+    /// Total processors of the underlying cluster (upper bound of `free`).
+    #[inline]
+    pub fn total(&self) -> u32 {
+        self.tree.total()
+    }
+
+    /// Time of the first breakpoint (the horizon the profile starts at).
+    pub fn origin(&self) -> SimTime {
+        self.tree.origin()
+    }
+
+    /// Number of breakpoints (size of the representation).
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// `false` — a profile always has at least one breakpoint.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Free processors at instant `t` (clamped to the profile origin).
+    pub fn free_at(&self, t: SimTime) -> u32 {
+        self.tree.value_at(t)
+    }
+
+    /// Minimum number of free processors over `[start, start + dur)`.
+    /// A zero-length window reads the instant `start`.
+    pub fn min_free(&self, start: SimTime, dur: Duration) -> u32 {
+        self.tree.min_free(start, dur)
+    }
+
+    /// Remove `procs` processors from the free pool over
+    /// `[start, start + dur)`.
+    ///
+    /// # Panics
+    /// Panics if the reservation would make the free count negative
+    /// anywhere in the window, or if `start` precedes the profile origin.
+    pub fn reserve(&mut self, start: SimTime, dur: Duration, procs: u32) {
+        if dur == Duration::ZERO || procs == 0 {
+            return;
+        }
+        assert!(
+            start >= self.origin(),
+            "reservation at {start} before profile origin {}",
+            self.origin()
+        );
+        self.tree.reserve(start, dur, procs);
+    }
+
+    /// Advance the profile origin to `now`, dropping breakpoints that lie
+    /// entirely in the past. A long-lived warm profile accumulates one
+    /// breakpoint per historical reservation edge; placements never look
+    /// before `now`, so trimming is free of behavioural consequence and
+    /// keeps every later operation O(log(live reservations)).
+    pub fn advance_origin(&mut self, now: SimTime) {
+        self.tree.advance_origin(now);
+    }
+
+    /// Give `procs` processors back to the free pool over
+    /// `[start, start + dur)` — the inverse of [`Profile::reserve`], used
+    /// by the incremental schedule maintenance to un-carve a reservation
+    /// (cancelled job, early completion) without rebuilding the profile.
+    ///
+    /// # Panics
+    /// Panics if the release would push the free count above `total`
+    /// anywhere in the window (releasing something that was never
+    /// reserved), or if `start` precedes the profile origin.
+    pub fn release(&mut self, start: SimTime, dur: Duration, procs: u32) {
+        if dur == Duration::ZERO || procs == 0 {
+            return;
+        }
+        assert!(
+            start >= self.origin(),
+            "release at {start} before profile origin {}",
+            self.origin()
+        );
+        self.tree.release(start, dur, procs);
+    }
+
+    /// Earliest `t >= after` such that at least `procs` processors are free
+    /// for the whole window `[t, t + dur)`. Always succeeds provided
+    /// `procs <= total` (the tail of the profile is eventually free).
+    ///
+    /// The search descends on the tree's subtree-min aggregates —
+    /// alternating "next breakpoint with too little room" and "next
+    /// breakpoint with enough room" probes — so a deep profile costs
+    /// O(blocked runs · log n) rather than a linear scan.
+    ///
+    /// # Panics
+    /// Panics if `procs > total` or `dur == 0`.
+    pub fn first_fit(&self, after: SimTime, dur: Duration, procs: u32) -> SimTime {
+        assert!(
+            procs <= self.total(),
+            "job needs {procs} procs, cluster has {}",
+            self.total()
+        );
+        assert!(dur > Duration::ZERO, "placement window must be non-empty");
+        self.probes.set(self.probes.get() + 1);
+        self.tree.first_fit(after, dur, procs)
+    }
+
+    /// Historical spelling of [`Profile::first_fit`] (argument order
+    /// `(after, procs, dur)`); same contract, same probe accounting.
+    pub fn earliest_fit(&self, after: SimTime, procs: u32, dur: Duration) -> SimTime {
+        self.first_fit(after, dur, procs)
+    }
+
+    /// Outage truncation: wipe every reservation (the cluster has evicted
+    /// all its jobs) and block the whole machine over `[now, until)`, so
+    /// nothing can be placed before the recovery instant — even when
+    /// `now` or `until` falls strictly between existing breakpoints.
+    pub fn fail_until(&mut self, now: SimTime, until: SimTime) {
+        self.tree.fail_until(now, until);
+    }
+
+    /// The breakpoints in time order — the public surface renderers and
+    /// tests consume instead of poking at the backing store.
+    pub fn breakpoints(&self) -> Breakpoints<'_> {
+        self.tree.breakpoints()
+    }
+
+    /// The breakpoints collected into a `Vec` (convenience for tests and
+    /// rendering; prefer [`Profile::breakpoints`] for streaming access).
+    pub fn points(&self) -> Vec<(SimTime, u32)> {
+        self.breakpoints().collect()
+    }
+
+    /// Drain the first-fit probe counter (scheduler-effort accounting;
+    /// harvested by `Cluster` into `ClusterStats::first_fit_probes`).
+    #[doc(hidden)]
+    pub fn take_probes(&self) -> u64 {
+        self.probes.replace(0)
+    }
+
+    /// Check internal invariants (test helper).
+    #[doc(hidden)]
+    pub fn assert_invariants(&self) {
+        self.tree.assert_invariants();
+    }
+}
+
+impl PartialEq for Profile {
+    /// Logical equality: same totals and same breakpoint sequence (the
+    /// tree shape and the probe counter are representation details).
+    fn eq(&self, other: &Self) -> bool {
+        self.total() == other.total() && self.breakpoints().eq(other.breakpoints())
+    }
+}
+
+impl Eq for Profile {}
+
+impl std::fmt::Debug for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profile")
+            .field("total", &self.total())
+            .field("points", &self.points())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legacy sorted-Vec backend: the differential oracle
+// ---------------------------------------------------------------------
+
+/// The historical sorted-`Vec` profile backend, kept verbatim as the
+/// differential oracle: property tests drive identical op sequences
+/// through [`VecProfile`] and the tree-backed [`Profile`] and require
+/// byte-identical observations, and the `scheduling-incremental`
+/// benchmark measures the tree against it. Not part of the public API —
+/// O(n) per mutation, superseded by the availability engine.
+#[doc(hidden)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VecProfile {
+    /// Breakpoints, strictly increasing in time. Invariant: non-empty.
+    points: Vec<(SimTime, u32)>,
+    /// Total processors of the underlying cluster (upper bound of `free`).
+    total: u32,
+}
+
+impl VecProfile {
+    /// A profile with all `total` processors free from `origin` onwards.
+    pub fn flat(total: u32, origin: SimTime) -> Self {
+        VecProfile {
             points: vec![(origin, total)],
             total,
         }
     }
 
-    /// Total processors of the underlying cluster.
+    /// Total processors.
     #[inline]
     pub fn total(&self) -> u32 {
         self.total
     }
 
-    /// Time of the first breakpoint (the horizon the profile starts at).
+    /// Time of the first breakpoint.
     pub fn origin(&self) -> SimTime {
         self.points[0].0
     }
 
-    /// Number of breakpoints (size of the representation).
+    /// Number of breakpoints.
     pub fn len(&self) -> usize {
         self.points.len()
     }
@@ -60,8 +262,7 @@ impl Profile {
         }
     }
 
-    /// Minimum number of free processors over `[start, start + dur)`.
-    /// A zero-length window reads the instant `start`.
+    /// Minimum free count over `[start, start + dur)`.
     pub fn min_free(&self, start: SimTime, dur: Duration) -> u32 {
         if dur == Duration::ZERO {
             return self.free_at(start);
@@ -80,12 +281,7 @@ impl Profile {
         m
     }
 
-    /// Remove `procs` processors from the free pool over
-    /// `[start, start + dur)`.
-    ///
-    /// # Panics
-    /// Panics if the reservation would make the free count negative
-    /// anywhere in the window, or if `start` precedes the profile origin.
+    /// Remove `procs` processors over `[start, start + dur)`.
     pub fn reserve(&mut self, start: SimTime, dur: Duration, procs: u32) {
         if dur == Duration::ZERO || procs == 0 {
             return;
@@ -110,18 +306,11 @@ impl Profile {
         self.coalesce();
     }
 
-    /// Advance the profile origin to `now`, dropping breakpoints that lie
-    /// entirely in the past. A long-lived warm profile accumulates one
-    /// breakpoint per historical reservation edge; placements never look
-    /// before `now`, so trimming is free of behavioural consequence and
-    /// keeps every later operation O(live reservations). Amortised O(1):
-    /// each breakpoint is dropped at most once.
+    /// Advance the profile origin to `now`.
     pub fn advance_origin(&mut self, now: SimTime) {
         if self.points[0].0 >= now {
             return;
         }
-        // Index of the last breakpoint at or before `now`: its free count
-        // is the value in force at `now`.
         let cut = match self.points.binary_search_by_key(&now, |p| p.0) {
             Ok(i) => i,
             Err(i) => i - 1, // i >= 1 because origin < now
@@ -132,15 +321,7 @@ impl Profile {
         self.points[0].0 = now;
     }
 
-    /// Give `procs` processors back to the free pool over
-    /// `[start, start + dur)` — the inverse of [`Profile::reserve`], used
-    /// by the incremental schedule maintenance to un-carve a reservation
-    /// (cancelled job, early completion) without rebuilding the profile.
-    ///
-    /// # Panics
-    /// Panics if the release would push the free count above `total`
-    /// anywhere in the window (releasing something that was never
-    /// reserved), or if `start` precedes the profile origin.
+    /// Give `procs` processors back over `[start, start + dur)`.
     pub fn release(&mut self, start: SimTime, dur: Duration, procs: u32) {
         if dur == Duration::ZERO || procs == 0 {
             return;
@@ -166,12 +347,7 @@ impl Profile {
         self.coalesce();
     }
 
-    /// Earliest `t >= after` such that at least `procs` processors are free
-    /// for the whole window `[t, t + dur)`. Always succeeds provided
-    /// `procs <= total` (the tail of the profile is eventually free).
-    ///
-    /// # Panics
-    /// Panics if `procs > total` or `dur == 0`.
+    /// Earliest `t >= after` fitting `procs` for `dur` (linear scan).
     pub fn earliest_fit(&self, after: SimTime, procs: u32, dur: Duration) -> SimTime {
         assert!(
             procs <= self.total,
@@ -181,7 +357,6 @@ impl Profile {
         assert!(dur > Duration::ZERO, "placement window must be non-empty");
         let after = after.max(self.origin());
         let n = self.points.len();
-        // Index of the segment containing `after`.
         let mut i = match self.points.binary_search_by_key(&after, |p| p.0) {
             Ok(i) => i,
             Err(0) => 0,
@@ -189,22 +364,17 @@ impl Profile {
         };
         let mut cand = after;
         'outer: loop {
-            // Advance to the first segment at or after `cand` with room.
             while i < n && self.points[i].1 < procs {
                 i += 1;
             }
             if i >= n {
-                // Unreachable in practice (the tail is fully free), but be
-                // safe: the last breakpoint always has `free == total`.
                 unreachable!("profile tail must have free >= procs");
             }
             cand = cand.max(self.points[i].0);
-            // Verify the whole window [cand, cand + dur).
             let end = cand + dur;
             let mut j = i;
             while j < n && self.points[j].0 < end {
                 if self.points[j].1 < procs {
-                    // Blocked: restart just after the blocking segment.
                     i = j;
                     cand = if j + 1 < n { self.points[j + 1].0 } else { end };
                     continue 'outer;
@@ -215,7 +385,21 @@ impl Profile {
         }
     }
 
-    /// The breakpoints as a slice (for rendering and tests).
+    /// Same query as [`Profile::first_fit`] (argument-order parity for
+    /// the differential harness).
+    pub fn first_fit(&self, after: SimTime, dur: Duration, procs: u32) -> SimTime {
+        self.earliest_fit(after, procs, dur)
+    }
+
+    /// Outage truncation, mirroring [`Profile::fail_until`].
+    pub fn fail_until(&mut self, now: SimTime, until: SimTime) {
+        *self = VecProfile::flat(self.total, now);
+        if until > now && self.total > 0 {
+            self.reserve(now, until.since(now), self.total);
+        }
+    }
+
+    /// The breakpoints as a slice.
     pub fn points(&self) -> &[(SimTime, u32)] {
         &self.points
     }
@@ -225,7 +409,6 @@ impl Profile {
         match self.points.binary_search_by_key(&t, |p| p.0) {
             Ok(i) => i,
             Err(0) => {
-                // `t` before origin: callers guard against this.
                 unreachable!("breakpoint before profile origin");
             }
             Err(i) => {
@@ -552,5 +735,135 @@ mod tests {
             p.reserve(start, dur, procs);
             p.assert_invariants();
         }
+    }
+
+    // -- Availability-engine additions ---------------------------------
+
+    /// `first_fit` is the same query as `earliest_fit` (issue-mandated
+    /// argument order), and both feed the probe counter.
+    #[test]
+    fn first_fit_matches_earliest_fit_and_counts_probes() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(0), d(100), 6);
+        p.reserve(t(150), d(50), 8);
+        let _ = p.take_probes();
+        assert_eq!(p.first_fit(t(0), d(10), 3), p.earliest_fit(t(0), 3, d(10)));
+        assert_eq!(p.first_fit(t(0), d(60), 2), t(0));
+        assert_eq!(p.first_fit(t(0), d(60), 4), t(200));
+        assert_eq!(p.take_probes(), 4, "every placement query is a probe");
+        assert_eq!(p.take_probes(), 0, "harvest drains the counter");
+    }
+
+    /// Outage truncation lands on the exact instant even when `now` and
+    /// `until` fall strictly between existing breakpoints (the
+    /// `fail_until` mirror of
+    /// `advance_origin_between_breakpoints_keeps_in_force_value`).
+    #[test]
+    fn fail_until_truncates_to_the_exact_instant() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(10), d(20), 5); // breakpoints at 10 and 30
+        p.reserve(t(40), d(10), 2); // breakpoints at 40 and 50
+        p.fail_until(t(17), t(43));
+        assert_eq!(p.origin(), t(17), "origin lands exactly on `now`");
+        assert_eq!(
+            p.points(),
+            &[(t(17), 0), (t(43), 8)],
+            "blackout to the exact recovery instant; old reservations wiped"
+        );
+        assert_eq!(p.first_fit(t(17), d(10), 1), t(43));
+        p.assert_invariants();
+        // Degenerate window: recovery not in the future leaves a flat
+        // profile from `now`.
+        p.fail_until(t(50), t(50));
+        assert_eq!(p.points(), &[(t(50), 8)]);
+        p.assert_invariants();
+    }
+
+    /// The streaming breakpoint iterator agrees with the collected form
+    /// and resolves pending lazy deltas correctly.
+    #[test]
+    fn breakpoints_iterator_matches_points() {
+        let mut p = Profile::flat(16, t(0));
+        p.reserve(t(5), d(30), 7);
+        p.reserve(t(10), d(10), 9);
+        p.release(t(12), d(3), 9);
+        let collected: Vec<(SimTime, u32)> = p.breakpoints().collect();
+        assert_eq!(collected, p.points());
+        assert_eq!(collected[0].0, p.origin());
+        assert!(collected.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    /// Dense deterministic differential sweep: the tree-backed profile
+    /// and the legacy Vec oracle agree on every observation across a
+    /// reserve/release/advance/fail_until churn (the in-crate smoke
+    /// companion of `tests/differential.rs`).
+    #[test]
+    fn tree_and_vec_backends_agree_on_dense_churn() {
+        let mut tree = Profile::flat(16, t(0));
+        let mut vec = VecProfile::flat(16, t(0));
+        let mut live: Vec<(SimTime, Duration, u32)> = Vec::new();
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut step = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x
+        };
+        for i in 0..800 {
+            let r = step();
+            match r % 5 {
+                0 | 1 => {
+                    let procs = (step() % 6 + 1) as u32;
+                    let dur = d(step() % 60 + 1);
+                    let after = t(tree.origin().0 + step() % 300);
+                    let s_tree = tree.first_fit(after, dur, procs);
+                    let s_vec = vec.first_fit(after, dur, procs);
+                    assert_eq!(s_tree, s_vec, "first_fit diverged at op {i}");
+                    tree.reserve(s_tree, dur, procs);
+                    vec.reserve(s_vec, dur, procs);
+                    live.push((s_tree, dur, procs));
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let idx = (step() as usize) % live.len();
+                        let (start, dur, procs) = live.swap_remove(idx);
+                        let end = start + dur;
+                        let origin = tree.origin();
+                        if end > origin {
+                            let eff = start.max(origin);
+                            tree.release(eff, end.since(eff), procs);
+                            vec.release(eff, end.since(eff), procs);
+                        }
+                    }
+                }
+                3 => {
+                    let now = t(tree.origin().0 + step() % 40);
+                    tree.advance_origin(now);
+                    vec.advance_origin(now);
+                }
+                _ => {
+                    let probe = t(tree.origin().0 + step() % 400);
+                    let dur = d(step() % 80);
+                    assert_eq!(tree.free_at(probe), vec.free_at(probe), "op {i}");
+                    assert_eq!(
+                        tree.min_free(probe, dur),
+                        vec.min_free(probe, dur),
+                        "op {i}"
+                    );
+                }
+            }
+            assert_eq!(tree.points(), vec.points().to_vec(), "points at op {i}");
+            assert_eq!(tree.origin(), vec.origin(), "origin at op {i}");
+            assert_eq!(tree.len(), vec.len(), "len at op {i}");
+            tree.assert_invariants();
+            vec.assert_invariants();
+        }
+        // Finish with the outage truncation and a final agreement check.
+        let now = t(tree.origin().0 + 13);
+        tree.fail_until(now, now + d(57));
+        vec.fail_until(now, now + d(57));
+        assert_eq!(tree.points(), vec.points().to_vec());
+        tree.assert_invariants();
+        vec.assert_invariants();
     }
 }

@@ -39,18 +39,25 @@
 //!
 //! [`LocalScheduler::schedule`] (re)computes the reservations of
 //! `queue[from..]` against an availability [`Profile`] that already
-//! carries the running jobs and the reservations of `queue[..from]`. The
-//! two capability flags tell [`Cluster`](crate::Cluster) how much of the
-//! schedule survives a mutation:
+//! carries the running jobs and the reservations of `queue[..from]`. Two
+//! capabilities tell [`Cluster`](crate::Cluster) how much of the schedule
+//! survives a mutation:
 //!
 //! * [`incremental_tail`](LocalScheduler::incremental_tail) — a new tail
 //!   job never disturbs existing reservations (true for FCFS/CBF, false
 //!   for the aggressive EASY family, which re-examines the whole queue);
-//! * [`supports_suffix_repair`](LocalScheduler::supports_suffix_repair) —
-//!   after a cancel at queue index *i* only `queue[i..]` must be
-//!   re-placed, and after an early completion only the queued suffix
-//!   (never the running set) — the warm-profile fast path of
-//!   `Cluster::ensure_schedule`.
+//! * [`repair_from`](LocalScheduler::repair_from) — given the first dirty
+//!   queue index after a cancel, an early completion or an aggressive
+//!   tail submission, the smallest index a warm-profile suffix repair may
+//!   start from while staying byte-identical to a full rebuild. FCFS/CBF
+//!   repair from the dirty index itself (prefix placements never depend
+//!   on the suffix); EASY repairs from the end of its *protected head*
+//!   (protected reservations are placed in queue order against the
+//!   running set only, so they are suffix-independent — everything after
+//!   them must be re-examined together); EASY-SJF repairs from 0 (its
+//!   examination order is a function of the whole queue, but re-running
+//!   it against the warm running-set profile equals a rebuild). `None`
+//!   keeps the conservative invalidate-and-rebuild behaviour.
 
 use std::sync::Mutex;
 
@@ -81,15 +88,21 @@ pub trait LocalScheduler: std::fmt::Debug + Sync {
         false
     }
 
-    /// `true` when the schedule admits suffix-only repair after a cancel
-    /// or an early completion (reservations of `queue[..i]` never depend
-    /// on `queue[i..]`).
+    /// Given the first dirty queue index after a mutation (cancel at that
+    /// index, early completion = 0, aggressive tail submission = the new
+    /// job's index), the smallest index a warm-profile suffix repair may
+    /// start from so that re-placing `queue[from..]` is **byte-identical**
+    /// to a full rebuild. `None` disables the warm path entirely.
     ///
-    /// **Opt-in**, like [`incremental_tail`](Self::incremental_tail):
-    /// order-dependent schedulers (the EASY family re-examines the whole
-    /// queue) must keep the conservative default.
-    fn supports_suffix_repair(&self) -> bool {
-        false
+    /// **Opt-in**, like [`incremental_tail`](Self::incremental_tail): the
+    /// default is `None` because the trait cannot verify the invariant —
+    /// claiming an index whose prefix placements *do* depend on the
+    /// suffix silently corrupts schedules. The returned index must be
+    /// `<= dirty_from`; `Cluster` releases the suffix reservations and
+    /// calls [`schedule`](Self::schedule) with it.
+    fn repair_from(&self, dirty_from: usize) -> Option<usize> {
+        let _ = dirty_from;
+        None
     }
 
     /// Floor instant for placing a brand-new tail job against the current
@@ -464,8 +477,8 @@ impl LocalScheduler for FcfsScheduler {
         true
     }
 
-    fn supports_suffix_repair(&self) -> bool {
-        true
+    fn repair_from(&self, dirty_from: usize) -> Option<usize> {
+        Some(dirty_from)
     }
 
     fn tail_floor(&self, queue: &[Queued], now: SimTime) -> SimTime {
@@ -485,7 +498,7 @@ impl LocalScheduler for FcfsScheduler {
             queue[from - 1].reserved_start.max(now)
         };
         for q in &mut queue[from..] {
-            let start = profile.earliest_fit(prev_start, q.scaled.procs, q.scaled.walltime);
+            let start = profile.first_fit(prev_start, q.scaled.walltime, q.scaled.procs);
             profile.reserve(start, q.scaled.walltime, q.scaled.procs);
             q.reserved_start = start;
             prev_start = start;
@@ -521,8 +534,8 @@ impl LocalScheduler for CbfScheduler {
         true
     }
 
-    fn supports_suffix_repair(&self) -> bool {
-        true
+    fn repair_from(&self, dirty_from: usize) -> Option<usize> {
+        Some(dirty_from)
     }
 
     fn tail_floor(&self, _queue: &[Queued], now: SimTime) -> SimTime {
@@ -534,7 +547,7 @@ impl LocalScheduler for CbfScheduler {
         // reservations; later jobs may jump ahead in time but can never
         // delay an earlier job (its reservation is already carved).
         for q in &mut queue[from..] {
-            let start = profile.earliest_fit(now, q.scaled.procs, q.scaled.walltime);
+            let start = profile.first_fit(now, q.scaled.walltime, q.scaled.procs);
             profile.reserve(start, q.scaled.walltime, q.scaled.procs);
             q.reserved_start = start;
         }
@@ -561,8 +574,18 @@ impl LocalScheduler for EasyScheduler {
         "EASY"
     }
 
-    // Aggressive back-filling re-examines the whole queue on every
-    // change; the conservative (default-off) fast paths stay off.
+    // Aggressive back-filling re-examines the whole *unprotected* queue
+    // on every change, so `incremental_tail` stays off (a tail submission
+    // may legitimately reshuffle tentative slots). The warm profile is
+    // still usable: the protected head is placed in queue order against
+    // the running set alone, so its reservations never depend on the
+    // suffix — a repair that re-runs the aggressive + estimation phases
+    // from the end of the (clean part of the) protected head is
+    // byte-identical to a full rebuild.
+
+    fn repair_from(&self, dirty_from: usize) -> Option<usize> {
+        Some(dirty_from.min(self.protected))
+    }
 
     fn params(&self) -> Vec<ParamSpec> {
         vec![ParamSpec::int(
@@ -588,12 +611,17 @@ impl LocalScheduler for EasyScheduler {
         now
     }
 
-    fn schedule(&self, profile: &mut Profile, queue: &mut [Queued], _from: usize, now: SimTime) {
+    fn schedule(&self, profile: &mut Profile, queue: &mut [Queued], from: usize, now: SimTime) {
         // The protected head segment is placed in queue order, like CBF.
+        // `from` is 0 (full rebuild) or the index `repair_from` returned:
+        // at most `protected`, so skipping `queue[..from]` (whose
+        // reservations the profile already carries) re-places exactly the
+        // jobs a rebuild would place after them, in the same order.
+        debug_assert!(from == 0 || from <= self.protected);
         let mut pending: Vec<usize> = Vec::new();
-        for (i, q) in queue.iter_mut().enumerate() {
+        for (i, q) in queue.iter_mut().enumerate().skip(from) {
             if i < self.protected {
-                let start = profile.earliest_fit(now, q.scaled.procs, q.scaled.walltime);
+                let start = profile.first_fit(now, q.scaled.walltime, q.scaled.procs);
                 profile.reserve(start, q.scaled.walltime, q.scaled.procs);
                 q.reserved_start = start;
                 continue;
@@ -612,7 +640,7 @@ impl LocalScheduler for EasyScheduler {
         // so ECT queries and wake-ups have something to read.
         for i in pending {
             let q = &mut queue[i];
-            let start = profile.earliest_fit(now, q.scaled.procs, q.scaled.walltime);
+            let start = profile.first_fit(now, q.scaled.walltime, q.scaled.procs);
             profile.reserve(start, q.scaled.walltime, q.scaled.procs);
             q.reserved_start = start;
         }

@@ -99,7 +99,7 @@ proptest! {
         let d = Duration(probe_dur);
         let best = p.earliest_fit(SimTime(0), probe_procs, d);
         // Every candidate start before `best` (breakpoints and 0) fails.
-        for &(t, _) in p.points() {
+        for (t, _) in p.points() {
             if t < best {
                 prop_assert!(
                     p.min_free(t, d) < probe_procs,

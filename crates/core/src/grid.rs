@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use grid_batch::{BatchPolicy, Cluster, JobId, JobSpec, Platform};
+use grid_batch::{BatchPolicy, Cluster, ClusterStats, JobId, JobSpec, Platform};
 use grid_des::{EventQueue, SimTime};
 use grid_fault::{Fault, OutageWindow, OutageWindows};
 use grid_metrics::{JobRecord, RunOutcome};
@@ -250,7 +250,16 @@ impl GridSim {
     }
 
     /// Run to completion and return the outcome.
-    pub fn run(mut self) -> Result<RunOutcome, SimError> {
+    pub fn run(self) -> Result<RunOutcome, SimError> {
+        self.run_with_stats().map(|(outcome, _)| outcome)
+    }
+
+    /// Run to completion and also return each cluster's accumulated
+    /// [`ClusterStats`] (in platform site order) — the scheduler-effort
+    /// counters (`first_fit_probes`, `suffix_repairs`, `recomputes`, …)
+    /// campaigns report alongside the outcome. The counters never feed
+    /// the outcome itself, so cached run records are unaffected.
+    pub fn run_with_stats(mut self) -> Result<(RunOutcome, Vec<ClusterStats>), SimError> {
         if let Some(e) = self.config_error.take() {
             return Err(e);
         }
@@ -345,7 +354,8 @@ impl GridSim {
         }
         debug_assert_eq!(self.completed, total, "all jobs must complete");
         debug_assert!(self.clusters.iter().all(Cluster::is_idle));
-        Ok(self.outcome)
+        let stats = self.clusters.iter().map(|c| *c.stats()).collect();
+        Ok((self.outcome, stats))
     }
 
     fn handle_arrival(&mut self, idx: usize, now: SimTime) -> Result<(), SimError> {
@@ -900,6 +910,37 @@ mod tests {
             noisy.contract_violations > 0,
             "noisy estimates must break some ECT contracts"
         );
+    }
+
+    /// `run_with_stats` surfaces per-cluster scheduler-effort counters
+    /// without touching the outcome: the availability engine answers
+    /// first-fit probes on every site, reallocation cancels exercise the
+    /// warm-repair path, and the outcome equals a plain `run()`.
+    #[test]
+    fn run_with_stats_reports_scheduler_effort() {
+        let jobs = grid_workload::Scenario::Jun.generate_fraction(3, 0.01);
+        let cfg = || {
+            GridConfig::new(Platform::grid5000(true), BatchPolicy::Cbf).with_realloc(
+                ReallocConfig::new(ReallocAlgorithm::CancelAll, Heuristic::Mct),
+            )
+        };
+        let (out, stats) = GridSim::new(cfg(), jobs.clone()).run_with_stats().unwrap();
+        assert_eq!(stats.len(), Platform::grid5000(true).clusters.len());
+        assert!(
+            stats.iter().all(|s| s.first_fit_probes > 0),
+            "every site answers placement probes: {stats:?}"
+        );
+        assert!(
+            stats.iter().map(|s| s.suffix_repairs).sum::<u64>() > 0,
+            "cancel-all reallocation must exercise the warm repair path"
+        );
+        assert_eq!(
+            stats.iter().map(|s| s.completed).sum::<u64>(),
+            jobs.len() as u64
+        );
+        // The counters are observation-only: the outcome is unchanged.
+        let plain = simulate(cfg(), jobs).unwrap();
+        assert_eq!(out.records, plain.records);
     }
 
     #[test]
