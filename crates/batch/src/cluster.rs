@@ -38,6 +38,7 @@
 //! [`sched`](crate::sched) module for the registry.
 
 use grid_des::{Duration, SimRng, SimTime};
+use grid_obs::{Field, Obs};
 
 use crate::gantt::GanttEntry;
 use crate::job::{JobId, JobSpec, ScaledJob};
@@ -256,6 +257,11 @@ pub struct Cluster {
     /// default; the A5 ablation turns it off, leaving reservations sized
     /// for the reference machine.
     adjust_walltime: bool,
+    /// Instrumentation handle (disabled by default: a `None` check per
+    /// call site, no recording). Never steers scheduling decisions.
+    obs: Obs,
+    /// Trace lane this cluster reports under (its site index).
+    lane: u32,
 }
 
 impl Cluster {
@@ -284,7 +290,18 @@ impl Cluster {
             unavailable_until: None,
             ect_noise: None,
             adjust_walltime: true,
+            obs: Obs::default(),
+            lane: 0,
         }
+    }
+
+    /// Attach an instrumentation handle, reporting under trace lane
+    /// `lane` (the site index). The handle only observes: schedules,
+    /// reservations and outcomes are byte-identical with or without it.
+    pub fn set_obs(&mut self, obs: Obs, lane: u32) {
+        obs.name_lane(lane, &self.spec.name);
+        self.obs = obs;
+        self.lane = lane;
     }
 
     /// Enable/disable warm-profile incremental schedule maintenance.
@@ -359,6 +376,11 @@ impl Cluster {
     /// `true` when nothing is queued or running.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty() && self.running.is_empty()
+    }
+
+    /// Processors currently occupied by running jobs.
+    pub fn busy_cores(&self) -> u32 {
+        self.running.iter().map(|r| r.scaled.procs).sum()
     }
 
     /// Accumulated counters.
@@ -495,6 +517,7 @@ impl Cluster {
         self.ensure_schedule(now);
         let start = self.place_at_tail(scaled.procs, scaled.walltime, now);
         self.harvest_probes();
+        self.obs.count("ect.estimate_new", 1);
         Some(self.noisy(job.id, now, start + scaled.walltime))
     }
 
@@ -505,13 +528,17 @@ impl Cluster {
         self.ensure_schedule(now);
         let idx = self.find_queued(id)?;
         let q = &self.queue[idx];
+        self.obs.count("ect.current_ect", 1);
         Some(self.noisy(id, now, q.reserved_start + q.scaled.walltime))
     }
 
     /// Apply the ECT-noise hook to an estimate, if one is installed.
     fn noisy(&self, id: JobId, now: SimTime, ect: SimTime) -> SimTime {
         match &self.ect_noise {
-            Some(noise) => noise.perturb(id, now, ect),
+            Some(noise) => {
+                self.obs.count("ect.noise_applied", 1);
+                noise.perturb(id, now, ect)
+            }
             None => ect,
         }
     }
@@ -744,7 +771,22 @@ impl Cluster {
                                 .scheduler()
                                 .schedule(profile, &mut self.queue, from, now);
                             self.stats.suffix_repairs += 1;
+                            let probes_before = self.stats.first_fit_probes;
                             self.harvest_probes();
+                            let probes = self.stats.first_fit_probes - probes_before;
+                            self.obs.observe("sched.probes_per_decision", probes);
+                            self.obs.event(
+                                now,
+                                "sched.repair",
+                                Some(self.lane),
+                                &[
+                                    ("dirty", Field::U64(dirty as u64)),
+                                    ("from", Field::U64(from as u64)),
+                                    ("repair_ops", Field::U64(repair_ops as u64)),
+                                    ("rebuild_ops", Field::U64(rebuild_ops as u64)),
+                                    ("probes", Field::U64(probes)),
+                                ],
+                            );
                             return;
                         }
                     }
@@ -770,7 +812,22 @@ impl Cluster {
             .scheduler()
             .schedule(&mut profile, &mut self.queue, 0, now);
         self.profile = Some(profile);
+        let probes_before = self.stats.first_fit_probes;
         self.harvest_probes();
+        if self.obs.is_enabled() {
+            let probes = self.stats.first_fit_probes - probes_before;
+            self.obs.observe("sched.probes_per_decision", probes);
+            self.obs.event(
+                now,
+                "sched.rebuild",
+                Some(self.lane),
+                &[
+                    ("queued", Field::U64(self.queue.len() as u64)),
+                    ("running", Field::U64(self.running.len() as u64)),
+                    ("probes", Field::U64(probes)),
+                ],
+            );
+        }
     }
 
     /// Validate internal invariants (test helper): capacity is never
@@ -1653,6 +1710,61 @@ pub(crate) mod tests {
         assert_eq!(c_noisy, noise.perturb(JobId(2), SimTime(0), c_clean));
         // Repeated queries are stable (pure per-(job, cluster) factor).
         assert_eq!(noisy.estimate_new(&probe, SimTime(0)), Some(e_noisy));
+    }
+
+    #[test]
+    fn cluster_stats_json_roundtrips_all_zero() {
+        let zero = ClusterStats::default();
+        let v = zero.to_json();
+        // Optional incremental-engine counters stay off the wire at zero.
+        assert!(v.get("evicted").is_none());
+        assert!(v.get("suffix_repairs").is_none());
+        assert!(v.get("first_fit_probes").is_none());
+        assert_eq!(ClusterStats::from_json(&v).unwrap(), zero);
+    }
+
+    #[test]
+    fn cluster_stats_json_roundtrips_mixed_counters() {
+        let stats = ClusterStats {
+            submitted: 12,
+            started: 11,
+            completed: 10,
+            killed: 1,
+            canceled: 2,
+            evicted: 3,
+            max_queue_len: 7,
+            busy_core_secs: 86_400,
+            recomputes: 5,
+            suffix_repairs: 9,
+            first_fit_probes: 131,
+        };
+        let v = stats.to_json();
+        let back = ClusterStats::from_json(&v).unwrap();
+        assert_eq!(back, stats);
+        // Canonical encoding is stable across a second round trip.
+        assert_eq!(back.to_json().encode(), v.encode());
+    }
+
+    #[test]
+    fn cluster_stats_from_json_ignores_unknown_keys_and_defaults_optionals() {
+        let mut v = ClusterStats {
+            submitted: 4,
+            started: 4,
+            completed: 4,
+            ..ClusterStats::default()
+        }
+        .to_json();
+        // A future engine may add counters; today's decoder must not choke.
+        v.insert("frobnications", 99u64);
+        let back = ClusterStats::from_json(&v).unwrap();
+        assert_eq!(back.submitted, 4);
+        assert_eq!(back.evicted, 0, "absent optional reads back as zero");
+        assert_eq!(back.suffix_repairs, 0);
+        assert_eq!(back.first_fit_probes, 0);
+        // A required counter missing is still an error.
+        let mut broken = grid_ser::Value::object();
+        broken.insert("submitted", 1u64);
+        assert!(ClusterStats::from_json(&broken).is_err());
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn campaign_throughput(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new(format!("{}_runs", units.len()), t), |b| {
             let opts = ExecOptions {
                 threads: Some(t),
-                progress: false,
+                ..ExecOptions::default()
             };
             b.iter(|| black_box(execute(&units, None, &opts)))
         });

@@ -127,8 +127,8 @@ fn run_suite_via_campaign(heterogeneous: bool, opts: &Options) -> SuiteResults {
         &plan.units,
         cache.as_ref(),
         &ExecOptions {
-            threads: None,
             progress: true,
+            ..ExecOptions::default()
         },
     );
     assert!(

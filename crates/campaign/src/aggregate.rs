@@ -23,6 +23,7 @@ use grid_realloc::Heuristic;
 use grid_ser::Value;
 use grid_workload::Scenario;
 
+use crate::cache::ResultCache;
 use crate::plan::{CampaignPlan, RunKind};
 use crate::spec::CampaignSpec;
 
@@ -130,6 +131,71 @@ pub fn aggregate(
         spec: spec.clone(),
         groups,
     })
+}
+
+/// Per-cell scheduler-effort totals, summed over a run's sites.
+///
+/// Harvested from the telemetry sidecars [`crate::execute`] leaves in
+/// the cache's `obs/` subdirectory; surfaced as opt-in report columns
+/// (`campaign report --stats`), never in the default exports — those
+/// stay byte-identical to the pre-observability engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellStats {
+    /// `Profile::first_fit` placement queries, all sites.
+    pub first_fit_probes: u64,
+    /// Warm-profile suffix repairs that replaced full recomputations.
+    pub suffix_repairs: u64,
+    /// Full schedule recomputations.
+    pub recomputes: u64,
+    /// Jobs evicted by site outages.
+    pub evicted: u64,
+}
+
+/// Sidecar-derived scheduler stats per group and table cell.
+pub type StatsIndex = BTreeMap<GroupKey, HashMap<ExperimentKey, CellStats>>;
+
+/// Harvest per-cell [`CellStats`] from the cache's telemetry sidecars.
+/// Units without a sidecar (runs that predate instrumentation, or a
+/// cache populated by another engine build) are simply absent — their
+/// report cells render empty rather than zero.
+pub fn stats_index(plan: &CampaignPlan, cache: &ResultCache) -> StatsIndex {
+    let mut index: StatsIndex = BTreeMap::new();
+    for unit in &plan.units {
+        let RunKind::Realloc(setting) = unit.kind else {
+            continue;
+        };
+        let Some(sidecar) = cache.load_obs(unit) else {
+            continue;
+        };
+        let Some(sites) = sidecar.get("cluster_stats").and_then(Value::as_arr) else {
+            continue;
+        };
+        let mut totals = CellStats::default();
+        for site in sites {
+            let Ok(s) = grid_batch::ClusterStats::from_json(site) else {
+                continue;
+            };
+            totals.first_fit_probes += s.first_fit_probes;
+            totals.suffix_repairs += s.suffix_repairs;
+            totals.recomputes += s.recomputes;
+            totals.evicted += s.evicted;
+        }
+        let group = GroupKey {
+            heterogeneous: unit.heterogeneous,
+            seed: unit.seed,
+            period_s: setting.period.as_secs(),
+            threshold_s: setting.threshold.as_secs(),
+            fault: unit.fault,
+        };
+        let cell = ExperimentKey {
+            scenario: unit.scenario,
+            policy: unit.policy,
+            algorithm: setting.algorithm,
+            heuristic: setting.heuristic,
+        };
+        index.entry(group).or_default().insert(cell, totals);
+    }
+    index
 }
 
 /// Sample mean and 95% confidence interval of one table cell across
@@ -431,11 +497,29 @@ impl CampaignResults {
     /// `fault` column (canonical fault expression per cell); healthy
     /// campaigns keep the historical header byte for byte.
     pub fn to_csv(&self) -> String {
+        self.csv_with(None)
+    }
+
+    /// [`CampaignResults::to_csv`] plus four scheduler-effort columns
+    /// per row (`first_fit_probes,suffix_repairs,recomputes,evicted`)
+    /// filled from the telemetry sidecars; cells without a sidecar
+    /// render as empty fields.
+    pub fn to_csv_with_stats(&self, stats: &StatsIndex) -> String {
+        self.csv_with(Some(stats))
+    }
+
+    fn csv_with(&self, stats: Option<&StatsIndex>) -> String {
         let faulted = self.faulted();
         let fault_col = if faulted { ",fault" } else { "" };
+        let stats_col = if stats.is_some() {
+            ",first_fit_probes,suffix_repairs,recomputes,evicted"
+        } else {
+            ""
+        };
         let mut out = format!(
             "scenario,platform,policy,algorithm,heuristic,period_s,threshold_s,seed{fault_col},\
-             n_jobs,impacted,earlier,later,reallocations,pct_impacted,pct_earlier,rel_avg_response\n",
+             n_jobs,impacted,earlier,later,reallocations,pct_impacted,pct_earlier,rel_avg_response\
+             {stats_col}\n",
         );
         for (group, results) in &self.groups {
             let fault_field = if faulted {
@@ -454,8 +538,18 @@ impl CampaignResults {
             });
             for key in keys {
                 let c = &results.comparisons[key];
+                let stats_field = match stats {
+                    None => String::new(),
+                    Some(index) => match index.get(group).and_then(|cells| cells.get(key)) {
+                        Some(s) => format!(
+                            ",{},{},{},{}",
+                            s.first_fit_probes, s.suffix_repairs, s.recomputes, s.evicted
+                        ),
+                        None => ",,,,".to_string(),
+                    },
+                };
                 out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{}{fault_field},{},{},{},{},{},{},{},{}\n",
+                    "{},{},{},{},{},{},{},{}{fault_field},{},{},{},{},{},{},{},{}{stats_field}\n",
                     key.scenario.label(),
                     if group.heterogeneous { "het" } else { "hom" },
                     csv_field(key.policy.name()),
@@ -481,6 +575,17 @@ impl CampaignResults {
     /// JSON export mirroring the CSV rows, plus table numbers for the
     /// cells that correspond to paper tables.
     pub fn to_json(&self) -> Value {
+        self.json_with(None)
+    }
+
+    /// [`CampaignResults::to_json`] with a `sched_stats` object per cell
+    /// row (sidecar-derived scheduler-effort counters); rows without a
+    /// sidecar omit the key.
+    pub fn to_json_with_stats(&self, stats: &StatsIndex) -> Value {
+        self.json_with(Some(stats))
+    }
+
+    fn json_with(&self, stats: Option<&StatsIndex>) -> Value {
         let mut rows = Vec::new();
         for (group, results) in &self.groups {
             let mut keys: Vec<&ExperimentKey> = results.comparisons.keys().collect();
@@ -507,6 +612,14 @@ impl CampaignResults {
                 // exports); faulted cells carry the canonical expression.
                 if !group.fault.is_none() {
                     row.insert("fault", group.fault.name());
+                }
+                if let Some(s) = stats.and_then(|index| index.get(group)?.get(key)) {
+                    let mut sched = Value::object();
+                    sched.insert("first_fit_probes", s.first_fit_probes);
+                    sched.insert("suffix_repairs", s.suffix_repairs);
+                    sched.insert("recomputes", s.recomputes);
+                    sched.insert("evicted", s.evicted);
+                    row.insert("sched_stats", sched);
                 }
                 row.insert(
                     "paper_tables",
@@ -696,6 +809,61 @@ mod tests {
         );
         // Field count is stable when the quoted comma is accounted for.
         assert_eq!(row.split(',').count(), 17, "16 fields + 1 quoted comma");
+    }
+
+    #[test]
+    fn stats_columns_are_opt_in_and_sidecar_fed() {
+        let mut spec = mini_spec();
+        spec.heterogeneity = vec![false];
+        spec.heuristics = vec![Heuristic::Mct];
+        let plan = spec.expand();
+        let dir = std::env::temp_dir().join(format!("grid-campaign-agg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let (outcomes, summary) = execute(&plan.units, Some(&cache), &ExecOptions::default());
+        assert!(summary.failures.is_empty());
+        let results = aggregate(&spec, &plan, &outcomes).unwrap();
+
+        let index = stats_index(&plan, &cache);
+        assert_eq!(index.len(), 1, "one group");
+        let cells = index.values().next().unwrap();
+        assert_eq!(cells.len(), 2, "one cell per algorithm");
+        assert!(
+            cells.values().all(|s| s.first_fit_probes > 0),
+            "every run probes the profile"
+        );
+
+        // Plain CSV is byte-identical to the no-stats path; the stats
+        // CSV appends exactly the four columns.
+        let plain = results.to_csv();
+        let with = results.to_csv_with_stats(&index);
+        assert!(!plain.contains("first_fit_probes"));
+        let header = with.lines().next().unwrap();
+        assert!(
+            header.ends_with("rel_avg_response,first_fit_probes,suffix_repairs,recomputes,evicted"),
+            "{header}"
+        );
+        for (a, b) in plain.lines().zip(with.lines()) {
+            assert!(b.starts_with(a), "stats columns append, never rewrite");
+            assert_eq!(b.split(',').count(), a.split(',').count() + 4);
+        }
+
+        // JSON rows gain a sched_stats object only on the stats path.
+        let json = results.to_json_with_stats(&index);
+        for row in json.req_arr("cells").unwrap() {
+            let sched = row.get("sched_stats").expect("sidecar present for all");
+            assert!(
+                sched
+                    .get("first_fit_probes")
+                    .and_then(Value::as_u64)
+                    .unwrap()
+                    > 0
+            );
+        }
+        assert!(results.to_json().req_arr("cells").unwrap()[0]
+            .get("sched_stats")
+            .is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -4,11 +4,20 @@
 //! ```text
 //! campaign plan   --spec FILE [--shards K]
 //! campaign run    --spec FILE [--shards K --shard I] [--cache DIR]
-//!                 [--threads N] [--quiet]
+//!                 [--threads N] [--quiet] [--progress] [--trace DIR]
 //! campaign report --spec FILE [--cache DIR] [--format tables|csv|json]
-//!                 [--out FILE]
+//!                 [--out FILE] [--stats]
 //! campaign gc     --spec FILE [--spec FILE ...] [--cache DIR]
 //! ```
+//!
+//! `run --progress` replaces per-run lines with one live status line
+//! (cells done/total, runs/s, cache mix, CI-half-width ETA); `--trace`
+//! additionally records every computed run and writes a Chrome
+//! trace-event file (open at `ui.perfetto.dev` or `chrome://tracing`)
+//! plus a JSONL event stream per run into the given directory — outcome
+//! and cache bytes are identical with or without it. `report --stats`
+//! appends the per-site scheduler counters harvested from the runs'
+//! telemetry sidecars as extra CSV/JSON columns.
 //!
 //! `run` executes (its shard of) the spec's expansion, resuming from the
 //! content-addressed cache; invoke it once per shard — from separate
@@ -35,6 +44,9 @@ struct CommonArgs {
     shard: usize,
     threads: Option<usize>,
     quiet: bool,
+    progress: bool,
+    trace: Option<PathBuf>,
+    stats: bool,
     format: String,
     out: Option<PathBuf>,
 }
@@ -50,7 +62,8 @@ impl CommonArgs {
 }
 
 const USAGE: &str = "usage: campaign <plan|run|report|gc> [--spec FILE]... [--shards K] \
-[--shard I] [--cache DIR] [--threads N] [--format tables|csv|json] [--out FILE] [--quiet]";
+[--shard I] [--cache DIR] [--threads N] [--format tables|csv|json] [--out FILE] [--quiet] \
+[--progress] [--trace DIR] [--stats]";
 
 fn parse_args(mut args: std::env::Args) -> Result<(String, CommonArgs), String> {
     let command = args.next().ok_or(USAGE)?;
@@ -61,6 +74,9 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, CommonArgs), String> 
         shard: 0,
         threads: None,
         quiet: false,
+        progress: false,
+        trace: None,
+        stats: false,
         format: "tables".into(),
         out: None,
     };
@@ -92,6 +108,9 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, CommonArgs), String> 
             "--format" => parsed.format = value(&mut args, "--format")?,
             "--out" => parsed.out = Some(PathBuf::from(value(&mut args, "--out")?)),
             "--quiet" => parsed.quiet = true,
+            "--progress" => parsed.progress = true,
+            "--trace" => parsed.trace = Some(PathBuf::from(value(&mut args, "--trace")?)),
+            "--stats" => parsed.stats = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -226,7 +245,10 @@ fn cmd_run(opts: &CommonArgs) -> Result<(), String> {
         Some(&cache),
         &ExecOptions {
             threads: opts.threads,
-            progress: !opts.quiet,
+            // The live status line supersedes per-run progress lines.
+            progress: !opts.quiet && !opts.progress,
+            status: opts.progress && !opts.quiet,
+            trace: opts.trace.clone(),
         },
     );
     println!(
@@ -289,13 +311,14 @@ fn cmd_gc(opts: &CommonArgs) -> Result<(), String> {
         );
     }
     println!(
-        "gc: scanned {} records, kept {} ({} bytes), deleted {} records + {} temp files, \
-         reclaimed {} bytes",
+        "gc: scanned {} records, kept {} ({} bytes), deleted {} records + {} temp files + \
+         {} sidecars, reclaimed {} bytes",
         report.scanned,
         report.kept,
         report.kept_bytes,
         report.deleted,
         report.tmp_deleted,
+        report.obs_deleted,
         report.reclaimed_bytes
     );
     Ok(())
@@ -311,10 +334,18 @@ fn cmd_report(opts: &CommonArgs) -> Result<(), String> {
         .map(|u| cache.load(u).map(|r| r.outcome))
         .collect();
     let results = aggregate(&spec, &plan, &outcomes)?;
-    let rendered = match opts.format.as_str() {
-        "tables" => results.render_tables(),
-        "csv" => results.to_csv(),
-        "json" => results.to_json().encode_pretty(),
+    // --stats harvests scheduler-effort counters from the telemetry
+    // sidecars `run` left in the cache (CSV/JSON only; the paper tables
+    // have no column for them).
+    let stats = opts
+        .stats
+        .then(|| grid_campaign::stats_index(&plan, &cache));
+    let rendered = match (opts.format.as_str(), &stats) {
+        ("tables", _) => results.render_tables(),
+        ("csv", Some(stats)) => results.to_csv_with_stats(stats),
+        ("csv", None) => results.to_csv(),
+        ("json", Some(stats)) => results.to_json_with_stats(stats).encode_pretty(),
+        ("json", None) => results.to_json().encode_pretty(),
         _ => unreachable!("validated in parse_args"),
     };
     match &opts.out {

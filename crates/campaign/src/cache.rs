@@ -113,6 +113,41 @@ impl ResultCache {
         std::fs::rename(&tmp, &final_path)
     }
 
+    /// File path a unit's observability sidecar lives at (under the
+    /// `obs/` subdirectory — invisible to [`ResultCache::len`] and the
+    /// record scan of [`ResultCache::gc`], so attaching instrumentation
+    /// never perturbs record bookkeeping or cache bytes).
+    pub fn obs_path(&self, unit: &RunUnit) -> PathBuf {
+        self.dir
+            .join(OBS_SUBDIR)
+            .join(format!("{}.json", Self::key(unit)))
+    }
+
+    /// Atomically persist a unit's observability sidecar (wall time,
+    /// event counts, per-site `ClusterStats`). Sidecars are telemetry,
+    /// not results: they are keyed like records but live in their own
+    /// subdirectory and may be deleted freely.
+    pub fn store_obs(&self, unit: &RunUnit, sidecar: &Value) -> io::Result<()> {
+        let dir = self.dir.join(OBS_SUBDIR);
+        // Single-level create: telemetry must never resurrect a cache
+        // directory that was deleted out from under us.
+        match std::fs::create_dir(&dir) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
+            Err(e) => return Err(e),
+        }
+        let final_path = self.obs_path(unit);
+        let tmp = final_path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, sidecar.encode())?;
+        std::fs::rename(&tmp, &final_path)
+    }
+
+    /// Load a unit's observability sidecar; `None` on miss or corruption.
+    pub fn load_obs(&self, unit: &RunUnit) -> Option<Value> {
+        let text = std::fs::read_to_string(self.obs_path(unit)).ok()?;
+        Value::parse(&text).ok()
+    }
+
     /// Number of record files currently present (any spec).
     pub fn len(&self) -> usize {
         std::fs::read_dir(&self.dir)
@@ -160,9 +195,34 @@ impl ResultCache {
                 report.reclaimed_bytes += size;
             }
         }
+        // Observability sidecars follow their records: a sidecar whose
+        // key no live plan produces is as unreachable as the record was.
+        let obs_dir = self.dir.join(OBS_SUBDIR);
+        if obs_dir.is_dir() {
+            for entry in std::fs::read_dir(&obs_dir)? {
+                let entry = entry?;
+                if !entry.file_type()?.is_file() {
+                    continue;
+                }
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let size = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                let stale = match name.strip_suffix(".json") {
+                    Some(stem) => !keep.contains(stem),
+                    None => name.contains(".tmp."),
+                };
+                if stale {
+                    std::fs::remove_file(entry.path())?;
+                    report.obs_deleted += 1;
+                    report.reclaimed_bytes += size;
+                }
+            }
+        }
         Ok(report)
     }
 }
+
+/// Subdirectory of the cache holding observability sidecars.
+const OBS_SUBDIR: &str = "obs";
 
 /// What [`ResultCache::gc`] did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -177,6 +237,8 @@ pub struct GcReport {
     pub deleted: usize,
     /// Stale temporary files deleted.
     pub tmp_deleted: usize,
+    /// Observability sidecars deleted (records' `obs/` companions).
+    pub obs_deleted: usize,
     /// Bytes reclaimed by the deletions.
     pub reclaimed_bytes: u64,
 }
@@ -281,6 +343,36 @@ mod tests {
         let again = cache.gc(&keep).unwrap();
         assert_eq!(again.deleted, 0);
         assert_eq!(again.reclaimed_bytes, 0);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn obs_sidecars_roundtrip_and_follow_gc() {
+        let cache = tmp_cache("obs");
+        let keep_unit = unit(1);
+        let drop_unit = unit(2);
+        for u in [&keep_unit, &drop_unit] {
+            cache
+                .store(u, &RunRecord::new(u, RunOutcome::default()))
+                .unwrap();
+            let mut sidecar = Value::object();
+            sidecar.insert("wall_ms", 12u64);
+            cache.store_obs(u, &sidecar).unwrap();
+        }
+        assert_eq!(cache.len(), 2, "sidecars must not count as records");
+        let loaded = cache.load_obs(&keep_unit).expect("sidecar hit");
+        assert_eq!(loaded.get("wall_ms").and_then(Value::as_u64), Some(12));
+        // A torn sidecar write from a crashed shard.
+        std::fs::write(cache.dir().join("obs/feed.json.tmp.7"), "partial").unwrap();
+        let keep: std::collections::HashSet<String> =
+            [ResultCache::key(&keep_unit)].into_iter().collect();
+        let report = cache.gc(&keep).unwrap();
+        assert_eq!(report.scanned, 2, "obs files are not scanned records");
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.deleted, 1);
+        assert_eq!(report.obs_deleted, 2, "stale sidecar + torn temp file");
+        assert!(cache.load_obs(&keep_unit).is_some(), "kept sidecar intact");
+        assert!(cache.load_obs(&drop_unit).is_none(), "stale sidecar gone");
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

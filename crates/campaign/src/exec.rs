@@ -12,13 +12,17 @@
 //! 3. persists the record back to the cache before reporting progress.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use grid_batch::ClusterStats;
 use grid_des::Duration;
 use grid_metrics::RunOutcome;
-use grid_realloc::experiments::{run_one, SuiteConfig};
+use grid_obs::{Obs, ProgressView};
+use grid_realloc::experiments::{run_one, run_one_observed, SuiteConfig};
+use grid_ser::Value;
 
 use crate::cache::{ResultCache, RunRecord};
 use crate::plan::{RunKind, RunUnit};
@@ -30,6 +34,13 @@ pub struct ExecOptions {
     pub threads: Option<usize>,
     /// Emit per-run progress lines on stderr.
     pub progress: bool,
+    /// Re-render a single live status line on stderr (cells done/total,
+    /// runs/s, cache mix, CI-half-width ETA) instead of per-run lines.
+    pub status: bool,
+    /// Write a Chrome trace-event file and a JSONL event stream per
+    /// computed run into this directory. Tracing enables the recorder;
+    /// outcome and cache bytes stay identical either way.
+    pub trace: Option<PathBuf>,
 }
 
 /// What one unit did.
@@ -87,6 +98,69 @@ pub fn simulate(unit: &RunUnit) -> RunOutcome {
     )
 }
 
+/// Simulate one unit with an [`Obs`] recorder attached. The outcome is
+/// byte-identical to [`simulate`] — the recorder is write-only — and the
+/// per-site scheduler counters come back alongside it.
+pub fn simulate_observed(unit: &RunUnit, obs: &Obs) -> (RunOutcome, Vec<ClusterStats>) {
+    let (realloc, period, threshold) = match unit.kind {
+        RunKind::Reference => (None, Duration::hours(1), Duration::secs(60)),
+        RunKind::Realloc(setting) => (Some(setting.to_config()), setting.period, setting.threshold),
+    };
+    let suite = SuiteConfig {
+        seed: unit.seed,
+        fraction: unit.fraction,
+        period,
+        threshold,
+        fault: unit.fault,
+    };
+    run_one_observed(
+        unit.scenario,
+        unit.heterogeneous,
+        unit.policy,
+        realloc,
+        &suite,
+        obs,
+    )
+}
+
+/// The telemetry sidecar stored next to (but never inside) the record.
+fn obs_sidecar(
+    unit: &RunUnit,
+    wall_ms: u64,
+    jobs: usize,
+    stats: &[ClusterStats],
+    recorder: Option<&grid_obs::Recorder>,
+) -> Value {
+    let mut v = Value::object();
+    v.insert("schema", "obs-sidecar/1");
+    v.insert("label", unit.label());
+    v.insert("wall_ms", wall_ms);
+    v.insert("jobs", jobs as u64);
+    v.insert(
+        "cluster_stats",
+        Value::Arr(stats.iter().map(|s| s.to_json()).collect()),
+    );
+    if let Some(rec) = recorder {
+        v.insert("events", rec.events().len() as u64);
+        v.insert("spans", rec.spans_value());
+    }
+    v
+}
+
+/// A unit label reduced to filesystem-safe characters.
+fn safe_stem(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
 /// Execute `units`, returning each unit's outcome in input order
 /// (`None` for failed units) plus a summary.
 pub fn execute(
@@ -108,17 +182,36 @@ pub fn execute(
     let done = AtomicUsize::new(0);
     let failures = Mutex::new(Vec::new());
     let store_errors = Mutex::new(Vec::new());
+    let view = Mutex::new(ProgressView::new(n));
+    if let Some(dir) = &opts.trace {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("[WARN] trace dir {}: {e}", dir.display());
+        }
+    }
 
     let run_unit = |i: usize| -> (UnitDisposition, Option<RunOutcome>) {
         let unit = &units[i];
         if let Some(cache) = cache {
             if let Some(record) = cache.load(unit) {
+                if opts.status {
+                    let mut v = view.lock().unwrap();
+                    v.on_cached();
+                    v.elapsed_ms = started.elapsed().as_millis() as u64;
+                    eprint!("\r{}", v.render());
+                }
                 return (UnitDisposition::Cached, Some(record.outcome));
             }
         }
         let t0 = Instant::now();
-        match catch_unwind(AssertUnwindSafe(|| simulate(unit))) {
-            Ok(outcome) => {
+        let obs = if opts.trace.is_some() {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
+        };
+        match catch_unwind(AssertUnwindSafe(|| simulate_observed(unit, &obs))) {
+            Ok((outcome, stats)) => {
+                let wall_ms = t0.elapsed().as_millis() as u64;
+                let recorder = obs.snapshot();
                 if let Some(cache) = cache {
                     let record = RunRecord::new(unit, outcome.clone());
                     if let Err(e) = cache.store(unit, &record) {
@@ -127,6 +220,27 @@ pub fn execute(
                             unit: unit.label(),
                             message: e.to_string(),
                         });
+                    }
+                    // Telemetry, not results: a failed sidecar write is
+                    // worth a warning but never an execution error.
+                    let sidecar =
+                        obs_sidecar(unit, wall_ms, outcome.len(), &stats, recorder.as_ref());
+                    if let Err(e) = cache.store_obs(unit, &sidecar) {
+                        eprintln!("[WARN] {}: sidecar not persisted: {e}", unit.label());
+                    }
+                }
+                if let (Some(dir), Some(rec)) = (&opts.trace, &recorder) {
+                    let stem = safe_stem(&unit.label());
+                    let written =
+                        std::fs::write(dir.join(format!("{stem}.trace.json")), rec.chrome_trace())
+                            .and_then(|_| {
+                                std::fs::write(
+                                    dir.join(format!("{stem}.events.jsonl")),
+                                    rec.events_jsonl(),
+                                )
+                            });
+                    if let Err(e) = written {
+                        eprintln!("[WARN] {}: trace not written: {e}", unit.label());
                     }
                 }
                 if opts.progress {
@@ -138,6 +252,12 @@ pub fn execute(
                         t0.elapsed()
                     );
                 }
+                if opts.status {
+                    let mut v = view.lock().unwrap();
+                    v.on_computed(wall_ms);
+                    v.elapsed_ms = started.elapsed().as_millis() as u64;
+                    eprint!("\r{}", v.render());
+                }
                 (UnitDisposition::Computed, Some(outcome))
             }
             Err(payload) => {
@@ -147,6 +267,12 @@ pub fn execute(
                     unit: unit.label(),
                     message,
                 });
+                if opts.status {
+                    let mut v = view.lock().unwrap();
+                    v.on_failed();
+                    v.elapsed_ms = started.elapsed().as_millis() as u64;
+                    eprint!("\r{}", v.render());
+                }
                 (UnitDisposition::Failed, None)
             }
         }
@@ -194,6 +320,11 @@ pub fn execute(
             outcome
         })
         .collect();
+    if opts.status {
+        let mut v = view.lock().unwrap();
+        v.elapsed_ms = started.elapsed().as_millis() as u64;
+        eprintln!("\r{}", v.render());
+    }
     if opts.progress {
         eprintln!(
             "campaign: {} runs in {:.1?} ({} computed, {} cached, {} failed, {} unpersisted, {threads} threads)",
@@ -260,7 +391,7 @@ mod tests {
             None,
             &ExecOptions {
                 threads: Some(1),
-                progress: false,
+                ..ExecOptions::default()
             },
         );
         let (par, _) = execute(
@@ -268,7 +399,7 @@ mod tests {
             None,
             &ExecOptions {
                 threads: Some(4),
-                progress: false,
+                ..ExecOptions::default()
             },
         );
         for (x, y) in seq.iter().zip(&par) {
@@ -290,6 +421,100 @@ mod tests {
         assert!(summary.failures.is_empty(), "sim succeeded — not a failure");
         assert_eq!(summary.store_errors.len(), units.len());
         assert!(outcomes.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn tracing_leaves_outcomes_and_cache_bytes_identical_and_writes_sidecars() {
+        let units = tiny_units();
+        let base = std::env::temp_dir().join(format!("grid-campaign-obs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let plain_cache = crate::cache::ResultCache::open(base.join("plain")).unwrap();
+        let traced_cache = crate::cache::ResultCache::open(base.join("traced")).unwrap();
+        let trace_dir = base.join("traces");
+
+        let (plain, _) = execute(&units, Some(&plain_cache), &ExecOptions::default());
+        let (traced, summary) = execute(
+            &units,
+            Some(&traced_cache),
+            &ExecOptions {
+                trace: Some(trace_dir.clone()),
+                ..ExecOptions::default()
+            },
+        );
+        assert_eq!(summary.computed, units.len());
+        for (unit, (x, y)) in units.iter().zip(plain.iter().zip(&traced)) {
+            assert_eq!(
+                x.as_ref().unwrap().records,
+                y.as_ref().unwrap().records,
+                "tracing must not perturb outcomes"
+            );
+            // Record files must be byte-identical whether or not the
+            // recorder was attached.
+            let a = std::fs::read(plain_cache.path(unit)).unwrap();
+            let b = std::fs::read(traced_cache.path(unit)).unwrap();
+            assert_eq!(a, b, "cache bytes diverged for {}", unit.label());
+            // Both executions leave a telemetry sidecar; the traced one
+            // additionally carries event counts and span timings.
+            let plain_side = plain_cache.load_obs(unit).expect("plain sidecar");
+            assert!(plain_side.get("wall_ms").is_some());
+            assert!(
+                plain_side.get("events").is_none(),
+                "disabled obs: no events"
+            );
+            let traced_side = traced_cache.load_obs(unit).expect("traced sidecar");
+            assert!(traced_side.get("events").and_then(Value::as_u64).unwrap() > 0);
+            assert_eq!(
+                traced_side
+                    .get("cluster_stats")
+                    .and_then(Value::as_arr)
+                    .map(<[Value]>::len),
+                plain_side
+                    .get("cluster_stats")
+                    .and_then(Value::as_arr)
+                    .map(<[Value]>::len),
+            );
+            // And a parseable Chrome trace + event stream per computed run.
+            let stem = safe_stem(&unit.label());
+            let trace_text =
+                std::fs::read_to_string(trace_dir.join(format!("{stem}.trace.json"))).unwrap();
+            let trace = Value::parse(&trace_text).expect("trace is valid JSON");
+            assert!(trace.get("traceEvents").and_then(Value::as_arr).is_some());
+            let jsonl =
+                std::fs::read_to_string(trace_dir.join(format!("{stem}.events.jsonl"))).unwrap();
+            assert!(jsonl.lines().all(|l| Value::parse(l).is_ok()));
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn cache_hits_skip_sidecar_rewrites() {
+        let units = tiny_units();
+        let base =
+            std::env::temp_dir().join(format!("grid-campaign-obs-hit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let cache = crate::cache::ResultCache::open(&base).unwrap();
+        let (_, first) = execute(&units, Some(&cache), &ExecOptions::default());
+        assert_eq!(first.computed, units.len());
+        let before: Vec<String> = units
+            .iter()
+            .map(|u| cache.load_obs(u).unwrap().encode())
+            .collect();
+        let (_, second) = execute(&units, Some(&cache), &ExecOptions::default());
+        assert_eq!(second.cached, units.len());
+        for (unit, old) in units.iter().zip(&before) {
+            assert_eq!(
+                &cache.load_obs(unit).unwrap().encode(),
+                old,
+                "a cache hit must not touch telemetry"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn safe_stem_strips_path_hazards() {
+        assert_eq!(safe_stem("jun/hom FCFS s42"), "jun-hom-FCFS-s42");
+        assert_eq!(safe_stem("a_b-c.1"), "a_b-c.1");
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub mod exec;
 pub mod plan;
 pub mod spec;
 
-pub use aggregate::{aggregate, CampaignResults, MeanCi, SeedAggKey, SeedAggregate};
+pub use aggregate::{
+    aggregate, stats_index, CampaignResults, CellStats, MeanCi, SeedAggKey, SeedAggregate,
+    StatsIndex,
+};
 pub use cache::{GcReport, ResultCache, RunRecord};
 pub use exec::{execute, ExecOptions, ExecSummary};
 pub use plan::{CampaignPlan, ReallocSetting, RunKind, RunUnit};

@@ -171,6 +171,35 @@ pub fn run_one(
         .expect("paper scenarios are schedulable")
 }
 
+/// [`run_one`] with an instrumentation handle attached and the
+/// per-cluster [`ClusterStats`](grid_batch::ClusterStats) returned
+/// alongside the outcome. The outcome is byte-identical to `run_one`'s —
+/// the recorder observes, it never steers — so campaign cache records
+/// are unaffected by whether a run was observed.
+pub fn run_one_observed(
+    scenario: Scenario,
+    heterogeneous: bool,
+    policy: BatchPolicy,
+    realloc: Option<ReallocConfig>,
+    suite: &SuiteConfig,
+    obs: &grid_obs::Obs,
+) -> (RunOutcome, Vec<grid_batch::ClusterStats>) {
+    let mut jobs = scenario.generate_fraction(suite.seed, suite.fraction);
+    if let Some(perturb) = &suite.fault.config().perturb {
+        perturb.apply(&mut jobs, suite.seed);
+    }
+    let mut config = GridConfig::new(platform_for(scenario, heterogeneous), policy)
+        .with_seed(suite.seed)
+        .with_fault(suite.fault);
+    if let Some(r) = realloc {
+        config = config.with_realloc(r);
+    }
+    let mut sim = GridSim::new(config, jobs);
+    sim.set_obs(obs.clone());
+    sim.run_with_stats()
+        .expect("paper scenarios are schedulable")
+}
+
 /// The paper's batch policies, in table order.
 pub const SUITE_POLICIES: [BatchPolicy; 2] = [BatchPolicy::Fcfs, BatchPolicy::Cbf];
 

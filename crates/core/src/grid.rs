@@ -19,6 +19,7 @@ use grid_batch::{BatchPolicy, Cluster, ClusterStats, JobId, JobSpec, Platform};
 use grid_des::{EventQueue, SimTime};
 use grid_fault::{Fault, OutageWindow, OutageWindows};
 use grid_metrics::{JobRecord, RunOutcome};
+use grid_obs::{Field, Obs};
 
 use crate::mapping::{Mapper, Mapping};
 use crate::realloc::{self, ReallocConfig};
@@ -193,6 +194,9 @@ pub struct GridSim {
     /// A malformed configuration detected at construction (a policy mix
     /// of the wrong arity); surfaced as the `run()` error.
     config_error: Option<SimError>,
+    /// Instrumentation handle shared with every cluster (disabled by
+    /// default; see [`GridSim::set_obs`]).
+    obs: Obs,
 }
 
 impl GridSim {
@@ -246,7 +250,20 @@ impl GridSim {
             outage_next: Vec::new(),
             stale_completions: HashMap::new(),
             config_error,
+            obs: Obs::default(),
         }
+    }
+
+    /// Attach an instrumentation handle: the driver and every cluster
+    /// (one trace lane per site, in platform order) record into the
+    /// same recorder. Purely observational — outcomes are byte-identical
+    /// with or without it (`instrumentation_does_not_change_outcomes`
+    /// pins this).
+    pub fn set_obs(&mut self, obs: Obs) {
+        for (site, cluster) in self.clusters.iter_mut().enumerate() {
+            cluster.set_obs(obs.clone(), site as u32);
+        }
+        self.obs = obs;
     }
 
     /// Run to completion and return the outcome.
@@ -294,40 +311,53 @@ impl GridSim {
             }
         }
         let total = self.jobs.len();
+        let _run_span = self.obs.span("sim.run");
         while let Some((now, batch)) = self.events.pop_batch() {
+            self.obs.count("sim.batches", 1);
             let mut tick_due = false;
             // Completions strictly first: they free processors the same
             // instant's arrivals and reallocations may use.
-            for s in &batch {
-                if let Event::Completion { cluster, job } = s.event {
-                    if self.consume_stale_completion(cluster, job, now) {
-                        continue;
+            {
+                let _span = self.obs.span("phase.completions");
+                for s in &batch {
+                    if let Event::Completion { cluster, job } = s.event {
+                        if self.consume_stale_completion(cluster, job, now) {
+                            continue;
+                        }
+                        self.handle_completion(cluster, job, now);
                     }
-                    self.handle_completion(cluster, job, now);
                 }
             }
             let mut outages = Vec::new();
-            for s in &batch {
-                match s.event {
-                    Event::Arrival { idx } => self.handle_arrival(idx, now)?,
-                    Event::Wake { cluster } => self.wake_armed[cluster] = None,
-                    Event::ReallocTick => tick_due = true,
-                    Event::Outage { site } => outages.push(site),
-                    Event::Completion { .. } => {}
+            {
+                let _span = self.obs.span("phase.arrivals");
+                for s in &batch {
+                    match s.event {
+                        Event::Arrival { idx } => self.handle_arrival(idx, now)?,
+                        Event::Wake { cluster } => self.wake_armed[cluster] = None,
+                        Event::ReallocTick => tick_due = true,
+                        Event::Outage { site } => outages.push(site),
+                        Event::Completion { .. } => {}
+                    }
                 }
             }
             // Outages next: the same instant's reallocation tick must see
             // the post-failure grid.
-            for site in outages {
-                self.handle_outage(site, now);
+            {
+                let _span = self.obs.span("phase.outages");
+                for site in outages {
+                    self.handle_outage(site, now);
+                }
             }
             if tick_due {
+                let _span = self.obs.span("phase.realloc");
                 self.handle_realloc_tick(now);
             }
             // Start every job whose reservation is due now. Starting never
             // frees resources, so one pass over the clusters suffices;
             // zero-runtime jobs complete via a same-instant Completion
             // event handled by the next batch.
+            let _span = self.obs.span("phase.start_due");
             for c in 0..self.clusters.len() {
                 if self.clusters[c].next_reservation(now) == Some(now) {
                     for (job, end) in self.clusters[c].start_due(now) {
@@ -370,6 +400,16 @@ impl GridSim {
         self.clusters[c]
             .submit(job, now)
             .expect("mapper only assigns fitting clusters");
+        self.obs.event(
+            now,
+            "job.submit",
+            None,
+            &[
+                ("id", Field::U64(job.id.0)),
+                ("cluster", Field::U64(c as u64)),
+                ("procs", Field::U64(u64::from(job.procs))),
+            ],
+        );
         self.tracking.insert(
             job.id,
             Tracking {
@@ -385,10 +425,22 @@ impl GridSim {
     fn handle_completion(&mut self, cluster: usize, job: JobId, now: SimTime) {
         self.clusters[cluster].complete(job, now);
         let t = self.tracking.remove(&job).expect("completed job tracked");
+        let start = t.start.expect("completed job must have started");
+        self.obs.event(
+            now,
+            "job.run",
+            Some(cluster as u32),
+            &[
+                ("id", Field::U64(job.0)),
+                ("start", Field::U64(start.as_secs())),
+                ("end", Field::U64(now.as_secs())),
+                ("reallocations", Field::U64(u64::from(t.reallocations))),
+            ],
+        );
         self.outcome.push(JobRecord {
             id: job,
             submit: t.submit,
-            start: t.start.expect("completed job must have started"),
+            start,
             completion: now,
             cluster,
             reallocations: t.reallocations,
@@ -452,6 +504,18 @@ impl GridSim {
         let mut evicted = running;
         evicted.extend(waiting);
         evicted.sort_by_key(|j| (j.submit, j.id));
+        self.obs.event(
+            now,
+            "outage",
+            Some(site as u32),
+            &[
+                ("start", Field::U64(window.down.as_secs())),
+                ("end", Field::U64(window.up.as_secs())),
+                ("evicted", Field::U64(evicted.len() as u64)),
+            ],
+        );
+        self.obs.count("fault.outages", 1);
+        self.obs.count("fault.evicted", evicted.len() as u64);
         for job in evicted {
             let c = self
                 .mapper
@@ -467,6 +531,7 @@ impl GridSim {
             t.start = None;
             t.cluster = c;
             self.outcome.outage_evictions += 1;
+            self.obs.count("fault.requeued", 1);
         }
         // Keep the failure process alive while work remains anywhere.
         if self.completed < self.jobs.len() {
@@ -490,7 +555,47 @@ impl GridSim {
         }
         self.outcome.total_reallocations += report.migrations.len() as u64;
         self.outcome.contract_violations += report.contract_violations as u64;
+        if self.obs.is_enabled() {
+            self.obs.event(
+                now,
+                "realloc.tick",
+                None,
+                &[
+                    ("examined", Field::U64(report.examined as u64)),
+                    ("attempted", Field::U64(report.attempted as u64)),
+                    ("rejected", Field::U64(report.rejected as u64)),
+                    ("migrations", Field::U64(report.migrations.len() as u64)),
+                ],
+            );
+            self.obs.count("realloc.examined", report.examined as u64);
+            self.obs.count("realloc.attempted", report.attempted as u64);
+            self.obs.count("realloc.rejected", report.rejected as u64);
+            self.obs
+                .count("realloc.migrations", report.migrations.len() as u64);
+            // The live load curves of §4.1, one sample per tick and
+            // cluster: what was waiting, what was running, how much
+            // placement effort the availability engine has spent.
+            for (lane, c) in self.clusters.iter().enumerate() {
+                let lane = lane as u32;
+                self.obs
+                    .gauge("queue_depth", lane, now, c.waiting_count() as f64);
+                self.obs
+                    .gauge("busy_cores", lane, now, f64::from(c.busy_cores()));
+                self.obs
+                    .gauge("probes", lane, now, c.stats().first_fit_probes as f64);
+            }
+        }
         for m in &report.migrations {
+            self.obs.event(
+                now,
+                "migrate",
+                None,
+                &[
+                    ("id", Field::U64(m.job.0)),
+                    ("from", Field::U64(m.from as u64)),
+                    ("to", Field::U64(m.to as u64)),
+                ],
+            );
             let t = self
                 .tracking
                 .get_mut(&m.job)
@@ -941,6 +1046,65 @@ mod tests {
         // The counters are observation-only: the outcome is unchanged.
         let plain = simulate(cfg(), jobs).unwrap();
         assert_eq!(out.records, plain.records);
+    }
+
+    /// The observability contract: attaching a recorder changes no
+    /// outcome byte, the recorder sees the run's structure (submits,
+    /// runs, ticks, scheduler decisions, per-tick gauges), and two
+    /// identical instrumented runs export byte-identical event streams
+    /// and traces.
+    #[test]
+    fn instrumentation_does_not_change_outcomes_and_is_deterministic() {
+        let jobs = grid_workload::Scenario::Jun.generate_fraction(3, 0.005);
+        let cfg = || {
+            GridConfig::new(Platform::grid5000(true), BatchPolicy::Cbf).with_realloc(
+                ReallocConfig::new(ReallocAlgorithm::CancelAll, Heuristic::Mct),
+            )
+        };
+        let observed = |jobs: Vec<JobSpec>| {
+            let obs = grid_obs::Obs::enabled();
+            let mut sim = GridSim::new(cfg(), jobs);
+            sim.set_obs(obs.clone());
+            let (out, stats) = sim.run_with_stats().unwrap();
+            let r = obs.snapshot().unwrap();
+            (out, stats, r)
+        };
+        let (out, stats, rec) = observed(jobs.clone());
+
+        // Byte-identical outcome and stats vs the uninstrumented run.
+        let (plain_out, plain_stats) = GridSim::new(cfg(), jobs.clone()).run_with_stats().unwrap();
+        assert_eq!(out.records, plain_out.records);
+        assert_eq!(stats, plain_stats);
+
+        // The recorder saw the whole run.
+        let n = jobs.len() as u64;
+        assert!(rec.counter("sim.batches") > 0);
+        let submits = rec
+            .events()
+            .iter()
+            .filter(|e| e.kind == "job.submit")
+            .count() as u64;
+        let runs = rec.events().iter().filter(|e| e.kind == "job.run").count() as u64;
+        assert_eq!(runs, n, "one job.run event per completed job");
+        assert!(submits >= n, "every job submitted at least once");
+        assert_eq!(rec.counter("realloc.migrations"), out.total_reallocations);
+        assert!(
+            rec.events().iter().any(|e| e.kind == "sched.repair"),
+            "warm repairs must be visible as decisions"
+        );
+        assert!(rec.histogram("sched.probes_per_decision").is_some());
+        assert_eq!(rec.lanes().len(), Platform::grid5000(true).clusters.len());
+        assert!(
+            !rec.gauge_series("queue_depth", 0).is_empty(),
+            "per-tick gauges recorded on lane 0"
+        );
+        assert!(rec.spans().contains_key("sim.run"), "wall spans recorded");
+
+        // Determinism: identical run → identical exported bytes.
+        let (_, _, rec2) = observed(jobs);
+        assert_eq!(rec.events_jsonl(), rec2.events_jsonl());
+        assert_eq!(rec.summary().encode(), rec2.summary().encode());
+        assert_eq!(rec.chrome_trace(), rec2.chrome_trace());
     }
 
     #[test]

@@ -353,6 +353,14 @@ pub struct TickReport {
     pub migrations: Vec<Migration>,
     /// Number of waiting jobs examined.
     pub examined: usize,
+    /// Jobs for which a candidate target existed (a placement was
+    /// actually weighed; `migrations.len() + rejected` when every
+    /// candidate was decided).
+    pub attempted: usize,
+    /// Weighed placements that did not move the job: below the
+    /// improvement threshold (Algorithm 1), or resubmitted in place
+    /// (Algorithm 2).
+    pub rejected: usize,
     /// ECT contract violations: submissions whose realized completion
     /// estimate differed from the estimate the decision was based on.
     ///
@@ -479,7 +487,10 @@ pub(crate) fn run_no_cancel(
         let w = view.jobs()[i];
         let cur = view.cur_ect(i);
         if let Some((target, ect)) = view.best_target(i) {
-            if ect + cfg.threshold < cur {
+            report.attempted += 1;
+            if ect + cfg.threshold >= cur {
+                report.rejected += 1;
+            } else {
                 let job = view
                     .cluster_mut(w.cluster)
                     .cancel(w.spec.id, now)
@@ -530,6 +541,7 @@ fn run_cancel_all(
         let (target, ect) = view
             .best_target(i)
             .expect("the origin cluster always fits the job");
+        report.attempted += 1;
         let start = view
             .cluster_mut(target)
             .submit(w.spec, now)
@@ -542,6 +554,8 @@ fn run_cancel_all(
                 from: w.cluster,
                 to: target,
             });
+        } else {
+            report.rejected += 1;
         }
         view.remove(i);
     }

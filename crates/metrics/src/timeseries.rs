@@ -12,12 +12,22 @@ use grid_des::SimTime;
 use crate::compare::RunOutcome;
 
 /// Evenly spaced sample instants across `[0, end]`.
+///
+/// Degenerate requests degrade instead of tripping: zero samples yield
+/// an empty series, one sample is the origin, and a zero `end` (an
+/// empty outcome, or every job finishing at t = 0) pins every instant
+/// to the origin — callers get flat series, never a panic.
 fn sample_points(end: SimTime, samples: usize) -> Vec<SimTime> {
-    assert!(samples >= 2, "need at least two samples");
-    let end = end.as_secs().max(1);
-    (0..samples)
-        .map(|i| SimTime(end * i as u64 / (samples as u64 - 1)))
-        .collect()
+    match samples {
+        0 => Vec::new(),
+        1 => vec![SimTime(0)],
+        _ => {
+            let end = end.as_secs();
+            (0..samples)
+                .map(|i| SimTime(end * i as u64 / (samples as u64 - 1)))
+                .collect()
+        }
+    }
 }
 
 /// Number of jobs waiting (submitted, not yet started) at each sample
@@ -192,5 +202,30 @@ mod tests {
         let q = queue_length_series(&o, 5);
         assert_eq!(q.len(), 5);
         assert!(q.iter().all(|&(_, n)| n == 0));
+    }
+
+    #[test]
+    fn degenerate_sample_counts_degrade_gracefully() {
+        let o = outcome(&[rec(0, 0, 50, 100)]);
+        assert!(queue_length_series(&o, 0).is_empty());
+        let one = queue_length_series(&o, 1);
+        assert_eq!(one, vec![(SimTime(0), 1)], "origin sample: job 0 waiting");
+        let jobs = vec![JobSpec::new(0, 0, 4, 100, 100)];
+        assert!(utilization_series(&jobs, &o, 8, 0).is_empty());
+        assert_eq!(utilization_series(&jobs, &o, 8, 1).len(), 1);
+    }
+
+    #[test]
+    fn zero_makespan_outcome_yields_flat_origin_series() {
+        // Every record at t = 0: makespan stays 0, which used to trip
+        // the sampler's end > 0 assumption.
+        let o = outcome(&[rec(0, 0, 0, 0), rec(1, 0, 0, 0)]);
+        assert_eq!(o.makespan, SimTime(0));
+        let q = queue_length_series(&o, 5);
+        assert_eq!(q.len(), 5);
+        assert!(q.iter().all(|&(p, n)| p == SimTime(0) && n == 0));
+        let jobs = vec![JobSpec::new(0, 0, 2, 1, 1), JobSpec::new(1, 0, 2, 1, 1)];
+        let u = utilization_series(&jobs, &o, 4, 5);
+        assert!(u.iter().all(|&(p, busy)| p == SimTime(0) && busy == 0.0));
     }
 }

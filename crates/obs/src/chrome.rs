@@ -1,0 +1,173 @@
+//! Chrome trace-event export: one lane per cluster, loadable in
+//! Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+//!
+//! Mapping from recorder content to the trace-event model:
+//!
+//! * pid 0 = the clusters; each cluster gets its own tid (the lane
+//!   index) named after the cluster via `thread_name` metadata.
+//! * pid 1 = the driver (meta-scheduler): reallocation ticks,
+//!   migrations, and the per-tick gauge series as counter tracks.
+//! * `job.run` and `outage` events carry `start`/`end` fields and
+//!   become duration (`X`) slices on their cluster lane; scheduler
+//!   decisions (`sched.repair`, `sched.rebuild`) and everything else
+//!   become instants (`i`) carrying their fields as args.
+//!
+//! Sim-time seconds map to trace microseconds, so a one-hour
+//! reallocation period renders as 3.6 s of trace time — comfortable to
+//! navigate for month-long scenarios.
+
+use grid_ser::Value;
+
+use crate::{Field, Recorder};
+
+/// Sim-seconds → trace microseconds.
+fn ts(secs: u64) -> u64 {
+    secs.saturating_mul(1_000_000)
+}
+
+fn meta(name: &str, pid: u64, tid: u64, value: &str) -> Value {
+    let mut args = Value::object();
+    args.insert("name", value);
+    let mut v = Value::object();
+    v.insert("name", name);
+    v.insert("ph", "M");
+    v.insert("pid", pid);
+    v.insert("tid", tid);
+    v.insert("args", args);
+    v
+}
+
+fn base(name: &str, ph: &str, pid: u64, tid: u64, t_us: u64) -> Value {
+    let mut v = Value::object();
+    v.insert("name", name);
+    v.insert("ph", ph);
+    v.insert("pid", pid);
+    v.insert("tid", tid);
+    v.insert("ts", t_us);
+    v
+}
+
+fn args_of(fields: &[(&'static str, Field)]) -> Value {
+    let mut args = Value::object();
+    for &(name, field) in fields {
+        args.insert(name, field);
+    }
+    args
+}
+
+pub(crate) fn chrome_trace(recorder: &Recorder) -> String {
+    let mut events: Vec<Value> = Vec::new();
+
+    // Process / thread naming so the viewer shows one labelled lane per
+    // cluster.
+    events.push(meta("process_name", 0, 0, "clusters"));
+    events.push(meta("process_name", 1, 0, "driver"));
+    events.push(meta("thread_name", 1, 0, "meta-scheduler"));
+    for (&lane, name) in recorder.lanes() {
+        events.push(meta("thread_name", 0, u64::from(lane), name));
+    }
+
+    for e in recorder.events() {
+        let (pid, tid) = match e.lane {
+            Some(lane) => (0u64, u64::from(lane)),
+            None => (1u64, 0u64),
+        };
+        match e.kind {
+            // Duration slices: need start/end fields.
+            "job.run" | "outage" => {
+                let start = e.field_u64("start").unwrap_or(e.t.as_secs());
+                let end = e.field_u64("end").unwrap_or(start);
+                let name = match e.kind {
+                    "job.run" => format!("job {}", e.field_u64("id").unwrap_or(0)),
+                    _ => e.kind.to_string(),
+                };
+                let mut v = base(&name, "X", pid, tid, ts(start));
+                v.insert("dur", ts(end.saturating_sub(start)));
+                v.insert("args", args_of(&e.fields));
+                events.push(v);
+            }
+            // Everything else is an instant at its sim-time.
+            _ => {
+                let mut v = base(e.kind, "i", pid, tid, ts(e.t.as_secs()));
+                v.insert("s", "t");
+                v.insert("args", args_of(&e.fields));
+                events.push(v);
+            }
+        }
+    }
+
+    // Gauge series as counter tracks on the driver process, one track
+    // per (gauge, lane), labelled with the cluster name when known.
+    for (&(name, lane), series) in &recorder.gauges {
+        let label = match recorder.lanes().get(&lane) {
+            Some(cluster) => format!("{name} {cluster}"),
+            None => format!("{name} lane{lane}"),
+        };
+        for &(t, value) in series {
+            let mut args = Value::object();
+            args.insert("value", value);
+            let mut v = base(&label, "C", 1, 0, ts(t.as_secs()));
+            v.insert("args", args);
+            events.push(v);
+        }
+    }
+
+    let mut root = Value::object();
+    root.insert("traceEvents", Value::Arr(events));
+    root.insert("displayTimeUnit", "ms");
+    root.encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use grid_des::SimTime;
+
+    use crate::{Field, Obs};
+
+    #[test]
+    fn trace_has_one_named_lane_per_cluster_and_job_slices() {
+        let obs = Obs::enabled();
+        obs.name_lane(0, "bordeaux");
+        obs.name_lane(1, "lyon");
+        obs.event(
+            SimTime(20),
+            "job.run",
+            Some(1),
+            &[
+                ("id", Field::U64(7)),
+                ("start", Field::U64(10)),
+                ("end", Field::U64(20)),
+            ],
+        );
+        obs.event(
+            SimTime(5),
+            "sched.repair",
+            Some(0),
+            &[("from", Field::U64(2))],
+        );
+        obs.gauge("queue_depth", 1, SimTime(0), 3.0);
+        let trace = obs.with(|r| r.chrome_trace()).unwrap();
+        let root = grid_ser::Value::parse(&trace).expect("trace parses");
+        let events = root.req_arr("traceEvents").unwrap();
+        let lane_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+            .filter(|e| e.get("pid").and_then(|p| p.as_u64()) == Some(0))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+            })
+            .collect();
+        assert_eq!(lane_names, ["bordeaux", "lyon"]);
+        let job = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("job 7"))
+            .expect("job slice present");
+        assert_eq!(job.get("ph").and_then(|p| p.as_str()), Some("X"));
+        assert_eq!(job.get("ts").and_then(|t| t.as_u64()), Some(10_000_000));
+        assert_eq!(job.get("dur").and_then(|d| d.as_u64()), Some(10_000_000));
+        assert!(trace.contains("queue_depth lyon"));
+        assert!(trace.contains("sched.repair"));
+    }
+}

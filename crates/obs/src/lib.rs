@@ -1,0 +1,502 @@
+//! `grid-obs` — deterministic, zero-cost-when-disabled instrumentation.
+//!
+//! The paper explains its month-to-month result differences by platform
+//! load (§4.1); reconstructing that story *post hoc* from finished-run
+//! records loses everything the engine knew while it was happening —
+//! which decisions the incremental scheduler took, where the probes
+//! went, when outages evicted whom. This crate is the live counterpart:
+//! a [`Recorder`] the simulation writes counters, gauges, log-bucketed
+//! histograms and structured sim-time-stamped events into, plus
+//! exporters that turn one run into a JSONL event stream or a Chrome
+//! trace-event / Perfetto file with one lane per cluster.
+//!
+//! Two invariants shape the design:
+//!
+//! 1. **Zero cost when disabled.** The [`Obs`] handle every component
+//!    holds is an `Option` around the shared recorder; the disabled
+//!    handle is a `None` check per call site, no locking, no heap
+//!    traffic (event fields are `Copy` and passed as a stack slice).
+//!    Simulation *outcomes* are byte-identical whether instrumentation
+//!    is attached or not — the recorder observes, it never steers.
+//! 2. **Determinism.** Everything keyed by sim-time is reproducible:
+//!    two identical runs produce byte-identical event streams. Wall
+//!    clock readings (span timings) live in a separate section that
+//!    only ever reaches sidecar output, never the deterministic
+//!    exports.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use grid_des::SimTime;
+use grid_ser::Value;
+
+mod chrome;
+mod progress;
+
+pub use progress::ProgressView;
+
+/// One event field value. `Copy` on purpose: call sites build field
+/// slices on the stack, so a disabled [`Obs`] costs no allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Field {
+    /// Unsigned counter / id / timestamp.
+    U64(u64),
+    /// Signed quantity.
+    I64(i64),
+    /// Ratio or other real quantity.
+    F64(f64),
+    /// Static label (verdicts, phase names).
+    Str(&'static str),
+}
+
+impl From<Field> for Value {
+    fn from(f: Field) -> Value {
+        match f {
+            Field::U64(v) => Value::UInt(v),
+            Field::I64(v) => Value::Int(v),
+            Field::F64(v) => Value::Float(v),
+            Field::Str(v) => Value::Str(v.to_string()),
+        }
+    }
+}
+
+/// One structured, sim-time-stamped event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual instant the event happened.
+    pub t: SimTime,
+    /// Event kind, dot-namespaced (`job.run`, `sched.repair`, …).
+    pub kind: &'static str,
+    /// Cluster lane the event belongs to, if site-scoped.
+    pub lane: Option<u32>,
+    /// Named payload fields, in call-site order.
+    pub fields: Vec<(&'static str, Field)>,
+}
+
+impl Event {
+    fn to_value(&self) -> Value {
+        let mut v = Value::object();
+        v.insert("t", self.t.as_secs());
+        v.insert("kind", self.kind);
+        if let Some(lane) = self.lane {
+            v.insert("lane", lane);
+        }
+        for &(name, field) in &self.fields {
+            v.insert(name, field);
+        }
+        v
+    }
+
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Option<Field> {
+        self.fields
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, f)| f)
+    }
+
+    /// Field as `u64`, if present and unsigned.
+    pub fn field_u64(&self, name: &str) -> Option<u64> {
+        match self.field(name) {
+            Some(Field::U64(v)) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Power-of-two-bucketed histogram: value `v` lands in bucket
+/// `⌊log2 v⌋ + 1` (zero in bucket 0), so 65 buckets cover all of `u64`
+/// with one `u64::leading_zeros` per observation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, v: u64) {
+        let bucket = if v == 0 { 0 } else { 64 - v.leading_zeros() };
+        *self.buckets.entry(bucket).or_insert(0) += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Populated `(bucket_floor, count)` pairs; bucket `b` covers
+    /// `[2^(b-1), 2^b)` (bucket 0 is exactly zero).
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .map(|(&b, &n)| (if b == 0 { 0 } else { 1u64 << (b - 1) }, n))
+    }
+
+    fn to_value(&self) -> Value {
+        let mut v = Value::object();
+        v.insert("count", self.count);
+        v.insert("sum", self.sum);
+        let mut buckets = Value::object();
+        for (floor, n) in self.buckets() {
+            buckets.insert(floor.to_string(), n);
+        }
+        v.insert("buckets", buckets);
+        v
+    }
+}
+
+/// Wall-clock span accumulator. Sidecar-only: wall time is the one
+/// non-deterministic thing the recorder holds, so it is excluded from
+/// every deterministic export.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed spans.
+    pub count: u64,
+    /// Total wall time across completed spans, nanoseconds.
+    pub total_ns: u128,
+}
+
+/// The collected telemetry of one instrumented run.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<(&'static str, u32), Vec<(SimTime, f64)>>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    events: Vec<Event>,
+    lanes: BTreeMap<u32, String>,
+    spans: BTreeMap<&'static str, SpanStat>,
+}
+
+impl Recorder {
+    /// Counter value (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Recorded events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Per-tick series of `name` on `lane`.
+    pub fn gauge_series(&self, name: &'static str, lane: u32) -> &[(SimTime, f64)] {
+        self.gauges
+            .get(&(name, lane))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Histogram by name, if any observation was made.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Registered `lane → cluster name` mapping.
+    pub fn lanes(&self) -> &BTreeMap<u32, String> {
+        &self.lanes
+    }
+
+    /// Wall-clock span totals (sidecar-only data).
+    pub fn spans(&self) -> &BTreeMap<&'static str, SpanStat> {
+        &self.spans
+    }
+
+    /// The deterministic JSONL event stream: one canonical-JSON object
+    /// per line, in emission order. Two identical runs yield identical
+    /// bytes.
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_value().encode());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Deterministic summary (counters + histograms + per-lane gauge
+    /// sample counts). No wall-clock content.
+    pub fn summary(&self) -> Value {
+        let mut counters = Value::object();
+        for (k, v) in &self.counters {
+            counters.insert(*k, *v);
+        }
+        let mut histograms = Value::object();
+        for (k, h) in &self.histograms {
+            histograms.insert(*k, h.to_value());
+        }
+        let mut v = Value::object();
+        v.insert("counters", counters);
+        v.insert("histograms", histograms);
+        v.insert("events", self.events.len());
+        v
+    }
+
+    /// Wall-clock span report for sidecars: `{name: {count, total_ms}}`.
+    pub fn spans_value(&self) -> Value {
+        let mut v = Value::object();
+        for (name, s) in &self.spans {
+            let mut span = Value::object();
+            span.insert("count", s.count);
+            span.insert("total_ms", s.total_ns as f64 / 1e6);
+            v.insert(*name, span);
+        }
+        v
+    }
+
+    /// Chrome trace-event JSON (loadable at `ui.perfetto.dev` or
+    /// `chrome://tracing`): one lane (tid) per cluster under pid 0 with
+    /// jobs and outages as duration slices and scheduler decisions as
+    /// instants; driver-level events and per-tick gauge counters under
+    /// pid 1.
+    pub fn chrome_trace(&self) -> String {
+        chrome::chrome_trace(self)
+    }
+}
+
+/// RAII wall-clock span; folds its elapsed time into the recorder on
+/// drop. A disabled handle yields an inert guard that never reads the
+/// clock.
+pub struct SpanGuard {
+    target: Option<(Arc<Mutex<Recorder>>, &'static str, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((recorder, name, start)) = self.target.take() {
+            let elapsed = start.elapsed().as_nanos();
+            let mut r = recorder.lock().unwrap();
+            let s = r.spans.entry(name).or_default();
+            s.count += 1;
+            s.total_ns += elapsed;
+        }
+    }
+}
+
+/// Shared handle to a [`Recorder`], or nothing at all.
+///
+/// `Obs::default()` is the disabled handle: every recording method is a
+/// single `None` check. Cloning shares the underlying recorder, so the
+/// driver, each cluster and the campaign executor can all hold the same
+/// one.
+#[derive(Clone, Debug, Default)]
+pub struct Obs(Option<Arc<Mutex<Recorder>>>);
+
+impl Obs {
+    /// A handle that records.
+    pub fn enabled() -> Obs {
+        Obs(Some(Arc::new(Mutex::new(Recorder::default()))))
+    }
+
+    /// The no-op handle (same as `Obs::default()`).
+    pub fn disabled() -> Obs {
+        Obs(None)
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Add `n` to counter `name`.
+    #[inline]
+    pub fn count(&self, name: &'static str, n: u64) {
+        if let Some(r) = &self.0 {
+            *r.lock().unwrap().counters.entry(name).or_insert(0) += n;
+        }
+    }
+
+    /// Append a `(t, value)` sample to the `name` series of `lane`.
+    #[inline]
+    pub fn gauge(&self, name: &'static str, lane: u32, t: SimTime, value: f64) {
+        if let Some(r) = &self.0 {
+            r.lock()
+                .unwrap()
+                .gauges
+                .entry((name, lane))
+                .or_default()
+                .push((t, value));
+        }
+    }
+
+    /// Record one histogram observation.
+    #[inline]
+    pub fn observe(&self, name: &'static str, value: u64) {
+        if let Some(r) = &self.0 {
+            r.lock()
+                .unwrap()
+                .histograms
+                .entry(name)
+                .or_default()
+                .observe(value);
+        }
+    }
+
+    /// Emit a structured event. `fields` is borrowed: a disabled handle
+    /// never copies it off the stack.
+    #[inline]
+    pub fn event(
+        &self,
+        t: SimTime,
+        kind: &'static str,
+        lane: Option<u32>,
+        fields: &[(&'static str, Field)],
+    ) {
+        if let Some(r) = &self.0 {
+            r.lock().unwrap().events.push(Event {
+                t,
+                kind,
+                lane,
+                fields: fields.to_vec(),
+            });
+        }
+    }
+
+    /// Register the display name of a cluster lane.
+    pub fn name_lane(&self, lane: u32, name: &str) {
+        if let Some(r) = &self.0 {
+            r.lock().unwrap().lanes.insert(lane, name.to_string());
+        }
+    }
+
+    /// Open a wall-clock span (sidecar-only timing). The disabled
+    /// handle returns an inert guard without touching the clock.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        SpanGuard {
+            target: self
+                .0
+                .as_ref()
+                .map(|r| (Arc::clone(r), name, Instant::now())),
+        }
+    }
+
+    /// Run `f` over the recorder, if enabled.
+    pub fn with<R>(&self, f: impl FnOnce(&Recorder) -> R) -> Option<R> {
+        self.0.as_ref().map(|r| f(&r.lock().unwrap()))
+    }
+
+    /// Clone the recorded state out of the handle, if enabled.
+    pub fn snapshot(&self) -> Option<Recorder> {
+        self.with(Clone::clone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let obs = Obs::default();
+        assert!(!obs.is_enabled());
+        obs.count("x", 3);
+        obs.gauge("g", 0, SimTime(1), 1.0);
+        obs.observe("h", 7);
+        obs.event(SimTime(2), "e", None, &[("a", Field::U64(1))]);
+        drop(obs.span("s"));
+        assert!(obs.snapshot().is_none());
+        assert!(obs.with(|_| ()).is_none());
+    }
+
+    #[test]
+    fn counters_gauges_and_events_accumulate() {
+        let obs = Obs::enabled();
+        let sibling = obs.clone(); // shares the recorder
+        obs.count("probes", 2);
+        sibling.count("probes", 3);
+        obs.gauge("queue", 1, SimTime(10), 4.0);
+        obs.gauge("queue", 1, SimTime(20), 2.0);
+        obs.event(
+            SimTime(5),
+            "job.run",
+            Some(1),
+            &[("id", Field::U64(9)), ("start", Field::U64(5))],
+        );
+        let r = obs.snapshot().unwrap();
+        assert_eq!(r.counter("probes"), 5);
+        assert_eq!(r.gauge_series("queue", 1).len(), 2);
+        assert_eq!(r.events().len(), 1);
+        assert_eq!(r.events()[0].field_u64("id"), Some(9));
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1034);
+        let buckets: Vec<_> = h.buckets().collect();
+        // 0 → bucket 0; 1 → [1,2); 2,3 → [2,4); 4 → [4,8); 1024 → [1024,2048).
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (4, 1), (1024, 1)]);
+    }
+
+    #[test]
+    fn events_jsonl_is_canonical_and_ordered() {
+        let obs = Obs::enabled();
+        obs.event(SimTime(1), "a", None, &[("n", Field::I64(-2))]);
+        obs.event(SimTime(2), "b", Some(0), &[("r", Field::F64(0.5))]);
+        let jsonl = obs.with(|r| r.events_jsonl()).unwrap();
+        assert_eq!(
+            jsonl,
+            "{\"kind\":\"a\",\"n\":-2,\"t\":1}\n{\"kind\":\"b\",\"lane\":0,\"r\":0.5,\"t\":2}\n"
+        );
+    }
+
+    #[test]
+    fn identical_recordings_export_identical_bytes() {
+        let record = |seed: u64| {
+            let obs = Obs::enabled();
+            obs.name_lane(0, "site-a");
+            for i in 0..50u64 {
+                let v = (seed.wrapping_mul(i)) % 97;
+                obs.count("ops", 1);
+                obs.observe("sizes", v);
+                obs.gauge("load", 0, SimTime(i), v as f64);
+                obs.event(
+                    SimTime(i),
+                    "op",
+                    Some(0),
+                    &[("v", Field::U64(v)), ("i", Field::U64(i))],
+                );
+            }
+            let r = obs.snapshot().unwrap();
+            (r.events_jsonl(), r.summary().encode(), r.chrome_trace())
+        };
+        assert_eq!(record(7), record(7));
+        assert_ne!(record(7).0, record(11).0);
+    }
+
+    #[test]
+    fn spans_accumulate_wall_time_but_stay_out_of_exports() {
+        let obs = Obs::enabled();
+        {
+            let _g = obs.span("phase");
+        }
+        {
+            let _g = obs.span("phase");
+        }
+        let r = obs.snapshot().unwrap();
+        assert_eq!(r.spans()["phase"].count, 2);
+        // Wall time never reaches the deterministic exports.
+        assert!(!r.summary().encode().contains("phase"));
+        assert!(!r.events_jsonl().contains("phase"));
+        assert!(r.spans_value().encode().contains("total_ms"));
+    }
+}

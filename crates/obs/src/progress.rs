@@ -1,0 +1,203 @@
+//! Live campaign progress: one status line the executor re-renders as
+//! units finish.
+//!
+//! The ETA is not `remaining / rate`: computed cells dominate the wall
+//! time while cache hits are effectively free, so the view keeps the
+//! per-computed-run wall times, estimates the still-to-compute count
+//! from the computed:cached mix seen so far, and reports the 95%
+//! confidence half-width of the mean wall time as an ETA error bar —
+//! the same trajectory the acceptance criteria track.
+
+/// Student-t 97.5% quantiles for small samples (ν = 1..30), then the
+/// normal approximation.
+fn t_975(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        n if n <= TABLE.len() => TABLE[n - 1],
+        _ => 1.96,
+    }
+}
+
+/// Snapshot of a running campaign, renderable as one status line.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressView {
+    /// Cells in the campaign (this shard).
+    pub total: usize,
+    /// Cells finished from cache.
+    pub cached: usize,
+    /// Cells computed (wall times recorded below).
+    pub computed: usize,
+    /// Cells that panicked.
+    pub failed: usize,
+    /// Wall time spent so far, milliseconds.
+    pub elapsed_ms: u64,
+    wall_ms: Vec<u64>,
+}
+
+impl ProgressView {
+    /// A view over a campaign of `total` cells.
+    pub fn new(total: usize) -> ProgressView {
+        ProgressView {
+            total,
+            ..ProgressView::default()
+        }
+    }
+
+    /// Record a computed cell and its wall time.
+    pub fn on_computed(&mut self, wall_ms: u64) {
+        self.computed += 1;
+        self.wall_ms.push(wall_ms);
+    }
+
+    /// Record a cache hit.
+    pub fn on_cached(&mut self) {
+        self.cached += 1;
+    }
+
+    /// Record a failed cell.
+    pub fn on_failed(&mut self) {
+        self.failed += 1;
+    }
+
+    /// Cells finished, however they finished.
+    pub fn done(&self) -> usize {
+        self.computed + self.cached + self.failed
+    }
+
+    /// Mean and 95% CI half-width of the per-computed-run wall time, in
+    /// milliseconds (`None` until something was computed).
+    pub fn wall_ms_ci(&self) -> Option<(f64, f64)> {
+        let n = self.wall_ms.len();
+        if n == 0 {
+            return None;
+        }
+        let mean = self.wall_ms.iter().sum::<u64>() as f64 / n as f64;
+        if n == 1 {
+            return Some((mean, f64::INFINITY));
+        }
+        let var = self
+            .wall_ms
+            .iter()
+            .map(|&w| (w as f64 - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        Some((mean, t_975(n - 1) * (var / n as f64).sqrt()))
+    }
+
+    /// `(eta, half_width)` in seconds: expected still-to-compute count
+    /// times the mean computed wall time, with the CI half-width scaled
+    /// the same way. `None` until the first computed cell.
+    pub fn eta_secs(&self) -> Option<(f64, f64)> {
+        let (mean, half) = self.wall_ms_ci()?;
+        let done = self.done();
+        let remaining = (self.total - done.min(self.total)) as f64;
+        // Fraction of finished cells that needed computing predicts how
+        // many of the remaining will.
+        let compute_frac = if done == 0 {
+            1.0
+        } else {
+            self.computed as f64 / done as f64
+        };
+        let to_compute = remaining * compute_frac;
+        Some((to_compute * mean / 1e3, to_compute * half / 1e3))
+    }
+
+    /// The status line, without trailing newline.
+    pub fn render(&self) -> String {
+        let done = self.done();
+        let width = self.total.to_string().len();
+        let mut line = format!(
+            "[{done:>width$}/{}] {} computed, {} cached, {} failed",
+            self.total, self.computed, self.cached, self.failed,
+        );
+        if self.elapsed_ms > 0 && done > 0 {
+            line.push_str(&format!(
+                " | {:.1} runs/s",
+                done as f64 / (self.elapsed_ms as f64 / 1e3)
+            ));
+        }
+        match self.eta_secs() {
+            Some((eta, half)) if done < self.total => {
+                if half.is_finite() {
+                    line.push_str(&format!(" | ETA {eta:.0}s ±{half:.0}s"));
+                } else {
+                    line.push_str(&format!(" | ETA {eta:.0}s"));
+                }
+            }
+            _ => {}
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_render() {
+        let mut p = ProgressView::new(10);
+        assert_eq!(p.done(), 0);
+        assert!(p.eta_secs().is_none());
+        p.on_cached();
+        p.on_computed(100);
+        p.on_computed(120);
+        p.on_failed();
+        p.elapsed_ms = 2_000;
+        assert_eq!(p.done(), 4);
+        let line = p.render();
+        assert!(
+            line.starts_with("[ 4/10] 2 computed, 1 cached, 1 failed"),
+            "{line}"
+        );
+        assert!(line.contains("runs/s"), "{line}");
+        assert!(line.contains("ETA"), "{line}");
+    }
+
+    #[test]
+    fn ci_half_width_narrows_with_samples() {
+        let mut p = ProgressView::new(100);
+        p.on_computed(100);
+        let (_, wide) = p.wall_ms_ci().unwrap();
+        assert!(wide.is_infinite(), "one sample has no finite CI");
+        for _ in 0..20 {
+            p.on_computed(100);
+            p.on_computed(110);
+        }
+        let (mean, half) = p.wall_ms_ci().unwrap();
+        assert!((mean - 105.0).abs() < 1.0);
+        assert!(half < 5.0, "41 samples tighten the CI, got ±{half}");
+    }
+
+    #[test]
+    fn eta_scales_by_compute_fraction() {
+        let mut p = ProgressView::new(100);
+        // Half the finished cells were cache hits → only half the
+        // remaining 96 should count toward the ETA.
+        p.on_computed(1_000);
+        p.on_computed(1_000);
+        p.on_cached();
+        p.on_cached();
+        let (eta, _) = p.eta_secs().unwrap();
+        assert!((eta - 48.0).abs() < 1e-9, "expected 48s, got {eta}");
+    }
+
+    #[test]
+    fn finished_campaign_renders_without_eta() {
+        let mut p = ProgressView::new(1);
+        p.on_computed(50);
+        assert!(!p.render().contains("ETA"));
+    }
+
+    #[test]
+    fn t_table_matches_aggregate_convention() {
+        assert!(t_975(1) > 12.0);
+        assert!((t_975(30) - 2.042).abs() < 1e-9);
+        assert!((t_975(200) - 1.96).abs() < 1e-9);
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`realloc`] | the paper's contribution: MCT meta-scheduling, reallocation Algorithms 1 & 2, the six heuristics, the 364-experiment harness and ablations |
 //! | [`metrics`] | the §3.4 evaluation metrics and paper-style table rendering |
 //! | [`fault`] | deterministic fault injection: cluster outage windows, ECT estimation noise, trace perturbation |
+//! | [`obs`] | deterministic, zero-cost-when-disabled instrumentation: recorder, Chrome-trace/JSONL exporters, campaign progress view |
 //! | [`campaign`] | declarative experiment campaigns: spec files, sharded execution, content-addressed result cache, aggregation and exports |
 //!
 //! ## Quick start
@@ -61,6 +62,7 @@ pub use grid_campaign as campaign;
 pub use grid_des as des;
 pub use grid_fault as fault;
 pub use grid_metrics as metrics;
+pub use grid_obs as obs;
 pub use grid_realloc as realloc;
 pub use grid_workload as workload;
 
@@ -73,6 +75,7 @@ pub mod prelude {
     pub use grid_des::{Duration, SimRng, SimTime};
     pub use grid_fault::{EctNoiseSpec, Fault, OutageSpec, PerturbSpec};
     pub use grid_metrics::{Comparison, JobRecord, PaperTable, RunOutcome};
+    pub use grid_obs::{Obs, Recorder};
     pub use grid_realloc::{
         GridConfig, GridSim, Heuristic, Mapping, MappingPolicy, OrderingHeuristic,
         ReallocAlgorithm, ReallocConfig, ReallocStrategy,
