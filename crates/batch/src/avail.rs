@@ -89,6 +89,65 @@ impl AvailTree {
         tree
     }
 
+    /// Build a tree from an already sorted, coalesced breakpoint list in
+    /// O(n): nodes are allocated left to right (drawing the same
+    /// deterministic priority stream a fresh tree would), linked with the
+    /// classic rightmost-spine Cartesian construction, and the min/max
+    /// aggregates are fixed in one post-order pass. This is the promotion
+    /// path of the adaptive [`Profile`](crate::profile::Profile) backend.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty (a timeline always has a breakpoint).
+    pub fn from_points(total: u32, points: &[(SimTime, u32)]) -> Self {
+        assert!(!points.is_empty(), "profile must be non-empty");
+        let mut tree = AvailTree {
+            nodes: Vec::with_capacity(points.len()),
+            free: Vec::new(),
+            root: NIL,
+            total,
+            len: 0,
+            origin: points[0].0,
+            rng: 0x243F_6A88_85A3_08D3,
+        };
+        // Rightmost spine, root first; priorities decrease along it.
+        let mut spine: Vec<u32> = Vec::with_capacity(32);
+        for &(t, v) in points {
+            let x = tree.alloc(t, v);
+            let prio = tree.node(x).prio;
+            let mut displaced = NIL;
+            while let Some(&top) = spine.last() {
+                if tree.node(top).prio >= prio {
+                    break;
+                }
+                displaced = top;
+                spine.pop();
+            }
+            tree.node_mut(x).left = displaced;
+            if let Some(&top) = spine.last() {
+                tree.node_mut(top).right = x;
+            }
+            spine.push(x);
+        }
+        tree.root = spine[0];
+        tree.fix_aggregates(tree.root);
+        tree
+    }
+
+    /// Recompute min/max bottom-up after [`AvailTree::from_points`] has
+    /// linked the nodes (no lazy deltas exist yet).
+    fn fix_aggregates(&mut self, x: u32) {
+        if x == NIL {
+            return;
+        }
+        let (l, r) = {
+            let n = self.node(x);
+            (n.left, n.right)
+        };
+        self.fix_aggregates(l);
+        self.fix_aggregates(r);
+        self.pull(x);
+    }
+
     /// Total processors (upper bound of every free count).
     #[inline]
     pub fn total(&self) -> u32 {

@@ -37,6 +37,8 @@
 //! [`LocalScheduler`](crate::sched::LocalScheduler) trait; see the
 //! [`sched`](crate::sched) module for the registry.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use grid_des::{Duration, SimRng, SimTime};
 use grid_obs::{Field, Obs};
 
@@ -44,7 +46,7 @@ use crate::gantt::GanttEntry;
 use crate::job::{JobId, JobSpec, ScaledJob};
 use crate::platform::ClusterSpec;
 use crate::profile::Profile;
-use crate::sched::BatchPolicy;
+use crate::sched::{BatchPolicy, QueueDelta, QueueScan};
 
 /// Why a submission was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,18 +136,66 @@ pub struct Running {
     pub reserved_end: SimTime,
 }
 
-/// A job waiting in the queue with its current reservation.
-#[derive(Debug, Clone)]
-pub struct Queued {
+/// A waiting job viewed through the cluster's job slab (what
+/// [`Cluster::waiting_jobs`] yields).
+///
+/// The cluster stores waiting jobs in a per-cluster arena plus a
+/// struct-of-arrays queue (see `JobSlab`); this is the borrowed
+/// row view stitching one queue position back together.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedRef<'a> {
     /// The job.
-    pub job: JobSpec,
+    pub job: &'a JobSpec,
     /// Durations on this cluster.
-    pub scaled: ScaledJob,
+    pub scaled: &'a ScaledJob,
     /// Currently planned start (recomputed after every schedule change).
     pub reserved_start: SimTime,
     /// Instant this job entered this cluster's queue (queue order is
     /// submission order to *this* cluster).
     pub enqueued_at: SimTime,
+}
+
+/// Per-cluster job arena: specs and scaled views live in stable slots
+/// indexed by `u32`, so queue reordering moves 4-byte handles (plus the
+/// scan arrays) instead of ~100-byte job records.
+#[derive(Debug, Clone, Default)]
+struct JobSlab {
+    jobs: Vec<JobSpec>,
+    scaled: Vec<ScaledJob>,
+    free: Vec<u32>,
+}
+
+impl JobSlab {
+    fn insert(&mut self, job: JobSpec, scaled: ScaledJob) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.jobs[slot as usize] = job;
+                self.scaled[slot as usize] = scaled;
+                slot
+            }
+            None => {
+                self.jobs.push(job);
+                self.scaled.push(scaled);
+                (self.jobs.len() - 1) as u32
+            }
+        }
+    }
+
+    fn remove(&mut self, slot: u32) -> (JobSpec, ScaledJob) {
+        self.free.push(slot);
+        (self.jobs[slot as usize], self.scaled[slot as usize])
+    }
+}
+
+/// Process-wide switch for the completion-skip fast path (an early
+/// completion whose freed window admits no waiting job leaves the
+/// schedule untouched). Benchmark baseline hook; results are
+/// byte-identical either way.
+static COMPLETION_SKIP: AtomicBool = AtomicBool::new(true);
+
+#[doc(hidden)]
+pub fn set_completion_skip_enabled(enabled: bool) {
+    COMPLETION_SKIP.store(enabled, Ordering::Relaxed);
 }
 
 /// Counters accumulated over a run (used by tests, ablations and reports).
@@ -177,14 +227,23 @@ pub struct ClusterStats {
     /// cluster — scheduling *and* estimation dry-runs, so campaigns can
     /// report total scheduler effort.
     pub first_fit_probes: u64,
+    /// Inline→tree promotions of the adaptive availability profile
+    /// (the backend crossed [`default_crossover`](crate::profile::default_crossover)
+    /// breakpoints).
+    pub profile_promotions: u64,
+    /// Batch first-fit placements that resumed from the walk's dominance
+    /// floor instead of descending from `now` (see the `sched` module
+    /// docs).
+    pub batch_fast_placements: u64,
 }
 
 impl ClusterStats {
-    /// Canonical JSON object (sorted keys). The incremental-engine
-    /// counters — `evicted`, `suffix_repairs`, `first_fit_probes` — are
-    /// serialised only when non-zero, like `outage_evictions` on run
-    /// outcomes, so reports from configurations that never exercise them
-    /// stay byte-identical across engine versions.
+    /// Canonical JSON object (sorted keys). The engine-internal counters
+    /// — `evicted`, `suffix_repairs`, `first_fit_probes`,
+    /// `profile_promotions`, `batch_fast_placements` — are serialised
+    /// only when non-zero, like `outage_evictions` on run outcomes, so
+    /// reports from configurations that never exercise them stay
+    /// byte-identical across engine versions.
     pub fn to_json(&self) -> grid_ser::Value {
         let mut obj = grid_ser::Value::object();
         obj.insert("submitted", self.submitted);
@@ -203,6 +262,12 @@ impl ClusterStats {
         }
         if self.first_fit_probes > 0 {
             obj.insert("first_fit_probes", self.first_fit_probes);
+        }
+        if self.profile_promotions > 0 {
+            obj.insert("profile_promotions", self.profile_promotions);
+        }
+        if self.batch_fast_placements > 0 {
+            obj.insert("batch_fast_placements", self.batch_fast_placements);
         }
         obj
     }
@@ -223,6 +288,8 @@ impl ClusterStats {
             recomputes: v.req_u64("recomputes")?,
             suffix_repairs: opt("suffix_repairs"),
             first_fit_probes: opt("first_fit_probes"),
+            profile_promotions: opt("profile_promotions"),
+            batch_fast_placements: opt("batch_fast_placements"),
         })
     }
 }
@@ -233,13 +300,27 @@ pub struct Cluster {
     spec: ClusterSpec,
     policy: BatchPolicy,
     running: Vec<Running>,
-    queue: Vec<Queued>,
+    /// Arena holding the specs/scaled views of the waiting jobs; the
+    /// `q_*` arrays below are the queue itself, position-aligned
+    /// (struct-of-arrays so the scheduler scan stays contiguous).
+    slab: JobSlab,
+    /// Slab slot per queue position.
+    q_slot: Vec<u32>,
+    /// Processors required per queue position (scheduler scan field).
+    q_procs: Vec<u32>,
+    /// Scaled walltime per queue position (scheduler scan field).
+    q_walltime: Vec<Duration>,
+    /// Reserved start per queue position (scheduler scan field).
+    q_reserved: Vec<SimTime>,
+    /// Enqueue instant per queue position.
+    q_enqueued: Vec<SimTime>,
     /// Availability profile including every queued reservation; `None` when
     /// stale (a mutation the scheduler cannot repair incrementally).
     profile: Option<Profile>,
     /// First queue index whose reservation must be re-placed before the
-    /// warm profile can be trusted again (suffix dirty-tracking; `None`
-    /// when the cached schedule is clean).
+    /// warm profile can be trusted again (suffix dirty-tracking, already
+    /// mapped through `repair_from`; `None` when the cached schedule is
+    /// clean).
     dirty_from: Option<usize>,
     /// Warm-profile maintenance switch; `false` restores the historical
     /// invalidate-on-every-change behaviour (benchmark baseline).
@@ -281,7 +362,12 @@ impl Cluster {
             spec,
             policy,
             running: Vec::new(),
-            queue: Vec::new(),
+            slab: JobSlab::default(),
+            q_slot: Vec::new(),
+            q_procs: Vec::new(),
+            q_walltime: Vec::new(),
+            q_reserved: Vec::new(),
+            q_enqueued: Vec::new(),
             profile: None,
             dirty_from: None,
             incremental: true,
@@ -317,15 +403,42 @@ impl Cluster {
         }
     }
 
-    /// The index a warm-profile repair may start from for a mutation
-    /// dirtying `queue[dirty..]`, when the fast path is usable at all:
-    /// the switch must be on, a warm profile must exist, and the
-    /// scheduler must claim a byte-identical repair point.
-    fn repair_entry(&self, dirty: usize) -> Option<usize> {
+    /// The index a warm-profile repair may start from for `delta`, when
+    /// the fast path is usable at all: the switch must be on, a warm
+    /// profile must exist, and the scheduler must claim a byte-identical
+    /// repair point for this kind of mutation.
+    fn repair_entry(&self, delta: QueueDelta) -> Option<usize> {
         if !self.incremental || self.profile.is_none() {
             return None;
         }
-        self.policy.scheduler().repair_from(dirty)
+        self.policy.scheduler().repair_from(delta)
+    }
+
+    /// Fold `from` into the dirty suffix marker.
+    fn mark_dirty(&mut self, from: usize) {
+        self.dirty_from = Some(self.dirty_from.map_or(from, |d| d.min(from)));
+    }
+
+    /// Append a job to the queue (slab slot + scan arrays).
+    fn queue_push(&mut self, job: JobSpec, scaled: ScaledJob, reserved: SimTime, now: SimTime) {
+        let slot = self.slab.insert(job, scaled);
+        self.q_slot.push(slot);
+        self.q_procs.push(scaled.procs);
+        self.q_walltime.push(scaled.walltime);
+        self.q_reserved.push(reserved);
+        self.q_enqueued.push(now);
+    }
+
+    /// Remove queue position `idx`, returning the job, its scaled view
+    /// and the reservation it held.
+    fn queue_remove(&mut self, idx: usize) -> (JobSpec, ScaledJob, SimTime) {
+        let slot = self.q_slot.remove(idx);
+        self.q_procs.remove(idx);
+        self.q_walltime.remove(idx);
+        let reserved = self.q_reserved.remove(idx);
+        self.q_enqueued.remove(idx);
+        let (job, scaled) = self.slab.remove(slot);
+        (job, scaled, reserved)
     }
 
     /// Enable/disable walltime speed-adjustment (see the field docs).
@@ -365,7 +478,7 @@ impl Cluster {
 
     /// Number of waiting jobs.
     pub fn waiting_count(&self) -> usize {
-        self.queue.len()
+        self.q_slot.len()
     }
 
     /// Number of running jobs.
@@ -375,7 +488,7 @@ impl Cluster {
 
     /// `true` when nothing is queued or running.
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty() && self.running.is_empty()
+        self.q_slot.is_empty() && self.running.is_empty()
     }
 
     /// Processors currently occupied by running jobs.
@@ -390,8 +503,16 @@ impl Cluster {
 
     /// Waiting jobs in queue order (paper query: "return the list of jobs
     /// in the waiting state").
-    pub fn waiting_jobs(&self) -> impl Iterator<Item = &Queued> {
-        self.queue.iter()
+    pub fn waiting_jobs(&self) -> impl Iterator<Item = QueuedRef<'_>> {
+        (0..self.q_slot.len()).map(|i| {
+            let slot = self.q_slot[i] as usize;
+            QueuedRef {
+                job: &self.slab.jobs[slot],
+                scaled: &self.slab.scaled[slot],
+                reserved_start: self.q_reserved[i],
+                enqueued_at: self.q_enqueued[i],
+            }
+        })
     }
 
     /// Running jobs (no particular order guarantees beyond determinism).
@@ -447,38 +568,28 @@ impl Cluster {
                 .as_mut()
                 .expect("schedule just ensured")
                 .reserve(start, scaled.walltime, scaled.procs);
-            self.queue.push(Queued {
-                job,
-                scaled,
-                reserved_start: start,
-                enqueued_at: now,
-            });
+            self.queue_push(job, scaled, start, now);
             start
         } else {
             // Aggressive back-filling re-examines the whole queue: the
             // new job may start immediately even when the tentative
             // schedule says otherwise. `SimTime::MAX` marks "not carved
             // into the profile yet"; the repair path skips its release.
-            self.queue.push(Queued {
-                job,
-                scaled,
-                reserved_start: SimTime::MAX,
-                enqueued_at: now,
-            });
-            let idx = self.queue.len() - 1;
-            if self.repair_entry(idx).is_some() {
+            self.queue_push(job, scaled, SimTime::MAX, now);
+            let idx = self.q_slot.len() - 1;
+            if let Some(from) = self.repair_entry(QueueDelta::Submit { index: idx }) {
                 // The scheduler can absorb a tail job on the warm profile
                 // (EASY: its protected head is suffix-independent, so
                 // only the aggressive + estimation phases re-run).
-                self.dirty_from = Some(self.dirty_from.map_or(idx, |d| d.min(idx)));
+                self.mark_dirty(from);
             } else {
                 self.invalidate();
             }
             self.ensure_schedule(now);
-            self.queue.last().expect("just pushed").reserved_start
+            *self.q_reserved.last().expect("just pushed")
         };
         self.stats.submitted += 1;
-        self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len());
+        self.stats.max_queue_len = self.stats.max_queue_len.max(self.q_slot.len());
         self.harvest_probes();
         Ok(start)
     }
@@ -488,21 +599,21 @@ impl Cluster {
     /// it was queued here.
     pub fn cancel(&mut self, id: JobId, _now: SimTime) -> Option<JobSpec> {
         let idx = self.find_queued(id)?;
-        let q = self.queue.remove(idx);
+        let (job, scaled, reserved) = self.queue_remove(idx);
         self.stats.canceled += 1;
         // A hole opened: later reservations may move earlier. When the
-        // scheduler claims a byte-identical repair point for a mutation
+        // scheduler claims a byte-identical repair point for a cancel
         // at `idx`, un-carve the victim and dirty-track; the repair runs
         // lazily at the next schedule query. (`repair_entry` is `None`
         // without a warm profile, so the profile is present here.)
-        if self.repair_entry(idx).is_some() {
+        if let Some(from) = self.repair_entry(QueueDelta::Cancel { index: idx }) {
             let p = self.profile.as_mut().expect("repair_entry implies warm");
-            p.release(q.reserved_start, q.scaled.walltime, q.scaled.procs);
-            self.dirty_from = Some(self.dirty_from.map_or(idx, |d| d.min(idx)));
+            p.release(reserved, scaled.walltime, scaled.procs);
+            self.mark_dirty(from);
         } else {
             self.invalidate();
         }
-        Some(q.job)
+        Some(job)
     }
 
     /// Estimated completion time of a *hypothetical* submission of `job`
@@ -527,9 +638,8 @@ impl Cluster {
     pub fn current_ect(&mut self, id: JobId, now: SimTime) -> Option<SimTime> {
         self.ensure_schedule(now);
         let idx = self.find_queued(id)?;
-        let q = &self.queue[idx];
         self.obs.count("ect.current_ect", 1);
-        Some(self.noisy(id, now, q.reserved_start + q.scaled.walltime))
+        Some(self.noisy(id, now, self.q_reserved[idx] + self.q_walltime[idx]))
     }
 
     /// Apply the ECT-noise hook to an estimate, if one is installed.
@@ -559,7 +669,16 @@ impl Cluster {
     pub fn fail_until(&mut self, until: SimTime, now: SimTime) -> (Vec<JobSpec>, Vec<JobSpec>) {
         debug_assert!(until > now, "recovery must lie in the future");
         let running: Vec<JobSpec> = self.running.drain(..).map(|r| r.job).collect();
-        let waiting: Vec<JobSpec> = self.queue.drain(..).map(|q| q.job).collect();
+        let waiting: Vec<JobSpec> = self
+            .q_slot
+            .iter()
+            .map(|&slot| self.slab.jobs[slot as usize])
+            .collect();
+        self.slab.free.append(&mut self.q_slot);
+        self.q_procs.clear();
+        self.q_walltime.clear();
+        self.q_reserved.clear();
+        self.q_enqueued.clear();
         self.stats.evicted += (running.len() + waiting.len()) as u64;
         self.unavailable_until = Some(self.unavailable_until.map_or(until, |u| u.max(until)));
         if self.incremental {
@@ -593,7 +712,7 @@ impl Cluster {
     /// must wake this cluster), recomputing the schedule if stale.
     pub fn next_reservation(&mut self, now: SimTime) -> Option<SimTime> {
         self.ensure_schedule(now);
-        self.queue.iter().map(|q| q.reserved_start).min()
+        self.q_reserved.iter().copied().min()
     }
 
     /// Start every waiting job whose reservation is due at `now`; returns
@@ -603,27 +722,27 @@ impl Cluster {
         self.ensure_schedule(now);
         let mut started = Vec::new();
         let mut i = 0;
-        while i < self.queue.len() {
-            if self.queue[i].reserved_start == now {
-                let q = self.queue.remove(i);
-                let end = now + q.scaled.effective_runtime();
-                let reserved_end = now + q.scaled.walltime;
+        while i < self.q_slot.len() {
+            if self.q_reserved[i] == now {
+                let (job, scaled, _) = self.queue_remove(i);
+                let end = now + scaled.effective_runtime();
+                let reserved_end = now + scaled.walltime;
                 debug_assert!(end <= reserved_end);
                 self.running.push(Running {
-                    job: q.job,
-                    scaled: q.scaled,
+                    job,
+                    scaled,
                     start: now,
                     end,
                     reserved_end,
                 });
                 self.stats.started += 1;
-                started.push((q.job.id, end));
+                started.push((job.id, end));
             } else {
                 debug_assert!(
-                    self.queue[i].reserved_start > now,
+                    self.q_reserved[i] > now,
                     "missed reservation: job {} reserved at {} < now {now}",
-                    self.queue[i].job.id,
-                    self.queue[i].reserved_start
+                    self.slab.jobs[self.q_slot[i] as usize].id,
+                    self.q_reserved[i]
                 );
                 i += 1;
             }
@@ -661,21 +780,49 @@ impl Cluster {
             // the freed window back to the warm profile; every queued
             // reservation may move earlier, so the dirty suffix is the
             // whole queue — but the running-set reservations stay valid,
-            // and an empty queue costs nothing at all.
-            if self.incremental && self.policy.scheduler().repair_from(0).is_some() {
-                if let Some(p) = self.profile.as_mut() {
+            // an empty queue costs nothing at all, and when the freed
+            // window cannot admit any waiting job the whole re-scan is
+            // skipped (the released profile already equals what a rebuild
+            // would produce).
+            match self.repair_entry(QueueDelta::Completion) {
+                Some(from) => {
+                    let p = self.profile.as_mut().expect("repair_entry implies warm");
                     p.release(now, r.reserved_end.since(now), r.scaled.procs);
-                    if !self.queue.is_empty() {
-                        self.dirty_from = Some(0);
+                    if !self.q_slot.is_empty() && !self.completion_admits_none(r.reserved_end) {
+                        self.mark_dirty(from);
                     }
-                } else {
-                    self.invalidate();
                 }
-            } else {
-                self.invalidate();
+                None => self.invalidate(),
             }
         }
         r
+    }
+
+    /// `true` when the window `[now, freed_end)` released by an early
+    /// completion cannot change any waiting reservation, so the pending
+    /// repair may be skipped while staying byte-identical to a rebuild.
+    ///
+    /// Soundness: after removing the completed job, every running job
+    /// whose reservation extends to `freed_end` or beyond occupies its
+    /// processors throughout the window, so the free capacity anywhere in
+    /// it is at most `total - busy_floor`. If even the narrowest waiting
+    /// job exceeds that, no placement or back-fill check intersecting the
+    /// window can change its answer — every scheduler query returns
+    /// exactly what it returned before the release.
+    fn completion_admits_none(&self, freed_end: SimTime) -> bool {
+        if !COMPLETION_SKIP.load(Ordering::Relaxed) {
+            return false;
+        }
+        let Some(min_procs) = self.q_procs.iter().copied().min() else {
+            return true;
+        };
+        let busy_floor: u32 = self
+            .running
+            .iter()
+            .filter(|r| r.reserved_end >= freed_end)
+            .map(|r| r.scaled.procs)
+            .sum();
+        min_procs > self.spec.procs - busy_floor
     }
 
     // ------------------------------------------------------------------
@@ -683,7 +830,9 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     fn find_queued(&self, id: JobId) -> Option<usize> {
-        self.queue.iter().position(|q| q.job.id == id)
+        self.q_slot
+            .iter()
+            .position(|&slot| self.slab.jobs[slot as usize].id == id)
     }
 
     fn find_running(&self, id: JobId) -> Option<usize> {
@@ -703,6 +852,8 @@ impl Cluster {
     fn harvest_probes(&mut self) {
         if let Some(p) = &self.profile {
             self.stats.first_fit_probes += p.take_probes();
+            self.stats.profile_promotions += p.take_promotions();
+            self.stats.batch_fast_placements += p.take_batch_fast();
         }
     }
 
@@ -711,7 +862,7 @@ impl Cluster {
     fn place_at_tail(&self, procs: u32, walltime: Duration, now: SimTime) -> SimTime {
         let profile = self.profile.as_ref().expect("ensure_schedule first");
         debug_assert!(self.dirty_from.is_none(), "placement against dirty profile");
-        let floor = self.policy.scheduler().tail_floor(&self.queue, now);
+        let floor = self.policy.scheduler().tail_floor(&self.q_reserved, now);
         profile.first_fit(floor, walltime, procs)
     }
 
@@ -735,63 +886,68 @@ impl Cluster {
                 .advance_origin(now);
             match self.dirty_from.take() {
                 None => return,
-                Some(dirty) => {
-                    // The scheduler names the earliest byte-identical
-                    // repair index (FCFS/CBF: `dirty` itself; EASY: the
-                    // end of its protected head; EASY-SJF: 0).
-                    let from = self.repair_entry(dirty);
-                    if let Some(from) = from {
-                        // Cost model on the tree backend: a repair is two
-                        // O(log n) passes per suffix job (release +
-                        // re-place), a rebuild one pass per running and
-                        // queued job plus the flat-profile setup. All ops
-                        // cost O(log n) now, so the constants compare
-                        // directly — the legacy 3× mid-vector-insert
-                        // penalty is gone (`scheduling-incremental`
-                        // bench pins the win).
-                        let repair_ops = 2 * (self.queue.len() - from);
-                        let rebuild_ops = self.running.len() + self.queue.len() + 1;
-                        if repair_ops <= rebuild_ops {
-                            let profile = self.profile.as_mut().expect("warm profile present");
-                            // The suffix reservations are still carved
-                            // from before the mutation; give them back,
-                            // then re-place them. `SimTime::MAX` marks a
-                            // job submitted onto the dirty queue whose
-                            // reservation was never carved.
-                            for q in &self.queue[from..] {
-                                if q.reserved_start != SimTime::MAX {
-                                    profile.release(
-                                        q.reserved_start,
-                                        q.scaled.walltime,
-                                        q.scaled.procs,
-                                    );
-                                }
+                Some(from) => {
+                    // `dirty_from` is already mapped through the
+                    // scheduler's `repair_from` (FCFS/CBF: the dirty
+                    // index itself; EASY: the end of its protected head;
+                    // EASY-SJF: 0).
+                    //
+                    // Cost model on the tree backend: a repair is two
+                    // O(log n) passes per suffix job (release +
+                    // re-place), a rebuild one pass per running and
+                    // queued job plus the flat-profile setup. All ops
+                    // cost O(log n) now, so the constants compare
+                    // directly — the legacy 3× mid-vector-insert
+                    // penalty is gone (`scheduling-incremental`
+                    // bench pins the win).
+                    let repair_ops = 2 * (self.q_slot.len() - from);
+                    let rebuild_ops = self.running.len() + self.q_slot.len() + 1;
+                    if repair_ops <= rebuild_ops {
+                        let profile = self.profile.as_mut().expect("warm profile present");
+                        // The suffix reservations are still carved
+                        // from before the mutation; give them back,
+                        // then re-place them. `SimTime::MAX` marks a
+                        // job submitted onto the dirty queue whose
+                        // reservation was never carved.
+                        for i in from..self.q_slot.len() {
+                            if self.q_reserved[i] != SimTime::MAX {
+                                profile.release(
+                                    self.q_reserved[i],
+                                    self.q_walltime[i],
+                                    self.q_procs[i],
+                                );
                             }
-                            self.policy
-                                .scheduler()
-                                .schedule(profile, &mut self.queue, from, now);
-                            self.stats.suffix_repairs += 1;
-                            let probes_before = self.stats.first_fit_probes;
-                            self.harvest_probes();
-                            let probes = self.stats.first_fit_probes - probes_before;
-                            self.obs.observe("sched.probes_per_decision", probes);
-                            self.obs.event(
-                                now,
-                                "sched.repair",
-                                Some(self.lane),
-                                &[
-                                    ("dirty", Field::U64(dirty as u64)),
-                                    ("from", Field::U64(from as u64)),
-                                    ("repair_ops", Field::U64(repair_ops as u64)),
-                                    ("rebuild_ops", Field::U64(rebuild_ops as u64)),
-                                    ("probes", Field::U64(probes)),
-                                ],
-                            );
-                            return;
                         }
+                        self.policy.scheduler().schedule(
+                            profile,
+                            QueueScan {
+                                procs: &self.q_procs,
+                                walltime: &self.q_walltime,
+                                reserved: &mut self.q_reserved,
+                            },
+                            from,
+                            now,
+                        );
+                        self.stats.suffix_repairs += 1;
+                        let probes_before = self.stats.first_fit_probes;
+                        self.harvest_probes();
+                        let probes = self.stats.first_fit_probes - probes_before;
+                        self.obs.observe("sched.probes_per_decision", probes);
+                        self.obs.event(
+                            now,
+                            "sched.repair",
+                            Some(self.lane),
+                            &[
+                                ("from", Field::U64(from as u64)),
+                                ("repair_ops", Field::U64(repair_ops as u64)),
+                                ("rebuild_ops", Field::U64(rebuild_ops as u64)),
+                                ("probes", Field::U64(probes)),
+                            ],
+                        );
+                        return;
                     }
-                    // No repair point, or the dirty suffix is too large:
-                    // fall through to a rebuild.
+                    // The dirty suffix is too large: fall through to a
+                    // rebuild.
                 }
             }
         }
@@ -808,9 +964,16 @@ impl Cluster {
             debug_assert!(r.reserved_end > now, "zombie running job {}", r.job.id);
             profile.reserve(now, r.reserved_end.since(now), r.scaled.procs);
         }
-        self.policy
-            .scheduler()
-            .schedule(&mut profile, &mut self.queue, 0, now);
+        self.policy.scheduler().schedule(
+            &mut profile,
+            QueueScan {
+                procs: &self.q_procs,
+                walltime: &self.q_walltime,
+                reserved: &mut self.q_reserved,
+            },
+            0,
+            now,
+        );
         self.profile = Some(profile);
         let probes_before = self.stats.first_fit_probes;
         self.harvest_probes();
@@ -822,7 +985,7 @@ impl Cluster {
                 "sched.rebuild",
                 Some(self.lane),
                 &[
-                    ("queued", Field::U64(self.queue.len() as u64)),
+                    ("queued", Field::U64(self.q_slot.len() as u64)),
                     ("running", Field::U64(self.running.len() as u64)),
                     ("probes", Field::U64(probes)),
                 ],
@@ -838,9 +1001,9 @@ impl Cluster {
         if let Some(p) = &self.profile {
             p.assert_invariants();
         }
-        self.policy.scheduler().check_invariants(&self.queue);
-        for q in &self.queue {
-            assert!(q.reserved_start >= now);
+        self.policy.scheduler().check_invariants(&self.q_reserved);
+        for &start in &self.q_reserved {
+            assert!(start >= now);
         }
     }
 }
@@ -1155,13 +1318,15 @@ pub(crate) mod tests {
     /// then arrivals are submitted. Returns the per-job completion times.
     pub(crate) fn drive(c: &mut Cluster, mut arrivals: Vec<JobSpec>) -> Vec<(JobId, SimTime)> {
         arrivals.sort_by_key(|j| (j.submit, j.id));
-        let mut arrivals = std::collections::VecDeque::from(arrivals);
+        // Feed arrivals by index — no double-buffering the sorted Vec
+        // into a VecDeque.
+        let mut next = 0usize;
         let mut completions: Vec<(JobId, SimTime)> = Vec::new();
         let mut done = Vec::new();
         let mut now = SimTime::ZERO;
         loop {
             let next_completion = completions.iter().map(|p| p.1).min();
-            let next_arrival = arrivals.front().map(|j| j.submit);
+            let next_arrival = arrivals.get(next).map(|j| j.submit);
             let next_res = c.next_reservation(now);
             let t = [next_completion, next_arrival, next_res]
                 .into_iter()
@@ -1177,9 +1342,9 @@ pub(crate) mod tests {
                 completions.retain(|p| p.0 != id);
                 done.push((id, end));
             }
-            while arrivals.front().is_some_and(|j| j.submit == now) {
-                let j = arrivals.pop_front().unwrap();
-                c.submit(j, now).unwrap();
+            while arrivals.get(next).is_some_and(|j| j.submit == now) {
+                c.submit(arrivals[next], now).unwrap();
+                next += 1;
             }
             // Start-due fixpoint: starting may (via zero-runtime jobs)
             // complete instantly, which is handled next round since the
@@ -1232,14 +1397,15 @@ pub(crate) mod tests {
                 jobs.push(JobSpec::new(i, submit, procs, rt, wt));
             }
             jobs.sort_by_key(|j| (j.submit, j.id));
-            let mut arrivals = std::collections::VecDeque::from(jobs);
+            let arrivals = jobs;
+            let mut next = 0usize;
             let mut completions: Vec<(JobId, SimTime)> = Vec::new();
             let mut done = Vec::new();
             let mut submitted = 0u64;
             let mut now = SimTime::ZERO;
             loop {
                 let next_completion = completions.iter().map(|p| p.1).min();
-                let next_arrival = arrivals.front().map(|j| j.submit);
+                let next_arrival = arrivals.get(next).map(|j| j.submit);
                 let next_res = c.next_reservation(now);
                 let Some(t) = [next_completion, next_arrival, next_res]
                     .into_iter()
@@ -1256,9 +1422,9 @@ pub(crate) mod tests {
                     completions.retain(|p| p.0 != id);
                     done.push((id, end));
                 }
-                while arrivals.front().is_some_and(|j| j.submit == now) {
-                    let j = arrivals.pop_front().unwrap();
-                    c.submit(j, now).unwrap();
+                while arrivals.get(next).is_some_and(|j| j.submit == now) {
+                    c.submit(arrivals[next], now).unwrap();
+                    next += 1;
                     submitted += 1;
                     // Periodically cancel a job near the queue tail
                     // (where the suffix repair applies), reallocation
@@ -1476,19 +1642,27 @@ pub(crate) mod tests {
             recomputes: 7,
             suffix_repairs: 0,
             first_fit_probes: 0,
+            profile_promotions: 0,
+            batch_fast_placements: 0,
         };
         let clean = s.to_json().encode();
         assert!(!clean.contains("suffix_repairs"), "{clean}");
         assert!(!clean.contains("first_fit_probes"), "{clean}");
         assert!(!clean.contains("evicted"), "{clean}");
+        assert!(!clean.contains("profile_promotions"), "{clean}");
+        assert!(!clean.contains("batch_fast_placements"), "{clean}");
         assert_eq!(ClusterStats::from_json(&s.to_json()).unwrap(), s);
         s.evicted = 2;
         s.suffix_repairs = 9;
         s.first_fit_probes = 41;
+        s.profile_promotions = 3;
+        s.batch_fast_placements = 17;
         let full = s.to_json().encode();
         assert!(full.contains("\"suffix_repairs\":9"), "{full}");
         assert!(full.contains("\"first_fit_probes\":41"), "{full}");
         assert!(full.contains("\"evicted\":2"), "{full}");
+        assert!(full.contains("\"profile_promotions\":3"), "{full}");
+        assert!(full.contains("\"batch_fast_placements\":17"), "{full}");
         assert_eq!(ClusterStats::from_json(&s.to_json()).unwrap(), s);
         // Byte-stable encoding.
         assert_eq!(s.to_json().encode(), s.to_json().encode());
@@ -1720,6 +1894,8 @@ pub(crate) mod tests {
         assert!(v.get("evicted").is_none());
         assert!(v.get("suffix_repairs").is_none());
         assert!(v.get("first_fit_probes").is_none());
+        assert!(v.get("profile_promotions").is_none());
+        assert!(v.get("batch_fast_placements").is_none());
         assert_eq!(ClusterStats::from_json(&v).unwrap(), zero);
     }
 
@@ -1737,6 +1913,8 @@ pub(crate) mod tests {
             recomputes: 5,
             suffix_repairs: 9,
             first_fit_probes: 131,
+            profile_promotions: 2,
+            batch_fast_placements: 23,
         };
         let v = stats.to_json();
         let back = ClusterStats::from_json(&v).unwrap();
@@ -1761,6 +1939,8 @@ pub(crate) mod tests {
         assert_eq!(back.evicted, 0, "absent optional reads back as zero");
         assert_eq!(back.suffix_repairs, 0);
         assert_eq!(back.first_fit_probes, 0);
+        assert_eq!(back.profile_promotions, 0);
+        assert_eq!(back.batch_fast_placements, 0);
         // A required counter missing is still an error.
         let mut broken = grid_ser::Value::object();
         broken.insert("submitted", 1u64);

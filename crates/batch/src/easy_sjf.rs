@@ -17,9 +17,8 @@
 
 use grid_des::SimTime;
 
-use crate::cluster::Queued;
 use crate::profile::Profile;
-use crate::sched::LocalScheduler;
+use crate::sched::{BatchFit, LocalScheduler, QueueDelta, QueueScan};
 
 /// EASY back-filling with shortest-job-first examination order.
 #[derive(Debug)]
@@ -35,17 +34,17 @@ impl LocalScheduler for EasySjfScheduler {
     // the full schedule against the warm running-set profile is exactly
     // what a rebuild would compute, without re-carving the running
     // reservations. Hence: always repair, always from index 0.
-    fn repair_from(&self, _dirty_from: usize) -> Option<usize> {
+    fn repair_from(&self, _delta: QueueDelta) -> Option<usize> {
         Some(0)
     }
 
-    fn tail_floor(&self, _queue: &[Queued], now: SimTime) -> SimTime {
+    fn tail_floor(&self, _reserved: &[SimTime], now: SimTime) -> SimTime {
         // Conservative dry-run estimate, like EASY: the aggressive case is
         // covered by the full recompute a real submission triggers.
         now
     }
 
-    fn schedule(&self, profile: &mut Profile, queue: &mut [Queued], from: usize, now: SimTime) {
+    fn schedule(&self, profile: &mut Profile, queue: QueueScan<'_>, from: usize, now: SimTime) {
         // `repair_from` always answers 0: the profile carries the running
         // set only and the whole queue is re-examined.
         debug_assert_eq!(from, 0, "EASY-SJF only schedules the full queue");
@@ -54,29 +53,36 @@ impl LocalScheduler for EasySjfScheduler {
         }
         // Shortest (scaled) walltime first; queue position breaks ties.
         let mut order: Vec<usize> = (0..queue.len()).collect();
-        order.sort_by_key(|&i| (queue[i].scaled.walltime, i));
+        order.sort_by_key(|&i| (queue.walltime[i], i));
+        let mut fit = BatchFit::new();
         let mut pending: Vec<usize> = Vec::new();
         for (rank, &i) in order.iter().enumerate() {
-            let q = &mut queue[i];
+            let (procs, walltime) = (queue.procs[i], queue.walltime[i]);
             if rank == 0 {
                 // The SJF head holds the only protected reservation.
-                let start = profile.first_fit(now, q.scaled.walltime, q.scaled.procs);
-                profile.reserve(start, q.scaled.walltime, q.scaled.procs);
-                q.reserved_start = start;
+                let start = profile.first_fit(now, walltime, procs);
+                profile.reserve(start, walltime, procs);
+                queue.reserved[i] = start;
+                fit.note(procs, walltime, start);
                 continue;
             }
-            if profile.min_free(now, q.scaled.walltime) >= q.scaled.procs {
-                profile.reserve(now, q.scaled.walltime, q.scaled.procs);
-                q.reserved_start = now;
+            if profile.min_free(now, walltime) >= procs {
+                profile.reserve(now, walltime, procs);
+                queue.reserved[i] = now;
             } else {
                 pending.push(i);
             }
         }
         for i in pending {
-            let q = &mut queue[i];
-            let start = profile.first_fit(now, q.scaled.walltime, q.scaled.procs);
-            profile.reserve(start, q.scaled.walltime, q.scaled.procs);
-            q.reserved_start = start;
+            let (procs, walltime) = (queue.procs[i], queue.walltime[i]);
+            let floor = fit.floor(now, procs, walltime);
+            if floor > now {
+                profile.note_batch_fast();
+            }
+            let start = profile.first_fit(floor, walltime, procs);
+            profile.reserve(start, walltime, procs);
+            queue.reserved[i] = start;
+            fit.note(procs, walltime, start);
         }
     }
 }

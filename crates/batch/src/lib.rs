@@ -38,11 +38,15 @@ pub mod profile;
 pub mod sched;
 
 pub use avail::Breakpoints;
-pub use cluster::{Cluster, ClusterStats, EctNoise, Queued, Running, SubmitError};
+#[doc(hidden)]
+pub use cluster::set_completion_skip_enabled;
+pub use cluster::{Cluster, ClusterStats, EctNoise, QueuedRef, Running, SubmitError};
 pub use gantt::{availability_lane, GanttChart, GanttEntry};
 pub use job::{JobId, JobSpec, ScaledJob};
 pub use platform::{ClusterSpec, Platform};
-pub use profile::Profile;
 #[doc(hidden)]
 pub use profile::VecProfile;
-pub use sched::{BatchPolicy, LocalScheduler};
+pub use profile::{Profile, ProfileBreakpoints};
+#[doc(hidden)]
+pub use sched::set_batch_floor_enabled;
+pub use sched::{BatchPolicy, LocalScheduler, QueueDelta, QueueScan};

@@ -6,57 +6,191 @@
 //! FCFS, CBF and the EASY family differ only in *where* they look for a
 //! hole, not in how holes are found.
 //!
-//! Since the availability-engine refactor the backing store is
+//! Since the availability-engine refactor the backing store was
 //! [`AvailTree`] — a balanced, time-indexed structure (see the
-//! [`avail`](crate::avail) module) that makes [`Profile::reserve`],
-//! [`Profile::release`], [`Profile::advance_origin`] and the
-//! [`Profile::fail_until`] outage truncation O(log n), and answers
-//! [`Profile::first_fit`] by descending on subtree min free capacity
-//! instead of scanning segments. Behaviour is byte-identical to the
-//! historical sorted-`Vec` backend, which survives as [`VecProfile`]: the
-//! differential oracle for property tests and the baseline the
-//! `scheduling-incremental` benchmark measures the tree against.
+//! [`avail`](crate::avail) module) with O(log n) mutations and an
+//! aggregate-pruned [`Profile::first_fit`] descent. The hot-path
+//! overhaul made the backend **adaptive**: `BENCH_sched.json` shows the
+//! treap *loses* to a flat sorted buffer below a few thousand
+//! breakpoints (pointer chasing and per-node overhead dominate), so a
+//! profile now starts life as a `SmallProfile` — a SmallVec-style
+//! inline point buffer running the exact legacy algorithms — and
+//! promotes to the tree only when it outgrows the measured crossover
+//! (`GRID_PROFILE_CROSSOVER`, default 2048 breakpoints). The switch is
+//! invisible behind the `Profile` API and byte-identical by
+//! construction: the flat algorithms are the historical [`VecProfile`]
+//! ones, which the differential suite pins against the tree on every
+//! observation. `VecProfile` itself survives as the property-test
+//! oracle and the baseline of the `scheduling-incremental` benchmark.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use grid_des::{Duration, SimTime};
 
 use crate::avail::{AvailTree, Breakpoints};
 
-/// Step function of free processors over time (tree-backed).
+/// Sentinel meaning "not configured yet — read the environment".
+const CROSSOVER_UNSET: usize = usize::MAX;
+
+/// Process-wide default for the small→tree promotion threshold
+/// (breakpoint count). Initialised lazily from `GRID_PROFILE_CROSSOVER`.
+static CROSSOVER: AtomicUsize = AtomicUsize::new(CROSSOVER_UNSET);
+
+/// Fallback promotion threshold when `GRID_PROFILE_CROSSOVER` is unset:
+/// conservatively inside the 2–5k band where `BENCH_sched.json` puts the
+/// flat-buffer/tree break-even.
+const DEFAULT_CROSSOVER: usize = 2048;
+
+/// The promotion threshold new profiles are built with: a profile whose
+/// breakpoint count *exceeds* this promotes from the inline buffer to
+/// the [`AvailTree`]. `0` forces the tree from birth.
+pub fn default_crossover() -> usize {
+    let v = CROSSOVER.load(Ordering::Relaxed);
+    if v != CROSSOVER_UNSET {
+        return v;
+    }
+    let v = std::env::var("GRID_PROFILE_CROSSOVER")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_CROSSOVER);
+    CROSSOVER.store(v, Ordering::Relaxed);
+    v
+}
+
+/// Override the process-wide promotion threshold (the hot-path
+/// benchmark's A/B switch; pass `usize::MAX` to re-read the
+/// environment). Existing profiles keep the threshold they were built
+/// with — results are identical either way, only wall time moves.
+#[doc(hidden)]
+pub fn set_default_crossover(n: usize) {
+    CROSSOVER.store(n, Ordering::Relaxed);
+}
+
+/// Step function of free processors over time, with an adaptive backend:
+/// a flat inline point buffer below the promotion crossover, the
+/// [`AvailTree`] treap above it.
 #[derive(Clone)]
 pub struct Profile {
-    tree: AvailTree,
+    repr: Repr,
+    /// Breakpoint count above which the flat representation promotes to
+    /// the tree (fixed at construction; `0` = always tree).
+    crossover: usize,
     /// [`Profile::first_fit`] queries answered since the last
     /// [`Profile::take_probes`] — the scheduler-effort counter surfaced
     /// as `ClusterStats::first_fit_probes`. Interior-mutable because
     /// placement probes are logically reads.
     probes: Cell<u64>,
+    /// Small→tree promotions since the last harvest
+    /// (`ClusterStats::profile_promotions`).
+    promotions: Cell<u64>,
+    /// Placements whose batch-first-fit floor skipped part of the
+    /// descent (`ClusterStats::batch_fast_placements`); ticked by the
+    /// schedulers via [`Profile::note_batch_fast`].
+    batch_fast: Cell<u64>,
+}
+
+/// The two backends. Behaviourally identical (the differential suite
+/// pins every observation); only the complexity profile differs.
+#[derive(Clone)]
+enum Repr {
+    Small(SmallProfile),
+    Tree(AvailTree),
 }
 
 impl Profile {
-    /// A profile with all `total` processors free from `origin` onwards.
+    /// A profile with all `total` processors free from `origin` onwards,
+    /// using the process-default promotion crossover.
     pub fn flat(total: u32, origin: SimTime) -> Self {
+        Self::flat_with_crossover(total, origin, default_crossover())
+    }
+
+    /// A profile pinned to the tree backend from birth — what the
+    /// `scheduling-incremental` benchmark measures, so its layer-3
+    /// assertions keep describing the treap rather than the adaptive
+    /// blend.
+    #[doc(hidden)]
+    pub fn flat_tree(total: u32, origin: SimTime) -> Self {
+        Self::flat_with_crossover(total, origin, 0)
+    }
+
+    /// A profile with an explicit promotion crossover (test hook: a tiny
+    /// crossover lets short op sequences straddle the promotion
+    /// boundary).
+    #[doc(hidden)]
+    pub fn flat_with_crossover(total: u32, origin: SimTime, crossover: usize) -> Self {
+        let repr = if crossover == 0 {
+            Repr::Tree(AvailTree::flat(total, origin))
+        } else {
+            Repr::Small(SmallProfile::flat(total, origin))
+        };
         Profile {
-            tree: AvailTree::flat(total, origin),
+            repr,
+            crossover,
             probes: Cell::new(0),
+            promotions: Cell::new(0),
+            batch_fast: Cell::new(0),
+        }
+    }
+
+    /// `true` when the profile currently sits on the tree backend
+    /// (promotion-boundary test hook).
+    #[doc(hidden)]
+    pub fn backend_is_tree(&self) -> bool {
+        matches!(self.repr, Repr::Tree(_))
+    }
+
+    /// Promote the inline buffer to the tree once it outgrows the
+    /// crossover: an O(n) build from the sorted points
+    /// ([`AvailTree::from_points`]).
+    fn maybe_promote(&mut self) {
+        if let Repr::Small(s) = &self.repr {
+            if s.len() > self.crossover {
+                let tree = AvailTree::from_points(s.total, s.points());
+                self.repr = Repr::Tree(tree);
+                self.promotions.set(self.promotions.get() + 1);
+            }
+        }
+    }
+
+    /// Demote the tree back to the inline buffer when it has shrunk well
+    /// below the crossover (4× hysteresis so a profile oscillating around
+    /// the threshold doesn't thrash O(n) rebuilds).
+    fn maybe_demote(&mut self) {
+        if self.crossover == 0 {
+            return;
+        }
+        if let Repr::Tree(t) = &self.repr {
+            if t.len() <= self.crossover / 4 {
+                let small = SmallProfile::from_points(t.total(), t.breakpoints());
+                self.repr = Repr::Small(small);
+            }
         }
     }
 
     /// Total processors of the underlying cluster (upper bound of `free`).
     #[inline]
     pub fn total(&self) -> u32 {
-        self.tree.total()
+        match &self.repr {
+            Repr::Small(s) => s.total,
+            Repr::Tree(t) => t.total(),
+        }
     }
 
     /// Time of the first breakpoint (the horizon the profile starts at).
     pub fn origin(&self) -> SimTime {
-        self.tree.origin()
+        match &self.repr {
+            Repr::Small(s) => s.origin(),
+            Repr::Tree(t) => t.origin(),
+        }
     }
 
     /// Number of breakpoints (size of the representation).
     pub fn len(&self) -> usize {
-        self.tree.len()
+        match &self.repr {
+            Repr::Small(s) => s.len(),
+            Repr::Tree(t) => t.len(),
+        }
     }
 
     /// `false` — a profile always has at least one breakpoint.
@@ -66,13 +200,19 @@ impl Profile {
 
     /// Free processors at instant `t` (clamped to the profile origin).
     pub fn free_at(&self, t: SimTime) -> u32 {
-        self.tree.value_at(t)
+        match &self.repr {
+            Repr::Small(s) => s.free_at(t),
+            Repr::Tree(tr) => tr.value_at(t),
+        }
     }
 
     /// Minimum number of free processors over `[start, start + dur)`.
     /// A zero-length window reads the instant `start`.
     pub fn min_free(&self, start: SimTime, dur: Duration) -> u32 {
-        self.tree.min_free(start, dur)
+        match &self.repr {
+            Repr::Small(s) => s.min_free(start, dur),
+            Repr::Tree(t) => t.min_free(start, dur),
+        }
     }
 
     /// Remove `procs` processors from the free pool over
@@ -90,7 +230,11 @@ impl Profile {
             "reservation at {start} before profile origin {}",
             self.origin()
         );
-        self.tree.reserve(start, dur, procs);
+        match &mut self.repr {
+            Repr::Small(s) => s.reserve(start, dur, procs),
+            Repr::Tree(t) => t.reserve(start, dur, procs),
+        }
+        self.maybe_promote();
     }
 
     /// Advance the profile origin to `now`, dropping breakpoints that lie
@@ -99,7 +243,11 @@ impl Profile {
     /// before `now`, so trimming is free of behavioural consequence and
     /// keeps every later operation O(log(live reservations)).
     pub fn advance_origin(&mut self, now: SimTime) {
-        self.tree.advance_origin(now);
+        match &mut self.repr {
+            Repr::Small(s) => s.advance_origin(now),
+            Repr::Tree(t) => t.advance_origin(now),
+        }
+        self.maybe_demote();
     }
 
     /// Give `procs` processors back to the free pool over
@@ -120,17 +268,22 @@ impl Profile {
             "release at {start} before profile origin {}",
             self.origin()
         );
-        self.tree.release(start, dur, procs);
+        match &mut self.repr {
+            Repr::Small(s) => s.release(start, dur, procs),
+            Repr::Tree(t) => t.release(start, dur, procs),
+        }
+        self.maybe_promote();
     }
 
     /// Earliest `t >= after` such that at least `procs` processors are free
     /// for the whole window `[t, t + dur)`. Always succeeds provided
     /// `procs <= total` (the tail of the profile is eventually free).
     ///
-    /// The search descends on the tree's subtree-min aggregates —
-    /// alternating "next breakpoint with too little room" and "next
-    /// breakpoint with enough room" probes — so a deep profile costs
-    /// O(blocked runs · log n) rather than a linear scan.
+    /// On the tree backend the search descends on subtree-min aggregates
+    /// — alternating "next breakpoint with too little room" and "next
+    /// breakpoint with enough room" probes — costing
+    /// O(blocked runs · log n); the inline backend scans its flat buffer,
+    /// which is faster below the promotion crossover.
     ///
     /// # Panics
     /// Panics if `procs > total` or `dur == 0`.
@@ -142,7 +295,10 @@ impl Profile {
         );
         assert!(dur > Duration::ZERO, "placement window must be non-empty");
         self.probes.set(self.probes.get() + 1);
-        self.tree.first_fit(after, dur, procs)
+        match &self.repr {
+            Repr::Small(s) => s.earliest_fit(after, procs, dur),
+            Repr::Tree(t) => t.first_fit(after, dur, procs),
+        }
     }
 
     /// Historical spelling of [`Profile::first_fit`] (argument order
@@ -155,14 +311,28 @@ impl Profile {
     /// all its jobs) and block the whole machine over `[now, until)`, so
     /// nothing can be placed before the recovery instant — even when
     /// `now` or `until` falls strictly between existing breakpoints.
+    /// The wiped profile has at most two breakpoints, so it restarts on
+    /// the inline backend (unless pinned to the tree).
     pub fn fail_until(&mut self, now: SimTime, until: SimTime) {
-        self.tree.fail_until(now, until);
+        if self.crossover == 0 {
+            match &mut self.repr {
+                Repr::Small(_) => unreachable!("crossover 0 never builds the inline backend"),
+                Repr::Tree(t) => t.fail_until(now, until),
+            }
+            return;
+        }
+        let mut s = SmallProfile::flat(self.total(), now);
+        s.fail_until(now, until);
+        self.repr = Repr::Small(s);
     }
 
     /// The breakpoints in time order — the public surface renderers and
     /// tests consume instead of poking at the backing store.
-    pub fn breakpoints(&self) -> Breakpoints<'_> {
-        self.tree.breakpoints()
+    pub fn breakpoints(&self) -> ProfileBreakpoints<'_> {
+        match &self.repr {
+            Repr::Small(s) => ProfileBreakpoints::Small(s.points().iter()),
+            Repr::Tree(t) => ProfileBreakpoints::Tree(t.breakpoints()),
+        }
     }
 
     /// The breakpoints collected into a `Vec` (convenience for tests and
@@ -178,10 +348,354 @@ impl Profile {
         self.probes.replace(0)
     }
 
+    /// Drain the small→tree promotion counter
+    /// (`ClusterStats::profile_promotions`).
+    #[doc(hidden)]
+    pub fn take_promotions(&self) -> u64 {
+        self.promotions.replace(0)
+    }
+
+    /// Record one placement whose batch-first-fit floor started the
+    /// descent past `now` (ticked by CBF/EASY batch walks).
+    #[doc(hidden)]
+    pub fn note_batch_fast(&self) {
+        self.batch_fast.set(self.batch_fast.get() + 1);
+    }
+
+    /// Drain the batch-first-fit fast-placement counter
+    /// (`ClusterStats::batch_fast_placements`).
+    #[doc(hidden)]
+    pub fn take_batch_fast(&self) -> u64 {
+        self.batch_fast.replace(0)
+    }
+
     /// Check internal invariants (test helper).
     #[doc(hidden)]
     pub fn assert_invariants(&self) {
-        self.tree.assert_invariants();
+        match &self.repr {
+            Repr::Small(s) => s.assert_invariants(),
+            Repr::Tree(t) => t.assert_invariants(),
+        }
+    }
+}
+
+/// Breakpoint iterator over either [`Profile`] backend; yields
+/// `(t, free)` pairs in time order.
+pub enum ProfileBreakpoints<'a> {
+    /// Inline buffer: a plain slice walk.
+    Small(std::slice::Iter<'a, (SimTime, u32)>),
+    /// Treap: the in-order lazy-resolving descent.
+    Tree(Breakpoints<'a>),
+}
+
+impl Iterator for ProfileBreakpoints<'_> {
+    type Item = (SimTime, u32);
+
+    fn next(&mut self) -> Option<(SimTime, u32)> {
+        match self {
+            ProfileBreakpoints::Small(it) => it.next().copied(),
+            ProfileBreakpoints::Tree(it) => it.next(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Inline small-profile backend
+// ---------------------------------------------------------------------
+
+/// Breakpoints kept inline before the first spill: covers the common
+/// steady state of a shallow cluster (a handful of live reservations)
+/// without touching the heap.
+const INLINE_POINTS: usize = 16;
+
+/// A SmallVec-style point buffer: the first [`INLINE_POINTS`]
+/// breakpoints live inline; growing past that spills to a heap `Vec`
+/// (and stays there — profiles that spilled once tend to spill again).
+// The size skew is the design: the inline variant exists precisely to
+// keep short profiles heap-free, so boxing it would defeat the type.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+enum PointBuf {
+    Inline {
+        len: u8,
+        arr: [(SimTime, u32); INLINE_POINTS],
+    },
+    Spill(Vec<(SimTime, u32)>),
+}
+
+impl PointBuf {
+    fn one(p: (SimTime, u32)) -> Self {
+        let mut arr = [(SimTime(0), 0u32); INLINE_POINTS];
+        arr[0] = p;
+        PointBuf::Inline { len: 1, arr }
+    }
+
+    fn as_slice(&self) -> &[(SimTime, u32)] {
+        match self {
+            PointBuf::Inline { len, arr } => &arr[..*len as usize],
+            PointBuf::Spill(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [(SimTime, u32)] {
+        match self {
+            PointBuf::Inline { len, arr } => &mut arr[..*len as usize],
+            PointBuf::Spill(v) => v,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            PointBuf::Inline { len, .. } => *len as usize,
+            PointBuf::Spill(v) => v.len(),
+        }
+    }
+
+    fn insert(&mut self, i: usize, p: (SimTime, u32)) {
+        match self {
+            PointBuf::Inline { len, arr } => {
+                let n = *len as usize;
+                if n < INLINE_POINTS {
+                    arr.copy_within(i..n, i + 1);
+                    arr[i] = p;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_POINTS * 2);
+                    v.extend_from_slice(&arr[..n]);
+                    v.insert(i, p);
+                    *self = PointBuf::Spill(v);
+                }
+            }
+            PointBuf::Spill(v) => v.insert(i, p),
+        }
+    }
+
+    fn truncate(&mut self, n: usize) {
+        match self {
+            PointBuf::Inline { len, .. } => {
+                if n < *len as usize {
+                    *len = n as u8;
+                }
+            }
+            PointBuf::Spill(v) => v.truncate(n),
+        }
+    }
+
+    fn drain_front(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        match self {
+            PointBuf::Inline { len, arr } => {
+                let l = *len as usize;
+                arr.copy_within(n..l, 0);
+                *len = (l - n) as u8;
+            }
+            PointBuf::Spill(v) => {
+                v.drain(..n);
+            }
+        }
+    }
+}
+
+/// The flat sorted-buffer backend of an adaptive [`Profile`]: the legacy
+/// [`VecProfile`] algorithms over a [`PointBuf`]. Behaviour — including
+/// every panic message — is identical to both the oracle and the tree,
+/// which is what makes backend promotion invisible.
+#[derive(Clone, Debug)]
+struct SmallProfile {
+    buf: PointBuf,
+    total: u32,
+}
+
+impl SmallProfile {
+    fn flat(total: u32, origin: SimTime) -> Self {
+        SmallProfile {
+            buf: PointBuf::one((origin, total)),
+            total,
+        }
+    }
+
+    /// Demotion path: rebuild from a tree's breakpoint stream.
+    fn from_points(total: u32, points: impl Iterator<Item = (SimTime, u32)>) -> Self {
+        SmallProfile {
+            buf: PointBuf::Spill(points.collect()),
+            total,
+        }
+    }
+
+    fn origin(&self) -> SimTime {
+        self.points()[0].0
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn points(&self) -> &[(SimTime, u32)] {
+        self.buf.as_slice()
+    }
+
+    fn free_at(&self, t: SimTime) -> u32 {
+        let points = self.points();
+        match points.binary_search_by_key(&t, |p| p.0) {
+            Ok(i) => points[i].1,
+            Err(0) => points[0].1,
+            Err(i) => points[i - 1].1,
+        }
+    }
+
+    fn min_free(&self, start: SimTime, dur: Duration) -> u32 {
+        if dur == Duration::ZERO {
+            return self.free_at(start);
+        }
+        let points = self.points();
+        let end = start + dur;
+        let mut i = match points.binary_search_by_key(&start, |p| p.0) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let mut m = u32::MAX;
+        while i < points.len() && points[i].0 < end {
+            m = m.min(points[i].1);
+            i += 1;
+        }
+        m
+    }
+
+    /// Caller (the [`Profile`] wrapper) guarantees `dur > 0`, `procs > 0`
+    /// and `start >= origin`.
+    fn reserve(&mut self, start: SimTime, dur: Duration, procs: u32) {
+        let end = start + dur;
+        let si = self.ensure_breakpoint(start);
+        let ei = self.ensure_breakpoint(end);
+        for p in &mut self.buf.as_mut_slice()[si..ei] {
+            assert!(
+                p.1 >= procs,
+                "over-reservation: {} procs free at {}, need {procs}",
+                p.1,
+                p.0
+            );
+            p.1 -= procs;
+        }
+        self.coalesce();
+    }
+
+    /// Same caller guarantees as [`SmallProfile::reserve`].
+    fn release(&mut self, start: SimTime, dur: Duration, procs: u32) {
+        let end = start + dur;
+        let si = self.ensure_breakpoint(start);
+        let ei = self.ensure_breakpoint(end);
+        for p in &mut self.buf.as_mut_slice()[si..ei] {
+            assert!(
+                p.1 + procs <= self.total,
+                "over-release: {} procs free at {}, releasing {procs} of {}",
+                p.1,
+                p.0,
+                self.total
+            );
+            p.1 += procs;
+        }
+        self.coalesce();
+    }
+
+    fn advance_origin(&mut self, now: SimTime) {
+        if self.points()[0].0 >= now {
+            return;
+        }
+        let cut = match self.points().binary_search_by_key(&now, |p| p.0) {
+            Ok(i) => i,
+            Err(i) => i - 1, // i >= 1 because origin < now
+        };
+        self.buf.drain_front(cut);
+        self.buf.as_mut_slice()[0].0 = now;
+    }
+
+    fn earliest_fit(&self, after: SimTime, procs: u32, dur: Duration) -> SimTime {
+        let points = self.points();
+        let after = after.max(self.origin());
+        let n = points.len();
+        let mut i = match points.binary_search_by_key(&after, |p| p.0) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let mut cand = after;
+        'outer: loop {
+            while i < n && points[i].1 < procs {
+                i += 1;
+            }
+            if i >= n {
+                unreachable!("profile tail must have free >= procs");
+            }
+            cand = cand.max(points[i].0);
+            let end = cand + dur;
+            let mut j = i;
+            while j < n && points[j].0 < end {
+                if points[j].1 < procs {
+                    i = j;
+                    cand = if j + 1 < n { points[j + 1].0 } else { end };
+                    continue 'outer;
+                }
+                j += 1;
+            }
+            return cand;
+        }
+    }
+
+    fn fail_until(&mut self, now: SimTime, until: SimTime) {
+        self.buf = PointBuf::one((now, self.total));
+        if until > now && self.total > 0 {
+            self.reserve(now, until.since(now), self.total);
+        }
+    }
+
+    /// Insert a breakpoint at `t` (if absent) and return its index.
+    fn ensure_breakpoint(&mut self, t: SimTime) -> usize {
+        match self.points().binary_search_by_key(&t, |p| p.0) {
+            Ok(i) => i,
+            Err(0) => {
+                unreachable!("breakpoint before profile origin");
+            }
+            Err(i) => {
+                let free = self.points()[i - 1].1;
+                self.buf.insert(i, (t, free));
+                i
+            }
+        }
+    }
+
+    /// Merge adjacent breakpoints with equal free counts (keeps the first
+    /// of each run, like `Vec::dedup_by`).
+    fn coalesce(&mut self) {
+        let s = self.buf.as_mut_slice();
+        let n = s.len();
+        let mut w = 1;
+        for r in 1..n {
+            if s[r].1 != s[w - 1].1 {
+                s[w] = s[r];
+                w += 1;
+            }
+        }
+        self.buf.truncate(w);
+    }
+
+    fn assert_invariants(&self) {
+        let points = self.points();
+        assert!(!points.is_empty(), "profile must be non-empty");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "breakpoints must strictly increase");
+            assert_ne!(w[0].1, w[1].1, "adjacent breakpoints must be coalesced");
+        }
+        for p in points {
+            assert!(p.1 <= self.total, "free exceeds total at {}", p.0);
+        }
+        assert_eq!(
+            points.last().unwrap().1,
+            self.total,
+            "profile tail must be fully free"
+        );
     }
 }
 
@@ -793,13 +1307,12 @@ mod tests {
         assert!(collected.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
-    /// Dense deterministic differential sweep: the tree-backed profile
-    /// and the legacy Vec oracle agree on every observation across a
+    /// Dense deterministic differential sweep: a profile and the legacy
+    /// Vec oracle agree on every observation across a
     /// reserve/release/advance/fail_until churn (the in-crate smoke
-    /// companion of `tests/differential.rs`).
-    #[test]
-    fn tree_and_vec_backends_agree_on_dense_churn() {
-        let mut tree = Profile::flat(16, t(0));
+    /// companion of `tests/differential.rs`). Returns the profile so
+    /// callers can inspect backend counters.
+    fn churn_against_oracle(mut tree: Profile) -> Profile {
         let mut vec = VecProfile::flat(16, t(0));
         let mut live: Vec<(SimTime, Duration, u32)> = Vec::new();
         let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -865,5 +1378,70 @@ mod tests {
         assert_eq!(tree.points(), vec.points().to_vec());
         tree.assert_invariants();
         vec.assert_invariants();
+        tree
+    }
+
+    #[test]
+    fn tree_and_vec_backends_agree_on_dense_churn() {
+        let p = churn_against_oracle(Profile::flat_tree(16, t(0)));
+        assert!(p.take_promotions() == 0, "a pinned tree never promotes");
+    }
+
+    /// The same churn with a tiny promotion crossover, so the op
+    /// sequence straddles the inline↔tree boundary many times.
+    #[test]
+    fn adaptive_backend_agrees_across_the_promotion_boundary() {
+        let p = churn_against_oracle(Profile::flat_with_crossover(16, t(0), 8));
+        assert!(
+            p.take_promotions() > 0,
+            "the churn must cross the promotion boundary"
+        );
+    }
+
+    /// Promotion is an O(n) rebuild that must preserve the exact point
+    /// sequence (and the tree's structural invariants); `fail_until`
+    /// demotes back to the inline buffer.
+    #[test]
+    fn promotion_preserves_points_and_tree_invariants() {
+        let mut p = Profile::flat_with_crossover(32, t(0), 4);
+        let mut v = VecProfile::flat(32, t(0));
+        assert!(!p.backend_is_tree());
+        for i in 0..12u64 {
+            let s = t(i * 10);
+            p.reserve(s, d(5), i as u32 % 3 + 1);
+            v.reserve(s, d(5), i as u32 % 3 + 1);
+        }
+        assert!(p.backend_is_tree(), "must promote past the crossover");
+        assert_eq!(p.take_promotions(), 1);
+        assert_eq!(p.points(), v.points().to_vec());
+        p.assert_invariants();
+        p.fail_until(t(500), t(520));
+        assert!(!p.backend_is_tree(), "outage truncation demotes");
+        p.assert_invariants();
+        assert_eq!(p.points(), &[(t(500), 0), (t(520), 32)]);
+    }
+
+    /// A pinned-tree profile built via `from_points` behaves exactly like
+    /// one grown organically (the promotion constructor is only a faster
+    /// route to an equivalent tree).
+    #[test]
+    fn from_points_build_matches_organic_tree() {
+        let mut organic = Profile::flat_tree(16, t(0));
+        organic.reserve(t(10), d(20), 5);
+        organic.reserve(t(15), d(40), 3);
+        organic.reserve(t(100), d(10), 16);
+        let built = AvailTree::from_points(16, &organic.points());
+        assert_eq!(
+            built.breakpoints().collect::<Vec<_>>(),
+            organic.points(),
+            "construction preserves the point sequence"
+        );
+        built.assert_invariants();
+        assert_eq!(
+            built.first_fit(t(0), d(30), 10),
+            organic.first_fit(t(0), d(30), 10)
+        );
+        assert_eq!(built.min_free(t(12), d(50)), organic.min_free(t(12), d(50)));
+        assert_eq!(built.origin(), organic.origin());
     }
 }

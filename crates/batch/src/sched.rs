@@ -46,26 +46,182 @@
 //! * [`incremental_tail`](LocalScheduler::incremental_tail) — a new tail
 //!   job never disturbs existing reservations (true for FCFS/CBF, false
 //!   for the aggressive EASY family, which re-examines the whole queue);
-//! * [`repair_from`](LocalScheduler::repair_from) — given the first dirty
-//!   queue index after a cancel, an early completion or an aggressive
-//!   tail submission, the smallest index a warm-profile suffix repair may
-//!   start from while staying byte-identical to a full rebuild. FCFS/CBF
-//!   repair from the dirty index itself (prefix placements never depend
-//!   on the suffix); EASY repairs from the end of its *protected head*
-//!   (protected reservations are placed in queue order against the
-//!   running set only, so they are suffix-independent — everything after
-//!   them must be re-examined together); EASY-SJF repairs from 0 (its
-//!   examination order is a function of the whole queue, but re-running
-//!   it against the warm running-set profile equals a rebuild). `None`
-//!   keeps the conservative invalidate-and-rebuild behaviour.
+//! * [`repair_from`](LocalScheduler::repair_from) — given a
+//!   [`QueueDelta`] describing *what* changed (cancel at an index, early
+//!   completion, aggressive tail submission), the smallest index a
+//!   warm-profile suffix repair may start from while staying
+//!   byte-identical to a full rebuild. FCFS/CBF repair from the dirty
+//!   index itself (prefix placements never depend on the suffix); EASY
+//!   repairs from the end of its *protected head* (protected
+//!   reservations are placed in queue order against the running set
+//!   only, so they are suffix-independent — everything after them must
+//!   be re-examined together); EASY-SJF repairs from 0 (its examination
+//!   order is a function of the whole queue, but re-running it against
+//!   the warm running-set profile equals a rebuild). `None` keeps the
+//!   conservative invalidate-and-rebuild behaviour.
+//!
+//! ## Batch first-fit
+//!
+//! A rebuild or repair places a whole queue suffix in one walk. Within
+//! one [`schedule`](LocalScheduler::schedule) call capacity only ever
+//! *decreases* (each placement carves a reservation), so a job at least
+//! as wide and at least as long as an already-placed one can never start
+//! earlier than it did. `BatchFit` tracks the dominance frontier of
+//! this walk's placements and raises the `first_fit` search floor
+//! accordingly — the descent resumes from the previous placement instead
+//! of restarting at `now`, with byte-identical results. Placements that
+//! actually rode a raised floor are counted via
+//! [`Profile::note_batch_fast`].
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
-use grid_des::SimTime;
+use grid_des::{Duration, SimTime};
 use grid_ser::expr::{BoundArgs, ParamSpec};
 
-use crate::cluster::Queued;
 use crate::profile::Profile;
+
+/// What changed in the waiting queue — the input to
+/// [`LocalScheduler::repair_from`], so schedulers can pick a repair
+/// point per mutation kind instead of per worst case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueDelta {
+    /// A new job was pushed at `index` (the queue tail).
+    Submit {
+        /// Queue index of the new job.
+        index: usize,
+    },
+    /// The waiting job previously at `index` was removed.
+    Cancel {
+        /// Queue index the victim occupied.
+        index: usize,
+    },
+    /// A running job completed before its walltime: the freed window
+    /// starts at the completion instant, so every queued reservation may
+    /// move earlier.
+    Completion,
+}
+
+impl QueueDelta {
+    /// First queue index whose placement the mutation can affect.
+    pub fn dirty_from(self) -> usize {
+        match self {
+            QueueDelta::Submit { index } | QueueDelta::Cancel { index } => index,
+            QueueDelta::Completion => 0,
+        }
+    }
+}
+
+/// Struct-of-arrays view of the waiting queue handed to
+/// [`LocalScheduler::schedule`]: position-aligned slices of exactly the
+/// fields the scheduler scan touches. `procs` and `walltime` are the
+/// inputs, `reserved` the output (the computed start per queue
+/// position).
+#[derive(Debug)]
+pub struct QueueScan<'a> {
+    /// Processors required, per queue position.
+    pub procs: &'a [u32],
+    /// Scaled walltime, per queue position.
+    pub walltime: &'a [Duration],
+    /// Reserved start, per queue position — written by the scheduler.
+    pub reserved: &'a mut [SimTime],
+}
+
+impl QueueScan<'_> {
+    /// Queue length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// `true` when the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+}
+
+/// Process-wide switch for the batch first-fit dominance floor
+/// (benchmark baseline hook; results are byte-identical either way).
+static BATCH_FLOOR: AtomicBool = AtomicBool::new(true);
+
+#[doc(hidden)]
+pub fn set_batch_floor_enabled(enabled: bool) {
+    BATCH_FLOOR.store(enabled, Ordering::Relaxed);
+}
+
+/// Dominance frontier over the placements of one `schedule` walk.
+///
+/// Soundness: within one walk capacity only decreases, so if a job of
+/// `(p, d)` was placed at `s`, any later job with `procs >= p` and
+/// `walltime >= d` cannot fit before `s` either — `first_fit` from
+/// `max(now, s)` returns exactly what `first_fit` from `now` would.
+/// Every recorded placement searched from the same base (`now`), which
+/// keeps raised-floor results themselves recordable.
+pub(crate) struct BatchFit {
+    enabled: bool,
+    len: usize,
+    entries: [(u32, Duration, SimTime); BatchFit::CAP],
+}
+
+impl BatchFit {
+    const CAP: usize = 8;
+
+    pub(crate) fn new() -> BatchFit {
+        BatchFit {
+            enabled: BATCH_FLOOR.load(Ordering::Relaxed),
+            len: 0,
+            entries: [(0, Duration(0), SimTime::ZERO); BatchFit::CAP],
+        }
+    }
+
+    /// The highest start this walk has proven unreachable for a job at
+    /// least `procs` wide and `walltime` long; never below `base`.
+    pub(crate) fn floor(&self, base: SimTime, procs: u32, walltime: Duration) -> SimTime {
+        let mut floor = base;
+        for &(p, d, s) in &self.entries[..self.len] {
+            if procs >= p && walltime >= d && s > floor {
+                floor = s;
+            }
+        }
+        floor
+    }
+
+    /// Record a placement of `(procs, walltime)` at `start`.
+    pub(crate) fn note(&mut self, procs: u32, walltime: Duration, start: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        // Redundant when an existing entry applies at least as widely
+        // and floors at least as high.
+        if self.entries[..self.len]
+            .iter()
+            .any(|&(p, d, s)| p <= procs && d <= walltime && s >= start)
+        {
+            return;
+        }
+        // Drop entries the new placement subsumes.
+        let mut keep = 0;
+        for i in 0..self.len {
+            let (p, d, s) = self.entries[i];
+            if !(procs <= p && walltime <= d && start >= s) {
+                self.entries[keep] = (p, d, s);
+                keep += 1;
+            }
+        }
+        self.len = keep;
+        if self.len < BatchFit::CAP {
+            self.entries[self.len] = (procs, walltime, start);
+            self.len += 1;
+        } else if let Some(i) = (0..self.len).min_by_key(|&i| self.entries[i].2) {
+            // Frontier full: keep the tightest floors (any subset stays
+            // sound, merely looser).
+            if self.entries[i].2 < start {
+                self.entries[i] = (procs, walltime, start);
+            }
+        }
+    }
+}
 
 /// A local batch scheduling policy (the paper's LRMS algorithm).
 ///
@@ -88,36 +244,37 @@ pub trait LocalScheduler: std::fmt::Debug + Sync {
         false
     }
 
-    /// Given the first dirty queue index after a mutation (cancel at that
-    /// index, early completion = 0, aggressive tail submission = the new
-    /// job's index), the smallest index a warm-profile suffix repair may
-    /// start from so that re-placing `queue[from..]` is **byte-identical**
-    /// to a full rebuild. `None` disables the warm path entirely.
+    /// Given a [`QueueDelta`] describing a mutation (cancel at an index,
+    /// early completion, aggressive tail submission), the smallest index
+    /// a warm-profile suffix repair may start from so that re-placing
+    /// `queue[from..]` is **byte-identical** to a full rebuild. `None`
+    /// disables the warm path entirely.
     ///
     /// **Opt-in**, like [`incremental_tail`](Self::incremental_tail): the
     /// default is `None` because the trait cannot verify the invariant —
     /// claiming an index whose prefix placements *do* depend on the
     /// suffix silently corrupts schedules. The returned index must be
-    /// `<= dirty_from`; `Cluster` releases the suffix reservations and
-    /// calls [`schedule`](Self::schedule) with it.
-    fn repair_from(&self, dirty_from: usize) -> Option<usize> {
-        let _ = dirty_from;
+    /// `<= delta.dirty_from()`; `Cluster` releases the suffix
+    /// reservations and calls [`schedule`](Self::schedule) with it.
+    fn repair_from(&self, delta: QueueDelta) -> Option<usize> {
+        let _ = delta;
         None
     }
 
     /// Floor instant for placing a brand-new tail job against the current
-    /// profile (FCFS: no start before the last queued reservation).
-    fn tail_floor(&self, queue: &[Queued], now: SimTime) -> SimTime;
+    /// profile, given the reserved starts of the waiting queue (FCFS: no
+    /// start before the last queued reservation).
+    fn tail_floor(&self, reserved: &[SimTime], now: SimTime) -> SimTime;
 
-    /// (Re)compute the reservations of `queue[from..]`, carving them into
-    /// `profile`. On entry the profile holds the running jobs and the
-    /// reservations of `queue[..from]` only.
-    fn schedule(&self, profile: &mut Profile, queue: &mut [Queued], from: usize, now: SimTime);
+    /// (Re)compute the reservations of queue positions `from..`, carving
+    /// them into `profile`. On entry the profile holds the running jobs
+    /// and the reservations of positions `..from` only.
+    fn schedule(&self, profile: &mut Profile, queue: QueueScan<'_>, from: usize, now: SimTime);
 
-    /// Policy-specific invariants (test helper; FCFS checks start-order
-    /// monotonicity).
-    fn check_invariants(&self, queue: &[Queued]) {
-        let _ = queue;
+    /// Policy-specific invariants over the reserved starts (test helper;
+    /// FCFS checks start-order monotonicity).
+    fn check_invariants(&self, reserved: &[SimTime]) {
+        let _ = reserved;
     }
 
     /// Parameters this entry accepts in policy expressions
@@ -477,43 +634,43 @@ impl LocalScheduler for FcfsScheduler {
         true
     }
 
-    fn repair_from(&self, dirty_from: usize) -> Option<usize> {
-        Some(dirty_from)
+    fn repair_from(&self, delta: QueueDelta) -> Option<usize> {
+        Some(delta.dirty_from())
     }
 
-    fn tail_floor(&self, queue: &[Queued], now: SimTime) -> SimTime {
-        queue
+    fn tail_floor(&self, reserved: &[SimTime], now: SimTime) -> SimTime {
+        reserved
             .iter()
-            .map(|q| q.reserved_start)
+            .copied()
             .max()
             .map_or(now, |last| last.max(now))
     }
 
-    fn schedule(&self, profile: &mut Profile, queue: &mut [Queued], from: usize, now: SimTime) {
+    fn schedule(&self, profile: &mut Profile, queue: QueueScan<'_>, from: usize, now: SimTime) {
         // Start times are non-decreasing in queue order; the floor chains
-        // through the previous job's start.
+        // through the previous job's start (FCFS's own batch fast path —
+        // the dominance frontier cannot beat it).
         let mut prev_start = if from == 0 {
             now
         } else {
-            queue[from - 1].reserved_start.max(now)
+            queue.reserved[from - 1].max(now)
         };
-        for q in &mut queue[from..] {
-            let start = profile.first_fit(prev_start, q.scaled.walltime, q.scaled.procs);
-            profile.reserve(start, q.scaled.walltime, q.scaled.procs);
-            q.reserved_start = start;
+        for i in from..queue.len() {
+            let start = profile.first_fit(prev_start, queue.walltime[i], queue.procs[i]);
+            profile.reserve(start, queue.walltime[i], queue.procs[i]);
+            queue.reserved[i] = start;
             prev_start = start;
         }
     }
 
-    fn check_invariants(&self, queue: &[Queued]) {
+    fn check_invariants(&self, reserved: &[SimTime]) {
         let mut prev = SimTime::ZERO;
-        for q in queue {
+        for (i, &start) in reserved.iter().enumerate() {
             assert!(
-                q.reserved_start >= prev,
-                "FCFS start order violated for {}",
-                q.job.id
+                start >= prev,
+                "FCFS start order violated at queue position {i}"
             );
-            prev = q.reserved_start;
+            prev = start;
         }
     }
 }
@@ -534,22 +691,31 @@ impl LocalScheduler for CbfScheduler {
         true
     }
 
-    fn repair_from(&self, dirty_from: usize) -> Option<usize> {
-        Some(dirty_from)
+    fn repair_from(&self, delta: QueueDelta) -> Option<usize> {
+        Some(delta.dirty_from())
     }
 
-    fn tail_floor(&self, _queue: &[Queued], now: SimTime) -> SimTime {
+    fn tail_floor(&self, _reserved: &[SimTime], now: SimTime) -> SimTime {
         now
     }
 
-    fn schedule(&self, profile: &mut Profile, queue: &mut [Queued], from: usize, now: SimTime) {
+    fn schedule(&self, profile: &mut Profile, queue: QueueScan<'_>, from: usize, now: SimTime) {
         // Each job takes the earliest hole given all earlier-queued
         // reservations; later jobs may jump ahead in time but can never
-        // delay an earlier job (its reservation is already carved).
-        for q in &mut queue[from..] {
-            let start = profile.first_fit(now, q.scaled.walltime, q.scaled.procs);
-            profile.reserve(start, q.scaled.walltime, q.scaled.procs);
-            q.reserved_start = start;
+        // delay an earlier job (its reservation is already carved). The
+        // dominance frontier resumes each descent from the highest
+        // placement that provably blocks this job.
+        let mut fit = BatchFit::new();
+        for i in from..queue.len() {
+            let (procs, walltime) = (queue.procs[i], queue.walltime[i]);
+            let floor = fit.floor(now, procs, walltime);
+            if floor > now {
+                profile.note_batch_fast();
+            }
+            let start = profile.first_fit(floor, walltime, procs);
+            profile.reserve(start, walltime, procs);
+            queue.reserved[i] = start;
+            fit.note(procs, walltime, start);
         }
     }
 }
@@ -583,8 +749,8 @@ impl LocalScheduler for EasyScheduler {
     // from the end of the (clean part of the) protected head is
     // byte-identical to a full rebuild.
 
-    fn repair_from(&self, dirty_from: usize) -> Option<usize> {
-        Some(dirty_from.min(self.protected))
+    fn repair_from(&self, delta: QueueDelta) -> Option<usize> {
+        Some(delta.dirty_from().min(self.protected))
     }
 
     fn params(&self) -> Vec<ParamSpec> {
@@ -605,33 +771,43 @@ impl LocalScheduler for EasyScheduler {
         }))
     }
 
-    fn tail_floor(&self, _queue: &[Queued], now: SimTime) -> SimTime {
+    fn tail_floor(&self, _reserved: &[SimTime], now: SimTime) -> SimTime {
         // Conservative estimate for dry runs; the aggressive "may start
         // right now" case is handled by the full recompute in `submit`.
         now
     }
 
-    fn schedule(&self, profile: &mut Profile, queue: &mut [Queued], from: usize, now: SimTime) {
+    fn schedule(&self, profile: &mut Profile, queue: QueueScan<'_>, from: usize, now: SimTime) {
         // The protected head segment is placed in queue order, like CBF.
         // `from` is 0 (full rebuild) or the index `repair_from` returned:
-        // at most `protected`, so skipping `queue[..from]` (whose
+        // at most `protected`, so skipping positions `..from` (whose
         // reservations the profile already carries) re-places exactly the
-        // jobs a rebuild would place after them, in the same order.
+        // jobs a rebuild would place after them, in the same order. The
+        // dominance frontier is valid across all three phases: capacity
+        // only decreases within this call, and every recorded placement
+        // searched from the same base `now`.
         debug_assert!(from == 0 || from <= self.protected);
+        let mut fit = BatchFit::new();
         let mut pending: Vec<usize> = Vec::new();
-        for (i, q) in queue.iter_mut().enumerate().skip(from) {
+        for i in from..queue.len() {
+            let (procs, walltime) = (queue.procs[i], queue.walltime[i]);
             if i < self.protected {
-                let start = profile.first_fit(now, q.scaled.walltime, q.scaled.procs);
-                profile.reserve(start, q.scaled.walltime, q.scaled.procs);
-                q.reserved_start = start;
+                let floor = fit.floor(now, procs, walltime);
+                if floor > now {
+                    profile.note_batch_fast();
+                }
+                let start = profile.first_fit(floor, walltime, procs);
+                profile.reserve(start, walltime, procs);
+                queue.reserved[i] = start;
+                fit.note(procs, walltime, start);
                 continue;
             }
             // Aggressive phase: start immediately if that does not delay
             // any protected reservation (already carved into the
             // profile) or any already-admitted backfill.
-            if profile.min_free(now, q.scaled.walltime) >= q.scaled.procs {
-                profile.reserve(now, q.scaled.walltime, q.scaled.procs);
-                q.reserved_start = now;
+            if profile.min_free(now, walltime) >= procs {
+                profile.reserve(now, walltime, procs);
+                queue.reserved[i] = now;
             } else {
                 pending.push(i);
             }
@@ -639,10 +815,15 @@ impl LocalScheduler for EasyScheduler {
         // Estimation phase: tentative (unprotected) slots for the rest,
         // so ECT queries and wake-ups have something to read.
         for i in pending {
-            let q = &mut queue[i];
-            let start = profile.first_fit(now, q.scaled.walltime, q.scaled.procs);
-            profile.reserve(start, q.scaled.walltime, q.scaled.procs);
-            q.reserved_start = start;
+            let (procs, walltime) = (queue.procs[i], queue.walltime[i]);
+            let floor = fit.floor(now, procs, walltime);
+            if floor > now {
+                profile.note_batch_fast();
+            }
+            let start = profile.first_fit(floor, walltime, procs);
+            profile.reserve(start, walltime, procs);
+            queue.reserved[i] = start;
+            fit.note(procs, walltime, start);
         }
     }
 }
@@ -687,10 +868,10 @@ mod tests {
             fn name(&self) -> &'static str {
                 "TEST-CUSTOM"
             }
-            fn tail_floor(&self, _q: &[Queued], now: SimTime) -> SimTime {
+            fn tail_floor(&self, _reserved: &[SimTime], now: SimTime) -> SimTime {
                 now
             }
-            fn schedule(&self, p: &mut Profile, q: &mut [Queued], from: usize, now: SimTime) {
+            fn schedule(&self, p: &mut Profile, q: QueueScan<'_>, from: usize, now: SimTime) {
                 CbfScheduler.schedule(p, q, from, now);
             }
         }
@@ -859,10 +1040,10 @@ mod tests {
             fn name(&self) -> &'static str {
                 "FCFS"
             }
-            fn tail_floor(&self, _q: &[Queued], now: SimTime) -> SimTime {
+            fn tail_floor(&self, _reserved: &[SimTime], now: SimTime) -> SimTime {
                 now
             }
-            fn schedule(&self, _p: &mut Profile, _q: &mut [Queued], _f: usize, _n: SimTime) {}
+            fn schedule(&self, _p: &mut Profile, _q: QueueScan<'_>, _f: usize, _n: SimTime) {}
         }
         BatchPolicy::register(&Dup);
     }

@@ -141,6 +141,39 @@ proptest! {
         }
     }
 
+    /// The adaptive backend must agree with the oracle *across* the
+    /// inline→tree promotion boundary. A tiny crossover forces repeated
+    /// promotions (growth past the threshold mid-sequence) and demotions
+    /// (`advance_origin`/`fail_until` shrinking the profile back), so the
+    /// hand-off itself — `from_points` construction, counter carry-over,
+    /// origin/total transfer — is what this mix exercises, not just one
+    /// backend at a time.
+    #[test]
+    fn adaptive_backend_agrees_across_promotion_boundary(
+        ops in ops_strategy(120),
+        crossover in 0usize..12,
+    ) {
+        let mut pair = Pair::new();
+        pair.tree = Profile::flat_with_crossover(TOTAL, SimTime(0), crossover);
+        let mut saw_tree = false;
+        let mut saw_small = false;
+        for op in ops {
+            apply(&mut pair, op, true)?;
+            if pair.tree.backend_is_tree() {
+                saw_tree = true;
+            } else {
+                saw_small = true;
+            }
+        }
+        // Crossover 0 pins the tree from the start; anything else starts
+        // inline. Either way at least one backend must have been live —
+        // and with crossover 0 it must have been the tree.
+        prop_assert!(saw_tree || saw_small);
+        if crossover == 0 {
+            prop_assert!(saw_tree, "crossover 0 must run on the tree backend");
+        }
+    }
+
     /// Reserve/release-heavy mix with short horizons, no outages: forces
     /// dense stacking, exact-inverse releases and seam coalescing (the
     /// PR-3 edge cases) far more often than the uniform mix.

@@ -1,0 +1,228 @@
+//! `hotpath` — the million-job end-to-end perf contract.
+//!
+//! One binary, two engine configurations, the identical workload:
+//!
+//! * **legacy** — the pre-hot-path engine, reconstructed through the
+//!   doc-hidden toggles: tree profiles for every queue depth (crossover
+//!   0), the `BinaryHeap` event queue, no batch dominance floor, no
+//!   completion-admits-none skip.
+//! * **optimized** — the defaults: adaptive inline/tree profiles, the
+//!   bucketed calendar queue, batch first-fit floors and the completion
+//!   skip.
+//!
+//! Two scenarios gate the contract:
+//!
+//! 1. **1M jobs end-to-end** (16-site grid, CBF, over-estimated
+//!    walltimes): the optimized engine must finish at least **1.3×**
+//!    faster than the legacy one.
+//! 2. **1k-job queue depth** (one site, the whole workload queued at
+//!    once): the deep-queue regime that the tree backend exists for —
+//!    the optimized engine must not regress (≤ 1.15× of legacy,
+//!    margin for timer noise).
+//!
+//! Both scenarios assert **byte-identity** first: every job record —
+//! id, submit, start, completion, site, reallocations — is hashed and
+//! the two configurations must produce the same digest. The speed-ups
+//! are only meaningful because the answers are equal.
+//!
+//! Timings are the *minimum* of the measured passes (co-tenant noise on
+//! a shared runner only ever slows a pass down). `BENCH_HOTPATH_QUICK=1`
+//! shrinks the workload (50k jobs, one pass) and skips the speed-up
+//! assertions — byte-identity is still enforced. Results land in
+//! `BENCH_hotpath.json` (override with `BENCH_HOTPATH_JSON`).
+
+use std::time::Instant;
+
+use grid_batch::{BatchPolicy, ClusterSpec, JobSpec, Platform};
+use grid_metrics::RunOutcome;
+use grid_realloc::{GridConfig, GridSim};
+
+fn quick() -> bool {
+    std::env::var("BENCH_HOTPATH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Flip every hot-path toggle at once. `legacy == true` reconstructs the
+/// pre-hot-path engine; `false` restores the defaults.
+fn set_engine_legacy(legacy: bool) {
+    // Crossover 0: every profile starts (and stays) on the tree backend.
+    grid_batch::profile::set_default_crossover(if legacy { 0 } else { usize::MAX });
+    grid_des::queue::set_default_backend_heap(legacy);
+    grid_batch::set_batch_floor_enabled(!legacy);
+    grid_batch::set_completion_skip_enabled(!legacy);
+}
+
+/// FNV-1a over every field of every job record, in id order — the
+/// byte-identity digest the two configurations must agree on.
+fn outcome_digest(out: &RunOutcome) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    for r in out.records.values() {
+        mix(r.id.0);
+        mix(r.submit.as_secs());
+        mix(r.start.as_secs());
+        mix(r.completion.as_secs());
+        mix(r.cluster as u64);
+        mix(u64::from(r.reallocations));
+    }
+    mix(out.makespan.as_secs());
+    h
+}
+
+/// Deterministic LCG stream (same constants as the repo's other
+/// hand-rolled bench generators).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+/// The 1M-job grid workload: 16 sites, Poisson-ish arrivals tuned to
+/// keep tens of jobs waiting per site, walltimes over-estimated by
+/// 25–100% so every completion frees a window the scheduler must
+/// reconsider (or, often, provably skip).
+fn grid_workload(jobs: usize) -> (Platform, Vec<JobSpec>) {
+    let clusters = (0..16)
+        .map(|i| ClusterSpec::new(format!("site{i}"), 64 + (i % 4) * 32, 1.0))
+        .collect();
+    let platform = Platform::new("hotpath", clusters);
+    let mut rng = Lcg(0x5EED_CAFE_F00D_0001);
+    let mut specs = Vec::with_capacity(jobs);
+    let mut submit = 0u64;
+    for id in 0..jobs as u64 {
+        // Mean service demand ~5,940 proc-s/job against 1,792 procs:
+        // inter-arrival mean 4s puts the grid near 0.85 load — queues
+        // stay tens deep (busy, but stable over a million jobs).
+        submit += rng.next() % 9;
+        let procs = (rng.next() % 32 + 1) as u32;
+        let runtime = 60 + rng.next() % 600;
+        let walltime = runtime + runtime / 4 + rng.next() % runtime;
+        specs.push(JobSpec::new(id, submit, procs, runtime, walltime));
+    }
+    (platform, specs)
+}
+
+/// The deep-queue workload: one site, everything submitted in the first
+/// instants, so the queue holds ~`jobs` entries and placement cost is
+/// dominated by profile depth — the regime the tree backend covers.
+fn deep_workload(jobs: usize) -> (Platform, Vec<JobSpec>) {
+    let platform = Platform::new("deep", vec![ClusterSpec::new("site0", 256, 1.0)]);
+    let mut rng = Lcg(0x5EED_CAFE_F00D_0002);
+    let mut specs = Vec::with_capacity(jobs);
+    for id in 0..jobs as u64 {
+        let procs = (rng.next() % 64 + 1) as u32;
+        let runtime = 60 + rng.next() % 600;
+        let walltime = runtime + runtime / 4 + rng.next() % runtime;
+        specs.push(JobSpec::new(id, id % 16, procs, runtime, walltime));
+    }
+    (platform, specs)
+}
+
+/// Run one configuration over one workload; wall time and digest.
+fn run_once(platform: &Platform, specs: &[JobSpec]) -> (f64, u64) {
+    let config = GridConfig::new(platform.clone(), BatchPolicy::Cbf).with_seed(42);
+    let t0 = Instant::now();
+    let out = GridSim::new(config, specs.to_vec())
+        .run()
+        .expect("bench workload is schedulable");
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    (ms, outcome_digest(&out))
+}
+
+/// Best-of-`passes` wall time for one engine configuration.
+fn measure(legacy: bool, platform: &Platform, specs: &[JobSpec], passes: usize) -> (f64, u64) {
+    set_engine_legacy(legacy);
+    let mut best = f64::INFINITY;
+    let mut digest = 0u64;
+    for _ in 0..passes.max(1) {
+        let (ms, d) = run_once(platform, specs);
+        best = best.min(ms);
+        digest = d;
+    }
+    set_engine_legacy(false);
+    (best, digest)
+}
+
+fn main() {
+    let quick = quick();
+    let passes = if quick { 1 } else { 2 };
+    let grid_jobs = if quick { 50_000 } else { 1_000_000 };
+    let deep_jobs = 1_000;
+
+    let mut json = grid_ser::Value::object();
+    json.insert("schema", "bench-hotpath/1");
+    json.insert("quick", quick);
+
+    // ---- Scenario 1: 1M jobs end-to-end -----------------------------
+    let (platform, specs) = grid_workload(grid_jobs);
+    let (legacy_ms, legacy_digest) = measure(true, &platform, &specs, passes);
+    let (opt_ms, opt_digest) = measure(false, &platform, &specs, passes);
+    assert_eq!(
+        legacy_digest, opt_digest,
+        "hot-path engine changed the answer on the grid workload"
+    );
+    let speedup = legacy_ms / opt_ms.max(f64::MIN_POSITIVE);
+    println!(
+        "bench: hotpath/grid {grid_jobs} jobs  legacy {legacy_ms:>9.1} ms | optimized \
+         {opt_ms:>9.1} ms ({speedup:.2}x)"
+    );
+    let mut grid_json = grid_ser::Value::object();
+    grid_json.insert("jobs", grid_jobs as u64);
+    grid_json.insert("legacy_ms", legacy_ms);
+    grid_json.insert("optimized_ms", opt_ms);
+    grid_json.insert("speedup", speedup);
+    grid_json.insert("digest", format!("{legacy_digest:016x}"));
+    json.insert("grid", grid_json);
+
+    // ---- Scenario 2: 1k-job queue depth -----------------------------
+    let (platform, specs) = deep_workload(deep_jobs);
+    let (deep_legacy_ms, deep_legacy_digest) = measure(true, &platform, &specs, passes.max(3));
+    let (deep_opt_ms, deep_opt_digest) = measure(false, &platform, &specs, passes.max(3));
+    assert_eq!(
+        deep_legacy_digest, deep_opt_digest,
+        "hot-path engine changed the answer on the deep-queue workload"
+    );
+    let deep_ratio = deep_opt_ms / deep_legacy_ms.max(f64::MIN_POSITIVE);
+    println!(
+        "bench: hotpath/deep {deep_jobs} jobs   legacy {deep_legacy_ms:>9.1} ms | optimized \
+         {deep_opt_ms:>9.1} ms (x{deep_ratio:.2} of legacy)"
+    );
+    let mut deep_json = grid_ser::Value::object();
+    deep_json.insert("jobs", deep_jobs as u64);
+    deep_json.insert("legacy_ms", deep_legacy_ms);
+    deep_json.insert("optimized_ms", deep_opt_ms);
+    deep_json.insert("ratio_vs_legacy", deep_ratio);
+    deep_json.insert("digest", format!("{deep_legacy_digest:016x}"));
+    json.insert("deep", deep_json);
+
+    // ---- The contract -----------------------------------------------
+    if quick {
+        println!("bench: quick mode — speed-up assertions skipped (byte-identity enforced)");
+    } else {
+        assert!(
+            speedup >= 1.3,
+            "optimized engine must be >= 1.3x faster end-to-end at {grid_jobs} jobs \
+             (measured {speedup:.2}x)"
+        );
+        assert!(
+            deep_ratio <= 1.15,
+            "optimized engine must not regress at {deep_jobs}-job queue depth \
+             (measured x{deep_ratio:.2} of legacy)"
+        );
+    }
+
+    let path =
+        std::env::var("BENCH_HOTPATH_JSON").unwrap_or_else(|_| "BENCH_hotpath.json".to_string());
+    std::fs::write(&path, json.encode()).expect("write BENCH_hotpath.json");
+    println!("bench: wrote {path}");
+}

@@ -178,7 +178,9 @@ trait Backend: Clone {
 
 impl Backend for Profile {
     fn flat() -> Self {
-        Profile::flat(PROCS, SimTime(0))
+        // Pin the tree backend: `Profile::flat` is adaptive (inline below
+        // the crossover), and this layer's assertions describe the treap.
+        Profile::flat_tree(PROCS, SimTime(0))
     }
     fn first_fit(&self, after: SimTime, dur: Duration, procs: u32) -> SimTime {
         Profile::first_fit(self, after, dur, procs)

@@ -149,6 +149,14 @@ pub struct CellStats {
     pub recomputes: u64,
     /// Jobs evicted by site outages.
     pub evicted: u64,
+    /// Inline→tree profile backend promotions, all sites.
+    pub profile_promotions: u64,
+    /// Placements whose first-fit probe started from a batch
+    /// dominance-floor above `now` (the batch first-fit fast path).
+    pub batch_fast_placements: u64,
+    /// Events the bucketed event queue routed through its overflow
+    /// spill path (grid-level, from the sidecar's own counter).
+    pub queue_bucket_spills: u64,
 }
 
 /// Sidecar-derived scheduler stats per group and table cell.
@@ -179,7 +187,14 @@ pub fn stats_index(plan: &CampaignPlan, cache: &ResultCache) -> StatsIndex {
             totals.suffix_repairs += s.suffix_repairs;
             totals.recomputes += s.recomputes;
             totals.evicted += s.evicted;
+            totals.profile_promotions += s.profile_promotions;
+            totals.batch_fast_placements += s.batch_fast_placements;
         }
+        // Grid-level counter, zero-omitted in the sidecar.
+        totals.queue_bucket_spills += sidecar
+            .get("queue_bucket_spills")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
         let group = GroupKey {
             heterogeneous: unit.heterogeneous,
             seed: unit.seed,
@@ -500,8 +515,9 @@ impl CampaignResults {
         self.csv_with(None)
     }
 
-    /// [`CampaignResults::to_csv`] plus four scheduler-effort columns
-    /// per row (`first_fit_probes,suffix_repairs,recomputes,evicted`)
+    /// [`CampaignResults::to_csv`] plus seven scheduler-effort columns
+    /// per row (`first_fit_probes,suffix_repairs,recomputes,evicted,
+    /// profile_promotions,batch_fast_placements,queue_bucket_spills`)
     /// filled from the telemetry sidecars; cells without a sidecar
     /// render as empty fields.
     pub fn to_csv_with_stats(&self, stats: &StatsIndex) -> String {
@@ -512,7 +528,10 @@ impl CampaignResults {
         let faulted = self.faulted();
         let fault_col = if faulted { ",fault" } else { "" };
         let stats_col = if stats.is_some() {
-            ",first_fit_probes,suffix_repairs,recomputes,evicted"
+            // New columns append after `evicted` — tooling that greps the
+            // original four keeps matching.
+            ",first_fit_probes,suffix_repairs,recomputes,evicted,\
+             profile_promotions,batch_fast_placements,queue_bucket_spills"
         } else {
             ""
         };
@@ -542,10 +561,16 @@ impl CampaignResults {
                     None => String::new(),
                     Some(index) => match index.get(group).and_then(|cells| cells.get(key)) {
                         Some(s) => format!(
-                            ",{},{},{},{}",
-                            s.first_fit_probes, s.suffix_repairs, s.recomputes, s.evicted
+                            ",{},{},{},{},{},{},{}",
+                            s.first_fit_probes,
+                            s.suffix_repairs,
+                            s.recomputes,
+                            s.evicted,
+                            s.profile_promotions,
+                            s.batch_fast_placements,
+                            s.queue_bucket_spills
                         ),
-                        None => ",,,,".to_string(),
+                        None => ",,,,,,,".to_string(),
                     },
                 };
                 out.push_str(&format!(
@@ -619,6 +644,9 @@ impl CampaignResults {
                     sched.insert("suffix_repairs", s.suffix_repairs);
                     sched.insert("recomputes", s.recomputes);
                     sched.insert("evicted", s.evicted);
+                    sched.insert("profile_promotions", s.profile_promotions);
+                    sched.insert("batch_fast_placements", s.batch_fast_placements);
+                    sched.insert("queue_bucket_spills", s.queue_bucket_spills);
                     row.insert("sched_stats", sched);
                 }
                 row.insert(
@@ -834,18 +862,22 @@ mod tests {
         );
 
         // Plain CSV is byte-identical to the no-stats path; the stats
-        // CSV appends exactly the four columns.
+        // CSV appends exactly the seven columns (the original four first,
+        // so pre-existing header greps keep matching).
         let plain = results.to_csv();
         let with = results.to_csv_with_stats(&index);
         assert!(!plain.contains("first_fit_probes"));
         let header = with.lines().next().unwrap();
         assert!(
-            header.ends_with("rel_avg_response,first_fit_probes,suffix_repairs,recomputes,evicted"),
+            header.ends_with(
+                "rel_avg_response,first_fit_probes,suffix_repairs,recomputes,evicted,\
+                 profile_promotions,batch_fast_placements,queue_bucket_spills"
+            ),
             "{header}"
         );
         for (a, b) in plain.lines().zip(with.lines()) {
             assert!(b.starts_with(a), "stats columns append, never rewrite");
-            assert_eq!(b.split(',').count(), a.split(',').count() + 4);
+            assert_eq!(b.split(',').count(), a.split(',').count() + 7);
         }
 
         // JSON rows gain a sched_stats object only on the stats path.

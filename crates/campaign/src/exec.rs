@@ -100,8 +100,12 @@ pub fn simulate(unit: &RunUnit) -> RunOutcome {
 
 /// Simulate one unit with an [`Obs`] recorder attached. The outcome is
 /// byte-identical to [`simulate`] — the recorder is write-only — and the
-/// per-site scheduler counters come back alongside it.
-pub fn simulate_observed(unit: &RunUnit, obs: &Obs) -> (RunOutcome, Vec<ClusterStats>) {
+/// per-site scheduler counters plus the grid-level engine counters come
+/// back alongside it.
+pub fn simulate_observed(
+    unit: &RunUnit,
+    obs: &Obs,
+) -> (RunOutcome, Vec<ClusterStats>, grid_realloc::GridStats) {
     let (realloc, period, threshold) = match unit.kind {
         RunKind::Reference => (None, Duration::hours(1), Duration::secs(60)),
         RunKind::Realloc(setting) => (Some(setting.to_config()), setting.period, setting.threshold),
@@ -129,6 +133,7 @@ fn obs_sidecar(
     wall_ms: u64,
     jobs: usize,
     stats: &[ClusterStats],
+    grid: grid_realloc::GridStats,
     recorder: Option<&grid_obs::Recorder>,
 ) -> Value {
     let mut v = Value::object();
@@ -140,6 +145,11 @@ fn obs_sidecar(
         "cluster_stats",
         Value::Arr(stats.iter().map(|s| s.to_json()).collect()),
     );
+    // Zero-omitted, like the optional ClusterStats counters: sidecars
+    // from a heap-backend build stay byte-identical.
+    if grid.queue_bucket_spills > 0 {
+        v.insert("queue_bucket_spills", grid.queue_bucket_spills);
+    }
     if let Some(rec) = recorder {
         v.insert("events", rec.events().len() as u64);
         v.insert("spans", rec.spans_value());
@@ -209,7 +219,7 @@ pub fn execute(
             Obs::disabled()
         };
         match catch_unwind(AssertUnwindSafe(|| simulate_observed(unit, &obs))) {
-            Ok((outcome, stats)) => {
+            Ok((outcome, stats, grid)) => {
                 let wall_ms = t0.elapsed().as_millis() as u64;
                 let recorder = obs.snapshot();
                 if let Some(cache) = cache {
@@ -223,8 +233,14 @@ pub fn execute(
                     }
                     // Telemetry, not results: a failed sidecar write is
                     // worth a warning but never an execution error.
-                    let sidecar =
-                        obs_sidecar(unit, wall_ms, outcome.len(), &stats, recorder.as_ref());
+                    let sidecar = obs_sidecar(
+                        unit,
+                        wall_ms,
+                        outcome.len(),
+                        &stats,
+                        grid,
+                        recorder.as_ref(),
+                    );
                     if let Err(e) = cache.store_obs(unit, &sidecar) {
                         eprintln!("[WARN] {}: sidecar not persisted: {e}", unit.label());
                     }

@@ -172,10 +172,11 @@ pub fn run_one(
 }
 
 /// [`run_one`] with an instrumentation handle attached and the
-/// per-cluster [`ClusterStats`](grid_batch::ClusterStats) returned
-/// alongside the outcome. The outcome is byte-identical to `run_one`'s —
-/// the recorder observes, it never steers — so campaign cache records
-/// are unaffected by whether a run was observed.
+/// per-cluster [`ClusterStats`](grid_batch::ClusterStats) plus the
+/// grid-level [`GridStats`](crate::GridStats) returned alongside the
+/// outcome. The outcome is byte-identical to `run_one`'s — the recorder
+/// observes, it never steers — so campaign cache records are unaffected
+/// by whether a run was observed.
 pub fn run_one_observed(
     scenario: Scenario,
     heterogeneous: bool,
@@ -183,7 +184,7 @@ pub fn run_one_observed(
     realloc: Option<ReallocConfig>,
     suite: &SuiteConfig,
     obs: &grid_obs::Obs,
-) -> (RunOutcome, Vec<grid_batch::ClusterStats>) {
+) -> (RunOutcome, Vec<grid_batch::ClusterStats>, crate::GridStats) {
     let mut jobs = scenario.generate_fraction(suite.seed, suite.fraction);
     if let Some(perturb) = &suite.fault.config().perturb {
         perturb.apply(&mut jobs, suite.seed);
@@ -196,7 +197,7 @@ pub fn run_one_observed(
     }
     let mut sim = GridSim::new(config, jobs);
     sim.set_obs(obs.clone());
-    sim.run_with_stats()
+    sim.run_instrumented()
         .expect("paper scenarios are schedulable")
 }
 

@@ -158,6 +158,18 @@ enum Event {
     Outage { site: usize },
 }
 
+/// Grid-level (non-cluster) engine counters accumulated over a run.
+///
+/// Like [`ClusterStats`] these are telemetry, never results: they ride
+/// next to the outcome (`run_instrumented`), feed obs counters and the
+/// campaign sidecars, and stay out of every cached record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GridStats {
+    /// Events the bucketed queue routed through its overflow spill path
+    /// (beyond the calendar horizon); zero on the heap backend.
+    pub queue_bucket_spills: u64,
+}
+
 /// In-flight bookkeeping for one job.
 #[derive(Debug, Clone, Copy)]
 struct Tracking {
@@ -276,7 +288,18 @@ impl GridSim {
     /// counters (`first_fit_probes`, `suffix_repairs`, `recomputes`, …)
     /// campaigns report alongside the outcome. The counters never feed
     /// the outcome itself, so cached run records are unaffected.
-    pub fn run_with_stats(mut self) -> Result<(RunOutcome, Vec<ClusterStats>), SimError> {
+    pub fn run_with_stats(self) -> Result<(RunOutcome, Vec<ClusterStats>), SimError> {
+        self.run_instrumented()
+            .map(|(outcome, stats, _)| (outcome, stats))
+    }
+
+    /// [`run_with_stats`](GridSim::run_with_stats) plus the grid-level
+    /// [`GridStats`] (event-queue bucket spills and friends). Separate
+    /// from the per-cluster counters because these belong to the driver,
+    /// not to any site.
+    pub fn run_instrumented(
+        mut self,
+    ) -> Result<(RunOutcome, Vec<ClusterStats>, GridStats), SimError> {
         if let Some(e) = self.config_error.take() {
             return Err(e);
         }
@@ -385,7 +408,14 @@ impl GridSim {
         debug_assert_eq!(self.completed, total, "all jobs must complete");
         debug_assert!(self.clusters.iter().all(Cluster::is_idle));
         let stats = self.clusters.iter().map(|c| *c.stats()).collect();
-        Ok((self.outcome, stats))
+        let grid = GridStats {
+            queue_bucket_spills: self.events.bucket_spills(),
+        };
+        if grid.queue_bucket_spills > 0 {
+            self.obs
+                .count("queue.bucket_spills", grid.queue_bucket_spills);
+        }
+        Ok((self.outcome, stats, grid))
     }
 
     fn handle_arrival(&mut self, idx: usize, now: SimTime) -> Result<(), SimError> {

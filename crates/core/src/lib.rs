@@ -55,7 +55,7 @@ pub mod mapping;
 pub mod multisub;
 pub mod realloc;
 
-pub use grid::{GridConfig, GridSim, SimError};
+pub use grid::{GridConfig, GridSim, GridStats, SimError};
 pub use heuristics::{Heuristic, OrderingHeuristic};
 pub use mapping::{Mapper, Mapping, MappingPolicy};
 pub use realloc::{ReallocAlgorithm, ReallocConfig, ReallocStrategy, TickReport};

@@ -382,7 +382,7 @@ pub fn run_tick(clusters: &mut [Cluster], cfg: &ReallocConfig, now: SimTime) -> 
     let mut jobs: Vec<WaitingJob> = Vec::new();
     for (c, cluster) in clusters.iter().enumerate() {
         jobs.extend(cluster.waiting_jobs().map(|q| WaitingJob {
-            spec: q.job,
+            spec: *q.job,
             cluster: c,
         }));
     }

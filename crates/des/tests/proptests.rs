@@ -40,6 +40,67 @@ proptest! {
         prop_assert_eq!(total, times.len());
     }
 
+    /// The bucketed (calendar) backend is observationally identical to the
+    /// BinaryHeap oracle under an arbitrary interleaving of schedule, pop,
+    /// pop_batch and peek ops: same sequence numbers out of `schedule`,
+    /// same `(time, seq, event)` stream out of every pop, same lengths.
+    /// Schedules land at `watermark + dt` so the mix stays legal for both.
+    #[test]
+    fn bucketed_queue_agrees_with_heap_oracle(
+        ops in prop::collection::vec((0u8..10, 0u64..500), 1..300),
+    ) {
+        let mut ladder = EventQueue::bucketed();
+        let mut heap = EventQueue::heap();
+        let mut watermark = SimTime::ZERO;
+        let mut next_event = 0usize;
+        for (kind, dt) in ops {
+            match kind {
+                // Schedule-heavy: keep the ladder populated enough to
+                // trigger era rebuilds and overflow spills.
+                0..=5 => {
+                    let at = watermark + Duration(dt);
+                    let s_l = ladder.schedule(at, next_event);
+                    let s_h = heap.schedule(at, next_event);
+                    prop_assert_eq!(s_l, s_h, "seq numbers diverged");
+                    next_event += 1;
+                }
+                6 | 7 => {
+                    let p_l = ladder.pop().map(|s| (s.at, s.seq, s.event));
+                    let p_h = heap.pop().map(|s| (s.at, s.seq, s.event));
+                    prop_assert_eq!(&p_l, &p_h, "pop diverged");
+                    if let Some((at, _, _)) = p_l {
+                        watermark = at;
+                    }
+                }
+                8 => {
+                    let b_l = ladder.pop_batch().map(|(t, v)| {
+                        (t, v.into_iter().map(|s| (s.at, s.seq, s.event)).collect::<Vec<_>>())
+                    });
+                    let b_h = heap.pop_batch().map(|(t, v)| {
+                        (t, v.into_iter().map(|s| (s.at, s.seq, s.event)).collect::<Vec<_>>())
+                    });
+                    prop_assert_eq!(&b_l, &b_h, "pop_batch diverged");
+                    if let Some((t, _)) = b_l {
+                        watermark = t;
+                    }
+                }
+                _ => {
+                    prop_assert_eq!(ladder.peek_time(), heap.peek_time());
+                }
+            }
+            prop_assert_eq!(ladder.len(), heap.len());
+        }
+        // Drain both to the end: the tails must agree element-for-element.
+        loop {
+            let p_l = ladder.pop().map(|s| (s.at, s.seq, s.event));
+            let p_h = heap.pop().map(|s| (s.at, s.seq, s.event));
+            prop_assert_eq!(&p_l, &p_h, "drain diverged");
+            if p_l.is_none() {
+                break;
+            }
+        }
+    }
+
     /// SimTime arithmetic is consistent with u64 arithmetic (saturating).
     #[test]
     fn time_arithmetic(a in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 2) {
