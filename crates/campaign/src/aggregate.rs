@@ -12,8 +12,28 @@
 //! `(flavour, period, threshold)` with per-cell means and 95% confidence
 //! intervals ([`CampaignResults::seed_aggregates`]), while the CSV export
 //! keeps the raw per-seed rows for downstream analysis.
+//!
+//! ## Streaming aggregation
+//!
+//! [`aggregate`] consumes a pre-materialised outcome vector — fine for
+//! the paper's 364 runs, hopeless for million-run campaigns (every
+//! [`RunOutcome`] holds per-job record maps). The streaming entry points
+//! fold cache records one at a time instead:
+//!
+//! * [`aggregate_streamed`] — loads each reallocation record exactly
+//!   once, pairs it with its reference through a single-slot baseline
+//!   memo (plan order keeps one baseline live at a time), and retains
+//!   only the per-cell [`Comparison`] (a few dozen bytes) — peak memory
+//!   is proportional to the number of *cells*, never to job counts;
+//! * [`stream_csv`] — writes the per-seed CSV rows during the fold,
+//!   byte-identical to [`CampaignResults::to_csv`], holding one record
+//!   at a time;
+//! * [`Welford`] — the constant-memory mean/M2 accumulator both
+//!   [`mean_ci`] and the cross-seed fold run on, so the vector-based and
+//!   fold-based statistics are the *same* operation sequence and render
+//!   bit-identically.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use grid_batch::BatchPolicy;
 use grid_fault::Fault;
@@ -24,7 +44,7 @@ use grid_ser::Value;
 use grid_workload::Scenario;
 
 use crate::cache::ResultCache;
-use crate::plan::{CampaignPlan, RunKind};
+use crate::plan::{BaselineKey, CampaignPlan, ReallocSetting, RunKind, RunUnit};
 use crate::spec::CampaignSpec;
 
 /// Identifies one table-set group of a campaign.
@@ -117,20 +137,229 @@ pub fn aggregate(
             );
     }
     if !missing.is_empty() {
-        let shown = 8.min(missing.len());
-        let mut list = missing[..shown].join(", ");
-        if missing.len() > shown {
-            list.push_str(&format!(", … and {} more", missing.len() - shown));
-        }
-        return Err(format!(
-            "{} run(s) unavailable (run the campaign first, or check failures): {list}",
-            missing.len(),
-        ));
+        return Err(missing_error(&missing));
     }
     Ok(CampaignResults {
         spec: spec.clone(),
         groups,
     })
+}
+
+/// The shared "runs unavailable" error of every aggregation path.
+fn missing_error(missing: &[String]) -> String {
+    let shown = 8.min(missing.len());
+    let mut list = missing[..shown].join(", ");
+    if missing.len() > shown {
+        list.push_str(&format!(", … and {} more", missing.len() - shown));
+    }
+    format!(
+        "{} run(s) unavailable (run the campaign first, or check failures): {list}",
+        missing.len(),
+    )
+}
+
+/// The `(group, cell)` addresses of one reallocation unit.
+fn group_cell(unit: &RunUnit, setting: &ReallocSetting) -> (GroupKey, ExperimentKey) {
+    (
+        GroupKey {
+            heterogeneous: unit.heterogeneous,
+            seed: unit.seed,
+            period_s: setting.period.as_secs(),
+            threshold_s: setting.threshold.as_secs(),
+            fault: unit.fault,
+        },
+        ExperimentKey {
+            scenario: unit.scenario,
+            policy: unit.policy,
+            algorithm: setting.algorithm,
+            heuristic: setting.heuristic,
+        },
+    )
+}
+
+/// Load one reallocation unit's record and compare it against its
+/// reference through a single-slot baseline memo. Plan order iterates
+/// the reallocation axes under a fixed baseline key, so the one slot
+/// gives near-perfect reuse without an outcome table; a memo miss costs
+/// one extra reference load, never a wrong pairing.
+fn comparison_for(
+    unit: &RunUnit,
+    cache: &ResultCache,
+    baseline: &mut Option<(BaselineKey, RunOutcome)>,
+) -> Result<Comparison, String> {
+    let Some(record) = cache.load(unit) else {
+        return Err(unit.label());
+    };
+    let key = unit.baseline_key();
+    let memo_hit = matches!(baseline, Some((k, _)) if *k == key);
+    if !memo_hit {
+        let reference = RunUnit {
+            kind: RunKind::Reference,
+            ..unit.clone()
+        };
+        let Some(r) = cache.load(&reference) else {
+            return Err(format!("{} (reference missing)", unit.label()));
+        };
+        *baseline = Some((key, r.outcome));
+    }
+    let (_, base) = baseline.as_ref().expect("memo just filled");
+    Ok(Comparison::against_baseline(base, &record.outcome))
+}
+
+/// [`aggregate`] without the outcome vector: fold cache records one at a
+/// time into the grouped suite results. Peak memory holds one
+/// [`RunOutcome`] pair (the record being folded and the memoised
+/// baseline) plus the per-cell [`Comparison`]s — never the whole
+/// campaign's job records. `skips` (by plan index) excludes units a
+/// convergence frontier decided not to run.
+pub fn aggregate_streamed(
+    spec: &CampaignSpec,
+    plan: &CampaignPlan,
+    cache: &ResultCache,
+    skips: &HashSet<usize>,
+) -> Result<CampaignResults, String> {
+    let mut groups: BTreeMap<GroupKey, SuiteResults> = BTreeMap::new();
+    let mut baseline = None;
+    let mut missing = Vec::new();
+    for (i, unit) in plan.units.iter().enumerate() {
+        let RunKind::Realloc(setting) = unit.kind else {
+            continue;
+        };
+        if skips.contains(&i) {
+            continue;
+        }
+        let comparison = match comparison_for(unit, cache, &mut baseline) {
+            Ok(c) => c,
+            Err(label) => {
+                missing.push(label);
+                continue;
+            }
+        };
+        let (group, cell) = group_cell(unit, &setting);
+        groups
+            .entry(group)
+            .or_insert_with(|| SuiteResults {
+                heterogeneous: unit.heterogeneous,
+                comparisons: HashMap::new(),
+            })
+            .comparisons
+            .insert(cell, comparison);
+    }
+    if !missing.is_empty() {
+        return Err(missing_error(&missing));
+    }
+    Ok(CampaignResults {
+        spec: spec.clone(),
+        groups,
+    })
+}
+
+/// Reallocation units in export order — ascending [`GroupKey`], then the
+/// CSV row sort within each group — with convergence skips removed.
+fn export_order(plan: &CampaignPlan, skips: &HashSet<usize>) -> Vec<(GroupKey, usize)> {
+    let mut rows: Vec<(GroupKey, usize)> = plan
+        .units
+        .iter()
+        .enumerate()
+        .filter_map(|(i, unit)| {
+            let RunKind::Realloc(setting) = unit.kind else {
+                return None;
+            };
+            if skips.contains(&i) {
+                return None;
+            }
+            Some((group_cell(unit, &setting).0, i))
+        })
+        .collect();
+    rows.sort_by_cached_key(|&(group, i)| {
+        let unit = &plan.units[i];
+        let RunKind::Realloc(setting) = unit.kind else {
+            unreachable!("export_order keeps only reallocation units");
+        };
+        (
+            group,
+            unit.scenario.label(),
+            unit.policy.to_string(),
+            setting.algorithm.to_string(),
+            setting.heuristic.label(),
+        )
+    });
+    rows
+}
+
+/// Stream the per-seed CSV export straight into `out`, loading one
+/// record at a time — byte-identical to [`CampaignResults::to_csv`] over
+/// the same cache and skips, with peak memory of one record pair plus an
+/// O(#units) ordering index instead of every outcome.
+pub fn stream_csv<W: std::io::Write>(
+    plan: &CampaignPlan,
+    cache: &ResultCache,
+    skips: &HashSet<usize>,
+    out: &mut W,
+) -> Result<(), String> {
+    let rows = export_order(plan, skips);
+    // Cheap existence pre-pass so an incomplete campaign fails with the
+    // aggregate error instead of a torn export.
+    let missing: Vec<String> = rows
+        .iter()
+        .filter(|&&(_, i)| !cache.contains(&plan.units[i]))
+        .map(|&(_, i)| plan.units[i].label())
+        .collect();
+    if !missing.is_empty() {
+        return Err(missing_error(&missing));
+    }
+    let faulted = rows.iter().any(|(g, _)| !g.fault.is_none());
+    let io = |e: std::io::Error| format!("csv stream: {e}");
+    out.write_all(csv_header(faulted, false).as_bytes())
+        .map_err(io)?;
+    let mut baseline = None;
+    for &(group, i) in &rows {
+        let unit = &plan.units[i];
+        let comparison =
+            comparison_for(unit, cache, &mut baseline).map_err(|label| missing_error(&[label]))?;
+        let (_, cell) = match unit.kind {
+            RunKind::Realloc(setting) => group_cell(unit, &setting),
+            RunKind::Reference => unreachable!("export_order keeps only reallocation units"),
+        };
+        out.write_all(csv_row(&group, &cell, &comparison, faulted, "").as_bytes())
+            .map_err(io)?;
+    }
+    Ok(())
+}
+
+/// Constant-memory cross-seed statistics from the cache: a [`StreamAgg`]
+/// fold over the records in ascending group order, holding one record
+/// pair and one accumulator per live table cell — bit-identical to
+/// materialising every outcome and calling
+/// [`CampaignResults::seed_aggregates`].
+pub fn stream_seed_aggregates(
+    plan: &CampaignPlan,
+    cache: &ResultCache,
+    skips: &HashSet<usize>,
+) -> Result<BTreeMap<SeedAggKey, SeedAggregate>, String> {
+    let rows = export_order(plan, skips);
+    let mut agg = StreamAgg::default();
+    let mut baseline = None;
+    let mut missing = Vec::new();
+    for &(group, i) in &rows {
+        let unit = &plan.units[i];
+        match comparison_for(unit, cache, &mut baseline) {
+            Ok(comparison) => {
+                let (_, cell) = match unit.kind {
+                    RunKind::Realloc(setting) => group_cell(unit, &setting),
+                    RunKind::Reference => {
+                        unreachable!("export_order keeps only reallocation units")
+                    }
+                };
+                agg.push(&group, cell, &comparison);
+            }
+            Err(label) => missing.push(label),
+        }
+    }
+    if !missing.is_empty() {
+        return Err(missing_error(&missing));
+    }
+    Ok(agg.seed_aggregates())
 }
 
 /// Per-cell scheduler-effort totals, summed over a run's sites.
@@ -244,26 +473,68 @@ fn t_975(df: usize) -> f64 {
     }
 }
 
-/// Mean/CI of a sample (sample standard deviation, n−1 denominator).
+/// Constant-memory running mean/M2 accumulator (Welford's algorithm).
+///
+/// The *only* statistics kernel in the crate: [`mean_ci`] folds its
+/// slice through one and the streaming seed aggregation keeps one per
+/// table cell, so a value sequence yields bit-identical [`MeanCi`]s
+/// whether it arrives as a vector or one record at a time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Fold in one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Samples folded so far.
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Mean/95%-CI summary of everything folded so far.
+    pub fn finish(&self) -> MeanCi {
+        let n = self.n as usize;
+        match n {
+            0 => MeanCi {
+                mean: f64::NAN,
+                ci95: f64::NAN,
+                n: 0,
+            },
+            1 => MeanCi {
+                mean: self.mean,
+                ci95: 0.0,
+                n,
+            },
+            _ => {
+                let var = self.m2 / (self.n as f64 - 1.0);
+                MeanCi {
+                    mean: self.mean,
+                    ci95: t_975(n - 1) * (var / self.n as f64).sqrt(),
+                    n,
+                }
+            }
+        }
+    }
+}
+
+/// Mean/CI of a sample (sample standard deviation, n−1 denominator): a
+/// [`Welford`] fold over the slice, so the vector and incremental paths
+/// share one operation sequence.
 pub fn mean_ci(values: &[f64]) -> MeanCi {
-    let n = values.len();
-    if n == 0 {
-        return MeanCi {
-            mean: f64::NAN,
-            ci95: f64::NAN,
-            n: 0,
-        };
+    let mut w = Welford::default();
+    for &v in values {
+        w.push(v);
     }
-    let mean = values.iter().sum::<f64>() / n as f64;
-    if n == 1 {
-        return MeanCi { mean, ci95: 0.0, n };
-    }
-    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
-    MeanCi {
-        mean,
-        ci95: t_975(n - 1) * (var / n as f64).sqrt(),
-        n,
-    }
+    w.finish()
 }
 
 /// One cross-seed table-set group: everything but the seed axis.
@@ -288,6 +559,71 @@ pub struct SeedAggregate {
     pub cells: HashMap<(ExperimentKey, Metric), MeanCi>,
 }
 
+/// Constant-memory cross-seed fold: one [`Welford`] per
+/// `(group-sans-seed, cell, metric)` plus a last-seed counter, instead
+/// of the per-seed value vectors — peak memory is proportional to the
+/// number of distinct table cells, never to the seed count or run count.
+///
+/// Push comparisons in ascending [`GroupKey`] order (the order the
+/// per-seed group map iterates) and [`StreamAgg::seed_aggregates`] is
+/// bit-identical to [`CampaignResults::seed_aggregates`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamAgg {
+    groups: BTreeMap<SeedAggKey, StreamGroup>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct StreamGroup {
+    /// Seed counting exploits the ascending push order: within one
+    /// cross-seed group, a seed's cells arrive contiguously, so a
+    /// last-seed edge detector counts distinct seeds in O(1) memory —
+    /// no seed set that would grow with thousand-seed cells.
+    last_seed: Option<u64>,
+    n_seeds: usize,
+    cells: HashMap<(ExperimentKey, Metric), Welford>,
+}
+
+impl StreamAgg {
+    /// Fold one cell comparison of one per-seed group.
+    pub fn push(&mut self, group: &GroupKey, cell: ExperimentKey, comparison: &Comparison) {
+        let key = SeedAggKey {
+            heterogeneous: group.heterogeneous,
+            period_s: group.period_s,
+            threshold_s: group.threshold_s,
+            fault: group.fault,
+        };
+        let g = self.groups.entry(key).or_default();
+        if g.last_seed != Some(group.seed) {
+            g.last_seed = Some(group.seed);
+            g.n_seeds += 1;
+        }
+        for metric in Metric::ALL {
+            g.cells
+                .entry((cell, metric))
+                .or_default()
+                .push(metric.of(comparison));
+        }
+    }
+
+    /// Finish every accumulator into the cross-seed aggregate map.
+    pub fn seed_aggregates(&self) -> BTreeMap<SeedAggKey, SeedAggregate> {
+        self.groups
+            .iter()
+            .map(|(key, g)| {
+                let aggregate = SeedAggregate {
+                    n_seeds: g.n_seeds,
+                    cells: g
+                        .cells
+                        .iter()
+                        .map(|(cell, w)| (*cell, w.finish()))
+                        .collect(),
+                };
+                (*key, aggregate)
+            })
+            .collect()
+    }
+}
+
 impl CampaignResults {
     /// `true` when any group carries an injected fault — the single
     /// gate for every fault-aware export surface (group headers, the
@@ -298,43 +634,16 @@ impl CampaignResults {
     }
 
     /// Fold the per-seed groups into per-`(flavour, period, threshold)`
-    /// cross-seed statistics.
+    /// cross-seed statistics — a [`StreamAgg`] fold in group order, so
+    /// the materialised and record-streaming paths share one kernel.
     pub fn seed_aggregates(&self) -> BTreeMap<SeedAggKey, SeedAggregate> {
-        // Collect every seed's value per (group-sans-seed, cell, metric).
-        let mut samples: BTreeMap<SeedAggKey, HashMap<(ExperimentKey, Metric), Vec<f64>>> =
-            BTreeMap::new();
-        let mut seeds: BTreeMap<SeedAggKey, std::collections::BTreeSet<u64>> = BTreeMap::new();
+        let mut agg = StreamAgg::default();
         for (group, results) in &self.groups {
-            let key = SeedAggKey {
-                heterogeneous: group.heterogeneous,
-                period_s: group.period_s,
-                threshold_s: group.threshold_s,
-                fault: group.fault,
-            };
-            seeds.entry(key).or_default().insert(group.seed);
-            let by_cell = samples.entry(key).or_default();
             for (cell, comparison) in &results.comparisons {
-                for metric in Metric::ALL {
-                    by_cell
-                        .entry((*cell, metric))
-                        .or_default()
-                        .push(metric.of(comparison));
-                }
+                agg.push(group, *cell, comparison);
             }
         }
-        samples
-            .into_iter()
-            .map(|(key, by_cell)| {
-                let aggregate = SeedAggregate {
-                    n_seeds: seeds[&key].len(),
-                    cells: by_cell
-                        .into_iter()
-                        .map(|(cell, values)| (cell, mean_ci(&values)))
-                        .collect(),
-                };
-                (key, aggregate)
-            })
-            .collect()
+        agg.seed_aggregates()
     }
 
     /// Build one cross-seed table (means or CI half-widths) in the same
@@ -526,26 +835,8 @@ impl CampaignResults {
 
     fn csv_with(&self, stats: Option<&StatsIndex>) -> String {
         let faulted = self.faulted();
-        let fault_col = if faulted { ",fault" } else { "" };
-        let stats_col = if stats.is_some() {
-            // New columns append after `evicted` — tooling that greps the
-            // original four keeps matching.
-            ",first_fit_probes,suffix_repairs,recomputes,evicted,\
-             profile_promotions,batch_fast_placements,queue_bucket_spills"
-        } else {
-            ""
-        };
-        let mut out = format!(
-            "scenario,platform,policy,algorithm,heuristic,period_s,threshold_s,seed{fault_col},\
-             n_jobs,impacted,earlier,later,reallocations,pct_impacted,pct_earlier,rel_avg_response\
-             {stats_col}\n",
-        );
+        let mut out = csv_header(faulted, stats.is_some());
         for (group, results) in &self.groups {
-            let fault_field = if faulted {
-                format!(",{}", csv_field(group.fault.name()))
-            } else {
-                String::new()
-            };
             let mut keys: Vec<&ExperimentKey> = results.comparisons.keys().collect();
             keys.sort_by_key(|k| {
                 (
@@ -573,25 +864,7 @@ impl CampaignResults {
                         None => ",,,,,,,".to_string(),
                     },
                 };
-                out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{}{fault_field},{},{},{},{},{},{},{},{}{stats_field}\n",
-                    key.scenario.label(),
-                    if group.heterogeneous { "het" } else { "hom" },
-                    csv_field(key.policy.name()),
-                    csv_field(key.algorithm.name()),
-                    csv_field(key.heuristic.label()),
-                    group.period_s,
-                    group.threshold_s,
-                    group.seed,
-                    c.n_jobs,
-                    c.impacted,
-                    c.earlier,
-                    c.later,
-                    c.reallocations,
-                    c.pct_impacted,
-                    c.pct_earlier,
-                    c.rel_avg_response,
-                ));
+                out.push_str(&csv_row(group, key, c, faulted, &stats_field));
             }
         }
         out
@@ -703,6 +976,60 @@ impl CampaignResults {
         }
         root
     }
+}
+
+/// The CSV header line, shared by the materialised and streaming
+/// exports so they cannot drift.
+fn csv_header(faulted: bool, stats: bool) -> String {
+    let fault_col = if faulted { ",fault" } else { "" };
+    let stats_col = if stats {
+        // New columns append after `evicted` — tooling that greps the
+        // original four keeps matching.
+        ",first_fit_probes,suffix_repairs,recomputes,evicted,\
+         profile_promotions,batch_fast_placements,queue_bucket_spills"
+    } else {
+        ""
+    };
+    format!(
+        "scenario,platform,policy,algorithm,heuristic,period_s,threshold_s,seed{fault_col},\
+         n_jobs,impacted,earlier,later,reallocations,pct_impacted,pct_earlier,rel_avg_response\
+         {stats_col}\n",
+    )
+}
+
+/// One CSV row (with trailing newline), shared by the materialised and
+/// streaming exports.
+fn csv_row(
+    group: &GroupKey,
+    key: &ExperimentKey,
+    c: &Comparison,
+    faulted: bool,
+    stats_field: &str,
+) -> String {
+    let fault_field = if faulted {
+        format!(",{}", csv_field(group.fault.name()))
+    } else {
+        String::new()
+    };
+    format!(
+        "{},{},{},{},{},{},{},{}{fault_field},{},{},{},{},{},{},{},{}{stats_field}\n",
+        key.scenario.label(),
+        if group.heterogeneous { "het" } else { "hom" },
+        csv_field(key.policy.name()),
+        csv_field(key.algorithm.name()),
+        csv_field(key.heuristic.label()),
+        group.period_s,
+        group.threshold_s,
+        group.seed,
+        c.n_jobs,
+        c.impacted,
+        c.earlier,
+        c.later,
+        c.reallocations,
+        c.pct_impacted,
+        c.pct_earlier,
+        c.rel_avg_response,
+    )
 }
 
 /// Quote a CSV field if it contains a delimiter or quote (RFC 4180);

@@ -5,8 +5,13 @@
 //! campaign plan   --spec FILE [--shards K]
 //! campaign run    --spec FILE [--shards K --shard I] [--cache DIR]
 //!                 [--threads N] [--quiet] [--progress] [--trace DIR]
+//! campaign runner --spec FILE [--cache DIR] [--threads N]
+//!                 [--runner-id ID] [--lease-ttl SECS] [--poll-ms MS]
+//!                 [--converge TARGET] [--min-seeds N]
+//!                 [--quiet] [--progress] [--trace DIR]
+//! campaign status [DIR] --spec FILE [--cache DIR]
 //! campaign report --spec FILE [--cache DIR] [--format tables|csv|json]
-//!                 [--out FILE] [--stats]
+//!                 [--out FILE] [--stats] [--converge TARGET]
 //! campaign gc     --spec FILE [--spec FILE ...] [--cache DIR]
 //! ```
 //!
@@ -24,6 +29,17 @@
 //! processes or machines sharing the cache directory — then `report`
 //! aggregates the full campaign into the paper's tables or CSV/JSON.
 //!
+//! `runner` replaces static sharding with dynamic work claiming: start
+//! any number of `campaign runner` processes against the same cache
+//! directory and they drain the plan through atomic lease files —
+//! no shard assignment, no coordinator, crash recovery via lease
+//! expiry, and byte-identical records regardless of fleet size. With a
+//! convergence target (spec `[converge]` or `--converge`), multi-seed
+//! cells stop scheduling new seeds once the 95% CI half-width of
+//! `rel_avg_response` meets the target. `status` reports fleet progress
+//! (done/claimed/failed, live runners, runs/s, ETA) purely from the
+//! cache + lease directory — run it from anywhere, attached to nothing.
+//!
 //! `gc` deletes every cached record not reachable from the given spec(s)
 //! under the current engine version — stale engine versions and retired
 //! spec digests hash to keys no live plan produces — and prints the
@@ -35,7 +51,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use grid_campaign::{aggregate, execute, CampaignSpec, ExecOptions, ResultCache};
+use grid_campaign::{execute, CampaignSpec, Converge, ExecOptions, FleetOptions, ResultCache};
 
 struct CommonArgs {
     specs: Vec<PathBuf>,
@@ -49,6 +65,11 @@ struct CommonArgs {
     stats: bool,
     format: String,
     out: Option<PathBuf>,
+    runner_id: Option<String>,
+    lease_ttl: u64,
+    poll_ms: u64,
+    converge: Option<f64>,
+    min_seeds: Option<usize>,
 }
 
 impl CommonArgs {
@@ -61,9 +82,10 @@ impl CommonArgs {
     }
 }
 
-const USAGE: &str = "usage: campaign <plan|run|report|gc> [--spec FILE]... [--shards K] \
-[--shard I] [--cache DIR] [--threads N] [--format tables|csv|json] [--out FILE] [--quiet] \
-[--progress] [--trace DIR] [--stats]";
+const USAGE: &str = "usage: campaign <plan|run|runner|status|report|gc> [--spec FILE]... \
+[--shards K] [--shard I] [--cache DIR] [--threads N] [--format tables|csv|json] [--out FILE] \
+[--quiet] [--progress] [--trace DIR] [--stats] [--runner-id ID] [--lease-ttl SECS] \
+[--poll-ms MS] [--converge TARGET] [--min-seeds N]";
 
 fn parse_args(mut args: std::env::Args) -> Result<(String, CommonArgs), String> {
     let command = args.next().ok_or(USAGE)?;
@@ -79,6 +101,11 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, CommonArgs), String> 
         stats: false,
         format: "tables".into(),
         out: None,
+        runner_id: None,
+        lease_ttl: 0,
+        poll_ms: 0,
+        converge: None,
+        min_seeds: None,
     };
     let value =
         |args: &mut std::env::Args, flag: &str| args.next().ok_or(format!("{flag} needs a value"));
@@ -111,12 +138,49 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, CommonArgs), String> 
             "--progress" => parsed.progress = true,
             "--trace" => parsed.trace = Some(PathBuf::from(value(&mut args, "--trace")?)),
             "--stats" => parsed.stats = true,
+            "--runner-id" => parsed.runner_id = Some(value(&mut args, "--runner-id")?),
+            "--lease-ttl" => {
+                parsed.lease_ttl = value(&mut args, "--lease-ttl")?
+                    .parse()
+                    .map_err(|_| "invalid --lease-ttl")?
+            }
+            "--poll-ms" => {
+                parsed.poll_ms = value(&mut args, "--poll-ms")?
+                    .parse()
+                    .map_err(|_| "invalid --poll-ms")?
+            }
+            "--converge" => {
+                parsed.converge = Some(
+                    value(&mut args, "--converge")?
+                        .parse()
+                        .map_err(|_| "invalid --converge")?,
+                )
+            }
+            "--min-seeds" => {
+                parsed.min_seeds = Some(
+                    value(&mut args, "--min-seeds")?
+                        .parse()
+                        .map_err(|_| "invalid --min-seeds")?,
+                )
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
             }
+            // `campaign status DIR` — the one positional operand.
+            other if command == "status" && !other.starts_with('-') => {
+                parsed.cache = PathBuf::from(other)
+            }
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
         }
+    }
+    if let Some(target) = parsed.converge {
+        if target.is_nan() || target <= 0.0 {
+            return Err("--converge must be a positive CI half-width target".into());
+        }
+    }
+    if parsed.min_seeds.is_some_and(|m| m < 2) {
+        return Err("--min-seeds must be at least 2 (a CI needs two samples)".into());
     }
     if parsed.shards == 0 || parsed.shard >= parsed.shards {
         return Err(format!(
@@ -148,6 +212,8 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "plan" => cmd_plan(&opts),
         "run" => cmd_run(&opts),
+        "runner" => cmd_runner(&opts),
+        "status" => cmd_status(&opts),
         "report" => cmd_report(&opts),
         "gc" => cmd_gc(&opts),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
@@ -275,6 +341,123 @@ fn cmd_run(opts: &CommonArgs) -> Result<(), String> {
     }
 }
 
+/// The convergence rule in force: `--converge`/`--min-seeds` override
+/// the spec's `[converge]` table field-by-field; no flag and no table
+/// means no stopping rule.
+fn effective_converge(spec: &CampaignSpec, opts: &CommonArgs) -> Option<Converge> {
+    let base = spec.converge;
+    match (opts.converge, base) {
+        (Some(target), _) => Some(Converge {
+            target,
+            min_seeds: opts
+                .min_seeds
+                .or(base.map(|b| b.min_seeds))
+                .unwrap_or(Converge::DEFAULT_MIN_SEEDS),
+        }),
+        (None, Some(b)) => Some(Converge {
+            target: b.target,
+            min_seeds: opts.min_seeds.unwrap_or(b.min_seeds),
+        }),
+        (None, None) => None,
+    }
+}
+
+fn cmd_runner(opts: &CommonArgs) -> Result<(), String> {
+    if opts.shards > 1 {
+        return Err(
+            "runner replaces static sharding with dynamic claiming — drop --shards and \
+             start more runner processes instead"
+                .into(),
+        );
+    }
+    let spec = load_spec(opts)?;
+    let plan = spec.expand();
+    let cache = ResultCache::open(&opts.cache).map_err(|e| e.to_string())?;
+    let runner_id = opts
+        .runner_id
+        .clone()
+        .unwrap_or_else(|| format!("r{}", std::process::id()));
+    if !opts.quiet {
+        eprintln!(
+            "campaign {}: runner {} joining fleet over {} runs, cache {}",
+            spec.name,
+            runner_id,
+            plan.len(),
+            opts.cache.display(),
+        );
+    }
+    let summary = grid_campaign::run_fleet(
+        &spec,
+        &plan,
+        &cache,
+        &FleetOptions {
+            runner_id: Some(runner_id.clone()),
+            lease_ttl_s: opts.lease_ttl,
+            poll_ms: opts.poll_ms,
+            threads: opts.threads,
+            progress: opts.progress && !opts.quiet,
+            trace: opts.trace.clone(),
+            converge: effective_converge(&spec, opts),
+        },
+    )?;
+    println!(
+        "runner {}: {} computed, {} cached, {} skipped, {} failed, {} lease(s) reclaimed",
+        runner_id,
+        summary.computed,
+        summary.cached,
+        summary.skipped,
+        summary.failed,
+        summary.stolen
+    );
+    for f in &summary.failures {
+        eprintln!("  failed: {} — {}", f.unit, f.message);
+    }
+    for f in &summary.store_errors {
+        eprintln!("  not persisted: {} — {}", f.unit, f.message);
+    }
+    match (summary.failed, summary.store_errors.len()) {
+        (0, 0) => Ok(()),
+        (0, stores) => Err(format!(
+            "{stores} result(s) could not be written to the cache — \
+             a later `report` will find them missing"
+        )),
+        (fails, _) => Err(format!("{fails} run(s) failed")),
+    }
+}
+
+fn cmd_status(opts: &CommonArgs) -> Result<(), String> {
+    let spec = load_spec(opts)?;
+    let plan = spec.expand();
+    if !opts.cache.is_dir() {
+        return Err(format!(
+            "cache directory {} does not exist (no fleet has run yet)",
+            opts.cache.display()
+        ));
+    }
+    let cache = ResultCache::open(&opts.cache).map_err(|e| e.to_string())?;
+    let status = grid_campaign::fleet_status(&spec, &plan, &cache, opts.lease_ttl)?;
+    println!(
+        "campaign {}: {}/{} runs done, {} skipped (converged), {} failed",
+        spec.name, status.done, status.total, status.skipped, status.failed
+    );
+    let mut runners: Vec<&str> = status.active.iter().map(|l| l.runner.as_str()).collect();
+    runners.sort_unstable();
+    runners.dedup();
+    println!(
+        "fleet: {} live runner(s){}, {} claimed, {} expired lease(s)",
+        runners.len(),
+        if runners.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", runners.join(", "))
+        },
+        status.active.len(),
+        status.expired_leases
+    );
+    println!("{}", status.view.render());
+    Ok(())
+}
+
 fn cmd_gc(opts: &CommonArgs) -> Result<(), String> {
     if !opts.cache.is_dir() {
         return Err(format!(
@@ -312,13 +495,14 @@ fn cmd_gc(opts: &CommonArgs) -> Result<(), String> {
     }
     println!(
         "gc: scanned {} records, kept {} ({} bytes), deleted {} records + {} temp files + \
-         {} sidecars, reclaimed {} bytes",
+         {} sidecars + {} lease files, reclaimed {} bytes",
         report.scanned,
         report.kept,
         report.kept_bytes,
         report.deleted,
         report.tmp_deleted,
         report.obs_deleted,
+        report.leases_deleted,
         report.reclaimed_bytes
     );
     Ok(())
@@ -328,12 +512,38 @@ fn cmd_report(opts: &CommonArgs) -> Result<(), String> {
     let spec = load_spec(opts)?;
     let plan = spec.expand();
     let cache = ResultCache::open(&opts.cache).map_err(|e| e.to_string())?;
-    let outcomes: Vec<_> = plan
-        .units
-        .iter()
-        .map(|u| cache.load(u).map(|r| r.outcome))
-        .collect();
-    let results = aggregate(&spec, &plan, &outcomes)?;
+    // Units a convergence rule (spec or CLI) excludes: the same frontier
+    // the runner fleet stopped scheduling at, recomputed from records.
+    let skips =
+        grid_campaign::convergence_skips(&spec, &plan, &cache, effective_converge(&spec, opts));
+    if !skips.is_empty() && !opts.quiet {
+        eprintln!(
+            "convergence: {} run(s) excluded (cells met the CI target early)",
+            skips.len()
+        );
+    }
+    // Plain CSV streams record-at-a-time — constant memory in the run
+    // count, the path a million-run campaign exports through.
+    if opts.format == "csv" && !opts.stats {
+        match &opts.out {
+            Some(path) => {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                let mut w = std::io::BufWriter::new(file);
+                grid_campaign::stream_csv(&plan, &cache, &skips, &mut w)?;
+                use std::io::Write;
+                w.flush()
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                println!("report written to {}", path.display());
+            }
+            None => {
+                let stdout = std::io::stdout();
+                grid_campaign::stream_csv(&plan, &cache, &skips, &mut stdout.lock())?;
+            }
+        }
+        return Ok(());
+    }
+    let results = grid_campaign::aggregate_streamed(&spec, &plan, &cache, &skips)?;
     // --stats harvests scheduler-effort counters from the telemetry
     // sidecars `run` left in the cache (CSV/JSON only; the paper tables
     // have no column for them).
@@ -343,7 +553,7 @@ fn cmd_report(opts: &CommonArgs) -> Result<(), String> {
     let rendered = match (opts.format.as_str(), &stats) {
         ("tables", _) => results.render_tables(),
         ("csv", Some(stats)) => results.to_csv_with_stats(stats),
-        ("csv", None) => results.to_csv(),
+        ("csv", None) => unreachable!("plain CSV streams above"),
         ("json", Some(stats)) => results.to_json_with_stats(stats).encode_pretty(),
         ("json", None) => results.to_json().encode_pretty(),
         _ => unreachable!("validated in parse_args"),

@@ -195,6 +195,41 @@ impl ResultCache {
                 report.reclaimed_bytes += size;
             }
         }
+        // Lease files and failure markers (the runner-fleet claim
+        // protocol, `crate::fleet`) are ephemeral coordination state: a
+        // lease is stale once its unit is unreachable, already recorded,
+        // or past its expiry stamp; a failure marker is superseded by a
+        // record or an unreachable key; `.stale.*` / `.tmp.*` leftovers
+        // from interrupted steals and marker writes are always swept.
+        let lease_dir = self.dir.join(crate::fleet::LEASE_SUBDIR);
+        if lease_dir.is_dir() {
+            for entry in std::fs::read_dir(&lease_dir)? {
+                let entry = entry?;
+                if !entry.file_type()?.is_file() {
+                    continue;
+                }
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let size = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                let stale = if let Some(stem) = name.strip_suffix(".lease") {
+                    !keep.contains(stem)
+                        || self.dir.join(format!("{stem}.json")).is_file()
+                        || crate::fleet::now_unix()
+                            >= crate::fleet::lease_expiry(
+                                &entry.path(),
+                                crate::fleet::DEFAULT_LEASE_TTL_S,
+                            )
+                } else if let Some(stem) = name.strip_suffix(".failed.json") {
+                    !keep.contains(stem) || self.dir.join(format!("{stem}.json")).is_file()
+                } else {
+                    name.contains(".stale.") || name.contains(".tmp.")
+                };
+                if stale {
+                    std::fs::remove_file(entry.path())?;
+                    report.leases_deleted += 1;
+                    report.reclaimed_bytes += size;
+                }
+            }
+        }
         // Observability sidecars follow their records: a sidecar whose
         // key no live plan produces is as unreachable as the record was.
         let obs_dir = self.dir.join(OBS_SUBDIR);
@@ -239,6 +274,9 @@ pub struct GcReport {
     pub tmp_deleted: usize,
     /// Observability sidecars deleted (records' `obs/` companions).
     pub obs_deleted: usize,
+    /// Stale lease files and failure markers deleted (the runner
+    /// fleet's `leases/` coordination state).
+    pub leases_deleted: usize,
     /// Bytes reclaimed by the deletions.
     pub reclaimed_bytes: u64,
 }
@@ -343,6 +381,61 @@ mod tests {
         let again = cache.gc(&keep).unwrap();
         assert_eq!(again.deleted, 0);
         assert_eq!(again.reclaimed_bytes, 0);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn gc_sweeps_stale_leases_and_markers() {
+        let cache = tmp_cache("gc-leases");
+        let recorded = unit(1); // has a record -> its lease is fulfilled
+        let pending = unit(2); // reachable, recordless -> live lease kept
+        let orphan_key = "feedfacefeedfacefeedfacefeedface"; // unreachable
+        cache
+            .store(&recorded, &RunRecord::new(&recorded, RunOutcome::default()))
+            .unwrap();
+        let leases = crate::fleet::LeaseDir::open(&cache).unwrap();
+        let fresh = |key: &str| {
+            assert!(matches!(
+                leases.try_claim(key, "u", "r1", 600).unwrap(),
+                crate::fleet::Claim::Claimed { stolen: false }
+            ));
+        };
+        fresh(&ResultCache::key(&recorded));
+        fresh(&ResultCache::key(&pending));
+        fresh(orphan_key);
+        // An expired lease on the reachable recordless unit's key would
+        // also be swept — plant one under a disposable key instead of
+        // clobbering the live claim.
+        std::fs::write(
+            leases.dir().join("0123456789abcdef0123456789abcdef.lease"),
+            r#"{"expires_unix":1,"runner":"r9","schema":"grid-campaign/lease/v1"}"#,
+        )
+        .unwrap();
+        // Failure markers: superseded by the record / unreachable / live.
+        leases.mark_failed(&ResultCache::key(&recorded), "u", "r1", "boom");
+        leases.mark_failed(orphan_key, "u", "r1", "boom");
+        leases.mark_failed(&ResultCache::key(&pending), "u", "r1", "boom");
+        // Torn leftovers from an interrupted steal and marker write.
+        std::fs::write(leases.dir().join("dead.stale.42"), "x").unwrap();
+        std::fs::write(leases.dir().join("dead.failed.tmp.42"), "x").unwrap();
+        let keep: std::collections::HashSet<String> =
+            [ResultCache::key(&recorded), ResultCache::key(&pending)]
+                .into_iter()
+                .collect();
+        let report = cache.gc(&keep).unwrap();
+        // Swept: fulfilled lease, orphan lease, expired lease, fulfilled
+        // marker, orphan marker, .stale., .tmp. — kept: live lease and
+        // live marker on the pending unit.
+        assert_eq!(report.leases_deleted, 7);
+        assert!(leases.failed_message(&ResultCache::key(&pending)).is_some());
+        assert!(matches!(
+            leases
+                .try_claim(&ResultCache::key(&pending), "u", "r2", 600)
+                .unwrap(),
+            crate::fleet::Claim::Held { .. }
+        ));
+        let again = cache.gc(&keep).unwrap();
+        assert_eq!(again.leases_deleted, 0, "idempotent");
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

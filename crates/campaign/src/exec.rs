@@ -157,6 +157,95 @@ fn obs_sidecar(
     v
 }
 
+/// What [`compute_and_store`] did with one unit.
+#[derive(Debug)]
+pub(crate) enum Computed {
+    /// Simulation succeeded (record + sidecar stored when a cache was
+    /// given; `store_error` carries a failed record write).
+    Done {
+        /// The simulation outcome.
+        outcome: RunOutcome,
+        /// Simulation wall time.
+        wall: std::time::Duration,
+        /// Record-store failure, if any (the outcome is still valid).
+        store_error: Option<String>,
+    },
+    /// The simulation panicked.
+    Panicked {
+        /// Panic payload as text.
+        message: String,
+    },
+}
+
+/// Simulate one unit under `catch_unwind`, persist its record and
+/// telemetry sidecar (when a cache is given) and its trace files (when a
+/// trace directory is given). The one compute path shared by the static
+/// executor and the fleet runner, so both produce byte-identical cache
+/// contents and identical warning lines.
+pub(crate) fn compute_and_store(
+    unit: &RunUnit,
+    cache: Option<&ResultCache>,
+    trace: Option<&std::path::Path>,
+) -> Computed {
+    let t0 = Instant::now();
+    let obs = if trace.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
+    match catch_unwind(AssertUnwindSafe(|| simulate_observed(unit, &obs))) {
+        Ok((outcome, stats, grid)) => {
+            let wall = t0.elapsed();
+            let recorder = obs.snapshot();
+            let mut store_error = None;
+            if let Some(cache) = cache {
+                let record = RunRecord::new(unit, outcome.clone());
+                if let Err(e) = cache.store(unit, &record) {
+                    eprintln!("[WARN] {}: result not persisted: {e}", unit.label());
+                    store_error = Some(e.to_string());
+                }
+                // Telemetry, not results: a failed sidecar write is
+                // worth a warning but never an execution error.
+                let sidecar = obs_sidecar(
+                    unit,
+                    wall.as_millis() as u64,
+                    outcome.len(),
+                    &stats,
+                    grid,
+                    recorder.as_ref(),
+                );
+                if let Err(e) = cache.store_obs(unit, &sidecar) {
+                    eprintln!("[WARN] {}: sidecar not persisted: {e}", unit.label());
+                }
+            }
+            if let (Some(dir), Some(rec)) = (trace, &recorder) {
+                let stem = safe_stem(&unit.label());
+                let written =
+                    std::fs::write(dir.join(format!("{stem}.trace.json")), rec.chrome_trace())
+                        .and_then(|_| {
+                            std::fs::write(
+                                dir.join(format!("{stem}.events.jsonl")),
+                                rec.events_jsonl(),
+                            )
+                        });
+                if let Err(e) = written {
+                    eprintln!("[WARN] {}: trace not written: {e}", unit.label());
+                }
+            }
+            Computed::Done {
+                outcome,
+                wall,
+                store_error,
+            }
+        }
+        Err(payload) => {
+            let message = panic_message(&payload);
+            eprintln!("[FAIL] {}: {message}", unit.label());
+            Computed::Panicked { message }
+        }
+    }
+}
+
 /// A unit label reduced to filesystem-safe characters.
 fn safe_stem(label: &str) -> String {
     label
@@ -212,73 +301,35 @@ pub fn execute(
                 return (UnitDisposition::Cached, Some(record.outcome));
             }
         }
-        let t0 = Instant::now();
-        let obs = if opts.trace.is_some() {
-            Obs::enabled()
-        } else {
-            Obs::disabled()
-        };
-        match catch_unwind(AssertUnwindSafe(|| simulate_observed(unit, &obs))) {
-            Ok((outcome, stats, grid)) => {
-                let wall_ms = t0.elapsed().as_millis() as u64;
-                let recorder = obs.snapshot();
-                if let Some(cache) = cache {
-                    let record = RunRecord::new(unit, outcome.clone());
-                    if let Err(e) = cache.store(unit, &record) {
-                        eprintln!("[WARN] {}: result not persisted: {e}", unit.label());
-                        store_errors.lock().unwrap().push(RunFailure {
-                            unit: unit.label(),
-                            message: e.to_string(),
-                        });
-                    }
-                    // Telemetry, not results: a failed sidecar write is
-                    // worth a warning but never an execution error.
-                    let sidecar = obs_sidecar(
-                        unit,
-                        wall_ms,
-                        outcome.len(),
-                        &stats,
-                        grid,
-                        recorder.as_ref(),
-                    );
-                    if let Err(e) = cache.store_obs(unit, &sidecar) {
-                        eprintln!("[WARN] {}: sidecar not persisted: {e}", unit.label());
-                    }
-                }
-                if let (Some(dir), Some(rec)) = (&opts.trace, &recorder) {
-                    let stem = safe_stem(&unit.label());
-                    let written =
-                        std::fs::write(dir.join(format!("{stem}.trace.json")), rec.chrome_trace())
-                            .and_then(|_| {
-                                std::fs::write(
-                                    dir.join(format!("{stem}.events.jsonl")),
-                                    rec.events_jsonl(),
-                                )
-                            });
-                    if let Err(e) = written {
-                        eprintln!("[WARN] {}: trace not written: {e}", unit.label());
-                    }
+        match compute_and_store(unit, cache, opts.trace.as_deref()) {
+            Computed::Done {
+                outcome,
+                wall,
+                store_error,
+            } => {
+                if let Some(message) = store_error {
+                    store_errors.lock().unwrap().push(RunFailure {
+                        unit: unit.label(),
+                        message,
+                    });
                 }
                 if opts.progress {
                     let k = done.load(Ordering::Relaxed) + 1;
                     eprintln!(
-                        "[{k:>4}/{n}] {} ({} jobs, {:.1?})",
+                        "[{k:>4}/{n}] {} ({} jobs, {wall:.1?})",
                         unit.label(),
                         outcome.len(),
-                        t0.elapsed()
                     );
                 }
                 if opts.status {
                     let mut v = view.lock().unwrap();
-                    v.on_computed(wall_ms);
+                    v.on_computed(wall.as_millis() as u64);
                     v.elapsed_ms = started.elapsed().as_millis() as u64;
                     eprint!("\r{}", v.render());
                 }
                 (UnitDisposition::Computed, Some(outcome))
             }
-            Err(payload) => {
-                let message = panic_message(&payload);
-                eprintln!("[FAIL] {}: {message}", unit.label());
+            Computed::Panicked { message } => {
                 failures.lock().unwrap().push(RunFailure {
                     unit: unit.label(),
                     message,

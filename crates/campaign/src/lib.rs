@@ -19,10 +19,16 @@
 //!   resume and unchanged runs are never recomputed;
 //! * [`aggregate`](aggregate::aggregate) — folds cached outcomes back
 //!   into `grid_realloc::experiments::SuiteResults`, the paper tables,
-//!   and CSV/JSON exports.
+//!   and CSV/JSON exports, with constant-memory streaming variants
+//!   ([`aggregate_streamed`], [`stream_csv`]) for million-run campaigns;
+//! * [`fleet`] — a coordinator-free runner fleet: any number of
+//!   `campaign runner` processes drain one plan by atomically claiming
+//!   units through lease files in the shared cache directory
+//!   ([`LeaseDir`]), with crash recovery via lease expiry and optional
+//!   per-cell CI-convergence stopping ([`Converge`]).
 //!
-//! The `campaign` binary wires these into `plan` / `run` / `report`
-//! subcommands:
+//! The `campaign` binary wires these into `plan` / `run` / `runner` /
+//! `status` / `report` / `gc` subcommands:
 //!
 //! ```text
 //! cargo run -p grid-campaign --release -- run    --spec examples/paper_campaign.toml
@@ -39,17 +45,22 @@
 pub mod aggregate;
 pub mod cache;
 pub mod exec;
+pub mod fleet;
 pub mod plan;
 pub mod spec;
 
 pub use aggregate::{
-    aggregate, stats_index, CampaignResults, CellStats, MeanCi, SeedAggKey, SeedAggregate,
-    StatsIndex,
+    aggregate, aggregate_streamed, stats_index, stream_csv, stream_seed_aggregates,
+    CampaignResults, CellStats, MeanCi, SeedAggKey, SeedAggregate, StatsIndex, StreamAgg, Welford,
 };
 pub use cache::{GcReport, ResultCache, RunRecord};
 pub use exec::{execute, ExecOptions, ExecSummary};
+pub use fleet::{
+    convergence_skips, fleet_status, run_fleet, Claim, ConvergenceTracker, Decision, FleetOptions,
+    FleetStatus, FleetSummary, LeaseDir, LeaseInfo, LeaseScan,
+};
 pub use plan::{CampaignPlan, ReallocSetting, RunKind, RunUnit};
-pub use spec::CampaignSpec;
+pub use spec::{CampaignSpec, Converge};
 
 /// Version stamped into every cache descriptor: records written by a
 /// different engine version are recomputed, not trusted.

@@ -128,7 +128,7 @@ impl RunUnit {
     /// for reference units). Faulted runs compare against the reference
     /// under the *same* fault, so a campaign measures the reallocation
     /// gain that survives the fault, not the fault itself.
-    pub fn baseline_key(&self) -> (Scenario, bool, BatchPolicy, u64, Fault) {
+    pub fn baseline_key(&self) -> BaselineKey {
         (
             self.scenario,
             self.heterogeneous,
@@ -138,6 +138,11 @@ impl RunUnit {
         )
     }
 }
+
+/// The identity of a reference run, as [`RunUnit::baseline_key`]
+/// returns it: every reallocation unit sharing this key compares
+/// against the same reference outcome.
+pub type BaselineKey = (Scenario, bool, BatchPolicy, u64, Fault);
 
 /// Deterministic expansion of a [`crate::CampaignSpec`].
 #[derive(Debug, Clone)]

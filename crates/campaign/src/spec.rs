@@ -16,6 +16,25 @@ use grid_workload::Scenario;
 
 use crate::plan::{CampaignPlan, ReallocSetting, RunKind, RunUnit};
 
+/// Sequential-stopping rule for multi-seed campaigns: once the Student-t
+/// 95% CI half-width of a cell's `rel_avg_response` (over the seeds run
+/// so far, in spec seed order) falls to `target` or below, later seeds
+/// of that cell are skipped. Declared as a `[converge]` table so every
+/// runner of a fleet — and the report — applies the same frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Converge {
+    /// CI half-width at or below which a cell stops scheduling seeds.
+    pub target: f64,
+    /// Seeds every cell runs before the rule may trigger (≥ 2 — one
+    /// sample has no interval).
+    pub min_seeds: usize,
+}
+
+impl Converge {
+    /// Default minimum seeds before the stopping rule may trigger.
+    pub const DEFAULT_MIN_SEEDS: usize = 3;
+}
+
 /// A declarative experiment matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
@@ -46,6 +65,9 @@ pub struct CampaignSpec {
     pub seeds: Vec<u64>,
     /// Per-site job-count fraction, in `(0, 1]`.
     pub fraction: f64,
+    /// Per-cell CI-convergence stopping for multi-seed campaigns
+    /// (`None` = run every seed).
+    pub converge: Option<Converge>,
 }
 
 impl CampaignSpec {
@@ -65,6 +87,7 @@ impl CampaignSpec {
             thresholds_s: vec![60],
             seeds: vec![42],
             fraction: 1.0,
+            converge: None,
         }
     }
 
@@ -139,6 +162,7 @@ impl CampaignSpec {
                 })
                 .transpose()?
                 .unwrap_or(paper.fraction),
+            converge: v.get("converge").map(parse_converge).transpose()?,
         };
         spec.validate()?;
         Ok(spec)
@@ -320,7 +344,53 @@ const AXIS_KEYS: [&str; 8] = [
 ];
 
 /// Campaign-level keys valid at the top level only.
-const TOP_KEYS: [&str; 5] = ["name", "description", "fraction", "seeds", "matrix"];
+const TOP_KEYS: [&str; 6] = [
+    "name",
+    "description",
+    "fraction",
+    "seeds",
+    "matrix",
+    "converge",
+];
+
+///// Parse the `[converge]` table: `target` (required, > 0) and
+/// `min_seeds` (optional, ≥ 2, default [`Converge::DEFAULT_MIN_SEEDS`]).
+fn parse_converge(v: &Value) -> Result<Converge, SerError> {
+    let Some(obj) = v.as_obj() else {
+        return Err(SerError::new(
+            "`converge` must be a table with `target` (and optional `min_seeds`)",
+        ));
+    };
+    for key in obj.keys() {
+        if !["target", "min_seeds"].contains(&key.as_str()) {
+            return Err(SerError::new(format!(
+                "unknown key `{key}` in [converge] (takes: target, min_seeds)"
+            )));
+        }
+    }
+    let target = v
+        .get("target")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| SerError::new("[converge] needs a numeric `target`"))?;
+    if target.is_nan() || target <= 0.0 {
+        return Err(SerError::new(format!(
+            "[converge] target must be > 0, got {target}"
+        )));
+    }
+    let min_seeds = match v.get("min_seeds") {
+        None => Converge::DEFAULT_MIN_SEEDS,
+        Some(m) => m
+            .as_u64()
+            .ok_or_else(|| SerError::new("[converge] min_seeds must be an integer"))?
+            as usize,
+    };
+    if min_seeds < 2 {
+        return Err(SerError::new(format!(
+            "[converge] min_seeds must be at least 2 (one sample has no CI), got {min_seeds}"
+        )));
+    }
+    Ok(Converge { target, min_seeds })
+}
 
 fn reject_unknown_keys(v: &Value, matrix: &Value) -> Result<(), SerError> {
     let has_matrix_table = !std::ptr::eq(matrix, v);

@@ -34,6 +34,14 @@ pub struct ProgressView {
     pub computed: usize,
     /// Cells that panicked.
     pub failed: usize,
+    /// Cells skipped by a convergence rule (fleet runners / report).
+    pub skipped: usize,
+    /// Cells currently claimed by a lease (fleet view; 0 hides the
+    /// segment).
+    pub claimed: usize,
+    /// Live runners behind the active leases (fleet status view; 0
+    /// hides the segment).
+    pub runners: usize,
     /// Wall time spent so far, milliseconds.
     pub elapsed_ms: u64,
     wall_ms: Vec<u64>,
@@ -64,9 +72,14 @@ impl ProgressView {
         self.failed += 1;
     }
 
+    /// Record a convergence-skipped cell.
+    pub fn on_skipped(&mut self) {
+        self.skipped += 1;
+    }
+
     /// Cells finished, however they finished.
     pub fn done(&self) -> usize {
-        self.computed + self.cached + self.failed
+        self.computed + self.cached + self.failed + self.skipped
     }
 
     /// Mean and 95% CI half-width of the per-computed-run wall time, in
@@ -115,6 +128,15 @@ impl ProgressView {
             "[{done:>width$}/{}] {} computed, {} cached, {} failed",
             self.total, self.computed, self.cached, self.failed,
         );
+        if self.skipped > 0 {
+            line.push_str(&format!(", {} skipped", self.skipped));
+        }
+        if self.runners > 0 {
+            line.push_str(&format!(" | {} runner(s)", self.runners));
+        }
+        if self.claimed > 0 {
+            line.push_str(&format!(" | {} claimed", self.claimed));
+        }
         if self.elapsed_ms > 0 && done > 0 {
             line.push_str(&format!(
                 " | {:.1} runs/s",
@@ -157,6 +179,32 @@ mod tests {
         );
         assert!(line.contains("runs/s"), "{line}");
         assert!(line.contains("ETA"), "{line}");
+    }
+
+    #[test]
+    fn fleet_segments_render_only_when_present() {
+        let mut p = ProgressView::new(10);
+        p.on_computed(100);
+        p.on_cached();
+        assert!(
+            !p.render().contains("skipped")
+                && !p.render().contains("claimed")
+                && !p.render().contains("runner"),
+            "zero fleet counters must not change the classic line: {}",
+            p.render()
+        );
+        p.on_skipped();
+        p.on_skipped();
+        p.claimed = 3;
+        p.runners = 2;
+        let line = p.render();
+        assert!(
+            line.starts_with("[ 4/10] 1 computed, 1 cached, 0 failed, 2 skipped"),
+            "{line}"
+        );
+        assert!(line.contains("2 runner(s)"), "{line}");
+        assert!(line.contains("3 claimed"), "{line}");
+        assert_eq!(p.done(), 4, "skipped cells count as done");
     }
 
     #[test]
