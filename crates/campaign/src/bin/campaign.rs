@@ -9,7 +9,9 @@
 //!                 [--runner-id ID] [--lease-ttl SECS] [--poll-ms MS]
 //!                 [--converge TARGET] [--min-seeds N]
 //!                 [--quiet] [--progress] [--trace DIR]
-//! campaign status [DIR] --spec FILE [--cache DIR]
+//!                 [--metrics-addr ADDR]
+//! campaign status [DIR] --spec FILE [--cache DIR] [--json]
+//!                 [--serve ADDR]
 //! campaign report --spec FILE [--cache DIR] [--format tables|csv|json]
 //!                 [--out FILE] [--stats] [--converge TARGET]
 //! campaign gc     --spec FILE [--spec FILE ...] [--cache DIR]
@@ -39,6 +41,14 @@
 //! `rel_avg_response` meets the target. `status` reports fleet progress
 //! (done/claimed/failed, live runners, runs/s, ETA) purely from the
 //! cache + lease directory — run it from anywhere, attached to nothing.
+//! Runners leave periodic heartbeat files (`leases/runners/*.hb`) that
+//! `status` prefers over its record-mtime heuristic; `status --json`
+//! prints the snapshot as JSON and `status --serve ADDR` keeps serving
+//! it over HTTP (`/status`, `/metrics`, `/healthz`). `runner
+//! --metrics-addr ADDR` additionally exposes that runner's live engine
+//! and fleet counters as a Prometheus `/metrics` endpoint — telemetry
+//! is sidecar-only, so records and reports stay byte-identical with
+//! every endpoint enabled.
 //!
 //! `gc` deletes every cached record not reachable from the given spec(s)
 //! under the current engine version — stale engine versions and retired
@@ -52,6 +62,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use grid_campaign::{execute, CampaignSpec, Converge, ExecOptions, FleetOptions, ResultCache};
+use grid_obs::{HttpServer, MetricsRegistry, Response};
 
 struct CommonArgs {
     specs: Vec<PathBuf>,
@@ -70,6 +81,9 @@ struct CommonArgs {
     poll_ms: u64,
     converge: Option<f64>,
     min_seeds: Option<usize>,
+    json: bool,
+    serve: Option<String>,
+    metrics_addr: Option<String>,
 }
 
 impl CommonArgs {
@@ -85,7 +99,8 @@ impl CommonArgs {
 const USAGE: &str = "usage: campaign <plan|run|runner|status|report|gc> [--spec FILE]... \
 [--shards K] [--shard I] [--cache DIR] [--threads N] [--format tables|csv|json] [--out FILE] \
 [--quiet] [--progress] [--trace DIR] [--stats] [--runner-id ID] [--lease-ttl SECS] \
-[--poll-ms MS] [--converge TARGET] [--min-seeds N]";
+[--poll-ms MS] [--converge TARGET] [--min-seeds N] [--json] [--serve ADDR] \
+[--metrics-addr ADDR]";
 
 fn parse_args(mut args: std::env::Args) -> Result<(String, CommonArgs), String> {
     let command = args.next().ok_or(USAGE)?;
@@ -106,6 +121,9 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, CommonArgs), String> 
         poll_ms: 0,
         converge: None,
         min_seeds: None,
+        json: false,
+        serve: None,
+        metrics_addr: None,
     };
     let value =
         |args: &mut std::env::Args, flag: &str| args.next().ok_or(format!("{flag} needs a value"));
@@ -163,6 +181,9 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, CommonArgs), String> 
                         .map_err(|_| "invalid --min-seeds")?,
                 )
             }
+            "--json" => parsed.json = true,
+            "--serve" => parsed.serve = Some(value(&mut args, "--serve")?),
+            "--metrics-addr" => parsed.metrics_addr = Some(value(&mut args, "--metrics-addr")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -386,6 +407,36 @@ fn cmd_runner(opts: &CommonArgs) -> Result<(), String> {
             opts.cache.display(),
         );
     }
+    // `--metrics-addr`: serve this runner's live registry (engine
+    // counters mirrored from every computed unit plus the fleet
+    // counters) and its own heartbeat for the duration of the drain.
+    // Telemetry is sidecar-only — cache bytes are identical either way.
+    let registry = opts.metrics_addr.as_ref().map(|_| MetricsRegistry::new());
+    let _server = match (&opts.metrics_addr, &registry) {
+        (Some(addr), Some(registry)) => {
+            let reg = registry.clone();
+            let hb_path = grid_campaign::heartbeat_file(&opts.cache, &runner_id);
+            let server = HttpServer::serve(addr, move |path| match path {
+                "/metrics" => Some(Response::metrics(reg.render())),
+                "/status" => Some(Response::json(
+                    std::fs::read_to_string(&hb_path)
+                        .unwrap_or_else(|_| "{\"status\":\"starting\"}".into()),
+                )),
+                "/healthz" => Some(Response::text("ok\n")),
+                _ => None,
+            })
+            .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+            if !opts.quiet {
+                eprintln!(
+                    "runner {}: serving /metrics /status /healthz on http://{}",
+                    runner_id,
+                    server.local_addr()
+                );
+            }
+            Some(server)
+        }
+        _ => None,
+    };
     let summary = grid_campaign::run_fleet(
         &spec,
         &plan,
@@ -398,6 +449,7 @@ fn cmd_runner(opts: &CommonArgs) -> Result<(), String> {
             progress: opts.progress && !opts.quiet,
             trace: opts.trace.clone(),
             converge: effective_converge(&spec, opts),
+            metrics: registry,
         },
     )?;
     println!(
@@ -435,16 +487,58 @@ fn cmd_status(opts: &CommonArgs) -> Result<(), String> {
         ));
     }
     let cache = ResultCache::open(&opts.cache).map_err(|e| e.to_string())?;
+    // `--serve ADDR`: keep serving the snapshot over HTTP. Each request
+    // recomputes fleet_status from the cache + heartbeats, so `/status`
+    // and `/metrics` always show the current drain, not a stale copy.
+    if let Some(addr) = &opts.serve {
+        let shared = std::sync::Arc::new((spec, plan, cache, opts.lease_ttl));
+        let handler_state = std::sync::Arc::clone(&shared);
+        let server = HttpServer::serve(addr, move |path| {
+            let (spec, plan, cache, ttl) = &*handler_state;
+            let snapshot = || grid_campaign::fleet_status(spec, plan, cache, *ttl);
+            match path {
+                "/healthz" => Some(Response::text("ok\n")),
+                "/status" => Some(match snapshot() {
+                    Ok(s) => Response::json(s.to_json(&spec.name).encode_pretty()),
+                    Err(e) => error_response(&e),
+                }),
+                "/metrics" => Some(match snapshot() {
+                    Ok(s) => Response::metrics(s.render_metrics()),
+                    Err(e) => error_response(&e),
+                }),
+                _ => None,
+            }
+        })
+        .map_err(|e| format!("--serve {addr}: {e}"))?;
+        eprintln!(
+            "campaign {}: serving /status /metrics /healthz on http://{} (Ctrl-C to stop)",
+            shared.0.name,
+            server.local_addr()
+        );
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
     let status = grid_campaign::fleet_status(&spec, &plan, &cache, opts.lease_ttl)?;
+    if opts.json {
+        println!("{}", status.to_json(&spec.name).encode_pretty());
+        return Ok(());
+    }
     println!(
         "campaign {}: {}/{} runs done, {} skipped (converged), {} failed",
         spec.name, status.done, status.total, status.skipped, status.failed
     );
-    let mut runners: Vec<&str> = status.active.iter().map(|l| l.runner.as_str()).collect();
+    // Heartbeats name the live runners authoritatively; a heartbeat-less
+    // cache falls back to the distinct runner ids on active leases.
+    let mut runners: Vec<&str> = if status.from_heartbeats {
+        status.runners.iter().map(|r| r.runner.as_str()).collect()
+    } else {
+        status.active.iter().map(|l| l.runner.as_str()).collect()
+    };
     runners.sort_unstable();
     runners.dedup();
     println!(
-        "fleet: {} live runner(s){}, {} claimed, {} expired lease(s)",
+        "fleet: {} live runner(s){}, {} claimed, {} expired lease(s){}",
         runners.len(),
         if runners.is_empty() {
             String::new()
@@ -452,10 +546,31 @@ fn cmd_status(opts: &CommonArgs) -> Result<(), String> {
             format!(" [{}]", runners.join(", "))
         },
         status.active.len(),
-        status.expired_leases
+        status.expired_leases,
+        if status.stale_runners > 0 {
+            format!(", {} stale heartbeat(s)", status.stale_runners)
+        } else {
+            String::new()
+        }
     );
     println!("{}", status.view.render());
+    for row in status.view.render_runners() {
+        println!("{row}");
+    }
+    if !status.from_heartbeats && status.done > 0 {
+        println!("  (no heartbeats — rate estimated from record mtimes)");
+    }
     Ok(())
+}
+
+/// A 500 for snapshot failures behind `--serve` (e.g. the spec's cache
+/// directory vanished mid-campaign).
+fn error_response(message: &str) -> Response {
+    Response {
+        status: 500,
+        content_type: "text/plain; charset=utf-8",
+        body: format!("{message}\n"),
+    }
 }
 
 fn cmd_gc(opts: &CommonArgs) -> Result<(), String> {
@@ -495,7 +610,7 @@ fn cmd_gc(opts: &CommonArgs) -> Result<(), String> {
     }
     println!(
         "gc: scanned {} records, kept {} ({} bytes), deleted {} records + {} temp files + \
-         {} sidecars + {} lease files, reclaimed {} bytes",
+         {} sidecars + {} lease files + {} heartbeats, reclaimed {} bytes",
         report.scanned,
         report.kept,
         report.kept_bytes,
@@ -503,6 +618,7 @@ fn cmd_gc(opts: &CommonArgs) -> Result<(), String> {
         report.tmp_deleted,
         report.obs_deleted,
         report.leases_deleted,
+        report.heartbeats_deleted,
         report.reclaimed_bytes
     );
     Ok(())

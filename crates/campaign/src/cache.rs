@@ -230,6 +230,36 @@ impl ResultCache {
                 }
             }
         }
+        // Runner heartbeats: a runner that exits cleanly removes its own
+        // `.hb` file, so one still present past the lease TTL belongs to
+        // a crashed runner (the same staleness rule torn leases use —
+        // the display-level [`crate::fleet::HEARTBEAT_STALE_S`] window is
+        // deliberately tighter and only affects liveness reporting).
+        // `.tmp.` leftovers from interrupted heartbeat writes are always
+        // swept.
+        let runner_dir = lease_dir.join(crate::fleet::RUNNER_SUBDIR);
+        if runner_dir.is_dir() {
+            for entry in std::fs::read_dir(&runner_dir)? {
+                let entry = entry?;
+                if !entry.file_type()?.is_file() {
+                    continue;
+                }
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let size = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                let stale = if name.ends_with(".hb") {
+                    crate::fleet::mtime_unix(&entry.path()).is_none_or(|m| {
+                        crate::fleet::now_unix() >= m + crate::fleet::DEFAULT_LEASE_TTL_S
+                    })
+                } else {
+                    name.contains(".tmp.")
+                };
+                if stale {
+                    std::fs::remove_file(entry.path())?;
+                    report.heartbeats_deleted += 1;
+                    report.reclaimed_bytes += size;
+                }
+            }
+        }
         // Observability sidecars follow their records: a sidecar whose
         // key no live plan produces is as unreachable as the record was.
         let obs_dir = self.dir.join(OBS_SUBDIR);
@@ -277,6 +307,9 @@ pub struct GcReport {
     /// Stale lease files and failure markers deleted (the runner
     /// fleet's `leases/` coordination state).
     pub leases_deleted: usize,
+    /// Stale runner heartbeat files deleted (`leases/runners/*.hb`
+    /// older than the lease TTL — crashed runners).
+    pub heartbeats_deleted: usize,
     /// Bytes reclaimed by the deletions.
     pub reclaimed_bytes: u64,
 }
@@ -437,6 +470,57 @@ mod tests {
         let again = cache.gc(&keep).unwrap();
         assert_eq!(again.leases_deleted, 0, "idempotent");
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn gc_sweeps_stale_heartbeats_but_keeps_fresh_ones() {
+        let cache = tmp_cache("gc-heartbeats");
+        let leases = crate::fleet::LeaseDir::open(&cache).unwrap();
+        let hb = |runner: &str, beat_unix: u64| crate::fleet::RunnerHeartbeat {
+            runner: runner.into(),
+            pid: 1,
+            started_unix: beat_unix,
+            beat_unix,
+            current: None,
+            in_flight: 0,
+            computed: 0,
+            cached: 0,
+            failed: 0,
+            skipped: 0,
+            runs_per_s: 0.0,
+        };
+        // A fresh heartbeat (just written — mtime now) survives.
+        leases
+            .write_heartbeat(&hb("alive", crate::fleet::now_unix()))
+            .unwrap();
+        // A crashed runner's heartbeat: age it past the lease TTL via
+        // mtime (gc judges by file age, not by the JSON body).
+        leases.write_heartbeat(&hb("crashed", 1)).unwrap();
+        let old = filetime_backdate(
+            &leases.heartbeat_path("crashed"),
+            crate::fleet::DEFAULT_LEASE_TTL_S + 60,
+        );
+        assert!(old, "backdating the heartbeat mtime must succeed");
+        // A torn heartbeat write is always swept.
+        std::fs::write(cache.dir().join("leases/runners/dead.hb.tmp.42"), "partial").unwrap();
+        let report = cache.gc(&std::collections::HashSet::new()).unwrap();
+        assert_eq!(report.heartbeats_deleted, 2, "stale .hb + torn temp");
+        let left = leases.read_heartbeats();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].runner, "alive");
+        let again = cache.gc(&std::collections::HashSet::new()).unwrap();
+        assert_eq!(again.heartbeats_deleted, 0, "idempotent");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    /// Set a file's mtime `age_s` seconds into the past. Returns `false`
+    /// when the platform refuses (then the caller should skip).
+    fn filetime_backdate(path: &Path, age_s: u64) -> bool {
+        let Ok(file) = std::fs::File::options().append(true).open(path) else {
+            return false;
+        };
+        let then = std::time::SystemTime::now() - std::time::Duration::from_secs(age_s);
+        file.set_modified(then).is_ok()
     }
 
     #[test]

@@ -182,16 +182,21 @@ pub(crate) enum Computed {
 /// trace directory is given). The one compute path shared by the static
 /// executor and the fleet runner, so both produce byte-identical cache
 /// contents and identical warning lines.
+///
+/// `metrics` mirrors engine counters into a live [`MetricsRegistry`]
+/// (the runner's `/metrics` endpoint); like tracing, it enables the
+/// recorder but leaves outcome and cache bytes identical.
 pub(crate) fn compute_and_store(
     unit: &RunUnit,
     cache: Option<&ResultCache>,
     trace: Option<&std::path::Path>,
+    metrics: Option<&grid_obs::MetricsRegistry>,
 ) -> Computed {
     let t0 = Instant::now();
-    let obs = if trace.is_some() {
-        Obs::enabled()
-    } else {
-        Obs::disabled()
+    let obs = match (metrics, trace) {
+        (Some(reg), _) => Obs::with_metrics(reg.clone()),
+        (None, Some(_)) => Obs::enabled(),
+        (None, None) => Obs::disabled(),
     };
     match catch_unwind(AssertUnwindSafe(|| simulate_observed(unit, &obs))) {
         Ok((outcome, stats, grid)) => {
@@ -247,7 +252,7 @@ pub(crate) fn compute_and_store(
 }
 
 /// A unit label reduced to filesystem-safe characters.
-fn safe_stem(label: &str) -> String {
+pub(crate) fn safe_stem(label: &str) -> String {
     label
         .chars()
         .map(|c| {
@@ -301,7 +306,7 @@ pub fn execute(
                 return (UnitDisposition::Cached, Some(record.outcome));
             }
         }
-        match compute_and_store(unit, cache, opts.trace.as_deref()) {
+        match compute_and_store(unit, cache, opts.trace.as_deref(), None) {
             Computed::Done {
                 outcome,
                 wall,

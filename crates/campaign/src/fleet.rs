@@ -46,23 +46,35 @@
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use grid_batch::BatchPolicy;
 use grid_fault::Fault;
-use grid_obs::ProgressView;
+use grid_obs::{Counter, Gauge, MetricsRegistry, ProgressView, RunnerRow};
 use grid_ser::Value;
 use grid_workload::Scenario;
 
 use crate::aggregate::Welford;
 use crate::cache::ResultCache;
-use crate::exec::{compute_and_store, Computed, RunFailure};
+use crate::exec::{compute_and_store, safe_stem, Computed, RunFailure};
 use crate::plan::{CampaignPlan, ReallocSetting, RunKind, RunUnit};
 use crate::spec::{CampaignSpec, Converge};
 
 /// Subdirectory of the cache holding lease and failure-marker files.
 pub const LEASE_SUBDIR: &str = "leases";
+
+/// Subdirectory of the lease directory holding runner heartbeat files.
+pub const RUNNER_SUBDIR: &str = "runners";
+
+/// How often a fleet runner rewrites its heartbeat file.
+pub const HEARTBEAT_INTERVAL_S: u64 = 2;
+
+/// Heartbeat age past which a runner is presumed dead for live-status
+/// purposes (its leases still honour the full lease TTL — liveness
+/// display and work stealing are separate judgements).
+pub const HEARTBEAT_STALE_S: u64 = 30;
 
 /// Default lease time-to-live: how long a claimed-but-unreleased unit is
 /// trusted before other runners steal it. Generous — a steal only costs
@@ -81,7 +93,7 @@ pub(crate) fn now_unix() -> u64 {
         .unwrap_or(0)
 }
 
-fn mtime_unix(path: &Path) -> Option<u64> {
+pub(crate) fn mtime_unix(path: &Path) -> Option<u64> {
     std::fs::metadata(path)
         .ok()?
         .modified()
@@ -269,6 +281,62 @@ impl LeaseDir {
         Some(format!("{message} (marked by runner {runner})"))
     }
 
+    /// Path of `runner`'s heartbeat file.
+    pub fn heartbeat_path(&self, runner: &str) -> PathBuf {
+        self.dir
+            .join(RUNNER_SUBDIR)
+            .join(format!("{}.hb", safe_stem(runner)))
+    }
+
+    /// Atomically (tmp + rename) write `hb` to its heartbeat file,
+    /// creating the `runners/` subdirectory on first use (single level —
+    /// heartbeats must never resurrect a deleted cache).
+    pub fn write_heartbeat(&self, hb: &RunnerHeartbeat) -> io::Result<()> {
+        let dir = self.dir.join(RUNNER_SUBDIR);
+        match std::fs::create_dir(&dir) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
+            Err(e) => return Err(e),
+        }
+        let path = self.heartbeat_path(&hb.runner);
+        let tmp = dir.join(format!(
+            "{}.hb.tmp.{}",
+            safe_stem(&hb.runner),
+            std::process::id()
+        ));
+        std::fs::write(&tmp, hb.to_json().encode())?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Remove `runner`'s heartbeat file (clean-exit path; idempotent).
+    pub fn remove_heartbeat(&self, runner: &str) {
+        let _ = std::fs::remove_file(self.heartbeat_path(runner));
+    }
+
+    /// All parseable heartbeats, sorted by runner id. Staleness is the
+    /// caller's judgement ([`RunnerHeartbeat::is_live`]).
+    pub fn read_heartbeats(&self) -> Vec<RunnerHeartbeat> {
+        let mut out = Vec::new();
+        let Ok(rd) = std::fs::read_dir(self.dir.join(RUNNER_SUBDIR)) else {
+            return out;
+        };
+        for entry in rd.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.ends_with(".hb") {
+                continue;
+            }
+            if let Some(hb) = std::fs::read_to_string(entry.path())
+                .ok()
+                .and_then(|t| Value::parse(&t).ok())
+                .and_then(|v| RunnerHeartbeat::from_json(&v))
+            {
+                out.push(hb);
+            }
+        }
+        out.sort_by(|a, b| a.runner.cmp(&b.runner));
+        out
+    }
+
     /// Snapshot the directory: active leases (with runner ids), expired
     /// leases, failure markers.
     pub fn scan(&self, fallback_ttl_s: u64) -> LeaseScan {
@@ -303,6 +371,112 @@ impl LeaseDir {
         scan.active.sort_by(|a, b| a.key.cmp(&b.key));
         scan
     }
+}
+
+/// One runner's periodic liveness report, written to
+/// `leases/runners/<id>.hb` every [`HEARTBEAT_INTERVAL_S`] seconds and
+/// removed on clean exit. Pure telemetry: no correctness decision reads
+/// a heartbeat — they only sharpen `campaign status` attribution and
+/// feed the live `/status` endpoint.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunnerHeartbeat {
+    /// Runner id (`--runner-id`, default `r<pid>`).
+    pub runner: String,
+    /// Writing process id.
+    pub pid: u32,
+    /// When the runner joined the fleet.
+    pub started_unix: u64,
+    /// When this beat was written.
+    pub beat_unix: u64,
+    /// Cache key of a unit currently in flight, if any.
+    pub current: Option<String>,
+    /// Units claimed and computing right now.
+    pub in_flight: usize,
+    /// Units this runner computed so far.
+    pub computed: usize,
+    /// Units this runner resolved from cache.
+    pub cached: usize,
+    /// Units this runner resolved as failed.
+    pub failed: usize,
+    /// Units the convergence frontier skipped on this runner.
+    pub skipped: usize,
+    /// Units resolved per second since the runner started.
+    pub runs_per_s: f64,
+}
+
+impl RunnerHeartbeat {
+    /// Canonical JSON encoding.
+    pub fn to_json(&self) -> Value {
+        let mut v = Value::object();
+        v.insert("schema", "grid-campaign/heartbeat/1");
+        v.insert("runner", self.runner.as_str());
+        v.insert("pid", self.pid as u64);
+        v.insert("started_unix", self.started_unix);
+        v.insert("beat_unix", self.beat_unix);
+        if let Some(current) = &self.current {
+            v.insert("current", current.as_str());
+        }
+        v.insert("in_flight", self.in_flight as u64);
+        v.insert("computed", self.computed as u64);
+        v.insert("cached", self.cached as u64);
+        v.insert("failed", self.failed as u64);
+        v.insert("skipped", self.skipped as u64);
+        v.insert("runs_per_s", self.runs_per_s);
+        v
+    }
+
+    /// Parse [`RunnerHeartbeat::to_json`] output; `None` on a torn or
+    /// foreign file.
+    pub fn from_json(v: &Value) -> Option<RunnerHeartbeat> {
+        let as_usize = |name: &str| v.get(name).and_then(Value::as_u64).map(|n| n as usize);
+        Some(RunnerHeartbeat {
+            runner: v.get("runner").and_then(Value::as_str)?.to_string(),
+            pid: v.get("pid").and_then(Value::as_u64).unwrap_or(0) as u32,
+            started_unix: v.get("started_unix").and_then(Value::as_u64).unwrap_or(0),
+            beat_unix: v.get("beat_unix").and_then(Value::as_u64)?,
+            current: v.get("current").and_then(Value::as_str).map(String::from),
+            in_flight: as_usize("in_flight").unwrap_or(0),
+            computed: as_usize("computed").unwrap_or(0),
+            cached: as_usize("cached").unwrap_or(0),
+            failed: as_usize("failed").unwrap_or(0),
+            skipped: as_usize("skipped").unwrap_or(0),
+            runs_per_s: v.get("runs_per_s").and_then(Value::as_f64).unwrap_or(0.0),
+        })
+    }
+
+    /// Seconds since the last beat.
+    pub fn age_s(&self, now: u64) -> u64 {
+        now.saturating_sub(self.beat_unix)
+    }
+
+    /// Is this runner presumed alive at `now`?
+    pub fn is_live(&self, now: u64) -> bool {
+        self.age_s(now) <= HEARTBEAT_STALE_S
+    }
+
+    /// The status-view detail row for this heartbeat.
+    pub fn to_row(&self, now: u64) -> RunnerRow {
+        RunnerRow {
+            id: self.runner.clone(),
+            computed: self.computed,
+            cached: self.cached,
+            failed: self.failed,
+            in_flight: self.in_flight,
+            runs_per_s: self.runs_per_s,
+            current: self.current.clone(),
+            age_s: self.age_s(now),
+        }
+    }
+}
+
+/// Path of `runner`'s heartbeat file under `cache_dir` — shared with the
+/// CLI's `/status` route, which reads its own heartbeat back without
+/// opening a [`LeaseDir`].
+pub fn heartbeat_file(cache_dir: &Path, runner: &str) -> PathBuf {
+    cache_dir
+        .join(LEASE_SUBDIR)
+        .join(RUNNER_SUBDIR)
+        .join(format!("{}.hb", safe_stem(runner)))
 }
 
 /// A convergence probe's view of one `(cell, seed)` slot.
@@ -564,6 +738,84 @@ pub struct FleetOptions {
     pub trace: Option<PathBuf>,
     /// Convergence rule override; falls back to the spec's `[converge]`.
     pub converge: Option<Converge>,
+    /// Live metrics registry (`runner --metrics-addr`): fleet counters
+    /// land here and every computed unit mirrors its engine telemetry
+    /// into it. Strictly sidecar — cache and report bytes are identical
+    /// with or without it.
+    pub metrics: Option<MetricsRegistry>,
+}
+
+/// The fleet runner's own metric families, registered once per drain on
+/// the `--metrics-addr` registry.
+#[derive(Debug, Clone)]
+pub struct FleetMetrics {
+    /// Units this runner simulated.
+    pub units_computed: Counter,
+    /// Units found already cached.
+    pub units_cached: Counter,
+    /// Units resolved as failed.
+    pub units_failed: Counter,
+    /// Units the convergence frontier skipped.
+    pub units_skipped: Counter,
+    /// Expired foreign leases reclaimed.
+    pub leases_stolen: Counter,
+    /// Heartbeat files written.
+    pub heartbeats_written: Counter,
+    /// Units claimed and computing right now.
+    pub units_in_flight: Gauge,
+    /// Units resolved (any disposition), fleet-wide from this runner's
+    /// view.
+    pub units_done: Gauge,
+    /// Plan size.
+    pub units_total: Gauge,
+    /// Wall time per computed unit, milliseconds.
+    pub run_wall_ms: grid_obs::metrics::Histogram,
+}
+
+impl FleetMetrics {
+    /// Register the fleet families on `registry` (idempotent — a second
+    /// registration shares the same series).
+    pub fn register(registry: &MetricsRegistry) -> FleetMetrics {
+        FleetMetrics {
+            units_computed: registry.counter(
+                "campaign_units_computed_total",
+                "Units this runner simulated",
+            ),
+            units_cached: registry.counter(
+                "campaign_units_cached_total",
+                "Units resolved from the shared cache",
+            ),
+            units_failed: registry.counter(
+                "campaign_units_failed_total",
+                "Units resolved as failed (own panics + foreign markers)",
+            ),
+            units_skipped: registry.counter(
+                "campaign_units_skipped_total",
+                "Units skipped by the convergence frontier",
+            ),
+            leases_stolen: registry.counter(
+                "campaign_leases_stolen_total",
+                "Expired foreign leases reclaimed",
+            ),
+            heartbeats_written: registry.counter(
+                "campaign_heartbeats_written_total",
+                "Heartbeat files written",
+            ),
+            units_in_flight: registry.gauge(
+                "campaign_units_in_flight",
+                "Units claimed and computing right now",
+            ),
+            units_done: registry.gauge(
+                "campaign_units_done",
+                "Units resolved so far (any disposition)",
+            ),
+            units_total: registry.gauge("campaign_units_total", "Units in the campaign plan"),
+            run_wall_ms: registry.histogram(
+                "campaign_run_wall_ms",
+                "Wall time per computed unit, milliseconds",
+            ),
+        }
+    }
 }
 
 /// What one fleet runner did.
@@ -599,6 +851,9 @@ struct FleetState {
     outstanding: usize,
     /// Scan-start ratchet: everything below is `Done`.
     next: usize,
+    /// Slots currently `InFlight` (maintained on claim/resolve so the
+    /// heartbeat thread never rescans the slot vector).
+    in_flight: usize,
     tracker: Option<ConvergenceTracker>,
     summary: FleetSummary,
     view: ProgressView,
@@ -613,6 +868,9 @@ enum Action {
 impl FleetState {
     fn resolve(&mut self, i: usize, update: impl FnOnce(&mut FleetSummary, &mut ProgressView)) {
         debug_assert_ne!(self.slots[i], Slot::Done);
+        if self.slots[i] == Slot::InFlight {
+            self.in_flight -= 1;
+        }
         self.slots[i] = Slot::Done;
         self.outstanding -= 1;
         update(&mut self.summary, &mut self.view);
@@ -658,10 +916,16 @@ pub fn run_fleet(
     let keys: Vec<String> = units.iter().map(ResultCache::key).collect();
     let conf = opts.converge.or(spec.converge);
     let started = Instant::now();
+    let started_unix = now_unix();
+    let fm = opts.metrics.as_ref().map(FleetMetrics::register);
+    if let Some(fm) = &fm {
+        fm.units_total.set(n as f64);
+    }
     let state = Mutex::new(FleetState {
         slots: vec![Slot::Pending; n],
         outstanding: n,
         next: 0,
+        in_flight: 0,
         tracker: conf.map(|c| ConvergenceTracker::new(spec, plan, c)),
         summary: FleetSummary::default(),
         view: ProgressView::new(n),
@@ -670,7 +934,7 @@ pub fn run_fleet(
     let render = |st: &mut FleetState| {
         if opts.progress {
             st.view.elapsed_ms = started.elapsed().as_millis() as u64;
-            st.view.claimed = st.slots.iter().filter(|&&s| s == Slot::InFlight).count();
+            st.view.claimed = st.in_flight;
             eprint!("\r{}", st.view.render());
         }
     };
@@ -699,6 +963,9 @@ pub fn run_fleet(
                     s.cached += 1;
                     v.on_cached();
                 });
+                if let Some(fm) = &fm {
+                    fm.units_cached.inc();
+                }
                 render(st);
                 continue;
             }
@@ -711,6 +978,9 @@ pub fn run_fleet(
                     });
                     v.on_failed();
                 });
+                if let Some(fm) = &fm {
+                    fm.units_failed.inc();
+                }
                 render(st);
                 continue;
             }
@@ -721,6 +991,9 @@ pub fn run_fleet(
                             s.skipped += 1;
                             v.on_skipped();
                         });
+                        if let Some(fm) = &fm {
+                            fm.units_skipped.inc();
+                        }
                         render(st);
                         continue;
                     }
@@ -731,8 +1004,12 @@ pub fn run_fleet(
             match leases.try_claim(&keys[i], &unit.label(), &runner, ttl)? {
                 Claim::Claimed { stolen } => {
                     st.slots[i] = Slot::InFlight;
+                    st.in_flight += 1;
                     if stolen {
                         st.summary.stolen += 1;
+                        if let Some(fm) = &fm {
+                            fm.leases_stolen.inc();
+                        }
                     }
                     render(st);
                     return Ok(Action::Run { index: i });
@@ -753,66 +1030,147 @@ pub fn run_fleet(
     };
 
     let error = Mutex::new(None::<String>);
+    let workers_alive = AtomicUsize::new(threads);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let action = {
-                    let mut st = state.lock().unwrap();
-                    match next_action(&mut st) {
-                        Ok(a) => a,
-                        Err(e) => {
-                            *error.lock().unwrap() = Some(format!("lease claim: {e}"));
-                            // Unblock the other workers: resolve nothing,
-                            // just stop scanning from this thread.
-                            break;
-                        }
-                    }
-                };
-                match action {
-                    Action::Run { index } => {
-                        let unit = &units[index];
-                        let computed = compute_and_store(unit, Some(cache), opts.trace.as_deref());
+            scope.spawn(|| {
+                loop {
+                    let action = {
                         let mut st = state.lock().unwrap();
-                        match computed {
-                            Computed::Done {
-                                wall, store_error, ..
-                            } => {
-                                // Record stored before the lease drops:
-                                // observers never see a released unit
-                                // without its record.
-                                leases.release(&keys[index]);
-                                st.resolve(index, |s, v| {
-                                    if let Some(message) = store_error {
-                                        s.store_errors.push(RunFailure {
+                        match next_action(&mut st) {
+                            Ok(a) => a,
+                            Err(e) => {
+                                *error.lock().unwrap() = Some(format!("lease claim: {e}"));
+                                // Unblock the other workers: resolve
+                                // nothing, just stop scanning from this
+                                // thread.
+                                break;
+                            }
+                        }
+                    };
+                    match action {
+                        Action::Run { index } => {
+                            let unit = &units[index];
+                            let computed = compute_and_store(
+                                unit,
+                                Some(cache),
+                                opts.trace.as_deref(),
+                                opts.metrics.as_ref(),
+                            );
+                            let mut st = state.lock().unwrap();
+                            match computed {
+                                Computed::Done {
+                                    wall, store_error, ..
+                                } => {
+                                    // Record stored before the lease
+                                    // drops: observers never see a
+                                    // released unit without its record.
+                                    leases.release(&keys[index]);
+                                    st.resolve(index, |s, v| {
+                                        if let Some(message) = store_error {
+                                            s.store_errors.push(RunFailure {
+                                                unit: unit.label(),
+                                                message,
+                                            });
+                                        }
+                                        s.computed += 1;
+                                        v.on_computed(wall.as_millis() as u64);
+                                    });
+                                    if let Some(fm) = &fm {
+                                        fm.units_computed.inc();
+                                        fm.run_wall_ms.observe(wall.as_millis() as u64);
+                                    }
+                                }
+                                Computed::Panicked { message } => {
+                                    leases.mark_failed(
+                                        &keys[index],
+                                        &unit.label(),
+                                        &runner,
+                                        &message,
+                                    );
+                                    leases.release(&keys[index]);
+                                    st.resolve(index, |s, v| {
+                                        s.failed += 1;
+                                        s.failures.push(RunFailure {
                                             unit: unit.label(),
                                             message,
                                         });
-                                    }
-                                    s.computed += 1;
-                                    v.on_computed(wall.as_millis() as u64);
-                                });
-                            }
-                            Computed::Panicked { message } => {
-                                leases.mark_failed(&keys[index], &unit.label(), &runner, &message);
-                                leases.release(&keys[index]);
-                                st.resolve(index, |s, v| {
-                                    s.failed += 1;
-                                    s.failures.push(RunFailure {
-                                        unit: unit.label(),
-                                        message,
+                                        v.on_failed();
                                     });
-                                    v.on_failed();
-                                });
+                                    if let Some(fm) = &fm {
+                                        fm.units_failed.inc();
+                                    }
+                                }
                             }
+                            render(&mut st);
                         }
-                        render(&mut st);
+                        Action::Wait => std::thread::sleep(poll),
+                        Action::Finished => break,
                     }
-                    Action::Wait => std::thread::sleep(poll),
-                    Action::Finished => break,
                 }
+                workers_alive.fetch_sub(1, Ordering::SeqCst);
             });
         }
+        // Heartbeat thread: write `leases/runners/<id>.hb` immediately
+        // and then every HEARTBEAT_INTERVAL_S, polling in short steps so
+        // the scope joins promptly once the last worker exits (including
+        // the early-error break path, which never drains `outstanding`).
+        scope.spawn(|| loop {
+            let hb = {
+                let st = state.lock().unwrap();
+                let elapsed = started.elapsed().as_secs_f64();
+                let done = st.view.done();
+                if let Some(fm) = &fm {
+                    fm.units_in_flight.set(st.in_flight as f64);
+                    fm.units_done.set(done as f64);
+                }
+                RunnerHeartbeat {
+                    runner: runner.clone(),
+                    pid: std::process::id(),
+                    started_unix,
+                    beat_unix: now_unix(),
+                    current: st
+                        .slots
+                        .iter()
+                        .position(|&s| s == Slot::InFlight)
+                        .map(|i| keys[i].clone()),
+                    in_flight: st.in_flight,
+                    computed: st.summary.computed,
+                    cached: st.summary.cached,
+                    failed: st.summary.failed,
+                    skipped: st.summary.skipped,
+                    runs_per_s: if elapsed > 0.0 {
+                        done as f64 / elapsed
+                    } else {
+                        0.0
+                    },
+                }
+            };
+            if leases.write_heartbeat(&hb).is_ok() {
+                if let Some(fm) = &fm {
+                    fm.heartbeats_written.inc();
+                }
+            }
+            let mut slept_ms = 0u64;
+            while workers_alive.load(Ordering::SeqCst) > 0
+                && slept_ms < HEARTBEAT_INTERVAL_S * 1_000
+            {
+                std::thread::sleep(Duration::from_millis(100));
+                slept_ms += 100;
+            }
+            if workers_alive.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+        });
     });
+    // Clean exit: the heartbeat disappears with the runner, so `status`
+    // never attributes liveness to a finished process.
+    leases.remove_heartbeat(&runner);
+    if let Some(fm) = &fm {
+        let st = state.lock().unwrap();
+        fm.units_in_flight.set(0.0);
+        fm.units_done.set(st.view.done() as f64);
+    }
     if let Some(e) = error.into_inner().unwrap() {
         return Err(e);
     }
@@ -841,18 +1199,152 @@ pub struct FleetStatus {
     pub active: Vec<LeaseInfo>,
     /// Expired leases awaiting a steal.
     pub expired_leases: usize,
+    /// Live runner heartbeats (beat within [`HEARTBEAT_STALE_S`]).
+    pub runners: Vec<RunnerHeartbeat>,
+    /// Heartbeat files past the staleness window (crashed runners the
+    /// gc has not swept yet).
+    pub stale_runners: usize,
+    /// Whether rate/liveness came from heartbeats (`true`) or from the
+    /// record-mtime heuristic (`false` — heartbeat-less cache).
+    pub from_heartbeats: bool,
     /// A [`ProgressView`] loaded with the above plus a completion-rate
-    /// estimate from record mtimes, ready to render.
+    /// estimate, ready to render.
     pub view: ProgressView,
+}
+
+impl FleetStatus {
+    /// Fleet-wide throughput: the sum of the live heartbeat rates, or
+    /// `None` when only the mtime heuristic is available (its estimate
+    /// lives in the view's ETA instead).
+    pub fn runs_per_s(&self) -> Option<f64> {
+        self.from_heartbeats
+            .then(|| self.runners.iter().map(|r| r.runs_per_s).sum())
+    }
+
+    /// Units not yet resolved (pending or claimed).
+    pub fn remaining(&self) -> usize {
+        self.total
+            .saturating_sub(self.done + self.skipped + self.failed)
+    }
+
+    /// The machine-readable snapshot `campaign status --json` prints and
+    /// the `/status` endpoint serves.
+    pub fn to_json(&self, campaign: &str) -> Value {
+        let now = now_unix();
+        let mut v = Value::object();
+        v.insert("schema", "grid-campaign/status/1");
+        v.insert("campaign", campaign);
+        v.insert("total", self.total as u64);
+        v.insert("done", self.done as u64);
+        v.insert("skipped", self.skipped as u64);
+        v.insert("failed", self.failed as u64);
+        v.insert("claimed", self.active.len() as u64);
+        v.insert("expired_leases", self.expired_leases as u64);
+        v.insert(
+            "rate_source",
+            if self.from_heartbeats {
+                "heartbeats"
+            } else {
+                "record-mtimes"
+            },
+        );
+        if let Some(rate) = self.runs_per_s() {
+            v.insert("runs_per_s", rate);
+            if rate > 0.0 && self.remaining() > 0 {
+                v.insert("eta_s", self.remaining() as f64 / rate);
+            }
+        }
+        let runners: Vec<Value> = self
+            .runners
+            .iter()
+            .map(|hb| {
+                let mut r = hb.to_json();
+                r.insert("beat_age_s", hb.age_s(now));
+                r
+            })
+            .collect();
+        v.insert("runners", Value::Arr(runners));
+        v.insert("stale_runners", self.stale_runners as u64);
+        v
+    }
+
+    /// Render this snapshot as a Prometheus exposition page — the
+    /// `status --serve` `/metrics` route. Each call builds a fresh
+    /// registry, so the page always reflects exactly this snapshot.
+    pub fn render_metrics(&self) -> String {
+        let reg = MetricsRegistry::new();
+        let set = |name: &str, help: &str, value: f64| reg.gauge(name, help).set(value);
+        set(
+            "campaign_units_total",
+            "Units in the campaign plan",
+            self.total as f64,
+        );
+        set(
+            "campaign_units_done",
+            "Units with a record present",
+            self.done as f64,
+        );
+        set(
+            "campaign_units_skipped",
+            "Units the convergence frontier skips",
+            self.skipped as f64,
+        );
+        set(
+            "campaign_units_failed",
+            "Units with a failure marker",
+            self.failed as f64,
+        );
+        set(
+            "campaign_units_claimed",
+            "Units under an active lease",
+            self.active.len() as f64,
+        );
+        set(
+            "campaign_leases_expired",
+            "Expired leases awaiting a steal",
+            self.expired_leases as f64,
+        );
+        set(
+            "campaign_runners_live",
+            "Runners with a fresh heartbeat (or active leases, for heartbeat-less caches)",
+            self.view.runners as f64,
+        );
+        if let Some(rate) = self.runs_per_s() {
+            set("campaign_runs_per_s", "Fleet-wide completion rate", rate);
+        }
+        for hb in &self.runners {
+            let labels = [("runner", hb.runner.as_str())];
+            reg.gauge_with(
+                "campaign_runner_done",
+                "Units resolved by this runner",
+                &labels,
+            )
+            .set((hb.computed + hb.cached + hb.failed + hb.skipped) as f64);
+            reg.gauge_with(
+                "campaign_runner_in_flight",
+                "Units this runner is computing",
+                &labels,
+            )
+            .set(hb.in_flight as f64);
+            reg.gauge_with(
+                "campaign_runner_runs_per_s",
+                "This runner's completion rate",
+                &labels,
+            )
+            .set(hb.runs_per_s);
+        }
+        reg.render()
+    }
 }
 
 /// Recent-completion window the status rate/ETA is estimated over.
 const STATUS_RATE_WINDOW_S: u64 = 300;
 
 /// Build a [`FleetStatus`] for `plan` over `cache`: records answer
-/// done/failed/skipped, the lease directory answers claimed/runners, and
-/// record mtimes within the last five minutes estimate the fleet-wide
-/// completion rate and ETA.
+/// done/failed/skipped and the lease directory answers claimed. Liveness
+/// and rate prefer runner heartbeats (`leases/runners/*.hb`); a
+/// heartbeat-less cache falls back to the record-mtime heuristic, and
+/// [`FleetStatus::from_heartbeats`] says which one answered.
 pub fn fleet_status(
     spec: &CampaignSpec,
     plan: &CampaignPlan,
@@ -884,29 +1376,46 @@ pub fn fleet_status(
         }
     }
     let scan = leases.scan(ttl);
-    let runners = scan.runners().len();
+    let now = now_unix();
+    let (live, stale): (Vec<RunnerHeartbeat>, Vec<RunnerHeartbeat>) = leases
+        .read_heartbeats()
+        .into_iter()
+        .partition(|hb| hb.is_live(now));
+    let from_heartbeats = !live.is_empty();
 
     let mut view = ProgressView::new(plan.units.len());
     view.skipped = skipped;
     view.failed = failed;
     view.claimed = scan.active.len();
-    view.runners = runners;
-    mtimes.sort_unstable();
-    let now = now_unix();
-    // Completions inside the window estimate the current rate; each
-    // inter-completion gap scaled by the live runner count approximates
-    // one runner's wall time per unit, which drives the ETA error bar.
-    let recent: Vec<u64> = mtimes
-        .iter()
-        .copied()
-        .filter(|&m| now.saturating_sub(m) <= STATUS_RATE_WINDOW_S)
-        .collect();
-    view.computed = done.saturating_sub(recent.len().saturating_sub(1));
-    for pair in recent.windows(2) {
-        view.on_computed((pair[1] - pair[0]) * 1_000 * runners.max(1) as u64);
-    }
-    if let Some(&first) = mtimes.first() {
-        view.elapsed_ms = now.saturating_sub(first) * 1_000;
+    if from_heartbeats {
+        // Heartbeats know the truth: who is alive, what they are doing,
+        // and how fast the fleet currently moves.
+        view.runners = live.len();
+        view.computed = done;
+        view.rate_per_s = Some(live.iter().map(|r| r.runs_per_s).sum());
+        view.runner_rows = live.iter().map(|hb| hb.to_row(now)).collect();
+    } else {
+        // Heartbeat-less cache (pre-heartbeat runners, or all runners
+        // gone): estimate from lease runner ids and record mtimes.
+        // Completions inside the window estimate the current rate; each
+        // inter-completion gap scaled by the live runner count
+        // approximates one runner's wall time per unit, which drives
+        // the ETA error bar.
+        let runners = scan.runners().len();
+        view.runners = runners;
+        mtimes.sort_unstable();
+        let recent: Vec<u64> = mtimes
+            .iter()
+            .copied()
+            .filter(|&m| now.saturating_sub(m) <= STATUS_RATE_WINDOW_S)
+            .collect();
+        view.computed = done.saturating_sub(recent.len().saturating_sub(1));
+        for pair in recent.windows(2) {
+            view.on_computed((pair[1] - pair[0]) * 1_000 * runners.max(1) as u64);
+        }
+        if let Some(&first) = mtimes.first() {
+            view.elapsed_ms = now.saturating_sub(first) * 1_000;
+        }
     }
     Ok(FleetStatus {
         total: plan.units.len(),
@@ -915,6 +1424,9 @@ pub fn fleet_status(
         failed,
         active: scan.active,
         expired_leases: scan.expired,
+        runners: live,
+        stale_runners: stale.len(),
+        from_heartbeats,
         view,
     })
 }
@@ -987,6 +1499,141 @@ mod tests {
             "fresh torn lease must not be instantly stealable"
         );
         assert!(lease_expiry(&path, 0) <= now, "aged-out torn lease expires");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    fn tiny_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::paper();
+        spec.name = "hb-test".into();
+        spec.scenarios = vec![grid_workload::Scenario::Jun];
+        spec.heterogeneity = vec![false];
+        spec.policies = vec![grid_batch::BatchPolicy::Fcfs];
+        spec.heuristics = vec![grid_realloc::Heuristic::Mct];
+        spec.fraction = 0.01;
+        spec
+    }
+
+    fn heartbeat(runner: &str, beat_unix: u64, runs_per_s: f64) -> RunnerHeartbeat {
+        RunnerHeartbeat {
+            runner: runner.into(),
+            pid: 42,
+            started_unix: beat_unix.saturating_sub(60),
+            beat_unix,
+            current: None,
+            in_flight: 1,
+            computed: 2,
+            cached: 1,
+            failed: 0,
+            skipped: 0,
+            runs_per_s,
+        }
+    }
+
+    #[test]
+    fn heartbeats_roundtrip_overwrite_and_remove() {
+        let cache = tmp_cache("hb-roundtrip");
+        let leases = LeaseDir::open(&cache).unwrap();
+        assert!(leases.read_heartbeats().is_empty());
+        let mut hb = heartbeat("ci-a", 160, 0.5);
+        hb.current = Some("jun/homog/none/mct/s1".into());
+        hb.skipped = 3;
+        leases.write_heartbeat(&hb).unwrap();
+        // Re-beat: atomic replace, still one file.
+        leases.write_heartbeat(&hb).unwrap();
+        let read = leases.read_heartbeats();
+        assert_eq!(read.len(), 1);
+        let r = &read[0];
+        assert_eq!(r.runner, "ci-a");
+        assert_eq!(r.pid, 42);
+        assert_eq!(r.beat_unix, 160);
+        assert_eq!(r.current.as_deref(), Some("jun/homog/none/mct/s1"));
+        assert_eq!(
+            (r.in_flight, r.computed, r.cached, r.failed, r.skipped),
+            (1, 2, 1, 0, 3)
+        );
+        assert_eq!(r.runs_per_s, 0.5);
+        leases.remove_heartbeat("ci-a");
+        assert!(leases.read_heartbeats().is_empty());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn heartbeat_liveness_window() {
+        let now = now_unix();
+        assert!(heartbeat("a", now, 0.0).is_live(now));
+        assert!(heartbeat("a", now - HEARTBEAT_STALE_S, 0.0).is_live(now));
+        assert!(!heartbeat("a", now - HEARTBEAT_STALE_S - 1, 0.0).is_live(now));
+        assert_eq!(heartbeat("a", now - 7, 0.0).age_s(now), 7);
+        // A clock-skewed future beat is fresh, not underflowed-ancient.
+        assert_eq!(heartbeat("a", now + 100, 0.0).age_s(now), 0);
+    }
+
+    #[test]
+    fn fleet_status_prefers_live_heartbeats() {
+        let spec = tiny_spec();
+        let plan = spec.expand();
+        assert_eq!(plan.len(), 3);
+        let cache = tmp_cache("hb-status");
+        let leases = LeaseDir::open(&cache).unwrap();
+        let now = now_unix();
+        leases.write_heartbeat(&heartbeat("a", now, 0.25)).unwrap();
+        leases.write_heartbeat(&heartbeat("b", now, 0.5)).unwrap();
+        leases
+            .write_heartbeat(&heartbeat("dead", now - HEARTBEAT_STALE_S - 10, 9.0))
+            .unwrap();
+        let status = fleet_status(&spec, &plan, &cache, 0).unwrap();
+        assert!(status.from_heartbeats);
+        assert_eq!(status.runners.len(), 2, "stale heartbeat is not live");
+        assert_eq!(status.stale_runners, 1);
+        assert_eq!(status.runs_per_s(), Some(0.75));
+        assert_eq!(status.view.runners, 2);
+        assert_eq!(status.view.rate_per_s, Some(0.75));
+        assert_eq!(status.view.runner_rows.len(), 2);
+
+        let json = status.to_json(&spec.name);
+        assert_eq!(
+            json.get("rate_source").and_then(Value::as_str),
+            Some("heartbeats")
+        );
+        assert_eq!(json.get("runs_per_s").and_then(Value::as_f64), Some(0.75));
+        assert_eq!(json.get("total").and_then(Value::as_u64), Some(3));
+        // 3 remaining at 0.75/s.
+        assert_eq!(json.get("eta_s").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(
+            json.get("runners")
+                .and_then(Value::as_arr)
+                .map(<[Value]>::len),
+            Some(2)
+        );
+        assert_eq!(json.get("stale_runners").and_then(Value::as_u64), Some(1));
+
+        let page = status.render_metrics();
+        assert!(page.contains("campaign_units_total 3\n"), "{page}");
+        assert!(page.contains("campaign_runs_per_s 0.75\n"), "{page}");
+        assert!(page.contains("campaign_runners_live 2\n"), "{page}");
+        assert!(
+            page.contains("campaign_runner_runs_per_s{runner=\"b\"} 0.5\n"),
+            "{page}"
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn fleet_status_without_heartbeats_falls_back_to_mtimes() {
+        let spec = tiny_spec();
+        let plan = spec.expand();
+        let cache = tmp_cache("hb-fallback");
+        let status = fleet_status(&spec, &plan, &cache, 0).unwrap();
+        assert!(!status.from_heartbeats);
+        assert_eq!(status.runs_per_s(), None);
+        assert_eq!(status.view.rate_per_s, None);
+        assert!(status.view.runner_rows.is_empty());
+        let json = status.to_json(&spec.name);
+        assert_eq!(
+            json.get("rate_source").and_then(Value::as_str),
+            Some("record-mtimes")
+        );
+        assert!(json.get("runs_per_s").is_none());
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -24,8 +24,12 @@
 //! * [`fleet`] — a coordinator-free runner fleet: any number of
 //!   `campaign runner` processes drain one plan by atomically claiming
 //!   units through lease files in the shared cache directory
-//!   ([`LeaseDir`]), with crash recovery via lease expiry and optional
-//!   per-cell CI-convergence stopping ([`Converge`]).
+//!   ([`LeaseDir`]), with crash recovery via lease expiry, optional
+//!   per-cell CI-convergence stopping ([`Converge`]), and periodic
+//!   runner heartbeats ([`RunnerHeartbeat`]) that feed live fleet
+//!   telemetry — `campaign status` attribution, the `/status` JSON
+//!   snapshot, and Prometheus `/metrics` pages served by
+//!   `grid_obs::HttpServer`.
 //!
 //! The `campaign` binary wires these into `plan` / `run` / `runner` /
 //! `status` / `report` / `gc` subcommands:
@@ -56,8 +60,9 @@ pub use aggregate::{
 pub use cache::{GcReport, ResultCache, RunRecord};
 pub use exec::{execute, ExecOptions, ExecSummary};
 pub use fleet::{
-    convergence_skips, fleet_status, run_fleet, Claim, ConvergenceTracker, Decision, FleetOptions,
-    FleetStatus, FleetSummary, LeaseDir, LeaseInfo, LeaseScan,
+    convergence_skips, fleet_status, heartbeat_file, run_fleet, Claim, ConvergenceTracker,
+    Decision, FleetMetrics, FleetOptions, FleetStatus, FleetSummary, LeaseDir, LeaseInfo,
+    LeaseScan, RunnerHeartbeat, HEARTBEAT_INTERVAL_S, HEARTBEAT_STALE_S, RUNNER_SUBDIR,
 };
 pub use plan::{CampaignPlan, ReallocSetting, RunKind, RunUnit};
 pub use spec::{CampaignSpec, Converge};

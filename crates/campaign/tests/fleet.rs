@@ -314,6 +314,67 @@ fn convergence_frontier_is_identical_for_any_fleet_size() {
 }
 
 #[test]
+fn metrics_and_heartbeats_leave_cache_bytes_identical() {
+    let spec = tiny_spec();
+    let plan = spec.expand();
+
+    // Golden: a telemetry-free drain.
+    let dir_plain = scratch("telemetry-plain");
+    let cache_plain = ResultCache::open(&dir_plain).unwrap();
+    run_fleet(&spec, &plan, &cache_plain, &fleet_opts("plain")).unwrap();
+
+    // Live drain: metrics registry attached (the runner's `/metrics`
+    // endpoint reads this concurrently in production).
+    let dir_live = scratch("telemetry-live");
+    let cache_live = ResultCache::open(&dir_live).unwrap();
+    let registry = grid_obs::MetricsRegistry::new();
+    let opts = FleetOptions {
+        metrics: Some(registry.clone()),
+        ..fleet_opts("tele")
+    };
+    let summary = run_fleet(&spec, &plan, &cache_live, &opts).unwrap();
+    assert_eq!(summary.computed, plan.len());
+    assert_eq!(
+        cache_bytes(&dir_plain),
+        cache_bytes(&dir_live),
+        "telemetry is sidecar-only: record bytes must not move"
+    );
+
+    // The registry ends the drain agreeing with the summary, carrying
+    // both the fleet counters and the mirrored engine counters.
+    let page = registry.render();
+    assert!(
+        page.contains(&format!(
+            "campaign_units_computed_total {}\n",
+            summary.computed
+        )),
+        "{page}"
+    );
+    assert!(
+        page.contains(&format!("campaign_units_total {}\n", plan.len())),
+        "{page}"
+    );
+    assert!(page.contains("campaign_units_in_flight 0\n"), "{page}");
+    assert!(page.contains("campaign_run_wall_ms_count"), "{page}");
+    assert!(page.contains("campaign_heartbeats_written_total"), "{page}");
+    assert!(
+        page.contains("grid_sim_batches_total"),
+        "engine counters mirror into the same registry: {page}"
+    );
+
+    // A cleanly exited runner leaves no heartbeat behind.
+    assert!(
+        !grid_campaign::heartbeat_file(&dir_live, "tele").exists(),
+        "heartbeat removed on clean exit"
+    );
+    let hb_dir = dir_live.join("leases/runners");
+    let left: Vec<_> = std::fs::read_dir(&hb_dir)
+        .map(|rd| rd.filter_map(Result::ok).collect())
+        .unwrap_or_default();
+    assert!(left.is_empty(), "{left:?}");
+}
+
+#[test]
 fn converge_free_fleet_matches_static_sharded_execute() {
     // The legacy static path and the fleet must agree byte-for-byte on
     // a multi-seed campaign without a convergence rule.

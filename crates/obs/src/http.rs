@@ -1,0 +1,348 @@
+//! Dependency-free HTTP endpoint for live telemetry.
+//!
+//! The build container has no registry access, so no hyper/axum: this
+//! is a `std::net::TcpListener` accept loop on one background thread,
+//! serving GET requests only. It is deliberately minimal — bounded
+//! request read (8 KiB), per-connection read/write timeouts, no
+//! keep-alive — because its one job is to let `curl` and a Prometheus
+//! scraper read `/metrics`, `/status` and `/healthz` off a running
+//! fleet without perturbing it.
+//!
+//! Shutdown is cooperative: [`HttpServer::shutdown`] (also run on
+//! `Drop`) raises an atomic flag and unblocks the accept loop with a
+//! self-connection, then joins the thread — no request is torn mid-
+//! write.
+
+use std::io::{self, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Longest request head we accept; plenty for `GET /path HTTP/1.1` plus
+/// scraper headers, and a hard bound against slow-loris payloads.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Per-connection socket timeout (both directions).
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// One response from a route handler.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 text/plain` response.
+    pub fn text(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A `200 application/json` response.
+    pub fn json(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A `200` Prometheus text-exposition response.
+    pub fn metrics(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    fn status_line(status: u16) -> &'static str {
+        match status {
+            200 => "200 OK",
+            400 => "400 Bad Request",
+            404 => "404 Not Found",
+            405 => "405 Method Not Allowed",
+            _ => "500 Internal Server Error",
+        }
+    }
+}
+
+/// A running telemetry endpoint; dropping it shuts the listener down.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// Bind `addr` and serve GET requests on a background thread.
+    ///
+    /// `handler` maps a request path (e.g. `/metrics`) to a response;
+    /// returning `None` yields a 404. It runs on the server thread, so
+    /// it must be cheap or lock briefly. Use port 0 to bind an
+    /// ephemeral port and read it back via [`HttpServer::local_addr`].
+    pub fn serve<F>(addr: &str, handler: F) -> io::Result<HttpServer>
+    where
+        F: Fn(&str) -> Option<Response> + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("obs-http".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Inline handling: requests are tiny, handlers are
+                    // cheap, and one slow client cannot wedge the loop
+                    // past the IO timeout.
+                    let _ = handle_connection(stream, &handler);
+                }
+            })?;
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, unblock the accept loop, and join the thread.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            // `incoming()` blocks in accept; a throwaway self-connection
+            // wakes it so it can observe the flag. An unspecified bind
+            // address (0.0.0.0) is not connectable — aim at loopback.
+            let target = match self.addr.ip() {
+                ip if ip.is_unspecified() => {
+                    SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), self.addr.port())
+                }
+                _ => self.addr,
+            };
+            let _ = TcpStream::connect_timeout(&target, IO_TIMEOUT);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection<F>(mut stream: TcpStream, handler: &F) -> io::Result<()>
+where
+    F: Fn(&str) -> Option<Response>,
+{
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    // Read until the end of the request head, the size bound, or EOF.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break Some(pos);
+        }
+        if buf.len() >= MAX_REQUEST_BYTES {
+            break None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break None,
+        }
+    };
+    let response = match head_end {
+        None => Response {
+            status: 400,
+            content_type: "text/plain; charset=utf-8",
+            body: "bad request\n".into(),
+        },
+        Some(pos) => route(&buf[..pos], handler),
+    };
+    write_response(&mut stream, &response)
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn route<F>(head: &[u8], handler: &F) -> Response
+where
+    F: Fn(&str) -> Option<Response>,
+{
+    let head = String::from_utf8_lossy(head);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => {
+            return Response {
+                status: 400,
+                content_type: "text/plain; charset=utf-8",
+                body: "bad request\n".into(),
+            }
+        }
+    };
+    if method != "GET" {
+        return Response {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            body: "method not allowed\n".into(),
+        };
+    }
+    // Strip any query string; routes here are plain paths.
+    let path = target.split('?').next().unwrap_or(target);
+    match handler(path) {
+        Some(r) => r,
+        None => Response {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: "not found\n".into(),
+        },
+    }
+}
+
+fn write_response(stream: &mut TcpStream, r: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        Response::status_line(r.status),
+        r.content_type,
+        r.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(r.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn serve_test() -> HttpServer {
+        HttpServer::serve("127.0.0.1:0", |path| match path {
+            "/healthz" => Some(Response::text("ok\n")),
+            "/status" => Some(Response::json("{\"ok\":true}")),
+            "/metrics" => Some(Response::metrics("x_total 1\n")),
+            _ => None,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_routes_with_content_types() {
+        let server = serve_test();
+        let addr = server.local_addr();
+        let health = get(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+        let status = get(addr, "GET /status HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(status.contains("application/json"), "{status}");
+        assert!(status.ends_with("{\"ok\":true}"), "{status}");
+        let metrics = get(addr, "GET /metrics?x=1 HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(
+            metrics.contains("version=0.0.4"),
+            "query string is stripped: {metrics}"
+        );
+        assert!(metrics.ends_with("x_total 1\n"), "{metrics}");
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_non_get_is_405() {
+        let server = serve_test();
+        let addr = server.local_addr();
+        let missing = get(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let post = get(addr, "POST /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+    }
+
+    #[test]
+    fn oversized_request_head_is_400() {
+        let server = serve_test();
+        // Exactly the bound with no head terminator: the server consumes
+        // every sent byte, hits the limit, and answers 400 over a clean
+        // close (no unread data → no RST racing the response).
+        let huge = format!(
+            "GET /healthz HTTP/1.1\r\nX-Pad: {}",
+            "a".repeat(MAX_REQUEST_BYTES)
+        );
+        let out = get(server.local_addr(), &huge[..MAX_REQUEST_BYTES]);
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+    }
+
+    #[test]
+    fn shutdown_joins_and_is_idempotent() {
+        let mut server = serve_test();
+        let addr = server.local_addr();
+        assert!(get(addr, "GET /healthz HTTP/1.1\r\n\r\n").contains("200"));
+        server.shutdown();
+        server.shutdown();
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err()
+                || get_may_fail(addr),
+            "listener is gone after shutdown"
+        );
+    }
+
+    // After shutdown the port is closed; on some kernels a queued
+    // connection may still be accepted — either way no response arrives.
+    fn get_may_fail(addr: SocketAddr) -> bool {
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            return true;
+        };
+        let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let mut out = String::new();
+        stream.read_to_string(&mut out).is_err() || out.is_empty()
+    }
+
+    #[test]
+    fn drop_shuts_down() {
+        let addr = {
+            let server = serve_test();
+            server.local_addr()
+        };
+        // Bindable again once dropped (SO_REUSEADDR-free proof the
+        // listener thread exited and released the port).
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port released after drop: {rebound:?}");
+    }
+}

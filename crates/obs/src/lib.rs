@@ -32,9 +32,15 @@ use grid_des::SimTime;
 use grid_ser::Value;
 
 mod chrome;
+pub mod http;
+pub mod metrics;
 mod progress;
 
-pub use progress::ProgressView;
+pub use http::{HttpServer, Response};
+// `metrics::Histogram` stays pathed — the recorder's `Histogram` owns
+// the unqualified name at the crate root.
+pub use metrics::{Counter, Gauge, MetricsRegistry};
+pub use progress::{ProgressView, RunnerRow};
 
 /// One event field value. `Copy` on purpose: call sites build field
 /// slices on the stack, so a disabled [`Obs`] costs no allocation.
@@ -271,14 +277,14 @@ impl Recorder {
 /// drop. A disabled handle yields an inert guard that never reads the
 /// clock.
 pub struct SpanGuard {
-    target: Option<(Arc<Mutex<Recorder>>, &'static str, Instant)>,
+    target: Option<(Arc<ObsCore>, &'static str, Instant)>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some((recorder, name, start)) = self.target.take() {
+        if let Some((core, name, start)) = self.target.take() {
             let elapsed = start.elapsed().as_nanos();
-            let mut r = recorder.lock().unwrap();
+            let mut r = core.recorder.lock().unwrap();
             let s = r.spans.entry(name).or_default();
             s.count += 1;
             s.total_ns += elapsed;
@@ -286,19 +292,112 @@ impl Drop for SpanGuard {
     }
 }
 
+/// Live [`MetricsRegistry`] mirror of the recorder's counters, gauges
+/// and histograms, with per-name handle caches so each series registers
+/// (and locks the registry) once; every later update is one atomic op.
+#[derive(Debug)]
+struct MirroredMetrics {
+    registry: MetricsRegistry,
+    counters: Mutex<BTreeMap<&'static str, metrics::Counter>>,
+    gauges: Mutex<BTreeMap<(&'static str, u32), metrics::Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, metrics::Histogram>>,
+}
+
+impl MirroredMetrics {
+    fn new(registry: MetricsRegistry) -> MirroredMetrics {
+        MirroredMetrics {
+            registry,
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn counter(&self, name: &'static str) -> metrics::Counter {
+        let mut cache = self.counters.lock().unwrap();
+        cache
+            .entry(name)
+            .or_insert_with(|| {
+                self.registry.counter(
+                    &metrics::recorder_counter_name(name),
+                    &format!("Engine counter {name}"),
+                )
+            })
+            .clone()
+    }
+
+    /// `site` is only consulted the first time a `(name, lane)` series
+    /// is seen; lanes are named at engine startup, before gauges flow.
+    fn gauge(&self, name: &'static str, lane: u32, site: Option<&str>) -> metrics::Gauge {
+        let mut cache = self.gauges.lock().unwrap();
+        cache
+            .entry((name, lane))
+            .or_insert_with(|| {
+                let lane_s = lane.to_string();
+                let mut labels: Vec<(&str, &str)> = vec![("lane", &lane_s)];
+                if let Some(site) = site {
+                    labels.push(("site", site));
+                }
+                self.registry.gauge_with(
+                    &metrics::recorder_series_name(name),
+                    &format!("Engine gauge {name} (last sample)"),
+                    &labels,
+                )
+            })
+            .clone()
+    }
+
+    fn histogram(&self, name: &'static str) -> metrics::Histogram {
+        let mut cache = self.histograms.lock().unwrap();
+        cache
+            .entry(name)
+            .or_insert_with(|| {
+                self.registry.histogram(
+                    &metrics::recorder_series_name(name),
+                    &format!("Engine histogram {name}"),
+                )
+            })
+            .clone()
+    }
+}
+
+/// Shared state behind an enabled [`Obs`] handle: the recorder, plus an
+/// optional live metrics mirror for `/metrics` scraping.
+#[derive(Debug)]
+struct ObsCore {
+    recorder: Mutex<Recorder>,
+    metrics: Option<MirroredMetrics>,
+}
+
 /// Shared handle to a [`Recorder`], or nothing at all.
 ///
 /// `Obs::default()` is the disabled handle: every recording method is a
 /// single `None` check. Cloning shares the underlying recorder, so the
 /// driver, each cluster and the campaign executor can all hold the same
-/// one.
+/// one. [`Obs::with_metrics`] additionally mirrors counters, gauges and
+/// histograms into a [`MetricsRegistry`] a `/metrics` endpoint can
+/// scrape mid-run — the mirror is strictly write-through, so recorded
+/// state (and thus every deterministic export) is unaffected.
 #[derive(Clone, Debug, Default)]
-pub struct Obs(Option<Arc<Mutex<Recorder>>>);
+pub struct Obs(Option<Arc<ObsCore>>);
 
 impl Obs {
     /// A handle that records.
     pub fn enabled() -> Obs {
-        Obs(Some(Arc::new(Mutex::new(Recorder::default()))))
+        Obs(Some(Arc::new(ObsCore {
+            recorder: Mutex::new(Recorder::default()),
+            metrics: None,
+        })))
+    }
+
+    /// A recording handle that also mirrors updates into `registry`
+    /// (names per [`metrics::recorder_counter_name`] /
+    /// [`metrics::recorder_series_name`]) for live scraping.
+    pub fn with_metrics(registry: MetricsRegistry) -> Obs {
+        Obs(Some(Arc::new(ObsCore {
+            recorder: Mutex::new(Recorder::default()),
+            metrics: Some(MirroredMetrics::new(registry)),
+        })))
     }
 
     /// The no-op handle (same as `Obs::default()`).
@@ -311,37 +410,64 @@ impl Obs {
         self.0.is_some()
     }
 
+    /// The live metrics registry this handle mirrors into, if any.
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        self.0
+            .as_ref()
+            .and_then(|core| core.metrics.as_ref())
+            .map(|m| m.registry.clone())
+    }
+
     /// Add `n` to counter `name`.
     #[inline]
     pub fn count(&self, name: &'static str, n: u64) {
-        if let Some(r) = &self.0 {
-            *r.lock().unwrap().counters.entry(name).or_insert(0) += n;
+        if let Some(core) = &self.0 {
+            *core
+                .recorder
+                .lock()
+                .unwrap()
+                .counters
+                .entry(name)
+                .or_insert(0) += n;
+            if let Some(m) = &core.metrics {
+                m.counter(name).add(n);
+            }
         }
     }
 
     /// Append a `(t, value)` sample to the `name` series of `lane`.
     #[inline]
     pub fn gauge(&self, name: &'static str, lane: u32, t: SimTime, value: f64) {
-        if let Some(r) = &self.0 {
-            r.lock()
-                .unwrap()
-                .gauges
-                .entry((name, lane))
-                .or_default()
-                .push((t, value));
+        if let Some(core) = &self.0 {
+            let site = {
+                let mut r = core.recorder.lock().unwrap();
+                r.gauges.entry((name, lane)).or_default().push((t, value));
+                if core.metrics.is_some() {
+                    r.lanes.get(&lane).cloned()
+                } else {
+                    None
+                }
+            };
+            if let Some(m) = &core.metrics {
+                m.gauge(name, lane, site.as_deref()).set(value);
+            }
         }
     }
 
     /// Record one histogram observation.
     #[inline]
     pub fn observe(&self, name: &'static str, value: u64) {
-        if let Some(r) = &self.0 {
-            r.lock()
+        if let Some(core) = &self.0 {
+            core.recorder
+                .lock()
                 .unwrap()
                 .histograms
                 .entry(name)
                 .or_default()
                 .observe(value);
+            if let Some(m) = &core.metrics {
+                m.histogram(name).observe(value);
+            }
         }
     }
 
@@ -355,8 +481,8 @@ impl Obs {
         lane: Option<u32>,
         fields: &[(&'static str, Field)],
     ) {
-        if let Some(r) = &self.0 {
-            r.lock().unwrap().events.push(Event {
+        if let Some(core) = &self.0 {
+            core.recorder.lock().unwrap().events.push(Event {
                 t,
                 kind,
                 lane,
@@ -367,8 +493,12 @@ impl Obs {
 
     /// Register the display name of a cluster lane.
     pub fn name_lane(&self, lane: u32, name: &str) {
-        if let Some(r) = &self.0 {
-            r.lock().unwrap().lanes.insert(lane, name.to_string());
+        if let Some(core) = &self.0 {
+            core.recorder
+                .lock()
+                .unwrap()
+                .lanes
+                .insert(lane, name.to_string());
         }
     }
 
@@ -380,13 +510,15 @@ impl Obs {
             target: self
                 .0
                 .as_ref()
-                .map(|r| (Arc::clone(r), name, Instant::now())),
+                .map(|core| (Arc::clone(core), name, Instant::now())),
         }
     }
 
     /// Run `f` over the recorder, if enabled.
     pub fn with<R>(&self, f: impl FnOnce(&Recorder) -> R) -> Option<R> {
-        self.0.as_ref().map(|r| f(&r.lock().unwrap()))
+        self.0
+            .as_ref()
+            .map(|core| f(&core.recorder.lock().unwrap()))
     }
 
     /// Clone the recorded state out of the handle, if enabled.
@@ -481,6 +613,36 @@ mod tests {
         };
         assert_eq!(record(7), record(7));
         assert_ne!(record(7).0, record(11).0);
+    }
+
+    #[test]
+    fn with_metrics_mirrors_live_without_perturbing_the_recorder() {
+        let reg = MetricsRegistry::new();
+        let obs = Obs::with_metrics(reg.clone());
+        assert!(obs.metrics().is_some());
+        obs.name_lane(0, "site-a");
+        obs.count("ops", 2);
+        obs.observe("sizes", 5);
+        obs.gauge("load", 0, SimTime(1), 3.0);
+        let page = reg.render();
+        assert!(page.contains("grid_ops_total 2"), "{page}");
+        assert!(
+            page.contains("grid_load{lane=\"0\",site=\"site-a\"} 3"),
+            "{page}"
+        );
+        assert!(page.contains("grid_sizes_count 1"), "{page}");
+        // The mirror is write-through: recorded state matches a plain
+        // enabled handle byte for byte.
+        let plain = Obs::enabled();
+        assert!(plain.metrics().is_none());
+        plain.name_lane(0, "site-a");
+        plain.count("ops", 2);
+        plain.observe("sizes", 5);
+        plain.gauge("load", 0, SimTime(1), 3.0);
+        let (a, b) = (obs.snapshot().unwrap(), plain.snapshot().unwrap());
+        assert_eq!(a.summary().encode(), b.summary().encode());
+        assert_eq!(a.events_jsonl(), b.events_jsonl());
+        assert_eq!(a.chrome_trace(), b.chrome_trace());
     }
 
     #[test]

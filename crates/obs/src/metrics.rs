@@ -1,0 +1,686 @@
+//! Lock-cheap metrics registry with Prometheus text exposition.
+//!
+//! The [`Recorder`] is a *post-hoc* artifact: it
+//! collects one run's telemetry and exports it when the run is over. A
+//! live fleet needs the opposite — series that can be scraped *while*
+//! the campaign drains. [`MetricsRegistry`] is that layer: named
+//! counters, gauges and histograms registered once (one mutex
+//! acquisition) and updated through `Arc`-shared atomic handles, so the
+//! hot path after registration is a single `fetch_add` — no lock, no
+//! allocation.
+//!
+//! Rendering follows the Prometheus text exposition format (version
+//! 0.0.4): `# HELP` / `# TYPE` headers, escaped label values, and —
+//! for histograms — cumulative `_bucket{le="…"}` lines ending in the
+//! mandatory `+Inf` bucket plus `_sum` / `_count`. Histograms reuse the
+//! recorder's power-of-two bucket scheme (value `v` lands in bucket
+//! `⌊log2 v⌋ + 1`, zero in bucket 0), so `le` bounds are `2^b − 1`:
+//! exact inclusive upper bounds for integer observations.
+//!
+//! [`MetricsRegistry::from_recorder`] bridges the two worlds: a
+//! finished (or snapshotted) recorder renders as one deterministic
+//! exposition page — the golden-snapshot tests pin its bytes.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::Recorder;
+
+/// Buckets 0..=64: bucket 0 is exactly zero, bucket `b` covers
+/// `[2^(b−1), 2^b)` — the recorder's scheme, one `leading_zeros` per
+/// observation.
+const BUCKETS: usize = 65;
+
+/// A monotonically increasing series. Updates are lock-free.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A set-to-current-value series (stored as `f64` bits). Updates are
+/// lock-free; concurrent setters race benignly (last write wins).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A power-of-two-bucketed distribution series. Updates are lock-free.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let bucket = if v == 0 { 0 } else { 64 - v.leading_zeros() };
+        self.0.buckets[bucket as usize].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Series {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+#[derive(Debug)]
+struct Family {
+    kind: Kind,
+    help: String,
+    /// Series keyed by their rendered (sorted, escaped) label set —
+    /// `""` for the unlabelled series.
+    series: BTreeMap<String, Series>,
+}
+
+/// A shared registry of named metric families.
+///
+/// Cloning shares the registry. Registration (`counter` / `gauge` /
+/// `histogram` and their `_with` label variants) takes the registry
+/// lock once and returns an atomic handle; re-registering the same
+/// `(name, labels)` returns a handle to the *same* underlying series,
+/// so call sites never need to coordinate.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    families: Arc<Mutex<BTreeMap<String, Family>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Register (or look up) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or look up) a counter with label pairs.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.series(name, help, labels, Kind::Counter) {
+            Series::Counter(c) => Counter(c),
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Register (or look up) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or look up) a gauge with label pairs.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.series(name, help, labels, Kind::Gauge) {
+            Series::Gauge(g) => Gauge(g),
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Register (or look up) an unlabelled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Register (or look up) a histogram with label pairs.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.series(name, help, labels, Kind::Histogram) {
+            Series::Histogram(h) => Histogram(h),
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    fn series(&self, name: &str, help: &str, labels: &[(&str, &str)], kind: Kind) -> Series {
+        let name = sanitize_metric_name(name);
+        let key = render_labels(labels);
+        let mut families = self.families.lock().unwrap();
+        let family = families.entry(name.clone()).or_insert_with(|| Family {
+            kind,
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        assert_eq!(
+            family.kind,
+            kind,
+            "metric {name:?} registered as {} and {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        let series = family.series.entry(key).or_insert_with(|| match kind {
+            Kind::Counter => Series::Counter(Arc::new(AtomicU64::new(0))),
+            Kind::Gauge => Series::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))),
+            Kind::Histogram => Series::Histogram(Arc::new(HistogramCore::default())),
+        });
+        match series {
+            Series::Counter(c) => Series::Counter(Arc::clone(c)),
+            Series::Gauge(g) => Series::Gauge(Arc::clone(g)),
+            Series::Histogram(h) => Series::Histogram(Arc::clone(h)),
+        }
+    }
+
+    /// Render the whole registry in Prometheus text exposition format.
+    ///
+    /// Families render sorted by name, series sorted by label set, so
+    /// the page is deterministic given the same registry state. A
+    /// histogram with zero observations is omitted (the series has not
+    /// produced a sample yet); counters and gauges render even at zero
+    /// — registering one *is* the statement that the series exists.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let families = self.families.lock().unwrap();
+        for (name, family) in families.iter() {
+            // Zero-sample omission: suppress a family whose every series
+            // is an unobserved histogram.
+            if family.kind == Kind::Histogram
+                && family.series.values().all(|s| match s {
+                    Series::Histogram(h) => h.count.load(Ordering::Relaxed) == 0,
+                    _ => false,
+                })
+            {
+                continue;
+            }
+            if !family.help.is_empty() {
+                out.push_str("# HELP ");
+                out.push_str(name);
+                out.push(' ');
+                out.push_str(&escape_help(&family.help));
+                out.push('\n');
+            }
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(family.kind.as_str());
+            out.push('\n');
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        render_sample(&mut out, name, labels, c.load(Ordering::Relaxed));
+                    }
+                    Series::Gauge(g) => {
+                        let v = f64::from_bits(g.load(Ordering::Relaxed));
+                        out.push_str(name);
+                        out.push_str(labels);
+                        out.push(' ');
+                        out.push_str(&fmt_f64(v));
+                        out.push('\n');
+                    }
+                    Series::Histogram(h) => {
+                        let count = h.count.load(Ordering::Relaxed);
+                        if count == 0 {
+                            continue;
+                        }
+                        let mut cumulative = 0u64;
+                        for (b, bucket) in h.buckets.iter().enumerate() {
+                            let n = bucket.load(Ordering::Relaxed);
+                            if n == 0 {
+                                continue;
+                            }
+                            cumulative += n;
+                            let le = if b == 0 {
+                                "0".to_string()
+                            } else {
+                                // Bucket b covers [2^(b−1), 2^b): the
+                                // inclusive integer upper bound is 2^b − 1
+                                // (u64::MAX for the top bucket).
+                                if b == 64 {
+                                    u64::MAX.to_string()
+                                } else {
+                                    ((1u64 << b) - 1).to_string()
+                                }
+                            };
+                            render_bucket(&mut out, name, labels, &le, cumulative);
+                        }
+                        render_bucket(&mut out, name, labels, "+Inf", count);
+                        render_sample(
+                            &mut out,
+                            &format!("{name}_sum"),
+                            labels,
+                            h.sum.load(Ordering::Relaxed),
+                        );
+                        render_sample(&mut out, &format!("{name}_count"), labels, count);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Build a registry mirroring a [`Recorder`]'s counters, histograms
+    /// and gauges under the same names [`crate::Obs::with_metrics`]
+    /// mirrors live updates to — so a post-hoc render and a live scrape
+    /// of the same run expose identical series.
+    ///
+    /// Counters become `grid_<name>_total`; histograms `grid_<name>`;
+    /// each gauge series' *last* sample becomes `grid_<name>{lane="N"}`
+    /// (with a `site` label when the lane is named). Deterministic:
+    /// identical recorders render identical pages.
+    pub fn from_recorder(rec: &Recorder) -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        for (name, value) in rec.counters() {
+            reg.counter(
+                &recorder_counter_name(name),
+                &format!("Engine counter {name}"),
+            )
+            .add(value);
+        }
+        for (name, hist) in &rec.histograms {
+            let h = reg.histogram(
+                &recorder_series_name(name),
+                &format!("Engine histogram {name}"),
+            );
+            for (floor, n) in hist.buckets() {
+                // Re-observing the bucket floor lands in the same bucket
+                // the original value did; the recorder's per-bucket sums
+                // are not kept, so the exposition sum is the floor sum —
+                // a documented lower bound.
+                for _ in 0..n {
+                    h.observe(floor);
+                }
+            }
+        }
+        for (&(name, lane), series) in &rec.gauges {
+            let Some(&(_, last)) = series.last() else {
+                continue;
+            };
+            let lane_s = lane.to_string();
+            let mut labels: Vec<(&str, &str)> = vec![("lane", &lane_s)];
+            let site = rec.lanes().get(&lane).cloned();
+            if let Some(site) = &site {
+                labels.push(("site", site));
+            }
+            reg.gauge_with(
+                &recorder_series_name(name),
+                &format!("Engine gauge {name} (last sample)"),
+                &labels,
+            )
+            .set(last);
+        }
+        reg
+    }
+}
+
+fn render_sample(out: &mut String, name: &str, labels: &str, value: u64) {
+    out.push_str(name);
+    out.push_str(labels);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn render_bucket(out: &mut String, name: &str, labels: &str, le: &str, cumulative: u64) {
+    out.push_str(name);
+    out.push_str("_bucket");
+    // Merge `le` into the existing label set: `{a="b"}` → `{a="b",le=…}`.
+    if let Some(stripped) = labels.strip_suffix('}') {
+        out.push_str(stripped);
+        out.push(',');
+    } else {
+        out.push('{');
+    }
+    out.push_str("le=\"");
+    out.push_str(le);
+    out.push_str("\"} ");
+    out.push_str(&cumulative.to_string());
+    out.push('\n');
+}
+
+/// The exposition name a recorder counter mirrors to.
+pub fn recorder_counter_name(name: &str) -> String {
+    format!("grid_{}_total", sanitize_metric_name(name))
+}
+
+/// The exposition name a recorder gauge or histogram mirrors to.
+pub fn recorder_series_name(name: &str) -> String {
+    format!("grid_{}", sanitize_metric_name(name))
+}
+
+/// Reduce a name to the Prometheus metric-name alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`, and
+/// a leading digit is prefixed with `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphabetic() || c == '_' || c == ':' || (c.is_ascii_digit() && i > 0) {
+            out.push(c);
+        } else if c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Render a label set as `{k="v",…}` with keys sorted and values
+/// escaped; empty set renders as the empty string.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut out = String::from("{");
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&sanitize_metric_name(k));
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote and newline.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// `# HELP` text escaping: backslash and newline (quotes are legal).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Stable float formatting: integral values render without a fraction,
+/// everything else through Rust's shortest-roundtrip `Display`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field, Obs};
+    use grid_des::SimTime;
+
+    #[test]
+    fn counters_and_gauges_render_with_help_and_type() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("jobs_total", "Jobs seen");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = reg.gauge("queue_depth", "Current queue depth");
+        g.set(7.0);
+        assert_eq!(g.get(), 7.0);
+        let page = reg.render();
+        assert_eq!(
+            page,
+            "# HELP jobs_total Jobs seen\n\
+             # TYPE jobs_total counter\n\
+             jobs_total 5\n\
+             # HELP queue_depth Current queue depth\n\
+             # TYPE queue_depth gauge\n\
+             queue_depth 7\n"
+        );
+    }
+
+    #[test]
+    fn reregistration_shares_the_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hits", "h").inc();
+        reg.counter("hits", "h").inc();
+        assert_eq!(reg.counter("hits", "h").get(), 2);
+        // Labelled variants are distinct series of one family.
+        reg.counter_with("hits", "h", &[("site", "a")]).add(9);
+        assert_eq!(reg.counter("hits", "h").get(), 2);
+        assert_eq!(reg.counter_with("hits", "h", &[("site", "a")]).get(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter and gauge")]
+    fn kind_conflicts_panic() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x", "");
+        reg.gauge("x", "");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("c", "", &[("path", "a\\b\"c\nd")]).inc();
+        let page = reg.render();
+        assert!(
+            page.contains("c{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            "backslash, quote and newline must be escaped: {page}"
+        );
+        // Round-trippable: no raw newline survives inside the sample line.
+        assert_eq!(page.lines().count(), 2, "{page}");
+    }
+
+    #[test]
+    fn labels_render_sorted_regardless_of_registration_order() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("c", "", &[("z", "1"), ("a", "2")]).inc();
+        assert!(reg.render().contains("c{a=\"2\",z=\"1\"} 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_in_inf() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_ms", "Latency");
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1034);
+        let page = reg.render();
+        // 0→bucket 0; 1→[1,2); 2,3→[2,4); 4→[4,8); 1024→[1024,2048).
+        // Cumulative counts at the inclusive integer bounds:
+        let expected = "# HELP lat_ms Latency\n\
+             # TYPE lat_ms histogram\n\
+             lat_ms_bucket{le=\"0\"} 1\n\
+             lat_ms_bucket{le=\"1\"} 2\n\
+             lat_ms_bucket{le=\"3\"} 4\n\
+             lat_ms_bucket{le=\"7\"} 5\n\
+             lat_ms_bucket{le=\"2047\"} 6\n\
+             lat_ms_bucket{le=\"+Inf\"} 6\n\
+             lat_ms_sum 1034\n\
+             lat_ms_count 6\n";
+        assert_eq!(page, expected);
+    }
+
+    #[test]
+    fn labelled_histogram_buckets_merge_le_into_the_label_set() {
+        let reg = MetricsRegistry::new();
+        reg.histogram_with("h", "", &[("site", "a")]).observe(3);
+        let page = reg.render();
+        assert!(page.contains("h_bucket{site=\"a\",le=\"3\"} 1"), "{page}");
+        assert!(
+            page.contains("h_bucket{site=\"a\",le=\"+Inf\"} 1"),
+            "{page}"
+        );
+        assert!(page.contains("h_sum{site=\"a\"} 3"), "{page}");
+        assert!(page.contains("h_count{site=\"a\"} 1"), "{page}");
+    }
+
+    #[test]
+    fn zero_sample_histograms_are_omitted() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("silent", "never observed");
+        reg.counter("loud", "registered only").add(0);
+        let page = reg.render();
+        assert!(
+            !page.contains("silent"),
+            "unobserved histogram must be omitted: {page}"
+        );
+        // Counters render at zero: registration declares the series.
+        assert!(page.contains("loud 0"), "{page}");
+    }
+
+    #[test]
+    fn sanitize_maps_to_the_metric_alphabet() {
+        assert_eq!(
+            sanitize_metric_name("sched.first_fit_probes"),
+            "sched_first_fit_probes"
+        );
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn golden_exposition_snapshot_from_a_deterministic_recorder() {
+        let obs = Obs::enabled();
+        obs.name_lane(0, "site-a");
+        obs.count("sched.probes", 7);
+        obs.count("jobs.run", 3);
+        obs.observe("queue.wait_s", 0);
+        obs.observe("queue.wait_s", 5);
+        obs.observe("queue.wait_s", 300);
+        obs.gauge("queue.depth", 0, SimTime(10), 4.0);
+        obs.gauge("queue.depth", 0, SimTime(20), 2.0);
+        obs.gauge("queue.depth", 3, SimTime(20), 9.5);
+        obs.event(SimTime(1), "noop", None, &[("x", Field::U64(1))]);
+        let rec = obs.snapshot().unwrap();
+        let page = MetricsRegistry::from_recorder(&rec).render();
+        let golden = "\
+# HELP grid_jobs_run_total Engine counter jobs.run
+# TYPE grid_jobs_run_total counter
+grid_jobs_run_total 3
+# HELP grid_queue_depth Engine gauge queue.depth (last sample)
+# TYPE grid_queue_depth gauge
+grid_queue_depth{lane=\"0\",site=\"site-a\"} 2
+grid_queue_depth{lane=\"3\"} 9.5
+# HELP grid_queue_wait_s Engine histogram queue.wait_s
+# TYPE grid_queue_wait_s histogram
+grid_queue_wait_s_bucket{le=\"0\"} 1
+grid_queue_wait_s_bucket{le=\"7\"} 2
+grid_queue_wait_s_bucket{le=\"511\"} 3
+grid_queue_wait_s_bucket{le=\"+Inf\"} 3
+grid_queue_wait_s_sum 260
+grid_queue_wait_s_count 3
+# HELP grid_sched_probes_total Engine counter sched.probes
+# TYPE grid_sched_probes_total counter
+grid_sched_probes_total 7
+";
+        assert_eq!(page, golden);
+        // Determinism: a second identical recording renders identical bytes.
+        let again = MetricsRegistry::from_recorder(&rec).render();
+        assert_eq!(page, again);
+    }
+
+    #[test]
+    fn concurrent_updates_land() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("n", "");
+        let h = reg.histogram("d", "");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(i % 16);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+    }
+}

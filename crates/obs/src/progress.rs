@@ -44,7 +44,56 @@ pub struct ProgressView {
     pub runners: usize,
     /// Wall time spent so far, milliseconds.
     pub elapsed_ms: u64,
+    /// Fleet-reported throughput (sum of runner heartbeat rates). When
+    /// set it overrides the elapsed-time rate estimate and drives a
+    /// rate-based ETA — heartbeats know the *current* rate, while
+    /// `done / elapsed` averages over warm-up and cache replay.
+    pub rate_per_s: Option<f64>,
+    /// Per-runner detail rows sourced from heartbeats (status view;
+    /// empty for single-process runs).
+    pub runner_rows: Vec<RunnerRow>,
     wall_ms: Vec<u64>,
+}
+
+/// One runner's heartbeat, rendered as an indented detail line under
+/// the fleet status line.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunnerRow {
+    /// Runner id (`--runner-id`, default `host-pid`).
+    pub id: String,
+    /// Units this runner computed.
+    pub computed: usize,
+    /// Units this runner finished from cache.
+    pub cached: usize,
+    /// Units this runner failed.
+    pub failed: usize,
+    /// Units currently claimed by this runner.
+    pub in_flight: usize,
+    /// This runner's recent throughput.
+    pub runs_per_s: f64,
+    /// Cache key of the unit being worked on, if any.
+    pub current: Option<String>,
+    /// Seconds since the last heartbeat was written.
+    pub age_s: u64,
+}
+
+impl RunnerRow {
+    /// The detail line, without trailing newline.
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "  {}: {} computed, {} cached, {} failed",
+            self.id, self.computed, self.cached, self.failed
+        );
+        if self.in_flight > 0 {
+            line.push_str(&format!(", {} in flight", self.in_flight));
+        }
+        line.push_str(&format!(", {:.2} runs/s", self.runs_per_s));
+        if let Some(current) = &self.current {
+            line.push_str(&format!(", on {current}"));
+        }
+        line.push_str(&format!(" (beat {}s ago)", self.age_s));
+        line
+    }
 }
 
 impl ProgressView {
@@ -137,6 +186,17 @@ impl ProgressView {
         if self.claimed > 0 {
             line.push_str(&format!(" | {} claimed", self.claimed));
         }
+        if let Some(rate) = self.rate_per_s {
+            // Heartbeat-sourced throughput: the fleet's current rate,
+            // with a rate-based ETA (no CI — heartbeats carry a point
+            // estimate, not a sample distribution).
+            line.push_str(&format!(" | {rate:.2} runs/s"));
+            if rate > 0.0 && done < self.total {
+                let eta = (self.total - done) as f64 / rate;
+                line.push_str(&format!(" | ETA {eta:.0}s"));
+            }
+            return line;
+        }
         if self.elapsed_ms > 0 && done > 0 {
             line.push_str(&format!(
                 " | {:.1} runs/s",
@@ -154,6 +214,11 @@ impl ProgressView {
             _ => {}
         }
         line
+    }
+
+    /// Render the per-runner detail rows, one line per runner.
+    pub fn render_runners(&self) -> Vec<String> {
+        self.runner_rows.iter().map(RunnerRow::render).collect()
     }
 }
 
@@ -205,6 +270,59 @@ mod tests {
         assert!(line.contains("2 runner(s)"), "{line}");
         assert!(line.contains("3 claimed"), "{line}");
         assert_eq!(p.done(), 4, "skipped cells count as done");
+    }
+
+    #[test]
+    fn heartbeat_rate_overrides_elapsed_estimate_and_eta() {
+        let mut p = ProgressView::new(10);
+        p.on_computed(100);
+        p.on_computed(100);
+        p.elapsed_ms = 2_000;
+        p.rate_per_s = Some(0.5);
+        let line = p.render();
+        assert!(line.contains("| 0.50 runs/s"), "{line}");
+        // Rate-based ETA: 8 remaining / 0.5 per s = 16s, no ± bar.
+        assert!(line.contains("| ETA 16s"), "{line}");
+        assert!(!line.contains('±'), "{line}");
+        // Zero rate renders the rate but suppresses the ETA.
+        p.rate_per_s = Some(0.0);
+        let line = p.render();
+        assert!(line.contains("| 0.00 runs/s"), "{line}");
+        assert!(!line.contains("ETA"), "{line}");
+    }
+
+    #[test]
+    fn runner_rows_render_as_indented_detail_lines() {
+        let mut p = ProgressView::new(10);
+        p.runner_rows.push(RunnerRow {
+            id: "ci-a".into(),
+            computed: 5,
+            cached: 1,
+            failed: 0,
+            in_flight: 1,
+            runs_per_s: 0.42,
+            current: Some("jun/homog/none".into()),
+            age_s: 1,
+        });
+        p.runner_rows.push(RunnerRow {
+            id: "ci-b".into(),
+            computed: 2,
+            cached: 0,
+            failed: 1,
+            in_flight: 0,
+            runs_per_s: 0.2,
+            current: None,
+            age_s: 3,
+        });
+        let rows = p.render_runners();
+        assert_eq!(
+            rows[0],
+            "  ci-a: 5 computed, 1 cached, 0 failed, 1 in flight, 0.42 runs/s, on jun/homog/none (beat 1s ago)"
+        );
+        assert_eq!(
+            rows[1],
+            "  ci-b: 2 computed, 0 cached, 1 failed, 0.20 runs/s (beat 3s ago)"
+        );
     }
 
     #[test]
