@@ -45,8 +45,8 @@ use grid_obs::{Field, Obs};
 use crate::gantt::GanttEntry;
 use crate::job::{JobId, JobSpec, ScaledJob};
 use crate::platform::ClusterSpec;
-use crate::profile::Profile;
-use crate::sched::{BatchPolicy, QueueDelta, QueueScan};
+use crate::profile::{Profile, ProfileSnapshot};
+use crate::sched::{BatchFit, BatchPolicy, QueueDelta, QueueScan};
 
 /// Why a submission was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +185,11 @@ impl JobSlab {
         self.free.push(slot);
         (self.jobs[slot as usize], self.scaled[slot as usize])
     }
+
+    /// Slots currently holding a waiting job.
+    fn live(&self) -> usize {
+        self.jobs.len() - self.free.len()
+    }
 }
 
 /// Process-wide switch for the completion-skip fast path (an early
@@ -235,6 +240,14 @@ pub struct ClusterStats {
     /// floor instead of descending from `now` (see the `sched` module
     /// docs).
     pub batch_fast_placements: u64,
+    /// [`Cluster::prepare_estimates`] calls that found the cached
+    /// profile snapshot still valid (no mutation since it was taken), so
+    /// the ECT dry-run pass reused it instead of re-freezing.
+    pub ect_snapshot_reuses: u64,
+    /// Batched ECT column fills answered against the snapshot
+    /// ([`Cluster::estimate_new_batch`] calls — one per per-cluster
+    /// column the reallocation round (re)filled).
+    pub ect_column_refills: u64,
 }
 
 impl ClusterStats {
@@ -269,6 +282,12 @@ impl ClusterStats {
         if self.batch_fast_placements > 0 {
             obj.insert("batch_fast_placements", self.batch_fast_placements);
         }
+        if self.ect_snapshot_reuses > 0 {
+            obj.insert("ect_snapshot_reuses", self.ect_snapshot_reuses);
+        }
+        if self.ect_column_refills > 0 {
+            obj.insert("ect_column_refills", self.ect_column_refills);
+        }
         obj
     }
 
@@ -290,8 +309,27 @@ impl ClusterStats {
             first_fit_probes: opt("first_fit_probes"),
             profile_promotions: opt("profile_promotions"),
             batch_fast_placements: opt("batch_fast_placements"),
+            ect_snapshot_reuses: opt("ect_snapshot_reuses"),
+            ect_column_refills: opt("ect_column_refills"),
         })
     }
+}
+
+/// The frozen state behind a run of read-only ECT dry-runs: the
+/// copy-on-write profile snapshot plus the policy's tail floor at the
+/// freeze instant. The floor is a pure function of the frozen queue, so
+/// computing it once here amortises what is otherwise a per-estimate
+/// cost (FCFS pays an O(queue) max-scan for it) across every
+/// [`Cluster::estimate_new_at`] / [`Cluster::estimate_new_batch`] call
+/// served by the same freeze.
+#[derive(Debug, Clone)]
+struct FrozenEstimates {
+    profile: ProfileSnapshot,
+    floor: SimTime,
+    /// Instant `floor` was computed at; a later `prepare_estimates`
+    /// with a different `now` recomputes the floor without dropping the
+    /// (still valid) profile snapshot.
+    now: SimTime,
 }
 
 /// A cluster of processors under a batch scheduler.
@@ -322,6 +360,13 @@ pub struct Cluster {
     /// mapped through `repair_from`; `None` when the cached schedule is
     /// clean).
     dirty_from: Option<usize>,
+    /// Copy-on-write freeze of the profile serving read-only ECT dry-runs
+    /// ([`Cluster::estimate_new_at`] / [`Cluster::estimate_new_batch`]).
+    /// Taken by [`Cluster::prepare_estimates`]; dropped only by real
+    /// mutations (submit/cancel/complete/fail_until) or an origin
+    /// advance, so back-to-back dry-run passes within one reallocation
+    /// tick share the same frozen store.
+    snapshot: Option<FrozenEstimates>,
     /// Warm-profile maintenance switch; `false` restores the historical
     /// invalidate-on-every-change behaviour (benchmark baseline).
     incremental: bool,
@@ -370,6 +415,7 @@ impl Cluster {
             q_enqueued: Vec::new(),
             profile: None,
             dirty_from: None,
+            snapshot: None,
             incremental: true,
             stats: ClusterStats::default(),
             history: Vec::new(),
@@ -398,6 +444,7 @@ impl Cluster {
     pub fn set_incremental(&mut self, incremental: bool) {
         self.incremental = incremental;
         if !incremental {
+            self.invalidate_snapshot();
             self.profile = None;
             self.dirty_from = None;
         }
@@ -438,7 +485,34 @@ impl Cluster {
         let reserved = self.q_reserved.remove(idx);
         self.q_enqueued.remove(idx);
         let (job, scaled) = self.slab.remove(slot);
+        self.maybe_compact_slab();
         (job, scaled, reserved)
+    }
+
+    /// Compact the job arena once churn (long outages evicting whole
+    /// queues, drain/refill cycles) has left it mostly holes: when the
+    /// free list outnumbers the live slots two to one, rebuild the
+    /// backing vectors with the live jobs in queue order — which is
+    /// also scan order — and renumber `q_slot`. Slot handles never
+    /// escape the cluster, so the renumbering is invisible outside;
+    /// the threshold makes the copy cost amortised O(1) per removal.
+    fn maybe_compact_slab(&mut self) {
+        if self.slab.free.len() <= 2 * self.slab.live() {
+            return;
+        }
+        let mut jobs = Vec::with_capacity(self.q_slot.len());
+        let mut scaled = Vec::with_capacity(self.q_slot.len());
+        for slot in &mut self.q_slot {
+            let s = *slot as usize;
+            jobs.push(self.slab.jobs[s]);
+            scaled.push(self.slab.scaled[s]);
+            *slot = (jobs.len() - 1) as u32;
+        }
+        self.slab = JobSlab {
+            jobs,
+            scaled,
+            free: Vec::new(),
+        };
     }
 
     /// Enable/disable walltime speed-adjustment (see the field docs).
@@ -558,6 +632,10 @@ impl Cluster {
         if self.find_queued(job.id).is_some() || self.find_running(job.id).is_some() {
             return Err(SubmitError::Duplicate(job.id));
         }
+        // A real mutation: the frozen dry-run view (if any) is stale, and
+        // dropping it first keeps the profile's backing store unique so
+        // the reservation below mutates in place instead of copying.
+        self.invalidate_snapshot();
         let scaled = self.scale_job(&job);
         let start = if self.policy.scheduler().incremental_tail() {
             // A tail job never disturbs existing reservations under these
@@ -599,6 +677,7 @@ impl Cluster {
     /// it was queued here.
     pub fn cancel(&mut self, id: JobId, _now: SimTime) -> Option<JobSpec> {
         let idx = self.find_queued(id)?;
+        self.invalidate_snapshot();
         let (job, scaled, reserved) = self.queue_remove(idx);
         self.stats.canceled += 1;
         // A hole opened: later reservations may move earlier. When the
@@ -642,6 +721,118 @@ impl Cluster {
         Some(self.noisy(id, now, self.q_reserved[idx] + self.q_walltime[idx]))
     }
 
+    /// Freeze the current schedule for read-only ECT dry-runs: brings the
+    /// schedule up to date, then caches an O(1) copy-on-write
+    /// [`ProfileSnapshot`] (reusing the cached one when no mutation has
+    /// intervened — the common case across the columns of one
+    /// reallocation tick).
+    pub fn prepare_estimates(&mut self, now: SimTime) {
+        self.ensure_schedule(now);
+        self.harvest_probes();
+        if let Some(frozen) = &mut self.snapshot {
+            if frozen.now != now {
+                frozen.floor = self.policy.scheduler().tail_floor(&self.q_reserved, now);
+                frozen.now = now;
+            }
+            self.stats.ect_snapshot_reuses += 1;
+            self.obs.count("ect.snapshot_reuses", 1);
+        } else {
+            self.snapshot = Some(FrozenEstimates {
+                profile: self
+                    .profile
+                    .as_ref()
+                    .expect("schedule just ensured")
+                    .snapshot(),
+                floor: self.policy.scheduler().tail_floor(&self.q_reserved, now),
+                now,
+            });
+        }
+    }
+
+    /// Record that an already-frozen snapshot answered an estimate
+    /// without a re-freeze — called by callers that proved (via their own
+    /// invalidation tracking) the snapshot is still current and so
+    /// skipped [`Cluster::prepare_estimates`] entirely. Keeps
+    /// `ect.snapshot_reuses` an honest measure of the snapshot economy.
+    pub fn note_snapshot_reuse(&mut self) {
+        debug_assert!(self.snapshot.is_some(), "no snapshot to reuse");
+        self.stats.ect_snapshot_reuses += 1;
+        self.obs.count("ect.snapshot_reuses", 1);
+    }
+
+    /// Estimated completion time of a *hypothetical* submission of `job`
+    /// at `now`, answered against the frozen snapshot — bit-identical to
+    /// [`Cluster::estimate_new`] but requiring only `&self`: no schedule
+    /// cache is touched and nothing is mutated at all. Subject to the
+    /// [`EctNoise`] fault hook when one is installed.
+    ///
+    /// # Panics
+    /// Panics if no snapshot is cached — call
+    /// [`Cluster::prepare_estimates`] first (any mutation in between
+    /// drops the snapshot, on purpose: a stale answer would otherwise be
+    /// indistinguishable from a fresh one).
+    pub fn estimate_new_at(&self, job: &JobSpec, now: SimTime) -> Option<SimTime> {
+        if job.procs > self.spec.procs || job.procs == 0 {
+            return None;
+        }
+        let frozen = self.snapshot.as_ref().expect("prepare_estimates first");
+        debug_assert_eq!(frozen.now, now, "snapshot frozen at a different instant");
+        let scaled = self.scale_job(job);
+        let start = frozen
+            .profile
+            .first_fit(frozen.floor, scaled.walltime, scaled.procs);
+        self.obs.count("ect.estimate_new", 1);
+        Some(self.noisy(job.id, now, start + scaled.walltime))
+    }
+
+    /// Fill one ECT column in a single batched pass: estimate every
+    /// `Some` entry of `jobs` against one frozen snapshot, threading a
+    /// `BatchFit` dominance frontier across the column so each
+    /// placement descent resumes from the floor earlier jobs proved
+    /// unreachable (sound because every query shares the same tail-floor
+    /// base against the same frozen store). `None` entries pass through
+    /// as `None`, preserving index alignment with the caller's job list.
+    ///
+    /// Answers are bit-identical to calling [`Cluster::estimate_new`]
+    /// per job.
+    pub fn estimate_new_batch<'a, I>(&mut self, jobs: I, now: SimTime) -> Vec<Option<SimTime>>
+    where
+        I: IntoIterator<Item = Option<&'a JobSpec>>,
+    {
+        self.prepare_estimates(now);
+        self.stats.ect_column_refills += 1;
+        self.obs.count("ect.column_refills", 1);
+        let out = {
+            let frozen = self.snapshot.as_ref().expect("just prepared");
+            let (snap, floor) = (&frozen.profile, frozen.floor);
+            let mut fit = BatchFit::new();
+            let mut out = Vec::new();
+            for job in jobs {
+                out.push(job.and_then(|job| {
+                    if job.procs > self.spec.procs || job.procs == 0 {
+                        return None;
+                    }
+                    let scaled = self.scale_job(job);
+                    let base = fit.floor(floor, scaled.procs, scaled.walltime);
+                    let start = snap.first_fit(base, scaled.walltime, scaled.procs);
+                    fit.note(scaled.procs, scaled.walltime, start);
+                    self.obs.count("ect.estimate_new", 1);
+                    Some(self.noisy(job.id, now, start + scaled.walltime))
+                }));
+            }
+            out
+        };
+        self.harvest_probes();
+        out
+    }
+
+    /// `true` while a dry-run snapshot is cached (test hook: pins that
+    /// mutations drop it and dry-runs do not).
+    #[doc(hidden)]
+    pub fn has_estimate_snapshot(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
     /// Apply the ECT-noise hook to an estimate, if one is installed.
     fn noisy(&self, id: JobId, now: SimTime, ect: SimTime) -> SimTime {
         match &self.ect_noise {
@@ -668,6 +859,7 @@ impl Cluster {
     /// extend the blackout to the latest recovery.
     pub fn fail_until(&mut self, until: SimTime, now: SimTime) -> (Vec<JobSpec>, Vec<JobSpec>) {
         debug_assert!(until > now, "recovery must lie in the future");
+        self.invalidate_snapshot();
         let running: Vec<JobSpec> = self.running.drain(..).map(|r| r.job).collect();
         let waiting: Vec<JobSpec> = self
             .q_slot
@@ -679,6 +871,7 @@ impl Cluster {
         self.q_walltime.clear();
         self.q_reserved.clear();
         self.q_enqueued.clear();
+        self.maybe_compact_slab();
         self.stats.evicted += (running.len() + waiting.len()) as u64;
         self.unavailable_until = Some(self.unavailable_until.map_or(until, |u| u.max(until)));
         if self.incremental {
@@ -762,6 +955,7 @@ impl Cluster {
         let idx = self
             .find_running(id)
             .unwrap_or_else(|| panic!("job {id} not running on {}", self.spec.name));
+        self.invalidate_snapshot();
         let r = self.running.remove(idx);
         assert_eq!(r.end, now, "completion event fired at the wrong time");
         self.stats.completed += 1;
@@ -813,14 +1007,28 @@ impl Cluster {
         if !COMPLETION_SKIP.load(Ordering::Relaxed) {
             return false;
         }
-        let Some(min_procs) = self.q_procs.iter().copied().min() else {
+        if self.q_procs.is_empty() {
             return true;
-        };
+        }
+        // 8-wide chunked min over the contiguous procs column: the
+        // chunk fold has no cross-iteration ordering constraint, so it
+        // compiles to wide vector mins instead of a serial reduce.
+        let mut chunks = self.q_procs.chunks_exact(8);
+        let mut lanes = [u32::MAX; 8];
+        for chunk in &mut chunks {
+            for (lane, &p) in lanes.iter_mut().zip(chunk) {
+                *lane = (*lane).min(p);
+            }
+        }
+        let mut min_procs = lanes.into_iter().min().expect("8 lanes");
+        for &p in chunks.remainder() {
+            min_procs = min_procs.min(p);
+        }
+        // Branch-free masked sum over the running set.
         let busy_floor: u32 = self
             .running
             .iter()
-            .filter(|r| r.reserved_end >= freed_end)
-            .map(|r| r.scaled.procs)
+            .map(|r| r.scaled.procs * u32::from(r.reserved_end >= freed_end))
             .sum();
         min_procs > self.spec.procs - busy_floor
     }
@@ -830,9 +1038,33 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     fn find_queued(&self, id: JobId) -> Option<usize> {
-        self.q_slot
+        // Hot on the reallocation path (every `current_ect`/`cancel`
+        // resolves a queue position). Scan 8 slots per step with a
+        // branch-free any-hit fold — the early-exit branch moves from
+        // every element to every chunk, which keeps the slab id loads
+        // pipelined — then rescan the one hitting chunk.
+        let hit = |slot: u32| self.slab.jobs[slot as usize].id == id;
+        let mut chunks = self.q_slot.chunks_exact(8);
+        let mut base = 0;
+        for chunk in &mut chunks {
+            let mut any = false;
+            for &slot in chunk {
+                any |= hit(slot);
+            }
+            if any {
+                let off = chunk
+                    .iter()
+                    .position(|&s| hit(s))
+                    .expect("chunk has the id");
+                return Some(base + off);
+            }
+            base += 8;
+        }
+        chunks
+            .remainder()
             .iter()
-            .position(|&slot| self.slab.jobs[slot as usize].id == id)
+            .position(|&s| hit(s))
+            .map(|off| base + off)
     }
 
     fn find_running(&self, id: JobId) -> Option<usize> {
@@ -841,19 +1073,34 @@ impl Cluster {
 
     /// Drop the cached schedule entirely (full rebuild on next query).
     fn invalidate(&mut self) {
+        self.invalidate_snapshot();
         self.harvest_probes();
         self.profile = None;
         self.dirty_from = None;
     }
 
+    /// Drop the frozen dry-run view, folding its probe counter into the
+    /// stats first. Idempotent; called at the top of every real mutation
+    /// (which also keeps the profile's copy-on-write store unique, so the
+    /// mutation itself never pays for a deep copy).
+    fn invalidate_snapshot(&mut self) {
+        if let Some(f) = self.snapshot.take() {
+            self.stats.first_fit_probes += f.profile.take_probes();
+        }
+    }
+
     /// Fold the profile's first-fit probe counter into the stats (the
     /// profile counts placement queries as they happen; the cluster owns
-    /// the long-lived accounting).
+    /// the long-lived accounting). A live snapshot's probes fold in too —
+    /// the snapshot itself stays cached.
     fn harvest_probes(&mut self) {
         if let Some(p) = &self.profile {
             self.stats.first_fit_probes += p.take_probes();
             self.stats.profile_promotions += p.take_promotions();
             self.stats.batch_fast_placements += p.take_batch_fast();
+        }
+        if let Some(f) = &self.snapshot {
+            self.stats.first_fit_probes += f.profile.take_probes();
         }
     }
 
@@ -877,6 +1124,14 @@ impl Cluster {
         }
         let warm = self.profile.as_ref().is_some_and(|p| p.origin() <= now);
         if warm {
+            // An origin advance or pending suffix repair rewrites the
+            // profile: drop the frozen view first so the copy-on-write
+            // store stays unique (no deep copy) and stale dry-run answers
+            // cannot survive.
+            if self.dirty_from.is_some() || self.profile.as_ref().is_some_and(|p| p.origin() < now)
+            {
+                self.invalidate_snapshot();
+            }
             // Drop historical breakpoints so a long-lived warm profile
             // stays proportional to the live reservations (a rebuild gets
             // this for free by starting from a flat profile).
@@ -953,6 +1208,7 @@ impl Cluster {
         }
         self.dirty_from = None;
         self.stats.recomputes += 1;
+        self.invalidate_snapshot();
         self.harvest_probes();
         let mut profile = Profile::flat(self.spec.procs, now);
         if let Some(until) = self.unavailable_until {
@@ -1206,6 +1462,154 @@ pub(crate) mod tests {
         assert_eq!(e1, e2, "estimation must not consume the slot");
         assert_eq!(e1, SimTime(150));
         assert_eq!(c.waiting_count(), 0);
+    }
+
+    /// The snapshot dry-run path (`prepare_estimates` +
+    /// `estimate_new_at` / `estimate_new_batch`) answers bit-identically
+    /// to the mutable `estimate_new`, for every policy, without a single
+    /// rebuild or repair.
+    #[test]
+    fn snapshot_estimates_match_mutable_path() {
+        for policy in [
+            BatchPolicy::Fcfs,
+            BatchPolicy::Cbf,
+            BatchPolicy::Easy,
+            BatchPolicy::EasySjf,
+        ] {
+            let mut c = cluster(8, policy);
+            c.submit(JobSpec::new(1, 0, 6, 100, 100), SimTime(0))
+                .unwrap();
+            c.start_due(SimTime(0));
+            c.submit(JobSpec::new(2, 0, 8, 50, 50), SimTime(0)).unwrap();
+            c.submit(JobSpec::new(3, 0, 2, 30, 40), SimTime(0)).unwrap();
+            let probes = [
+                JobSpec::new(90, 0, 2, 100, 100),
+                JobSpec::new(91, 0, 4, 50, 50),
+                JobSpec::new(92, 0, 8, 10, 20),
+                JobSpec::new(93, 0, 9, 10, 20), // oversized -> None
+            ];
+            let mutable: Vec<Option<SimTime>> = probes
+                .iter()
+                .map(|j| c.clone().estimate_new(j, SimTime(0)))
+                .collect();
+            c.prepare_estimates(SimTime(0));
+            let singles: Vec<Option<SimTime>> = probes
+                .iter()
+                .map(|j| c.estimate_new_at(j, SimTime(0)))
+                .collect();
+            assert_eq!(singles, mutable, "{policy}: single snapshot estimates");
+            let recomputes = c.stats().recomputes;
+            let repairs = c.stats().suffix_repairs;
+            let batched = c.estimate_new_batch(probes.iter().map(Some), SimTime(0));
+            assert_eq!(batched, mutable, "{policy}: batched snapshot estimates");
+            assert_eq!(
+                c.stats().recomputes,
+                recomputes,
+                "dry-runs must not rebuild"
+            );
+            assert_eq!(
+                c.stats().suffix_repairs,
+                repairs,
+                "dry-runs must not repair"
+            );
+            assert_eq!(c.stats().ect_column_refills, 1);
+            assert!(c.has_estimate_snapshot());
+            // `None` input entries pass through without touching the
+            // frontier or the column alignment.
+            let sparse =
+                c.estimate_new_batch([None, Some(&probes[1]), None, Some(&probes[2])], SimTime(0));
+            assert_eq!(sparse, vec![None, mutable[1], None, mutable[2]]);
+        }
+    }
+
+    /// Real mutations drop the cached dry-run snapshot; dry-runs (and
+    /// repeated `prepare_estimates` at the same instant) keep it — the
+    /// reuse counter pins the sharing.
+    #[test]
+    fn mutations_drop_the_estimate_snapshot_and_dry_runs_do_not() {
+        let mut c = cluster(8, BatchPolicy::Cbf);
+        c.submit(JobSpec::new(1, 0, 4, 50, 100), SimTime(0))
+            .unwrap();
+        c.start_due(SimTime(0));
+        // 6 procs behind the 4-proc runner: genuinely waits until 100.
+        c.submit(JobSpec::new(2, 0, 6, 30, 40), SimTime(0)).unwrap();
+
+        c.prepare_estimates(SimTime(0));
+        assert!(c.has_estimate_snapshot());
+        let probe = JobSpec::new(99, 0, 2, 10, 20);
+        c.estimate_new_at(&probe, SimTime(0));
+        c.estimate_new_batch([Some(&probe)], SimTime(0));
+        assert!(
+            c.has_estimate_snapshot(),
+            "dry-runs must not drop the snapshot"
+        );
+        assert_eq!(
+            c.stats().ect_snapshot_reuses,
+            1,
+            "the batch pass re-used the prepared snapshot"
+        );
+
+        c.submit(JobSpec::new(3, 0, 1, 10, 20), SimTime(0)).unwrap();
+        assert!(!c.has_estimate_snapshot(), "submit must invalidate");
+        c.prepare_estimates(SimTime(0));
+        c.cancel(JobId(3), SimTime(0));
+        assert!(!c.has_estimate_snapshot(), "cancel must invalidate");
+        c.prepare_estimates(SimTime(0));
+        c.complete(JobId(1), SimTime(50));
+        assert!(!c.has_estimate_snapshot(), "complete must invalidate");
+        c.prepare_estimates(SimTime(50));
+        c.fail_until(SimTime(200), SimTime(50));
+        assert!(!c.has_estimate_snapshot(), "fail_until must invalidate");
+    }
+
+    /// Long outage churn (queue evicted wholesale, then refilled) and
+    /// cancel-heavy rounds must not grow the slab without bound: once
+    /// the free list outnumbers live slots 2:1 the arena compacts, and
+    /// the renumbering is invisible — the surviving queue keeps its
+    /// order, ids and reservations.
+    #[test]
+    fn slab_compacts_under_outage_and_cancel_churn() {
+        let mut c = Cluster::new(ClusterSpec::new("churn", 8, 1.0), BatchPolicy::Fcfs);
+        let mut id = 0u64;
+        for round in 0..20u64 {
+            let now = SimTime(round * 1_000);
+            for _ in 0..32 {
+                id += 1;
+                c.submit(JobSpec::new(id, now.as_secs(), 2, 50, 60), now)
+                    .unwrap();
+            }
+            // Cancel three quarters of the queue back-to-front.
+            let victims: Vec<JobId> = c
+                .waiting_jobs()
+                .map(|q| q.job.id)
+                .enumerate()
+                .filter_map(|(i, id)| (i % 4 != 0).then_some(id))
+                .collect();
+            for v in victims.into_iter().rev() {
+                c.cancel(v, now).unwrap();
+            }
+            let live = c.q_slot.len();
+            assert_eq!(c.slab.live(), live, "slab live count tracks the queue");
+            assert!(
+                c.slab.jobs.len() <= 3 * live.max(1),
+                "round {round}: arena {} slots for {live} live jobs",
+                c.slab.jobs.len()
+            );
+            // Survivors kept their order and are still resolvable.
+            let ids: Vec<JobId> = c.waiting_jobs().map(|q| q.job.id).collect();
+            assert!(
+                ids.windows(2).all(|w| w[0].0 < w[1].0),
+                "queue order survives"
+            );
+            for jid in ids {
+                assert!(c.current_ect(jid, now).is_some(), "{jid:?} resolvable");
+            }
+            // Outage evicts the rest; the emptied arena compacts away.
+            c.fail_until(SimTime(now.as_secs() + 500), now);
+            assert_eq!(c.slab.live(), 0);
+            assert!(c.slab.jobs.is_empty(), "empty arena compacts to nothing");
+            assert!(c.slab.free.is_empty());
+        }
     }
 
     #[test]
@@ -1644,6 +2048,8 @@ pub(crate) mod tests {
             first_fit_probes: 0,
             profile_promotions: 0,
             batch_fast_placements: 0,
+            ect_snapshot_reuses: 0,
+            ect_column_refills: 0,
         };
         let clean = s.to_json().encode();
         assert!(!clean.contains("suffix_repairs"), "{clean}");
@@ -1651,18 +2057,24 @@ pub(crate) mod tests {
         assert!(!clean.contains("evicted"), "{clean}");
         assert!(!clean.contains("profile_promotions"), "{clean}");
         assert!(!clean.contains("batch_fast_placements"), "{clean}");
+        assert!(!clean.contains("ect_snapshot_reuses"), "{clean}");
+        assert!(!clean.contains("ect_column_refills"), "{clean}");
         assert_eq!(ClusterStats::from_json(&s.to_json()).unwrap(), s);
         s.evicted = 2;
         s.suffix_repairs = 9;
         s.first_fit_probes = 41;
         s.profile_promotions = 3;
         s.batch_fast_placements = 17;
+        s.ect_snapshot_reuses = 7;
+        s.ect_column_refills = 5;
         let full = s.to_json().encode();
         assert!(full.contains("\"suffix_repairs\":9"), "{full}");
         assert!(full.contains("\"first_fit_probes\":41"), "{full}");
         assert!(full.contains("\"evicted\":2"), "{full}");
         assert!(full.contains("\"profile_promotions\":3"), "{full}");
         assert!(full.contains("\"batch_fast_placements\":17"), "{full}");
+        assert!(full.contains("\"ect_snapshot_reuses\":7"), "{full}");
+        assert!(full.contains("\"ect_column_refills\":5"), "{full}");
         assert_eq!(ClusterStats::from_json(&s.to_json()).unwrap(), s);
         // Byte-stable encoding.
         assert_eq!(s.to_json().encode(), s.to_json().encode());
@@ -1915,6 +2327,8 @@ pub(crate) mod tests {
             first_fit_probes: 131,
             profile_promotions: 2,
             batch_fast_placements: 23,
+            ect_snapshot_reuses: 6,
+            ect_column_refills: 4,
         };
         let v = stats.to_json();
         let back = ClusterStats::from_json(&v).unwrap();
@@ -1941,6 +2355,8 @@ pub(crate) mod tests {
         assert_eq!(back.first_fit_probes, 0);
         assert_eq!(back.profile_promotions, 0);
         assert_eq!(back.batch_fast_placements, 0);
+        assert_eq!(back.ect_snapshot_reuses, 0);
+        assert_eq!(back.ect_column_refills, 0);
         // A required counter missing is still an error.
         let mut broken = grid_ser::Value::object();
         broken.insert("submitted", 1u64);

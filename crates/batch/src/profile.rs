@@ -25,6 +25,7 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use grid_des::{Duration, SimTime};
 
@@ -72,7 +73,12 @@ pub fn set_default_crossover(n: usize) {
 /// [`AvailTree`] treap above it.
 #[derive(Clone)]
 pub struct Profile {
-    repr: Repr,
+    /// The backing store, shared copy-on-write with outstanding
+    /// [`ProfileSnapshot`]s: mutations go through [`Arc::make_mut`], so
+    /// they stay in-place O(1) extra cost while no snapshot is live and
+    /// clone-on-first-write when one is. [`Profile::snapshot`] is a
+    /// refcount bump.
+    repr: Arc<Repr>,
     /// Breakpoint count above which the flat representation promotes to
     /// the tree (fixed at construction; `0` = always tree).
     crossover: usize,
@@ -125,7 +131,7 @@ impl Profile {
             Repr::Small(SmallProfile::flat(total, origin))
         };
         Profile {
-            repr,
+            repr: Arc::new(repr),
             crossover,
             probes: Cell::new(0),
             promotions: Cell::new(0),
@@ -133,21 +139,44 @@ impl Profile {
         }
     }
 
+    /// An O(1) read-only snapshot sharing this profile's backing store.
+    ///
+    /// The snapshot answers the placement queries (`first_fit`,
+    /// `free_at`, `min_free`) against the profile *as it is now*; later
+    /// mutations of the live profile copy-on-write away from the shared
+    /// store, so the snapshot's answers never change. Probe accounting is
+    /// kept on the snapshot ([`ProfileSnapshot::take_probes`]) so the
+    /// owner can fold it back into scheduler-effort stats.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        ProfileSnapshot {
+            repr: Arc::clone(&self.repr),
+            total: self.total(),
+            probes: Cell::new(0),
+        }
+    }
+
     /// `true` when the profile currently sits on the tree backend
     /// (promotion-boundary test hook).
     #[doc(hidden)]
     pub fn backend_is_tree(&self) -> bool {
-        matches!(self.repr, Repr::Tree(_))
+        matches!(*self.repr, Repr::Tree(_))
+    }
+
+    /// `true` when a [`ProfileSnapshot`] still shares this profile's
+    /// backing store (the next mutation will clone; test hook).
+    #[doc(hidden)]
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.repr) > 1
     }
 
     /// Promote the inline buffer to the tree once it outgrows the
     /// crossover: an O(n) build from the sorted points
     /// ([`AvailTree::from_points`]).
     fn maybe_promote(&mut self) {
-        if let Repr::Small(s) = &self.repr {
+        if let Repr::Small(s) = &*self.repr {
             if s.len() > self.crossover {
                 let tree = AvailTree::from_points(s.total, s.points());
-                self.repr = Repr::Tree(tree);
+                self.repr = Arc::new(Repr::Tree(tree));
                 self.promotions.set(self.promotions.get() + 1);
             }
         }
@@ -160,10 +189,10 @@ impl Profile {
         if self.crossover == 0 {
             return;
         }
-        if let Repr::Tree(t) = &self.repr {
+        if let Repr::Tree(t) = &*self.repr {
             if t.len() <= self.crossover / 4 {
                 let small = SmallProfile::from_points(t.total(), t.breakpoints());
-                self.repr = Repr::Small(small);
+                self.repr = Arc::new(Repr::Small(small));
             }
         }
     }
@@ -171,7 +200,7 @@ impl Profile {
     /// Total processors of the underlying cluster (upper bound of `free`).
     #[inline]
     pub fn total(&self) -> u32 {
-        match &self.repr {
+        match &*self.repr {
             Repr::Small(s) => s.total,
             Repr::Tree(t) => t.total(),
         }
@@ -179,7 +208,7 @@ impl Profile {
 
     /// Time of the first breakpoint (the horizon the profile starts at).
     pub fn origin(&self) -> SimTime {
-        match &self.repr {
+        match &*self.repr {
             Repr::Small(s) => s.origin(),
             Repr::Tree(t) => t.origin(),
         }
@@ -187,7 +216,7 @@ impl Profile {
 
     /// Number of breakpoints (size of the representation).
     pub fn len(&self) -> usize {
-        match &self.repr {
+        match &*self.repr {
             Repr::Small(s) => s.len(),
             Repr::Tree(t) => t.len(),
         }
@@ -200,7 +229,7 @@ impl Profile {
 
     /// Free processors at instant `t` (clamped to the profile origin).
     pub fn free_at(&self, t: SimTime) -> u32 {
-        match &self.repr {
+        match &*self.repr {
             Repr::Small(s) => s.free_at(t),
             Repr::Tree(tr) => tr.value_at(t),
         }
@@ -209,7 +238,7 @@ impl Profile {
     /// Minimum number of free processors over `[start, start + dur)`.
     /// A zero-length window reads the instant `start`.
     pub fn min_free(&self, start: SimTime, dur: Duration) -> u32 {
-        match &self.repr {
+        match &*self.repr {
             Repr::Small(s) => s.min_free(start, dur),
             Repr::Tree(t) => t.min_free(start, dur),
         }
@@ -230,7 +259,7 @@ impl Profile {
             "reservation at {start} before profile origin {}",
             self.origin()
         );
-        match &mut self.repr {
+        match Arc::make_mut(&mut self.repr) {
             Repr::Small(s) => s.reserve(start, dur, procs),
             Repr::Tree(t) => t.reserve(start, dur, procs),
         }
@@ -243,7 +272,14 @@ impl Profile {
     /// before `now`, so trimming is free of behavioural consequence and
     /// keeps every later operation O(log(live reservations)).
     pub fn advance_origin(&mut self, now: SimTime) {
-        match &mut self.repr {
+        // No-op advances (both backends early-return when the origin is
+        // already at or past `now`) must not touch the Arc: with a
+        // snapshot outstanding, `make_mut` would clone the whole store
+        // for nothing.
+        if self.origin() >= now {
+            return;
+        }
+        match Arc::make_mut(&mut self.repr) {
             Repr::Small(s) => s.advance_origin(now),
             Repr::Tree(t) => t.advance_origin(now),
         }
@@ -268,7 +304,7 @@ impl Profile {
             "release at {start} before profile origin {}",
             self.origin()
         );
-        match &mut self.repr {
+        match Arc::make_mut(&mut self.repr) {
             Repr::Small(s) => s.release(start, dur, procs),
             Repr::Tree(t) => t.release(start, dur, procs),
         }
@@ -295,7 +331,7 @@ impl Profile {
         );
         assert!(dur > Duration::ZERO, "placement window must be non-empty");
         self.probes.set(self.probes.get() + 1);
-        match &self.repr {
+        match &*self.repr {
             Repr::Small(s) => s.earliest_fit(after, procs, dur),
             Repr::Tree(t) => t.first_fit(after, dur, procs),
         }
@@ -315,7 +351,7 @@ impl Profile {
     /// the inline backend (unless pinned to the tree).
     pub fn fail_until(&mut self, now: SimTime, until: SimTime) {
         if self.crossover == 0 {
-            match &mut self.repr {
+            match Arc::make_mut(&mut self.repr) {
                 Repr::Small(_) => unreachable!("crossover 0 never builds the inline backend"),
                 Repr::Tree(t) => t.fail_until(now, until),
             }
@@ -323,13 +359,13 @@ impl Profile {
         }
         let mut s = SmallProfile::flat(self.total(), now);
         s.fail_until(now, until);
-        self.repr = Repr::Small(s);
+        self.repr = Arc::new(Repr::Small(s));
     }
 
     /// The breakpoints in time order — the public surface renderers and
     /// tests consume instead of poking at the backing store.
     pub fn breakpoints(&self) -> ProfileBreakpoints<'_> {
-        match &self.repr {
+        match &*self.repr {
             Repr::Small(s) => ProfileBreakpoints::Small(s.points().iter()),
             Repr::Tree(t) => ProfileBreakpoints::Tree(t.breakpoints()),
         }
@@ -372,10 +408,95 @@ impl Profile {
     /// Check internal invariants (test helper).
     #[doc(hidden)]
     pub fn assert_invariants(&self) {
-        match &self.repr {
+        match &*self.repr {
             Repr::Small(s) => s.assert_invariants(),
             Repr::Tree(t) => t.assert_invariants(),
         }
+    }
+}
+
+/// A read-only, immutable view of a [`Profile`] at the instant
+/// [`Profile::snapshot`] was taken.
+///
+/// The snapshot shares the profile's backing store by reference count;
+/// the live profile copies-on-write at its next mutation, so holding a
+/// snapshot never blocks or perturbs the cluster it came from — which is
+/// what lets ECT dry-runs drop their `&mut Cluster` requirement. Every
+/// placement query ticks the snapshot's own probe counter; the owner
+/// drains it with [`ProfileSnapshot::take_probes`] and folds it into the
+/// same scheduler-effort stats the live profile feeds.
+#[derive(Clone)]
+pub struct ProfileSnapshot {
+    repr: Arc<Repr>,
+    total: u32,
+    /// Placement queries answered since the last
+    /// [`ProfileSnapshot::take_probes`].
+    probes: Cell<u64>,
+}
+
+impl ProfileSnapshot {
+    /// Total processors of the underlying cluster.
+    #[inline]
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Earliest `t >= after` such that at least `procs` processors are
+    /// free for the whole window `[t, t + dur)` — the same query, same
+    /// backend dispatch and same panics as [`Profile::first_fit`],
+    /// answered against the frozen store.
+    pub fn first_fit(&self, after: SimTime, dur: Duration, procs: u32) -> SimTime {
+        assert!(
+            procs <= self.total,
+            "job needs {procs} procs, cluster has {}",
+            self.total
+        );
+        assert!(dur > Duration::ZERO, "placement window must be non-empty");
+        self.probes.set(self.probes.get() + 1);
+        match &*self.repr {
+            Repr::Small(s) => s.earliest_fit(after, procs, dur),
+            Repr::Tree(t) => t.first_fit(after, dur, procs),
+        }
+    }
+
+    /// Free processors at instant `t` (clamped to the snapshot origin).
+    pub fn free_at(&self, t: SimTime) -> u32 {
+        match &*self.repr {
+            Repr::Small(s) => s.free_at(t),
+            Repr::Tree(tr) => tr.value_at(t),
+        }
+    }
+
+    /// Minimum free count over `[start, start + dur)`.
+    pub fn min_free(&self, start: SimTime, dur: Duration) -> u32 {
+        match &*self.repr {
+            Repr::Small(s) => s.min_free(start, dur),
+            Repr::Tree(t) => t.min_free(start, dur),
+        }
+    }
+
+    /// Time of the snapshot's first breakpoint.
+    pub fn origin(&self) -> SimTime {
+        match &*self.repr {
+            Repr::Small(s) => s.origin(),
+            Repr::Tree(t) => t.origin(),
+        }
+    }
+
+    /// Drain the snapshot's probe counter (folded into
+    /// `ClusterStats::first_fit_probes` by the owning cluster).
+    #[doc(hidden)]
+    pub fn take_probes(&self) -> u64 {
+        self.probes.replace(0)
+    }
+}
+
+impl std::fmt::Debug for ProfileSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfileSnapshot")
+            .field("total", &self.total)
+            .field("origin", &self.origin())
+            .finish()
     }
 }
 
@@ -1419,6 +1540,64 @@ mod tests {
         assert!(!p.backend_is_tree(), "outage truncation demotes");
         p.assert_invariants();
         assert_eq!(p.points(), &[(t(500), 0), (t(520), 32)]);
+    }
+
+    /// A snapshot freezes the profile at the instant it was taken:
+    /// mutations of the live profile copy-on-write away from the shared
+    /// store, leaving the snapshot's answers byte-identical — on both
+    /// backends, and across a promotion.
+    #[test]
+    fn snapshot_is_frozen_under_mutation() {
+        for mk in [
+            (|| Profile::flat(8, t(0))) as fn() -> Profile,
+            || Profile::flat_tree(8, t(0)),
+            || Profile::flat_with_crossover(8, t(0), 2),
+        ] {
+            let mut p = mk();
+            p.reserve(t(0), d(100), 6);
+            let snap = p.snapshot();
+            assert!(p.is_shared(), "snapshot shares the store");
+            let before = (
+                snap.first_fit(t(0), d(10), 3),
+                snap.first_fit(t(0), d(10), 2),
+                snap.free_at(t(50)),
+                snap.min_free(t(0), d(200)),
+                snap.origin(),
+            );
+            // Churn the live profile hard enough to promote (crossover 2)
+            // and to change every answer the snapshot gave.
+            p.reserve(t(0), d(100), 2);
+            p.reserve(t(100), d(50), 8);
+            p.advance_origin(t(40));
+            assert!(!p.is_shared(), "first mutation un-shared the store");
+            assert_eq!(snap.first_fit(t(0), d(10), 3), before.0);
+            assert_eq!(snap.first_fit(t(0), d(10), 2), before.1);
+            assert_eq!(snap.free_at(t(50)), before.2);
+            assert_eq!(snap.min_free(t(0), d(200)), before.3);
+            assert_eq!(snap.origin(), before.4);
+            // And the live profile moved on.
+            assert_eq!(p.free_at(t(50)), 0);
+            p.assert_invariants();
+        }
+    }
+
+    /// Snapshot queries agree with the live profile when nothing mutates
+    /// in between, and probe accounting is kept per-snapshot.
+    #[test]
+    fn snapshot_matches_live_profile_and_counts_probes() {
+        let mut p = Profile::flat(8, t(0));
+        p.reserve(t(0), d(100), 6);
+        p.reserve(t(150), d(50), 8);
+        let _ = p.take_probes();
+        let snap = p.snapshot();
+        assert_eq!(snap.total(), p.total());
+        assert_eq!(snap.first_fit(t(0), d(60), 4), p.first_fit(t(0), d(60), 4));
+        assert_eq!(snap.first_fit(t(0), d(60), 2), p.first_fit(t(0), d(60), 2));
+        assert_eq!(snap.take_probes(), 2, "snapshot counts its own probes");
+        assert_eq!(snap.take_probes(), 0, "harvest drains the counter");
+        assert_eq!(p.take_probes(), 2, "live probes unaffected by the snapshot");
+        drop(snap);
+        assert!(!p.is_shared(), "dropping the snapshot releases the store");
     }
 
     /// A pinned-tree profile built via `from_points` behaves exactly like

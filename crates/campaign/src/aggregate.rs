@@ -386,6 +386,12 @@ pub struct CellStats {
     /// Events the bucketed event queue routed through its overflow
     /// spill path (grid-level, from the sidecar's own counter).
     pub queue_bucket_spills: u64,
+    /// ECT dry-run passes that re-used a still-valid profile snapshot
+    /// instead of re-freezing one, all sites.
+    pub ect_snapshot_reuses: u64,
+    /// Batched ECT column fills answered against frozen snapshots, all
+    /// sites.
+    pub ect_column_refills: u64,
 }
 
 /// Sidecar-derived scheduler stats per group and table cell.
@@ -418,6 +424,8 @@ pub fn stats_index(plan: &CampaignPlan, cache: &ResultCache) -> StatsIndex {
             totals.evicted += s.evicted;
             totals.profile_promotions += s.profile_promotions;
             totals.batch_fast_placements += s.batch_fast_placements;
+            totals.ect_snapshot_reuses += s.ect_snapshot_reuses;
+            totals.ect_column_refills += s.ect_column_refills;
         }
         // Grid-level counter, zero-omitted in the sidecar.
         totals.queue_bucket_spills += sidecar
@@ -824,11 +832,12 @@ impl CampaignResults {
         self.csv_with(None)
     }
 
-    /// [`CampaignResults::to_csv`] plus seven scheduler-effort columns
+    /// [`CampaignResults::to_csv`] plus nine scheduler-effort columns
     /// per row (`first_fit_probes,suffix_repairs,recomputes,evicted,
-    /// profile_promotions,batch_fast_placements,queue_bucket_spills`)
-    /// filled from the telemetry sidecars; cells without a sidecar
-    /// render as empty fields.
+    /// profile_promotions,batch_fast_placements,queue_bucket_spills,
+    /// ect_snapshot_reuses,ect_column_refills`) filled from the
+    /// telemetry sidecars; cells without a sidecar render as empty
+    /// fields.
     pub fn to_csv_with_stats(&self, stats: &StatsIndex) -> String {
         self.csv_with(Some(stats))
     }
@@ -852,14 +861,16 @@ impl CampaignResults {
                     None => String::new(),
                     Some(index) => match index.get(group).and_then(|cells| cells.get(key)) {
                         Some(s) => format!(
-                            ",{},{},{},{},{},{},{}",
+                            ",{},{},{},{},{},{},{},{},{}",
                             s.first_fit_probes,
                             s.suffix_repairs,
                             s.recomputes,
                             s.evicted,
                             s.profile_promotions,
                             s.batch_fast_placements,
-                            s.queue_bucket_spills
+                            s.queue_bucket_spills,
+                            s.ect_snapshot_reuses,
+                            s.ect_column_refills
                         ),
                         None => ",,,,,,,".to_string(),
                     },
@@ -920,6 +931,8 @@ impl CampaignResults {
                     sched.insert("profile_promotions", s.profile_promotions);
                     sched.insert("batch_fast_placements", s.batch_fast_placements);
                     sched.insert("queue_bucket_spills", s.queue_bucket_spills);
+                    sched.insert("ect_snapshot_reuses", s.ect_snapshot_reuses);
+                    sched.insert("ect_column_refills", s.ect_column_refills);
                     row.insert("sched_stats", sched);
                 }
                 row.insert(
@@ -986,7 +999,8 @@ fn csv_header(faulted: bool, stats: bool) -> String {
         // New columns append after `evicted` — tooling that greps the
         // original four keeps matching.
         ",first_fit_probes,suffix_repairs,recomputes,evicted,\
-         profile_promotions,batch_fast_placements,queue_bucket_spills"
+         profile_promotions,batch_fast_placements,queue_bucket_spills,\
+         ect_snapshot_reuses,ect_column_refills"
     } else {
         ""
     };
@@ -1189,7 +1203,7 @@ mod tests {
         );
 
         // Plain CSV is byte-identical to the no-stats path; the stats
-        // CSV appends exactly the seven columns (the original four first,
+        // CSV appends exactly the nine columns (the original four first,
         // so pre-existing header greps keep matching).
         let plain = results.to_csv();
         let with = results.to_csv_with_stats(&index);
@@ -1198,13 +1212,14 @@ mod tests {
         assert!(
             header.ends_with(
                 "rel_avg_response,first_fit_probes,suffix_repairs,recomputes,evicted,\
-                 profile_promotions,batch_fast_placements,queue_bucket_spills"
+                 profile_promotions,batch_fast_placements,queue_bucket_spills,\
+                 ect_snapshot_reuses,ect_column_refills"
             ),
             "{header}"
         );
         for (a, b) in plain.lines().zip(with.lines()) {
             assert!(b.starts_with(a), "stats columns append, never rewrite");
-            assert_eq!(b.split(',').count(), a.split(',').count() + 7);
+            assert_eq!(b.split(',').count(), a.split(',').count() + 9);
         }
 
         // JSON rows gain a sched_stats object only on the stats path.
@@ -1218,6 +1233,10 @@ mod tests {
                     .unwrap()
                     > 0
             );
+            // The reallocation-round counters ride along (zero is fine —
+            // a run without ticks never fills a column).
+            assert!(sched.get("ect_snapshot_reuses").is_some());
+            assert!(sched.get("ect_column_refills").is_some());
         }
         assert!(results.to_json().req_arr("cells").unwrap()[0]
             .get("sched_stats")

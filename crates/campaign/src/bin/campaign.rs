@@ -24,7 +24,11 @@
 //! plus a JSONL event stream per run into the given directory — outcome
 //! and cache bytes are identical with or without it. `report --stats`
 //! appends the per-site scheduler counters harvested from the runs'
-//! telemetry sidecars as extra CSV/JSON columns.
+//! telemetry sidecars as extra CSV/JSON columns — including the
+//! reallocation-round snapshot economy (`ect_snapshot_reuses`, how often
+//! a frozen estimate snapshot answered another ECT column without a
+//! rebuild, and `ect_column_refills`, how many batched column fills the
+//! dry-run cache paid for).
 //!
 //! `run` executes (its shard of) the spec's expansion, resuming from the
 //! content-addressed cache; invoke it once per shard — from separate
@@ -275,7 +279,18 @@ fn cmd_plan(opts: &CommonArgs) -> Result<(), String> {
         spec.fraction,
     );
     for (name, values) in &axes {
-        println!("  {name:<12}: {}", values.join(", "));
+        // A range-expanded axis (e.g. a thousand-seed Monte-Carlo sweep)
+        // would swamp the plan with one enormous line: elide the middle.
+        if values.len() > 16 {
+            println!(
+                "  {name:<12}: {}, ..., {} ({} values)",
+                values[..8].join(", "),
+                values[values.len() - 1],
+                values.len()
+            );
+        } else {
+            println!("  {name:<12}: {}", values.join(", "));
+        }
     }
     println!(
         "total runs: {} ({} reference + {} reallocation)",

@@ -465,9 +465,18 @@ fn parse_u64_axis(v: &Value, key: &str, default: &[u64]) -> Result<Vec<u64>, Ser
     let Some(raw) = v.get(key) else {
         return Ok(default.to_vec());
     };
-    let arr = raw
-        .as_arr()
-        .ok_or_else(|| SerError::new(format!("`{key}` must be an array of integers")))?;
+    // Dense integer axes also accept a `"lo..=hi"` / `"lo..hi"` range
+    // string — a thousand-seed Monte-Carlo sweep should not need a
+    // thousand-entry literal. The expansion is the same `Vec<u64>` an
+    // explicit array would produce, so cache keys are unaffected.
+    if let Some(s) = raw.as_str() {
+        return parse_u64_range(s, key);
+    }
+    let arr = raw.as_arr().ok_or_else(|| {
+        SerError::new(format!(
+            "`{key}` must be an array of integers or a `lo..=hi` range string"
+        ))
+    })?;
     arr.iter()
         .map(|item| {
             item.as_u64().ok_or_else(|| {
@@ -475,6 +484,39 @@ fn parse_u64_axis(v: &Value, key: &str, default: &[u64]) -> Result<Vec<u64>, Ser
             })
         })
         .collect()
+}
+
+/// Expand `"lo..=hi"` (inclusive) or `"lo..hi"` (half-open) into the
+/// integer sequence it denotes. Empty and absurdly large ranges are
+/// rejected up front — an empty axis would fail [`CampaignSpec::validate`]
+/// anyway, but the message here names the actual mistake.
+fn parse_u64_range(s: &str, key: &str) -> Result<Vec<u64>, SerError> {
+    let bad = || {
+        SerError::new(format!(
+            "`{key}` range must look like `lo..=hi` or `lo..hi`, got `{s}`"
+        ))
+    };
+    let (lo_str, hi_str, inclusive) = match (s.split_once("..="), s.split_once("..")) {
+        (Some((lo, hi)), _) => (lo, hi, true),
+        (None, Some((lo, hi))) => (lo, hi, false),
+        _ => return Err(bad()),
+    };
+    let lo: u64 = lo_str.trim().parse().map_err(|_| bad())?;
+    let hi: u64 = hi_str.trim().parse().map_err(|_| bad())?;
+    let end = if inclusive {
+        hi.checked_add(1).ok_or_else(bad)?
+    } else {
+        hi
+    };
+    if end <= lo {
+        return Err(SerError::new(format!("`{key}` range `{s}` is empty")));
+    }
+    if end - lo > 1_000_000 {
+        return Err(SerError::new(format!(
+            "`{key}` range `{s}` expands to over a million entries"
+        )));
+    }
+    Ok((lo..end).collect())
 }
 
 fn parse_scenario(s: &str) -> Result<Scenario, SerError> {
@@ -569,6 +611,29 @@ periods_s = [1800, 3600]
         let plan = spec.expand();
         assert_eq!(plan.len(), 10);
         assert_eq!(plan.reference_count(), 2);
+    }
+
+    #[test]
+    fn u64_axes_accept_range_strings() {
+        let spec = CampaignSpec::from_toml_str(
+            "name = \"mc\"\nseeds = \"1..=1000\"\n[matrix]\nperiods_s = \"1800..1802\"",
+        )
+        .unwrap();
+        assert_eq!(spec.seeds.len(), 1000);
+        assert_eq!(spec.seeds[0], 1);
+        assert_eq!(spec.seeds[999], 1000);
+        assert_eq!(spec.periods_s, vec![1800, 1801]);
+        // The expansion is indistinguishable from the literal array form.
+        let lit = CampaignSpec::from_toml_str("name = \"mc\"\nseeds = [1, 2, 3]").unwrap();
+        let rng = CampaignSpec::from_toml_str("name = \"mc\"\nseeds = \"1..=3\"").unwrap();
+        assert_eq!(lit.seeds, rng.seeds);
+        for bad in ["3..=1", "5..5", "1..=", "..7", "a..b"] {
+            let toml = format!("name = \"mc\"\nseeds = \"{bad}\"");
+            assert!(
+                CampaignSpec::from_toml_str(&toml).is_err(),
+                "{bad} must be rejected"
+            );
+        }
     }
 
     #[test]

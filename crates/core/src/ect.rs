@@ -7,9 +7,32 @@
 //! [`EctView`] therefore memoises per-(job, cluster) estimates and
 //! invalidates exactly the columns a migration touched, preserving the
 //! heuristics' semantics while avoiding redundant dry-run placements.
+//!
+//! Since the snapshot engine landed, a column miss is answered in one
+//! *batched* pass ([`Cluster::estimate_new_batch`]): the cluster freezes
+//! its availability profile behind a copy-on-write snapshot, every alive
+//! job estimates against that frozen store, and a shared dominance
+//! frontier lets later (wider/longer) jobs resume their placement
+//! descent from floors earlier jobs proved unreachable.
+//! [`EctView::invalidate_cluster`] merely clears the column; the next
+//! query re-fills it lazily — against the *same* still-valid snapshot
+//! when the invalidation was cache hygiene rather than a real mutation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use grid_batch::{Cluster, JobSpec};
 use grid_des::SimTime;
+
+/// Process-wide switch for the snapshot-backed batched column fill.
+/// Disabling restores the historical per-entry `estimate_new(&mut)`
+/// path (benchmark baseline hook; estimates are bit-identical either
+/// way, only the probe sharing differs).
+static ECT_SNAPSHOT: AtomicBool = AtomicBool::new(true);
+
+#[doc(hidden)]
+pub fn set_ect_snapshot_enabled(enabled: bool) {
+    ECT_SNAPSHOT.store(enabled, Ordering::Relaxed);
+}
 
 /// A waiting job captured at the start of a reallocation round.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +69,21 @@ pub struct EctView<'a> {
     /// `new_[job][cluster]`: cached dry-run estimate; inner `Option` is
     /// "not cached", value `SimTime::MAX` means "cannot run there".
     new_: Vec<Vec<Option<SimTime>>>,
+    /// Per-cluster: column never batch-filled. A cold miss fills the
+    /// whole column in one batched pass (every heuristic reads a cold
+    /// column in full at least once); after an invalidation the column
+    /// refills lazily per entry against the re-frozen snapshot instead.
+    /// Lazy wins on both access shapes: row-at-a-time heuristics (MCT)
+    /// never read most of a refilled column, and for the broad readers
+    /// the per-entry cost of a warm single — snapshot reuse plus a
+    /// precomputed tail floor — already matches the batched loop body.
+    cold: Vec<bool>,
+    /// Per-cluster: [`Cluster::prepare_estimates`] has run since the
+    /// last [`EctView::invalidate_cluster`], so warm singles can query
+    /// the frozen snapshot directly. Sound because the reallocation
+    /// algorithms invalidate through the view after every mutation —
+    /// the same contract the `new_` cache itself relies on.
+    prepared: Vec<bool>,
 }
 
 impl<'a> EctView<'a> {
@@ -61,6 +99,8 @@ impl<'a> EctView<'a> {
             alive: vec![true; n],
             cur: vec![None; n],
             new_: vec![vec![None; k]; n],
+            cold: vec![true; k],
+            prepared: vec![false; k],
         }
     }
 
@@ -83,6 +123,8 @@ impl<'a> EctView<'a> {
             alive: vec![true; n],
             cur: pre_ects.into_iter().map(Some).collect(),
             new_: vec![vec![None; k]; n],
+            cold: vec![true; k],
+            prepared: vec![false; k],
         }
     }
 
@@ -129,22 +171,69 @@ impl<'a> EctView<'a> {
     /// cannot run there (or, in `Queued` mode, when `c` is its own
     /// cluster — its own cluster is not a migration target).
     pub fn new_ect(&mut self, i: usize, c: usize) -> Option<SimTime> {
-        let w = &self.jobs[i];
-        if self.mode == ViewMode::Queued && c == w.cluster {
+        if self.mode == ViewMode::Queued && c == self.jobs[i].cluster {
             return None;
         }
-        let cached = self.new_[i][c];
-        let v = match cached {
+        let v = match self.new_[i][c] {
             Some(v) => v,
+            None if ECT_SNAPSHOT.load(Ordering::Relaxed) => {
+                if self.cold[c] {
+                    self.fill_column(c, i);
+                    self.cold[c] = false;
+                    self.prepared[c] = true;
+                } else {
+                    // Warm column, invalidated since its batched fill:
+                    // answer just this entry against the (possibly still
+                    // cached) frozen snapshot, re-freezing only when a
+                    // mutation came through the view since the last
+                    // prepare.
+                    if !self.prepared[c] {
+                        self.clusters[c].prepare_estimates(self.now);
+                        self.prepared[c] = true;
+                    } else {
+                        self.clusters[c].note_snapshot_reuse();
+                    }
+                    let est = self.clusters[c].estimate_new_at(&self.jobs[i].spec, self.now);
+                    self.new_[i][c] = Some(est.unwrap_or(SimTime::MAX));
+                }
+                self.new_[i][c].expect("column fill covers the queried job")
+            }
             None => {
                 let v = self.clusters[c]
-                    .estimate_new(&w.spec, self.now)
+                    .estimate_new(&self.jobs[i].spec, self.now)
                     .unwrap_or(SimTime::MAX);
                 self.new_[i][c] = Some(v);
                 v
             }
         };
         (v != SimTime::MAX).then_some(v)
+    }
+
+    /// Fill every missing entry of column `c` (plus the queried row
+    /// `want`, alive or not) in one batched snapshot pass. Estimates are
+    /// bit-identical to per-entry [`Cluster::estimate_new`] calls: every
+    /// query in the pass shares the same frozen profile and the same
+    /// tail-floor base, so the threaded dominance frontier only skips
+    /// descent work, never changes an answer.
+    fn fill_column(&mut self, c: usize, want: usize) {
+        let queued = self.mode == ViewMode::Queued;
+        let wanted: Vec<Option<&JobSpec>> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let fill = (self.alive[i] || i == want)
+                    && self.new_[i][c].is_none()
+                    && !(queued && w.cluster == c);
+                fill.then_some(&w.spec)
+            })
+            .collect();
+        let ests = self.clusters[c].estimate_new_batch(wanted.iter().copied(), self.now);
+        for (i, est) in ests.into_iter().enumerate() {
+            if wanted[i].is_some() {
+                self.new_[i][c] = Some(est.unwrap_or(SimTime::MAX));
+            }
+        }
     }
 
     /// Best migration target for job `i`: `(cluster, ect)` minimising the
@@ -218,6 +307,7 @@ impl<'a> EctView<'a> {
                 self.cur[i] = None;
             }
         }
+        self.prepared[c] = false;
     }
 
     /// Mutable access to a cluster (for the migration itself).
@@ -329,6 +419,80 @@ mod tests {
         let (best, second) = v.two_best_ects(0);
         assert_eq!(best, SimTime(1100));
         assert_eq!(second, None);
+    }
+
+    /// The batched snapshot fill produces exactly the matrix the
+    /// historical lazy per-entry path produced, across modes and a
+    /// multi-job, multi-cluster fixture — and leaves the cluster's
+    /// snapshot cached for the next column.
+    #[test]
+    fn batched_fill_matches_legacy_lazy_path() {
+        let build = || {
+            let mut c0 = Cluster::new(ClusterSpec::new("c0", 4, 1.0), BatchPolicy::Fcfs);
+            let mut c1 = Cluster::new(ClusterSpec::new("c1", 8, 1.5), BatchPolicy::Cbf);
+            let c2 = Cluster::new(ClusterSpec::new("c2", 2, 1.0), BatchPolicy::Fcfs);
+            c0.submit(JobSpec::new(100, 0, 4, 1000, 1000), SimTime(0))
+                .unwrap();
+            c0.start_due(SimTime(0));
+            c1.submit(JobSpec::new(101, 0, 8, 300, 400), SimTime(0))
+                .unwrap();
+            c1.start_due(SimTime(0));
+            let w1 = JobSpec::new(1, 0, 2, 60, 100);
+            let w2 = JobSpec::new(2, 1, 4, 200, 250);
+            let w3 = JobSpec::new(3, 2, 1, 30, 50);
+            c0.submit(w1, SimTime(0)).unwrap();
+            c0.submit(w2, SimTime(1)).unwrap();
+            c1.submit(w3, SimTime(2)).unwrap();
+            let jobs = vec![
+                WaitingJob {
+                    spec: w1,
+                    cluster: 0,
+                },
+                WaitingJob {
+                    spec: w2,
+                    cluster: 0,
+                },
+                WaitingJob {
+                    spec: w3,
+                    cluster: 1,
+                },
+            ];
+            (vec![c0, c1, c2], jobs)
+        };
+        let matrix = |clusters: &mut Vec<Cluster>, jobs: &[WaitingJob]| {
+            let mut v = EctView::queued(clusters, jobs, SimTime(5));
+            let mut out = Vec::new();
+            for i in 0..jobs.len() {
+                for c in 0..3 {
+                    out.push(v.new_ect(i, c));
+                }
+                out.push(Some(v.best_ect(i)));
+            }
+            out
+        };
+        let (mut legacy_clusters, jobs) = build();
+        set_ect_snapshot_enabled(false);
+        let legacy = matrix(&mut legacy_clusters, &jobs);
+        set_ect_snapshot_enabled(true);
+        let (mut batched_clusters, jobs) = build();
+        let batched = matrix(&mut batched_clusters, &jobs);
+        assert_eq!(batched, legacy);
+        for c in &batched_clusters {
+            assert!(
+                c.stats().ect_column_refills >= 1,
+                "{}: column fills went through the batch path",
+                c.spec().name
+            );
+        }
+        // Invalidation without mutation refills from the cached snapshot.
+        let mut v = EctView::queued(&mut batched_clusters, &jobs, SimTime(5));
+        let before = v.new_ect(0, 2);
+        v.invalidate_cluster(2);
+        assert_eq!(v.new_ect(0, 2), before);
+        assert!(
+            batched_clusters[2].stats().ect_snapshot_reuses >= 1,
+            "the lazy refill re-used the frozen snapshot"
+        );
     }
 
     #[test]

@@ -578,7 +578,13 @@ impl GridSim {
             .config
             .realloc
             .expect("tick only scheduled with config");
-        let report = realloc::run_tick(&mut self.clusters, &cfg, now);
+        let report = {
+            // Sidecar-only wall-clock span: how long one reallocation
+            // round takes end to end (the cost the snapshot engine and
+            // batched column fills exist to bound).
+            let _tick_span = self.obs.span("realloc.tick");
+            realloc::run_tick(&mut self.clusters, &cfg, now)
+        };
         self.outcome.total_ticks += 1;
         if !report.migrations.is_empty() {
             self.outcome.active_ticks += 1;
